@@ -1,0 +1,16 @@
+//! Design-choice ablations beyond the paper's figures: Algorithm 1's
+//! adaptive booking timeout vs fixed settings, and the huge-preallocation
+//! threshold sweep (the paper selected 256 experimentally).
+
+use gemini_bench::{bench_scale, header};
+use gemini_harness::experiments::ablations;
+
+fn main() {
+    header("ablations", "Algorithm 1 + preallocation-threshold ablations");
+    let scale = bench_scale();
+    let timeout = ablations::run_timeout(&scale, "Masstree").expect("ablation succeeds");
+    print!("{}", timeout.render());
+    println!();
+    let prealloc = ablations::run_prealloc(&scale, "Xapian").expect("sweep succeeds");
+    print!("{}", prealloc.render());
+}

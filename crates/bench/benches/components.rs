@@ -1,0 +1,157 @@
+#![allow(missing_docs)]
+//! Criterion microbenchmarks of the core components: buddy allocation,
+//! page-table mapping and promotion, the two-dimensional MMU walk, EMA's
+//! self-organizing descriptor list, and the MHPS scan.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gemini::ema::{EmaList, OffsetDescriptor};
+use gemini::mhps::scan_vm;
+use gemini_buddy::BuddyAllocator;
+use gemini_page_table::{AddressSpace, LeafSize};
+use gemini_sim_core::{DetRng, VmId};
+use gemini_tlb::{MmuConfig, MmuSim, ResolvedTranslation};
+
+fn bench_buddy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buddy");
+    g.bench_function("alloc_free_base", |b| {
+        let mut buddy = BuddyAllocator::new(1 << 16);
+        b.iter(|| {
+            let f = buddy.alloc(0).expect("memory available");
+            buddy.free(f, 0).expect("frame owned");
+        });
+    });
+    g.bench_function("alloc_free_huge", |b| {
+        let mut buddy = BuddyAllocator::new(1 << 16);
+        b.iter(|| {
+            let f = buddy.alloc(9).expect("memory available");
+            buddy.free(f, 9).expect("block owned");
+        });
+    });
+    g.bench_function("alloc_at_targeted", |b| {
+        let mut buddy = BuddyAllocator::new(1 << 16);
+        b.iter(|| {
+            buddy.alloc_at(12_288, 9).expect("range free");
+            buddy.free(12_288, 9).expect("block owned");
+        });
+    });
+    g.bench_function("free_runs_fragmented", |b| {
+        let mut buddy = BuddyAllocator::new(1 << 14);
+        let mut rng = DetRng::new(1);
+        gemini_mm::fragment_to(&mut buddy, 0.9, 0.1, &mut rng);
+        b.iter(|| buddy.free_runs().len());
+    });
+    g.finish();
+}
+
+fn bench_page_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_table");
+    g.bench_function("map_unmap_base", |b| {
+        let mut t = AddressSpace::new();
+        b.iter(|| {
+            t.map_base(1000, 7).expect("unmapped");
+            t.unmap_base(1000).expect("mapped");
+        });
+    });
+    g.bench_function("translate_hit", |b| {
+        let mut t = AddressSpace::new();
+        t.map_huge(3, 9).expect("empty");
+        b.iter(|| t.translate(3 * 512 + 100));
+    });
+    g.bench_function("promote_in_place", |b| {
+        b.iter_batched(
+            || {
+                let mut t = AddressSpace::new();
+                for i in 0..512 {
+                    t.map_base(i, 512 + i).expect("unmapped");
+                }
+                t
+            },
+            |mut t| t.promote_in_place(0).expect("eligible"),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_mmu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mmu");
+    let vm = VmId(1);
+    g.bench_function("access_tlb_hit", |b| {
+        let mut mmu = MmuSim::new(MmuConfig::default());
+        let t = ResolvedTranslation {
+            gpa_frame: 7,
+            guest_leaf: LeafSize::Base,
+            host_leaf: LeafSize::Base,
+        };
+        mmu.access(vm, 7, t);
+        b.iter(|| mmu.access(vm, 7, t));
+    });
+    g.bench_function("access_walk_2d_cold", |b| {
+        let mut mmu = MmuSim::new(MmuConfig::tiny());
+        let mut frame = 0u64;
+        b.iter(|| {
+            frame = frame.wrapping_add(1 << 18); // Defeat all caches.
+            mmu.access(
+                vm,
+                frame,
+                ResolvedTranslation {
+                    gpa_frame: frame,
+                    guest_leaf: LeafSize::Base,
+                    host_leaf: LeafSize::Base,
+                },
+            )
+        });
+    });
+    g.finish();
+}
+
+fn bench_ema(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ema");
+    g.bench_function("self_organizing_find_hot", |b| {
+        let mut list = EmaList::new();
+        for k in 0..64 {
+            list.insert(OffsetDescriptor {
+                key: k,
+                start: k * 4096,
+                len: 4096,
+                offset: 0,
+            });
+        }
+        // The hot key migrates to the front: steady-state find is O(1).
+        b.iter(|| list.find(63, 63 * 4096 + 5).is_some());
+    });
+    g.finish();
+}
+
+fn bench_mhps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mhps");
+    g.bench_function("scan_mixed_vm", |b| {
+        let mut guest = AddressSpace::new();
+        let mut ept = AddressSpace::new();
+        for r in 0..128u64 {
+            if r % 3 == 0 {
+                guest.map_huge(r, r).expect("empty");
+                ept.map_huge(r, r).expect("empty");
+            } else if r % 3 == 1 {
+                guest.map_huge(r, 1000 + r).expect("empty");
+            } else {
+                for i in 0..64 {
+                    guest.map_base(r * 512 + i, 2000 * 512 + r * 64 + i).expect("unmapped");
+                }
+                ept.map_huge(2000 + (r * 64 >> 9), 3000 + r).ok();
+            }
+        }
+        b.iter(|| scan_vm(VmId(1), &guest, &ept).misaligned_total());
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_buddy,
+    bench_page_table,
+    bench_mmu,
+    bench_ema,
+    bench_mhps
+);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates Figure 2: the motivating microbenchmark — random accesses
+//! over increasing dataset sizes under the four static page-size
+//! configurations.
+
+use gemini_bench::{bench_scale, header};
+use gemini_harness::experiments::fig02;
+
+fn main() {
+    header("fig02_microbench", "Figure 2");
+    let scale = bench_scale();
+    let res = fig02::run(&scale).expect("sweep succeeds");
+    print!("{}", res.render());
+    println!(
+        "aligned (Host-H-VM-H) speedup over Host-B-VM-B: {:.2}x at smallest, {:.2}x at largest dataset",
+        res.aligned_speedup_at_min(),
+        res.aligned_speedup_at_max()
+    );
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 3 and Table 1: the motivation experiment — four
+//! applications under the eight systems with fragmented memory.
+
+use gemini_bench::{bench_scale, header};
+use gemini_harness::experiments::motivation;
+
+fn main() {
+    header("fig03_tab01_motivation", "Figure 3 + Table 1");
+    let res = motivation::run(&bench_scale()).expect("grid succeeds");
+    print!("{}", res.render_fig03());
+    println!();
+    print!("{}", res.render_tab01());
+    println!(
+        "GEMINI mean well-aligned rate: {:.0}%",
+        res.gemini_mean_aligned() * 100.0
+    );
+}

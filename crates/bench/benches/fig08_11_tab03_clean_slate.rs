@@ -1,0 +1,45 @@
+//! Regenerates Figures 8–11 and Table 3: the main clean-slate evaluation —
+//! the full workload catalog under the eight systems, fragmented and
+//! unfragmented.
+//!
+//! This is the heaviest bench; set `GEMINI_BENCH_OPS` lower (or
+//! `GEMINI_SCALE=quick`) for a faster pass, or `GEMINI_SCALE=full` for
+//! catalog-size working sets.
+
+use gemini_bench::{bench_scale, header};
+use gemini_harness::experiments::clean_slate;
+use gemini_vm_sim::SystemKind;
+
+fn main() {
+    header(
+        "fig08_11_tab03_clean_slate",
+        "Figures 8, 9, 10, 11 + Table 3",
+    );
+    let res = clean_slate::run(&bench_scale(), None).expect("grid succeeds");
+    for fragmented in [true, false] {
+        print!("{}", res.render_fig08(fragmented));
+        println!();
+        print!("{}", res.render_fig09(fragmented));
+        println!();
+        print!("{}", res.render_fig10(fragmented));
+        println!();
+    }
+    print!("{}", res.render_fig11());
+    println!();
+    print!("{}", res.render_tab03());
+    println!(
+        "mean speedups over Host-B-VM-B (fragmented): GEMINI {:.2}x, Ingens {:.2}x, HawkEye {:.2}x, THP {:.2}x, Trans-ranger {:.2}x",
+        res.mean_speedup(SystemKind::Gemini, true),
+        res.mean_speedup(SystemKind::Ingens, true),
+        res.mean_speedup(SystemKind::HawkEye, true),
+        res.mean_speedup(SystemKind::Thp, true),
+        res.mean_speedup(SystemKind::Ranger, true),
+    );
+    println!(
+        "mean well-aligned rates: GEMINI {:.0}%, Ingens {:.0}%, HawkEye {:.0}%, THP {:.0}%",
+        res.mean_aligned_rate(SystemKind::Gemini) * 100.0,
+        res.mean_aligned_rate(SystemKind::Ingens) * 100.0,
+        res.mean_aligned_rate(SystemKind::HawkEye) * 100.0,
+        res.mean_aligned_rate(SystemKind::Thp) * 100.0,
+    );
+}

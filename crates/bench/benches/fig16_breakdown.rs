@@ -1,0 +1,12 @@
+//! Regenerates Figure 16: the Gemini performance breakdown — how much of
+//! the speedup EMA/HB deliver versus the huge bucket, via ablation in the
+//! reused-VM scenario.
+
+use gemini_bench::{bench_scale, header};
+use gemini_harness::experiments::breakdown;
+
+fn main() {
+    header("fig16_breakdown", "Figure 16");
+    let res = breakdown::run(&bench_scale(), None).expect("ablation succeeds");
+    print!("{}", res.render_fig16());
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figures 17–18: applicability and overhead — two 16-vCPU
+//! VMs share the host, one TLB-sensitive and one not.
+
+use gemini_bench::{bench_scale, header};
+use gemini_harness::experiments::collocated;
+
+fn main() {
+    header("fig17_18_collocated", "Figures 17 + 18");
+    let res = collocated::run(&bench_scale(), None).expect("grid succeeds");
+    print!("{}", res.render_fig17());
+    println!();
+    print!("{}", res.render_fig18());
+    println!(
+        "GEMINI worst-case overhead on the non-TLB-sensitive VM: {:.1}% (paper: <= 3%)",
+        res.gemini_nonsensitive_overhead() * 100.0
+    );
+}

@@ -1,0 +1,46 @@
+//! Shared helpers for the benchmark binaries.
+//!
+//! Every `benches/` target regenerates one or more of the paper's tables
+//! and figures (see DESIGN.md's per-experiment index) and prints the rows
+//! the paper reports. Scale is controlled by `GEMINI_SCALE`
+//! (`quick` | `bench` | `full`, default `bench`) and op count by
+//! `GEMINI_BENCH_OPS`.
+
+use gemini_harness::Scale;
+
+/// Resolves the scale for a bench binary from the environment.
+pub fn bench_scale() -> Scale {
+    let mut scale = Scale::from_env();
+    if let Ok(ops) = std::env::var("GEMINI_BENCH_OPS") {
+        if let Ok(ops) = ops.parse::<u64>() {
+            scale.ops = ops;
+        }
+    }
+    scale
+}
+
+/// Prints a standard bench header.
+pub fn header(name: &str, artefacts: &str) {
+    println!("================================================================");
+    println!("{name} — regenerates {artefacts}");
+    println!(
+        "scale: ws_factor={:.3}, ops={}, host={} MiB, vm={} MiB (set GEMINI_SCALE/GEMINI_BENCH_OPS to change)",
+        bench_scale().ws_factor,
+        bench_scale().ops,
+        bench_scale().host_frames * 4096 >> 20,
+        bench_scale().vm_frames * 4096 >> 20,
+    );
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scale_defaults_to_bench() {
+        let s = bench_scale();
+        assert!(s.ops > 0);
+        assert!(s.ws_factor > 0.0);
+    }
+}

@@ -1,0 +1,523 @@
+//! A binary buddy page-frame allocator modeled on Linux's `page_alloc`.
+//!
+//! Free memory is grouped into order-*x* free lists, where an order-*x*
+//! block holds 2^x contiguous, 2^x-aligned base frames. Allocation splits
+//! larger blocks; freeing eagerly merges buddies back together, so a fully
+//! free, naturally aligned 2^x range is always represented by a single block
+//! of order ≥ x — an invariant this crate's targeted allocation relies on
+//! and the property tests check.
+//!
+//! Beyond the classic interface, the allocator supports what Gemini's
+//! mechanisms need:
+//!
+//! - [`BuddyAllocator::alloc_at`] — targeted allocation of a specific
+//!   aligned block, used by the enhanced memory allocator (EMA) to place a
+//!   page at `GVA - GuestOffset`, and by huge booking to reserve the region
+//!   under a mis-aligned huge page;
+//! - [`BuddyAllocator::free_runs`] — enumeration of maximal free contiguous
+//!   runs, feeding the Gemini contiguity list;
+//! - [`BuddyAllocator::free_area_counts`] — per-order free-block counts for
+//!   the fragmentation index (FMFI) that Ingens and Algorithm 1 consume.
+//!
+//! All addresses here are *frame numbers* (base-page indices); callers
+//! convert to/from [`gemini_sim_core::Gpa`]/[`gemini_sim_core::Hpa`].
+//!
+//! # Examples
+//!
+//! ```
+//! use gemini_buddy::BuddyAllocator;
+//! use gemini_sim_core::HUGE_PAGE_ORDER;
+//!
+//! let mut buddy = BuddyAllocator::new(4096);
+//! // A 2 MiB huge page is an aligned order-9 block.
+//! let huge = buddy.alloc(HUGE_PAGE_ORDER)?;
+//! assert_eq!(huge % 512, 0);
+//! // Targeted allocation: reserve the specific region a booking needs.
+//! buddy.alloc_at(1024, HUGE_PAGE_ORDER)?;
+//! buddy.free(huge, HUGE_PAGE_ORDER)?;
+//! buddy.free(1024, HUGE_PAGE_ORDER)?;
+//! assert_eq!(buddy.free_frames(), 4096);
+//! # Ok::<(), gemini_sim_core::SimError>(())
+//! ```
+
+use gemini_sim_core::{FreeAreaCounts, SimError};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Largest allocatable order (inclusive): order-10 blocks are 4 MiB, the
+/// Linux `MAX_ORDER` limit the paper cites when explaining why the stock
+/// buddy allocator cannot hand out arbitrarily large contiguous regions.
+pub const MAX_ORDER: u32 = 10;
+
+/// A binary buddy allocator over a contiguous range of page frames.
+#[derive(Debug, Clone)]
+pub struct BuddyAllocator {
+    /// `free_lists[o]` holds the start frames of free order-`o` blocks,
+    /// sorted by address so allocation prefers low addresses (which keeps
+    /// high memory contiguous, mirroring the contiguity-list design).
+    free_lists: Vec<BTreeSet<u64>>,
+    /// Start frame → order, for every free block; supports point queries
+    /// ("is this frame free, and in which block?").
+    block_index: BTreeMap<u64, u32>,
+    /// Total frames managed.
+    total_frames: u64,
+    /// Currently free frames.
+    free_frames: u64,
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator managing frames `[0, num_frames)`, all free.
+    pub fn new(num_frames: u64) -> Self {
+        let mut alloc = Self {
+            free_lists: vec![BTreeSet::new(); (MAX_ORDER + 1) as usize],
+            block_index: BTreeMap::new(),
+            total_frames: num_frames,
+            free_frames: 0,
+        };
+        // Carve the range greedily into maximal aligned blocks.
+        let mut frame = 0u64;
+        while frame < num_frames {
+            let align_order = if frame == 0 {
+                MAX_ORDER
+            } else {
+                frame.trailing_zeros().min(MAX_ORDER)
+            };
+            let mut order = align_order;
+            while frame + (1 << order) > num_frames {
+                order -= 1;
+            }
+            alloc.insert_free(frame, order);
+            frame += 1 << order;
+        }
+        alloc.free_frames = num_frames;
+        alloc
+    }
+
+    /// Total number of frames managed.
+    pub fn total_frames(&self) -> u64 {
+        self.total_frames
+    }
+
+    /// Number of currently free frames.
+    pub fn free_frames(&self) -> u64 {
+        self.free_frames
+    }
+
+    /// Number of currently allocated frames.
+    pub fn used_frames(&self) -> u64 {
+        self.total_frames - self.free_frames
+    }
+
+    /// Allocates a block of `order`, returning its start frame.
+    ///
+    /// Splits the smallest sufficient block at the lowest address, like
+    /// Linux's allocator under the "address-ordered" heuristic.
+    pub fn alloc(&mut self, order: u32) -> Result<u64, SimError> {
+        if order > MAX_ORDER {
+            return Err(SimError::OutOfMemory { order });
+        }
+        let mut found = None;
+        for o in order..=MAX_ORDER {
+            if let Some(&start) = self.free_lists[o as usize].iter().next() {
+                found = Some((start, o));
+                break;
+            }
+        }
+        let (start, mut o) = found.ok_or(SimError::OutOfMemory { order })?;
+        self.remove_free(start, o);
+        // Split down, freeing the upper halves.
+        while o > order {
+            o -= 1;
+            self.insert_free(start + (1 << o), o);
+        }
+        self.free_frames -= 1 << order;
+        Ok(start)
+    }
+
+    /// Allocates the specific block `[start, start + 2^order)`.
+    ///
+    /// Fails with [`SimError::Unaligned`] if `start` is not order-aligned,
+    /// [`SimError::OutOfRange`] if the block exceeds the managed range, and
+    /// [`SimError::RangeBusy`] if any frame in the block is allocated.
+    pub fn alloc_at(&mut self, start: u64, order: u32) -> Result<(), SimError> {
+        if order > MAX_ORDER {
+            return Err(SimError::OutOfRange);
+        }
+        if start & ((1 << order) - 1) != 0 {
+            return Err(SimError::Unaligned);
+        }
+        if start + (1 << order) > self.total_frames {
+            return Err(SimError::OutOfRange);
+        }
+        // Eager merging guarantees a fully free aligned range lives inside
+        // a single free block of order >= `order`.
+        let (block_start, block_order) = self
+            .containing_free_block(start)
+            .ok_or(SimError::RangeBusy)?;
+        if block_start + (1 << block_order) < start + (1 << order) {
+            return Err(SimError::RangeBusy);
+        }
+        self.remove_free(block_start, block_order);
+        // Descend toward the target, freeing the sibling half each split.
+        let (mut cur_start, mut cur_order) = (block_start, block_order);
+        while cur_order > order {
+            cur_order -= 1;
+            let half = 1u64 << cur_order;
+            if start >= cur_start + half {
+                self.insert_free(cur_start, cur_order);
+                cur_start += half;
+            } else {
+                self.insert_free(cur_start + half, cur_order);
+            }
+        }
+        debug_assert_eq!(cur_start, start);
+        self.free_frames -= 1 << order;
+        Ok(())
+    }
+
+    /// Frees the block `[start, start + 2^order)`, merging buddies eagerly.
+    ///
+    /// Fails with [`SimError::BadFree`] when any frame of the block is
+    /// already free (double free) or out of range.
+    pub fn free(&mut self, start: u64, order: u32) -> Result<(), SimError> {
+        if order > MAX_ORDER
+            || start & ((1 << order) - 1) != 0
+            || start + (1 << order) > self.total_frames
+        {
+            return Err(SimError::BadFree(gemini_sim_core::Hpa::from_frame(start)));
+        }
+        // Detect overlap with an existing free block.
+        if self.range_overlaps_free(start, 1 << order) {
+            return Err(SimError::BadFree(gemini_sim_core::Hpa::from_frame(start)));
+        }
+        let (mut cur, mut o) = (start, order);
+        while o < MAX_ORDER {
+            let buddy = cur ^ (1 << o);
+            if self.free_lists[o as usize].contains(&buddy) && buddy + (1 << o) <= self.total_frames
+            {
+                self.remove_free(buddy, o);
+                cur = cur.min(buddy);
+                o += 1;
+            } else {
+                break;
+            }
+        }
+        self.insert_free(cur, o);
+        self.free_frames += 1 << order;
+        Ok(())
+    }
+
+    /// Returns true when every frame of `[start, start + len)` is free.
+    pub fn is_range_free(&self, start: u64, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        if start + len > self.total_frames {
+            return false;
+        }
+        let mut cursor = start;
+        // Walk free blocks covering the range.
+        while cursor < start + len {
+            match self.containing_free_block(cursor) {
+                Some((bs, bo)) => cursor = bs + (1 << bo),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Returns true when frame `frame` is free.
+    pub fn is_frame_free(&self, frame: u64) -> bool {
+        self.containing_free_block(frame).is_some()
+    }
+
+    /// Per-order free block counts, for FMFI computation.
+    pub fn free_area_counts(&self) -> FreeAreaCounts {
+        FreeAreaCounts::new(
+            &self
+                .free_lists
+                .iter()
+                .map(|l| l.len() as u64)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Current fragmentation index at `order` (see [`gemini_sim_core::fmfi`]).
+    pub fn fragmentation_index(&self, order: u32) -> f64 {
+        gemini_sim_core::fragmentation_index(&self.free_area_counts(), order)
+    }
+
+    /// Enumerates maximal runs of free frames as `(start, len)` pairs in
+    /// address order, merging adjacent free blocks that are not buddies.
+    ///
+    /// This is the raw material of the Gemini contiguity list.
+    pub fn free_runs(&self) -> Vec<(u64, u64)> {
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for (&start, &order) in &self.block_index {
+            let len = 1u64 << order;
+            match runs.last_mut() {
+                Some((rs, rl)) if *rs + *rl == start => *rl += len,
+                _ => runs.push((start, len)),
+            }
+        }
+        runs
+    }
+
+    /// Length of the largest maximal free run, in frames.
+    pub fn largest_free_run(&self) -> u64 {
+        self.free_runs().iter().map(|&(_, l)| l).max().unwrap_or(0)
+    }
+
+    /// Count of free blocks of exactly `order`.
+    pub fn free_blocks_of_order(&self, order: u32) -> usize {
+        self.free_lists
+            .get(order as usize)
+            .map(|l| l.len())
+            .unwrap_or(0)
+    }
+
+    /// The free block containing `frame`, if any, as `(start, order)`.
+    fn containing_free_block(&self, frame: u64) -> Option<(u64, u32)> {
+        let (&start, &order) = self.block_index.range(..=frame).next_back()?;
+        if start + (1u64 << order) > frame {
+            Some((start, order))
+        } else {
+            None
+        }
+    }
+
+    /// True when `[start, start+len)` intersects any free block.
+    fn range_overlaps_free(&self, start: u64, len: u64) -> bool {
+        if self.containing_free_block(start).is_some() {
+            return true;
+        }
+        self.block_index
+            .range(start..start + len)
+            .next()
+            .is_some()
+    }
+
+    fn insert_free(&mut self, start: u64, order: u32) {
+        self.free_lists[order as usize].insert(start);
+        self.block_index.insert(start, order);
+    }
+
+    fn remove_free(&mut self, start: u64, order: u32) {
+        self.free_lists[order as usize].remove(&start);
+        self.block_index.remove(&start);
+    }
+
+    /// Verifies internal invariants; used by tests.
+    ///
+    /// Checks that free lists and the block index agree, blocks are aligned
+    /// and disjoint, the free-frame count matches, and no two free buddies
+    /// coexist unmerged.
+    pub fn check_invariants(&self) -> Result<(), SimError> {
+        let mut counted = 0u64;
+        let mut prev_end = 0u64;
+        for (&start, &order) in &self.block_index {
+            if !self.free_lists[order as usize].contains(&start) {
+                return Err(SimError::Invariant("block index entry missing from free list"));
+            }
+            if start & ((1 << order) - 1) != 0 {
+                return Err(SimError::Invariant("free block misaligned"));
+            }
+            if start < prev_end {
+                return Err(SimError::Invariant("free blocks overlap"));
+            }
+            prev_end = start + (1 << order);
+            if prev_end > self.total_frames {
+                return Err(SimError::Invariant("free block out of range"));
+            }
+            counted += 1 << order;
+            if order < MAX_ORDER {
+                let buddy = start ^ (1u64 << order);
+                if self.free_lists[order as usize].contains(&buddy) {
+                    return Err(SimError::Invariant("unmerged free buddies"));
+                }
+            }
+        }
+        let listed: u64 = self
+            .free_lists
+            .iter()
+            .enumerate()
+            .map(|(o, l)| (l.len() as u64) << o as u64)
+            .sum();
+        if counted != self.free_frames || listed != self.free_frames {
+            return Err(SimError::Invariant("free frame accounting mismatch"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_sim_core::HUGE_PAGE_ORDER;
+
+    #[test]
+    fn new_allocator_is_fully_free_and_coalesced() {
+        let a = BuddyAllocator::new(4096);
+        assert_eq!(a.free_frames(), 4096);
+        assert_eq!(a.used_frames(), 0);
+        assert_eq!(a.free_blocks_of_order(MAX_ORDER), 4);
+        a.check_invariants().unwrap();
+        assert_eq!(a.free_runs(), vec![(0, 4096)]);
+        assert_eq!(a.largest_free_run(), 4096);
+    }
+
+    #[test]
+    fn odd_sized_memory_is_carved_correctly() {
+        // 1000 frames: not a power of two.
+        let a = BuddyAllocator::new(1000);
+        assert_eq!(a.free_frames(), 1000);
+        a.check_invariants().unwrap();
+        assert_eq!(a.free_runs(), vec![(0, 1000)]);
+    }
+
+    #[test]
+    fn alloc_splits_and_free_merges() {
+        let mut a = BuddyAllocator::new(1024);
+        let f = a.alloc(0).unwrap();
+        assert_eq!(f, 0);
+        assert_eq!(a.free_frames(), 1023);
+        a.check_invariants().unwrap();
+        a.free(f, 0).unwrap();
+        assert_eq!(a.free_frames(), 1024);
+        // Fully merged back into one max-order block.
+        assert_eq!(a.free_blocks_of_order(MAX_ORDER), 1);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn alloc_prefers_low_addresses() {
+        let mut a = BuddyAllocator::new(2048);
+        let f1 = a.alloc(0).unwrap();
+        let f2 = a.alloc(0).unwrap();
+        assert!(f1 < f2);
+        assert_eq!(f2, 1);
+    }
+
+    #[test]
+    fn huge_order_allocation() {
+        let mut a = BuddyAllocator::new(2048);
+        let h = a.alloc(HUGE_PAGE_ORDER).unwrap();
+        assert_eq!(h % 512, 0);
+        assert_eq!(a.free_frames(), 2048 - 512);
+        a.free(h, HUGE_PAGE_ORDER).unwrap();
+        assert_eq!(a.free_frames(), 2048);
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut a = BuddyAllocator::new(4);
+        assert!(a.alloc(9).is_err());
+        for _ in 0..4 {
+            a.alloc(0).unwrap();
+        }
+        assert_eq!(a.alloc(0), Err(SimError::OutOfMemory { order: 0 }));
+    }
+
+    #[test]
+    fn alloc_at_carves_the_exact_block() {
+        let mut a = BuddyAllocator::new(4096);
+        a.alloc_at(512, HUGE_PAGE_ORDER).unwrap();
+        assert!(!a.is_frame_free(512));
+        assert!(!a.is_frame_free(1023));
+        assert!(a.is_frame_free(511));
+        assert!(a.is_frame_free(1024));
+        assert_eq!(a.free_frames(), 4096 - 512);
+        a.check_invariants().unwrap();
+        a.free(512, HUGE_PAGE_ORDER).unwrap();
+        a.check_invariants().unwrap();
+        assert_eq!(a.free_runs(), vec![(0, 4096)]);
+    }
+
+    #[test]
+    fn alloc_at_rejects_busy_and_misaligned() {
+        let mut a = BuddyAllocator::new(1024);
+        a.alloc_at(0, 9).unwrap();
+        assert_eq!(a.alloc_at(0, 9), Err(SimError::RangeBusy));
+        assert_eq!(a.alloc_at(0, 0), Err(SimError::RangeBusy));
+        assert_eq!(a.alloc_at(3, 9), Err(SimError::Unaligned));
+        assert_eq!(a.alloc_at(1024, 0), Err(SimError::OutOfRange));
+        // Partially busy huge range.
+        assert_eq!(a.alloc_at(512, 9), Ok(()));
+        assert_eq!(a.alloc_at(512, 9), Err(SimError::RangeBusy));
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut a = BuddyAllocator::new(64);
+        let f = a.alloc(2).unwrap();
+        a.free(f, 2).unwrap();
+        assert!(matches!(a.free(f, 2), Err(SimError::BadFree(_))));
+        // Freeing a sub-block of a free block is also a bad free.
+        assert!(matches!(a.free(f, 0), Err(SimError::BadFree(_))));
+    }
+
+    #[test]
+    fn partial_free_of_targeted_block() {
+        // EMA books an order-9 block, allocates pages inside it, then the
+        // booking times out and the *unused* pages return one by one.
+        let mut a = BuddyAllocator::new(1024);
+        a.alloc_at(0, 9).unwrap();
+        // Return frames 10..512 individually.
+        for f in 10..512 {
+            a.free(f, 0).unwrap();
+        }
+        assert_eq!(a.free_frames(), 1024 - 10);
+        a.check_invariants().unwrap();
+        // Frames 0..10 are still allocated.
+        assert!(!a.is_frame_free(0));
+        assert!(!a.is_frame_free(9));
+        assert!(a.is_frame_free(10));
+        // Now free the head; everything must merge back.
+        for f in 0..10 {
+            a.free(f, 0).unwrap();
+        }
+        assert_eq!(a.free_runs(), vec![(0, 1024)]);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn is_range_free_spans_blocks() {
+        let mut a = BuddyAllocator::new(2048);
+        assert!(a.is_range_free(0, 2048));
+        assert!(a.is_range_free(0, 0));
+        assert!(!a.is_range_free(0, 4096));
+        a.alloc_at(100, 0).unwrap();
+        assert!(!a.is_range_free(0, 512));
+        assert!(a.is_range_free(0, 100));
+        assert!(a.is_range_free(101, 512));
+    }
+
+    #[test]
+    fn fragmentation_index_reflects_layout() {
+        let mut a = BuddyAllocator::new(1024);
+        assert_eq!(a.fragmentation_index(9), 0.0);
+        // Allocate everything, then free every other frame: classic
+        // checkerboard fragmentation.
+        let mut frames = Vec::new();
+        while let Ok(f) = a.alloc(0) {
+            frames.push(f);
+        }
+        for &f in frames.iter().step_by(2) {
+            a.free(f, 0).unwrap();
+        }
+        let idx = a.fragmentation_index(9);
+        assert!(idx > 0.9, "checkerboard should be highly fragmented: {idx}");
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn free_runs_merge_non_buddy_neighbors() {
+        let mut a = BuddyAllocator::new(1024);
+        // Allocate frames 0 and 3; frees leave runs [1,2] and [4..1024)
+        // where 1,2 are adjacent but not buddies (1 is odd).
+        a.alloc_at(0, 0).unwrap();
+        a.alloc_at(3, 0).unwrap();
+        let runs = a.free_runs();
+        assert_eq!(runs, vec![(1, 2), (4, 1020)]);
+        assert_eq!(a.largest_free_run(), 1020);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the buddy allocator.
+//!
+//! These drive random interleavings of `alloc`, `alloc_at` and `free` and
+//! check the allocator's structural invariants after every step: free lists
+//! and index agree, blocks are aligned/disjoint/coalesced, and frame
+//! accounting conserves memory.
+
+use gemini_buddy::{BuddyAllocator, MAX_ORDER};
+use proptest::prelude::*;
+
+/// One random allocator operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u32),
+    AllocAt { frame: u64, order: u32 },
+    FreeIdx(usize),
+}
+
+fn op_strategy(num_frames: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..=MAX_ORDER).prop_map(Op::Alloc),
+        (0u64..num_frames, 0u32..=9u32).prop_map(|(frame, order)| Op::AllocAt {
+            frame: frame & !((1 << order) - 1),
+            order,
+        }),
+        (any::<prop::sample::Index>()).prop_map(|i| Op::FreeIdx(i.index(1 << 16))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_ops_preserve_invariants(
+        num_frames in 1u64..5000,
+        ops in prop::collection::vec(op_strategy(4096), 1..200),
+    ) {
+        let mut a = BuddyAllocator::new(num_frames);
+        let mut live: Vec<(u64, u32)> = Vec::new();
+        let mut allocated = 0u64;
+        for op in ops {
+            match op {
+                Op::Alloc(order) => {
+                    if let Ok(start) = a.alloc(order) {
+                        prop_assert_eq!(start % (1 << order), 0);
+                        prop_assert!(start + (1u64 << order) <= num_frames);
+                        live.push((start, order));
+                        allocated += 1 << order;
+                    }
+                }
+                Op::AllocAt { frame, order } => {
+                    if a.alloc_at(frame, order).is_ok() {
+                        live.push((frame, order));
+                        allocated += 1 << order;
+                    }
+                }
+                Op::FreeIdx(i) => {
+                    if !live.is_empty() {
+                        let (start, order) = live.swap_remove(i % live.len());
+                        a.free(start, order).unwrap();
+                        allocated -= 1 << order;
+                    }
+                }
+            }
+            a.check_invariants().unwrap();
+            prop_assert_eq!(a.used_frames(), allocated);
+        }
+        // No two live blocks may overlap.
+        let mut sorted = live.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            let (s0, o0) = w[0];
+            let (s1, _) = w[1];
+            prop_assert!(s0 + (1u64 << o0) <= s1, "live blocks overlap");
+        }
+    }
+
+    #[test]
+    fn free_everything_restores_pristine_state(
+        num_frames in 512u64..4096,
+        orders in prop::collection::vec(0u32..=MAX_ORDER, 1..64),
+    ) {
+        let mut a = BuddyAllocator::new(num_frames);
+        let mut live = Vec::new();
+        for order in orders {
+            if let Ok(s) = a.alloc(order) {
+                live.push((s, order));
+            }
+        }
+        for (s, o) in live {
+            a.free(s, o).unwrap();
+        }
+        prop_assert_eq!(a.free_frames(), num_frames);
+        a.check_invariants().unwrap();
+        // A single maximal run spanning all memory.
+        prop_assert_eq!(a.free_runs(), vec![(0, num_frames)]);
+    }
+
+    #[test]
+    fn alloc_at_never_hands_out_busy_frames(
+        targets in prop::collection::vec((0u64..1024, 0u32..=9), 1..80),
+    ) {
+        let mut a = BuddyAllocator::new(1024);
+        let mut owned: Vec<(u64, u32)> = Vec::new();
+        for (frame, order) in targets {
+            let frame = frame & !((1u64 << order) - 1);
+            if frame + (1 << order) > 1024 {
+                continue;
+            }
+            match a.alloc_at(frame, order) {
+                Ok(()) => {
+                    for &(s, o) in &owned {
+                        let disjoint =
+                            s + (1u64 << o) <= frame || frame + (1u64 << order) <= s;
+                        prop_assert!(disjoint, "alloc_at returned an owned frame");
+                    }
+                    owned.push((frame, order));
+                }
+                Err(_) => {
+                    // Failure must mean some frame in range is indeed busy,
+                    // i.e. intersects an owned block.
+                    let busy = owned.iter().any(|&(s, o)| {
+                        s < frame + (1 << order) && frame < s + (1u64 << o)
+                    });
+                    prop_assert!(busy, "alloc_at refused a fully free range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn is_range_free_matches_ownership(
+        seed_allocs in prop::collection::vec((0u64..512, 0u32..=6), 0..32),
+        query in (0u64..512, 1u64..64),
+    ) {
+        let mut a = BuddyAllocator::new(512);
+        let mut owned: Vec<(u64, u32)> = Vec::new();
+        for (frame, order) in seed_allocs {
+            let frame = frame & !((1u64 << order) - 1);
+            if frame + (1 << order) <= 512 && a.alloc_at(frame, order).is_ok() {
+                owned.push((frame, order));
+            }
+        }
+        let (qs, ql) = query;
+        let ql = ql.min(512 - qs.min(512));
+        if qs + ql <= 512 {
+            let expect_free = !owned.iter().any(|&(s, o)| {
+                s < qs + ql && qs < s + (1u64 << o)
+            });
+            prop_assert_eq!(a.is_range_free(qs, ql), expect_free);
+        }
+    }
+}

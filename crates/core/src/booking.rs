@@ -1,0 +1,276 @@
+//! Huge booking — temporary reservation of huge-page-sized regions
+//! (paper §3, §4).
+//!
+//! For each type-1 mis-aligned huge page, Gemini reserves the memory
+//! region at the other layer that corresponds to it ("the space is
+//! reserved until a time-out is reached or until the region is allocated
+//! as a huge page or contiguous base pages"). While booked, the region is
+//! carved out of the buddy allocator, so ordinary allocations cannot
+//! splinter it; only the enhanced memory allocator places pages inside it,
+//! through the `*Reserved` fault decisions.
+
+use gemini_buddy::BuddyAllocator;
+use gemini_sim_core::{Cycles, SimError, HUGE_PAGE_ORDER, PAGES_PER_HUGE_PAGE};
+use std::collections::BTreeMap;
+
+/// One booked huge-page-sized region.
+#[derive(Debug, Clone)]
+struct Booking {
+    /// Absolute expiry time.
+    expires: Cycles,
+    /// Which of the 512 frames have been handed out to mappings.
+    used: Box<[bool; PAGES_PER_HUGE_PAGE as usize]>,
+    /// Count of frames handed out.
+    used_count: usize,
+}
+
+/// The booking table of one layer.
+#[derive(Debug, Default)]
+pub struct BookingTable {
+    bookings: BTreeMap<u64, Booking>,
+    /// Total regions ever booked (stats).
+    pub booked_total: u64,
+    /// Regions fully consumed by allocations (stats).
+    pub consumed_total: u64,
+    /// Regions expired with frames returned (stats).
+    pub expired_total: u64,
+}
+
+impl BookingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of active bookings.
+    pub fn len(&self) -> usize {
+        self.bookings.len()
+    }
+
+    /// True when no bookings are active.
+    pub fn is_empty(&self) -> bool {
+        self.bookings.is_empty()
+    }
+
+    /// True when `huge_frame` is currently booked.
+    pub fn contains(&self, huge_frame: u64) -> bool {
+        self.bookings.contains_key(&huge_frame)
+    }
+
+    /// Huge-frames of all active bookings, in address order.
+    pub fn regions(&self) -> Vec<u64> {
+        self.bookings.keys().copied().collect()
+    }
+
+    /// Books the region `huge_frame` by carving it out of `buddy`.
+    ///
+    /// Fails (without booking) when the region is not entirely free.
+    pub fn book(
+        &mut self,
+        buddy: &mut BuddyAllocator,
+        huge_frame: u64,
+        now: Cycles,
+        timeout: Cycles,
+    ) -> Result<(), SimError> {
+        if self.bookings.contains_key(&huge_frame) {
+            return Err(SimError::RangeBusy);
+        }
+        buddy.alloc_at(huge_frame << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER)?;
+        self.bookings.insert(
+            huge_frame,
+            Booking {
+                expires: now + timeout,
+                used: Box::new([false; PAGES_PER_HUGE_PAGE as usize]),
+                used_count: 0,
+            },
+        );
+        self.booked_total += 1;
+        Ok(())
+    }
+
+    /// Takes one specific frame out of a booking for a base-page mapping.
+    ///
+    /// Returns `true` when the frame was available in an active booking.
+    pub fn take_frame(&mut self, frame: u64) -> bool {
+        let huge_frame = frame >> HUGE_PAGE_ORDER;
+        let idx = (frame % PAGES_PER_HUGE_PAGE) as usize;
+        let Some(b) = self.bookings.get_mut(&huge_frame) else {
+            return false;
+        };
+        if b.used[idx] {
+            return false;
+        }
+        b.used[idx] = true;
+        b.used_count += 1;
+        if b.used_count == PAGES_PER_HUGE_PAGE as usize {
+            // Fully consumed: the mappings own every frame now.
+            self.bookings.remove(&huge_frame);
+            self.consumed_total += 1;
+        }
+        true
+    }
+
+    /// Checks whether a specific frame is bookable (inside an active
+    /// booking and not yet handed out).
+    pub fn frame_available(&self, frame: u64) -> bool {
+        let huge_frame = frame >> HUGE_PAGE_ORDER;
+        let idx = (frame % PAGES_PER_HUGE_PAGE) as usize;
+        self.bookings
+            .get(&huge_frame)
+            .map(|b| !b.used[idx])
+            .unwrap_or(false)
+    }
+
+    /// Takes a whole *untouched* booking for a huge-page mapping,
+    /// returning its huge-frame. Prefers the lowest address.
+    pub fn take_whole(&mut self) -> Option<u64> {
+        let huge_frame = self
+            .bookings
+            .iter()
+            .find(|(_, b)| b.used_count == 0)
+            .map(|(&hf, _)| hf)?;
+        self.bookings.remove(&huge_frame);
+        self.consumed_total += 1;
+        Some(huge_frame)
+    }
+
+    /// Takes the specific untouched booking `huge_frame`, if present.
+    pub fn take_whole_at(&mut self, huge_frame: u64) -> bool {
+        match self.bookings.get(&huge_frame) {
+            Some(b) if b.used_count == 0 => {
+                self.bookings.remove(&huge_frame);
+                self.consumed_total += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Expires bookings past their deadline, returning their *unused*
+    /// frames to `buddy`. Returns the number of bookings expired.
+    pub fn expire(&mut self, buddy: &mut BuddyAllocator, now: Cycles) -> usize {
+        let expired: Vec<u64> = self
+            .bookings
+            .iter()
+            .filter(|(_, b)| b.expires <= now)
+            .map(|(&hf, _)| hf)
+            .collect();
+        for hf in &expired {
+            let b = self.bookings.remove(hf).expect("key listed above");
+            for (idx, &used) in b.used.iter().enumerate() {
+                if !used {
+                    buddy
+                        .free((hf << HUGE_PAGE_ORDER) + idx as u64, 0)
+                        .expect("booking owned this frame");
+                }
+            }
+            self.expired_total += 1;
+        }
+        expired.len()
+    }
+
+    /// Releases *all* bookings immediately (memory-pressure path).
+    pub fn release_all(&mut self, buddy: &mut BuddyAllocator) {
+        let all: Vec<u64> = self.bookings.keys().copied().collect();
+        for hf in all {
+            let b = self.bookings.remove(&hf).expect("key listed above");
+            for (idx, &used) in b.used.iter().enumerate() {
+                if !used {
+                    buddy
+                        .free((hf << HUGE_PAGE_ORDER) + idx as u64, 0)
+                        .expect("booking owned this frame");
+                }
+            }
+            self.expired_total += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn booking_carves_region_out_of_buddy() {
+        let mut buddy = BuddyAllocator::new(2048);
+        let mut t = BookingTable::new();
+        t.book(&mut buddy, 1, Cycles(0), Cycles(100)).unwrap();
+        assert!(t.contains(1));
+        assert_eq!(buddy.used_frames(), 512);
+        // Ordinary allocation cannot touch the booked region.
+        assert!(buddy.alloc_at(512, 0).is_err());
+        // Double booking fails.
+        assert!(t.book(&mut buddy, 1, Cycles(0), Cycles(100)).is_err());
+        // Booking a busy region fails cleanly.
+        buddy.alloc_at(0, 0).unwrap();
+        assert!(t.book(&mut buddy, 0, Cycles(0), Cycles(100)).is_err());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn frames_hand_out_once_and_complete_consumption() {
+        let mut buddy = BuddyAllocator::new(1024);
+        let mut t = BookingTable::new();
+        t.book(&mut buddy, 0, Cycles(0), Cycles(100)).unwrap();
+        assert!(t.frame_available(5));
+        assert!(t.take_frame(5));
+        assert!(!t.frame_available(5));
+        assert!(!t.take_frame(5), "frame already taken");
+        for i in 0..512 {
+            if i != 5 {
+                assert!(t.take_frame(i));
+            }
+        }
+        // Fully consumed booking disappears.
+        assert!(t.is_empty());
+        assert_eq!(t.consumed_total, 1);
+        // Frames outside any booking are refused.
+        assert!(!t.take_frame(600));
+    }
+
+    #[test]
+    fn expiry_returns_only_unused_frames() {
+        let mut buddy = BuddyAllocator::new(1024);
+        let mut t = BookingTable::new();
+        t.book(&mut buddy, 0, Cycles(0), Cycles(100)).unwrap();
+        assert!(t.take_frame(0));
+        assert!(t.take_frame(1));
+        assert_eq!(t.expire(&mut buddy, Cycles(99)), 0, "not yet due");
+        assert_eq!(t.expire(&mut buddy, Cycles(100)), 1);
+        // 510 frames returned; 2 remain owned by their mappings.
+        assert_eq!(buddy.used_frames(), 2);
+        assert!(!buddy.is_frame_free(0));
+        assert!(!buddy.is_frame_free(1));
+        assert!(buddy.is_frame_free(2));
+        buddy.check_invariants().unwrap();
+        assert_eq!(t.expired_total, 1);
+    }
+
+    #[test]
+    fn take_whole_prefers_untouched_bookings() {
+        let mut buddy = BuddyAllocator::new(4096);
+        let mut t = BookingTable::new();
+        t.book(&mut buddy, 0, Cycles(0), Cycles(100)).unwrap();
+        t.book(&mut buddy, 3, Cycles(0), Cycles(100)).unwrap();
+        assert!(t.take_frame(0)); // Region 0 partially used.
+        assert_eq!(t.take_whole(), Some(3));
+        assert_eq!(t.take_whole(), None, "region 0 is touched");
+        assert!(!t.take_whole_at(0));
+        // take_whole_at on a fresh booking works.
+        t.book(&mut buddy, 5, Cycles(0), Cycles(100)).unwrap();
+        assert!(t.take_whole_at(5));
+    }
+
+    #[test]
+    fn release_all_returns_everything_unused() {
+        let mut buddy = BuddyAllocator::new(4096);
+        let mut t = BookingTable::new();
+        t.book(&mut buddy, 0, Cycles(0), Cycles(1000)).unwrap();
+        t.book(&mut buddy, 2, Cycles(0), Cycles(1000)).unwrap();
+        t.take_frame(2 << 9);
+        t.release_all(&mut buddy);
+        assert!(t.is_empty());
+        assert_eq!(buddy.used_frames(), 1);
+        buddy.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,197 @@
+//! The huge bucket (paper §5).
+//!
+//! When a well-aligned huge page is freed by the guest, its guest-physical
+//! region is still backed by a host huge page — returning it to the buddy
+//! allocator would let small allocations splinter it, destroying the
+//! alignment that was expensive to build (the reused-VM problem, §6.3).
+//! The huge bucket intercepts such frees, holds the whole region for a
+//! grace period, and hands regions back *wholesale* to later huge
+//! allocations. Held regions are returned to the OS when they time out,
+//! when memory runs short, or when fragmentation pressure demands it.
+
+use gemini_buddy::BuddyAllocator;
+use gemini_sim_core::{Cycles, HUGE_PAGE_ORDER};
+use std::collections::VecDeque;
+
+/// FIFO of freed, still-aligned huge regions.
+#[derive(Debug, Default)]
+pub struct HugeBucket {
+    /// (huge-frame, time the region entered the bucket), oldest first.
+    entries: VecDeque<(u64, Cycles)>,
+    /// Regions handed back to allocations (stats: the paper's 88 % reuse).
+    pub reused_total: u64,
+    /// Regions accepted into the bucket (stats).
+    pub offered_total: u64,
+    /// Regions returned to the OS unreused (stats).
+    pub released_total: u64,
+}
+
+impl HugeBucket {
+    /// Creates an empty bucket.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of regions currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no regions are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Accepts a freed well-aligned region into the bucket.
+    pub fn offer(&mut self, huge_frame: u64, now: Cycles) {
+        self.entries.push_back((huge_frame, now));
+        self.offered_total += 1;
+    }
+
+    /// Hands out the oldest held region for a huge allocation.
+    pub fn take(&mut self) -> Option<u64> {
+        let (hf, _) = self.entries.pop_front()?;
+        self.reused_total += 1;
+        Some(hf)
+    }
+
+    /// Hands out a specific held region, if present.
+    pub fn take_at(&mut self, huge_frame: u64) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&(hf, _)| hf == huge_frame) {
+            self.entries.remove(pos);
+            self.reused_total += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when `huge_frame` is currently held.
+    pub fn contains(&self, huge_frame: u64) -> bool {
+        self.entries.iter().any(|&(hf, _)| hf == huge_frame)
+    }
+
+    /// Returns regions held longer than `hold` to `buddy`.
+    pub fn expire(&mut self, buddy: &mut BuddyAllocator, now: Cycles, hold: Cycles) -> usize {
+        let mut released = 0;
+        while let Some(&(hf, t)) = self.entries.front() {
+            if now.saturating_sub(t) < hold {
+                break;
+            }
+            self.entries.pop_front();
+            buddy
+                .free(hf << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER)
+                .expect("bucket owned this region");
+            released += 1;
+        }
+        self.released_total += released as u64;
+        released as usize
+    }
+
+    /// Returns up to `count` regions immediately (memory-pressure or
+    /// fragmentation path: "Gemini also returns some well-aligned huge
+    /// pages when memory becomes scarce or fragmentation becomes severe").
+    pub fn release(&mut self, buddy: &mut BuddyAllocator, count: usize) -> usize {
+        let mut released = 0;
+        for _ in 0..count {
+            let Some((hf, _)) = self.entries.pop_front() else {
+                break;
+            };
+            buddy
+                .free(hf << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER)
+                .expect("bucket owned this region");
+            released += 1;
+        }
+        self.released_total += released as u64;
+        released
+    }
+
+    /// Fraction of offered regions that were reused (0 when none offered).
+    pub fn reuse_rate(&self) -> f64 {
+        if self.offered_total == 0 {
+            0.0
+        } else {
+            self.reused_total as f64 / self.offered_total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_take_order() {
+        let mut b = HugeBucket::new();
+        b.offer(5, Cycles(0));
+        b.offer(9, Cycles(1));
+        assert_eq!(b.len(), 2);
+        assert!(b.contains(5));
+        assert_eq!(b.take(), Some(5));
+        assert_eq!(b.take(), Some(9));
+        assert_eq!(b.take(), None);
+        assert_eq!(b.reused_total, 2);
+        assert_eq!(b.reuse_rate(), 1.0);
+    }
+
+    #[test]
+    fn take_at_specific_region() {
+        let mut b = HugeBucket::new();
+        b.offer(1, Cycles(0));
+        b.offer(2, Cycles(0));
+        assert!(b.take_at(2));
+        assert!(!b.take_at(2));
+        assert_eq!(b.take(), Some(1));
+    }
+
+    #[test]
+    fn expire_respects_hold_time() {
+        // The bucket owns regions carved from this buddy.
+        let mut buddy = BuddyAllocator::new(4096);
+        buddy.alloc_at(0, HUGE_PAGE_ORDER).unwrap();
+        buddy.alloc_at(512, HUGE_PAGE_ORDER).unwrap();
+        let mut b = HugeBucket::new();
+        b.offer(0, Cycles(0));
+        b.offer(1, Cycles(50));
+        assert_eq!(b.expire(&mut buddy, Cycles(99), Cycles(100)), 0);
+        assert_eq!(b.expire(&mut buddy, Cycles(100), Cycles(100)), 1);
+        assert!(buddy.is_frame_free(0));
+        assert!(!buddy.is_frame_free(512));
+        assert_eq!(b.expire(&mut buddy, Cycles(150), Cycles(100)), 1);
+        assert_eq!(b.released_total, 2);
+        buddy.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pressure_release_returns_oldest_first() {
+        let mut buddy = BuddyAllocator::new(4096);
+        for hf in 0..3 {
+            buddy.alloc_at(hf << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER).unwrap();
+        }
+        let mut b = HugeBucket::new();
+        for hf in 0..3 {
+            b.offer(hf, Cycles(hf));
+        }
+        assert_eq!(b.release(&mut buddy, 2), 2);
+        assert!(buddy.is_frame_free(0));
+        assert!(buddy.is_frame_free(512));
+        assert!(!buddy.is_frame_free(1024));
+        assert_eq!(b.len(), 1);
+        // Releasing more than held is safe.
+        assert_eq!(b.release(&mut buddy, 10), 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn reuse_rate_counts_only_reuses() {
+        let mut buddy = BuddyAllocator::new(2048);
+        buddy.alloc_at(0, HUGE_PAGE_ORDER).unwrap();
+        buddy.alloc_at(512, HUGE_PAGE_ORDER).unwrap();
+        let mut b = HugeBucket::new();
+        b.offer(0, Cycles(0));
+        b.offer(1, Cycles(0));
+        b.take();
+        b.release(&mut buddy, 1);
+        assert!((b.reuse_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,226 @@
+//! EMA — the enhanced memory allocator's offset descriptors (paper §4.2,
+//! §5).
+//!
+//! EMA's job is to place demand-paged memory so that guest-virtual,
+//! guest-physical (and, at the host layer, host-physical) addresses stay
+//! congruent modulo the huge page size: upon the first fault in a VMA it
+//! picks a physical region — preferring regions *booked* under mis-aligned
+//! huge pages — records `offset = VA_start − PA_start`, and every later
+//! fault in the VMA is directed to `fault_address − offset`, enabling
+//! in-place promotion.
+//!
+//! The prototype keys descriptors by VMA ("the number of offset
+//! descriptors for huge-page-sized regions can be huge") and keeps them in
+//! a **self-organizing linear search list** (move-to-front) to make the
+//! common repeated-VMA lookup O(1). The **sub-VMA** mechanism handles
+//! targets that become unavailable (VMA expansion, target already
+//! allocated): the remainder of the VMA gets a fresh descriptor with a new
+//! offset, while already-placed prefixes keep theirs.
+
+use gemini_sim_core::PAGES_PER_HUGE_PAGE;
+
+/// One offset descriptor: a sub-range of a VMA and its placement offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OffsetDescriptor {
+    /// Extent key (VMA id at the guest layer; VM id at the host layer).
+    pub key: u64,
+    /// First input frame this descriptor covers.
+    pub start: u64,
+    /// Number of input frames covered.
+    pub len: u64,
+    /// `input_frame − output_frame`, a multiple of 512 so regions stay
+    /// congruent.
+    pub offset: i64,
+}
+
+impl OffsetDescriptor {
+    /// True when `frame` falls inside this descriptor's sub-range.
+    pub fn covers(&self, key: u64, frame: u64) -> bool {
+        self.key == key && frame >= self.start && frame < self.start + self.len
+    }
+
+    /// Output frame for an input frame (caller must check `covers`).
+    pub fn target(&self, frame: u64) -> u64 {
+        (frame as i64 - self.offset) as u64
+    }
+}
+
+/// Self-organizing (move-to-front) linear list of offset descriptors.
+#[derive(Debug, Clone, Default)]
+pub struct EmaList {
+    items: Vec<OffsetDescriptor>,
+    /// Lookups served (stats).
+    pub hits: u64,
+    /// Lookups that found nothing (stats).
+    pub misses: u64,
+}
+
+impl EmaList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of descriptors.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Finds the descriptor covering `(key, frame)`, moving it to the
+    /// front of the list (the self-organizing step).
+    pub fn find(&mut self, key: u64, frame: u64) -> Option<&OffsetDescriptor> {
+        match self.items.iter().position(|d| d.covers(key, frame)) {
+            Some(pos) => {
+                self.hits += 1;
+                if pos != 0 {
+                    let d = self.items.remove(pos);
+                    self.items.insert(0, d);
+                }
+                self.items.first()
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a descriptor at the front, truncating any existing
+    /// descriptor of the same key that overlaps its range (the sub-VMA
+    /// split: the new descriptor owns the tail).
+    pub fn insert(&mut self, desc: OffsetDescriptor) {
+        for d in &mut self.items {
+            if d.key == desc.key && d.start < desc.start + desc.len && desc.start < d.start + d.len
+            {
+                // Keep only the prefix of the old descriptor before the
+                // new range (placed pages keep their established offset).
+                if d.start < desc.start {
+                    d.len = desc.start - d.start;
+                } else {
+                    d.len = 0;
+                }
+            }
+        }
+        self.items.retain(|d| d.len > 0);
+        self.items.insert(0, desc);
+    }
+
+    /// Drops all descriptors of `key` (VMA unmapped).
+    pub fn remove_key(&mut self, key: u64) {
+        self.items.retain(|d| d.key != key);
+    }
+}
+
+/// Computes a huge-page-congruent offset: the first output frame ≥
+/// `out_min` such that `in0 − out` is a multiple of 512.
+///
+/// This is the `GuestOffset = GVA1 − GPA1` arithmetic of Figure 5: since
+/// both `in0` and the chosen output region start are region-aligned (or
+/// congruent), every later placement preserves the in-region offset, which
+/// is exactly the precondition of in-place promotion.
+pub fn congruent_offset(in0: u64, out_min: u64) -> i64 {
+    let want = in0 % PAGES_PER_HUGE_PAGE;
+    let base = out_min - (out_min % PAGES_PER_HUGE_PAGE);
+    let mut out = base + want;
+    if out < out_min {
+        out += PAGES_PER_HUGE_PAGE;
+    }
+    in0 as i64 - out as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_covers_and_targets() {
+        let d = OffsetDescriptor {
+            key: 7,
+            start: 1024,
+            len: 512,
+            offset: 512,
+        };
+        assert!(d.covers(7, 1024));
+        assert!(d.covers(7, 1535));
+        assert!(!d.covers(7, 1536));
+        assert!(!d.covers(8, 1024));
+        assert_eq!(d.target(1024), 512);
+        assert_eq!(d.target(1100), 588);
+    }
+
+    #[test]
+    fn move_to_front_on_hit() {
+        let mut l = EmaList::new();
+        l.insert(OffsetDescriptor { key: 1, start: 0, len: 512, offset: 0 });
+        l.insert(OffsetDescriptor { key: 2, start: 0, len: 512, offset: 0 });
+        // Key 2 is at front now; find key 1 moves it to front.
+        assert!(l.find(1, 5).is_some());
+        assert_eq!(l.items[0].key, 1);
+        assert_eq!(l.hits, 1);
+        assert!(l.find(3, 0).is_none());
+        assert_eq!(l.misses, 1);
+    }
+
+    #[test]
+    fn sub_vma_insert_truncates_overlap() {
+        let mut l = EmaList::new();
+        // Original descriptor covers the whole VMA [0, 2048).
+        l.insert(OffsetDescriptor { key: 1, start: 0, len: 2048, offset: 0 });
+        // Sub-VMA: the tail [1024, 2048) gets a new offset.
+        l.insert(OffsetDescriptor { key: 1, start: 1024, len: 1024, offset: -512 });
+        assert_eq!(l.len(), 2);
+        // Prefix keeps the old offset, tail uses the new one.
+        assert_eq!(l.find(1, 100).unwrap().offset, 0);
+        assert_eq!(l.find(1, 1500).unwrap().offset, -512);
+        // A third descriptor fully covering the first removes it.
+        l.insert(OffsetDescriptor { key: 1, start: 0, len: 1024, offset: 99 });
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.find(1, 100).unwrap().offset, 99);
+    }
+
+    #[test]
+    fn overlap_truncation_ignores_other_keys() {
+        let mut l = EmaList::new();
+        l.insert(OffsetDescriptor { key: 1, start: 0, len: 512, offset: 0 });
+        l.insert(OffsetDescriptor { key: 2, start: 0, len: 512, offset: 7 });
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.find(1, 0).unwrap().offset, 0);
+    }
+
+    #[test]
+    fn remove_key_drops_all_subranges() {
+        let mut l = EmaList::new();
+        l.insert(OffsetDescriptor { key: 1, start: 0, len: 512, offset: 0 });
+        l.insert(OffsetDescriptor { key: 1, start: 512, len: 512, offset: 5 });
+        l.insert(OffsetDescriptor { key: 2, start: 0, len: 512, offset: 0 });
+        l.remove_key(1);
+        assert_eq!(l.len(), 1);
+        assert!(l.find(1, 0).is_none());
+        assert!(l.find(2, 0).is_some());
+    }
+
+    #[test]
+    fn congruent_offset_preserves_region_offset() {
+        // in0 region-aligned, out_min unaligned.
+        let off = congruent_offset(1024, 700);
+        let out = (1024i64 - off) as u64;
+        assert!(out >= 700);
+        assert_eq!(out % 512, 1024 % 512);
+        // Placement for any frame keeps in-region congruence.
+        let frame = 1024 + 77;
+        let target = (frame as i64 - off) as u64;
+        assert_eq!(target % 512, frame % 512);
+        // Unaligned in0 works too.
+        let off2 = congruent_offset(1027, 512);
+        let out2 = (1027i64 - off2) as u64;
+        assert!(out2 >= 512);
+        assert_eq!(out2 % 512, 1027 % 512);
+        // Exact boundary case: out_min already congruent.
+        assert_eq!(congruent_offset(512, 512), 0);
+    }
+}

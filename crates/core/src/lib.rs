@@ -1,0 +1,78 @@
+//! Gemini: making dynamic page coalescing effective on virtualized clouds.
+//!
+//! This crate implements the paper's contribution (EuroSys '23): a
+//! cross-layer system that turns *mis-aligned* huge pages — huge pages
+//! formed at only one of the two translation layers — into *well-aligned*
+//! huge pages, which are the only ones that actually reduce address
+//! translation overhead under nested paging.
+//!
+//! The components mirror Figure 4 of the paper:
+//!
+//! - [`mhps`] — the **misaligned huge page scanner**, which periodically
+//!   scans guest process page tables and VM (EPT) tables, labels every
+//!   huge page with its layer, guest physical address and VM id, and
+//!   classifies mis-aligned pages into *type-1* (no base pages mapped at
+//!   the other layer) and *type-2* (some base pages mapped, promotion
+//!   needs migration).
+//! - [`booking`] — **huge booking**: temporary reservation of the
+//!   huge-page-sized memory region corresponding to a type-1 mis-aligned
+//!   huge page, so that only huge allocations or contiguous base
+//!   allocations can use it.
+//! - [`timeout`] — **Algorithm 1**, the booking-timeout controller that
+//!   nudges the timeout ±10 % and keeps changes that reduce TLB misses
+//!   without increasing memory fragmentation.
+//! - [`ema`] — the **enhanced memory allocator**: per-VMA offset
+//!   descriptors in a self-organizing (move-to-front) list, sub-VMA
+//!   splitting when a target becomes unavailable, and huge-page-congruent
+//!   placement so promotions are in-place.
+//! - [`bucket`] — the **huge bucket**: freed well-aligned huge regions are
+//!   held for a grace period and handed back wholesale to later huge
+//!   allocations (the reused-VM win), returned to the OS on pressure.
+//! - [`policy`] — [`GeminiPolicy`], the per-layer [`gemini_mm::HugePolicy`]
+//!   that combines the above (the fault path, the preallocation-driven
+//!   fill-then-promote, and the type-2 promoter MHPP).
+//! - [`runtime`] — [`GeminiRuntime`], the host-resident coordinator that
+//!   runs MHPS, publishes scan results to both layers' policies through
+//!   [`shared::GeminiShared`], and drives the timeout controller from TLB
+//!   and fragmentation telemetry.
+
+//! # Examples
+//!
+//! The scanner and shared state alone demonstrate the cross-layer flow:
+//!
+//! ```
+//! use gemini::mhps::scan_vm;
+//! use gemini_page_table::AddressSpace;
+//! use gemini_sim_core::VmId;
+//!
+//! let mut guest = AddressSpace::new();
+//! let mut ept = AddressSpace::new();
+//! // The guest formed a huge page at GPA region 7; the EPT has nothing
+//! // there yet: a type-1 mis-aligned guest huge page the host can fix by
+//! // backing region 7 with a (reserved) host huge page.
+//! guest.map_huge(0, 7)?;
+//! let scan = scan_vm(VmId(1), &guest, &ept);
+//! assert_eq!(scan.guest_type1, vec![7]);
+//! ept.map_huge(7, 3)?;
+//! let scan = scan_vm(VmId(1), &guest, &ept);
+//! assert!(scan.aligned_regions.contains(&7));
+//! # Ok::<(), gemini_sim_core::SimError>(())
+//! ```
+
+pub mod booking;
+pub mod bucket;
+pub mod ema;
+pub mod mhps;
+pub mod policy;
+pub mod runtime;
+pub mod shared;
+pub mod timeout;
+
+pub use booking::BookingTable;
+pub use bucket::HugeBucket;
+pub use ema::{EmaList, OffsetDescriptor};
+pub use mhps::{scan_vm, MisalignedType, VmScan};
+pub use policy::GeminiPolicy;
+pub use runtime::GeminiRuntime;
+pub use shared::{GeminiShared, GeminiState};
+pub use timeout::TimeoutController;

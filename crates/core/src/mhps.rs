@@ -1,0 +1,208 @@
+//! MHPS — the misaligned huge page scanner (paper §4, Figure 4).
+//!
+//! MHPS runs at the host. It periodically scans the page tables of guest
+//! processes (for huge pages formed in the guest) and the VM page tables
+//! (for huge pages formed in the host), labels each huge page with its
+//! layer, guest physical address and VM id, and identifies the mis-aligned
+//! ones by comparing labels. Mis-aligned pages are classified:
+//!
+//! - **type-1**: no base pages are mapped at the other layer in the
+//!   corresponding region — a new huge page (or contiguous base pages) can
+//!   be placed there directly, so the region is worth *booking*;
+//! - **type-2**: base pages already occupy the region at the other layer
+//!   and cannot be promoted without migration — the *promoter* (MHPP)
+//!   steers the existing page-coalescing machinery at them first.
+
+use gemini_page_table::AddressSpace;
+use gemini_sim_core::{VmId, HUGE_PAGE_ORDER};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Classification of a mis-aligned huge page (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MisalignedType {
+    /// No base pages mapped at the other layer: fixable by placement.
+    Type1,
+    /// Base pages present at the other layer: fixable only by promotion
+    /// (with migration).
+    Type2,
+}
+
+/// Result of scanning one VM's two page-table layers.
+#[derive(Debug, Clone, Default)]
+pub struct VmScan {
+    /// GPA regions of **host** huge pages with no guest mapping at all
+    /// (type-1): the guest should book these.
+    pub host_type1: Vec<u64>,
+    /// GPA regions of **host** huge pages partially covered by guest base
+    /// pages (type-2), with the GVA regions whose base pages map into
+    /// them — the guest promoter's priority queue.
+    pub host_type2: Vec<(u64, Vec<u64>)>,
+    /// GPA regions of **guest** huge pages with an entirely empty EPT
+    /// region (type-1): the host should book/back these huge.
+    pub guest_type1: Vec<u64>,
+    /// GPA regions of **guest** huge pages whose EPT region is partially
+    /// base-backed (type-2): the host promoter's priority queue.
+    pub guest_type2: Vec<u64>,
+    /// All GPA regions currently mapped huge by the guest (the host fault
+    /// path prefers huge backing for these).
+    pub guest_huge_regions: BTreeSet<u64>,
+    /// GPA regions that are well-aligned right now (guest huge backed by
+    /// host huge) — the bucket intercepts frees of these.
+    pub aligned_regions: BTreeSet<u64>,
+}
+
+impl VmScan {
+    /// Number of mis-aligned huge pages found, across layers and types.
+    pub fn misaligned_total(&self) -> usize {
+        self.host_type1.len() + self.host_type2.len() + self.guest_type1.len()
+            + self.guest_type2.len()
+    }
+}
+
+/// Scans one VM: `guest` is its process page table (GVA → GPA frames) and
+/// `ept` its VM page table (GPA → HPA frames).
+///
+/// The scan is read-only and linear in the number of mapped regions, like
+/// the kernel thread (`kgeminid`) of the prototype. `_vm` is carried for
+/// symmetry with the prototype's labeling; the caller keys the result by
+/// VM id.
+pub fn scan_vm(_vm: VmId, guest: &AddressSpace, ept: &AddressSpace) -> VmScan {
+    let mut scan = VmScan::default();
+
+    // Pass 1: guest base pages, bucketed by the GPA region they map into
+    // (the reverse map MHPS needs for type-2 host pages).
+    let mut base_by_gpa_region: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    for (gva_frame, gpa_frame) in guest.iter_base() {
+        base_by_gpa_region
+            .entry(gpa_frame >> HUGE_PAGE_ORDER)
+            .or_default()
+            .insert(gva_frame >> HUGE_PAGE_ORDER);
+    }
+
+    // Pass 2: guest huge pages → which GPA regions the guest maps huge,
+    // and their alignment status against the EPT.
+    for (_gva_region, gpa_region) in guest.iter_huge() {
+        scan.guest_huge_regions.insert(gpa_region);
+        if ept.huge_leaf(gpa_region).is_some() {
+            scan.aligned_regions.insert(gpa_region);
+        } else {
+            let pop = ept.region_population(gpa_region);
+            if pop.present == 0 {
+                scan.guest_type1.push(gpa_region);
+            } else {
+                scan.guest_type2.push(gpa_region);
+            }
+        }
+    }
+
+    // Pass 3: host huge pages (EPT huge leaves) not matched by a guest
+    // huge page.
+    for (gpa_region, _hpa_huge) in ept.iter_huge() {
+        if scan.guest_huge_regions.contains(&gpa_region) {
+            continue;
+        }
+        match base_by_gpa_region.get(&gpa_region) {
+            None => scan.host_type1.push(gpa_region),
+            Some(gva_regions) => scan
+                .host_type2
+                .push((gpa_region, gva_regions.iter().copied().collect())),
+        }
+    }
+
+    scan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VM: VmId = VmId(1);
+
+    #[test]
+    fn aligned_pages_are_not_reported() {
+        let mut guest = AddressSpace::new();
+        let mut ept = AddressSpace::new();
+        guest.map_huge(0, 4).unwrap();
+        ept.map_huge(4, 9).unwrap();
+        let s = scan_vm(VM, &guest, &ept);
+        assert_eq!(s.misaligned_total(), 0);
+        assert!(s.aligned_regions.contains(&4));
+        assert!(s.guest_huge_regions.contains(&4));
+    }
+
+    #[test]
+    fn host_huge_with_no_guest_mapping_is_type1() {
+        let guest = AddressSpace::new();
+        let mut ept = AddressSpace::new();
+        ept.map_huge(7, 0).unwrap();
+        let s = scan_vm(VM, &guest, &ept);
+        assert_eq!(s.host_type1, vec![7]);
+        assert!(s.host_type2.is_empty());
+    }
+
+    #[test]
+    fn host_huge_with_guest_base_pages_is_type2_with_reverse_map() {
+        let mut guest = AddressSpace::new();
+        let mut ept = AddressSpace::new();
+        ept.map_huge(7, 0).unwrap();
+        // Guest base pages from two different GVA regions map into GPA
+        // region 7.
+        guest.map_base(3, 7 * 512 + 8).unwrap(); // GVA region 0.
+        guest.map_base(512 + 4, 7 * 512 + 9).unwrap(); // GVA region 1.
+        let s = scan_vm(VM, &guest, &ept);
+        assert!(s.host_type1.is_empty());
+        assert_eq!(s.host_type2, vec![(7, vec![0, 1])]);
+    }
+
+    #[test]
+    fn guest_huge_with_empty_ept_region_is_type1() {
+        let mut guest = AddressSpace::new();
+        let ept = AddressSpace::new();
+        guest.map_huge(2, 5).unwrap();
+        let s = scan_vm(VM, &guest, &ept);
+        assert_eq!(s.guest_type1, vec![5]);
+        assert!(s.guest_type2.is_empty());
+    }
+
+    #[test]
+    fn guest_huge_with_partial_ept_backing_is_type2() {
+        let mut guest = AddressSpace::new();
+        let mut ept = AddressSpace::new();
+        guest.map_huge(2, 5).unwrap();
+        ept.map_base(5 * 512 + 100, 77).unwrap();
+        let s = scan_vm(VM, &guest, &ept);
+        assert!(s.guest_type1.is_empty());
+        assert_eq!(s.guest_type2, vec![5]);
+    }
+
+    #[test]
+    fn mixed_scene_is_fully_classified() {
+        let mut guest = AddressSpace::new();
+        let mut ept = AddressSpace::new();
+        // Aligned pair at GPA region 1.
+        guest.map_huge(0, 1).unwrap();
+        ept.map_huge(1, 1).unwrap();
+        // Guest huge, EPT empty at GPA region 2 (guest type-1).
+        guest.map_huge(1, 2).unwrap();
+        // Host huge at GPA region 3, untouched by the guest (host type-1).
+        ept.map_huge(3, 3).unwrap();
+        // Host huge at GPA region 4, guest base pages inside (host type-2).
+        ept.map_huge(4, 4).unwrap();
+        guest.map_base(2 * 512, 4 * 512).unwrap();
+        let s = scan_vm(VM, &guest, &ept);
+        assert_eq!(s.guest_type1, vec![2]);
+        assert_eq!(s.host_type1, vec![3]);
+        assert_eq!(s.host_type2.len(), 1);
+        assert_eq!(s.host_type2[0].0, 4);
+        assert_eq!(s.aligned_regions.len(), 1);
+        assert_eq!(s.misaligned_total(), 3);
+    }
+
+    #[test]
+    fn empty_tables_scan_clean() {
+        let s = scan_vm(VM, &AddressSpace::new(), &AddressSpace::new());
+        assert_eq!(s.misaligned_total(), 0);
+        assert!(s.guest_huge_regions.is_empty());
+        assert!(s.aligned_regions.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! [`GeminiRuntime`] — the host-resident coordinator (the prototype's
+//! `kgeminid` kernel thread).
+//!
+//! Periodically:
+//!
+//! 1. runs MHPS over every VM's two page-table layers and publishes the
+//!    per-VM scan results into [`GeminiShared`], making each layer aware
+//!    of the mis-aligned huge pages formed at the other layer;
+//! 2. feeds TLB-miss and fragmentation telemetry into the Algorithm 1
+//!    [`TimeoutController`] and publishes the adjusted booking timeout.
+
+use crate::mhps::scan_vm;
+use crate::shared::GeminiShared;
+use crate::timeout::TimeoutController;
+use gemini_page_table::AddressSpace;
+use gemini_sim_core::{Cycles, VmId};
+
+/// The scan-and-adjust coordinator.
+#[derive(Debug)]
+pub struct GeminiRuntime {
+    shared: GeminiShared,
+    controller: TimeoutController,
+    /// How often MHPS scans.
+    pub scan_period: Cycles,
+    /// How often the timeout controller samples (Algorithm 1's `P`).
+    pub adjust_period: Cycles,
+    next_scan: Cycles,
+    next_adjust: Cycles,
+    /// TLB-miss counter value at the last adjustment.
+    last_tlb_misses: u64,
+    /// Completed scans (stats).
+    pub scans_done: u64,
+    /// When false, Algorithm 1 is frozen and the published timeout stays
+    /// fixed (the fixed-vs-adaptive ablation).
+    pub adaptive: bool,
+}
+
+impl GeminiRuntime {
+    /// Creates a runtime publishing into `shared`.
+    pub fn new(shared: GeminiShared) -> Self {
+        let initial = shared.borrow().booking_timeout;
+        Self {
+            shared,
+            controller: TimeoutController::new(initial),
+            scan_period: Cycles::from_millis(2.0),
+            adjust_period: Cycles::from_millis(20.0),
+            next_scan: Cycles::ZERO,
+            next_adjust: Cycles::from_millis(20.0),
+            last_tlb_misses: 0,
+            scans_done: 0,
+            adaptive: true,
+        }
+    }
+
+    /// The current booking timeout (for tests/telemetry).
+    pub fn booking_timeout(&self) -> Cycles {
+        self.controller.effective()
+    }
+
+    /// Runs due work at time `now`. `tables` provides, per VM, the guest
+    /// process table and the EPT; `tlb_misses` is the machine-wide
+    /// cumulative TLB-miss counter and `fmfi` the current host
+    /// fragmentation index.
+    ///
+    /// Returns the cycle cost of the scan work performed (charged to the
+    /// background, not the workload).
+    pub fn tick(
+        &mut self,
+        now: Cycles,
+        tables: &[(VmId, &AddressSpace, &AddressSpace)],
+        tlb_misses: u64,
+        fmfi: f64,
+    ) -> Cycles {
+        let mut cost = Cycles::ZERO;
+        if now >= self.next_scan {
+            for &(vm, guest, ept) in tables {
+                let scan = scan_vm(vm, guest, ept);
+                // Scan cost is linear in mapped regions.
+                let regions = guest.huge_mapped()
+                    + ept.huge_mapped()
+                    + guest.base_mapped() / 64
+                    + ept.base_mapped() / 64;
+                cost += Cycles(200 + regions * 20);
+                self.shared.borrow_mut().scans.insert(vm, scan);
+            }
+            self.scans_done += 1;
+            self.next_scan = now + self.scan_period;
+        }
+        if self.adaptive && now >= self.next_adjust {
+            let delta = tlb_misses.saturating_sub(self.last_tlb_misses);
+            self.last_tlb_misses = tlb_misses;
+            let new_timeout = self.controller.on_period(delta, fmfi);
+            self.shared.borrow_mut().booking_timeout = new_timeout;
+            self.next_adjust = now + self.adjust_period;
+            cost += Cycles(500);
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared::new_shared;
+    use std::rc::Rc;
+
+    #[test]
+    fn scan_publishes_results_per_vm() {
+        let shared = new_shared();
+        let mut rt = GeminiRuntime::new(Rc::clone(&shared));
+        let mut guest = AddressSpace::new();
+        let ept = AddressSpace::new();
+        guest.map_huge(0, 4).unwrap();
+        let cost = rt.tick(Cycles::ZERO, &[(VmId(1), &guest, &ept)], 0, 0.0);
+        assert!(cost > Cycles::ZERO);
+        let s = shared.borrow();
+        let scan = &s.scans[&VmId(1)];
+        assert_eq!(scan.guest_type1, vec![4]);
+        assert_eq!(rt.scans_done, 1);
+    }
+
+    #[test]
+    fn scan_respects_period() {
+        let shared = new_shared();
+        let mut rt = GeminiRuntime::new(Rc::clone(&shared));
+        let guest = AddressSpace::new();
+        let ept = AddressSpace::new();
+        rt.tick(Cycles::ZERO, &[(VmId(1), &guest, &ept)], 0, 0.0);
+        // Immediately again: not due.
+        rt.tick(Cycles(1), &[(VmId(1), &guest, &ept)], 0, 0.0);
+        assert_eq!(rt.scans_done, 1);
+        rt.tick(rt.scan_period + Cycles(1), &[(VmId(1), &guest, &ept)], 0, 0.0);
+        assert_eq!(rt.scans_done, 2);
+    }
+
+    #[test]
+    fn timeout_adjustment_publishes_to_shared() {
+        let shared = new_shared();
+        let initial = shared.borrow().booking_timeout;
+        let mut rt = GeminiRuntime::new(Rc::clone(&shared));
+        let guest = AddressSpace::new();
+        let ept = AddressSpace::new();
+        // First adjustment period: baseline sample, probe up published.
+        rt.tick(rt.adjust_period, &[(VmId(1), &guest, &ept)], 1000, 0.2);
+        let probed = shared.borrow().booking_timeout;
+        assert_eq!(probed, initial.scale(1.1));
+        // Second period with fewer misses: probe accepted.
+        rt.tick(
+            rt.adjust_period * 2 + Cycles(1),
+            &[(VmId(1), &guest, &ept)],
+            1500, // Cumulative: delta 500 < baseline delta 1000.
+            0.2,
+        );
+        assert_eq!(shared.borrow().booking_timeout, initial.scale(1.1));
+        assert_eq!(rt.booking_timeout(), initial.scale(1.1));
+    }
+}

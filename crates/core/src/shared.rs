@@ -1,0 +1,66 @@
+//! Shared state connecting MHPS, the two layers' policies and the timeout
+//! controller.
+//!
+//! In the prototype this is kernel state exported to guests ("Gemini makes
+//! each guest aware of the mis-aligned huge host pages mapped to it, by
+//! providing their guest physical addresses labeled with the VM id"). The
+//! simulator is single-threaded, so an `Rc<RefCell<_>>` models the channel.
+
+use crate::mhps::VmScan;
+use gemini_sim_core::{Cycles, VmId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// State shared between the Gemini components.
+#[derive(Debug, Default)]
+pub struct GeminiState {
+    /// Latest per-VM scan results from MHPS.
+    pub scans: HashMap<VmId, VmScan>,
+    /// Current effective booking timeout from Algorithm 1.
+    pub booking_timeout: Cycles,
+    /// How long the huge bucket holds freed well-aligned regions.
+    pub bucket_hold: Cycles,
+}
+
+impl GeminiState {
+    /// Creates the initial state with sensible defaults (booking timeout
+    /// starts at ~40 ms of CPU time; Algorithm 1 adapts it from there).
+    pub fn new() -> Self {
+        Self {
+            scans: HashMap::new(),
+            booking_timeout: Cycles::from_millis(40.0),
+            bucket_hold: Cycles::from_millis(200.0),
+        }
+    }
+}
+
+/// Shared handle to [`GeminiState`].
+pub type GeminiShared = Rc<RefCell<GeminiState>>;
+
+/// Creates a fresh shared handle.
+pub fn new_shared() -> GeminiShared {
+    Rc::new(RefCell::new(GeminiState::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_state_is_visible_across_clones() {
+        let shared = new_shared();
+        let other = Rc::clone(&shared);
+        shared.borrow_mut().booking_timeout = Cycles(123);
+        assert_eq!(other.borrow().booking_timeout, Cycles(123));
+        other.borrow_mut().scans.insert(VmId(1), VmScan::default());
+        assert!(shared.borrow().scans.contains_key(&VmId(1)));
+    }
+
+    #[test]
+    fn defaults_are_positive() {
+        let s = GeminiState::new();
+        assert!(s.booking_timeout > Cycles::ZERO);
+        assert!(s.bucket_hold > s.booking_timeout);
+    }
+}

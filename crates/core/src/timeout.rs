@@ -1,0 +1,226 @@
+//! Algorithm 1 — booking-timeout adjustment.
+//!
+//! The booking timeout trades space for alignment: too long wastes memory
+//! and can raise fragmentation; too short forfeits alignment
+//! opportunities. The paper's Algorithm 1 probes ±10 % perturbations of
+//! the desired timeout, keeping a change only when the measured TLB misses
+//! *decreased* and memory fragmentation did *not increase* over an
+//! observation period. TLB misses come from hardware counters (`perf`) and
+//! fragmentation from the FMFI.
+//!
+//! [`TimeoutController`] is the sampled-feedback form of that loop: the
+//! runtime calls [`TimeoutController::on_period`] once per period `P` with
+//! that period's measurements, and applies the returned *effective*
+//! timeout to new bookings.
+
+use gemini_sim_core::Cycles;
+
+/// One period's measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Sample {
+    tlb_misses: u64,
+    fragmentation: f64,
+}
+
+/// Where the controller is in Algorithm 1's probe cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Measuring with `T_e = T_d` before probing upward.
+    Baseline,
+    /// Measuring with `T_e = T_d × 1.1`.
+    TestUp,
+    /// Re-measuring the baseline before probing downward (line 8).
+    ReBaseline,
+    /// Measuring with `T_e = T_d × 0.9`.
+    TestDown,
+}
+
+/// The adaptive booking-timeout controller (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct TimeoutController {
+    /// `T_d`, the desired timeout the probes perturb.
+    desired: Cycles,
+    /// `T_e`, the timeout actually applied to bookings this period.
+    effective: Cycles,
+    phase: Phase,
+    baseline: Option<Sample>,
+    /// Lower clamp for `T_d`.
+    pub min: Cycles,
+    /// Upper clamp for `T_d`.
+    pub max: Cycles,
+    /// Upward adjustments accepted (stats).
+    pub ups_accepted: u64,
+    /// Downward adjustments accepted (stats).
+    pub downs_accepted: u64,
+}
+
+impl TimeoutController {
+    /// Creates the controller with initial timeout `T_init`.
+    pub fn new(initial: Cycles) -> Self {
+        Self {
+            desired: initial,
+            effective: initial,
+            phase: Phase::Baseline,
+            baseline: None,
+            min: Cycles::from_millis(1.0),
+            max: Cycles::from_secs(1.0),
+            ups_accepted: 0,
+            downs_accepted: 0,
+        }
+    }
+
+    /// The timeout bookings should use right now.
+    pub fn effective(&self) -> Cycles {
+        self.effective
+    }
+
+    /// The current desired (converged) timeout `T_d`.
+    pub fn desired(&self) -> Cycles {
+        self.desired
+    }
+
+    /// Feeds the measurements of the period that just ended (taken under
+    /// the previously returned effective timeout) and returns the
+    /// effective timeout for the next period.
+    pub fn on_period(&mut self, tlb_misses: u64, fragmentation: f64) -> Cycles {
+        let sample = Sample {
+            tlb_misses,
+            fragmentation,
+        };
+        match self.phase {
+            Phase::Baseline => {
+                self.baseline = Some(sample);
+                self.effective = self.clamp(self.desired.scale(1.1));
+                self.phase = Phase::TestUp;
+            }
+            Phase::TestUp => {
+                if self.improved(sample) {
+                    self.desired = self.clamp(self.desired.scale(1.1));
+                    self.ups_accepted += 1;
+                    self.phase = Phase::Baseline;
+                } else {
+                    self.phase = Phase::ReBaseline;
+                }
+                self.effective = self.desired;
+            }
+            Phase::ReBaseline => {
+                self.baseline = Some(sample);
+                self.effective = self.clamp(self.desired.scale(0.9));
+                self.phase = Phase::TestDown;
+            }
+            Phase::TestDown => {
+                if self.improved(sample) {
+                    self.desired = self.clamp(self.desired.scale(0.9));
+                    self.downs_accepted += 1;
+                }
+                self.phase = Phase::Baseline;
+                self.effective = self.desired;
+            }
+        }
+        self.effective
+    }
+
+    /// `TestTimeout`'s acceptance rule: TLB misses decreased and memory
+    /// fragmentation did not increase.
+    fn improved(&self, sample: Sample) -> bool {
+        match self.baseline {
+            Some(base) => {
+                sample.tlb_misses < base.tlb_misses
+                    && sample.fragmentation <= base.fragmentation + 1e-9
+            }
+            None => false,
+        }
+    }
+
+    fn clamp(&self, t: Cycles) -> Cycles {
+        Cycles(t.0.clamp(self.min.0, self.max.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> TimeoutController {
+        let mut c = TimeoutController::new(Cycles(1_000_000));
+        // The tests use small round numbers below the production clamp.
+        c.min = Cycles(1);
+        c
+    }
+
+    #[test]
+    fn longer_timeout_that_helps_is_kept() {
+        let mut c = controller();
+        // Baseline period: 1000 misses.
+        let t1 = c.on_period(1000, 0.3);
+        assert_eq!(t1, Cycles(1_100_000), "probing +10%");
+        // Probe period: fewer misses, same fragmentation → accept.
+        let t2 = c.on_period(900, 0.3);
+        assert_eq!(t2, Cycles(1_100_000));
+        assert_eq!(c.desired(), Cycles(1_100_000));
+        assert_eq!(c.ups_accepted, 1);
+    }
+
+    #[test]
+    fn longer_timeout_that_fragments_is_rejected_then_down_probed() {
+        let mut c = controller();
+        c.on_period(1000, 0.3); // Baseline; probe up next.
+        // Probe up: misses improved but fragmentation rose → reject.
+        let t = c.on_period(900, 0.5);
+        assert_eq!(t, Cycles(1_000_000), "back to desired");
+        assert_eq!(c.ups_accepted, 0);
+        // Re-baseline period.
+        let t = c.on_period(1000, 0.3);
+        assert_eq!(t, Cycles(900_000), "probing -10%");
+        // Probe down helps → accept.
+        let t = c.on_period(950, 0.3);
+        assert_eq!(t, Cycles(900_000));
+        assert_eq!(c.downs_accepted, 1);
+    }
+
+    #[test]
+    fn no_improvement_either_way_leaves_timeout_stable() {
+        let mut c = controller();
+        for _ in 0..8 {
+            c.on_period(1000, 0.3);
+        }
+        assert_eq!(c.desired(), Cycles(1_000_000));
+        assert_eq!(c.ups_accepted + c.downs_accepted, 0);
+    }
+
+    #[test]
+    fn timeout_is_clamped() {
+        let mut c = TimeoutController::new(Cycles::from_millis(1.0));
+        c.min = Cycles(100);
+        c.max = Cycles(u64::MAX);
+        // Drive downward repeatedly with a sequence that always accepts
+        // the down-probe: up-probe must fail, down-probe must succeed.
+        let mut misses = 10_000u64;
+        for _ in 0..200 {
+            match (misses, c.phase) {
+                _ => {}
+            }
+            // Baseline.
+            c.on_period(misses, 0.2);
+            // Up probe: worse.
+            c.on_period(misses + 100, 0.2);
+            // Re-baseline.
+            c.on_period(misses, 0.2);
+            // Down probe: better.
+            c.on_period(misses - 50, 0.2);
+            misses = misses.saturating_sub(50).max(1000);
+        }
+        assert!(c.desired() >= c.min);
+        assert!(c.downs_accepted > 0);
+    }
+
+    #[test]
+    fn effective_tracks_probe_schedule() {
+        let mut c = controller();
+        assert_eq!(c.effective(), Cycles(1_000_000));
+        c.on_period(100, 0.1);
+        assert_eq!(c.effective(), Cycles(1_100_000));
+        c.on_period(200, 0.1); // Worse: reject, restore.
+        assert_eq!(c.effective(), Cycles(1_000_000));
+    }
+}

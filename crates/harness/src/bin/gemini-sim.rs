@@ -1,0 +1,197 @@
+//! `gemini-sim` — command-line driver for the simulator.
+//!
+//! ```text
+//! gemini-sim list
+//! gemini-sim run     --system GEMINI --workload Redis [--fragmented] [--reused]
+//! gemini-sim compare --workload Redis [--fragmented] [--reused]
+//!
+//! common flags:
+//!   --scale quick|demo|bench|full   (default demo)
+//!   --ops <n>                       operations per run
+//!   --seed <n>                      run seed
+//! ```
+
+use gemini_harness::report::Table;
+use gemini_harness::runner::{run_workload_on, run_workload_reused};
+use gemini_harness::Scale;
+use gemini_vm_sim::{RunResult, SystemKind};
+use gemini_workloads::{catalog, non_tlb_sensitive, spec_by_name};
+use std::process::ExitCode;
+
+/// Parsed command-line options.
+struct Opts {
+    command: String,
+    system: Option<String>,
+    workload: Option<String>,
+    scale: Scale,
+    fragmented: bool,
+    reused: bool,
+    seed: u64,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gemini-sim <list|run|compare> [--system NAME] [--workload NAME]\n\
+         \x20                [--scale quick|demo|bench|full] [--ops N] [--seed N]\n\
+         \x20                [--fragmented] [--reused]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        command: args.first().cloned().ok_or("missing command")?,
+        system: None,
+        workload: None,
+        scale: Scale::demo(),
+        fragmented: false,
+        reused: false,
+        seed: 42,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--system" => opts.system = Some(take(&mut i)?),
+            "--workload" => opts.workload = Some(take(&mut i)?),
+            "--ops" => opts.scale.ops = take(&mut i)?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--seed" => opts.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--scale" => {
+                opts.scale = match take(&mut i)?.as_str() {
+                    "quick" => Scale::quick(),
+                    "demo" => Scale::demo(),
+                    "bench" => Scale::bench(),
+                    "full" => Scale::full(),
+                    other => return Err(format!("unknown scale '{other}'")),
+                }
+            }
+            "--fragmented" => opts.fragmented = true,
+            "--reused" => opts.reused = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn system_by_label(label: &str) -> Option<SystemKind> {
+    SystemKind::evaluated()
+        .into_iter()
+        .find(|s| s.label().eq_ignore_ascii_case(label))
+        .or(match label.to_ascii_lowercase().as_str() {
+            "gemini" => Some(SystemKind::Gemini),
+            "thp" => Some(SystemKind::Thp),
+            "base" | "host-b-vm-b" => Some(SystemKind::HostBVmB),
+            _ => None,
+        })
+}
+
+fn result_row(r: &RunResult) -> Vec<String> {
+    vec![
+        r.system.to_string(),
+        format!("{:.0}", r.throughput()),
+        format!("{:.1}", r.mean_latency.as_micros_f64()),
+        format!("{:.1}", r.p99_latency.as_micros_f64()),
+        r.tlb_misses().to_string(),
+        format!("{:.0}%", r.aligned_rate() * 100.0),
+        format!("{:.0}%", r.bucket_reuse_rate * 100.0),
+    ]
+}
+
+fn cmd_list() -> ExitCode {
+    println!("workloads (Table 2):");
+    for s in catalog() {
+        println!(
+            "  {:<14} {:>4} MiB  {}",
+            s.name,
+            s.working_set >> 20,
+            if s.latency_tracked { "latency-tracked" } else { "throughput" }
+        );
+    }
+    println!("non-TLB-sensitive (overhead study):");
+    for s in non_tlb_sensitive() {
+        println!("  {:<14} {:>4} MiB", s.name, s.working_set >> 20);
+    }
+    println!("systems:");
+    for s in SystemKind::evaluated() {
+        println!("  {}", s.label());
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_one(system: SystemKind, opts: &Opts) -> Result<RunResult, String> {
+    let name = opts.workload.as_deref().unwrap_or("Redis");
+    let spec = spec_by_name(name).ok_or_else(|| format!("unknown workload '{name}'"))?;
+    let r = if opts.reused {
+        run_workload_reused(system, &spec, &opts.scale, opts.seed)
+    } else {
+        run_workload_on(system, &spec, &opts.scale, opts.fragmented, opts.seed)
+    };
+    r.map_err(|e| format!("simulation failed: {e}"))
+}
+
+fn headers() -> [&'static str; 7] {
+    ["system", "ops/s", "mean µs", "p99 µs", "TLB misses", "aligned", "bucket"]
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let label = opts.system.as_deref().unwrap_or("GEMINI");
+    let system = system_by_label(label).ok_or_else(|| format!("unknown system '{label}'"))?;
+    let r = run_one(system, opts)?;
+    let mut t = Table::new(
+        format!("{} on {}{}", r.system, r.workload, scenario_suffix(opts)),
+        &headers(),
+    );
+    t.row(result_row(&r));
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_compare(opts: &Opts) -> Result<(), String> {
+    let name = opts.workload.as_deref().unwrap_or("Redis");
+    let mut t = Table::new(
+        format!("all systems on {name}{}", scenario_suffix(opts)),
+        &headers(),
+    );
+    for system in SystemKind::evaluated() {
+        let r = run_one(system, opts)?;
+        t.row(result_row(&r));
+    }
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn scenario_suffix(opts: &Opts) -> String {
+    match (opts.reused, opts.fragmented) {
+        (true, _) => " (reused VM)".into(),
+        (false, true) => " (fragmented)".into(),
+        (false, false) => " (clean slate)".into(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let result = match opts.command.as_str() {
+        "list" => return cmd_list(),
+        "run" => cmd_run(&opts),
+        "compare" => cmd_compare(&opts),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Design-choice ablations beyond the paper's figures.
+//!
+//! DESIGN.md calls these out: the adaptive booking timeout (Algorithm 1)
+//! versus fixed timeouts, and the huge-preallocation threshold (the paper
+//! selected 256 experimentally). Each ablation runs a churny workload on
+//! fragmented memory — the regime where the knobs matter.
+
+use crate::report::{fmt_pct, fmt_ratio, Table};
+use crate::scale::Scale;
+use gemini_sim_core::{Cycles, Result};
+use gemini_vm_sim::{Machine, MachineConfig, RunResult, SystemKind};
+use gemini_workloads::{spec_by_name, WorkloadGen};
+
+fn run_with(cfg: MachineConfig, scale: &Scale, workload: &str, seed: u64) -> Result<RunResult> {
+    let spec = spec_by_name(workload).expect("ablation workload in catalog");
+    let mut m = Machine::new(SystemKind::Gemini, cfg);
+    let vm = m.add_vm();
+    m.run(vm, WorkloadGen::new(spec.scaled(scale.ws_factor), scale.ops, seed))
+}
+
+/// Timeout ablation results: label → run.
+#[derive(Debug)]
+pub struct TimeoutAblation {
+    /// (label, result) per variant; "adaptive" first.
+    pub variants: Vec<(String, RunResult)>,
+}
+
+/// Compares Algorithm 1's adaptive timeout against fixed settings.
+pub fn run_timeout(scale: &Scale, workload: &str) -> Result<TimeoutAblation> {
+    let seed = scale.seed_for("abl-timeout", 0);
+    let mut variants = Vec::new();
+    let adaptive = run_with(scale.machine_config(true, false, seed), scale, workload, seed)?;
+    variants.push(("adaptive (Alg. 1)".to_string(), adaptive));
+    for (label, ms) in [("fixed 2ms", 2.0), ("fixed 40ms", 40.0), ("fixed 400ms", 400.0)] {
+        let mut cfg = scale.machine_config(true, false, seed);
+        cfg.fixed_booking_timeout = Some(Cycles::from_millis(ms));
+        variants.push((label.to_string(), run_with(cfg, scale, workload, seed)?));
+    }
+    Ok(TimeoutAblation { variants })
+}
+
+impl TimeoutAblation {
+    /// Renders throughput, aligned rate and fragmentation per variant.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Ablation: booking timeout (adaptive vs fixed)",
+            &["variant", "throughput vs adaptive", "aligned rate", "guest FMFI"],
+        );
+        let base = self.variants[0].1.throughput();
+        for (label, r) in &self.variants {
+            t.row(vec![
+                label.clone(),
+                fmt_ratio(r.throughput() / base),
+                fmt_pct(r.aligned_rate()),
+                format!("{:.2}", r.guest_fmfi),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Preallocation-threshold sweep results.
+#[derive(Debug)]
+pub struct PreallocAblation {
+    /// (threshold, result) per setting.
+    pub settings: Vec<(usize, RunResult)>,
+}
+
+/// Sweeps the huge-preallocation threshold (paper default: 256).
+pub fn run_prealloc(scale: &Scale, workload: &str) -> Result<PreallocAblation> {
+    let seed = scale.seed_for("abl-prealloc", 0);
+    let mut settings = Vec::new();
+    for threshold in [64usize, 128, 256, 384, 480] {
+        let mut cfg = scale.machine_config(true, false, seed);
+        let mut gcfg = gemini::policy::GeminiConfig::default();
+        gcfg.prealloc_threshold = threshold;
+        cfg.gemini_override = Some(gcfg);
+        settings.push((threshold, run_with(cfg, scale, workload, seed)?));
+    }
+    Ok(PreallocAblation { settings })
+}
+
+impl PreallocAblation {
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Ablation: huge-preallocation threshold sweep",
+            &["threshold", "throughput (Mops/s)", "aligned rate", "pages zeroed/op"],
+        );
+        for (threshold, r) in &self.settings {
+            t.row(vec![
+                threshold.to_string(),
+                format!("{:.3}", r.throughput() / 1e6),
+                fmt_pct(r.aligned_rate()),
+                format!("{:.2}", r.counters.stlb_misses as f64 / r.ops.max(1) as f64),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_ablation_runs_all_variants() {
+        let scale = Scale {
+            ops: 1_000,
+            ..Scale::quick()
+        };
+        let res = run_timeout(&scale, "Masstree").unwrap();
+        assert_eq!(res.variants.len(), 4);
+        assert!(res.render().contains("adaptive"));
+    }
+
+    #[test]
+    fn prealloc_sweep_runs_all_settings() {
+        let scale = Scale {
+            ops: 1_000,
+            ..Scale::quick()
+        };
+        let res = run_prealloc(&scale, "Xapian").unwrap();
+        assert_eq!(res.settings.len(), 5);
+        assert!(res.render().contains("256"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Figure 16 — Gemini performance breakdown (EMA/HB vs. huge bucket).
+//!
+//! The ablation runs each workload in the reused-VM scenario (where the
+//! bucket matters) under three Gemini variants: full, bucket disabled
+//! (EMA/HB only), and booking/promoter disabled (bucket only). The
+//! per-component contribution is the share of the full system's speedup
+//! over the baseline that each variant retains — the paper reports 66 %
+//! EMA/HB, 34 % bucket on average.
+
+use crate::report::{fmt_pct, Table};
+use crate::runner::run_workload_reused;
+use crate::scale::Scale;
+use gemini_sim_core::Result;
+use gemini_vm_sim::{RunResult, SystemKind};
+use gemini_workloads::spec_by_name;
+
+/// Per-workload breakdown runs.
+#[derive(Debug)]
+pub struct BreakdownResults {
+    /// Workload names.
+    pub workloads: Vec<String>,
+    /// (baseline, full Gemini, EMA/HB only, bucket only) per workload.
+    pub runs: Vec<[RunResult; 4]>,
+}
+
+/// Default workload subset for the breakdown (spanning both behaviours
+/// the paper discusses: chunk-allocating vs. churny).
+pub const WORKLOADS: [&str; 4] = ["CG.D", "SVM", "Redis", "RocksDB"];
+
+/// Runs the ablation grid.
+pub fn run(scale: &Scale, workload_filter: Option<&[&str]>) -> Result<BreakdownResults> {
+    let names: Vec<&str> = workload_filter.map(|f| f.to_vec()).unwrap_or(WORKLOADS.to_vec());
+    let mut workloads = Vec::new();
+    let mut runs = Vec::new();
+    for (wi, name) in names.iter().enumerate() {
+        let spec = spec_by_name(name).expect("breakdown workload in catalog");
+        let seed = scale.seed_for("breakdown", wi as u64);
+        let base = run_workload_reused(SystemKind::HostBVmB, &spec, scale, seed)?;
+        let full = run_workload_reused(SystemKind::Gemini, &spec, scale, seed)?;
+        let ema_hb = run_workload_reused(SystemKind::GeminiNoBucket, &spec, scale, seed)?;
+        let bucket = run_workload_reused(SystemKind::GeminiBucketOnly, &spec, scale, seed)?;
+        workloads.push(name.to_string());
+        runs.push([base, full, ema_hb, bucket]);
+    }
+    Ok(BreakdownResults { workloads, runs })
+}
+
+impl BreakdownResults {
+    /// Contribution shares `(ema_hb, bucket)` for one workload: the share
+    /// of the full system's speedup-over-baseline each variant retains,
+    /// normalized to sum to one.
+    pub fn shares(&self, wi: usize) -> (f64, f64) {
+        let [base, full, ema_hb, bucket] = &self.runs[wi];
+        let gain = |r: &RunResult| (r.throughput() / base.throughput() - 1.0).max(0.0);
+        let full_gain = gain(full);
+        if full_gain <= 0.0 {
+            return (0.5, 0.5);
+        }
+        let e = gain(ema_hb);
+        let b = gain(bucket);
+        if e + b == 0.0 {
+            return (0.5, 0.5);
+        }
+        (e / (e + b), b / (e + b))
+    }
+
+    /// Renders Figure 16.
+    pub fn render_fig16(&self) -> String {
+        let mut t = Table::new(
+            "Figure 16: Gemini performance breakdown (share of speedup)",
+            &["workload", "EMA/HB", "huge bucket"],
+        );
+        for wi in 0..self.workloads.len() {
+            let (e, b) = self.shares(wi);
+            t.row(vec![self.workloads[wi].clone(), fmt_pct(e), fmt_pct(b)]);
+        }
+        let (me, mb) = self.mean_shares();
+        t.row(vec!["average".into(), fmt_pct(me), fmt_pct(mb)]);
+        t.render()
+    }
+
+    /// Mean shares over all workloads.
+    pub fn mean_shares(&self) -> (f64, f64) {
+        let n = self.workloads.len().max(1) as f64;
+        let (mut se, mut sb) = (0.0, 0.0);
+        for wi in 0..self.workloads.len() {
+            let (e, b) = self.shares(wi);
+            se += e;
+            sb += b;
+        }
+        (se / n, sb / n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_shares_sum_to_one() {
+        let scale = Scale {
+            ops: 1_200,
+            ..Scale::quick()
+        };
+        let res = run(&scale, Some(&["Redis"])).unwrap();
+        let (e, b) = res.shares(0);
+        assert!((e + b - 1.0).abs() < 1e-9);
+        assert!(e >= 0.0 && b >= 0.0);
+        let out = res.render_fig16();
+        assert!(out.contains("Redis") && out.contains("average"));
+    }
+}

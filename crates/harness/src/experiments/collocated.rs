@@ -1,0 +1,143 @@
+//! Figures 17–18 — applicability and overhead with collocated VMs (§6.5).
+//!
+//! Two VMs share the server, 16 vCPUs each; one runs a TLB-sensitive
+//! application, the other a non-TLB-sensitive one (Shore or NPB SP.D).
+//! The questions: does Gemini still win when VMs contend for host memory,
+//! and does it cost anything when there is nothing to win (overhead on
+//! the non-sensitive workload must be ≈ 0, the paper measures ≤ 3 %)?
+
+use crate::report::{fmt_ratio, Table};
+use crate::scale::Scale;
+use gemini_sim_core::Result;
+use gemini_vm_sim::{Machine, RunResult, SystemKind};
+use gemini_workloads::{spec_by_name, WorkloadGen};
+
+/// The VM pairs of the experiment: (TLB-sensitive, non-sensitive).
+pub const PAIRS: [(&str, &str); 4] = [
+    ("Masstree", "Shore"),
+    ("Redis", "SP.D"),
+    ("Specjbb", "Shore"),
+    ("Canneal", "SP.D"),
+];
+
+/// Results per pair per system: the two VMs' run results.
+#[derive(Debug)]
+pub struct CollocatedResults {
+    /// (sensitive name, non-sensitive name) per pair.
+    pub pairs: Vec<(String, String)>,
+    /// `runs[pair][system] = [sensitive result, non-sensitive result]`.
+    pub runs: Vec<Vec<[RunResult; 2]>>,
+}
+
+/// Runs the collocation grid.
+pub fn run(scale: &Scale, pair_filter: Option<&[(&str, &str)]>) -> Result<CollocatedResults> {
+    let pairs: Vec<(&str, &str)> = pair_filter.map(|f| f.to_vec()).unwrap_or(PAIRS.to_vec());
+    let mut out_pairs = Vec::new();
+    let mut runs = Vec::new();
+    for (pi, &(sens, nonsens)) in pairs.iter().enumerate() {
+        let sens_spec = spec_by_name(sens).expect("pair workload in catalog");
+        let non_spec = spec_by_name(nonsens).expect("pair workload in catalog");
+        let mut per_sys = Vec::new();
+        for system in SystemKind::evaluated() {
+            let seed = scale.seed_for("collocated", pi as u64);
+            let cfg = scale.collocated_config(seed);
+            let mut m = Machine::new(system, cfg);
+            let vm1 = m.add_vm();
+            let vm2 = m.add_vm();
+            let g1 = WorkloadGen::new(sens_spec.scaled(scale.ws_factor), scale.ops, seed);
+            let g2 = WorkloadGen::new(non_spec.scaled(scale.ws_factor), scale.ops, seed ^ 0xBEEF);
+            let mut results = m.run_collocated(vec![(vm1, g1), (vm2, g2)])?;
+            let second = results.pop().expect("two results");
+            let first = results.pop().expect("two results");
+            per_sys.push([first, second]);
+        }
+        out_pairs.push((sens.to_string(), nonsens.to_string()));
+        runs.push(per_sys);
+    }
+    Ok(CollocatedResults {
+        pairs: out_pairs,
+        runs,
+    })
+}
+
+impl CollocatedResults {
+    fn render(&self, title: &str, metric: impl Fn(&RunResult) -> f64, which: usize) -> String {
+        let mut headers = vec!["pair (VM shown)"];
+        headers.extend(SystemKind::evaluated().iter().map(|s| s.label()));
+        let mut t = Table::new(title, &headers);
+        for (pi, (sens, non)) in self.pairs.iter().enumerate() {
+            let shown = if which == 0 { sens } else { non };
+            let row = &self.runs[pi];
+            let base = metric(&row[0][which]);
+            let mut cells = vec![format!("{sens}+{non} ({shown})")];
+            for per_sys in row {
+                let v = metric(&per_sys[which]);
+                cells.push(fmt_ratio(if base == 0.0 { 0.0 } else { v / base }));
+            }
+            t.row(cells);
+        }
+        t.render()
+    }
+
+    /// Fig. 17: throughput of both VMs, normalized to `Host-B-VM-B`.
+    pub fn render_fig17(&self) -> String {
+        let a = self.render(
+            "Figure 17: normalized throughput, collocated VMs (TLB-sensitive VM)",
+            |r| r.throughput(),
+            0,
+        );
+        let b = self.render(
+            "Figure 17 (cont.): normalized throughput, collocated VMs (non-sensitive VM)",
+            |r| r.throughput(),
+            1,
+        );
+        format!("{a}\n{b}")
+    }
+
+    /// Fig. 18: mean latency of the latency-reporting VMs, normalized.
+    pub fn render_fig18(&self) -> String {
+        self.render(
+            "Figure 18: normalized mean latency, collocated VMs (TLB-sensitive VM)",
+            |r| r.mean_latency.0 as f64,
+            0,
+        )
+    }
+
+    /// Gemini's worst-case slowdown on the non-sensitive VMs relative to
+    /// the baseline (the paper's ≤ 3 % overhead claim).
+    pub fn gemini_nonsensitive_overhead(&self) -> f64 {
+        let gi = SystemKind::evaluated()
+            .iter()
+            .position(|&s| s == SystemKind::Gemini)
+            .expect("Gemini evaluated");
+        let mut worst: f64 = 0.0;
+        for row in &self.runs {
+            let base = row[0][1].throughput();
+            let gem = row[gi][1].throughput();
+            if base > 0.0 {
+                worst = worst.max(1.0 - gem / base);
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collocated_pair_runs_and_checks_overhead() {
+        let scale = Scale {
+            ops: 800,
+            ..Scale::quick()
+        };
+        let res = run(&scale, Some(&[("Masstree", "Shore")])).unwrap();
+        assert_eq!(res.pairs.len(), 1);
+        assert!(res.render_fig17().contains("Masstree+Shore"));
+        assert!(res.render_fig18().contains("Masstree"));
+        // Gemini must not meaningfully slow the non-sensitive workload.
+        let overhead = res.gemini_nonsensitive_overhead();
+        assert!(overhead < 0.15, "overhead {overhead} too high");
+    }
+}

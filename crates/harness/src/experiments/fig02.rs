@@ -1,0 +1,121 @@
+//! Figure 2 — the motivating microbenchmark.
+//!
+//! Random accesses over a dataset of increasing size under the four static
+//! page-size configurations (`Host-{B,H} × VM-{B,H}`). The paper's shape:
+//! all four tie while the dataset fits TLB coverage; beyond it, only the
+//! well-aligned configuration (`Host-H-VM-H`) keeps performance high, and
+//! the two mis-aligned ones barely improve on base pages.
+
+use crate::report::Table;
+use crate::scale::Scale;
+use gemini_sim_core::Result;
+use gemini_vm_sim::{Machine, RunResult, SystemKind};
+use gemini_workloads::MicrobenchGen;
+
+/// The four static configurations of Figure 2.
+pub const CONFIGS: [SystemKind; 4] = [
+    SystemKind::HostBVmB,
+    SystemKind::HostBVmH,
+    SystemKind::HostHVmB,
+    SystemKind::HostHVmH,
+];
+
+/// Results: one row per dataset size, one [`RunResult`] per configuration.
+#[derive(Debug)]
+pub struct Fig02Results {
+    /// (dataset bytes, results in [`CONFIGS`] order).
+    pub rows: Vec<(u64, Vec<RunResult>)>,
+}
+
+/// Runs the microbenchmark sweep.
+pub fn run(scale: &Scale) -> Result<Fig02Results> {
+    let mut rows = Vec::new();
+    // The sweep is the figure's x-axis: it is not scaled, only capped so
+    // the largest dataset still fits comfortably inside the VM.
+    let cap = scale.vm_frames * 4096 / 2;
+    let sweep: Vec<u64> = MicrobenchGen::dataset_sweep()
+        .into_iter()
+        .filter(|&d| d <= cap)
+        .collect();
+    for (i, &dataset) in sweep.iter().enumerate() {
+        let mut results = Vec::new();
+        for (j, &system) in CONFIGS.iter().enumerate() {
+            let cfg = scale.machine_config(false, false, scale.seed_for("fig02", (i * 4 + j) as u64));
+            let mut m = Machine::new(system, cfg);
+            let vm = m.add_vm();
+            let gen = MicrobenchGen::generator(dataset, scale.ops, scale.seed_for("fig02-wl", i as u64));
+            results.push(m.run(vm, gen)?);
+        }
+        rows.push((dataset, results));
+    }
+    Ok(Fig02Results { rows })
+}
+
+impl Fig02Results {
+    /// Renders throughput in million accesses per second per config.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Figure 2: microbenchmark throughput (M accesses/s) vs dataset size",
+            &["dataset", "Host-B-VM-B", "Host-B-VM-H", "Host-H-VM-B", "Host-H-VM-H"],
+        );
+        for (dataset, results) in &self.rows {
+            let mut cells = vec![format!("{} MiB", dataset >> 20)];
+            for r in results {
+                let accesses = r.counters.accesses as f64;
+                let maps = accesses / r.vtime.as_secs_f64() / 1e6;
+                cells.push(format!("{maps:.1}"));
+            }
+            t.row(cells);
+        }
+        t.render()
+    }
+
+    /// The throughput ratio of `Host-H-VM-H` over `Host-B-VM-B` at the
+    /// largest dataset (the paper's headline separation).
+    pub fn aligned_speedup_at_max(&self) -> f64 {
+        let (_, results) = self.rows.last().expect("sweep is non-empty");
+        let base = results[0].vtime.0 as f64;
+        let aligned = results[3].vtime.0 as f64;
+        base / aligned
+    }
+
+    /// The ratio at the smallest dataset (should be near 1).
+    pub fn aligned_speedup_at_min(&self) -> f64 {
+        let (_, results) = self.rows.first().expect("sweep is non-empty");
+        results[0].vtime.0 as f64 / results[3].vtime.0 as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_figure_2() {
+        let scale = Scale {
+            ops: 2_000,
+            ..Scale::quick()
+        };
+        let res = run(&scale).unwrap();
+        // The sweep is capped by VM size; it must still straddle the
+        // 6 MiB base-page TLB coverage.
+        assert!(res.rows.len() >= 4);
+        assert!(res.rows.first().unwrap().0 < 6 << 20);
+        assert!(res.rows.last().unwrap().0 > 6 << 20);
+        // Small dataset: no separation. Large: aligned wins clearly.
+        assert!(res.aligned_speedup_at_min() < 1.35, "{}", res.aligned_speedup_at_min());
+        assert!(res.aligned_speedup_at_max() > 1.5, "{}", res.aligned_speedup_at_max());
+        // Misaligned configs barely beat base at the largest dataset.
+        let (_, last) = res.rows.last().unwrap();
+        let base = last[0].vtime.0 as f64;
+        for mis in [&last[1], &last[2]] {
+            let speedup = base / mis.vtime.0 as f64;
+            assert!(
+                speedup < res.aligned_speedup_at_max() * 0.8,
+                "misaligned speedup {speedup} too close to aligned"
+            );
+        }
+        let out = res.render();
+        assert!(out.contains("Host-H-VM-H"));
+    }
+}

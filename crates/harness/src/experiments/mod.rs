@@ -1,0 +1,10 @@
+//! One module per evaluation artefact; see DESIGN.md's per-experiment
+//! index.
+
+pub mod ablations;
+pub mod breakdown;
+pub mod clean_slate;
+pub mod collocated;
+pub mod fig02;
+pub mod motivation;
+pub mod reused_vm;

@@ -1,0 +1,158 @@
+//! Figures 12–15 and Table 4 — the reused-VM evaluation (§6.3).
+//!
+//! A large-working-set SVM job runs first in the VM and exits; because the
+//! host never reclaims the VM's memory, its EPT backing — including every
+//! huge page — persists. The follow-up workload then reallocates guest
+//! memory over that backing. Systems that scatter base allocations across
+//! formerly-huge regions destroy alignment; Gemini's huge bucket keeps the
+//! freed well-aligned regions intact and reuses them wholesale.
+
+use crate::report::{fmt_pct, fmt_ratio, Table};
+use crate::runner::run_workload_reused;
+use crate::scale::Scale;
+use gemini_sim_core::Result;
+use gemini_vm_sim::{RunResult, SystemKind};
+use gemini_workloads::catalog;
+
+/// Results: `runs[workload][system]`.
+#[derive(Debug)]
+pub struct ReusedVmResults {
+    /// Workload names.
+    pub workloads: Vec<String>,
+    /// Per-workload, per-system results (systems in evaluated order).
+    pub runs: Vec<Vec<RunResult>>,
+}
+
+/// Runs the reused-VM grid.
+pub fn run(scale: &Scale, workload_filter: Option<&[&str]>) -> Result<ReusedVmResults> {
+    let specs: Vec<_> = catalog()
+        .into_iter()
+        .filter(|s| workload_filter.map(|f| f.contains(&s.name)).unwrap_or(true))
+        .collect();
+    let mut runs = Vec::new();
+    for (wi, spec) in specs.iter().enumerate() {
+        let mut per_sys = Vec::new();
+        for system in SystemKind::evaluated() {
+            let seed = scale.seed_for("reused", wi as u64);
+            per_sys.push(run_workload_reused(system, spec, scale, seed)?);
+        }
+        runs.push(per_sys);
+    }
+    Ok(ReusedVmResults {
+        workloads: specs.iter().map(|s| s.name.to_string()).collect(),
+        runs,
+    })
+}
+
+impl ReusedVmResults {
+    fn render_normalized(&self, title: &str, metric: impl Fn(&RunResult) -> f64) -> String {
+        let mut headers = vec!["workload"];
+        headers.extend(SystemKind::evaluated().iter().map(|s| s.label()));
+        let mut t = Table::new(title, &headers);
+        for (wi, name) in self.workloads.iter().enumerate() {
+            let row = &self.runs[wi];
+            let base = metric(&row[0]);
+            let mut cells = vec![name.clone()];
+            for r in row {
+                let v = metric(r);
+                cells.push(fmt_ratio(if base == 0.0 { 0.0 } else { v / base }));
+            }
+            t.row(cells);
+        }
+        t.render()
+    }
+
+    /// Fig. 12: throughput normalized to `Host-B-VM-B`.
+    pub fn render_fig12(&self) -> String {
+        self.render_normalized("Figure 12: normalized throughput, reused VM", |r| {
+            r.throughput()
+        })
+    }
+
+    /// Fig. 13: mean latency normalized to `Host-B-VM-B`.
+    pub fn render_fig13(&self) -> String {
+        self.render_normalized("Figure 13: normalized mean latency, reused VM", |r| {
+            r.mean_latency.0 as f64
+        })
+    }
+
+    /// Fig. 14: p99 latency normalized to `Host-B-VM-B`.
+    pub fn render_fig14(&self) -> String {
+        self.render_normalized("Figure 14: normalized 99th-percentile latency, reused VM", |r| {
+            r.p99_latency.0 as f64
+        })
+    }
+
+    /// Fig. 15: TLB misses normalized to GEMINI.
+    pub fn render_fig15(&self) -> String {
+        let mut headers = vec!["workload"];
+        headers.extend(SystemKind::evaluated().iter().map(|s| s.label()));
+        let mut t = Table::new("Figure 15: TLB misses normalized to GEMINI, reused VM", &headers);
+        for (wi, name) in self.workloads.iter().enumerate() {
+            let row = &self.runs[wi];
+            let gemini = row.last().expect("GEMINI last").tlb_misses().max(1) as f64;
+            let mut cells = vec![name.clone()];
+            for r in row {
+                cells.push(fmt_ratio(r.tlb_misses() as f64 / gemini));
+            }
+            t.row(cells);
+        }
+        t.render()
+    }
+
+    /// Table 4: rates of well-aligned huge pages in the reused VM.
+    pub fn render_tab04(&self) -> String {
+        let mut headers = vec!["workload"];
+        headers.extend(SystemKind::tabulated().iter().map(|s| s.label()));
+        let mut t = Table::new(
+            "Table 4: rates of well-aligned huge pages, reused VM",
+            &headers,
+        );
+        let eval = SystemKind::evaluated();
+        for (wi, name) in self.workloads.iter().enumerate() {
+            let mut cells = vec![name.clone()];
+            for s in SystemKind::tabulated() {
+                let i = eval.iter().position(|&e| e == s).expect("subset");
+                cells.push(fmt_pct(self.runs[wi][i].aligned_rate()));
+            }
+            t.row(cells);
+        }
+        t.render()
+    }
+
+    /// Gemini's huge-bucket reuse rate averaged over workloads (the paper
+    /// reports 88 %).
+    pub fn mean_bucket_reuse(&self) -> f64 {
+        let i = SystemKind::evaluated()
+            .iter()
+            .position(|&s| s == SystemKind::Gemini)
+            .expect("Gemini evaluated");
+        let rates: Vec<f64> = self.runs.iter().map(|r| r[i].bucket_reuse_rate).collect();
+        rates.iter().sum::<f64>() / rates.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reused_grid_runs_and_renders() {
+        let scale = Scale {
+            ops: 1_500,
+            ..Scale::quick()
+        };
+        let res = run(&scale, Some(&["Xapian"])).unwrap();
+        assert_eq!(res.workloads, vec!["Xapian"]);
+        for s in [
+            res.render_fig12(),
+            res.render_fig13(),
+            res.render_fig14(),
+            res.render_fig15(),
+            res.render_tab04(),
+        ] {
+            assert!(s.contains("Xapian"), "{s}");
+        }
+        assert!(res.mean_bucket_reuse() >= 0.0);
+    }
+}

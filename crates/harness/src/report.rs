@@ -1,0 +1,103 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! Benches print the same rows/series the paper's tables and figures
+//! report; this module renders them with aligned columns so the output is
+//! directly comparable against EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// A rectangular text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each must have `headers.len()` cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let _ = write!(s, "{:<width$}", cell, width = widths[i]);
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a normalized ratio like the paper ("1.72x").
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a rate as a percentage ("66%").
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["workload", "THP", "GEMINI"]);
+        t.row(vec!["Redis".into(), "1.10x".into(), "1.75x".into()]);
+        t.row(vec!["Streamcluster".into(), "1.05x".into(), "1.60x".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Column positions align: "THP" starts where "1.10x"/"1.05x" start.
+        let hdr = lines[1];
+        let pos = hdr.find("THP").unwrap();
+        assert_eq!(&lines[3][pos..pos + 5], "1.10x");
+        assert_eq!(&lines[4][pos..pos + 5], "1.05x");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ratio(1.724), "1.72x");
+        assert_eq!(fmt_pct(0.66), "66%");
+        assert_eq!(fmt_pct(0.342), "34%");
+    }
+}

@@ -1,0 +1,74 @@
+//! Shared run helpers used by every experiment.
+
+use crate::scale::Scale;
+use gemini_sim_core::Result;
+use gemini_vm_sim::{Machine, RunResult, SystemKind};
+use gemini_workloads::{WorkloadGen, WorkloadSpec};
+
+/// Runs `spec` under `system` on a fresh (clean-slate) machine.
+pub fn run_workload_on(
+    system: SystemKind,
+    spec: &WorkloadSpec,
+    scale: &Scale,
+    fragmented: bool,
+    seed: u64,
+) -> Result<RunResult> {
+    let cfg = scale.machine_config(fragmented, spec.zero_heavy, seed);
+    let mut machine = Machine::new(system, cfg);
+    let vm = machine.add_vm();
+    let gen = WorkloadGen::new(spec.scaled(scale.ws_factor), scale.ops, seed);
+    machine.run(vm, gen)
+}
+
+/// Runs `spec` under `system` in a *reused* VM: a large-working-set SVM
+/// job runs first, exits, and the target workload follows in the same VM
+/// (paper §6.3).
+pub fn run_workload_reused(
+    system: SystemKind,
+    spec: &WorkloadSpec,
+    scale: &Scale,
+    seed: u64,
+) -> Result<RunResult> {
+    let cfg = scale.machine_config(false, spec.zero_heavy, seed);
+    let mut machine = Machine::new(system, cfg);
+    let vm = machine.add_vm();
+    let svm = gemini_workloads::spec_by_name("SVM")
+        .expect("SVM is in the catalog")
+        .scaled(scale.ws_factor);
+    machine.run(vm, WorkloadGen::new(svm, scale.ops / 2, seed ^ 0x5157))?;
+    machine.clear_workload(vm)?;
+    let gen = WorkloadGen::new(spec.scaled(scale.ws_factor), scale.ops, seed);
+    machine.run(vm, gen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_slate_runner_completes() {
+        let scale = Scale {
+            ops: 400,
+            ..Scale::quick()
+        };
+        let spec = gemini_workloads::spec_by_name("Silo").unwrap();
+        let r = run_workload_on(SystemKind::Thp, &spec, &scale, false, 1).unwrap();
+        assert_eq!(r.ops, 400);
+        assert_eq!(r.system, "THP");
+    }
+
+    #[test]
+    fn reused_runner_runs_predecessor_first() {
+        let scale = Scale {
+            ops: 400,
+            ..Scale::quick()
+        };
+        let spec = gemini_workloads::spec_by_name("Xapian").unwrap();
+        let r = run_workload_reused(SystemKind::Ingens, &spec, &scale, 2).unwrap();
+        assert_eq!(r.ops, 400);
+        assert_eq!(r.workload, "Xapian");
+        // vtime is the run's own delta, not the VM's cumulative clock.
+        let cold = run_workload_on(SystemKind::Ingens, &spec, &scale, false, 2).unwrap();
+        assert!(r.vtime < cold.vtime * 4, "reused vtime is per-run");
+    }
+}

@@ -1,0 +1,173 @@
+//! Experiment scale presets.
+//!
+//! The simulator keeps the TLB at its real size (1536 L2 entries), so the
+//! regime of an experiment is set by the ratio of working-set size to TLB
+//! coverage, not by absolute bytes. Scales shrink working sets and op
+//! counts together so the quick preset finishes in seconds while the full
+//! preset matches DESIGN.md §5.
+
+use gemini_sim_core::Cycles;
+use gemini_vm_sim::MachineConfig;
+
+/// A coherent set of sizing knobs for one experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Multiplier on each workload's working-set size.
+    pub ws_factor: f64,
+    /// Operations per workload run.
+    pub ops: u64,
+    /// Host physical frames.
+    pub host_frames: u64,
+    /// Guest physical frames per VM.
+    pub vm_frames: u64,
+    /// FMFI target for the "fragmented" variants.
+    pub frag_target: f64,
+    /// Base seed; experiments derive per-run seeds from it.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Seconds-fast preset for examples and integration tests.
+    pub fn quick() -> Self {
+        Self {
+            ws_factor: 1.0 / 16.0,
+            ops: 2_500,
+            host_frames: 1 << 16, // 256 MiB.
+            vm_frames: 1 << 15,   // 128 MiB.
+            frag_target: 0.9,
+            seed: 42,
+        }
+    }
+
+    /// Preset for the runnable examples: large and long enough for the
+    /// background daemons to visibly differentiate the systems, small
+    /// enough to finish in tens of seconds.
+    pub fn demo() -> Self {
+        // The calibrated regime (same sizing as `bench`): working sets
+        // and run lengths where the background daemons differentiate the
+        // systems the way the paper's figures do.
+        Self {
+            ws_factor: 0.25,
+            ops: 8_000,
+            host_frames: 1 << 18, // 1 GiB.
+            vm_frames: 1 << 17,   // 512 MiB.
+            frag_target: 0.9,
+            seed: 42,
+        }
+    }
+
+    /// Default preset for `cargo bench`: large enough for the TLB regime
+    /// to match the paper's, small enough to sweep all grids in minutes.
+    pub fn bench() -> Self {
+        Self {
+            ws_factor: 0.25,
+            ops: 8_000,
+            host_frames: 1 << 18, // 1 GiB.
+            vm_frames: 1 << 17,   // 512 MiB.
+            frag_target: 0.9,
+            seed: 42,
+        }
+    }
+
+    /// Full-size preset (DESIGN.md §5): working sets at catalog size.
+    pub fn full() -> Self {
+        Self {
+            ws_factor: 1.0,
+            ops: 20_000,
+            host_frames: 1 << 19, // 2 GiB.
+            vm_frames: 1 << 18,   // 1 GiB.
+            frag_target: 0.9,
+            seed: 42,
+        }
+    }
+
+    /// Reads `GEMINI_SCALE` (`quick` | `bench` | `full`); defaults to
+    /// `bench`.
+    pub fn from_env() -> Self {
+        match std::env::var("GEMINI_SCALE").as_deref() {
+            Ok("quick") => Self::quick(),
+            Ok("full") => Self::full(),
+            _ => Self::bench(),
+        }
+    }
+
+    /// Builds the machine configuration for this scale.
+    pub fn machine_config(&self, fragmented: bool, zero_heavy: bool, seed: u64) -> MachineConfig {
+        MachineConfig {
+            host_frames: self.host_frames,
+            vm_frames: self.vm_frames,
+            fragment_guest: fragmented.then_some(self.frag_target),
+            fragment_host: fragmented.then_some(self.frag_target),
+            zero_heavy,
+            seed,
+            ..MachineConfig::default()
+        }
+    }
+
+    /// Machine config for the collocation experiments: two VMs, 16 vCPUs
+    /// each, double the host memory.
+    pub fn collocated_config(&self, seed: u64) -> MachineConfig {
+        MachineConfig {
+            host_frames: self.host_frames * 2,
+            vm_frames: self.vm_frames,
+            vcpus: 16,
+            fragment_guest: Some(self.frag_target),
+            fragment_host: Some(self.frag_target),
+            seed,
+            ..MachineConfig::default()
+        }
+    }
+
+    /// A run-specific seed derived from the base seed.
+    pub fn seed_for(&self, tag: &str, index: u64) -> u64 {
+        let mut h: u64 = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        for b in tag.bytes() {
+            h = h.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
+        }
+        h.wrapping_add(index.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+}
+
+/// Suppressed-duration marker so Cycles stays in scope for doc purposes.
+#[allow(dead_code)]
+fn _unused(_: Cycles) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        let q = Scale::quick();
+        let b = Scale::bench();
+        let f = Scale::full();
+        assert!(q.ws_factor < b.ws_factor && b.ws_factor < f.ws_factor);
+        assert!(q.ops < b.ops && b.ops < f.ops);
+        assert!(q.host_frames < b.host_frames);
+    }
+
+    #[test]
+    fn machine_config_carries_fragmentation() {
+        let s = Scale::quick();
+        let frag = s.machine_config(true, false, 1);
+        assert_eq!(frag.fragment_guest, Some(0.9));
+        let clean = s.machine_config(false, true, 1);
+        assert_eq!(clean.fragment_guest, None);
+        assert!(clean.zero_heavy);
+    }
+
+    #[test]
+    fn collocated_config_uses_16_vcpus() {
+        let c = Scale::quick().collocated_config(1);
+        assert_eq!(c.vcpus, 16);
+        assert_eq!(c.host_frames, Scale::quick().host_frames * 2);
+    }
+
+    #[test]
+    fn seeds_differ_per_tag_and_index() {
+        let s = Scale::quick();
+        assert_ne!(s.seed_for("a", 0), s.seed_for("b", 0));
+        assert_ne!(s.seed_for("a", 0), s.seed_for("a", 1));
+        assert_eq!(s.seed_for("a", 0), s.seed_for("a", 0));
+    }
+}

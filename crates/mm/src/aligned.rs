@@ -1,0 +1,127 @@
+//! Cross-layer huge-page alignment metrics.
+//!
+//! A guest huge page (GVA region mapped 2 MiB → GPA) is *well-aligned* when
+//! the EPT also maps that GPA region with a 2 MiB leaf; symmetrically for
+//! host huge pages. The tables in the paper (Tables 1, 3, 4) report the
+//! rate of well-aligned huge pages per system — computed here by scanning
+//! both layers, exactly like the MHPS component does.
+
+use gemini_page_table::AddressSpace;
+
+/// Counts of huge pages at each layer and the aligned intersection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlignmentStats {
+    /// Huge leaves in the guest process table.
+    pub guest_huge: u64,
+    /// Huge leaves in the VM (EPT) table.
+    pub host_huge: u64,
+    /// Guest huge pages whose GPA region is backed by a host huge page.
+    pub aligned_pairs: u64,
+}
+
+impl AlignmentStats {
+    /// Rate of well-aligned huge pages among all huge pages formed at
+    /// either layer (each aligned pair counts one huge page per layer).
+    ///
+    /// Returns 0 when no huge pages exist at all.
+    pub fn aligned_rate(&self) -> f64 {
+        let total = self.guest_huge + self.host_huge;
+        if total == 0 {
+            0.0
+        } else {
+            (2 * self.aligned_pairs) as f64 / total as f64
+        }
+    }
+
+    /// Guest huge pages that are *not* backed huge (mis-aligned from the
+    /// guest's side).
+    pub fn misaligned_guest(&self) -> u64 {
+        self.guest_huge - self.aligned_pairs
+    }
+
+    /// Host huge pages not matched by a guest huge page (mis-aligned from
+    /// the host's side).
+    pub fn misaligned_host(&self) -> u64 {
+        self.host_huge - self.aligned_pairs
+    }
+}
+
+/// Scans one guest table against its EPT and computes alignment counts.
+pub fn alignment_stats(guest: &AddressSpace, ept: &AddressSpace) -> AlignmentStats {
+    let guest_huge = guest.huge_mapped();
+    let host_huge = ept.huge_mapped();
+    let aligned_pairs = guest
+        .iter_huge()
+        .filter(|&(_gva_h, gpa_h)| ept.huge_leaf(gpa_h).is_some())
+        .count() as u64;
+    AlignmentStats {
+        guest_huge,
+        host_huge,
+        aligned_pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_aligned_setup_scores_one() {
+        let mut guest = AddressSpace::new();
+        let mut ept = AddressSpace::new();
+        guest.map_huge(0, 10).unwrap();
+        guest.map_huge(1, 11).unwrap();
+        ept.map_huge(10, 0).unwrap();
+        ept.map_huge(11, 1).unwrap();
+        let s = alignment_stats(&guest, &ept);
+        assert_eq!(s.aligned_pairs, 2);
+        assert_eq!(s.aligned_rate(), 1.0);
+        assert_eq!(s.misaligned_guest(), 0);
+        assert_eq!(s.misaligned_host(), 0);
+    }
+
+    #[test]
+    fn misalignment_scenario_scores_zero() {
+        // Guest all base, host all huge — the paper's "Misalignment".
+        let mut guest = AddressSpace::new();
+        let mut ept = AddressSpace::new();
+        for i in 0..512 {
+            guest.map_base(i, i).unwrap();
+        }
+        ept.map_huge(0, 0).unwrap();
+        let s = alignment_stats(&guest, &ept);
+        assert_eq!(s.guest_huge, 0);
+        assert_eq!(s.host_huge, 1);
+        assert_eq!(s.aligned_rate(), 0.0);
+        assert_eq!(s.misaligned_host(), 1);
+    }
+
+    #[test]
+    fn partial_alignment_counts_pairs() {
+        let mut guest = AddressSpace::new();
+        let mut ept = AddressSpace::new();
+        // Guest huge page at GPA region 5, backed huge: aligned.
+        guest.map_huge(0, 5).unwrap();
+        ept.map_huge(5, 50).unwrap();
+        // Guest huge page at GPA region 6, backed by base pages: not.
+        guest.map_huge(1, 6).unwrap();
+        for i in 0..512 {
+            ept.map_base(6 * 512 + i, 9000 + i).unwrap();
+        }
+        // Host huge page at GPA region 7 with no guest huge page.
+        ept.map_huge(7, 70).unwrap();
+        let s = alignment_stats(&guest, &ept);
+        assert_eq!(s.guest_huge, 2);
+        assert_eq!(s.host_huge, 2);
+        assert_eq!(s.aligned_pairs, 1);
+        assert!((s.aligned_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(s.misaligned_guest(), 1);
+        assert_eq!(s.misaligned_host(), 1);
+    }
+
+    #[test]
+    fn empty_tables_do_not_divide_by_zero() {
+        let s = alignment_stats(&AddressSpace::new(), &AddressSpace::new());
+        assert_eq!(s.aligned_rate(), 0.0);
+    }
+}

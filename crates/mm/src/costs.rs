@@ -1,0 +1,87 @@
+//! Cycle costs of memory-management operations.
+//!
+//! These constants are order-of-magnitude figures for the paper's testbed
+//! class of hardware (Xeon E5 v4, 2.1 GHz): minor faults cost a few
+//! microseconds, EPT violations add a VM exit, zeroing 2 MiB dominates a
+//! synchronous huge allocation, page migration costs a copy plus remap, and
+//! every remote mapping change costs a TLB shootdown IPI round.
+
+use gemini_sim_core::Cycles;
+
+/// Tunable cycle costs charged by the mechanisms in this crate.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// A guest minor fault on a base page (entry + allocation + map).
+    pub minor_fault: Cycles,
+    /// Additional cost of a synchronous huge-page fault (zeroing 2 MiB and
+    /// the longer allocation path) — the latency Ingens complains about.
+    pub huge_fault_extra: Cycles,
+    /// An EPT violation handled by the host (VM exit + backing + resume).
+    pub ept_fault: Cycles,
+    /// Additional cost of backing with a huge host page at EPT-fault time.
+    pub ept_huge_fault_extra: Cycles,
+    /// Copying one base page during migration/copy-promotion.
+    pub page_copy: Cycles,
+    /// One TLB-shootdown round, per vCPU interrupted.
+    pub shootdown_per_vcpu: Cycles,
+    /// Fixed bookkeeping cost of one promotion or demotion operation.
+    pub remap_fixed: Cycles,
+    /// Daemon scan cost per region examined.
+    pub scan_per_region: Cycles,
+    /// Fraction of daemon copy work that stalls the foreground workload
+    /// (mmap_sem/mmu_lock contention and memory-bandwidth interference).
+    pub daemon_contention: f64,
+    /// Zeroing one base page when the kernel pre-allocates it (huge-page
+    /// filling / preallocation).
+    pub page_zero: Cycles,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            minor_fault: Cycles(2_000),
+            huge_fault_extra: Cycles(90_000),
+            ept_fault: Cycles(4_500),
+            ept_huge_fault_extra: Cycles(90_000),
+            page_copy: Cycles(1_500),
+            shootdown_per_vcpu: Cycles(4_000),
+            remap_fixed: Cycles(2_500),
+            scan_per_region: Cycles(150),
+            daemon_contention: 0.3,
+            page_zero: Cycles(700),
+        }
+    }
+}
+
+impl CostModel {
+    /// Foreground stall caused by a daemon operation that copied `pages`
+    /// pages and issued one shootdown round to `vcpus` vCPUs.
+    pub fn daemon_stall(&self, pages: u64, vcpus: u32) -> Cycles {
+        let copy = self.page_copy.0 * pages;
+        let contended = (copy as f64 * self.daemon_contention) as u64;
+        Cycles(contended + self.shootdown_per_vcpu.0 * vcpus as u64 + self.remap_fixed.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_ordered_sensibly() {
+        let c = CostModel::default();
+        assert!(c.huge_fault_extra > c.minor_fault);
+        assert!(c.ept_fault > c.minor_fault);
+        assert!(c.page_copy > c.page_zero);
+        assert!(c.daemon_contention > 0.0 && c.daemon_contention < 1.0);
+    }
+
+    #[test]
+    fn daemon_stall_scales_with_pages_and_vcpus() {
+        let c = CostModel::default();
+        let small = c.daemon_stall(1, 1);
+        let big = c.daemon_stall(512, 16);
+        assert!(big > small);
+        assert!(big.0 > c.shootdown_per_vcpu.0 * 16);
+    }
+}

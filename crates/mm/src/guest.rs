@@ -1,0 +1,371 @@
+//! The guest OS memory manager: VMAs, demand paging and the promotion
+//! daemon mechanism for one VM.
+
+use crate::costs::CostModel;
+use crate::mech;
+use crate::policy::{Effects, FaultCtx, FaultOutcome, HugePolicy, LayerKind, LayerOps};
+use crate::vma::{Vma, VmaId, VmaSet};
+use gemini_buddy::BuddyAllocator;
+use gemini_page_table::{AddressSpace, Translation};
+use gemini_sim_core::{
+    Cycles, SimError, VmId, HUGE_PAGE_ORDER, HUGE_PAGE_SIZE, PAGES_PER_HUGE_PAGE,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Memory management of one guest OS (one workload address space, as in
+/// the paper's one-workload-per-VM setup).
+#[derive(Debug)]
+pub struct GuestMm {
+    /// VM this guest belongs to.
+    pub vm: VmId,
+    /// The workload's virtual memory areas.
+    pub vmas: VmaSet,
+    /// The process page table (GVA frame → GPA frame).
+    pub table: AddressSpace,
+    /// The guest physical allocator (GPA frames).
+    pub buddy: BuddyAllocator,
+    /// Sampled touch counters per GVA 2 MiB region.
+    touches: HashMap<u64, u64>,
+    /// VMAs that have taken at least one fault.
+    touched_vmas: HashSet<VmaId>,
+    costs: CostModel,
+}
+
+impl GuestMm {
+    /// Creates a guest with `gpa_frames` of guest-physical memory.
+    pub fn new(vm: VmId, gpa_frames: u64, costs: CostModel) -> Self {
+        Self {
+            vm,
+            vmas: VmaSet::new(HUGE_PAGE_SIZE),
+            table: AddressSpace::new(),
+            buddy: BuddyAllocator::new(gpa_frames),
+            touches: HashMap::new(),
+            touched_vmas: HashSet::new(),
+            costs,
+        }
+    }
+
+    /// Maps a new VMA of `len` bytes.
+    pub fn mmap(&mut self, len: u64) -> Result<Vma, SimError> {
+        self.vmas.mmap(len)
+    }
+
+    /// Translates a GVA frame, if mapped.
+    pub fn translate(&self, gva_frame: u64) -> Option<Translation> {
+        self.table.translate(gva_frame)
+    }
+
+    /// Records a sampled access for daemon heuristics.
+    pub fn record_touch(&mut self, gva_frame: u64) {
+        *self.touches.entry(gva_frame >> HUGE_PAGE_ORDER).or_insert(0) += 1;
+    }
+
+    /// Handles a demand fault at `gva_frame` under `policy`.
+    pub fn handle_fault(
+        &mut self,
+        gva_frame: u64,
+        policy: &mut dyn HugePolicy,
+    ) -> Result<(FaultOutcome, Effects), SimError> {
+        let gva = gemini_sim_core::Gva::from_frame(gva_frame);
+        let vma = self.vmas.find(gva).ok_or(SimError::NoVma(gva))?.clone();
+        let first_touch = !self.touched_vmas.contains(&vma.id);
+        let region = gva_frame >> HUGE_PAGE_ORDER;
+        let pop = self.table.region_population(region);
+        if self.table.translate(gva_frame).is_some() {
+            return Err(SimError::AlreadyMappedGva(gva));
+        }
+
+        let ctx = FaultCtx {
+            layer: LayerKind::Guest,
+            vm: self.vm,
+            addr_frame: gva_frame,
+            vma: Some(&vma),
+            first_touch_in_vma: first_touch,
+            region_pop: pop,
+            buddy: &self.buddy,
+            table: &self.table,
+        };
+        let huge_allowed = pop.present == 0 && ctx.region_within_vma();
+        let decision = policy.fault_decision(&ctx);
+        drop(ctx);
+
+        let (outcome, fx) = mech::resolve_fault(
+            &mut self.table,
+            &mut self.buddy,
+            &self.costs,
+            LayerKind::Guest,
+            gva_frame,
+            decision,
+            huge_allowed,
+        )?;
+        self.touched_vmas.insert(vma.id);
+        policy.after_fault(gva_frame, &outcome);
+        Ok((outcome, fx))
+    }
+
+    /// Runs one daemon pass of `policy`, executing the promotions it
+    /// requests.
+    pub fn run_daemon(
+        &mut self,
+        policy: &mut dyn HugePolicy,
+        now: Cycles,
+        vcpus: u32,
+    ) -> Effects {
+        let mut ops_view = LayerOps {
+            layer: LayerKind::Guest,
+            vm: self.vm,
+            table: &self.table,
+            buddy: &mut self.buddy,
+            touches: &self.touches,
+            now,
+        };
+        let requests = policy.daemon(&mut ops_view);
+        let mut ops_view = LayerOps {
+            layer: LayerKind::Guest,
+            vm: self.vm,
+            table: &self.table,
+            buddy: &mut self.buddy,
+            touches: &self.touches,
+            now,
+        };
+        let demotions = policy.select_demotions(&mut ops_view);
+        let mut fx = Effects::cost(Cycles(
+            self.costs.scan_per_region.0 * (requests.len() as u64 + 1),
+        ));
+        for op in requests {
+            fx.merge(mech::execute_promotion(
+                &mut self.table,
+                &mut self.buddy,
+                &self.costs,
+                LayerKind::Guest,
+                op,
+                vcpus,
+            ));
+        }
+        for region in demotions {
+            if let Ok(dfx) =
+                mech::execute_demotion(&mut self.table, &self.costs, LayerKind::Guest, region, vcpus)
+            {
+                fx.merge(dfx);
+            }
+        }
+        fx
+    }
+
+    /// Demotes (splits) one huge mapping.
+    pub fn demote(&mut self, region: u64, vcpus: u32) -> Result<Effects, SimError> {
+        mech::execute_demotion(&mut self.table, &self.costs, LayerKind::Guest, region, vcpus)
+    }
+
+    /// Unmaps a VMA, freeing its guest-physical memory.
+    ///
+    /// Freed huge pages are first offered to the policy (Gemini's huge
+    /// bucket hooks here); guest-physical memory returns to the guest
+    /// buddy, while host-side EPT backing is deliberately *not* touched —
+    /// the paper's reused-VM scenario depends on the host keeping the
+    /// memory assigned to the VM.
+    pub fn munmap(
+        &mut self,
+        id: VmaId,
+        policy: &mut dyn HugePolicy,
+        now: Cycles,
+    ) -> Result<Effects, SimError> {
+        let vma = self.vmas.munmap(id)?;
+        let start_region = vma.start_frame() >> HUGE_PAGE_ORDER;
+        let end_region =
+            (vma.start_frame() + vma.pages() + PAGES_PER_HUGE_PAGE - 1) >> HUGE_PAGE_ORDER;
+        let mut fx = Effects::cost(self.costs.remap_fixed);
+        fx.shootdowns = 1;
+        for region in start_region..end_region {
+            let mut any = false;
+            if self.table.huge_leaf(region).is_some() {
+                let pa_huge = self.table.unmap_huge(region)?;
+                if !policy.intercept_huge_free(pa_huge, now) {
+                    self.buddy.free(pa_huge << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER)?;
+                }
+                any = true;
+            } else {
+                for (va, pa) in self.table.iter_base_in(region) {
+                    self.table.unmap_base(va)?;
+                    self.buddy.free(pa, 0)?;
+                    any = true;
+                }
+            }
+            if any {
+                fx.gva_regions_invalidated.push(region);
+                policy.on_region_unmapped(region);
+                self.touches.remove(&region);
+            }
+        }
+        self.touched_vmas.remove(&vma.id);
+        Ok(fx)
+    }
+
+    /// The guest-level fragmentation index at huge-page order.
+    pub fn fragmentation_index(&self) -> f64 {
+        self.buddy.fragmentation_index(HUGE_PAGE_ORDER)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BasePagesOnly, FaultDecision};
+    use gemini_sim_core::page::PageSize;
+
+    /// A policy that always asks for huge mappings.
+    struct AlwaysHuge;
+    impl HugePolicy for AlwaysHuge {
+        fn name(&self) -> &'static str {
+            "AlwaysHuge"
+        }
+        fn fault_decision(&mut self, _ctx: &FaultCtx<'_>) -> FaultDecision {
+            FaultDecision::Huge
+        }
+    }
+
+    fn guest() -> GuestMm {
+        GuestMm::new(VmId(1), 8192, CostModel::default())
+    }
+
+    #[test]
+    fn fault_maps_base_page_in_vma() {
+        let mut g = guest();
+        let mut p = BasePagesOnly;
+        let vma = g.mmap(16 * 4096).unwrap();
+        let f = vma.start_frame();
+        let (out, fx) = g.handle_fault(f, &mut p).unwrap();
+        assert_eq!(out.size, PageSize::Base);
+        assert!(fx.cycles > Cycles::ZERO);
+        assert!(g.translate(f).is_some());
+        // Double fault on the same frame is a bug.
+        assert!(g.handle_fault(f, &mut p).is_err());
+        // Fault outside any VMA is a segfault.
+        assert!(matches!(g.handle_fault(0, &mut p), Err(SimError::NoVma(_))));
+    }
+
+    #[test]
+    fn huge_fault_covers_region_and_respects_vma_bounds() {
+        let mut g = guest();
+        let mut p = AlwaysHuge;
+        let vma = g.mmap(HUGE_PAGE_SIZE).unwrap();
+        let f = vma.start_frame() + 5;
+        let (out, _) = g.handle_fault(f, &mut p).unwrap();
+        assert_eq!(out.size, PageSize::Huge);
+        // All 512 frames are now translated.
+        assert!(g.translate(vma.start_frame()).is_some());
+        assert!(g.translate(vma.start_frame() + 511).is_some());
+        // A short VMA cannot take a huge mapping.
+        let small = g.mmap(4096).unwrap();
+        let (out2, _) = g.handle_fault(small.start_frame(), &mut p).unwrap();
+        assert_eq!(out2.size, PageSize::Base);
+    }
+
+    #[test]
+    fn partially_populated_region_cannot_go_huge() {
+        let mut g = guest();
+        let vma = g.mmap(HUGE_PAGE_SIZE).unwrap();
+        let mut base = BasePagesOnly;
+        g.handle_fault(vma.start_frame(), &mut base).unwrap();
+        let mut huge = AlwaysHuge;
+        let (out, _) = g.handle_fault(vma.start_frame() + 1, &mut huge).unwrap();
+        assert_eq!(out.size, PageSize::Base);
+    }
+
+    #[test]
+    fn munmap_frees_everything_and_invalidates() {
+        let mut g = guest();
+        let mut p = AlwaysHuge;
+        let vma = g.mmap(2 * HUGE_PAGE_SIZE).unwrap();
+        g.handle_fault(vma.start_frame(), &mut p).unwrap();
+        g.handle_fault(vma.start_frame() + 512, &mut p).unwrap();
+        let free_before = g.buddy.free_frames();
+        let fx = g.munmap(vma.id, &mut p, Cycles::ZERO).unwrap();
+        assert_eq!(g.buddy.free_frames(), free_before + 1024);
+        assert_eq!(fx.gva_regions_invalidated.len(), 2);
+        assert_eq!(g.table.huge_mapped(), 0);
+        g.buddy.check_invariants().unwrap();
+        g.table.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn munmap_respects_bucket_interception() {
+        /// Intercepts every freed huge page.
+        struct Bucket(Vec<u64>);
+        impl HugePolicy for Bucket {
+            fn name(&self) -> &'static str {
+                "bucket"
+            }
+            fn fault_decision(&mut self, _: &FaultCtx<'_>) -> FaultDecision {
+                FaultDecision::Huge
+            }
+            fn intercept_huge_free(&mut self, pa: u64, _now: Cycles) -> bool {
+                self.0.push(pa);
+                true
+            }
+        }
+        let mut g = guest();
+        let mut p = Bucket(Vec::new());
+        let vma = g.mmap(HUGE_PAGE_SIZE).unwrap();
+        g.handle_fault(vma.start_frame(), &mut p).unwrap();
+        let used_before = g.buddy.used_frames();
+        g.munmap(vma.id, &mut p, Cycles::ZERO).unwrap();
+        // The huge page's frames did NOT return to the buddy.
+        assert_eq!(g.buddy.used_frames(), used_before);
+        assert_eq!(p.0.len(), 1);
+    }
+
+    #[test]
+    fn daemon_runs_policy_promotions() {
+        /// Promotes every populated region by copy.
+        struct Collapse;
+        impl HugePolicy for Collapse {
+            fn name(&self) -> &'static str {
+                "collapse"
+            }
+            fn fault_decision(&mut self, _: &FaultCtx<'_>) -> FaultDecision {
+                FaultDecision::Base
+            }
+            fn daemon(&mut self, ops: &mut LayerOps<'_>) -> Vec<crate::policy::PromotionOp> {
+                ops.table
+                    .iter_regions()
+                    .filter(|&(_, huge)| !huge)
+                    .map(|(r, _)| {
+                        crate::policy::PromotionOp::new(r, crate::policy::PromotionKind::Copy)
+                    })
+                    .collect()
+            }
+        }
+        let mut g = guest();
+        let mut p = Collapse;
+        let vma = g.mmap(HUGE_PAGE_SIZE).unwrap();
+        for i in 0..40 {
+            g.handle_fault(vma.start_frame() + i, &mut p).unwrap();
+        }
+        let fx = g.run_daemon(&mut p, Cycles::ZERO, 1);
+        assert_eq!(g.table.huge_mapped(), 1);
+        assert_eq!(fx.pages_copied, 40);
+        assert_eq!(fx.shootdowns, 1);
+    }
+
+    #[test]
+    fn touch_recording_feeds_daemon_view() {
+        let mut g = guest();
+        g.record_touch(100 * 512);
+        g.record_touch(100 * 512 + 1);
+        assert_eq!(g.touches.get(&100), Some(&2));
+    }
+
+    #[test]
+    fn demote_splits_huge_mapping() {
+        let mut g = guest();
+        let mut p = AlwaysHuge;
+        let vma = g.mmap(HUGE_PAGE_SIZE).unwrap();
+        g.handle_fault(vma.start_frame(), &mut p).unwrap();
+        let region = vma.start_frame() >> HUGE_PAGE_ORDER;
+        let fx = g.demote(region, 1).unwrap();
+        assert_eq!(g.table.huge_mapped(), 0);
+        assert_eq!(g.table.base_mapped(), 512);
+        assert_eq!(fx.gva_regions_invalidated, vec![region]);
+    }
+}

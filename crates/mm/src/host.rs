@@ -1,0 +1,282 @@
+//! The host/hypervisor memory manager: EPT-fault handling and host-side
+//! huge-page backing for all VMs on the machine.
+
+use crate::costs::CostModel;
+use crate::mech;
+use crate::policy::{Effects, FaultCtx, FaultOutcome, HugePolicy, LayerKind, LayerOps};
+use gemini_buddy::BuddyAllocator;
+use gemini_page_table::AddressSpace;
+use gemini_sim_core::{Cycles, SimError, VmId, HUGE_PAGE_ORDER};
+use std::collections::{BTreeMap, HashMap};
+
+/// Memory management of the host: one EPT per VM, one machine-wide
+/// physical allocator.
+#[derive(Debug)]
+pub struct HostMm {
+    /// The host physical allocator (HPA frames).
+    pub buddy: BuddyAllocator,
+    /// Per-VM EPT (GPA frame → HPA frame).
+    epts: BTreeMap<VmId, AddressSpace>,
+    /// Sampled touch counters per (VM, GPA 2 MiB region).
+    touches: HashMap<VmId, HashMap<u64, u64>>,
+    costs: CostModel,
+}
+
+impl HostMm {
+    /// Creates a host with `hpa_frames` of machine memory.
+    pub fn new(hpa_frames: u64, costs: CostModel) -> Self {
+        Self {
+            buddy: BuddyAllocator::new(hpa_frames),
+            epts: BTreeMap::new(),
+            touches: HashMap::new(),
+            costs,
+        }
+    }
+
+    /// Registers a VM (creates its empty EPT).
+    pub fn register_vm(&mut self, vm: VmId) {
+        self.epts.entry(vm).or_default();
+        self.touches.entry(vm).or_default();
+    }
+
+    /// The EPT of `vm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM was never registered.
+    pub fn ept(&self, vm: VmId) -> &AddressSpace {
+        self.epts.get(&vm).expect("VM not registered")
+    }
+
+    /// Registered VMs in id order.
+    pub fn vms(&self) -> Vec<VmId> {
+        self.epts.keys().copied().collect()
+    }
+
+    /// Records a sampled access for daemon heuristics.
+    pub fn record_touch(&mut self, vm: VmId, gpa_frame: u64) {
+        *self
+            .touches
+            .entry(vm)
+            .or_default()
+            .entry(gpa_frame >> HUGE_PAGE_ORDER)
+            .or_insert(0) += 1;
+    }
+
+    /// Handles an EPT violation: `gpa_frame` of `vm` has no backing.
+    pub fn handle_fault(
+        &mut self,
+        vm: VmId,
+        gpa_frame: u64,
+        policy: &mut dyn HugePolicy,
+    ) -> Result<(FaultOutcome, Effects), SimError> {
+        let table = self.epts.get_mut(&vm).expect("VM not registered");
+        if table.translate(gpa_frame).is_some() {
+            return Err(SimError::AlreadyMappedGpa(gemini_sim_core::Gpa::from_frame(
+                gpa_frame,
+            )));
+        }
+        let region = gpa_frame >> HUGE_PAGE_ORDER;
+        let pop = table.region_population(region);
+        let ctx = FaultCtx {
+            layer: LayerKind::Host,
+            vm,
+            addr_frame: gpa_frame,
+            vma: None,
+            first_touch_in_vma: false,
+            region_pop: pop,
+            buddy: &self.buddy,
+            table,
+        };
+        let huge_allowed = pop.present == 0;
+        let decision = policy.fault_decision(&ctx);
+        drop(ctx);
+
+        let (outcome, fx) = mech::resolve_fault(
+            table,
+            &mut self.buddy,
+            &self.costs,
+            LayerKind::Host,
+            gpa_frame,
+            decision,
+            huge_allowed,
+        )?;
+        policy.after_fault(gpa_frame, &outcome);
+        Ok((outcome, fx))
+    }
+
+    /// Runs one host daemon pass of `policy` over `vm`'s EPT.
+    pub fn run_daemon(
+        &mut self,
+        vm: VmId,
+        policy: &mut dyn HugePolicy,
+        now: Cycles,
+        vcpus: u32,
+    ) -> Effects {
+        let table = self.epts.get_mut(&vm).expect("VM not registered");
+        let touches = self.touches.entry(vm).or_default();
+        let mut ops_view = LayerOps {
+            layer: LayerKind::Host,
+            vm,
+            table,
+            buddy: &mut self.buddy,
+            touches,
+            now,
+        };
+        let requests = policy.daemon(&mut ops_view);
+        let mut ops_view = LayerOps {
+            layer: LayerKind::Host,
+            vm,
+            table,
+            buddy: &mut self.buddy,
+            touches,
+            now,
+        };
+        let demotions = policy.select_demotions(&mut ops_view);
+        let mut fx = Effects::cost(Cycles(
+            self.costs.scan_per_region.0 * (requests.len() as u64 + 1),
+        ));
+        for op in requests {
+            fx.merge(mech::execute_promotion(
+                table,
+                &mut self.buddy,
+                &self.costs,
+                LayerKind::Host,
+                op,
+                vcpus,
+            ));
+        }
+        for region in demotions {
+            if let Ok(dfx) =
+                mech::execute_demotion(table, &self.costs, LayerKind::Host, region, vcpus)
+            {
+                fx.merge(dfx);
+            }
+        }
+        fx
+    }
+
+    /// Demotes (splits) one huge EPT leaf of `vm`.
+    pub fn demote(&mut self, vm: VmId, region: u64, vcpus: u32) -> Result<Effects, SimError> {
+        let table = self.epts.get_mut(&vm).expect("VM not registered");
+        mech::execute_demotion(table, &self.costs, LayerKind::Host, region, vcpus)
+    }
+
+    /// The host-level fragmentation index at huge-page order.
+    pub fn fragmentation_index(&self) -> f64 {
+        self.buddy.fragmentation_index(HUGE_PAGE_ORDER)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BasePagesOnly, FaultDecision, PromotionKind, PromotionOp};
+    use gemini_sim_core::page::PageSize;
+
+    struct AlwaysHuge;
+    impl HugePolicy for AlwaysHuge {
+        fn name(&self) -> &'static str {
+            "AlwaysHuge"
+        }
+        fn fault_decision(&mut self, _ctx: &FaultCtx<'_>) -> FaultDecision {
+            FaultDecision::Huge
+        }
+    }
+
+    fn host() -> HostMm {
+        let mut h = HostMm::new(16384, CostModel::default());
+        h.register_vm(VmId(1));
+        h.register_vm(VmId(2));
+        h
+    }
+
+    #[test]
+    fn ept_fault_backs_with_base_page() {
+        let mut h = host();
+        let mut p = BasePagesOnly;
+        let (out, fx) = h.handle_fault(VmId(1), 1000, &mut p).unwrap();
+        assert_eq!(out.size, PageSize::Base);
+        assert_eq!(fx.cycles, CostModel::default().ept_fault);
+        assert!(h.ept(VmId(1)).translate(1000).is_some());
+        assert!(h.ept(VmId(2)).translate(1000).is_none());
+        assert!(h.handle_fault(VmId(1), 1000, &mut p).is_err());
+    }
+
+    #[test]
+    fn ept_fault_backs_with_huge_page() {
+        let mut h = host();
+        let mut p = AlwaysHuge;
+        let (out, _) = h.handle_fault(VmId(1), 515, &mut p).unwrap();
+        assert_eq!(out.size, PageSize::Huge);
+        // The whole GPA region is backed.
+        assert!(h.ept(VmId(1)).translate(512).is_some());
+        assert!(h.ept(VmId(1)).translate(1023).is_some());
+        assert_eq!(h.ept(VmId(1)).huge_mapped(), 1);
+        // Backing is huge-aligned in HPA space.
+        assert!(h.ept(VmId(1)).huge_leaf(1).is_some());
+    }
+
+    #[test]
+    fn vms_share_the_host_allocator() {
+        let mut h = host();
+        let mut p = AlwaysHuge;
+        let (o1, _) = h.handle_fault(VmId(1), 0, &mut p).unwrap();
+        let (o2, _) = h.handle_fault(VmId(2), 0, &mut p).unwrap();
+        assert_ne!(o1.pa_frame, o2.pa_frame, "distinct machine frames");
+        assert_eq!(h.buddy.used_frames(), 1024);
+    }
+
+    #[test]
+    fn host_daemon_promotes_ept_regions() {
+        let mut h = host();
+        let mut p = BasePagesOnly;
+        for gpa in 0..64u64 {
+            h.handle_fault(VmId(1), gpa, &mut p).unwrap();
+        }
+        struct PromoteAll;
+        impl HugePolicy for PromoteAll {
+            fn name(&self) -> &'static str {
+                "promote-all"
+            }
+            fn fault_decision(&mut self, _: &FaultCtx<'_>) -> FaultDecision {
+                FaultDecision::Base
+            }
+            fn daemon(&mut self, ops: &mut LayerOps<'_>) -> Vec<PromotionOp> {
+                ops.table
+                    .iter_regions()
+                    .filter(|&(_, huge)| !huge)
+                    .map(|(r, _)| PromotionOp::new(r, PromotionKind::PreferInPlace))
+                    .collect()
+            }
+        }
+        let mut d = PromoteAll;
+        let fx = h.run_daemon(VmId(1), &mut d, Cycles::ZERO, 2);
+        assert_eq!(h.ept(VmId(1)).huge_mapped(), 1);
+        assert_eq!(fx.gpa_regions_changed, vec![0]);
+        // 64 of 512 pages present: khugepaged semantics collapse by copy.
+        assert_eq!(fx.pages_copied, 64);
+        assert_eq!(fx.pages_zeroed, 448);
+    }
+
+    #[test]
+    fn touch_counters_are_per_vm() {
+        let mut h = host();
+        h.record_touch(VmId(1), 5);
+        h.record_touch(VmId(2), 5);
+        h.record_touch(VmId(1), 5);
+        assert_eq!(h.touches[&VmId(1)][&0], 2);
+        assert_eq!(h.touches[&VmId(2)][&0], 1);
+    }
+
+    #[test]
+    fn demote_splits_ept_leaf() {
+        let mut h = host();
+        let mut p = AlwaysHuge;
+        h.handle_fault(VmId(1), 0, &mut p).unwrap();
+        let fx = h.demote(VmId(1), 0, 4).unwrap();
+        assert_eq!(h.ept(VmId(1)).huge_mapped(), 0);
+        assert_eq!(h.ept(VmId(1)).base_mapped(), 512);
+        assert_eq!(fx.gpa_regions_changed, vec![0]);
+    }
+}

@@ -1,0 +1,556 @@
+//! Layer-independent mechanism helpers shared by guest and host managers.
+//!
+//! Fault resolution (with the fallback ladder of [`FaultDecision`]) and
+//! promotion execution are identical at both layers up to which cost
+//! constants apply and which invalidation list the effects land in; this
+//! module implements them once.
+
+use crate::costs::CostModel;
+use crate::policy::{Effects, FaultDecision, FaultOutcome, LayerKind, PromotionKind, PromotionOp};
+use gemini_buddy::BuddyAllocator;
+use gemini_page_table::AddressSpace;
+use gemini_sim_core::page::PageSize;
+use gemini_sim_core::{Cycles, SimError, HUGE_PAGE_ORDER, PAGES_PER_HUGE_PAGE};
+
+/// Resolves a fault decision against the table and allocator, walking the
+/// fallback ladder: `HugeReserved`/`HugeAt` → `Huge` → `Base`, and
+/// `BaseReserved`/`BaseAt` → `Base`.
+///
+/// `huge_allowed` must already encode the legality of a huge mapping here
+/// (region empty and fully covered by the VMA at the guest layer).
+pub fn resolve_fault(
+    table: &mut AddressSpace,
+    buddy: &mut BuddyAllocator,
+    costs: &CostModel,
+    layer: LayerKind,
+    addr_frame: u64,
+    decision: FaultDecision,
+    huge_allowed: bool,
+) -> Result<(FaultOutcome, Effects), SimError> {
+    let region = addr_frame >> HUGE_PAGE_ORDER;
+    let (base_cost, huge_extra) = match layer {
+        LayerKind::Guest => (costs.minor_fault, costs.huge_fault_extra),
+        LayerKind::Host => (costs.ept_fault, costs.ept_huge_fault_extra),
+    };
+
+    // Huge-path attempts, in decreasing specificity.
+    if huge_allowed {
+        match decision {
+            FaultDecision::HugeReserved { huge_frame } => {
+                table.map_huge(region, huge_frame)?;
+                return Ok((
+                    FaultOutcome {
+                        size: PageSize::Huge,
+                        pa_frame: huge_frame << HUGE_PAGE_ORDER,
+                        placement_honored: true,
+                    },
+                    Effects::cost(base_cost + huge_extra),
+                ));
+            }
+            FaultDecision::HugeAt { huge_frame } => {
+                if buddy
+                    .alloc_at(huge_frame << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER)
+                    .is_ok()
+                {
+                    table.map_huge(region, huge_frame)?;
+                    return Ok((
+                        FaultOutcome {
+                            size: PageSize::Huge,
+                            pa_frame: huge_frame << HUGE_PAGE_ORDER,
+                            placement_honored: true,
+                        },
+                        Effects::cost(base_cost + huge_extra),
+                    ));
+                }
+                // Fall through to an untargeted huge attempt.
+                if let Ok(start) = buddy.alloc(HUGE_PAGE_ORDER) {
+                    table.map_huge(region, start >> HUGE_PAGE_ORDER)?;
+                    return Ok((
+                        FaultOutcome {
+                            size: PageSize::Huge,
+                            pa_frame: start,
+                            placement_honored: false,
+                        },
+                        Effects::cost(base_cost + huge_extra),
+                    ));
+                }
+            }
+            FaultDecision::Huge => {
+                if let Ok(start) = buddy.alloc(HUGE_PAGE_ORDER) {
+                    table.map_huge(region, start >> HUGE_PAGE_ORDER)?;
+                    return Ok((
+                        FaultOutcome {
+                            size: PageSize::Huge,
+                            pa_frame: start,
+                            placement_honored: true,
+                        },
+                        Effects::cost(base_cost + huge_extra),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Base-page path.
+    match decision {
+        FaultDecision::BaseReserved { frame } => {
+            table.map_base(addr_frame, frame)?;
+            Ok((
+                FaultOutcome {
+                    size: PageSize::Base,
+                    pa_frame: frame,
+                    placement_honored: true,
+                },
+                Effects::cost(base_cost),
+            ))
+        }
+        FaultDecision::BaseAt { frame } => {
+            if buddy.alloc_at(frame, 0).is_ok() {
+                table.map_base(addr_frame, frame)?;
+                Ok((
+                    FaultOutcome {
+                        size: PageSize::Base,
+                        pa_frame: frame,
+                        placement_honored: true,
+                    },
+                    Effects::cost(base_cost),
+                ))
+            } else {
+                let frame = buddy.alloc(0)?;
+                table.map_base(addr_frame, frame)?;
+                Ok((
+                    FaultOutcome {
+                        size: PageSize::Base,
+                        pa_frame: frame,
+                        placement_honored: false,
+                    },
+                    Effects::cost(base_cost),
+                ))
+            }
+        }
+        _ => {
+            // Base, or any huge-path decision that fell all the way down.
+            let frame = buddy.alloc(0)?;
+            table.map_base(addr_frame, frame)?;
+            let honored = decision == FaultDecision::Base;
+            Ok((
+                FaultOutcome {
+                    size: PageSize::Base,
+                    pa_frame: frame,
+                    placement_honored: honored,
+                },
+                Effects::cost(base_cost),
+            ))
+        }
+    }
+}
+
+/// Executes one promotion request; returns effects (empty if the request
+/// could not be satisfied, e.g. no contiguity and no free huge block).
+///
+/// On success the affected input region is recorded in the right
+/// invalidation list for `layer`, one shootdown round is charged, and the
+/// foreground stall reflects pages copied/zeroed.
+pub fn execute_promotion(
+    table: &mut AddressSpace,
+    buddy: &mut BuddyAllocator,
+    costs: &CostModel,
+    layer: LayerKind,
+    op: PromotionOp,
+    vcpus: u32,
+) -> Effects {
+    let pop = table.region_population(op.region);
+    if pop.present == 0 || table.huge_leaf(op.region).is_some() {
+        return Effects::none();
+    }
+
+    let full = pop.present == PAGES_PER_HUGE_PAGE as usize;
+    let try_in_place = matches!(
+        op.kind,
+        PromotionKind::InPlaceOnly | PromotionKind::PreferInPlace | PromotionKind::FillThenPromote
+    );
+
+    // 1. Pure in-place promotion: free except for the remap.
+    if try_in_place && full && pop.in_place_eligible && table.promote_in_place(op.region).is_ok() {
+        return promotion_effects(layer, op.region, costs.daemon_stall(0, vcpus), 0, 0);
+    }
+
+    // 2. Fill-then-promote: allocate the missing tail of an eligible
+    //    region at the exact frames, then promote in place.
+    if op.kind == PromotionKind::FillThenPromote {
+        if !pop.in_place_eligible {
+            return Effects::none();
+        }
+        let Some(target_huge) = pop.target_huge_frame else {
+            return Effects::none();
+        };
+        let pa0 = target_huge << HUGE_PAGE_ORDER;
+        let present: std::collections::HashSet<u64> = table
+            .iter_base_in(op.region)
+            .into_iter()
+            .map(|(va, _)| va % PAGES_PER_HUGE_PAGE)
+            .collect();
+        let missing: Vec<u64> =
+            (0..PAGES_PER_HUGE_PAGE).filter(|i| !present.contains(i)).collect();
+        // All-or-nothing: the missing frames must all be free — unless the
+        // policy already owns them (a booked region, `target_reserved`).
+        if !op.target_reserved && !missing.iter().all(|&i| buddy.is_frame_free(pa0 + i)) {
+            return Effects::none();
+        }
+        for &i in &missing {
+            if !op.target_reserved {
+                buddy
+                    .alloc_at(pa0 + i, 0)
+                    .expect("frame checked free above");
+            }
+            table
+                .map_base((op.region << HUGE_PAGE_ORDER) + i, pa0 + i)
+                .expect("entry checked absent above");
+        }
+        let zeroed = missing.len() as u64;
+        table
+            .promote_in_place(op.region)
+            .expect("region is now full, contiguous and aligned");
+        let mut fx = promotion_effects(layer, op.region, costs.daemon_stall(0, vcpus), 0, zeroed);
+        fx.cycles += Cycles(costs.page_zero.0 * zeroed);
+        return fx;
+    }
+
+    if op.kind == PromotionKind::InPlaceOnly {
+        return Effects::none();
+    }
+
+    // 3. Copy-promotion (khugepaged collapse): new huge page, copy what is
+    //    present, zero the rest.
+    let target = if let Some(t) = op.copy_target {
+        if op.target_reserved {
+            Some(t)
+        } else if buddy.alloc_at(t << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER).is_ok() {
+            Some(t)
+        } else {
+            buddy.alloc(HUGE_PAGE_ORDER).ok().map(|s| s >> HUGE_PAGE_ORDER)
+        }
+    } else {
+        buddy.alloc(HUGE_PAGE_ORDER).ok().map(|s| s >> HUGE_PAGE_ORDER)
+    };
+    let Some(target) = target else {
+        return Effects::none();
+    };
+    let displaced = table
+        .promote_with_copy(op.region, target)
+        .expect("region checked populated and not huge");
+    // Old frames return to the allocator.
+    for &(_, old) in &displaced {
+        buddy.free(old, 0).expect("displaced frame was allocated");
+    }
+    let copied = displaced.len() as u64;
+    let zeroed = PAGES_PER_HUGE_PAGE - copied;
+    let stall = costs.daemon_stall(copied, vcpus);
+    let mut fx = promotion_effects(layer, op.region, stall, copied, zeroed);
+    fx.cycles += Cycles(costs.page_zero.0 * zeroed);
+    fx
+}
+
+/// Splits a huge leaf back into base mappings, with accounting.
+pub fn execute_demotion(
+    table: &mut AddressSpace,
+    costs: &CostModel,
+    layer: LayerKind,
+    region: u64,
+    vcpus: u32,
+) -> Result<Effects, SimError> {
+    table.demote(region)?;
+    Ok(promotion_effects(
+        layer,
+        region,
+        costs.daemon_stall(0, vcpus),
+        0,
+        0,
+    ))
+}
+
+fn promotion_effects(
+    layer: LayerKind,
+    region: u64,
+    stall: Cycles,
+    copied: u64,
+    zeroed: u64,
+) -> Effects {
+    let mut fx = Effects::cost(stall);
+    fx.shootdowns = 1;
+    fx.pages_copied = copied;
+    fx.pages_zeroed = zeroed;
+    match layer {
+        LayerKind::Guest => fx.gva_regions_invalidated.push(region),
+        LayerKind::Host => fx.gpa_regions_changed.push(region),
+    }
+    fx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_sim_core::page::PageSize;
+
+    fn setup() -> (AddressSpace, BuddyAllocator, CostModel) {
+        (AddressSpace::new(), BuddyAllocator::new(4096), CostModel::default())
+    }
+
+    #[test]
+    fn base_decision_maps_one_page() {
+        let (mut t, mut b, c) = setup();
+        let (out, fx) = resolve_fault(
+            &mut t, &mut b, &c, LayerKind::Guest, 100, FaultDecision::Base, true,
+        )
+        .unwrap();
+        assert_eq!(out.size, PageSize::Base);
+        assert!(out.placement_honored);
+        assert_eq!(fx.cycles, c.minor_fault);
+        assert_eq!(t.base_mapped(), 1);
+        assert_eq!(b.used_frames(), 1);
+    }
+
+    #[test]
+    fn huge_decision_maps_region_when_allowed() {
+        let (mut t, mut b, c) = setup();
+        let (out, fx) = resolve_fault(
+            &mut t, &mut b, &c, LayerKind::Guest, 513, FaultDecision::Huge, true,
+        )
+        .unwrap();
+        assert_eq!(out.size, PageSize::Huge);
+        assert_eq!(t.huge_mapped(), 1);
+        assert_eq!(b.used_frames(), 512);
+        assert!(fx.cycles > c.minor_fault);
+        // Host faults cost EPT rates.
+        let (mut t2, mut b2, _) = setup();
+        let (_, fx2) = resolve_fault(
+            &mut t2, &mut b2, &c, LayerKind::Host, 513, FaultDecision::Huge, true,
+        )
+        .unwrap();
+        assert_eq!(fx2.cycles, c.ept_fault + c.ept_huge_fault_extra);
+    }
+
+    #[test]
+    fn huge_disallowed_degrades_to_base() {
+        let (mut t, mut b, c) = setup();
+        let (out, _) = resolve_fault(
+            &mut t, &mut b, &c, LayerKind::Guest, 0, FaultDecision::Huge, false,
+        )
+        .unwrap();
+        assert_eq!(out.size, PageSize::Base);
+        assert!(!out.placement_honored);
+    }
+
+    #[test]
+    fn huge_at_honors_target_or_falls_back() {
+        let (mut t, mut b, c) = setup();
+        let (out, _) = resolve_fault(
+            &mut t, &mut b, &c, LayerKind::Guest, 0,
+            FaultDecision::HugeAt { huge_frame: 3 }, true,
+        )
+        .unwrap();
+        assert_eq!(out.pa_frame, 3 * 512);
+        assert!(out.placement_honored);
+        // Target busy now: next fault in another region falls back.
+        let (out2, _) = resolve_fault(
+            &mut t, &mut b, &c, LayerKind::Guest, 512,
+            FaultDecision::HugeAt { huge_frame: 3 }, true,
+        )
+        .unwrap();
+        assert_eq!(out2.size, PageSize::Huge);
+        assert!(!out2.placement_honored);
+        assert_ne!(out2.pa_frame, 3 * 512);
+    }
+
+    #[test]
+    fn base_at_falls_back_when_busy() {
+        let (mut t, mut b, c) = setup();
+        b.alloc_at(7, 0).unwrap();
+        let (out, _) = resolve_fault(
+            &mut t, &mut b, &c, LayerKind::Guest, 1,
+            FaultDecision::BaseAt { frame: 7 }, true,
+        )
+        .unwrap();
+        assert!(!out.placement_honored);
+        assert_ne!(out.pa_frame, 7);
+    }
+
+    #[test]
+    fn reserved_variants_bypass_buddy() {
+        let (mut t, mut b, c) = setup();
+        // Carve frames out of the buddy first, as a booking would.
+        b.alloc_at(512, gemini_sim_core::HUGE_PAGE_ORDER).unwrap();
+        let used_before = b.used_frames();
+        let (out, _) = resolve_fault(
+            &mut t, &mut b, &c, LayerKind::Guest, 0,
+            FaultDecision::BaseReserved { frame: 512 }, true,
+        )
+        .unwrap();
+        assert_eq!(out.pa_frame, 512);
+        assert_eq!(b.used_frames(), used_before, "buddy untouched");
+        let out2 = resolve_fault(
+            &mut t, &mut b, &c, LayerKind::Guest, 512,
+            FaultDecision::HugeReserved { huge_frame: 1 }, true,
+        );
+        // Region 1's frames are partly the same; mapping still succeeds at
+        // the table level because table and buddy are decoupled here.
+        assert!(out2.is_ok());
+    }
+
+    #[test]
+    fn oom_propagates() {
+        let (mut t, mut b, c) = setup();
+        while b.alloc(0).is_ok() {}
+        let r = resolve_fault(&mut t, &mut b, &c, LayerKind::Guest, 0, FaultDecision::Base, true);
+        assert!(matches!(r, Err(SimError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn in_place_promotion_via_op() {
+        let (mut t, mut b, c) = setup();
+        for i in 0..512u64 {
+            let f = b.alloc(0).unwrap();
+            assert_eq!(f, i); // Low-address-first keeps it contiguous.
+            t.map_base(i, f).unwrap();
+        }
+        let fx = execute_promotion(
+            &mut t, &mut b, &c, LayerKind::Guest,
+            PromotionOp::new(0, PromotionKind::InPlaceOnly), 1,
+        );
+        assert_eq!(t.huge_mapped(), 1);
+        assert_eq!(fx.pages_copied, 0);
+        assert_eq!(fx.shootdowns, 1);
+        assert_eq!(fx.gva_regions_invalidated, vec![0]);
+    }
+
+    #[test]
+    fn in_place_only_refuses_scattered_regions() {
+        let (mut t, mut b, c) = setup();
+        // Scattered: allocate from high addresses via alloc_at.
+        for i in 0..512u64 {
+            let f = 2048 + i * 2;
+            b.alloc_at(f, 0).unwrap();
+            t.map_base(i, f).unwrap();
+        }
+        let fx = execute_promotion(
+            &mut t, &mut b, &c, LayerKind::Guest,
+            PromotionOp::new(0, PromotionKind::InPlaceOnly), 1,
+        );
+        assert_eq!(fx, Effects::none());
+        assert_eq!(t.huge_mapped(), 0);
+    }
+
+    #[test]
+    fn prefer_in_place_collapses_scattered_by_copy() {
+        let (mut t, mut b, c) = setup();
+        for i in 0..100u64 {
+            let f = 1024 + i * 3;
+            b.alloc_at(f, 0).unwrap();
+            t.map_base(i, f).unwrap();
+        }
+        let used_before = b.used_frames();
+        let fx = execute_promotion(
+            &mut t, &mut b, &c, LayerKind::Guest,
+            PromotionOp::new(0, PromotionKind::PreferInPlace), 4,
+        );
+        assert_eq!(t.huge_mapped(), 1);
+        assert_eq!(fx.pages_copied, 100);
+        assert_eq!(fx.pages_zeroed, 412);
+        // Net frames: +512 (huge) -100 (displaced returned).
+        assert_eq!(b.used_frames(), used_before + 512 - 100);
+        b.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn copy_promotion_prefers_requested_target() {
+        let (mut t, mut b, c) = setup();
+        b.alloc_at(0, 0).unwrap();
+        t.map_base(0, 0).unwrap();
+        let fx = execute_promotion(
+            &mut t, &mut b, &c, LayerKind::Host,
+            PromotionOp {
+                region: 0,
+                kind: PromotionKind::Copy,
+                copy_target: Some(5),
+                target_reserved: false,
+            },
+            1,
+        );
+        assert_eq!(t.huge_leaf(0), Some(5));
+        assert_eq!(fx.gpa_regions_changed, vec![0]);
+    }
+
+    #[test]
+    fn fill_then_promote_fills_missing_frames() {
+        let (mut t, mut b, c) = setup();
+        // 300 pages present, contiguous from frame 512 (aligned).
+        for i in 0..300u64 {
+            b.alloc_at(512 + i, 0).unwrap();
+            t.map_base(i, 512 + i).unwrap();
+        }
+        let fx = execute_promotion(
+            &mut t, &mut b, &c, LayerKind::Guest,
+            PromotionOp::new(0, PromotionKind::FillThenPromote), 1,
+        );
+        assert_eq!(t.huge_leaf(0), Some(1));
+        assert_eq!(fx.pages_zeroed, 212);
+        assert_eq!(fx.pages_copied, 0);
+        b.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fill_then_promote_requires_free_tail_and_eligibility() {
+        let (mut t, mut b, c) = setup();
+        for i in 0..300u64 {
+            b.alloc_at(512 + i, 0).unwrap();
+            t.map_base(i, 512 + i).unwrap();
+        }
+        // Occupy one missing frame: all-or-nothing must refuse.
+        b.alloc_at(512 + 400, 0).unwrap();
+        let fx = execute_promotion(
+            &mut t, &mut b, &c, LayerKind::Guest,
+            PromotionOp::new(0, PromotionKind::FillThenPromote), 1,
+        );
+        assert_eq!(fx, Effects::none());
+        assert_eq!(t.huge_mapped(), 0);
+        // Scattered region is ineligible regardless of free space.
+        let (mut t2, mut b2, _) = setup();
+        b2.alloc_at(512, 0).unwrap();
+        b2.alloc_at(2000, 0).unwrap();
+        t2.map_base(0, 512).unwrap();
+        t2.map_base(1, 2000).unwrap();
+        let fx2 = execute_promotion(
+            &mut t2, &mut b2, &c, LayerKind::Guest,
+            PromotionOp::new(0, PromotionKind::FillThenPromote), 1,
+        );
+        assert_eq!(fx2, Effects::none());
+    }
+
+    #[test]
+    fn promotion_skips_empty_and_already_huge() {
+        let (mut t, mut b, c) = setup();
+        let fx = execute_promotion(
+            &mut t, &mut b, &c, LayerKind::Guest,
+            PromotionOp::new(9, PromotionKind::Copy), 1,
+        );
+        assert_eq!(fx, Effects::none());
+        t.map_huge(9, 2).unwrap();
+        let fx = execute_promotion(
+            &mut t, &mut b, &c, LayerKind::Guest,
+            PromotionOp::new(9, PromotionKind::Copy), 1,
+        );
+        assert_eq!(fx, Effects::none());
+    }
+
+    #[test]
+    fn demotion_splits_and_accounts() {
+        let (mut t, _b, c) = setup();
+        t.map_huge(4, 7).unwrap();
+        let fx = execute_demotion(&mut t, &c, LayerKind::Host, 4, 2).unwrap();
+        assert_eq!(t.huge_mapped(), 0);
+        assert_eq!(t.base_mapped(), 512);
+        assert_eq!(fx.gpa_regions_changed, vec![4]);
+        assert!(execute_demotion(&mut t, &c, LayerKind::Host, 4, 2).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! Virtual memory areas of a guest process.
+//!
+//! Gemini's enhanced memory allocator operates *per VMA* rather than per
+//! huge-page region (paper §5: "We realize EMA based on virtual memory
+//! areas ... the number of offset descriptors for huge page sized memory
+//! regions can be huge"), so VMAs — their identity, bounds and growth — are
+//! first-class here.
+
+use gemini_sim_core::{Gva, SimError, BASE_PAGE_SIZE};
+use std::collections::BTreeMap;
+
+/// Identifier of a VMA, stable across its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VmaId(pub u64);
+
+/// One virtual memory area: a contiguous, page-aligned GVA range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vma {
+    /// Stable identity.
+    pub id: VmaId,
+    /// Inclusive start address (base-page aligned).
+    pub start: Gva,
+    /// Length in bytes (multiple of the base page size).
+    pub len: u64,
+}
+
+impl Vma {
+    /// Exclusive end address.
+    pub fn end(&self) -> Gva {
+        self.start.add(self.len)
+    }
+
+    /// True when `gva` falls inside this area.
+    pub fn contains(&self, gva: Gva) -> bool {
+        gva >= self.start && gva < self.end()
+    }
+
+    /// Number of base pages spanned.
+    pub fn pages(&self) -> u64 {
+        self.len / BASE_PAGE_SIZE
+    }
+
+    /// First base-frame number of the area.
+    pub fn start_frame(&self) -> u64 {
+        self.start.frame()
+    }
+}
+
+/// The set of VMAs of one address space, ordered by start address.
+#[derive(Debug, Clone, Default)]
+pub struct VmaSet {
+    areas: BTreeMap<u64, Vma>,
+    next_id: u64,
+    /// Lowest address never handed out; simple bump placement for `mmap`.
+    high_water: u64,
+}
+
+impl VmaSet {
+    /// Creates an empty set whose first mapping starts at `base` bytes.
+    pub fn new(base: u64) -> Self {
+        Self {
+            areas: BTreeMap::new(),
+            next_id: 1,
+            high_water: base,
+        }
+    }
+
+    /// Maps a new area of `len` bytes (rounded up to a page) at the lowest
+    /// huge-page-aligned free address, returning it.
+    ///
+    /// Alignment to 2 MiB mirrors what glibc/THP-aware allocators do for
+    /// large mappings and gives every policy the same starting conditions.
+    pub fn mmap(&mut self, len: u64) -> Result<Vma, SimError> {
+        if len == 0 {
+            return Err(SimError::Invariant("zero-length mmap"));
+        }
+        let len = Gva(len).align_up_base().raw();
+        let start = Gva(self.high_water).align_up_huge();
+        let vma = Vma {
+            id: VmaId(self.next_id),
+            start,
+            len,
+        };
+        self.next_id += 1;
+        self.high_water = start.raw() + len;
+        self.areas.insert(start.raw(), vma.clone());
+        Ok(vma)
+    }
+
+    /// Extends the area `id` by `extra` bytes if it is the topmost mapping
+    /// (models VMA expansion, which invalidates EMA's assumption that the
+    /// booked region fits the VMA — the sub-VMA mechanism's trigger).
+    pub fn expand(&mut self, id: VmaId, extra: u64) -> Result<Vma, SimError> {
+        let vma = self
+            .areas
+            .values_mut()
+            .find(|v| v.id == id)
+            .ok_or(SimError::Invariant("expand of unknown VMA"))?;
+        if vma.start.raw() + vma.len != self.high_water {
+            return Err(SimError::Invariant("only the top VMA can expand"));
+        }
+        vma.len += Gva(extra).align_up_base().raw();
+        self.high_water = vma.start.raw() + vma.len;
+        Ok(vma.clone())
+    }
+
+    /// Removes the area `id`, returning it.
+    pub fn munmap(&mut self, id: VmaId) -> Result<Vma, SimError> {
+        let key = self
+            .areas
+            .iter()
+            .find(|(_, v)| v.id == id)
+            .map(|(&k, _)| k)
+            .ok_or(SimError::Invariant("munmap of unknown VMA"))?;
+        Ok(self.areas.remove(&key).expect("key just found"))
+    }
+
+    /// Finds the area containing `gva`.
+    pub fn find(&self, gva: Gva) -> Option<&Vma> {
+        let (_, vma) = self.areas.range(..=gva.raw()).next_back()?;
+        vma.contains(gva).then_some(vma)
+    }
+
+    /// Looks an area up by id.
+    pub fn get(&self, id: VmaId) -> Option<&Vma> {
+        self.areas.values().find(|v| v.id == id)
+    }
+
+    /// Iterates all areas in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &Vma> {
+        self.areas.values()
+    }
+
+    /// Number of areas.
+    pub fn len(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// True when no areas exist.
+    pub fn is_empty(&self) -> bool {
+        self.areas.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_sim_core::HUGE_PAGE_SIZE;
+
+    #[test]
+    fn mmap_is_huge_aligned_and_disjoint() {
+        let mut set = VmaSet::new(HUGE_PAGE_SIZE);
+        let a = set.mmap(10 * BASE_PAGE_SIZE).unwrap();
+        let b = set.mmap(HUGE_PAGE_SIZE).unwrap();
+        assert!(a.start.is_huge_aligned());
+        assert!(b.start.is_huge_aligned());
+        assert!(a.end() <= b.start);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn mmap_rounds_len_up_to_pages() {
+        let mut set = VmaSet::new(0);
+        let v = set.mmap(100).unwrap();
+        assert_eq!(v.len, BASE_PAGE_SIZE);
+        assert_eq!(v.pages(), 1);
+        assert!(set.mmap(0).is_err());
+    }
+
+    #[test]
+    fn find_resolves_interior_addresses_only() {
+        let mut set = VmaSet::new(0);
+        let v = set.mmap(4 * BASE_PAGE_SIZE).unwrap();
+        assert_eq!(set.find(v.start).unwrap().id, v.id);
+        assert_eq!(set.find(v.start.add(v.len - 1)).unwrap().id, v.id);
+        assert!(set.find(v.end()).is_none());
+        assert!(set.find(Gva(v.start.raw().wrapping_sub(1))).is_none());
+    }
+
+    #[test]
+    fn expand_grows_top_vma_only() {
+        let mut set = VmaSet::new(0);
+        let a = set.mmap(BASE_PAGE_SIZE).unwrap();
+        let grown = set.expand(a.id, BASE_PAGE_SIZE).unwrap();
+        assert_eq!(grown.len, 2 * BASE_PAGE_SIZE);
+        let b = set.mmap(BASE_PAGE_SIZE).unwrap();
+        assert!(set.expand(a.id, BASE_PAGE_SIZE).is_err());
+        assert!(set.expand(b.id, BASE_PAGE_SIZE).is_ok());
+    }
+
+    #[test]
+    fn munmap_removes_and_reports_unknown() {
+        let mut set = VmaSet::new(0);
+        let v = set.mmap(BASE_PAGE_SIZE).unwrap();
+        assert_eq!(set.munmap(v.id).unwrap().id, v.id);
+        assert!(set.is_empty());
+        assert!(set.munmap(v.id).is_err());
+        assert!(set.find(v.start).is_none());
+    }
+}

@@ -1,0 +1,617 @@
+//! Radix page tables with mixed 4 KiB / 2 MiB leaves.
+//!
+//! An [`AddressSpace`] models one layer of translation — either a guest
+//! process page table (GVA → GPA) or a VM/EPT page table (GPA → HPA). The
+//! huge-page misalignment problem of the paper is a *relation between two
+//! `AddressSpace`s*: a 2 MiB leaf in one layer is only useful if the
+//! corresponding 2 MiB region in the other layer is also mapped by a single
+//! 2 MiB leaf (at a huge-page-aligned target).
+//!
+//! The representation is organized around 2 MiB regions, mirroring x86-64
+//! structure: each naturally aligned 2 MiB span of the input space is either
+//! unmapped, mapped by one huge leaf, or covered by a last-level table of
+//! 512 base-page entries. Upper directory levels are implicit — the TLB
+//! crate derives page-walk steps and walk-cache keys from address bits, so
+//! only leaf state needs to be materialized here.
+//!
+//! All addresses at this interface are *frame numbers* (base-page index for
+//! base mappings, huge-page index for huge mappings); the `mm` crate wraps
+//! them in typed [`gemini_sim_core::Gva`]/[`Gpa`]/[`Hpa`] addresses.
+//!
+//! [`Gpa`]: gemini_sim_core::Gpa
+//!
+//! # Examples
+//!
+//! ```
+//! use gemini_page_table::{AddressSpace, LeafSize};
+//!
+//! let mut table = AddressSpace::new();
+//! // Demand-page 512 contiguous, aligned frames, then promote in place.
+//! for i in 0..512 {
+//!     table.map_base(i, 512 + i)?;
+//! }
+//! let huge_frame = table.promote_in_place(0)?;
+//! assert_eq!(huge_frame, 1);
+//! let t = table.translate(100).expect("still mapped");
+//! assert_eq!(t.size, LeafSize::Huge);
+//! assert_eq!(t.pa_frame, 612);
+//! # Ok::<(), gemini_sim_core::SimError>(())
+//! ```
+
+use gemini_sim_core::{SimError, HUGE_PAGE_ORDER, PAGES_PER_HUGE_PAGE};
+use std::collections::BTreeMap;
+
+/// Number of entries in a last-level table (512 for x86-64).
+pub const ENTRIES_PER_TABLE: usize = PAGES_PER_HUGE_PAGE as usize;
+
+/// The size of the leaf that translated an address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LeafSize {
+    /// Translated by a 4 KiB PTE (4 directory levels walked).
+    Base,
+    /// Translated by a 2 MiB PDE (3 directory levels walked).
+    Huge,
+}
+
+impl LeafSize {
+    /// Number of page-table levels a hardware walk traverses to reach a
+    /// leaf of this size (x86-64: 4 for base pages, 3 for huge pages).
+    pub const fn walk_levels(self) -> u32 {
+        match self {
+            LeafSize::Base => 4,
+            LeafSize::Huge => 3,
+        }
+    }
+}
+
+/// Result of translating one input frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// Output base-page frame backing the input frame.
+    pub pa_frame: u64,
+    /// Size of the leaf that produced the translation.
+    pub size: LeafSize,
+}
+
+/// State of one aligned 2 MiB region of the input address space.
+#[derive(Debug, Clone)]
+enum Region {
+    /// The whole region is mapped by a single 2 MiB leaf to this output
+    /// huge-frame.
+    Huge(u64),
+    /// The region is covered by a last-level table of base-page entries.
+    Table(Box<[Option<u64>; ENTRIES_PER_TABLE]>),
+}
+
+/// Summary of a 2 MiB region's population, used by promotion policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionPopulation {
+    /// Number of present base entries (0–512); 512 means fully populated.
+    pub present: usize,
+    /// True when the present entries are placed such that an in-place
+    /// promotion is possible *if* the region were fully populated: every
+    /// present entry `i` maps to `pa0 + i` for a huge-aligned `pa0`.
+    pub in_place_eligible: bool,
+    /// The would-be huge output frame for in-place promotion, when eligible
+    /// and at least one entry is present.
+    pub target_huge_frame: Option<u64>,
+}
+
+/// One layer of address translation with mixed page sizes.
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    /// Input huge-frame index → region state.
+    regions: BTreeMap<u64, Region>,
+    /// Count of present base-page leaves.
+    base_mapped: u64,
+    /// Count of present huge-page leaves.
+    huge_mapped: u64,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of base-page leaves currently mapped.
+    pub fn base_mapped(&self) -> u64 {
+        self.base_mapped
+    }
+
+    /// Number of huge-page leaves currently mapped.
+    pub fn huge_mapped(&self) -> u64 {
+        self.huge_mapped
+    }
+
+    /// Total mapped memory in base pages.
+    pub fn mapped_base_page_equiv(&self) -> u64 {
+        self.base_mapped + self.huge_mapped * PAGES_PER_HUGE_PAGE
+    }
+
+    /// Maps one base frame `va_frame` → `pa_frame`.
+    ///
+    /// Fails if the frame is already translated (by a base or huge leaf).
+    pub fn map_base(&mut self, va_frame: u64, pa_frame: u64) -> Result<(), SimError> {
+        let (huge, idx) = split_frame(va_frame);
+        match self.regions.get_mut(&huge) {
+            Some(Region::Huge(_)) => Err(SimError::AlreadyMappedGva(gva_of(va_frame))),
+            Some(Region::Table(t)) => {
+                if t[idx].is_some() {
+                    return Err(SimError::AlreadyMappedGva(gva_of(va_frame)));
+                }
+                t[idx] = Some(pa_frame);
+                self.base_mapped += 1;
+                Ok(())
+            }
+            None => {
+                let mut t = Box::new([None; ENTRIES_PER_TABLE]);
+                t[idx] = Some(pa_frame);
+                self.regions.insert(huge, Region::Table(t));
+                self.base_mapped += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Maps one huge frame `va_huge_frame` → `pa_huge_frame`.
+    ///
+    /// Fails if any base entry already exists in the region or the region
+    /// is already huge-mapped.
+    pub fn map_huge(&mut self, va_huge_frame: u64, pa_huge_frame: u64) -> Result<(), SimError> {
+        match self.regions.get(&va_huge_frame) {
+            Some(Region::Huge(_)) => Err(SimError::AlreadyMappedGva(gva_of(
+                va_huge_frame << HUGE_PAGE_ORDER,
+            ))),
+            Some(Region::Table(t)) => {
+                if t.iter().any(Option::is_some) {
+                    Err(SimError::AlreadyMappedGva(gva_of(
+                        va_huge_frame << HUGE_PAGE_ORDER,
+                    )))
+                } else {
+                    self.regions
+                        .insert(va_huge_frame, Region::Huge(pa_huge_frame));
+                    self.huge_mapped += 1;
+                    Ok(())
+                }
+            }
+            None => {
+                self.regions
+                    .insert(va_huge_frame, Region::Huge(pa_huge_frame));
+                self.huge_mapped += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Unmaps one base frame, returning the output frame it mapped to.
+    pub fn unmap_base(&mut self, va_frame: u64) -> Result<u64, SimError> {
+        let (huge, idx) = split_frame(va_frame);
+        match self.regions.get_mut(&huge) {
+            Some(Region::Table(t)) => {
+                let pa = t[idx].take().ok_or(SimError::NotMappedGva(gva_of(va_frame)))?;
+                self.base_mapped -= 1;
+                if t.iter().all(Option::is_none) {
+                    self.regions.remove(&huge);
+                }
+                Ok(pa)
+            }
+            _ => Err(SimError::NotMappedGva(gva_of(va_frame))),
+        }
+    }
+
+    /// Unmaps one huge leaf, returning the output huge frame.
+    pub fn unmap_huge(&mut self, va_huge_frame: u64) -> Result<u64, SimError> {
+        match self.regions.get(&va_huge_frame) {
+            Some(Region::Huge(pa)) => {
+                let pa = *pa;
+                self.regions.remove(&va_huge_frame);
+                self.huge_mapped -= 1;
+                Ok(pa)
+            }
+            _ => Err(SimError::NotMappedGva(gva_of(va_huge_frame << HUGE_PAGE_ORDER))),
+        }
+    }
+
+    /// Translates one input base frame to its output base frame, if mapped.
+    pub fn translate(&self, va_frame: u64) -> Option<Translation> {
+        let (huge, idx) = split_frame(va_frame);
+        match self.regions.get(&huge)? {
+            Region::Huge(pa_huge) => Some(Translation {
+                pa_frame: (pa_huge << HUGE_PAGE_ORDER) + idx as u64,
+                size: LeafSize::Huge,
+            }),
+            Region::Table(t) => t[idx].map(|pa_frame| Translation {
+                pa_frame,
+                size: LeafSize::Base,
+            }),
+        }
+    }
+
+    /// Returns the huge leaf covering `va_huge_frame`, if any.
+    pub fn huge_leaf(&self, va_huge_frame: u64) -> Option<u64> {
+        match self.regions.get(&va_huge_frame)? {
+            Region::Huge(pa) => Some(*pa),
+            Region::Table(_) => None,
+        }
+    }
+
+    /// Describes the population of the region at `va_huge_frame`.
+    ///
+    /// A region mapped by a huge leaf reports 512 present entries and
+    /// in-place eligibility (it is already promoted).
+    pub fn region_population(&self, va_huge_frame: u64) -> RegionPopulation {
+        match self.regions.get(&va_huge_frame) {
+            None => RegionPopulation {
+                present: 0,
+                in_place_eligible: true,
+                target_huge_frame: None,
+            },
+            Some(Region::Huge(pa)) => RegionPopulation {
+                present: ENTRIES_PER_TABLE,
+                in_place_eligible: true,
+                target_huge_frame: Some(*pa),
+            },
+            Some(Region::Table(t)) => {
+                let present = t.iter().filter(|e| e.is_some()).count();
+                // In-place eligible iff every present entry i maps to
+                // pa0 + i with pa0 huge-aligned.
+                let mut target: Option<u64> = None;
+                let mut eligible = true;
+                for (i, e) in t.iter().enumerate() {
+                    if let Some(pa) = e {
+                        let pa0 = pa.wrapping_sub(i as u64);
+                        if pa0 % PAGES_PER_HUGE_PAGE != 0 {
+                            eligible = false;
+                            break;
+                        }
+                        match target {
+                            None => target = Some(pa0 >> HUGE_PAGE_ORDER),
+                            Some(t0) if t0 != pa0 >> HUGE_PAGE_ORDER => {
+                                eligible = false;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                RegionPopulation {
+                    present,
+                    in_place_eligible: eligible,
+                    target_huge_frame: if eligible { target } else { None },
+                }
+            }
+        }
+    }
+
+    /// Promotes a fully populated, physically contiguous, aligned region to
+    /// a single huge leaf without moving data.
+    ///
+    /// Returns the output huge frame. Fails with
+    /// [`SimError::NotContiguous`] when entries are missing, scattered, or
+    /// the target is not huge-aligned.
+    pub fn promote_in_place(&mut self, va_huge_frame: u64) -> Result<u64, SimError> {
+        let pop = self.region_population(va_huge_frame);
+        if pop.present != ENTRIES_PER_TABLE || !pop.in_place_eligible {
+            return Err(SimError::NotContiguous);
+        }
+        match self.regions.get(&va_huge_frame) {
+            Some(Region::Huge(_)) => Err(SimError::AlreadyMappedGva(gva_of(
+                va_huge_frame << HUGE_PAGE_ORDER,
+            ))),
+            Some(Region::Table(_)) => {
+                let target = pop
+                    .target_huge_frame
+                    .ok_or(SimError::Invariant("eligible full region without target"))?;
+                self.regions.insert(va_huge_frame, Region::Huge(target));
+                self.base_mapped -= ENTRIES_PER_TABLE as u64;
+                self.huge_mapped += 1;
+                Ok(target)
+            }
+            None => Err(SimError::NotContiguous),
+        }
+    }
+
+    /// Promotes a region by *moving* its contents to a fresh huge frame.
+    ///
+    /// Replaces whatever base entries exist with one huge leaf pointing at
+    /// `new_pa_huge_frame`, and returns the displaced `(index, old_frame)`
+    /// pairs so the caller can free them and charge per-page copy costs.
+    /// Fails if the region is empty or already huge.
+    pub fn promote_with_copy(
+        &mut self,
+        va_huge_frame: u64,
+        new_pa_huge_frame: u64,
+    ) -> Result<Vec<(usize, u64)>, SimError> {
+        match self.regions.get(&va_huge_frame) {
+            Some(Region::Huge(_)) => Err(SimError::AlreadyMappedGva(gva_of(
+                va_huge_frame << HUGE_PAGE_ORDER,
+            ))),
+            None => Err(SimError::NotMappedGva(gva_of(va_huge_frame << HUGE_PAGE_ORDER))),
+            Some(Region::Table(t)) => {
+                let displaced: Vec<(usize, u64)> = t
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, e)| e.map(|pa| (i, pa)))
+                    .collect();
+                if displaced.is_empty() {
+                    return Err(SimError::NotMappedGva(gva_of(
+                        va_huge_frame << HUGE_PAGE_ORDER,
+                    )));
+                }
+                self.base_mapped -= displaced.len() as u64;
+                self.huge_mapped += 1;
+                self.regions
+                    .insert(va_huge_frame, Region::Huge(new_pa_huge_frame));
+                Ok(displaced)
+            }
+        }
+    }
+
+    /// Splits a huge leaf back into 512 base entries covering the same
+    /// output frames (the inverse of in-place promotion).
+    pub fn demote(&mut self, va_huge_frame: u64) -> Result<(), SimError> {
+        let pa_huge = self.unmap_huge(va_huge_frame)?;
+        let mut t = Box::new([None; ENTRIES_PER_TABLE]);
+        for (i, slot) in t.iter_mut().enumerate() {
+            *slot = Some((pa_huge << HUGE_PAGE_ORDER) + i as u64);
+        }
+        self.regions.insert(va_huge_frame, Region::Table(t));
+        self.base_mapped += ENTRIES_PER_TABLE as u64;
+        Ok(())
+    }
+
+    /// Iterates all huge leaves as `(va_huge_frame, pa_huge_frame)` in
+    /// input-address order — the MHPS scan.
+    pub fn iter_huge(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.regions.iter().filter_map(|(&va, r)| match r {
+            Region::Huge(pa) => Some((va, *pa)),
+            Region::Table(_) => None,
+        })
+    }
+
+    /// Iterates present base entries inside one region as
+    /// `(va_frame, pa_frame)` pairs.
+    pub fn iter_base_in(&self, va_huge_frame: u64) -> Vec<(u64, u64)> {
+        match self.regions.get(&va_huge_frame) {
+            Some(Region::Table(t)) => t
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| {
+                    e.map(|pa| ((va_huge_frame << HUGE_PAGE_ORDER) + i as u64, pa))
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Iterates every populated region's input huge-frame index together
+    /// with whether it is huge-mapped.
+    pub fn iter_regions(&self) -> impl Iterator<Item = (u64, bool)> + '_ {
+        self.regions
+            .iter()
+            .map(|(&va, r)| (va, matches!(r, Region::Huge(_))))
+    }
+
+    /// Iterates every base-mapped `(va_frame, pa_frame)` pair across all
+    /// regions, in input-address order.
+    pub fn iter_base(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.regions.iter().flat_map(|(&va_huge, r)| {
+            let table = match r {
+                Region::Table(t) => Some(t),
+                Region::Huge(_) => None,
+            };
+            table
+                .into_iter()
+                .flat_map(move |t| {
+                    t.iter().enumerate().filter_map(move |(i, e)| {
+                        e.map(|pa| ((va_huge << HUGE_PAGE_ORDER) + i as u64, pa))
+                    })
+                })
+        })
+    }
+
+    /// Checks internal accounting invariants; used by tests.
+    pub fn check_invariants(&self) -> Result<(), SimError> {
+        let mut base = 0u64;
+        let mut huge = 0u64;
+        for r in self.regions.values() {
+            match r {
+                Region::Huge(_) => huge += 1,
+                Region::Table(t) => {
+                    let n = t.iter().filter(|e| e.is_some()).count() as u64;
+                    if n == 0 {
+                        return Err(SimError::Invariant("empty table region retained"));
+                    }
+                    base += n;
+                }
+            }
+        }
+        if base != self.base_mapped || huge != self.huge_mapped {
+            return Err(SimError::Invariant("mapping counters out of sync"));
+        }
+        Ok(())
+    }
+}
+
+/// Splits a base-frame number into (huge-frame index, index within region).
+fn split_frame(va_frame: u64) -> (u64, usize) {
+    (
+        va_frame >> HUGE_PAGE_ORDER,
+        (va_frame % PAGES_PER_HUGE_PAGE) as usize,
+    )
+}
+
+/// Helper to build a typed GVA from a frame for error reporting.
+fn gva_of(frame: u64) -> gemini_sim_core::Gva {
+    gemini_sim_core::Gva::from_frame(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_map_translate_unmap() {
+        let mut a = AddressSpace::new();
+        a.map_base(1000, 77).unwrap();
+        assert_eq!(
+            a.translate(1000),
+            Some(Translation {
+                pa_frame: 77,
+                size: LeafSize::Base
+            })
+        );
+        assert_eq!(a.translate(1001), None);
+        assert_eq!(a.base_mapped(), 1);
+        assert_eq!(a.unmap_base(1000).unwrap(), 77);
+        assert_eq!(a.translate(1000), None);
+        assert_eq!(a.base_mapped(), 0);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn huge_map_translates_every_subframe() {
+        let mut a = AddressSpace::new();
+        a.map_huge(2, 5).unwrap();
+        let t = a.translate(2 * 512 + 13).unwrap();
+        assert_eq!(t.size, LeafSize::Huge);
+        assert_eq!(t.pa_frame, 5 * 512 + 13);
+        assert_eq!(a.huge_mapped(), 1);
+        assert_eq!(a.huge_leaf(2), Some(5));
+        assert_eq!(a.huge_leaf(3), None);
+        assert_eq!(a.mapped_base_page_equiv(), 512);
+        assert_eq!(a.unmap_huge(2).unwrap(), 5);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn conflicting_mappings_rejected() {
+        let mut a = AddressSpace::new();
+        a.map_base(512, 1).unwrap();
+        assert!(matches!(a.map_base(512, 2), Err(SimError::AlreadyMappedGva(_))));
+        // Huge over a populated region.
+        assert!(matches!(a.map_huge(1, 9), Err(SimError::AlreadyMappedGva(_))));
+        let mut b = AddressSpace::new();
+        b.map_huge(1, 9).unwrap();
+        // Base under a huge leaf.
+        assert!(matches!(b.map_base(512, 1), Err(SimError::AlreadyMappedGva(_))));
+        assert!(matches!(b.map_huge(1, 10), Err(SimError::AlreadyMappedGva(_))));
+    }
+
+    #[test]
+    fn unmap_missing_fails() {
+        let mut a = AddressSpace::new();
+        assert!(matches!(a.unmap_base(4), Err(SimError::NotMappedGva(_))));
+        assert!(matches!(a.unmap_huge(4), Err(SimError::NotMappedGva(_))));
+        a.map_huge(4, 4).unwrap();
+        assert!(matches!(a.unmap_base(4 * 512), Err(SimError::NotMappedGva(_))));
+    }
+
+    #[test]
+    fn walk_levels_match_x86() {
+        assert_eq!(LeafSize::Base.walk_levels(), 4);
+        assert_eq!(LeafSize::Huge.walk_levels(), 3);
+    }
+
+    #[test]
+    fn in_place_promotion_happy_path() {
+        let mut a = AddressSpace::new();
+        // Region va_huge 3, contiguous aligned backing at pa0 = 7*512.
+        for i in 0..512 {
+            a.map_base(3 * 512 + i, 7 * 512 + i).unwrap();
+        }
+        let pop = a.region_population(3);
+        assert_eq!(pop.present, 512);
+        assert!(pop.in_place_eligible);
+        assert_eq!(pop.target_huge_frame, Some(7));
+        let pa = a.promote_in_place(3).unwrap();
+        assert_eq!(pa, 7);
+        assert_eq!(a.huge_mapped(), 1);
+        assert_eq!(a.base_mapped(), 0);
+        // Translation is preserved exactly.
+        assert_eq!(a.translate(3 * 512 + 99).unwrap().pa_frame, 7 * 512 + 99);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn in_place_promotion_rejects_holes_and_scatter() {
+        let mut a = AddressSpace::new();
+        for i in 0..511 {
+            a.map_base(i, 512 + i).unwrap();
+        }
+        // Hole at entry 511.
+        assert_eq!(a.promote_in_place(0), Err(SimError::NotContiguous));
+        a.map_base(511, 9999).unwrap(); // Scattered last entry.
+        assert_eq!(a.promote_in_place(0), Err(SimError::NotContiguous));
+        let pop = a.region_population(0);
+        assert!(!pop.in_place_eligible);
+        assert_eq!(pop.target_huge_frame, None);
+        // Unaligned but contiguous backing also fails.
+        let mut b = AddressSpace::new();
+        for i in 0..512 {
+            b.map_base(i, 100 + i).unwrap(); // pa0 = 100, not 512-aligned.
+        }
+        assert_eq!(b.promote_in_place(0), Err(SimError::NotContiguous));
+        assert!(!b.region_population(0).in_place_eligible);
+    }
+
+    #[test]
+    fn empty_region_population_is_trivially_eligible() {
+        let mut a = AddressSpace::new();
+        let pop = a.region_population(9);
+        assert_eq!(pop.present, 0);
+        assert!(pop.in_place_eligible);
+        assert_eq!(pop.target_huge_frame, None);
+        assert_eq!(a.promote_in_place(9), Err(SimError::NotContiguous));
+    }
+
+    #[test]
+    fn copy_promotion_returns_displaced_frames() {
+        let mut a = AddressSpace::new();
+        a.map_base(0, 40).unwrap();
+        a.map_base(5, 99).unwrap();
+        let displaced = a.promote_with_copy(0, 77).unwrap();
+        assert_eq!(displaced, vec![(0, 40), (5, 99)]);
+        assert_eq!(a.huge_leaf(0), Some(77));
+        assert_eq!(a.translate(5).unwrap().pa_frame, 77 * 512 + 5);
+        a.check_invariants().unwrap();
+        // Copy-promoting an empty or huge region fails.
+        assert!(a.promote_with_copy(0, 1).is_err());
+        assert!(a.promote_with_copy(1, 1).is_err());
+    }
+
+    #[test]
+    fn demote_restores_identical_translations() {
+        let mut a = AddressSpace::new();
+        a.map_huge(6, 2).unwrap();
+        let before: Vec<_> = (0..512).map(|i| a.translate(6 * 512 + i).unwrap().pa_frame).collect();
+        a.demote(6).unwrap();
+        assert_eq!(a.huge_mapped(), 0);
+        assert_eq!(a.base_mapped(), 512);
+        for (i, &pa) in before.iter().enumerate() {
+            let t = a.translate(6 * 512 + i as u64).unwrap();
+            assert_eq!(t.pa_frame, pa);
+            assert_eq!(t.size, LeafSize::Base);
+        }
+        // A demoted region can be promoted back in place.
+        assert_eq!(a.promote_in_place(6).unwrap(), 2);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn iterators_scan_in_address_order() {
+        let mut a = AddressSpace::new();
+        a.map_huge(9, 1).unwrap();
+        a.map_huge(2, 3).unwrap();
+        a.map_base(512, 7).unwrap(); // Region 1.
+        let huges: Vec<_> = a.iter_huge().collect();
+        assert_eq!(huges, vec![(2, 3), (9, 1)]);
+        let regions: Vec<_> = a.iter_regions().collect();
+        assert_eq!(regions, vec![(1, false), (2, true), (9, true)]);
+        assert_eq!(a.iter_base_in(1), vec![(512, 7)]);
+        assert_eq!(a.iter_base_in(2), Vec::new());
+        let all_base: Vec<_> = a.iter_base().collect();
+        assert_eq!(all_base, vec![(512, 7)]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the mixed-size address space.
+
+use gemini_page_table::{AddressSpace, LeafSize};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    MapBase { va: u64, pa: u64 },
+    MapHuge { va_h: u64, pa_h: u64 },
+    UnmapBase { va: u64 },
+    UnmapHuge { va_h: u64 },
+    Demote { va_h: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A small VA universe (8 huge regions) so operations collide often.
+    prop_oneof![
+        (0u64..4096, 0u64..1 << 20).prop_map(|(va, pa)| Op::MapBase { va, pa }),
+        (0u64..8, 0u64..2048).prop_map(|(va_h, pa_h)| Op::MapHuge { va_h, pa_h }),
+        (0u64..4096).prop_map(|va| Op::UnmapBase { va }),
+        (0u64..8).prop_map(|va_h| Op::UnmapHuge { va_h }),
+        (0u64..8).prop_map(|va_h| Op::Demote { va_h }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A shadow model (flat map va_frame -> pa_frame) must always agree
+    /// with the radix structure, whatever the interleaving.
+    #[test]
+    fn matches_flat_shadow_model(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let mut a = AddressSpace::new();
+        let mut shadow: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut huge_regions: BTreeMap<u64, u64> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::MapBase { va, pa } => {
+                    let ok = a.map_base(va, pa).is_ok();
+                    let expect = !shadow.contains_key(&va) && !huge_regions.contains_key(&(va / 512));
+                    prop_assert_eq!(ok, expect);
+                    if ok {
+                        shadow.insert(va, pa);
+                    }
+                }
+                Op::MapHuge { va_h, pa_h } => {
+                    let ok = a.map_huge(va_h, pa_h).is_ok();
+                    let region_busy = huge_regions.contains_key(&va_h)
+                        || shadow.range(va_h * 512..(va_h + 1) * 512).next().is_some();
+                    prop_assert_eq!(ok, !region_busy);
+                    if ok {
+                        huge_regions.insert(va_h, pa_h);
+                    }
+                }
+                Op::UnmapBase { va } => {
+                    let r = a.unmap_base(va);
+                    match shadow.remove(&va) {
+                        Some(pa) => prop_assert_eq!(r, Ok(pa)),
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+                Op::UnmapHuge { va_h } => {
+                    let r = a.unmap_huge(va_h);
+                    match huge_regions.remove(&va_h) {
+                        Some(pa) => prop_assert_eq!(r, Ok(pa)),
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+                Op::Demote { va_h } => {
+                    let r = a.demote(va_h);
+                    match huge_regions.remove(&va_h) {
+                        Some(pa_h) => {
+                            prop_assert!(r.is_ok());
+                            for i in 0..512 {
+                                shadow.insert(va_h * 512 + i, pa_h * 512 + i);
+                            }
+                        }
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+            }
+
+            a.check_invariants().unwrap();
+            prop_assert_eq!(a.base_mapped(), shadow.len() as u64);
+            prop_assert_eq!(a.huge_mapped(), huge_regions.len() as u64);
+        }
+
+        // Final translation sweep.
+        for (&va, &pa) in &shadow {
+            let t = a.translate(va).unwrap();
+            prop_assert_eq!(t.pa_frame, pa);
+            prop_assert_eq!(t.size, LeafSize::Base);
+        }
+        for (&va_h, &pa_h) in &huge_regions {
+            for i in [0u64, 17, 511] {
+                let t = a.translate(va_h * 512 + i).unwrap();
+                prop_assert_eq!(t.pa_frame, pa_h * 512 + i);
+                prop_assert_eq!(t.size, LeafSize::Huge);
+            }
+        }
+    }
+
+    /// promote_in_place succeeds exactly when the region is fully populated
+    /// with contiguous, huge-aligned backing — and never alters translation.
+    #[test]
+    fn promotion_preserves_translation(
+        pa0_huge in 0u64..64,
+        holes in prop::collection::btree_set(0usize..512, 0..3),
+        scatter in proptest::bool::ANY,
+    ) {
+        let mut a = AddressSpace::new();
+        for i in 0..512usize {
+            if holes.contains(&i) {
+                continue;
+            }
+            let pa = if scatter && i == 100 {
+                999_999
+            } else {
+                pa0_huge * 512 + i as u64
+            };
+            a.map_base(i as u64, pa).unwrap();
+        }
+        let before: Vec<_> = (0..512u64).map(|i| a.translate(i).map(|t| t.pa_frame)).collect();
+        let should_succeed = holes.is_empty() && !scatter;
+        let result = a.promote_in_place(0);
+        prop_assert_eq!(result.is_ok(), should_succeed);
+        let after: Vec<_> = (0..512u64).map(|i| a.translate(i).map(|t| t.pa_frame)).collect();
+        prop_assert_eq!(before, after);
+        a.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,124 @@
+//! Ingens (OSDI '16): coordinated, utilization-based huge-page promotion.
+//!
+//! Ingens removes THP's synchronous fault-path allocation (which inflates
+//! tail latency and bloats memory) and instead promotes asynchronously,
+//! only once a region's *utilization* crosses a threshold (90 % of its 512
+//! base pages populated). Promotion is performed by a background thread
+//! with a bounded budget, fair-shared across address spaces.
+
+use gemini_mm::{FaultCtx, FaultDecision, HugePolicy, LayerOps, PromotionKind, PromotionOp};
+use gemini_sim_core::{Cycles, PAGES_PER_HUGE_PAGE};
+
+/// Ingens: async utilization-gated promotion.
+#[derive(Debug, Clone)]
+pub struct Ingens {
+    /// Utilization threshold in present pages (Ingens' 90 % ≈ 461).
+    pub util_threshold: usize,
+    /// Regions promoted per daemon pass.
+    pub regions_per_pass: usize,
+}
+
+impl Ingens {
+    /// Creates Ingens with the paper's parameters.
+    pub fn new() -> Self {
+        Self {
+            util_threshold: (PAGES_PER_HUGE_PAGE as f64 * 0.9).ceil() as usize,
+            regions_per_pass: 2,
+        }
+    }
+}
+
+impl Default for Ingens {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HugePolicy for Ingens {
+    fn name(&self) -> &'static str {
+        "Ingens"
+    }
+
+    fn fault_decision(&mut self, _ctx: &FaultCtx<'_>) -> FaultDecision {
+        // Asynchronous-only: the fault path never allocates huge pages.
+        FaultDecision::Base
+    }
+
+    fn daemon_period(&self) -> Cycles {
+        Cycles::from_millis(20.0)
+    }
+
+    fn daemon(&mut self, ops: &mut LayerOps<'_>) -> Vec<PromotionOp> {
+        // Highest-utilization regions first; ties by address for
+        // determinism.
+        let mut candidates: Vec<(usize, u64)> = ops
+            .table
+            .iter_regions()
+            .filter(|&(_, huge)| !huge)
+            .map(|(r, _)| (ops.table.region_population(r).present, r))
+            .filter(|&(present, _)| present >= self.util_threshold)
+            .collect();
+        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        candidates
+            .into_iter()
+            .take(self.regions_per_pass)
+            .map(|(_, r)| PromotionOp::new(r, PromotionKind::PreferInPlace))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_mm::{CostModel, GuestMm};
+    use gemini_sim_core::page::PageSize;
+    use gemini_sim_core::{VmId, HUGE_PAGE_SIZE};
+
+    #[test]
+    fn fault_path_is_always_base() {
+        let mut g = GuestMm::new(VmId(1), 4096, CostModel::default());
+        let mut ingens = Ingens::new();
+        let vma = g.mmap(HUGE_PAGE_SIZE).unwrap();
+        let (out, _) = g.handle_fault(vma.start_frame(), &mut ingens).unwrap();
+        assert_eq!(out.size, PageSize::Base);
+    }
+
+    #[test]
+    fn promotes_only_above_utilization_threshold() {
+        let mut g = GuestMm::new(VmId(1), 1 << 14, CostModel::default());
+        let mut ingens = Ingens::new();
+        let vma = g.mmap(2 * HUGE_PAGE_SIZE).unwrap();
+        // Region 0: 460 pages (just below 461); region 1: 470 pages.
+        for i in 0..460 {
+            g.handle_fault(vma.start_frame() + i, &mut ingens).unwrap();
+        }
+        for i in 0..470 {
+            g.handle_fault(vma.start_frame() + 512 + i, &mut ingens).unwrap();
+        }
+        g.run_daemon(&mut ingens, Cycles::ZERO, 1);
+        assert_eq!(g.table.huge_mapped(), 1, "only the 470-page region");
+        // Top the first region up; it promotes on the next pass.
+        g.handle_fault(vma.start_frame() + 460, &mut ingens).unwrap();
+        g.run_daemon(&mut ingens, Cycles::ZERO, 1);
+        assert_eq!(g.table.huge_mapped(), 2);
+    }
+
+    #[test]
+    fn budget_limits_promotions_per_pass() {
+        let mut g = GuestMm::new(VmId(1), 1 << 15, CostModel::default());
+        let mut ingens = Ingens {
+            regions_per_pass: 8,
+            ..Ingens::new()
+        };
+        let vma = g.mmap(12 * HUGE_PAGE_SIZE).unwrap();
+        for r in 0..12u64 {
+            for i in 0..490 {
+                g.handle_fault(vma.start_frame() + r * 512 + i, &mut ingens).unwrap();
+            }
+        }
+        g.run_daemon(&mut ingens, Cycles::ZERO, 1);
+        assert_eq!(g.table.huge_mapped(), 8);
+        g.run_daemon(&mut ingens, Cycles::ZERO, 1);
+        assert_eq!(g.table.huge_mapped(), 12);
+    }
+}

@@ -1,0 +1,98 @@
+//! Baseline huge-page coalescing policies.
+//!
+//! These are the systems §6 of the paper compares Gemini against, each
+//! implemented from its published description as a [`HugePolicy`] that can
+//! be plugged into the guest layer, the host layer, or both:
+//!
+//! - [`BaseOnly`] — base pages only (`Host-B-VM-B` when used at both
+//!   layers).
+//! - [`HugeAlways`] — huge pages whenever legal (used at the host with
+//!   [`BaseOnly`] in the guest, this is the paper's `Misalignment`
+//!   scenario).
+//! - [`LinuxThp`] — Linux transparent huge pages: synchronous huge
+//!   allocation at fault time plus khugepaged background collapse.
+//! - [`Ingens`] — asynchronous, utilization-gated promotion (≥ 90 % of the
+//!   region populated).
+//! - [`HawkEye`] — access-coverage-ranked asynchronous promotion with
+//!   zero-page deduplication (which demotes huge pages it dedups, the
+//!   behaviour behind the paper's Specjbb anomaly).
+//! - [`CaPaging`] — contiguity-aware paging: per-extent offset
+//!   reservations at first fault so later promotions are in-place.
+//! - [`TranslationRanger`] — aggressive migration-based coalescing with a
+//!   large per-pass budget and copy-always semantics.
+//!
+//! None of these coordinates across layers; well-aligned huge pages arise
+//! only by chance — the misalignment problem Gemini fixes.
+
+pub mod ca_paging;
+pub mod hawkeye;
+pub mod ingens;
+pub mod ranger;
+pub mod statics;
+pub mod thp;
+
+pub use ca_paging::CaPaging;
+pub use hawkeye::HawkEye;
+pub use ingens::Ingens;
+pub use ranger::TranslationRanger;
+pub use statics::{BaseOnly, HugeAlways};
+pub use thp::LinuxThp;
+
+use gemini_mm::HugePolicy;
+
+/// Identifies a baseline policy for scenario construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Base pages only.
+    Base,
+    /// Huge pages whenever legal.
+    HugeAlways,
+    /// Linux transparent huge pages.
+    Thp,
+    /// Ingens.
+    Ingens,
+    /// HawkEye; `zero_heavy` marks workloads with many in-use zero pages
+    /// (e.g. Specjbb) that its deduplicator will disturb.
+    HawkEye {
+        /// Workload has many in-use zero pages.
+        zero_heavy: bool,
+    },
+    /// CA-paging (software component).
+    CaPaging,
+    /// Translation-ranger.
+    Ranger,
+}
+
+/// Builds a fresh policy instance of `kind`.
+pub fn build(kind: PolicyKind) -> Box<dyn HugePolicy> {
+    match kind {
+        PolicyKind::Base => Box::new(BaseOnly),
+        PolicyKind::HugeAlways => Box::new(HugeAlways),
+        PolicyKind::Thp => Box::new(LinuxThp::new()),
+        PolicyKind::Ingens => Box::new(Ingens::new()),
+        PolicyKind::HawkEye { zero_heavy } => Box::new(HawkEye::new(zero_heavy)),
+        PolicyKind::CaPaging => Box::new(CaPaging::new()),
+        PolicyKind::Ranger => Box::new(TranslationRanger::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_every_kind() {
+        let kinds = [
+            (PolicyKind::Base, "Base"),
+            (PolicyKind::HugeAlways, "HugeAlways"),
+            (PolicyKind::Thp, "THP"),
+            (PolicyKind::Ingens, "Ingens"),
+            (PolicyKind::HawkEye { zero_heavy: false }, "HawkEye"),
+            (PolicyKind::CaPaging, "CA-paging"),
+            (PolicyKind::Ranger, "Translation-ranger"),
+        ];
+        for (kind, name) in kinds {
+            assert_eq!(build(kind).name(), name);
+        }
+    }
+}

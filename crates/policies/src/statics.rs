@@ -1,0 +1,63 @@
+//! Static page-size policies: the `Host-B-VM-B` and `Misalignment`
+//! baselines.
+
+use gemini_mm::{FaultCtx, FaultDecision, HugePolicy};
+use gemini_sim_core::HUGE_PAGE_ORDER;
+
+/// Always uses base pages.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaseOnly;
+
+impl HugePolicy for BaseOnly {
+    fn name(&self) -> &'static str {
+        "Base"
+    }
+
+    fn fault_decision(&mut self, _ctx: &FaultCtx<'_>) -> FaultDecision {
+        FaultDecision::Base
+    }
+}
+
+/// Uses a huge page whenever the region is empty and a huge block exists;
+/// never coalesces afterwards.
+///
+/// At the host layer with [`BaseOnly`] in the guest, this constructs the
+/// paper's `Misalignment` scenario: every host huge page is mis-aligned by
+/// construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HugeAlways;
+
+impl HugePolicy for HugeAlways {
+    fn name(&self) -> &'static str {
+        "HugeAlways"
+    }
+
+    fn fault_decision(&mut self, ctx: &FaultCtx<'_>) -> FaultDecision {
+        if ctx.buddy.free_area_counts().free_blocks_suitable(HUGE_PAGE_ORDER) > 0 {
+            FaultDecision::Huge
+        } else {
+            FaultDecision::Base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_mm::{CostModel, HostMm};
+    use gemini_sim_core::VmId;
+
+    #[test]
+    fn huge_always_backs_huge_until_memory_runs_short() {
+        let mut h = HostMm::new(1024 + 16, CostModel::default());
+        h.register_vm(VmId(1));
+        let mut p = HugeAlways;
+        let (o1, _) = h.handle_fault(VmId(1), 0, &mut p).unwrap();
+        let (o2, _) = h.handle_fault(VmId(1), 512, &mut p).unwrap();
+        assert_eq!(o1.size, gemini_sim_core::page::PageSize::Huge);
+        assert_eq!(o2.size, gemini_sim_core::page::PageSize::Huge);
+        // Only 16 loose frames left: falls back to base.
+        let (o3, _) = h.handle_fault(VmId(1), 1024, &mut p).unwrap();
+        assert_eq!(o3.size, gemini_sim_core::page::PageSize::Base);
+    }
+}

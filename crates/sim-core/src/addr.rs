@@ -1,0 +1,200 @@
+//! Strongly-typed addresses for the three address spaces of a virtualized
+//! system.
+//!
+//! Memory virtualization involves three address spaces, and the huge-page
+//! misalignment problem is precisely a statement about the relation between
+//! mappings across them:
+//!
+//! - [`Gva`] — guest virtual address, used by applications inside a VM,
+//! - [`Gpa`] — guest physical address, what the guest OS believes is RAM,
+//! - [`Hpa`] — host physical address, actual machine memory.
+//!
+//! Keeping them as distinct newtypes makes it a type error to, say, index a
+//! host buddy allocator with a guest physical address — the exact confusion
+//! the misalignment problem thrives on.
+
+use crate::page::{BASE_PAGE_SHIFT, HUGE_PAGE_SHIFT, HUGE_PAGE_SIZE};
+use core::fmt;
+
+macro_rules! define_address {
+    ($(#[$meta:meta])* $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// The zero address.
+            pub const ZERO: Self = Self(0);
+
+            /// Builds an address from a base-page frame number.
+            pub const fn from_frame(frame: u64) -> Self {
+                Self(frame << BASE_PAGE_SHIFT)
+            }
+
+            /// Builds an address from a huge-page frame number.
+            pub const fn from_huge_frame(frame: u64) -> Self {
+                Self(frame << HUGE_PAGE_SHIFT)
+            }
+
+            /// Returns the raw 64-bit address value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the base-page frame number containing this address.
+            pub const fn frame(self) -> u64 {
+                self.0 >> BASE_PAGE_SHIFT
+            }
+
+            /// Returns the huge-page frame number containing this address.
+            pub const fn huge_frame(self) -> u64 {
+                self.0 >> HUGE_PAGE_SHIFT
+            }
+
+            /// Rounds down to the containing base-page boundary.
+            pub const fn align_down_base(self) -> Self {
+                Self(self.0 & !((1u64 << BASE_PAGE_SHIFT) - 1))
+            }
+
+            /// Rounds down to the containing huge-page boundary.
+            pub const fn align_down_huge(self) -> Self {
+                Self(self.0 & !((1u64 << HUGE_PAGE_SHIFT) - 1))
+            }
+
+            /// Rounds up to the next base-page boundary (identity when
+            /// already aligned).
+            pub const fn align_up_base(self) -> Self {
+                Self((self.0 + ((1u64 << BASE_PAGE_SHIFT) - 1)) & !((1u64 << BASE_PAGE_SHIFT) - 1))
+            }
+
+            /// Rounds up to the next huge-page boundary (identity when
+            /// already aligned).
+            pub const fn align_up_huge(self) -> Self {
+                Self((self.0 + ((1u64 << HUGE_PAGE_SHIFT) - 1)) & !((1u64 << HUGE_PAGE_SHIFT) - 1))
+            }
+
+            /// Returns true when the address sits on a base-page boundary.
+            pub const fn is_base_aligned(self) -> bool {
+                self.0 & ((1u64 << BASE_PAGE_SHIFT) - 1) == 0
+            }
+
+            /// Returns true when the address sits on a huge-page boundary.
+            pub const fn is_huge_aligned(self) -> bool {
+                self.0 & ((1u64 << HUGE_PAGE_SHIFT) - 1) == 0
+            }
+
+            /// Returns the offset of this address within its huge page.
+            pub const fn huge_offset(self) -> u64 {
+                self.0 & (HUGE_PAGE_SIZE - 1)
+            }
+
+            /// Address `bytes` after this one.
+            pub const fn add(self, bytes: u64) -> Self {
+                Self(self.0 + bytes)
+            }
+
+            /// Signed distance in bytes from `other` to `self`.
+            pub const fn offset_from(self, other: Self) -> i64 {
+                self.0 as i64 - other.0 as i64
+            }
+
+            /// Applies a signed byte offset, as used by the EMA offset
+            /// descriptors (`GPA = GVA - GuestOffset`).
+            pub fn offset_by(self, offset: i64) -> Self {
+                Self((self.0 as i64 - offset) as u64)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+define_address!(
+    /// A guest virtual address: what an application inside a VM dereferences.
+    Gva,
+    "Gva"
+);
+define_address!(
+    /// A guest physical address: what the guest OS manages as "RAM"; the
+    /// key that the misaligned-huge-page scanner (MHPS) uses to correlate
+    /// huge pages across layers.
+    Gpa,
+    "Gpa"
+);
+define_address!(
+    /// A host physical address: an actual machine memory location.
+    Hpa,
+    "Hpa"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{BASE_PAGE_SIZE, HUGE_PAGE_SIZE};
+
+    #[test]
+    fn frame_round_trips() {
+        let a = Gva::from_frame(123);
+        assert_eq!(a.raw(), 123 * BASE_PAGE_SIZE);
+        assert_eq!(a.frame(), 123);
+        let h = Gpa::from_huge_frame(7);
+        assert_eq!(h.raw(), 7 * HUGE_PAGE_SIZE);
+        assert_eq!(h.huge_frame(), 7);
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        let a = Hpa(HUGE_PAGE_SIZE + 5000);
+        assert_eq!(a.align_down_huge(), Hpa(HUGE_PAGE_SIZE));
+        assert_eq!(a.align_down_base(), Hpa(HUGE_PAGE_SIZE + 4096));
+        assert_eq!(a.align_up_huge(), Hpa(2 * HUGE_PAGE_SIZE));
+        assert_eq!(a.align_up_base(), Hpa(HUGE_PAGE_SIZE + 8192));
+        assert!(!a.is_huge_aligned());
+        assert!(a.align_down_huge().is_huge_aligned());
+        assert!(Hpa(8192).is_base_aligned());
+        assert_eq!(a.huge_offset(), 5000);
+    }
+
+    #[test]
+    fn align_up_is_identity_on_aligned() {
+        let a = Gva(3 * HUGE_PAGE_SIZE);
+        assert_eq!(a.align_up_huge(), a);
+        assert_eq!(a.align_up_base(), a);
+    }
+
+    #[test]
+    fn offsets_match_ema_arithmetic() {
+        // GuestOffset = GVA1 - GPA1; GPA2 = GVA2 - GuestOffset (paper §4.2).
+        let gva1 = Gva(10 * HUGE_PAGE_SIZE);
+        let gpa1 = Gpa(4 * HUGE_PAGE_SIZE);
+        let guest_offset = gva1.offset_from(Gva(gpa1.raw()));
+        let gva2 = gva1.add(3 * BASE_PAGE_SIZE);
+        let gpa2 = Gpa(gva2.offset_by(guest_offset).raw());
+        assert_eq!(gpa2, Gpa(4 * HUGE_PAGE_SIZE + 3 * BASE_PAGE_SIZE));
+        // The derived GPA preserves the huge-page-internal offset, which is
+        // exactly the property that enables in-place promotion.
+        assert_eq!(gva2.huge_offset(), gpa2.huge_offset());
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(format!("{}", Gva(0x1000)), "0x1000");
+        assert_eq!(format!("{:?}", Gpa(0x1000)), "Gpa(0x1000)");
+    }
+}

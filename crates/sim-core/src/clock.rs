@@ -1,0 +1,168 @@
+//! Deterministic cycle clock.
+//!
+//! The simulator measures everything — workload progress, daemon periods,
+//! booking timeouts, TLB-shootdown stalls — in CPU cycles of a nominal
+//! 2.1 GHz core (the Xeon E5-2620 of the paper's testbed). A single logical
+//! clock per simulated machine keeps foreground execution and background
+//! daemons (khugepaged, MHPS, Translation-ranger) causally ordered without
+//! any wall-clock input, so runs are reproducible.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// Nominal core frequency used to convert cycles to seconds (2.1 GHz).
+pub const CYCLES_PER_SECOND: u64 = 2_100_000_000;
+
+/// A duration or instant measured in CPU cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Self = Self(0);
+
+    /// Builds a duration from (fractional) microseconds.
+    pub fn from_micros(us: f64) -> Self {
+        Self((us * CYCLES_PER_SECOND as f64 / 1e6) as u64)
+    }
+
+    /// Builds a duration from (fractional) milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_micros(ms * 1e3)
+    }
+
+    /// Builds a duration from (fractional) seconds.
+    pub fn from_secs(s: f64) -> Self {
+        Self::from_micros(s * 1e6)
+    }
+
+    /// Converts to fractional seconds at the nominal frequency.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / CYCLES_PER_SECOND as f64
+    }
+
+    /// Converts to fractional microseconds at the nominal frequency.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 * 1e6 / CYCLES_PER_SECOND as f64
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies the duration by a float factor (used by Algorithm 1's
+    /// ±10 % timeout adjustments).
+    pub fn scale(self, factor: f64) -> Self {
+        Self((self.0 as f64 * factor) as u64)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    fn div(self, rhs: u64) -> Self {
+        Self(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+/// A monotonically advancing cycle clock owned by one simulated machine.
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now: Cycles,
+}
+
+impl Clock {
+    /// Creates a clock at cycle zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the current instant.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Advances the clock by `delta` and returns the new instant.
+    pub fn advance(&mut self, delta: Cycles) -> Cycles {
+        self.now += delta;
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let c = Cycles::from_secs(1.0);
+        assert_eq!(c.0, CYCLES_PER_SECOND);
+        assert!((c.as_secs_f64() - 1.0).abs() < 1e-12);
+        assert_eq!(Cycles::from_millis(1.0).0, CYCLES_PER_SECOND / 1000);
+        assert!((Cycles::from_micros(5.0).as_micros_f64() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycles(100);
+        let b = Cycles(40);
+        assert_eq!(a + b, Cycles(140));
+        assert_eq!(a - b, Cycles(60));
+        assert_eq!(a * 3, Cycles(300));
+        assert_eq!(a / 4, Cycles(25));
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        assert_eq!(a.scale(1.1), Cycles(110));
+        assert_eq!(a.scale(0.9), Cycles(90));
+        let total: Cycles = [a, b, Cycles(1)].into_iter().sum();
+        assert_eq!(total, Cycles(141));
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut clk = Clock::new();
+        assert_eq!(clk.now(), Cycles::ZERO);
+        clk.advance(Cycles(10));
+        clk.advance(Cycles(5));
+        assert_eq!(clk.now(), Cycles(15));
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type shared across the simulator.
+
+use crate::addr::{Gpa, Gva, Hpa};
+use core::fmt;
+
+/// Errors surfaced by simulator components.
+///
+/// Memory-management code paths are written fallibly: allocation failure,
+/// double mapping and walks over unmapped addresses are ordinary outcomes
+/// that policies react to (e.g. falling back from a huge allocation to base
+/// pages), not panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The allocator has no free block of the requested order.
+    OutOfMemory {
+        /// Buddy order of the failed request.
+        order: u32,
+    },
+    /// A specifically targeted physical range is not free.
+    RangeBusy,
+    /// A guest virtual address is not covered by any VMA.
+    NoVma(Gva),
+    /// A guest virtual address is already mapped.
+    AlreadyMappedGva(Gva),
+    /// A guest physical address is already backed.
+    AlreadyMappedGpa(Gpa),
+    /// Attempt to operate on an unmapped guest virtual address.
+    NotMappedGva(Gva),
+    /// Attempt to operate on an unbacked guest physical address.
+    NotMappedGpa(Gpa),
+    /// A frame was freed that the allocator does not consider allocated.
+    BadFree(Hpa),
+    /// A huge-page operation was attempted on a misaligned address.
+    Unaligned,
+    /// Promotion failed because the region's mappings are not contiguous.
+    NotContiguous,
+    /// The requested region lies outside the configured address space.
+    OutOfRange,
+    /// An invariant was violated; carries a static description.
+    Invariant(&'static str),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory { order } => {
+                write!(f, "out of memory: no free order-{order} block")
+            }
+            SimError::RangeBusy => write!(f, "targeted physical range is busy"),
+            SimError::NoVma(gva) => write!(f, "no VMA covers {gva}"),
+            SimError::AlreadyMappedGva(gva) => write!(f, "GVA {gva} already mapped"),
+            SimError::AlreadyMappedGpa(gpa) => write!(f, "GPA {gpa} already backed"),
+            SimError::NotMappedGva(gva) => write!(f, "GVA {gva} not mapped"),
+            SimError::NotMappedGpa(gpa) => write!(f, "GPA {gpa} not backed"),
+            SimError::BadFree(hpa) => write!(f, "bad free of {hpa}"),
+            SimError::Unaligned => write!(f, "address not aligned for the requested page size"),
+            SimError::NotContiguous => write!(f, "region is not physically contiguous"),
+            SimError::OutOfRange => write!(f, "address outside configured address space"),
+            SimError::Invariant(msg) => write!(f, "invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_text() {
+        assert_eq!(
+            SimError::OutOfMemory { order: 9 }.to_string(),
+            "out of memory: no free order-9 block"
+        );
+        assert!(SimError::NoVma(Gva(0x1000)).to_string().contains("0x1000"));
+        assert!(SimError::BadFree(Hpa(0x2000)).to_string().contains("0x2000"));
+    }
+}

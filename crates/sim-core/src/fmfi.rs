@@ -1,0 +1,128 @@
+//! Free-memory fragmentation index (FMFI).
+//!
+//! Both Ingens and Gemini's booking-timeout controller (Algorithm 1) gauge
+//! external fragmentation with Linux's *fragmentation index* (from
+//! `mm/vmstat.c`), which Ingens popularized as FMFI. For a requested buddy
+//! order, the index answers: *if an allocation of this order failed, was it
+//! because memory is fragmented (index → 1) or simply exhausted
+//! (index → 0)?*
+//!
+//! The kernel formula, given the per-order free-block counts, is:
+//!
+//! ```text
+//! index = 1 - (1 + free_pages / requested) / free_blocks_total
+//! ```
+//!
+//! with the convention that the index is 0 when a suitable block exists
+//! (the allocation would succeed) or when there is no free memory at all.
+
+/// Per-order counts of free blocks in a buddy allocator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreeAreaCounts {
+    /// `counts[o]` is the number of free blocks of order `o`.
+    pub counts: Vec<u64>,
+}
+
+impl FreeAreaCounts {
+    /// Builds the structure from a slice of per-order block counts.
+    pub fn new(counts: &[u64]) -> Self {
+        Self {
+            counts: counts.to_vec(),
+        }
+    }
+
+    /// Total number of free base pages across all orders.
+    pub fn free_pages(&self) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(o, &c)| c << o as u64)
+            .sum()
+    }
+
+    /// Total number of free blocks of any order.
+    pub fn free_blocks_total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of free blocks that satisfy a request of `order` (i.e. of
+    /// that order or larger).
+    pub fn free_blocks_suitable(&self, order: u32) -> u64 {
+        self.counts.iter().skip(order as usize).sum()
+    }
+}
+
+/// Computes the fragmentation index in `[0, 1]` for a request of `order`.
+///
+/// Returns a value near 1 when free memory exists but only in fragments too
+/// small for the request, and 0 when a suitable block is available or there
+/// is no free memory at all. Gemini's huge-page preallocation requires
+/// `FMFI <= 0.5` at order 9 before it will spend pages filling a region.
+pub fn fragmentation_index(areas: &FreeAreaCounts, order: u32) -> f64 {
+    let blocks_total = areas.free_blocks_total();
+    if blocks_total == 0 {
+        return 0.0;
+    }
+    if areas.free_blocks_suitable(order) > 0 {
+        return 0.0;
+    }
+    let requested = 1u64 << order;
+    let free_pages = areas.free_pages();
+    let index = 1.0 - (1.0 + free_pages as f64 / requested as f64) / blocks_total as f64;
+    index.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suitable_block_means_no_fragmentation() {
+        // One free order-9 block: a huge allocation succeeds, index 0.
+        let mut counts = vec![0u64; 12];
+        counts[9] = 1;
+        let areas = FreeAreaCounts::new(&counts);
+        assert_eq!(fragmentation_index(&areas, 9), 0.0);
+        assert_eq!(areas.free_pages(), 512);
+        assert_eq!(areas.free_blocks_suitable(9), 1);
+    }
+
+    #[test]
+    fn no_free_memory_means_exhaustion_not_fragmentation() {
+        let areas = FreeAreaCounts::new(&[0; 12]);
+        assert_eq!(fragmentation_index(&areas, 9), 0.0);
+    }
+
+    #[test]
+    fn many_tiny_blocks_mean_high_fragmentation() {
+        // 512 free base pages, all as order-0 blocks: plenty of memory but
+        // no order-9 block — a textbook fragmented state.
+        let mut counts = vec![0u64; 12];
+        counts[0] = 512;
+        let areas = FreeAreaCounts::new(&counts);
+        let idx = fragmentation_index(&areas, 9);
+        assert!(idx > 0.99, "index {idx} should be near 1");
+    }
+
+    #[test]
+    fn scarce_tiny_memory_reads_as_exhaustion() {
+        // Only 2 free base pages: an order-9 failure is mostly exhaustion.
+        let mut counts = vec![0u64; 12];
+        counts[0] = 2;
+        let areas = FreeAreaCounts::new(&counts);
+        let idx = fragmentation_index(&areas, 9);
+        assert!(idx < 0.6, "index {idx} should lean toward exhaustion");
+    }
+
+    #[test]
+    fn index_increases_with_fragmentation() {
+        // Same free page count, increasingly fragmented layouts.
+        let mut order8 = vec![0u64; 12];
+        order8[8] = 2; // Two order-8 blocks (contiguous-ish).
+        let mut order0 = vec![0u64; 12];
+        order0[0] = 512; // Fully shattered.
+        let i8 = fragmentation_index(&FreeAreaCounts::new(&order8), 9);
+        let i0 = fragmentation_index(&FreeAreaCounts::new(&order0), 9);
+        assert!(i0 > i8);
+    }
+}

@@ -1,0 +1,39 @@
+//! Identifiers for simulated virtual machines and guest processes.
+
+use core::fmt;
+
+/// Identifier of a virtual machine on the simulated host.
+///
+/// The misaligned-huge-page scanner (MHPS) labels every huge page it finds
+/// with the VM the page belongs to, so that guest physical addresses from
+/// different VMs are never confused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VmId(pub u32);
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+/// Identifier of a process inside a guest OS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(pub u32);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_and_order() {
+        assert_eq!(VmId(3).to_string(), "vm3");
+        assert_eq!(ProcessId(7).to_string(), "pid7");
+        assert!(VmId(1) < VmId(2));
+    }
+}

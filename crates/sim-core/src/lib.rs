@@ -1,0 +1,40 @@
+//! Core types shared by every crate in the Gemini simulator workspace.
+//!
+//! This crate defines the vocabulary of the whole system:
+//!
+//! - strongly-typed addresses for the three address spaces involved in
+//!   memory virtualization ([`Gva`], [`Gpa`], [`Hpa`]),
+//! - page geometry constants for 4 KiB base pages and 2 MiB huge pages,
+//! - a deterministic cycle [`clock`](clock::Clock) used to order background
+//!   daemons against foreground workload execution,
+//! - online [`stats`] (mean, percentiles) used by the experiment harness,
+//! - the Linux free-memory fragmentation index ([`fmfi`]) that both Ingens
+//!   and Gemini's Algorithm 1 consume,
+//! - deterministic seeded randomness ([`rng`]) so that every experiment is
+//!   reproducible bit-for-bit.
+//!
+//! Nothing in this crate knows about page tables, TLBs or policies; it is a
+//! dependency of every other crate and depends only on `rand`.
+
+pub mod addr;
+pub mod clock;
+pub mod error;
+pub mod fmfi;
+pub mod ids;
+pub mod page;
+pub mod rng;
+pub mod stats;
+
+pub use addr::{Gpa, Gva, Hpa};
+pub use clock::{Clock, Cycles};
+pub use error::SimError;
+pub use fmfi::{fragmentation_index, FreeAreaCounts};
+pub use ids::{ProcessId, VmId};
+pub use page::{
+    BASE_PAGE_SHIFT, BASE_PAGE_SIZE, HUGE_PAGE_ORDER, HUGE_PAGE_SHIFT, HUGE_PAGE_SIZE,
+    PAGES_PER_HUGE_PAGE,
+};
+pub use rng::{DetRng, Zipf};
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = core::result::Result<T, SimError>;

@@ -1,0 +1,84 @@
+//! Page geometry constants for the simulated x86-64 machine.
+//!
+//! The simulator models the two page sizes the paper evaluates: 4 KiB base
+//! pages and 2 MiB huge pages. 1 GiB pages exist on real hardware but are
+//! out of scope for the paper and for this reproduction.
+
+/// log2 of the base page size (4 KiB).
+pub const BASE_PAGE_SHIFT: u32 = 12;
+
+/// Size in bytes of a base page (4 KiB).
+pub const BASE_PAGE_SIZE: u64 = 1 << BASE_PAGE_SHIFT;
+
+/// log2 of the huge page size (2 MiB).
+pub const HUGE_PAGE_SHIFT: u32 = 21;
+
+/// Size in bytes of a huge page (2 MiB).
+pub const HUGE_PAGE_SIZE: u64 = 1 << HUGE_PAGE_SHIFT;
+
+/// Buddy-allocator order of a huge page: a huge page is an order-9 block of
+/// base pages (512 × 4 KiB = 2 MiB).
+pub const HUGE_PAGE_ORDER: u32 = HUGE_PAGE_SHIFT - BASE_PAGE_SHIFT;
+
+/// Number of base pages that make up one huge page (512).
+pub const PAGES_PER_HUGE_PAGE: u64 = 1 << HUGE_PAGE_ORDER;
+
+/// The two page sizes supported by the simulated MMU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PageSize {
+    /// A 4 KiB base page.
+    Base,
+    /// A 2 MiB huge page.
+    Huge,
+}
+
+impl PageSize {
+    /// Returns the size of this page in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            PageSize::Base => BASE_PAGE_SIZE,
+            PageSize::Huge => HUGE_PAGE_SIZE,
+        }
+    }
+
+    /// Returns the log2 of the page size.
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Base => BASE_PAGE_SHIFT,
+            PageSize::Huge => HUGE_PAGE_SHIFT,
+        }
+    }
+
+    /// Returns the number of base pages covered by one page of this size.
+    pub const fn base_pages(self) -> u64 {
+        match self {
+            PageSize::Base => 1,
+            PageSize::Huge => PAGES_PER_HUGE_PAGE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_is_consistent() {
+        assert_eq!(BASE_PAGE_SIZE, 4096);
+        assert_eq!(HUGE_PAGE_SIZE, 2 * 1024 * 1024);
+        assert_eq!(HUGE_PAGE_ORDER, 9);
+        assert_eq!(PAGES_PER_HUGE_PAGE, 512);
+        assert_eq!(BASE_PAGE_SIZE * PAGES_PER_HUGE_PAGE, HUGE_PAGE_SIZE);
+    }
+
+    #[test]
+    fn page_size_accessors() {
+        assert_eq!(PageSize::Base.bytes(), 4096);
+        assert_eq!(PageSize::Huge.bytes(), HUGE_PAGE_SIZE);
+        assert_eq!(PageSize::Base.base_pages(), 1);
+        assert_eq!(PageSize::Huge.base_pages(), 512);
+        assert_eq!(PageSize::Base.shift(), 12);
+        assert_eq!(PageSize::Huge.shift(), 21);
+        assert!(PageSize::Base < PageSize::Huge);
+    }
+}

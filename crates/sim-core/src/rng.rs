@@ -1,0 +1,231 @@
+//! Deterministic randomness for workloads and experiments.
+//!
+//! Every random decision in the simulator flows through a [`DetRng`] seeded
+//! explicitly by the experiment definition, so that a run is a pure function
+//! of its configuration. The module also provides a [`Zipf`] sampler because
+//! the key-value-store workload models (Redis, RocksDB, Memcached, Masstree)
+//! draw keys from skewed distributions.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic, explicitly seeded random number generator.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; used to give each VM,
+    /// workload and daemon its own stream without cross-coupling.
+    pub fn fork(&mut self) -> Self {
+        Self::new(self.inner.next_u64())
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        if slice.is_empty() {
+            return;
+        }
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// A Zipf-distributed sampler over `{0, 1, ..., n-1}` using
+/// rejection-inversion (Hörmann & Derflinger), suitable for large `n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    exponent: f64,
+    h_integral_x1: f64,
+    h_integral_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` items with skew `exponent` (> 0, != 1 is
+    /// handled as well as the harmonic case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `exponent <= 0`.
+    pub fn new(n: u64, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(exponent > 0.0, "Zipf exponent must be positive");
+        let h_integral_x1 = Self::h_integral(1.5, exponent) - 1.0;
+        let h_integral_n = Self::h_integral(n as f64 + 0.5, exponent);
+        let s = 2.0 - Self::h_integral_inverse(Self::h_integral(2.5, exponent) - Self::h(2.0, exponent), exponent);
+        Self {
+            n,
+            exponent,
+            h_integral_x1,
+            h_integral_n,
+            s,
+        }
+    }
+
+    /// Draws one sample in `[0, n)` (rank 0 is the most popular item).
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        loop {
+            let u = self.h_integral_n + rng.unit() * (self.h_integral_x1 - self.h_integral_n);
+            let x = Self::h_integral_inverse(u, self.exponent);
+            let mut k = (x + 0.5).floor() as i64;
+            k = k.clamp(1, self.n as i64);
+            let kf = k as f64;
+            if kf - x <= self.s
+                || u >= Self::h_integral(kf + 0.5, self.exponent) - Self::h(kf, self.exponent)
+            {
+                return (k - 1) as u64;
+            }
+        }
+    }
+
+    fn h(x: f64, e: f64) -> f64 {
+        (-e * x.ln()).exp()
+    }
+
+    fn h_integral(x: f64, e: f64) -> f64 {
+        let log_x = x.ln();
+        Self::helper2((1.0 - e) * log_x) * log_x
+    }
+
+    fn h_integral_inverse(x: f64, e: f64) -> f64 {
+        let mut t = x * (1.0 - e);
+        if t < -1.0 {
+            t = -1.0;
+        }
+        (Self::helper1(t) * x).exp()
+    }
+
+    /// `log1p(x)/x`, continuous at 0.
+    fn helper1(x: f64) -> f64 {
+        if x.abs() > 1e-8 {
+            x.ln_1p() / x
+        } else {
+            1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+        }
+    }
+
+    /// `expm1(x)/x`, continuous at 0.
+    fn helper2(x: f64) -> f64 {
+        if x.abs() > 1e-8 {
+            x.exp_m1() / x
+        } else {
+            1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.below(1_000_000), b.below(1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..64).filter(|_| a.below(1 << 30) == b.below(1 << 30)).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut parent1 = DetRng::new(7);
+        let mut parent2 = DetRng::new(7);
+        let mut c1 = parent1.fork();
+        let mut c2 = parent2.fork();
+        assert_eq!(c1.below(1000), c2.below(1000));
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = DetRng::new(3);
+        for _ in 0..1000 {
+            assert!(rng.below(17) < 17);
+            let v = rng.range(5, 9);
+            assert!((5..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = DetRng::new(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        rng.shuffle(&mut [] as &mut [u32]);
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut rng = DetRng::new(11);
+        let z = Zipf::new(10_000, 0.99);
+        let mut head = 0u64;
+        let samples = 20_000;
+        for _ in 0..samples {
+            let s = z.sample(&mut rng);
+            assert!(s < 10_000);
+            if s < 100 {
+                head += 1;
+            }
+        }
+        // With exponent ~1, the top 1% of items should draw far more than
+        // 1% of accesses (roughly half).
+        assert!(head as f64 / samples as f64 > 0.3, "head share too small");
+    }
+
+    #[test]
+    fn zipf_uniformish_when_exponent_small() {
+        let mut rng = DetRng::new(13);
+        let z = Zipf::new(1000, 0.05);
+        let mut head = 0u64;
+        for _ in 0..10_000 {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Near-uniform: top 1% draws close to 1%.
+        assert!((head as f64 / 10_000.0) < 0.08);
+    }
+}

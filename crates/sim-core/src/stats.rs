@@ -1,0 +1,203 @@
+//! Statistics used by the experiment harness.
+//!
+//! The paper reports throughput (normalized), mean latency, and 99th
+//! percentile latency per workload. [`RunningStats`] computes streaming
+//! mean/variance (Welford), and [`LatencySamples`] retains request latencies
+//! to extract exact percentiles, as the harness runs are small enough to
+//! keep every sample.
+
+use crate::clock::Cycles;
+
+/// Streaming mean and variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance of the observations (0 when fewer than two).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// A collection of per-request latencies with exact percentile queries.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySamples {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencySamples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request latency.
+    pub fn record(&mut self, latency: Cycles) {
+        self.samples.push(latency.0);
+        self.sorted = false;
+    }
+
+    /// Number of recorded requests.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no requests have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean latency in cycles (zero when empty).
+    pub fn mean(&self) -> Cycles {
+        if self.samples.is_empty() {
+            return Cycles::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        Cycles((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// Exact percentile by the nearest-rank method; `p` in `[0, 100]`.
+    ///
+    /// Returns zero when empty.
+    pub fn percentile(&mut self, p: f64) -> Cycles {
+        if self.samples.is_empty() {
+            return Cycles::ZERO;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        let idx = rank.clamp(1, self.samples.len()) - 1;
+        Cycles(self.samples[idx])
+    }
+
+    /// The 99th-percentile (tail) latency the paper reports.
+    pub fn p99(&mut self) -> Cycles {
+        self.percentile(99.0)
+    }
+
+    /// Maximum latency observed.
+    pub fn max(&self) -> Cycles {
+        Cycles(self.samples.iter().copied().max().unwrap_or(0))
+    }
+}
+
+/// Geometric mean of a slice of positive values; 0 when empty.
+///
+/// The harness uses geometric means to aggregate normalized speedups across
+/// workloads, which is the standard way to average ratios.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_mean_and_variance() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-9);
+        assert!((s.variance() - 4.0).abs() < 1e-9);
+        assert!((s.std_dev() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_stats_degenerate_cases() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        let mut one = RunningStats::new();
+        one.push(42.0);
+        assert_eq!(one.variance(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut l = LatencySamples::new();
+        for i in 1..=100 {
+            l.record(Cycles(i));
+        }
+        assert_eq!(l.percentile(50.0), Cycles(50));
+        assert_eq!(l.p99(), Cycles(99));
+        assert_eq!(l.percentile(100.0), Cycles(100));
+        assert_eq!(l.percentile(1.0), Cycles(1));
+        assert_eq!(l.max(), Cycles(100));
+        assert_eq!(l.mean(), Cycles(50)); // (5050/100) truncated.
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let mut l = LatencySamples::new();
+        for v in [90u64, 10, 50, 70, 30] {
+            l.record(Cycles(v));
+        }
+        assert_eq!(l.percentile(50.0), Cycles(50));
+        // Recording after a query invalidates the sorted cache.
+        l.record(Cycles(1));
+        assert_eq!(l.percentile(1.0), Cycles(1));
+    }
+
+    #[test]
+    fn empty_latencies() {
+        let mut l = LatencySamples::new();
+        assert!(l.is_empty());
+        assert_eq!(l.mean(), Cycles::ZERO);
+        assert_eq!(l.p99(), Cycles::ZERO);
+        assert_eq!(l.max(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn geometric_mean_of_ratios() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,189 @@
+//! A generic set-associative cache with LRU replacement.
+//!
+//! Used for every translation structure in the MMU model: L1 TLBs, the
+//! unified L2 STLB, the nested TLB and the page-walk caches. Keys are
+//! opaque 128-bit values built by the caller (page number + VM tag + size
+//! tag packed together).
+
+/// A set-associative LRU cache of opaque keys.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: Vec<Vec<u128>>,
+    num_sets: usize,
+    assoc: usize,
+}
+
+impl SetAssocCache {
+    /// Creates a cache with `entries` total capacity and `assoc` ways.
+    ///
+    /// The number of sets is `entries / assoc`, rounded up to at least one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc == 0`.
+    pub fn new(entries: usize, assoc: usize) -> Self {
+        assert!(assoc > 0, "associativity must be positive");
+        let num_sets = (entries / assoc).max(1);
+        Self {
+            sets: vec![Vec::with_capacity(assoc); num_sets],
+            num_sets,
+            assoc,
+        }
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.num_sets * self.assoc
+    }
+
+    /// Number of entries currently resident.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(Vec::is_empty)
+    }
+
+    fn set_of(&self, key: u128) -> usize {
+        // Mix the key so that consecutive page numbers spread over sets,
+        // then index. A fixed multiplicative hash keeps runs deterministic.
+        let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((key >> 64) as u64);
+        (h % self.num_sets as u64) as usize
+    }
+
+    /// Looks `key` up; on hit, refreshes its LRU position and returns true.
+    pub fn lookup(&mut self, key: u128) -> bool {
+        let set = self.set_of(key);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&k| k == key) {
+            // Move to the back: most recently used.
+            let k = ways.remove(pos);
+            ways.push(k);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Checks for `key` without updating recency.
+    pub fn probe(&self, key: u128) -> bool {
+        self.sets[self.set_of(key)].contains(&key)
+    }
+
+    /// Inserts `key`, evicting the LRU way of its set when full.
+    pub fn insert(&mut self, key: u128) {
+        let set = self.set_of(key);
+        let assoc = self.assoc;
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&k| k == key) {
+            let k = ways.remove(pos);
+            ways.push(k);
+            return;
+        }
+        if ways.len() == assoc {
+            ways.remove(0);
+        }
+        ways.push(key);
+    }
+
+    /// Removes `key` if present; returns whether it was resident.
+    pub fn invalidate(&mut self, key: u128) -> bool {
+        let set = self.set_of(key);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&k| k == key) {
+            ways.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes every entry matched by `pred`; returns how many were evicted.
+    pub fn invalidate_matching(&mut self, mut pred: impl FnMut(u128) -> bool) -> usize {
+        let mut evicted = 0;
+        for set in &mut self.sets {
+            let before = set.len();
+            set.retain(|&k| !pred(k));
+            evicted += before - set.len();
+        }
+        evicted
+    }
+
+    /// Empties the cache.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_miss_after_invalidate() {
+        let mut c = SetAssocCache::new(64, 4);
+        assert!(!c.lookup(42));
+        c.insert(42);
+        assert!(c.lookup(42));
+        assert!(c.probe(42));
+        assert!(c.invalidate(42));
+        assert!(!c.invalidate(42));
+        assert!(!c.lookup(42));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // Direct-ish: 1 set, 2 ways.
+        let mut c = SetAssocCache::new(2, 2);
+        c.insert(1);
+        c.insert(2);
+        assert!(c.lookup(1)); // 1 becomes MRU; LRU is 2.
+        c.insert(3); // Evicts 2.
+        assert!(c.probe(1));
+        assert!(!c.probe(2));
+        assert!(c.probe(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.insert(1);
+        c.insert(1);
+        assert_eq!(c.len(), 1);
+        c.insert(2);
+        c.insert(1); // Refresh 1; LRU is 2.
+        c.insert(3); // Evicts 2.
+        assert!(c.probe(1));
+        assert!(!c.probe(2));
+    }
+
+    #[test]
+    fn capacity_bounds_are_respected() {
+        let mut c = SetAssocCache::new(1536, 12);
+        assert_eq!(c.capacity(), 1536);
+        for k in 0..10_000u128 {
+            c.insert(k);
+        }
+        assert!(c.len() <= 1536);
+        assert!(!c.is_empty());
+        c.flush();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn invalidate_matching_filters_by_predicate() {
+        let mut c = SetAssocCache::new(64, 4);
+        for k in 0..32u128 {
+            c.insert(k);
+        }
+        let evicted = c.invalidate_matching(|k| k % 2 == 0);
+        assert_eq!(evicted, 16);
+        assert!(!c.probe(0));
+        assert!(c.probe(1));
+    }
+}

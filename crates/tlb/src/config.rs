@@ -1,0 +1,101 @@
+//! MMU geometry and timing configuration.
+
+/// Geometry and latencies of the simulated translation hardware.
+///
+/// Defaults follow the paper's testbed (Intel Xeon E5-2620 v4 class):
+/// 64-entry L1 dTLB for 4 KiB pages, 32-entry L1 dTLB for 2 MiB pages, a
+/// unified 1536-entry L2 STLB holding 4 KiB and 2 MiB entries, small
+/// paging-structure caches, and a nested TLB for GPA → HPA translations.
+#[derive(Debug, Clone)]
+pub struct MmuConfig {
+    /// L1 data-TLB entries for 4 KiB pages.
+    pub l1_4k_entries: usize,
+    /// L1 data-TLB associativity for 4 KiB pages.
+    pub l1_4k_assoc: usize,
+    /// L1 data-TLB entries for 2 MiB pages.
+    pub l1_2m_entries: usize,
+    /// L1 data-TLB associativity for 2 MiB pages.
+    pub l1_2m_assoc: usize,
+    /// Unified L2 STLB entries (4 KiB and 2 MiB share it).
+    pub stlb_entries: usize,
+    /// L2 STLB associativity.
+    pub stlb_assoc: usize,
+    /// Nested-TLB entries (GPA → HPA translations used inside walks).
+    pub ntlb_entries: usize,
+    /// Nested-TLB associativity.
+    pub ntlb_assoc: usize,
+    /// Guest paging-structure-cache entries per cached level (L4, L3, L2).
+    pub gpwc_entries: [usize; 3],
+    /// EPT paging-structure-cache entries per cached level (L4, L3, L2).
+    pub epwc_entries: [usize; 3],
+    /// Cycles for an access whose translation hits the L1 TLB.
+    pub l1_hit_cycles: u64,
+    /// Additional cycles when the translation is found in the L2 STLB.
+    pub stlb_hit_cycles: u64,
+    /// Cycles per memory reference made by the page walker.
+    pub walk_ref_cycles: u64,
+    /// Fixed overhead cycles to start the walker on an STLB miss.
+    pub walk_setup_cycles: u64,
+}
+
+impl Default for MmuConfig {
+    fn default() -> Self {
+        Self {
+            l1_4k_entries: 64,
+            l1_4k_assoc: 4,
+            l1_2m_entries: 32,
+            l1_2m_assoc: 4,
+            stlb_entries: 1536,
+            stlb_assoc: 12,
+            ntlb_entries: 512,
+            ntlb_assoc: 8,
+            gpwc_entries: [16, 16, 32],
+            epwc_entries: [16, 16, 32],
+            l1_hit_cycles: 1,
+            stlb_hit_cycles: 7,
+            walk_ref_cycles: 60,
+            walk_setup_cycles: 10,
+        }
+    }
+}
+
+impl MmuConfig {
+    /// A down-scaled configuration for fast unit tests: tiny TLBs so that
+    /// miss behaviour appears with small working sets.
+    pub fn tiny() -> Self {
+        Self {
+            l1_4k_entries: 4,
+            l1_4k_assoc: 2,
+            l1_2m_entries: 2,
+            l1_2m_assoc: 2,
+            stlb_entries: 16,
+            stlb_assoc: 4,
+            ntlb_entries: 8,
+            ntlb_assoc: 2,
+            gpwc_entries: [2, 2, 4],
+            epwc_entries: [2, 2, 4],
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_testbed_geometry() {
+        let c = MmuConfig::default();
+        assert_eq!(c.stlb_entries, 1536);
+        assert_eq!(c.l1_4k_entries, 64);
+        assert!(c.walk_ref_cycles > c.stlb_hit_cycles);
+    }
+
+    #[test]
+    fn tiny_is_smaller_but_same_latencies() {
+        let t = MmuConfig::tiny();
+        let d = MmuConfig::default();
+        assert!(t.stlb_entries < d.stlb_entries);
+        assert_eq!(t.walk_ref_cycles, d.walk_ref_cycles);
+    }
+}

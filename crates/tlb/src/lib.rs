@@ -1,0 +1,53 @@
+//! TLB hierarchy and two-dimensional page-walk cost model.
+//!
+//! This crate models the address-translation hardware whose behaviour the
+//! paper's argument rests on (§2.1–§2.2):
+//!
+//! - a split L1 TLB plus a unified L2 TLB (STLB) caching complete
+//!   GVA → HPA translations, where a 2 MiB entry can be installed **only
+//!   when the guest maps the GVA with a 2 MiB leaf *and* the host backs the
+//!   corresponding GPA region with a 2 MiB EPT leaf** — the well-aligned
+//!   case. Mis-aligned huge pages splinter into 4 KiB TLB entries, which is
+//!   exactly why they barely help;
+//! - a nested TLB caching GPA → HPA translations used during walks;
+//! - paging-structure caches (page-walk caches) for the guest dimension and
+//!   the EPT dimension, which make huge-page walks cheap because only
+//!   high-level directories are needed;
+//! - the 2-D page walk itself: up to (4+1)·(4+1)−1 = 24 memory references
+//!   with 4 KiB leaves at both layers, shrinking as either layer uses a
+//!   2 MiB leaf.
+//!
+//! The [`MmuSim::access`] entry point charges one memory access's
+//! translation cost given the *resolved* pair of leaf sizes, and maintains
+//! hardware performance counters equivalent to the paper's `perf`
+//! measurements (`dTLB-load-misses`, walk cycles).
+
+//! # Examples
+//!
+//! ```
+//! use gemini_tlb::{MmuConfig, MmuSim, ResolvedTranslation};
+//! use gemini_page_table::LeafSize;
+//! use gemini_sim_core::VmId;
+//!
+//! let mut mmu = MmuSim::new(MmuConfig::default());
+//! let well_aligned = ResolvedTranslation {
+//!     gpa_frame: 0,
+//!     guest_leaf: LeafSize::Huge,
+//!     host_leaf: LeafSize::Huge,
+//! };
+//! let cold = mmu.access(VmId(1), 0, well_aligned);
+//! assert!(cold.walked);
+//! // One 2 MiB entry now covers all 512 frames of the region.
+//! let far = mmu.access(VmId(1), 511, ResolvedTranslation { gpa_frame: 511, ..well_aligned });
+//! assert!(!far.walked);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod counters;
+pub mod mmu;
+
+pub use cache::SetAssocCache;
+pub use config::MmuConfig;
+pub use counters::PerfCounters;
+pub use mmu::{AccessOutcome, MmuSim, ResolvedTranslation};

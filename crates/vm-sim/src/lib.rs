@@ -1,0 +1,37 @@
+//! The whole-system simulator.
+//!
+//! A [`Machine`] owns the host memory manager, one or more VMs (each with
+//! its guest memory manager and its own MMU/TLB state), the per-layer
+//! huge-page policies of the selected [`SystemKind`], and — for Gemini —
+//! the cross-layer runtime (MHPS + Algorithm 1). Workload event streams
+//! from `gemini-workloads` execute against a VM: touches translate through
+//! both page-table layers with demand faults, every translation is charged
+//! through the `gemini-tlb` cost model, and background daemons run on the
+//! VM's virtual clock, exactly interleaved with foreground progress.
+
+//! # Examples
+//!
+//! ```
+//! use gemini_vm_sim::{Machine, MachineConfig, SystemKind};
+//! use gemini_workloads::{spec_by_name, WorkloadGen};
+//!
+//! let cfg = MachineConfig {
+//!     host_frames: 1 << 15,
+//!     vm_frames: 1 << 14,
+//!     ..MachineConfig::default()
+//! };
+//! let mut machine = Machine::new(SystemKind::Gemini, cfg);
+//! let vm = machine.add_vm();
+//! let spec = spec_by_name("Masstree").unwrap().scaled(1.0 / 32.0);
+//! let result = machine.run(vm, WorkloadGen::new(spec, 500, 42)).unwrap();
+//! assert_eq!(result.ops, 500);
+//! assert!(result.throughput() > 0.0);
+//! ```
+
+pub mod machine;
+pub mod result;
+pub mod system;
+
+pub use machine::{Machine, MachineConfig};
+pub use result::RunResult;
+pub use system::SystemKind;

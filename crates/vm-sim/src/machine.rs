@@ -1,0 +1,774 @@
+//! [`Machine`] — the simulated host with its VMs.
+
+use crate::result::RunResult;
+use crate::system::SystemKind;
+use gemini::{GeminiRuntime, GeminiShared};
+use gemini_mm::{alignment_stats, CostModel, Effects, GuestMm, HostMm, HugePolicy, VmaId};
+use gemini_sim_core::{Cycles, DetRng, Result, SimError, VmId};
+use gemini_sim_core::stats::LatencySamples;
+use gemini_tlb::{MmuConfig, MmuSim, PerfCounters, ResolvedTranslation};
+use gemini_workloads::{WorkloadEvent, WorkloadGen};
+use std::collections::{BTreeMap, HashMap};
+
+/// Configuration of the simulated machine.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Host physical memory in base frames.
+    pub host_frames: u64,
+    /// Guest physical memory per VM, in base frames.
+    pub vm_frames: u64,
+    /// vCPUs per VM (scales shootdown costs and reported throughput).
+    pub vcpus: u32,
+    /// MMU/TLB geometry.
+    pub mmu: MmuConfig,
+    /// Memory-management operation costs.
+    pub costs: CostModel,
+    /// Fragment guest memory to this FMFI before the run.
+    pub fragment_guest: Option<f64>,
+    /// Fragment host memory to this FMFI before the run.
+    pub fragment_host: Option<f64>,
+    /// The workload keeps many zero pages in use (HawkEye's dedup).
+    pub zero_heavy: bool,
+    /// Run seed (workload streams fork from it).
+    pub seed: u64,
+    /// Record a policy touch sample every N accesses.
+    pub touch_sample: u32,
+    /// Cycles per data access beyond translation. The default models the
+    /// average DRAM/LLC cost of a random access to a big working set —
+    /// translation overhead is measured *relative* to this, so small
+    /// datasets show no separation (Figure 2's left side).
+    pub data_access_cycles: u64,
+    /// Compaction (kcompactd) period.
+    pub compact_period: Cycles,
+    /// Frames the compactor migrates per pass.
+    pub compact_budget: usize,
+    /// Tenant-churn period (active only with fragmentation; models the
+    /// multi-tenant cloud that keeps memory fragmented).
+    pub tenant_period: Cycles,
+    /// Free runs the tenant breaks per churn step.
+    pub tenant_breaks: usize,
+    /// How long tenant intrusions are held before release.
+    pub tenant_hold: Cycles,
+    /// Freeze Algorithm 1 and pin the booking timeout (ablation).
+    pub fixed_booking_timeout: Option<Cycles>,
+    /// Override the Gemini per-layer configuration (ablations).
+    pub gemini_override: Option<gemini::policy::GeminiConfig>,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self {
+            // 1 GiB host, 512 MiB VM: enough headroom over the largest
+            // scaled working sets, small enough for fast runs.
+            host_frames: 1 << 18,
+            vm_frames: 1 << 17,
+            vcpus: 1,
+            mmu: MmuConfig::default(),
+            costs: CostModel::default(),
+            fragment_guest: None,
+            fragment_host: None,
+            zero_heavy: false,
+            seed: 0xC0FFEE,
+            touch_sample: 16,
+            data_access_cycles: 120,
+            compact_period: Cycles::from_millis(5.0),
+            compact_budget: 48,
+            tenant_period: Cycles::from_millis(5.0),
+            tenant_breaks: 1,
+            tenant_hold: Cycles::from_millis(20.0),
+            fixed_booking_timeout: None,
+            gemini_override: None,
+        }
+    }
+}
+
+/// Per-VM simulator state.
+struct VmState {
+    guest: GuestMm,
+    policy: Box<dyn HugePolicy>,
+    mmu: MmuSim,
+    clock: Cycles,
+    chunks: HashMap<usize, VmaId>,
+    next_guest_daemon: Cycles,
+    next_host_daemon: Cycles,
+    next_compact: Cycles,
+    compactor: gemini_mm::Compactor,
+    tenant: Option<gemini_mm::TenantChurn>,
+    next_tenant: Cycles,
+    access_count: u64,
+}
+
+/// Per-run foreground context (latency accumulation).
+struct RunCtx {
+    latencies: LatencySamples,
+    req_acc: Cycles,
+    track_latency: bool,
+    counters_at_start: PerfCounters,
+    clock_at_start: Cycles,
+    ops: u64,
+}
+
+/// The simulated machine: one host, one or more VMs, one system under
+/// test.
+pub struct Machine {
+    /// System configuration under test.
+    pub system: SystemKind,
+    cfg: MachineConfig,
+    host: HostMm,
+    host_policy: Box<dyn HugePolicy>,
+    host_compactor: gemini_mm::Compactor,
+    next_host_compact: Cycles,
+    host_tenant: Option<gemini_mm::TenantChurn>,
+    next_host_tenant: Cycles,
+    vms: BTreeMap<VmId, VmState>,
+    shared: Option<GeminiShared>,
+    runtime: Option<GeminiRuntime>,
+    next_vm_id: u32,
+    rng: DetRng,
+}
+
+impl Machine {
+    /// Builds a machine running `system`.
+    pub fn new(system: SystemKind, cfg: MachineConfig) -> Self {
+        let shared = system.is_gemini().then(gemini::shared::new_shared);
+        let mut runtime = shared.as_ref().and_then(|s| system.runtime(s));
+        if let (Some(shared), Some(t)) = (&shared, cfg.fixed_booking_timeout) {
+            shared.borrow_mut().booking_timeout = t;
+            if let Some(rt) = &mut runtime {
+                rt.adaptive = false;
+            }
+        }
+        let mut host = HostMm::new(cfg.host_frames, cfg.costs.clone());
+        let mut rng = DetRng::new(cfg.seed);
+        let mut host_pins = Vec::new();
+        let mut host_tenant = None;
+        if let Some(target) = cfg.fragment_host {
+            let mut frag_rng = rng.fork();
+            host_pins = gemini_mm::fragment_to(&mut host.buddy, target, 0.12, &mut frag_rng);
+            host_tenant = Some(gemini_mm::TenantChurn::new(rng.fork()));
+        }
+        let host_policy: Box<dyn HugePolicy> =
+            match (system.is_gemini(), &cfg.gemini_override, &shared) {
+                (true, Some(ov), Some(s)) => Box::new(gemini::GeminiPolicy::new(
+                    gemini_mm::LayerKind::Host,
+                    s.clone(),
+                    ov.clone(),
+                )),
+                _ => system.host_policy(shared.as_ref()),
+            };
+        Self {
+            system,
+            cfg,
+            host,
+            host_policy,
+            host_compactor: gemini_mm::Compactor::new(host_pins),
+            next_host_compact: Cycles::ZERO,
+            host_tenant,
+            next_host_tenant: Cycles::ZERO,
+            vms: BTreeMap::new(),
+            shared,
+            runtime,
+            next_vm_id: 1,
+            rng,
+        }
+    }
+
+    /// Adds a VM and returns its id.
+    pub fn add_vm(&mut self) -> VmId {
+        let vm = VmId(self.next_vm_id);
+        self.next_vm_id += 1;
+        self.host.register_vm(vm);
+        let mut guest = GuestMm::new(vm, self.cfg.vm_frames, self.cfg.costs.clone());
+        let mut guest_pins = Vec::new();
+        let mut tenant = None;
+        if let Some(target) = self.cfg.fragment_guest {
+            let mut frag_rng = self.rng.fork();
+            guest_pins = gemini_mm::fragment_to(&mut guest.buddy, target, 0.12, &mut frag_rng);
+            tenant = Some(gemini_mm::TenantChurn::new(self.rng.fork()));
+        }
+        let policy: Box<dyn HugePolicy> =
+            match (self.system.is_gemini(), &self.cfg.gemini_override, &self.shared) {
+                (true, Some(ov), Some(s)) => Box::new(gemini::GeminiPolicy::new(
+                    gemini_mm::LayerKind::Guest,
+                    s.clone(),
+                    ov.clone(),
+                )),
+                _ => self
+                    .system
+                    .guest_policy(self.cfg.zero_heavy, self.shared.as_ref()),
+            };
+        self.vms.insert(
+            vm,
+            VmState {
+                guest,
+                policy,
+                mmu: MmuSim::new(self.cfg.mmu.clone()),
+                clock: Cycles::ZERO,
+                chunks: HashMap::new(),
+                next_guest_daemon: Cycles::ZERO,
+                next_host_daemon: Cycles::ZERO,
+                next_compact: Cycles::ZERO,
+                compactor: gemini_mm::Compactor::new(guest_pins),
+                tenant,
+                next_tenant: Cycles::ZERO,
+                access_count: 0,
+            },
+        );
+        vm
+    }
+
+    /// Read access to a VM's guest page table (metrics, tests).
+    pub fn guest_table(&self, vm: VmId) -> &gemini_page_table::AddressSpace {
+        &self.vms[&vm].guest.table
+    }
+
+    /// Read access to a VM's EPT (metrics, tests).
+    pub fn ept(&self, vm: VmId) -> &gemini_page_table::AddressSpace {
+        self.host.ept(vm)
+    }
+
+    /// Current virtual time of a VM.
+    pub fn vm_clock(&self, vm: VmId) -> Cycles {
+        self.vms[&vm].clock
+    }
+
+    /// The MMU counters of a VM.
+    pub fn counters(&self, vm: VmId) -> PerfCounters {
+        *self.vms[&vm].mmu.counters()
+    }
+
+    /// Diagnostic one-liners from the guest and host policies.
+    pub fn policy_debug(&self, vm: VmId) -> (String, String) {
+        (
+            self.vms[&vm].policy.debug_stats(),
+            self.host_policy.debug_stats(),
+        )
+    }
+
+    /// Runs a whole workload to completion in `vm`.
+    pub fn run(&mut self, vm: VmId, mut gen: WorkloadGen) -> Result<RunResult> {
+        let mut ctx = RunCtx {
+            latencies: LatencySamples::new(),
+            req_acc: Cycles::ZERO,
+            track_latency: gen.spec.latency_tracked,
+            counters_at_start: self.counters(vm),
+            clock_at_start: self.vm_clock(vm),
+            ops: 0,
+        };
+        let workload = gen.spec.name.to_string();
+        let mut since_daemons = 0u32;
+        while let Some(ev) = gen.next_event() {
+            self.process_event(vm, ev, &mut ctx)?;
+            since_daemons += 1;
+            if since_daemons >= 64 {
+                since_daemons = 0;
+                self.run_daemons(vm);
+            }
+        }
+        self.run_daemons(vm);
+        Ok(self.finish(vm, workload, ctx))
+    }
+
+    /// Runs several workloads concurrently, one per VM, interleaved by
+    /// virtual time (the collocation experiments, Figures 17–18).
+    pub fn run_collocated(
+        &mut self,
+        mut runs: Vec<(VmId, WorkloadGen)>,
+    ) -> Result<Vec<RunResult>> {
+        let mut ctxs: Vec<RunCtx> = runs
+            .iter()
+            .map(|(vm, gen)| RunCtx {
+                latencies: LatencySamples::new(),
+                req_acc: Cycles::ZERO,
+                track_latency: gen.spec.latency_tracked,
+                counters_at_start: self.counters(*vm),
+                clock_at_start: self.vm_clock(*vm),
+                ops: 0,
+            })
+            .collect();
+        let mut finished = vec![false; runs.len()];
+        while finished.iter().any(|f| !f) {
+            // Advance the unfinished VM with the smallest clock by one op.
+            let idx = runs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !finished[*i])
+                .min_by_key(|(_, (vm, _))| self.vms[vm].clock)
+                .map(|(i, _)| i)
+                .expect("some run unfinished");
+            let (vm, gen) = &mut runs[idx];
+            let vm = *vm;
+            loop {
+                match gen.next_event() {
+                    None => {
+                        finished[idx] = true;
+                        break;
+                    }
+                    Some(ev) => {
+                        let is_end = matches!(ev, WorkloadEvent::EndRequest { .. });
+                        self.process_event(vm, ev, &mut ctxs[idx])?;
+                        if is_end {
+                            break;
+                        }
+                    }
+                }
+            }
+            self.run_daemons(vm);
+        }
+        let mut results = Vec::new();
+        for ((vm, gen), ctx) in runs.into_iter().zip(ctxs) {
+            let name = gen.spec.name.to_string();
+            results.push(self.finish(vm, name, ctx));
+        }
+        Ok(results)
+    }
+
+    /// Unmaps every chunk a previous run left in `vm` (the reused-VM
+    /// scenario: the workload exits, the VM and its EPT state persist).
+    pub fn clear_workload(&mut self, vm: VmId) -> Result<()> {
+        let vs = self.vms.get_mut(&vm).ok_or(SimError::Invariant("unknown VM"))?;
+        let ids: Vec<VmaId> = vs.chunks.drain().map(|(_, id)| id).collect();
+        for id in ids {
+            let now = vs.clock;
+            let fx = vs.guest.munmap(id, vs.policy.as_mut(), now)?;
+            Self::apply_fx(vm, vs, fx, None);
+        }
+        Ok(())
+    }
+
+    fn process_event(&mut self, vm: VmId, ev: WorkloadEvent, ctx: &mut RunCtx) -> Result<()> {
+        let vs = self.vms.get_mut(&vm).ok_or(SimError::Invariant("unknown VM"))?;
+        match ev {
+            WorkloadEvent::Alloc { chunk, bytes } => {
+                let vma = vs.guest.mmap(bytes)?;
+                vs.chunks.insert(chunk, vma.id);
+                let cost = Cycles(1_200);
+                vs.clock += cost;
+                ctx.req_acc += cost;
+            }
+            WorkloadEvent::Free { chunk } => {
+                let id = vs
+                    .chunks
+                    .remove(&chunk)
+                    .ok_or(SimError::Invariant("free of unknown chunk"))?;
+                let now = vs.clock;
+                let fx = vs.guest.munmap(id, vs.policy.as_mut(), now)?;
+                let cost = Self::apply_fx(vm, vs, fx, None);
+                ctx.req_acc += cost;
+            }
+            WorkloadEvent::Touch { chunk, page } => {
+                let id = *vs
+                    .chunks
+                    .get(&chunk)
+                    .ok_or(SimError::Invariant("touch of unknown chunk"))?;
+                let vma = vs
+                    .guest
+                    .vmas
+                    .get(id)
+                    .ok_or(SimError::Invariant("chunk VMA vanished"))?;
+                let gva_frame = vma.start_frame() + page;
+
+                // Layer 1: the guest translation, faulting on demand.
+                let gt = match vs.guest.translate(gva_frame) {
+                    Some(t) => t,
+                    None => {
+                        let (_, fx) = vs.guest.handle_fault(gva_frame, vs.policy.as_mut())?;
+                        ctx.req_acc += Self::apply_fx(vm, vs, fx, None);
+                        vs.guest
+                            .translate(gva_frame)
+                            .ok_or(SimError::Invariant("fault did not map the page"))?
+                    }
+                };
+                let gpa_frame = gt.pa_frame;
+
+                // Layer 2: the EPT backing, faulting on demand.
+                let ht = match self.host.ept(vm).translate(gpa_frame) {
+                    Some(t) => t,
+                    None => {
+                        let (_, fx) =
+                            self.host
+                                .handle_fault(vm, gpa_frame, self.host_policy.as_mut())?;
+                        ctx.req_acc += Self::apply_fx(vm, vs, fx, None);
+                        self.host
+                            .ept(vm)
+                            .translate(gpa_frame)
+                            .ok_or(SimError::Invariant("EPT fault did not back the page"))?
+                    }
+                };
+
+                // The hardware translation itself.
+                let out = vs.mmu.access(
+                    vm,
+                    gva_frame,
+                    ResolvedTranslation {
+                        gpa_frame,
+                        guest_leaf: gt.size,
+                        host_leaf: ht.size,
+                    },
+                );
+                let cost = out.cycles + Cycles(self.cfg.data_access_cycles);
+                vs.clock += cost;
+                ctx.req_acc += cost;
+
+                // Sampled touch telemetry for daemon heuristics.
+                vs.access_count += 1;
+                if vs.access_count % self.cfg.touch_sample as u64 == 0 {
+                    vs.guest.record_touch(gva_frame);
+                    self.host.record_touch(vm, gpa_frame);
+                }
+            }
+            WorkloadEvent::EndRequest { cpu } => {
+                let cost = Cycles(cpu / self.cfg.vcpus as u64);
+                vs.clock += cost;
+                ctx.req_acc += cost;
+                if ctx.track_latency {
+                    ctx.latencies.record(ctx.req_acc);
+                }
+                ctx.req_acc = Cycles::ZERO;
+                ctx.ops += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies effects to a VM: clock, TLB invalidations, shootdown
+    /// counters. Returns the foreground cycle cost.
+    fn apply_fx(vm: VmId, vs: &mut VmState, fx: Effects, _host: Option<()>) -> Cycles {
+        vs.clock += fx.cycles;
+        for &r in &fx.gva_regions_invalidated {
+            vs.mmu.invalidate_gva_region(vm, r);
+        }
+        if !fx.gpa_regions_changed.is_empty() {
+            for &r in &fx.gpa_regions_changed {
+                vs.mmu.invalidate_gpa_region(vm, r);
+            }
+            // EPT remaps flush the VM's cached translations (INVEPT).
+            vs.mmu.invalidate_vm(vm);
+        }
+        // The stall cycles are already in fx.cycles; count the events.
+        vs.mmu.charge_shootdowns(fx.shootdowns, Cycles::ZERO);
+        fx.cycles
+    }
+
+    /// Runs any due background work for `vm`.
+    fn run_daemons(&mut self, vm: VmId) {
+        let vcpus = self.cfg.vcpus;
+        let vs = self.vms.get_mut(&vm).expect("caller validated VM");
+        let now = vs.clock;
+        if now >= vs.next_guest_daemon {
+            let fx = vs.guest.run_daemon(vs.policy.as_mut(), now, vcpus);
+            Self::apply_fx(vm, vs, fx, None);
+            vs.next_guest_daemon = now + vs.policy.daemon_period();
+        }
+        if now >= vs.next_host_daemon {
+            let fx = self
+                .host
+                .run_daemon(vm, self.host_policy.as_mut(), now, vcpus);
+            Self::apply_fx(vm, vs, fx, None);
+            vs.next_host_daemon = now + self.host_policy.daemon_period();
+        }
+        // Compaction: the guest's kcompactd over guest-physical memory and
+        // the host's over machine memory. Migration stalls bleed into the
+        // foreground via the contention model.
+        if now >= vs.next_compact {
+            let moved = vs
+                .compactor
+                .step(&mut vs.guest.buddy, self.cfg.compact_budget);
+            let stall = self.cfg.costs.daemon_stall(moved, vcpus);
+            if moved > 0 {
+                vs.clock += Cycles((stall.0 as f64 * 0.5) as u64);
+            }
+            vs.next_compact = now + self.cfg.compact_period;
+        }
+        if now >= self.next_host_compact {
+            let moved = self
+                .host_compactor
+                .step(&mut self.host.buddy, self.cfg.compact_budget);
+            let stall = self.cfg.costs.daemon_stall(moved, vcpus);
+            if moved > 0 {
+                vs.clock += Cycles((stall.0 as f64 * 0.25) as u64);
+            }
+            self.next_host_compact = now + self.cfg.compact_period;
+        }
+        // Multi-tenant churn keeps memory fragmented over time.
+        if now >= vs.next_tenant {
+            if let Some(t) = &mut vs.tenant {
+                t.step(&mut vs.guest.buddy, now, self.cfg.tenant_breaks, self.cfg.tenant_hold);
+            }
+            vs.next_tenant = now + self.cfg.tenant_period;
+        }
+        if now >= self.next_host_tenant {
+            if let Some(t) = &mut self.host_tenant {
+                t.step(&mut self.host.buddy, now, self.cfg.tenant_breaks, self.cfg.tenant_hold);
+            }
+            self.next_host_tenant = now + self.cfg.tenant_period;
+        }
+        self.tick_runtime(vm);
+    }
+
+    /// Runs the Gemini cross-layer runtime (MHPS + Algorithm 1) if due.
+    fn tick_runtime(&mut self, active_vm: VmId) {
+        let Some(rt) = &mut self.runtime else {
+            return;
+        };
+        let now = self.vms[&active_vm].clock;
+        let tlb_misses: u64 = self
+            .vms
+            .values()
+            .map(|vs| vs.mmu.counters().stlb_misses)
+            .sum();
+        let fmfi = self.host.fragmentation_index();
+        let tables: Vec<(VmId, &gemini_page_table::AddressSpace, &gemini_page_table::AddressSpace)> =
+            self.vms
+                .iter()
+                .map(|(&id, vs)| (id, &vs.guest.table, self.host.ept(id)))
+                .collect();
+        let cost = rt.tick(now, &tables, tlb_misses, fmfi);
+        drop(tables);
+        // Scan work runs on a host core; a fraction contends with the VM.
+        let stall = Cycles((cost.0 as f64 * 0.1) as u64);
+        self.vms
+            .get_mut(&active_vm)
+            .expect("caller validated VM")
+            .clock += stall;
+    }
+
+    fn finish(&mut self, vm: VmId, workload: String, mut ctx: RunCtx) -> RunResult {
+        let vs = &self.vms[&vm];
+        let alignment = alignment_stats(&vs.guest.table, self.host.ept(vm));
+        RunResult {
+            system: self.system.label(),
+            workload,
+            ops: ctx.ops,
+            vtime: vs.clock.saturating_sub(ctx.clock_at_start),
+            mean_latency: ctx.latencies.mean(),
+            p99_latency: ctx.latencies.p99(),
+            counters: vs.mmu.counters().delta_since(&ctx.counters_at_start),
+            alignment,
+            guest_fmfi: vs.guest.fragmentation_index(),
+            host_fmfi: self.host.fragmentation_index(),
+            bucket_reuse_rate: vs.policy.bucket_reuse_rate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_workloads::{spec_by_name, MicrobenchGen};
+
+    fn small_cfg() -> MachineConfig {
+        MachineConfig {
+            host_frames: 1 << 15, // 128 MiB.
+            vm_frames: 1 << 14,   // 64 MiB.
+            ..MachineConfig::default()
+        }
+    }
+
+    fn run_micro(system: SystemKind, dataset: u64, ops: u64) -> RunResult {
+        let mut m = Machine::new(system, small_cfg());
+        let vm = m.add_vm();
+        let gen = MicrobenchGen::generator(dataset, ops, 7);
+        m.run(vm, gen).unwrap()
+    }
+
+    #[test]
+    fn base_base_runs_and_counts() {
+        let r = run_micro(SystemKind::HostBVmB, 8 << 20, 200);
+        assert_eq!(r.ops, 200);
+        assert!(r.vtime > Cycles::ZERO);
+        assert!(r.counters.accesses > 10_000);
+        assert_eq!(r.alignment.guest_huge, 0);
+        assert_eq!(r.alignment.host_huge, 0);
+        assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn aligned_huge_config_beats_base_and_misaligned() {
+        // Figure 2's shape: with a dataset well beyond base-page TLB
+        // coverage, Host-H-VM-H wins; misaligned single-layer huge pages
+        // barely help.
+        let ops = 300;
+        let dataset = 32 << 20;
+        let base = run_micro(SystemKind::HostBVmB, dataset, ops);
+        let mis_host = run_micro(SystemKind::HostHVmB, dataset, ops);
+        let mis_guest = run_micro(SystemKind::HostBVmH, dataset, ops);
+        let aligned = run_micro(SystemKind::HostHVmH, dataset, ops);
+        assert!(
+            aligned.vtime < base.vtime,
+            "aligned {} vs base {}",
+            aligned.vtime,
+            base.vtime
+        );
+        assert!(aligned.vtime < mis_host.vtime);
+        assert!(aligned.vtime < mis_guest.vtime);
+        assert!(
+            aligned.tlb_misses() * 4 < base.tlb_misses(),
+            "aligned TLB misses should collapse: {} vs {}",
+            aligned.tlb_misses(),
+            base.tlb_misses()
+        );
+        // Misaligned huge pages do NOT collapse TLB misses.
+        assert!(mis_host.tlb_misses() * 2 > base.tlb_misses());
+        // Aligned rate sanity.
+        assert!(aligned.aligned_rate() > 0.9);
+        assert_eq!(mis_host.aligned_rate(), 0.0);
+    }
+
+    #[test]
+    fn small_dataset_shows_no_separation() {
+        // Figure 2's left side: dataset fits the TLB, configs tie.
+        let base = run_micro(SystemKind::HostBVmB, 2 << 20, 2_000);
+        let aligned = run_micro(SystemKind::HostHVmH, 2 << 20, 2_000);
+        let ratio = base.vtime.0 as f64 / aligned.vtime.0 as f64;
+        assert!(ratio < 1.3, "configs should be close: ratio {ratio}");
+    }
+
+    #[test]
+    fn thp_and_gemini_run_real_workloads() {
+        for system in [SystemKind::Thp, SystemKind::Gemini] {
+            let mut m = Machine::new(system, small_cfg());
+            let vm = m.add_vm();
+            let spec = spec_by_name("Redis").unwrap().scaled(1.0 / 16.0);
+            let gen = WorkloadGen::new(spec, 2_000, 11);
+            let r = m.run(vm, gen).unwrap();
+            assert_eq!(r.ops, 2_000);
+            assert!(r.mean_latency > Cycles::ZERO, "Redis tracks latency");
+            assert!(r.p99_latency > Cycles::ZERO);
+        }
+    }
+
+    #[test]
+    fn gemini_forms_well_aligned_pages_on_fragmented_memory() {
+        // Needs runs long enough for the (deliberately slow) coalescing
+        // daemons to act: larger memory and more ops than the other
+        // machine tests.
+        let cfg = MachineConfig {
+            host_frames: 1 << 17,
+            vm_frames: 1 << 16,
+            fragment_guest: Some(0.9),
+            fragment_host: Some(0.9),
+            ..MachineConfig::default()
+        };
+        let spec = spec_by_name("Masstree").unwrap().scaled(1.0 / 8.0);
+
+        let mut gem = Machine::new(SystemKind::Gemini, cfg.clone());
+        let vm = gem.add_vm();
+        let r_gem = gem.run(vm, WorkloadGen::new(spec.clone(), 8_000, 5)).unwrap();
+
+        let mut thp = Machine::new(SystemKind::Thp, cfg);
+        let vm = thp.add_vm();
+        let r_thp = thp.run(vm, WorkloadGen::new(spec, 8_000, 5)).unwrap();
+
+        assert!(
+            r_gem.aligned_rate() > r_thp.aligned_rate(),
+            "Gemini {} vs THP {}",
+            r_gem.aligned_rate(),
+            r_thp.aligned_rate()
+        );
+        // TLB-miss separation needs full-scale working sets (the harness
+        // experiments); at this test scale the counts are noise, and only
+        // a few daemon passes fit the run, so the absolute rate floor is
+        // modest (bench-scale floors live in the paper-claims tests).
+        assert!(r_gem.aligned_rate() > 0.25, "{}", r_gem.aligned_rate());
+    }
+
+    #[test]
+    fn reused_vm_keeps_ept_state() {
+        let mut m = Machine::new(SystemKind::Gemini, small_cfg());
+        let vm = m.add_vm();
+        let svm = spec_by_name("SVM").unwrap().scaled(1.0 / 32.0);
+        m.run(vm, WorkloadGen::new(svm, 1_000, 3)).unwrap();
+        let backed_before = m.ept(vm).mapped_base_page_equiv();
+        m.clear_workload(vm).unwrap();
+        // Guest memory is free again, but the EPT still backs it.
+        assert_eq!(m.guest_table(vm).mapped_base_page_equiv(), 0);
+        assert_eq!(m.ept(vm).mapped_base_page_equiv(), backed_before);
+        // A second workload runs fine in the reused VM.
+        let redis = spec_by_name("Redis").unwrap().scaled(1.0 / 32.0);
+        let r = m.run(vm, WorkloadGen::new(redis, 1_000, 4)).unwrap();
+        assert_eq!(r.ops, 1_000);
+    }
+
+    #[test]
+    fn collocated_vms_share_the_host() {
+        let cfg = MachineConfig {
+            host_frames: 1 << 16,
+            ..small_cfg()
+        };
+        let mut m = Machine::new(SystemKind::Thp, cfg);
+        let vm1 = m.add_vm();
+        let vm2 = m.add_vm();
+        let a = WorkloadGen::new(spec_by_name("Redis").unwrap().scaled(1.0 / 32.0), 500, 1);
+        let b = WorkloadGen::new(spec_by_name("Shore").unwrap().scaled(1.0 / 32.0), 500, 2);
+        let rs = m.run_collocated(vec![(vm1, a), (vm2, b)]).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].ops, 500);
+        assert_eq!(rs[1].ops, 500);
+        assert_ne!(rs[0].workload, rs[1].workload);
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let run = || {
+            let mut m = Machine::new(SystemKind::Ingens, small_cfg());
+            let vm = m.add_vm();
+            let spec = spec_by_name("Xapian").unwrap().scaled(1.0 / 32.0);
+            m.run(vm, WorkloadGen::new(spec, 800, 9)).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.vtime, b.vtime);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.alignment, b.alignment);
+    }
+}
+
+#[cfg(test)]
+mod probe {
+    use super::*;
+    use gemini_workloads::{spec_by_name, WorkloadGen};
+    use crate::system::SystemKind;
+
+    #[test]
+    #[ignore]
+    fn probe_fragmented() {
+        for wl in ["Canneal"] {
+            println!("--- {wl} ---");
+            let cfg = MachineConfig {
+                host_frames: 1 << 18,
+                vm_frames: 1 << 17,
+                fragment_guest: Some(0.9),
+                fragment_host: Some(0.9),
+                ..MachineConfig::default()
+            };
+            for system in [SystemKind::CaPaging, SystemKind::Ranger] {
+                let mut cfg = cfg.clone();
+                cfg.zero_heavy = wl == "Specjbb";
+                let spec = spec_by_name(wl).unwrap().scaled(0.25);
+                let mut m = Machine::new(system, cfg.clone());
+                let vm = m.add_vm();
+                let r = m.run(vm, WorkloadGen::new(spec, 8_000, 5)).unwrap();
+                println!(
+                    "{:14} vtime={:>12} misses={:>8} aligned={:.2} g_huge={} h_huge={} fmfi_g={:.2} fmfi_h={:.2} bucket={:.2}",
+                    r.system, r.vtime.0, r.tlb_misses(), r.aligned_rate(),
+                    r.alignment.guest_huge, r.alignment.host_huge,
+                    r.guest_fmfi, r.host_fmfi, r.bucket_reuse_rate
+                );
+                let (g, h) = m.policy_debug(vm);
+                if !g.is_empty() {
+                    println!("  guest: {g}");
+                    println!("  host:  {h}");
+                }
+                let vs = &m.vms[&vm];
+                println!(
+                    "  compact: guest pins={} moved={} | host pins={} moved={} | guest largest_run={} free_o9={}",
+                    vs.compactor.pinned(), vs.compactor.migrated_total,
+                    m.host_compactor.pinned(), m.host_compactor.migrated_total,
+                    vs.guest.buddy.largest_free_run(),
+                    vs.guest.buddy.free_blocks_of_order(9),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Results of a workload run on the simulated machine.
+
+use gemini_mm::AlignmentStats;
+use gemini_sim_core::Cycles;
+use gemini_tlb::PerfCounters;
+
+/// Metrics of one workload run in one VM.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// System label the run executed under.
+    pub system: &'static str,
+    /// Workload name.
+    pub workload: String,
+    /// Operations completed.
+    pub ops: u64,
+    /// Virtual time consumed.
+    pub vtime: Cycles,
+    /// Mean request latency (zero when the workload does not track
+    /// latency).
+    pub mean_latency: Cycles,
+    /// 99th-percentile request latency.
+    pub p99_latency: Cycles,
+    /// MMU performance counters at the end of the run (deltas since the
+    /// run began).
+    pub counters: PerfCounters,
+    /// Cross-layer huge-page alignment at the end of the run.
+    pub alignment: AlignmentStats,
+    /// Guest-layer fragmentation index at the end of the run.
+    pub guest_fmfi: f64,
+    /// Host-layer fragmentation index at the end of the run.
+    pub host_fmfi: f64,
+    /// Huge-bucket reuse rate (Gemini only; 0 otherwise).
+    pub bucket_reuse_rate: f64,
+}
+
+impl RunResult {
+    /// Throughput in operations per simulated second.
+    pub fn throughput(&self) -> f64 {
+        if self.vtime == Cycles::ZERO {
+            0.0
+        } else {
+            self.ops as f64 / self.vtime.as_secs_f64()
+        }
+    }
+
+    /// The well-aligned huge page rate (Tables 1, 3, 4).
+    pub fn aligned_rate(&self) -> f64 {
+        self.alignment.aligned_rate()
+    }
+
+    /// TLB misses (page walks) observed during the run.
+    pub fn tlb_misses(&self) -> u64 {
+        self.counters.stlb_misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_math() {
+        let r = RunResult {
+            system: "test",
+            workload: "w".into(),
+            ops: 2_100_000,
+            vtime: Cycles::from_secs(1.0),
+            mean_latency: Cycles::ZERO,
+            p99_latency: Cycles::ZERO,
+            counters: PerfCounters::default(),
+            alignment: AlignmentStats::default(),
+            guest_fmfi: 0.0,
+            host_fmfi: 0.0,
+            bucket_reuse_rate: 0.0,
+        };
+        assert!((r.throughput() - 2_100_000.0).abs() < 1.0);
+        let empty = RunResult {
+            vtime: Cycles::ZERO,
+            ..r
+        };
+        assert_eq!(empty.throughput(), 0.0);
+    }
+}

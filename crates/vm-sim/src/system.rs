@@ -1,0 +1,203 @@
+//! The systems under comparison (paper §2.3 and §6.1).
+
+use gemini::{GeminiPolicy, GeminiRuntime, GeminiShared};
+use gemini_mm::{HugePolicy, LayerKind};
+use gemini_policies::{build, PolicyKind};
+
+/// One of the compared system configurations: a (guest policy, host
+/// policy) pair, plus Gemini's cross-layer runtime where applicable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Base pages at both layers.
+    HostBVmB,
+    /// Guest huge pages over host base pages (every guest huge page
+    /// mis-aligned; the paper's footnote-1 variant).
+    HostBVmH,
+    /// Host huge pages under guest base pages — the paper's
+    /// `Misalignment` scenario.
+    HostHVmB,
+    /// Static huge pages at both layers (microbenchmark's aligned
+    /// configuration).
+    HostHVmH,
+    /// Linux THP at both layers, uncoordinated.
+    Thp,
+    /// CA-paging (software component) at both layers.
+    CaPaging,
+    /// Translation-ranger at both layers.
+    Ranger,
+    /// HawkEye at both layers.
+    HawkEye,
+    /// Ingens at both layers.
+    Ingens,
+    /// Gemini (this paper).
+    Gemini,
+    /// Ablation: Gemini without the huge bucket (EMA/HB only, Fig. 16).
+    GeminiNoBucket,
+    /// Ablation: Gemini with booking/EMA disabled (bucket only, Fig. 16).
+    GeminiBucketOnly,
+}
+
+impl SystemKind {
+    /// The eight systems of the main evaluation, in the paper's order.
+    pub fn evaluated() -> [SystemKind; 8] {
+        [
+            SystemKind::HostBVmB,
+            SystemKind::HostHVmB,
+            SystemKind::Thp,
+            SystemKind::CaPaging,
+            SystemKind::Ranger,
+            SystemKind::HawkEye,
+            SystemKind::Ingens,
+            SystemKind::Gemini,
+        ]
+    }
+
+    /// The six systems whose well-aligned rates the paper tabulates
+    /// (Tables 1, 3, 4).
+    pub fn tabulated() -> [SystemKind; 6] {
+        [
+            SystemKind::Thp,
+            SystemKind::CaPaging,
+            SystemKind::Ranger,
+            SystemKind::HawkEye,
+            SystemKind::Ingens,
+            SystemKind::Gemini,
+        ]
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::HostBVmB => "Host-B-VM-B",
+            SystemKind::HostBVmH => "Host-B-VM-H",
+            SystemKind::HostHVmB => "Misalignment",
+            SystemKind::HostHVmH => "Host-H-VM-H",
+            SystemKind::Thp => "THP",
+            SystemKind::CaPaging => "CA-paging",
+            SystemKind::Ranger => "Trans-ranger",
+            SystemKind::HawkEye => "HawkEye",
+            SystemKind::Ingens => "Ingens",
+            SystemKind::Gemini => "GEMINI",
+            SystemKind::GeminiNoBucket => "GEMINI-EMA/HB",
+            SystemKind::GeminiBucketOnly => "GEMINI-bucket",
+        }
+    }
+
+    /// True for the Gemini variants (they need the cross-layer runtime).
+    pub fn is_gemini(self) -> bool {
+        matches!(
+            self,
+            SystemKind::Gemini | SystemKind::GeminiNoBucket | SystemKind::GeminiBucketOnly
+        )
+    }
+
+    /// Builds the guest-layer policy (per VM). `zero_heavy` flags the
+    /// running workload for HawkEye's deduplicator.
+    pub fn guest_policy(
+        self,
+        zero_heavy: bool,
+        shared: Option<&GeminiShared>,
+    ) -> Box<dyn HugePolicy> {
+        match self {
+            SystemKind::HostBVmB | SystemKind::HostHVmB => build(PolicyKind::Base),
+            SystemKind::HostBVmH | SystemKind::HostHVmH => build(PolicyKind::HugeAlways),
+            SystemKind::Thp => build(PolicyKind::Thp),
+            SystemKind::CaPaging => build(PolicyKind::CaPaging),
+            SystemKind::Ranger => build(PolicyKind::Ranger),
+            SystemKind::HawkEye => build(PolicyKind::HawkEye { zero_heavy }),
+            SystemKind::Ingens => build(PolicyKind::Ingens),
+            SystemKind::Gemini | SystemKind::GeminiNoBucket | SystemKind::GeminiBucketOnly => {
+                let shared = shared.expect("Gemini systems need shared state").clone();
+                Box::new(GeminiPolicy::new(
+                    LayerKind::Guest,
+                    shared,
+                    self.gemini_config(),
+                ))
+            }
+        }
+    }
+
+    /// Builds the host-layer policy (shared by all VMs).
+    pub fn host_policy(self, shared: Option<&GeminiShared>) -> Box<dyn HugePolicy> {
+        match self {
+            SystemKind::HostBVmB | SystemKind::HostBVmH => build(PolicyKind::Base),
+            SystemKind::HostHVmB | SystemKind::HostHVmH => build(PolicyKind::HugeAlways),
+            SystemKind::Thp => build(PolicyKind::Thp),
+            SystemKind::CaPaging => build(PolicyKind::CaPaging),
+            SystemKind::Ranger => build(PolicyKind::Ranger),
+            SystemKind::HawkEye => build(PolicyKind::HawkEye { zero_heavy: false }),
+            SystemKind::Ingens => build(PolicyKind::Ingens),
+            SystemKind::Gemini | SystemKind::GeminiNoBucket | SystemKind::GeminiBucketOnly => {
+                let shared = shared.expect("Gemini systems need shared state").clone();
+                Box::new(GeminiPolicy::new(
+                    LayerKind::Host,
+                    shared,
+                    self.gemini_config(),
+                ))
+            }
+        }
+    }
+
+    /// The Gemini configuration for this variant (ablations flip flags).
+    pub fn gemini_config(self) -> gemini::policy::GeminiConfig {
+        let mut cfg = gemini::policy::GeminiConfig::default();
+        match self {
+            SystemKind::GeminiNoBucket => cfg.enable_bucket = false,
+            SystemKind::GeminiBucketOnly => {
+                cfg.enable_booking = false;
+                cfg.enable_promoter = false;
+            }
+            _ => {}
+        }
+        cfg
+    }
+
+    /// Builds the cross-layer runtime for Gemini variants.
+    pub fn runtime(self, shared: &GeminiShared) -> Option<GeminiRuntime> {
+        self.is_gemini().then(|| GeminiRuntime::new(shared.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini::shared::new_shared;
+
+    #[test]
+    fn evaluated_set_matches_paper() {
+        let labels: Vec<&str> = SystemKind::evaluated().iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "Host-B-VM-B",
+                "Misalignment",
+                "THP",
+                "CA-paging",
+                "Trans-ranger",
+                "HawkEye",
+                "Ingens",
+                "GEMINI"
+            ]
+        );
+    }
+
+    #[test]
+    fn policies_build_for_every_system() {
+        let shared = new_shared();
+        for s in SystemKind::evaluated() {
+            let arg = s.is_gemini().then_some(&shared);
+            let g = s.guest_policy(false, arg);
+            let h = s.host_policy(arg);
+            assert!(!g.name().is_empty());
+            assert!(!h.name().is_empty());
+            assert_eq!(s.runtime(&shared).is_some(), s.is_gemini());
+        }
+    }
+
+    #[test]
+    fn ablations_flip_config_flags() {
+        assert!(!SystemKind::GeminiNoBucket.gemini_config().enable_bucket);
+        assert!(!SystemKind::GeminiBucketOnly.gemini_config().enable_booking);
+        assert!(SystemKind::Gemini.gemini_config().enable_bucket);
+    }
+}

@@ -1,0 +1,80 @@
+//! The Figure 2 microbenchmark: random accesses over a dataset of varying
+//! size.
+//!
+//! The paper's motivating microbenchmark randomly accesses a data set in a
+//! VM while the guest and host page sizes are pinned to one of four
+//! combinations (`Host-{B,H} × VM-{B,H}`). Small datasets fit any TLB;
+//! large datasets separate the configurations: only well-aligned huge
+//! pages keep TLB misses low.
+
+use crate::gen::WorkloadGen;
+use crate::spec::{AccessSkew, AllocPattern, WorkloadSpec};
+
+/// Builds the microbenchmark generator for one dataset size.
+#[derive(Debug)]
+pub struct MicrobenchGen;
+
+impl MicrobenchGen {
+    /// The workload spec for a `dataset` of bytes.
+    pub fn spec(dataset: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "microbench",
+            working_set: dataset,
+            alloc: AllocPattern::Static,
+            skew: AccessSkew::Uniform,
+            churn_period: 0,
+            accesses_per_op: 100,
+            cpu_per_op: 100, // Nearly pure memory: the worst case for TLBs.
+            latency_tracked: false,
+            zero_heavy: false,
+            tlb_sensitive: true,
+        }
+    }
+
+    /// A ready generator for `dataset` bytes and `ops` operations.
+    pub fn generator(dataset: u64, ops: u64, seed: u64) -> WorkloadGen {
+        WorkloadGen::new(Self::spec(dataset), ops, seed)
+    }
+
+    /// The dataset sizes swept by Figure 2 (scaled to the simulator).
+    pub fn dataset_sweep() -> Vec<u64> {
+        const MB: u64 = 1 << 20;
+        vec![2 * MB, 4 * MB, 8 * MB, 16 * MB, 32 * MB, 64 * MB, 128 * MB, 256 * MB]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::WorkloadEvent;
+
+    #[test]
+    fn spec_is_memory_bound_uniform() {
+        let s = MicrobenchGen::spec(1 << 24);
+        assert_eq!(s.skew, AccessSkew::Uniform);
+        assert!(s.cpu_per_op < 1000);
+        assert_eq!(s.working_set, 1 << 24);
+    }
+
+    #[test]
+    fn sweep_is_increasing_and_crosses_tlb_coverage() {
+        let sweep = MicrobenchGen::dataset_sweep();
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+        // Must straddle the 6 MiB base-page L2 TLB coverage.
+        assert!(*sweep.first().unwrap() < 6 * (1 << 20));
+        assert!(*sweep.last().unwrap() > 6 * (1 << 20));
+    }
+
+    #[test]
+    fn generator_runs_to_completion() {
+        let mut g = MicrobenchGen::generator(1 << 22, 5, 1);
+        let mut touches = 0;
+        while let Some(ev) = g.next_event() {
+            if matches!(ev, WorkloadEvent::Touch { .. }) {
+                touches += 1;
+            }
+        }
+        assert_eq!(touches, 5 * 99);
+        assert!(g.finished());
+    }
+}

@@ -1,0 +1,371 @@
+//! The workload catalog (paper Table 2), expressed as memory-behaviour
+//! parameters.
+
+/// How the workload acquires its memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocPattern {
+    /// One large allocation up front (static arrays).
+    Static,
+    /// Grows in chunks over the run (dynamic data structures).
+    Gradual {
+        /// Chunk size in bytes.
+        chunk: u64,
+    },
+}
+
+/// How accesses distribute over the working set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessSkew {
+    /// Uniform random pages.
+    Uniform,
+    /// Zipf-distributed pages with the given exponent (hot keys).
+    Zipf(f64),
+    /// Streaming sequential sweep.
+    Sequential,
+}
+
+/// One application model.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Display name (matches the paper's tables/figures).
+    pub name: &'static str,
+    /// Working-set size in bytes.
+    pub working_set: u64,
+    /// Allocation pattern.
+    pub alloc: AllocPattern,
+    /// Access distribution.
+    pub skew: AccessSkew,
+    /// Every `churn_period` operations, free the oldest chunk and allocate
+    /// a replacement (0 = no churn). Only meaningful with gradual
+    /// allocation.
+    pub churn_period: u64,
+    /// Page touches per operation/request.
+    pub accesses_per_op: u32,
+    /// Pure CPU cycles per operation (no memory), which dilutes
+    /// translation overhead for non-TLB-sensitive workloads.
+    pub cpu_per_op: u64,
+    /// Whether the application reports request latencies (TailBench etc.).
+    pub latency_tracked: bool,
+    /// Many in-use zero pages (Specjbb): triggers HawkEye's deduplicator.
+    pub zero_heavy: bool,
+    /// Whether the paper classifies it as TLB-sensitive.
+    pub tlb_sensitive: bool,
+}
+
+impl WorkloadSpec {
+    /// Returns a copy with the working set (and chunk size) scaled by
+    /// `factor`; tests use small instances, benches the full ones.
+    pub fn scaled(&self, factor: f64) -> WorkloadSpec {
+        let mut s = self.clone();
+        s.working_set = ((s.working_set as f64 * factor) as u64).max(1 << 21);
+        if let AllocPattern::Gradual { chunk } = s.alloc {
+            s.alloc = AllocPattern::Gradual {
+                chunk: ((chunk as f64 * factor) as u64).max(1 << 21),
+            };
+        }
+        s
+    }
+}
+
+const MB: u64 = 1 << 20;
+
+/// The sixteen workloads of Table 2/Table 3, in the paper's order.
+pub fn catalog() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "Img-dnn",
+            working_set: 128 * MB,
+            alloc: AllocPattern::Static,
+            skew: AccessSkew::Zipf(0.9),
+            churn_period: 0,
+            accesses_per_op: 120,
+            cpu_per_op: 9_000,
+            latency_tracked: true,
+            zero_heavy: false,
+            tlb_sensitive: true,
+        },
+        WorkloadSpec {
+            name: "Sphinx",
+            working_set: 96 * MB,
+            alloc: AllocPattern::Static,
+            skew: AccessSkew::Zipf(0.8),
+            churn_period: 0,
+            accesses_per_op: 150,
+            cpu_per_op: 12_000,
+            latency_tracked: true,
+            zero_heavy: false,
+            tlb_sensitive: true,
+        },
+        WorkloadSpec {
+            name: "Moses",
+            working_set: 96 * MB,
+            alloc: AllocPattern::Gradual { chunk: 8 * MB },
+            skew: AccessSkew::Zipf(0.9),
+            churn_period: 0,
+            accesses_per_op: 130,
+            cpu_per_op: 10_000,
+            latency_tracked: true,
+            zero_heavy: false,
+            tlb_sensitive: true,
+        },
+        WorkloadSpec {
+            name: "Xapian",
+            working_set: 128 * MB,
+            alloc: AllocPattern::Gradual { chunk: 8 * MB },
+            skew: AccessSkew::Zipf(1.0),
+            churn_period: 4_000,
+            accesses_per_op: 100,
+            cpu_per_op: 6_000,
+            latency_tracked: true,
+            zero_heavy: false,
+            tlb_sensitive: true,
+        },
+        WorkloadSpec {
+            name: "Masstree",
+            working_set: 192 * MB,
+            alloc: AllocPattern::Gradual { chunk: 16 * MB },
+            skew: AccessSkew::Zipf(0.95),
+            churn_period: 6_000,
+            accesses_per_op: 90,
+            cpu_per_op: 4_000,
+            latency_tracked: true,
+            zero_heavy: false,
+            tlb_sensitive: true,
+        },
+        WorkloadSpec {
+            name: "Specjbb",
+            working_set: 192 * MB,
+            alloc: AllocPattern::Gradual { chunk: 16 * MB },
+            skew: AccessSkew::Zipf(0.8),
+            churn_period: 5_000,
+            accesses_per_op: 110,
+            cpu_per_op: 7_000,
+            latency_tracked: true,
+            zero_heavy: true,
+            tlb_sensitive: true,
+        },
+        WorkloadSpec {
+            name: "Silo",
+            working_set: 128 * MB,
+            alloc: AllocPattern::Static,
+            skew: AccessSkew::Zipf(0.9),
+            churn_period: 0,
+            accesses_per_op: 80,
+            cpu_per_op: 5_000,
+            latency_tracked: true,
+            zero_heavy: false,
+            tlb_sensitive: true,
+        },
+        WorkloadSpec {
+            name: "RocksDB",
+            working_set: 256 * MB,
+            alloc: AllocPattern::Gradual { chunk: 16 * MB },
+            skew: AccessSkew::Zipf(0.99),
+            churn_period: 2_500,
+            accesses_per_op: 100,
+            cpu_per_op: 5_000,
+            latency_tracked: true,
+            zero_heavy: false,
+            tlb_sensitive: true,
+        },
+        WorkloadSpec {
+            name: "Redis",
+            working_set: 256 * MB,
+            alloc: AllocPattern::Gradual { chunk: 16 * MB },
+            skew: AccessSkew::Zipf(0.99),
+            churn_period: 2_500,
+            accesses_per_op: 60,
+            cpu_per_op: 3_000,
+            latency_tracked: true,
+            zero_heavy: false,
+            tlb_sensitive: true,
+        },
+        WorkloadSpec {
+            name: "Memcached",
+            working_set: 192 * MB,
+            alloc: AllocPattern::Gradual { chunk: 16 * MB },
+            skew: AccessSkew::Zipf(0.99),
+            churn_period: 5_000,
+            accesses_per_op: 50,
+            cpu_per_op: 2_500,
+            latency_tracked: true,
+            zero_heavy: false,
+            tlb_sensitive: true,
+        },
+        WorkloadSpec {
+            name: "Canneal",
+            working_set: 192 * MB,
+            alloc: AllocPattern::Static,
+            skew: AccessSkew::Uniform,
+            churn_period: 0,
+            accesses_per_op: 200,
+            cpu_per_op: 6_000,
+            latency_tracked: false,
+            zero_heavy: false,
+            tlb_sensitive: true,
+        },
+        WorkloadSpec {
+            name: "Streamcluster",
+            working_set: 128 * MB,
+            alloc: AllocPattern::Static,
+            skew: AccessSkew::Sequential,
+            churn_period: 0,
+            accesses_per_op: 250,
+            cpu_per_op: 8_000,
+            latency_tracked: false,
+            zero_heavy: false,
+            tlb_sensitive: true,
+        },
+        WorkloadSpec {
+            name: "dedup",
+            working_set: 96 * MB,
+            alloc: AllocPattern::Gradual { chunk: 8 * MB },
+            skew: AccessSkew::Uniform,
+            churn_period: 8_000,
+            accesses_per_op: 150,
+            cpu_per_op: 7_000,
+            latency_tracked: false,
+            zero_heavy: false,
+            tlb_sensitive: true,
+        },
+        WorkloadSpec {
+            name: "CG.D",
+            working_set: 256 * MB,
+            alloc: AllocPattern::Static,
+            skew: AccessSkew::Uniform,
+            churn_period: 0,
+            accesses_per_op: 220,
+            cpu_per_op: 5_000,
+            latency_tracked: false,
+            zero_heavy: false,
+            tlb_sensitive: true,
+        },
+        WorkloadSpec {
+            name: "429.mcf",
+            working_set: 192 * MB,
+            alloc: AllocPattern::Static,
+            skew: AccessSkew::Uniform,
+            churn_period: 0,
+            accesses_per_op: 180,
+            cpu_per_op: 4_000,
+            latency_tracked: false,
+            zero_heavy: false,
+            tlb_sensitive: true,
+        },
+        WorkloadSpec {
+            name: "SVM",
+            working_set: 384 * MB,
+            alloc: AllocPattern::Static,
+            skew: AccessSkew::Uniform,
+            churn_period: 0,
+            accesses_per_op: 200,
+            cpu_per_op: 5_000,
+            latency_tracked: false,
+            zero_heavy: false,
+            tlb_sensitive: true,
+        },
+    ]
+}
+
+/// The non-TLB-sensitive workloads used for the overhead study (§6.5).
+pub fn non_tlb_sensitive() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "Shore",
+            working_set: 64 * MB,
+            alloc: AllocPattern::Static,
+            skew: AccessSkew::Zipf(0.6),
+            churn_period: 0,
+            accesses_per_op: 10,
+            cpu_per_op: 120_000, // I/O-bound: translation is noise.
+            latency_tracked: true,
+            zero_heavy: false,
+            tlb_sensitive: false,
+        },
+        WorkloadSpec {
+            name: "SP.D",
+            working_set: 128 * MB,
+            alloc: AllocPattern::Static,
+            skew: AccessSkew::Sequential,
+            churn_period: 0,
+            accesses_per_op: 20,
+            cpu_per_op: 100_000, // Compute-bound.
+            latency_tracked: false,
+            zero_heavy: false,
+            tlb_sensitive: false,
+        },
+    ]
+}
+
+/// Finds a workload by name across both catalogs.
+pub fn spec_by_name(name: &str) -> Option<WorkloadSpec> {
+    catalog()
+        .into_iter()
+        .chain(non_tlb_sensitive())
+        .find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table_2() {
+        let names: Vec<&str> = catalog().iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 16);
+        for expect in [
+            "Img-dnn", "Sphinx", "Moses", "Xapian", "Masstree", "Specjbb", "Silo", "RocksDB",
+            "Redis", "Memcached", "Canneal", "Streamcluster", "dedup", "CG.D", "429.mcf", "SVM",
+        ] {
+            assert!(names.contains(&expect), "{expect} missing");
+        }
+    }
+
+    #[test]
+    fn only_specjbb_is_zero_heavy() {
+        let zh: Vec<&str> = catalog()
+            .iter()
+            .filter(|s| s.zero_heavy)
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(zh, vec!["Specjbb"]);
+    }
+
+    #[test]
+    fn working_sets_exceed_base_tlb_coverage() {
+        // 1536 entries × 4 KiB = 6 MiB: all TLB-sensitive sets must be far
+        // beyond it, else the experiment regime is wrong.
+        for s in catalog() {
+            assert!(s.working_set >= 64 * MB, "{} too small", s.name);
+        }
+    }
+
+    #[test]
+    fn non_sensitive_have_heavy_cpu_per_op() {
+        for s in non_tlb_sensitive() {
+            assert!(!s.tlb_sensitive);
+            assert!(s.cpu_per_op >= 100_000);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_spans_both_catalogs() {
+        assert!(spec_by_name("Redis").is_some());
+        assert!(spec_by_name("Shore").is_some());
+        assert!(spec_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn scaling_shrinks_but_respects_floor() {
+        let s = spec_by_name("Redis").unwrap();
+        let t = s.scaled(1.0 / 64.0);
+        assert_eq!(t.working_set, 4 * MB);
+        if let AllocPattern::Gradual { chunk } = t.alloc {
+            assert_eq!(chunk, 2 * MB, "chunk floor is one huge page");
+        } else {
+            panic!("Redis is gradual");
+        }
+        let tiny = s.scaled(1e-9);
+        assert_eq!(tiny.working_set, 2 * MB, "floor");
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: the full stack (workload generator →
+//! guest MM → EPT → MMU model → policies → Gemini runtime) wired through
+//! the public APIs, checking end-to-end invariants rather than per-module
+//! behaviour.
+
+use gemini_harness::{run_workload_on, Scale};
+use gemini_mm::alignment_stats;
+use gemini_sim_core::Cycles;
+use gemini_vm_sim::{Machine, SystemKind};
+use gemini_workloads::{catalog, spec_by_name, WorkloadGen};
+
+fn quick(ops: u64) -> Scale {
+    Scale {
+        ops,
+        ..Scale::quick()
+    }
+}
+
+#[test]
+fn every_evaluated_system_completes_every_motivation_workload() {
+    let scale = quick(600);
+    for system in SystemKind::evaluated() {
+        for name in ["Canneal", "Specjbb"] {
+            let spec = spec_by_name(name).unwrap();
+            let r = run_workload_on(system, &spec, &scale, true, 1).unwrap();
+            assert_eq!(r.ops, 600, "{system:?}/{name}");
+            assert!(r.vtime > Cycles::ZERO);
+            assert!(r.counters.accesses > 0);
+        }
+    }
+}
+
+#[test]
+fn whole_catalog_runs_under_gemini() {
+    let scale = quick(300);
+    for spec in catalog() {
+        let r = run_workload_on(SystemKind::Gemini, &spec, &scale, false, 2).unwrap();
+        assert_eq!(r.ops, 300, "{}", spec.name);
+        // Latency tracking matches the spec.
+        assert_eq!(r.mean_latency > Cycles::ZERO, spec.latency_tracked, "{}", spec.name);
+    }
+}
+
+#[test]
+fn alignment_metric_agrees_with_direct_table_scan() {
+    let scale = quick(1_000);
+    let cfg = scale.machine_config(false, false, 3);
+    let mut m = Machine::new(SystemKind::Thp, cfg);
+    let vm = m.add_vm();
+    let spec = spec_by_name("Masstree").unwrap().scaled(scale.ws_factor);
+    let r = m.run(vm, WorkloadGen::new(spec, scale.ops, 3)).unwrap();
+    let direct = alignment_stats(m.guest_table(vm), m.ept(vm));
+    assert_eq!(r.alignment, direct);
+}
+
+#[test]
+fn translations_remain_consistent_across_the_stack() {
+    // After any run, every guest translation must resolve through the EPT
+    // to a valid host frame, and well-aligned pages must be huge at both
+    // layers.
+    let scale = quick(1_500);
+    let cfg = scale.machine_config(true, false, 4);
+    let mut m = Machine::new(SystemKind::Gemini, cfg);
+    let vm = m.add_vm();
+    let spec = spec_by_name("Xapian").unwrap().scaled(scale.ws_factor);
+    m.run(vm, WorkloadGen::new(spec, scale.ops, 4)).unwrap();
+    let guest = m.guest_table(vm);
+    let ept = m.ept(vm);
+    let mut checked = 0;
+    for (gva, gpa) in guest.iter_base() {
+        let backing = ept.translate(gpa);
+        assert!(backing.is_some(), "GVA {gva:#x} maps to unbacked GPA {gpa:#x}");
+        checked += 1;
+    }
+    for (_gva_h, gpa_h) in guest.iter_huge() {
+        // Every frame of a guest huge page must be backed.
+        for i in [0u64, 255, 511] {
+            assert!(ept.translate((gpa_h << 9) + i).is_some());
+        }
+        checked += 1;
+    }
+    assert!(checked > 0, "workload mapped nothing?");
+    guest.check_invariants().unwrap();
+    ept.check_invariants().unwrap();
+}
+
+#[test]
+fn misalignment_scenario_has_zero_aligned_rate_by_construction() {
+    let scale = quick(800);
+    let spec = spec_by_name("Canneal").unwrap();
+    let r = run_workload_on(SystemKind::HostHVmB, &spec, &scale, false, 5).unwrap();
+    assert_eq!(r.alignment.guest_huge, 0);
+    assert!(r.alignment.host_huge > 0, "host should form huge pages");
+    assert_eq!(r.aligned_rate(), 0.0);
+}
+
+#[test]
+fn fragmentation_is_reflected_in_fmfi_metrics() {
+    let scale = quick(400);
+    let spec = spec_by_name("Silo").unwrap();
+    let frag = run_workload_on(SystemKind::Thp, &spec, &scale, true, 6).unwrap();
+    let clean = run_workload_on(SystemKind::Thp, &spec, &scale, false, 6).unwrap();
+    // The fragmented run starts near FMFI 0.9; compaction may reduce it,
+    // but it should still end at or above the clean run's level.
+    assert!(frag.guest_fmfi >= clean.guest_fmfi);
+}
+
+#[test]
+fn deterministic_across_identical_invocations() {
+    let scale = quick(700);
+    let spec = spec_by_name("RocksDB").unwrap();
+    let a = run_workload_on(SystemKind::Gemini, &spec, &scale, true, 9).unwrap();
+    let b = run_workload_on(SystemKind::Gemini, &spec, &scale, true, 9).unwrap();
+    assert_eq!(a.vtime, b.vtime);
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.alignment, b.alignment);
+    assert_eq!(a.mean_latency, b.mean_latency);
+}
+
+#[test]
+fn zero_heavy_flag_reaches_hawkeye() {
+    // Specjbb (zero-heavy) under HawkEye should show demotion churn that
+    // a non-zero-heavy workload does not: compare huge-page stability.
+    let scale = quick(2_000);
+    let spec = spec_by_name("Specjbb").unwrap();
+    let r = run_workload_on(SystemKind::HawkEye, &spec, &scale, false, 10).unwrap();
+    // The run completes and produced some huge pages at some point;
+    // the zero-page deduplicator's demotions show up as shootdowns.
+    assert!(r.counters.shootdowns > 0);
+}
