@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints (warnings are errors), full test suite.
+# Runs fully offline; the bench crate is a standalone workspace and is
+# covered only when its registry dependencies are available.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, -D warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test (workspace) =="
+cargo test --workspace --offline -q
+
+echo "CI gate passed."

@@ -290,10 +290,7 @@ impl BuddyAllocator {
         if self.containing_free_block(start).is_some() {
             return true;
         }
-        self.block_index
-            .range(start..start + len)
-            .next()
-            .is_some()
+        self.block_index.range(start..start + len).next().is_some()
     }
 
     fn insert_free(&mut self, start: u64, order: u32) {
@@ -316,7 +313,9 @@ impl BuddyAllocator {
         let mut prev_end = 0u64;
         for (&start, &order) in &self.block_index {
             if !self.free_lists[order as usize].contains(&start) {
-                return Err(SimError::Invariant("block index entry missing from free list"));
+                return Err(SimError::Invariant(
+                    "block index entry missing from free list",
+                ));
             }
             if start & ((1 << order) - 1) != 0 {
                 return Err(SimError::Invariant("free block misaligned"));

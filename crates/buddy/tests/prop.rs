@@ -1,4 +1,6 @@
-//! Property-based tests for the buddy allocator.
+//! Randomized property tests for the buddy allocator, driven by the
+//! workspace's own deterministic RNG (no external test-framework
+//! dependency so the suite builds offline).
 //!
 //! These drive random interleavings of `alloc`, `alloc_at` and `free` and
 //! check the allocator's structural invariants after every step: free lists
@@ -6,7 +8,9 @@
 //! accounting conserves memory.
 
 use gemini_buddy::{BuddyAllocator, MAX_ORDER};
-use proptest::prelude::*;
+use gemini_sim_core::DetRng;
+
+const CASES: u64 = 64;
 
 /// One random allocator operation.
 #[derive(Debug, Clone)]
@@ -16,34 +20,34 @@ enum Op {
     FreeIdx(usize),
 }
 
-fn op_strategy(num_frames: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u32..=MAX_ORDER).prop_map(Op::Alloc),
-        (0u64..num_frames, 0u32..=9u32).prop_map(|(frame, order)| Op::AllocAt {
-            frame: frame & !((1 << order) - 1),
-            order,
-        }),
-        (any::<prop::sample::Index>()).prop_map(|i| Op::FreeIdx(i.index(1 << 16))),
-    ]
+fn random_op(rng: &mut DetRng, num_frames: u64) -> Op {
+    match rng.below(3) {
+        0 => Op::Alloc(rng.below(MAX_ORDER as u64 + 1) as u32),
+        1 => {
+            let order = rng.below(10) as u32;
+            let frame = rng.below(num_frames) & !((1u64 << order) - 1);
+            Op::AllocAt { frame, order }
+        }
+        _ => Op::FreeIdx(rng.below(1 << 16) as usize),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_ops_preserve_invariants(
-        num_frames in 1u64..5000,
-        ops in prop::collection::vec(op_strategy(4096), 1..200),
-    ) {
+#[test]
+fn random_ops_preserve_invariants() {
+    let mut seeds = DetRng::new(0xB0DD_1E01);
+    for _ in 0..CASES {
+        let mut rng = seeds.fork();
+        let num_frames = rng.range(1, 5000);
+        let n_ops = rng.range(1, 200);
         let mut a = BuddyAllocator::new(num_frames);
         let mut live: Vec<(u64, u32)> = Vec::new();
         let mut allocated = 0u64;
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng, 4096) {
                 Op::Alloc(order) => {
                     if let Ok(start) = a.alloc(order) {
-                        prop_assert_eq!(start % (1 << order), 0);
-                        prop_assert!(start + (1u64 << order) <= num_frames);
+                        assert_eq!(start % (1 << order), 0);
+                        assert!(start + (1u64 << order) <= num_frames);
                         live.push((start, order));
                         allocated += 1 << order;
                     }
@@ -63,7 +67,7 @@ proptest! {
                 }
             }
             a.check_invariants().unwrap();
-            prop_assert_eq!(a.used_frames(), allocated);
+            assert_eq!(a.used_frames(), allocated);
         }
         // No two live blocks may overlap.
         let mut sorted = live.clone();
@@ -71,18 +75,22 @@ proptest! {
         for w in sorted.windows(2) {
             let (s0, o0) = w[0];
             let (s1, _) = w[1];
-            prop_assert!(s0 + (1u64 << o0) <= s1, "live blocks overlap");
+            assert!(s0 + (1u64 << o0) <= s1, "live blocks overlap");
         }
     }
+}
 
-    #[test]
-    fn free_everything_restores_pristine_state(
-        num_frames in 512u64..4096,
-        orders in prop::collection::vec(0u32..=MAX_ORDER, 1..64),
-    ) {
+#[test]
+fn free_everything_restores_pristine_state() {
+    let mut seeds = DetRng::new(0xB0DD_1E02);
+    for _ in 0..CASES {
+        let mut rng = seeds.fork();
+        let num_frames = rng.range(512, 4096);
+        let n = rng.range(1, 64);
         let mut a = BuddyAllocator::new(num_frames);
         let mut live = Vec::new();
-        for order in orders {
+        for _ in 0..n {
+            let order = rng.below(MAX_ORDER as u64 + 1) as u32;
             if let Ok(s) = a.alloc(order) {
                 live.push((s, order));
             }
@@ -90,64 +98,70 @@ proptest! {
         for (s, o) in live {
             a.free(s, o).unwrap();
         }
-        prop_assert_eq!(a.free_frames(), num_frames);
+        assert_eq!(a.free_frames(), num_frames);
         a.check_invariants().unwrap();
         // A single maximal run spanning all memory.
-        prop_assert_eq!(a.free_runs(), vec![(0, num_frames)]);
+        assert_eq!(a.free_runs(), vec![(0, num_frames)]);
     }
+}
 
-    #[test]
-    fn alloc_at_never_hands_out_busy_frames(
-        targets in prop::collection::vec((0u64..1024, 0u32..=9), 1..80),
-    ) {
+#[test]
+fn alloc_at_never_hands_out_busy_frames() {
+    let mut seeds = DetRng::new(0xB0DD_1E03);
+    for _ in 0..CASES {
+        let mut rng = seeds.fork();
+        let n = rng.range(1, 80);
         let mut a = BuddyAllocator::new(1024);
         let mut owned: Vec<(u64, u32)> = Vec::new();
-        for (frame, order) in targets {
-            let frame = frame & !((1u64 << order) - 1);
+        for _ in 0..n {
+            let order = rng.below(10) as u32;
+            let frame = rng.below(1024) & !((1u64 << order) - 1);
             if frame + (1 << order) > 1024 {
                 continue;
             }
             match a.alloc_at(frame, order) {
                 Ok(()) => {
                     for &(s, o) in &owned {
-                        let disjoint =
-                            s + (1u64 << o) <= frame || frame + (1u64 << order) <= s;
-                        prop_assert!(disjoint, "alloc_at returned an owned frame");
+                        let disjoint = s + (1u64 << o) <= frame || frame + (1u64 << order) <= s;
+                        assert!(disjoint, "alloc_at returned an owned frame");
                     }
                     owned.push((frame, order));
                 }
                 Err(_) => {
                     // Failure must mean some frame in range is indeed busy,
                     // i.e. intersects an owned block.
-                    let busy = owned.iter().any(|&(s, o)| {
-                        s < frame + (1 << order) && frame < s + (1u64 << o)
-                    });
-                    prop_assert!(busy, "alloc_at refused a fully free range");
+                    let busy = owned
+                        .iter()
+                        .any(|&(s, o)| s < frame + (1 << order) && frame < s + (1u64 << o));
+                    assert!(busy, "alloc_at refused a fully free range");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn is_range_free_matches_ownership(
-        seed_allocs in prop::collection::vec((0u64..512, 0u32..=6), 0..32),
-        query in (0u64..512, 1u64..64),
-    ) {
+#[test]
+fn is_range_free_matches_ownership() {
+    let mut seeds = DetRng::new(0xB0DD_1E04);
+    for _ in 0..CASES {
+        let mut rng = seeds.fork();
+        let n = rng.below(32);
         let mut a = BuddyAllocator::new(512);
         let mut owned: Vec<(u64, u32)> = Vec::new();
-        for (frame, order) in seed_allocs {
-            let frame = frame & !((1u64 << order) - 1);
+        for _ in 0..n {
+            let order = rng.below(7) as u32;
+            let frame = rng.below(512) & !((1u64 << order) - 1);
             if frame + (1 << order) <= 512 && a.alloc_at(frame, order).is_ok() {
                 owned.push((frame, order));
             }
         }
-        let (qs, ql) = query;
-        let ql = ql.min(512 - qs.min(512));
+        let qs = rng.below(512);
+        let ql = rng.range(1, 64).min(512 - qs.min(512));
         if qs + ql <= 512 {
-            let expect_free = !owned.iter().any(|&(s, o)| {
-                s < qs + ql && qs < s + (1u64 << o)
-            });
-            prop_assert_eq!(a.is_range_free(qs, ql), expect_free);
+            let expect_free = !owned
+                .iter()
+                .any(|&(s, o)| s < qs + ql && qs < s + (1u64 << o));
+            assert_eq!(a.is_range_free(qs, ql), expect_free);
         }
     }
 }

@@ -166,7 +166,9 @@ mod tests {
     fn pressure_release_returns_oldest_first() {
         let mut buddy = BuddyAllocator::new(4096);
         for hf in 0..3 {
-            buddy.alloc_at(hf << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER).unwrap();
+            buddy
+                .alloc_at(hf << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER)
+                .unwrap();
         }
         let mut b = HugeBucket::new();
         for hf in 0..3 {

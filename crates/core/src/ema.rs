@@ -156,8 +156,18 @@ mod tests {
     #[test]
     fn move_to_front_on_hit() {
         let mut l = EmaList::new();
-        l.insert(OffsetDescriptor { key: 1, start: 0, len: 512, offset: 0 });
-        l.insert(OffsetDescriptor { key: 2, start: 0, len: 512, offset: 0 });
+        l.insert(OffsetDescriptor {
+            key: 1,
+            start: 0,
+            len: 512,
+            offset: 0,
+        });
+        l.insert(OffsetDescriptor {
+            key: 2,
+            start: 0,
+            len: 512,
+            offset: 0,
+        });
         // Key 2 is at front now; find key 1 moves it to front.
         assert!(l.find(1, 5).is_some());
         assert_eq!(l.items[0].key, 1);
@@ -170,15 +180,30 @@ mod tests {
     fn sub_vma_insert_truncates_overlap() {
         let mut l = EmaList::new();
         // Original descriptor covers the whole VMA [0, 2048).
-        l.insert(OffsetDescriptor { key: 1, start: 0, len: 2048, offset: 0 });
+        l.insert(OffsetDescriptor {
+            key: 1,
+            start: 0,
+            len: 2048,
+            offset: 0,
+        });
         // Sub-VMA: the tail [1024, 2048) gets a new offset.
-        l.insert(OffsetDescriptor { key: 1, start: 1024, len: 1024, offset: -512 });
+        l.insert(OffsetDescriptor {
+            key: 1,
+            start: 1024,
+            len: 1024,
+            offset: -512,
+        });
         assert_eq!(l.len(), 2);
         // Prefix keeps the old offset, tail uses the new one.
         assert_eq!(l.find(1, 100).unwrap().offset, 0);
         assert_eq!(l.find(1, 1500).unwrap().offset, -512);
         // A third descriptor fully covering the first removes it.
-        l.insert(OffsetDescriptor { key: 1, start: 0, len: 1024, offset: 99 });
+        l.insert(OffsetDescriptor {
+            key: 1,
+            start: 0,
+            len: 1024,
+            offset: 99,
+        });
         assert_eq!(l.len(), 2);
         assert_eq!(l.find(1, 100).unwrap().offset, 99);
     }
@@ -186,8 +211,18 @@ mod tests {
     #[test]
     fn overlap_truncation_ignores_other_keys() {
         let mut l = EmaList::new();
-        l.insert(OffsetDescriptor { key: 1, start: 0, len: 512, offset: 0 });
-        l.insert(OffsetDescriptor { key: 2, start: 0, len: 512, offset: 7 });
+        l.insert(OffsetDescriptor {
+            key: 1,
+            start: 0,
+            len: 512,
+            offset: 0,
+        });
+        l.insert(OffsetDescriptor {
+            key: 2,
+            start: 0,
+            len: 512,
+            offset: 7,
+        });
         assert_eq!(l.len(), 2);
         assert_eq!(l.find(1, 0).unwrap().offset, 0);
     }
@@ -195,9 +230,24 @@ mod tests {
     #[test]
     fn remove_key_drops_all_subranges() {
         let mut l = EmaList::new();
-        l.insert(OffsetDescriptor { key: 1, start: 0, len: 512, offset: 0 });
-        l.insert(OffsetDescriptor { key: 1, start: 512, len: 512, offset: 5 });
-        l.insert(OffsetDescriptor { key: 2, start: 0, len: 512, offset: 0 });
+        l.insert(OffsetDescriptor {
+            key: 1,
+            start: 0,
+            len: 512,
+            offset: 0,
+        });
+        l.insert(OffsetDescriptor {
+            key: 1,
+            start: 512,
+            len: 512,
+            offset: 5,
+        });
+        l.insert(OffsetDescriptor {
+            key: 2,
+            start: 0,
+            len: 512,
+            offset: 0,
+        });
         l.remove_key(1);
         assert_eq!(l.len(), 1);
         assert!(l.find(1, 0).is_none());

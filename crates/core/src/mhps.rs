@@ -54,7 +54,9 @@ pub struct VmScan {
 impl VmScan {
     /// Number of mis-aligned huge pages found, across layers and types.
     pub fn misaligned_total(&self) -> usize {
-        self.host_type1.len() + self.host_type2.len() + self.guest_type1.len()
+        self.host_type1.len()
+            + self.host_type2.len()
+            + self.guest_type1.len()
             + self.guest_type2.len()
     }
 }

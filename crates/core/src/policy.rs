@@ -36,6 +36,7 @@ use gemini_mm::{
     FaultCtx, FaultDecision, FaultOutcome, HugePolicy, LayerKind, LayerOps, PromotionKind,
     PromotionOp,
 };
+use gemini_obs::{cat, EventKind, Layer, Recorder};
 use gemini_sim_core::{Cycles, HUGE_PAGE_ORDER, PAGES_PER_HUGE_PAGE};
 use std::collections::{HashMap, HashSet};
 
@@ -131,8 +132,20 @@ pub struct GeminiPolicy {
     promo_cursor: u64,
     /// Key of the extent the last fault belonged to.
     last_key: Option<u64>,
+    /// VM of the last fault (labels recorder events that lack a ctx).
+    last_vm: u32,
+    /// Observability recorder (off until attached).
+    rec: Recorder,
     /// Counters for the breakdown experiment.
     pub stats: GeminiStats,
+}
+
+/// Maps the mm layer discriminator onto the obs event layer.
+fn obs_layer(layer: LayerKind) -> Layer {
+    match layer {
+        LayerKind::Guest => Layer::Guest,
+        LayerKind::Host => Layer::Host,
+    }
 }
 
 impl GeminiPolicy {
@@ -160,6 +173,8 @@ impl GeminiPolicy {
             cursor: 0,
             promo_cursor: 0,
             last_key: None,
+            last_vm: 0,
+            rec: Recorder::off(),
             stats: GeminiStats::default(),
         }
     }
@@ -279,6 +294,7 @@ impl GeminiPolicy {
     fn guest_fault(&mut self, ctx: &FaultCtx<'_>) -> FaultDecision {
         let key = Self::key_of(ctx);
         self.last_key = Some(key);
+        self.last_vm = ctx.vm.0;
         let scan_has_vm = self.shared.borrow().scans.contains_key(&ctx.vm);
         let _ = scan_has_vm;
 
@@ -288,6 +304,9 @@ impl GeminiPolicy {
             if self.cfg.enable_bucket {
                 if let Some(hf) = self.bucket.take() {
                     self.stats.bucket_huge_allocs += 1;
+                    self.rec.emit(cat::BUCKET, ctx.vm.0, Layer::Guest, || {
+                        EventKind::BucketReused { region: hf }
+                    });
                     return FaultDecision::HugeReserved { huge_frame: hf };
                 }
             }
@@ -297,6 +316,12 @@ impl GeminiPolicy {
                 if self.cfg.enable_booking {
                     if let Some(hf) = self.bookings.take_whole() {
                         self.stats.booked_huge_allocs += 1;
+                        self.rec.emit(cat::BOOKING, ctx.vm.0, Layer::Guest, || {
+                            EventKind::BookingConsumed {
+                                region: hf,
+                                whole: true,
+                            }
+                        });
                         return FaultDecision::HugeReserved { huge_frame: hf };
                     }
                 }
@@ -335,10 +360,21 @@ impl GeminiPolicy {
 
         // Empty region: follow the VMA's offset descriptor, establishing
         // one (or a sub-VMA) as needed.
-        let needs_establish = self.broken.contains(&key)
-            || self.ema.find(key, ctx.addr_frame).is_none();
-        if needs_establish && self.establish(ctx, key).is_none() {
-            return FaultDecision::Base;
+        let needs_establish =
+            self.broken.contains(&key) || self.ema.find(key, ctx.addr_frame).is_none();
+        if needs_establish {
+            if self.establish(ctx, key).is_none() {
+                return FaultDecision::Base;
+            }
+            self.rec
+                .emit(cat::EMA, ctx.vm.0, Layer::Guest, || EventKind::EmaMiss {
+                    key,
+                });
+        } else {
+            self.rec
+                .emit(cat::EMA, ctx.vm.0, Layer::Guest, || EventKind::EmaHit {
+                    key,
+                });
         }
         let Some(desc) = self.ema.find(key, ctx.addr_frame) else {
             return FaultDecision::Base;
@@ -359,6 +395,12 @@ impl GeminiPolicy {
         if self.bookings.frame_available(target) {
             self.bookings.take_frame(target);
             self.stats.booked_base_allocs += 1;
+            let (vm, layer) = (self.last_vm, obs_layer(self.layer));
+            self.rec
+                .emit(cat::BOOKING, vm, layer, || EventKind::BookingConsumed {
+                    region: target >> HUGE_PAGE_ORDER,
+                    whole: false,
+                });
             FaultDecision::BaseReserved { frame: target }
         } else {
             FaultDecision::BaseAt { frame: target }
@@ -368,12 +410,19 @@ impl GeminiPolicy {
     fn host_fault(&mut self, ctx: &FaultCtx<'_>) -> FaultDecision {
         let key = Self::key_of(ctx);
         self.last_key = Some(key);
+        self.last_vm = ctx.vm.0;
         let region = ctx.region();
 
         if Self::huge_legal(ctx) {
             // 1. A reserved HPA block set aside for this guest huge page.
             if let Some((hpa_huge, _)) = self.host_reserve.remove(&(ctx.vm.0, region)) {
                 self.stats.booked_huge_allocs += 1;
+                self.rec.emit(cat::BOOKING, ctx.vm.0, Layer::Host, || {
+                    EventKind::BookingConsumed {
+                        region,
+                        whole: true,
+                    }
+                });
                 return FaultDecision::HugeReserved {
                     huge_frame: hpa_huge,
                 };
@@ -419,10 +468,21 @@ impl GeminiPolicy {
             let target = (t0 << HUGE_PAGE_ORDER) + ctx.addr_frame % PAGES_PER_HUGE_PAGE;
             return FaultDecision::BaseAt { frame: target };
         }
-        let needs_establish = self.broken.contains(&key)
-            || self.ema.find(key, ctx.addr_frame).is_none();
-        if needs_establish && self.establish(ctx, key).is_none() {
-            return FaultDecision::Base;
+        let needs_establish =
+            self.broken.contains(&key) || self.ema.find(key, ctx.addr_frame).is_none();
+        if needs_establish {
+            if self.establish(ctx, key).is_none() {
+                return FaultDecision::Base;
+            }
+            self.rec
+                .emit(cat::EMA, ctx.vm.0, Layer::Host, || EventKind::EmaMiss {
+                    key,
+                });
+        } else {
+            self.rec
+                .emit(cat::EMA, ctx.vm.0, Layer::Host, || EventKind::EmaHit {
+                    key,
+                });
         }
         let Some(desc) = self.ema.find(key, ctx.addr_frame) else {
             return FaultDecision::Base;
@@ -441,17 +501,38 @@ impl GeminiPolicy {
             (s.booking_timeout, s.bucket_hold)
         };
 
+        let vm = ops.vm.0;
+        self.last_vm = vm;
+
         // Maintenance: expiry and pressure release.
-        self.bookings.expire(ops.buddy, now);
-        self.bucket.expire(ops.buddy, now, bucket_hold);
+        let expired = self.bookings.expire(ops.buddy, now);
+        if expired > 0 {
+            self.rec.emit(cat::BOOKING, vm, Layer::Guest, || {
+                EventKind::BookingExpired {
+                    regions: expired as u64,
+                }
+            });
+        }
+        let mut released = self.bucket.expire(ops.buddy, now, bucket_hold);
         let frag = ops.buddy.fragmentation_index(HUGE_PAGE_ORDER);
         let free_ratio = ops.buddy.free_frames() as f64 / ops.buddy.total_frames() as f64;
         if free_ratio < 0.08 || frag > 0.95 {
-            self.bucket.release(ops.buddy, 4);
+            released += self.bucket.release(ops.buddy, 4);
             if free_ratio < 0.04 {
                 self.bookings.release_all(ops.buddy);
             }
         }
+        if released > 0 {
+            self.rec.emit(cat::BUCKET, vm, Layer::Guest, || {
+                EventKind::BucketReleased {
+                    regions: released as u64,
+                }
+            });
+        }
+        self.rec
+            .gauge_set("gemini.guest.bucket_len", self.bucket.len() as f64);
+        self.rec
+            .gauge_set("gemini.guest.bookings_active", self.bookings.len() as f64);
 
         // Booking: reserve the regions under type-1 mis-aligned host huge
         // pages.
@@ -470,7 +551,17 @@ impl GeminiPolicy {
                 if !self.bookings.contains(gpa_region) {
                     // Only type-1 regions that are still fully free book
                     // successfully; racing allocations make this a no-op.
-                    let _ = self.bookings.book(ops.buddy, gpa_region, now, timeout);
+                    if self
+                        .bookings
+                        .book(ops.buddy, gpa_region, now, timeout)
+                        .is_ok()
+                    {
+                        self.rec
+                            .emit(cat::BOOKING, vm, Layer::Guest, || EventKind::Booked {
+                                region: gpa_region,
+                            });
+                        self.rec.counter_add("gemini.bookings_placed", 1);
+                    }
                 }
             }
         }
@@ -503,8 +594,7 @@ impl GeminiPolicy {
                     let pa0 = target_huge << HUGE_PAGE_ORDER;
                     let all_available = (0..PAGES_PER_HUGE_PAGE).all(|i| {
                         let f = pa0 + i;
-                        self.bookings.frame_available(f)
-                            || !ops.buddy.is_frame_free(f)
+                        self.bookings.frame_available(f) || !ops.buddy.is_frame_free(f)
                     });
                     if all_available {
                         for i in 0..PAGES_PER_HUGE_PAGE {
@@ -627,11 +717,18 @@ impl GeminiPolicy {
             .filter(|(_, &(_, exp))| exp <= now)
             .map(|(&k, _)| k)
             .collect();
+        let n_expired = expired.len() as u64;
         for k in expired {
             let (hpa_huge, _) = self.host_reserve.remove(&k).expect("key listed above");
             ops.buddy
                 .free(hpa_huge << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER)
                 .expect("reservation owned this block");
+        }
+        if n_expired > 0 {
+            let vm = ops.vm.0;
+            self.rec.emit(cat::BOOKING, vm, Layer::Host, || {
+                EventKind::BookingExpired { regions: n_expired }
+            });
         }
 
         let scan = self.shared.borrow().scans.get(&ops.vm).cloned();
@@ -657,10 +754,15 @@ impl GeminiPolicy {
                     break;
                 }
                 let k = (ops.vm.0, gpa_region);
-                if !self.host_reserve.contains_key(&k) {
+                if let std::collections::hash_map::Entry::Vacant(e) = self.host_reserve.entry(k) {
                     if let Ok(start) = ops.buddy.alloc(HUGE_PAGE_ORDER) {
-                        self.host_reserve
-                            .insert(k, (start >> HUGE_PAGE_ORDER, now + timeout));
+                        e.insert((start >> HUGE_PAGE_ORDER, now + timeout));
+                        let vm = ops.vm.0;
+                        self.rec
+                            .emit(cat::BOOKING, vm, Layer::Host, || EventKind::Booked {
+                                region: gpa_region,
+                            });
+                        self.rec.counter_add("gemini.reservations_placed", 1);
                     }
                 }
             }
@@ -724,6 +826,10 @@ impl HugePolicy for GeminiPolicy {
         "Gemini"
     }
 
+    fn attach_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
+    }
+
     fn fault_decision(&mut self, ctx: &FaultCtx<'_>) -> FaultDecision {
         match self.layer {
             LayerKind::Guest => self.guest_fault(ctx),
@@ -738,6 +844,9 @@ impl HugePolicy for GeminiPolicy {
                 // a fresh offset on the next fault.
                 self.broken.insert(key);
                 self.stats.sub_vma_splits += 1;
+                let (vm, layer) = (self.last_vm, obs_layer(self.layer));
+                self.rec
+                    .emit(cat::EMA, vm, layer, || EventKind::SubVmaSplit { key });
             }
         }
     }
@@ -798,11 +907,19 @@ impl HugePolicy for GeminiPolicy {
         }
         // Keep only regions MHPS last saw as well-aligned: their host
         // backing is huge and worth preserving.
-        let aligned = self.shared.borrow().scans.values().any(|s| {
-            s.aligned_regions.contains(&pa_huge_frame)
-        });
+        let aligned = self
+            .shared
+            .borrow()
+            .scans
+            .values()
+            .any(|s| s.aligned_regions.contains(&pa_huge_frame));
         if aligned {
             self.bucket.offer(pa_huge_frame, now);
+            let vm = self.last_vm;
+            self.rec
+                .emit(cat::BUCKET, vm, Layer::Guest, || EventKind::BucketOffered {
+                    region: pa_huge_frame,
+                });
             true
         } else {
             false
@@ -864,7 +981,11 @@ mod tests {
         let (mut g, mut p) = guest_with_policy();
         let vma = g.mmap(HUGE_PAGE_SIZE).unwrap();
         let (first, _) = g.handle_fault(vma.start_frame(), &mut p).unwrap();
-        assert_eq!(first.size, PageSize::Base, "async Gemini avoids sync huge faults");
+        assert_eq!(
+            first.size,
+            PageSize::Base,
+            "async Gemini avoids sync huge faults"
+        );
         let (second, _) = g.handle_fault(vma.start_frame() + 1, &mut p).unwrap();
         assert_eq!(second.pa_frame, first.pa_frame + 1, "EMA keeps contiguity");
         assert_eq!(first.pa_frame % 512, vma.start_frame() % 512, "congruent");
@@ -900,14 +1021,20 @@ mod tests {
         let vma = g.mmap(HUGE_PAGE_SIZE).unwrap();
         let (out, _) = g.handle_fault(vma.start_frame(), &mut p).unwrap();
         assert_eq!(out.size, PageSize::Huge);
-        assert_eq!(out.pa_frame, 9 << HUGE_PAGE_ORDER, "placed in the booked region");
+        assert_eq!(
+            out.pa_frame,
+            9 << HUGE_PAGE_ORDER,
+            "placed in the booked region"
+        );
         assert_eq!(p.stats.booked_huge_allocs, 1);
     }
 
     #[test]
     fn bucket_reuse_takes_priority_over_booking() {
         let (mut g, mut p) = guest_with_policy();
-        g.buddy.alloc_at(5 << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER).unwrap();
+        g.buddy
+            .alloc_at(5 << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER)
+            .unwrap();
         p.bucket.offer(5, Cycles::ZERO);
         p.bookings
             .book(&mut g.buddy, 9, Cycles::ZERO, Cycles(1 << 40))
@@ -929,7 +1056,11 @@ mod tests {
         for i in 0..512 {
             let (out, _) = g.handle_fault(vma.start_frame() + i, &mut p).unwrap();
             assert_eq!(out.size, PageSize::Base);
-            assert_eq!(out.pa_frame, (9 << HUGE_PAGE_ORDER) + i, "congruent placement");
+            assert_eq!(
+                out.pa_frame,
+                (9 << HUGE_PAGE_ORDER) + i,
+                "congruent placement"
+            );
         }
         assert_eq!(p.stats.booked_base_allocs, 512);
         // The region is fully populated and in-place eligible.
@@ -943,9 +1074,15 @@ mod tests {
     fn guest_daemon_books_type1_regions_from_scan() {
         let shared = new_shared();
         let mut g = GuestMm::new(VM, 1 << 14, CostModel::default());
-        let mut p = GeminiPolicy::new(LayerKind::Guest, Rc::clone(&shared), GeminiConfig::default());
-        let mut scan = VmScan::default();
-        scan.host_type1 = vec![3, 7];
+        let mut p = GeminiPolicy::new(
+            LayerKind::Guest,
+            Rc::clone(&shared),
+            GeminiConfig::default(),
+        );
+        let scan = VmScan {
+            host_type1: vec![3, 7],
+            ..Default::default()
+        };
         shared.borrow_mut().scans.insert(VM, scan);
         g.run_daemon(&mut p, Cycles::ZERO, 1);
         assert!(p.bookings.contains(3));
@@ -961,10 +1098,15 @@ mod tests {
         let shared = new_shared();
         shared.borrow_mut().booking_timeout = Cycles(100);
         let mut g = GuestMm::new(VM, 1 << 14, CostModel::default());
-        let mut p =
-            GeminiPolicy::new(LayerKind::Guest, Rc::clone(&shared), GeminiConfig::default());
-        let mut scan = VmScan::default();
-        scan.host_type1 = vec![3];
+        let mut p = GeminiPolicy::new(
+            LayerKind::Guest,
+            Rc::clone(&shared),
+            GeminiConfig::default(),
+        );
+        let scan = VmScan {
+            host_type1: vec![3],
+            ..Default::default()
+        };
         shared.borrow_mut().scans.insert(VM, scan);
         g.run_daemon(&mut p, Cycles(0), 1);
         assert!(p.bookings.contains(3));
@@ -990,7 +1132,11 @@ mod tests {
         }
         let fx = g.run_daemon(&mut p, Cycles::ZERO, 1);
         let region = vma.start_frame() >> HUGE_PAGE_ORDER;
-        assert_eq!(g.table.huge_leaf(region), Some(9), "promoted onto the booking");
+        assert_eq!(
+            g.table.huge_leaf(region),
+            Some(9),
+            "promoted onto the booking"
+        );
         assert_eq!(fx.pages_copied, 0, "no migration");
         assert_eq!(fx.pages_zeroed, 212);
         assert!(p.stats.prealloc_promotions >= 1);
@@ -1008,12 +1154,17 @@ mod tests {
         for i in 0..60 {
             g.handle_fault(vma.start_frame() + i * 5, &mut p).unwrap();
         }
-        let mut scan = VmScan::default();
-        scan.host_type2 = vec![(4, vec![gva_region])];
+        let scan = VmScan {
+            host_type2: vec![(4, vec![gva_region])],
+            ..Default::default()
+        };
         shared.borrow_mut().scans.insert(VM, scan);
         let before = g.table.huge_mapped();
         g.run_daemon(&mut p, Cycles::ZERO, 1);
-        assert!(g.table.huge_mapped() > before, "promoter collapsed the region");
+        assert!(
+            g.table.huge_mapped() > before,
+            "promoter collapsed the region"
+        );
         assert!(p.stats.mhpp_promotions >= 1);
         // The collapse landed on the requested GPA region, aligning it.
         assert_eq!(g.table.huge_leaf(gva_region), Some(4));
@@ -1025,8 +1176,11 @@ mod tests {
         let mut scan = VmScan::default();
         scan.aligned_regions.insert(5);
         shared.borrow_mut().scans.insert(VM, scan);
-        let mut p =
-            GeminiPolicy::new(LayerKind::Guest, Rc::clone(&shared), GeminiConfig::default());
+        let mut p = GeminiPolicy::new(
+            LayerKind::Guest,
+            Rc::clone(&shared),
+            GeminiConfig::default(),
+        );
         assert!(p.intercept_huge_free(5, Cycles::ZERO));
         assert!(!p.intercept_huge_free(6, Cycles::ZERO));
         assert_eq!(p.bucket().len(), 1);
@@ -1041,11 +1195,12 @@ mod tests {
         let shared = new_shared();
         let mut h = HostMm::new(1 << 14, CostModel::default());
         h.register_vm(VM);
-        let mut p =
-            GeminiPolicy::new(LayerKind::Host, Rc::clone(&shared), GeminiConfig::default());
+        let mut p = GeminiPolicy::new(LayerKind::Host, Rc::clone(&shared), GeminiConfig::default());
         // Scan says: guest huge page at GPA region 2, EPT empty (type-1).
-        let mut scan = VmScan::default();
-        scan.guest_type1 = vec![2];
+        let mut scan = VmScan {
+            guest_type1: vec![2],
+            ..Default::default()
+        };
         scan.guest_huge_regions.insert(2);
         shared.borrow_mut().scans.insert(VM, scan);
         // Daemon reserves an HPA block.
@@ -1068,12 +1223,13 @@ mod tests {
         for gpa in 0..50u64 {
             h.handle_fault(VM, gpa, &mut base).unwrap();
         }
-        let mut scan = VmScan::default();
-        scan.guest_type2 = vec![0];
+        let mut scan = VmScan {
+            guest_type2: vec![0],
+            ..Default::default()
+        };
         scan.guest_huge_regions.insert(0);
         shared.borrow_mut().scans.insert(VM, scan);
-        let mut p =
-            GeminiPolicy::new(LayerKind::Host, Rc::clone(&shared), GeminiConfig::default());
+        let mut p = GeminiPolicy::new(LayerKind::Host, Rc::clone(&shared), GeminiConfig::default());
         let fx = h.run_daemon(VM, &mut p, Cycles::ZERO, 1);
         assert!(h.ept(VM).huge_leaf(0).is_some(), "EPT region collapsed");
         assert_eq!(fx.gpa_regions_changed, vec![0]);
@@ -1123,8 +1279,14 @@ mod tests {
         }
         g.run_daemon(&mut p, Cycles::ZERO, 1);
         // Only the mis-aligned huge page was demoted.
-        assert!(g.table.huge_leaf(vma.start_frame() >> 9).is_some(), "aligned+hot survives");
-        assert!(g.table.huge_leaf((vma.start_frame() >> 9) + 1).is_none(), "misaligned demoted");
+        assert!(
+            g.table.huge_leaf(vma.start_frame() >> 9).is_some(),
+            "aligned+hot survives"
+        );
+        assert!(
+            g.table.huge_leaf((vma.start_frame() >> 9) + 1).is_none(),
+            "misaligned demoted"
+        );
     }
 
     #[test]
@@ -1155,8 +1317,10 @@ mod tests {
         assert!(!p.intercept_huge_free(5, Cycles::ZERO));
         // Booking disabled: daemon books nothing.
         let mut g = GuestMm::new(VM, 1 << 14, CostModel::default());
-        let mut scan2 = VmScan::default();
-        scan2.host_type1 = vec![3];
+        let scan2 = VmScan {
+            host_type1: vec![3],
+            ..Default::default()
+        };
         shared.borrow_mut().scans.insert(VM, scan2);
         g.run_daemon(&mut p, Cycles::ZERO, 1);
         assert!(p.bookings().is_empty());

@@ -12,6 +12,7 @@
 use crate::mhps::scan_vm;
 use crate::shared::GeminiShared;
 use crate::timeout::TimeoutController;
+use gemini_obs::{cat, EventKind, Layer, Recorder};
 use gemini_page_table::AddressSpace;
 use gemini_sim_core::{Cycles, VmId};
 
@@ -33,6 +34,7 @@ pub struct GeminiRuntime {
     /// When false, Algorithm 1 is frozen and the published timeout stays
     /// fixed (the fixed-vs-adaptive ablation).
     pub adaptive: bool,
+    rec: Recorder,
 }
 
 impl GeminiRuntime {
@@ -49,7 +51,14 @@ impl GeminiRuntime {
             last_tlb_misses: 0,
             scans_done: 0,
             adaptive: true,
+            rec: Recorder::off(),
         }
+    }
+
+    /// Attaches an observability recorder; Algorithm 1's timeout
+    /// decisions are traced through it.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
     }
 
     /// The current booking timeout (for tests/telemetry).
@@ -84,6 +93,7 @@ impl GeminiRuntime {
                 self.shared.borrow_mut().scans.insert(vm, scan);
             }
             self.scans_done += 1;
+            self.rec.counter_add("gemini.mhps_scans", 1);
             self.next_scan = now + self.scan_period;
         }
         if self.adaptive && now >= self.next_adjust {
@@ -91,6 +101,13 @@ impl GeminiRuntime {
             self.last_tlb_misses = tlb_misses;
             let new_timeout = self.controller.on_period(delta, fmfi);
             self.shared.borrow_mut().booking_timeout = new_timeout;
+            self.rec.set_cycle(now);
+            self.rec
+                .emit(cat::RUNTIME, 0, Layer::Sys, || EventKind::TimeoutAdjusted {
+                    timeout_cycles: new_timeout.0,
+                });
+            self.rec
+                .gauge_set("gemini.booking_timeout_cycles", new_timeout.0 as f64);
             self.next_adjust = now + self.adjust_period;
             cost += Cycles(500);
         }
@@ -129,7 +146,12 @@ mod tests {
         // Immediately again: not due.
         rt.tick(Cycles(1), &[(VmId(1), &guest, &ept)], 0, 0.0);
         assert_eq!(rt.scans_done, 1);
-        rt.tick(rt.scan_period + Cycles(1), &[(VmId(1), &guest, &ept)], 0, 0.0);
+        rt.tick(
+            rt.scan_period + Cycles(1),
+            &[(VmId(1), &guest, &ept)],
+            0,
+            0.0,
+        );
         assert_eq!(rt.scans_done, 2);
     }
 

@@ -165,7 +165,7 @@ mod tests {
     fn longer_timeout_that_fragments_is_rejected_then_down_probed() {
         let mut c = controller();
         c.on_period(1000, 0.3); // Baseline; probe up next.
-        // Probe up: misses improved but fragmentation rose → reject.
+                                // Probe up: misses improved but fragmentation rose → reject.
         let t = c.on_period(900, 0.5);
         assert_eq!(t, Cycles(1_000_000), "back to desired");
         assert_eq!(c.ups_accepted, 0);
@@ -197,9 +197,7 @@ mod tests {
         // the down-probe: up-probe must fail, down-probe must succeed.
         let mut misses = 10_000u64;
         for _ in 0..200 {
-            match (misses, c.phase) {
-                _ => {}
-            }
+            {}
             // Baseline.
             c.on_period(misses, 0.2);
             // Up probe: worse.

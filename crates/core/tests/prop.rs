@@ -1,12 +1,15 @@
-//! Property-based tests for Gemini's core data structures: the booking
-//! table, the huge bucket and the EMA descriptor list.
+//! Randomized property tests for Gemini's core data structures — the
+//! booking table, the huge bucket and the EMA descriptor list — driven
+//! by the workspace's own deterministic RNG (no external
+//! test-framework dependency so the suite builds offline).
 
 use gemini::booking::BookingTable;
 use gemini::bucket::HugeBucket;
 use gemini::ema::{congruent_offset, EmaList, OffsetDescriptor};
 use gemini_buddy::BuddyAllocator;
-use gemini_sim_core::{Cycles, HUGE_PAGE_ORDER, PAGES_PER_HUGE_PAGE};
-use proptest::prelude::*;
+use gemini_sim_core::{Cycles, DetRng, HUGE_PAGE_ORDER, PAGES_PER_HUGE_PAGE};
+
+const CASES: u64 = 64;
 
 #[derive(Debug, Clone)]
 enum BookOp {
@@ -16,30 +19,37 @@ enum BookOp {
     Expire { at: u64 },
 }
 
-fn book_op() -> impl Strategy<Value = BookOp> {
-    prop_oneof![
-        (0u64..8).prop_map(|region| BookOp::Book { region }),
-        (0u64..8 * 512).prop_map(|frame| BookOp::TakeFrame { frame }),
-        Just(BookOp::TakeWhole),
-        (0u64..1000).prop_map(|at| BookOp::Expire { at }),
-    ]
+fn random_book_op(rng: &mut DetRng) -> BookOp {
+    match rng.below(4) {
+        0 => BookOp::Book {
+            region: rng.below(8),
+        },
+        1 => BookOp::TakeFrame {
+            frame: rng.below(8 * 512),
+        },
+        2 => BookOp::TakeWhole,
+        _ => BookOp::Expire {
+            at: rng.below(1000),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Frame conservation: whatever interleaving of bookings, frame
-    /// draws, whole-region draws and expirations happens, every frame is
-    /// owned by exactly one party and releasing everything restores the
-    /// allocator.
-    #[test]
-    fn booking_conserves_frames(ops in prop::collection::vec(book_op(), 1..120)) {
+/// Frame conservation: whatever interleaving of bookings, frame
+/// draws, whole-region draws and expirations happens, every frame is
+/// owned by exactly one party and releasing everything restores the
+/// allocator.
+#[test]
+fn booking_conserves_frames() {
+    let mut seeds = DetRng::new(0xC04E_0001);
+    for _ in 0..CASES {
+        let mut rng = seeds.fork();
+        let n_ops = rng.range(1, 120);
         let mut buddy = BuddyAllocator::new(8 * 512);
         let mut table = BookingTable::new();
         let mut drawn: Vec<u64> = Vec::new(); // Frames handed to mappings.
         let mut whole_regions: Vec<u64> = Vec::new();
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_book_op(&mut rng) {
                 BookOp::Book { region } => {
                     let _ = table.book(&mut buddy, region, Cycles(0), Cycles(500));
                 }
@@ -68,25 +78,32 @@ proptest! {
         for hf in whole_regions {
             buddy.free(hf << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER).unwrap();
         }
-        prop_assert_eq!(buddy.free_frames(), 8 * 512);
-        prop_assert_eq!(buddy.free_runs(), vec![(0, 8 * 512)]);
+        assert_eq!(buddy.free_frames(), 8 * 512);
+        assert_eq!(buddy.free_runs(), vec![(0, 8 * 512)]);
     }
+}
 
-    /// The bucket never loses or duplicates a region.
-    #[test]
-    fn bucket_conserves_regions(
-        offers in prop::collection::vec(0u64..16, 1..40),
-        takes in 0usize..40,
-        releases in 0usize..40,
-    ) {
+/// The bucket never loses or duplicates a region.
+#[test]
+fn bucket_conserves_regions() {
+    let mut seeds = DetRng::new(0xC04E_0002);
+    for _ in 0..CASES {
+        let mut rng = seeds.fork();
+        let n_offers = rng.range(1, 40);
+        let takes = rng.below(40) as usize;
+        let releases = rng.below(40) as usize;
         let mut buddy = BuddyAllocator::new(16 * 512);
         let mut bucket = HugeBucket::new();
         let mut offered = Vec::new();
-        for (i, region) in offers.iter().enumerate() {
+        for i in 0..n_offers {
+            let region = rng.below(16);
             // Regions must be distinct allocations.
-            if buddy.alloc_at(region << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER).is_ok() {
-                bucket.offer(*region, Cycles(i as u64));
-                offered.push(*region);
+            if buddy
+                .alloc_at(region << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER)
+                .is_ok()
+            {
+                bucket.offer(region, Cycles(i));
+                offered.push(region);
             }
         }
         let mut taken = Vec::new();
@@ -96,33 +113,40 @@ proptest! {
             }
         }
         let released = bucket.release(&mut buddy, releases);
-        prop_assert_eq!(taken.len() + released + bucket.len(), offered.len());
+        assert_eq!(taken.len() + released + bucket.len(), offered.len());
         // Everything the bucket still holds or handed out is allocated.
         for hf in &taken {
-            prop_assert!(!buddy.is_frame_free(hf << HUGE_PAGE_ORDER));
+            assert!(!buddy.is_frame_free(hf << HUGE_PAGE_ORDER));
         }
         // Drain and verify full restoration.
         bucket.release(&mut buddy, usize::MAX >> 1);
         for hf in taken {
             buddy.free(hf << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER).unwrap();
         }
-        prop_assert_eq!(buddy.free_frames(), 16 * 512);
+        assert_eq!(buddy.free_frames(), 16 * 512);
     }
+}
 
-    /// EMA list: after any insert sequence, lookups agree with a naive
-    /// interval model using the same sub-VMA truncation rule (new
-    /// descriptors own their range; older same-key overlaps keep only
-    /// their prefix). Post-truncation ranges are disjoint per key, so the
-    /// covering descriptor is unique — the property checks that the
-    /// move-to-front list preserves exactly that coverage.
-    #[test]
-    fn ema_find_matches_interval_model(
-        descs in prop::collection::vec((0u64..4, 0u64..16, 1u64..8, -2048i64..2048), 1..30),
-        queries in prop::collection::vec((0u64..4, 0u64..8192), 1..30),
-    ) {
+/// EMA list: after any insert sequence, lookups agree with a naive
+/// interval model using the same sub-VMA truncation rule (new
+/// descriptors own their range; older same-key overlaps keep only
+/// their prefix). Post-truncation ranges are disjoint per key, so the
+/// covering descriptor is unique — the property checks that the
+/// move-to-front list preserves exactly that coverage.
+#[test]
+fn ema_find_matches_interval_model() {
+    let mut seeds = DetRng::new(0xC04E_0003);
+    for _ in 0..CASES {
+        let mut rng = seeds.fork();
+        let n_descs = rng.range(1, 30);
+        let n_queries = rng.range(1, 30);
         let mut list = EmaList::new();
         let mut naive: Vec<OffsetDescriptor> = Vec::new();
-        for (key, start_region, len_regions, raw_off) in descs {
+        for _ in 0..n_descs {
+            let key = rng.below(4);
+            let start_region = rng.below(16);
+            let len_regions = rng.range(1, 8);
+            let raw_off = rng.below(4096) as i64 - 2048;
             let d = OffsetDescriptor {
                 key,
                 start: start_region * 512,
@@ -132,19 +156,21 @@ proptest! {
             list.insert(d.clone());
             for o in naive.iter_mut() {
                 if o.key == d.key && o.start < d.start + d.len && d.start < o.start + o.len {
-                    o.len = if o.start < d.start { d.start - o.start } else { 0 };
+                    o.len = d.start.saturating_sub(o.start);
                 }
             }
             naive.retain(|o| o.len > 0);
             naive.push(d);
         }
-        for (key, frame) in queries {
+        for _ in 0..n_queries {
+            let key = rng.below(4);
+            let frame = rng.below(8192);
             let got = list.find(key, frame).map(|d| d.offset);
             let expect = naive
                 .iter()
                 .find(|d| d.key == key && frame >= d.start && frame < d.start + d.len)
                 .map(|d| d.offset);
-            prop_assert_eq!(got, expect, "key {} frame {}", key, frame);
+            assert_eq!(got, expect, "key {key} frame {frame}");
         }
         // Per-key disjointness invariant of the truncation rule.
         let mut by_key: std::collections::BTreeMap<u64, Vec<(u64, u64)>> = Default::default();
@@ -154,23 +180,29 @@ proptest! {
         for ranges in by_key.values_mut() {
             ranges.sort_unstable();
             for w in ranges.windows(2) {
-                prop_assert!(w[0].0 + w[0].1 <= w[1].0, "overlapping survivors");
+                assert!(w[0].0 + w[0].1 <= w[1].0, "overlapping survivors");
             }
         }
     }
+}
 
-    /// congruent_offset always returns a 512-multiple-preserving target at
-    /// or above the minimum.
-    #[test]
-    fn congruent_offset_properties(in0 in 0u64..1 << 20, out_min in 0u64..1 << 20) {
+/// congruent_offset always returns a 512-multiple-preserving target at
+/// or above the minimum.
+#[test]
+fn congruent_offset_properties() {
+    let mut seeds = DetRng::new(0xC04E_0004);
+    for _ in 0..256 {
+        let mut rng = seeds.fork();
+        let in0 = rng.below(1 << 20);
+        let out_min = rng.below(1 << 20);
         let off = congruent_offset(in0, out_min);
         let out = (in0 as i64 - off) as u64;
-        prop_assert!(out >= out_min);
-        prop_assert!(out < out_min + PAGES_PER_HUGE_PAGE);
-        prop_assert_eq!(out % PAGES_PER_HUGE_PAGE, in0 % PAGES_PER_HUGE_PAGE);
+        assert!(out >= out_min);
+        assert!(out < out_min + PAGES_PER_HUGE_PAGE);
+        assert_eq!(out % PAGES_PER_HUGE_PAGE, in0 % PAGES_PER_HUGE_PAGE);
         // Derived placements preserve in-region offsets for any frame.
         let frame = in0 + 37;
         let target = (frame as i64 - off) as u64;
-        prop_assert_eq!(target % PAGES_PER_HUGE_PAGE, frame % PAGES_PER_HUGE_PAGE);
+        assert_eq!(target % PAGES_PER_HUGE_PAGE, frame % PAGES_PER_HUGE_PAGE);
     }
 }

@@ -4,18 +4,26 @@
 //! gemini-sim list
 //! gemini-sim run     --system GEMINI --workload Redis [--fragmented] [--reused]
 //! gemini-sim compare --workload Redis [--fragmented] [--reused]
+//! gemini-sim trace   --system GEMINI --workload Redis [--fragmented]
 //!
 //! common flags:
 //!   --scale quick|demo|bench|full   (default demo)
 //!   --ops <n>                       operations per run
 //!   --seed <n>                      run seed
+//!   --json <path>                   export results (and any trace) as JSON Lines
 //! ```
+//!
+//! `trace` reruns one workload with full event tracing, metrics and
+//! time-series sampling on, then prints the event summary, the sampled
+//! series and the metrics registry.
 
 use gemini_harness::report::Table;
-use gemini_harness::runner::{run_workload_on, run_workload_reused};
-use gemini_harness::Scale;
+use gemini_harness::runner::{run_workload_on, run_workload_reused, run_workload_traced};
+use gemini_harness::{trace, Scale};
+use gemini_obs::TraceConfig;
 use gemini_vm_sim::{RunResult, SystemKind};
 use gemini_workloads::{catalog, non_tlb_sensitive, spec_by_name};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// Parsed command-line options.
@@ -27,13 +35,14 @@ struct Opts {
     fragmented: bool,
     reused: bool,
     seed: u64,
+    json: Option<PathBuf>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gemini-sim <list|run|compare> [--system NAME] [--workload NAME]\n\
+        "usage: gemini-sim <list|run|compare|trace> [--system NAME] [--workload NAME]\n\
          \x20                [--scale quick|demo|bench|full] [--ops N] [--seed N]\n\
-         \x20                [--fragmented] [--reused]"
+         \x20                [--fragmented] [--reused] [--json PATH]"
     );
     ExitCode::from(2)
 }
@@ -47,12 +56,15 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         fragmented: false,
         reused: false,
         seed: 42,
+        json: None,
     };
     let mut i = 1;
     while i < args.len() {
         let take = |i: &mut usize| -> Result<String, String> {
             *i += 1;
-            args.get(*i).cloned().ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
         };
         match args[i].as_str() {
             "--system" => opts.system = Some(take(&mut i)?),
@@ -68,6 +80,7 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                     other => return Err(format!("unknown scale '{other}'")),
                 }
             }
+            "--json" => opts.json = Some(PathBuf::from(take(&mut i)?)),
             "--fragmented" => opts.fragmented = true,
             "--reused" => opts.reused = true,
             other => return Err(format!("unknown flag '{other}'")),
@@ -108,7 +121,11 @@ fn cmd_list() -> ExitCode {
             "  {:<14} {:>4} MiB  {}",
             s.name,
             s.working_set >> 20,
-            if s.latency_tracked { "latency-tracked" } else { "throughput" }
+            if s.latency_tracked {
+                "latency-tracked"
+            } else {
+                "throughput"
+            }
         );
     }
     println!("non-TLB-sensitive (overhead study):");
@@ -134,7 +151,25 @@ fn run_one(system: SystemKind, opts: &Opts) -> Result<RunResult, String> {
 }
 
 fn headers() -> [&'static str; 7] {
-    ["system", "ops/s", "mean µs", "p99 µs", "TLB misses", "aligned", "bucket"]
+    [
+        "system",
+        "ops/s",
+        "mean µs",
+        "p99 µs",
+        "TLB misses",
+        "aligned",
+        "bucket",
+    ]
+}
+
+/// Writes the JSON Lines export if `--json` was given.
+fn export_json(opts: &Opts, lines: &[String]) -> Result<(), String> {
+    if let Some(path) = &opts.json {
+        trace::write_json_lines(path, lines)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!("wrote {} JSON lines to {}", lines.len(), path.display());
+    }
+    Ok(())
 }
 
 fn cmd_run(opts: &Opts) -> Result<(), String> {
@@ -147,7 +182,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     );
     t.row(result_row(&r));
     print!("{}", t.render());
-    Ok(())
+    export_json(opts, &[trace::result_json(&r)])
 }
 
 fn cmd_compare(opts: &Opts) -> Result<(), String> {
@@ -156,12 +191,48 @@ fn cmd_compare(opts: &Opts) -> Result<(), String> {
         format!("all systems on {name}{}", scenario_suffix(opts)),
         &headers(),
     );
+    let mut rows = Vec::new();
     for system in SystemKind::evaluated() {
         let r = run_one(system, opts)?;
         t.row(result_row(&r));
+        rows.push(trace::result_json(&r));
     }
     print!("{}", t.render());
-    Ok(())
+    export_json(opts, &rows)
+}
+
+fn cmd_trace(opts: &Opts) -> Result<(), String> {
+    let label = opts.system.as_deref().unwrap_or("GEMINI");
+    let system = system_by_label(label).ok_or_else(|| format!("unknown system '{label}'"))?;
+    let name = opts.workload.as_deref().unwrap_or("Redis");
+    let spec = spec_by_name(name).ok_or_else(|| format!("unknown workload '{name}'"))?;
+    let (r, rec) = run_workload_traced(
+        system,
+        &spec,
+        &opts.scale,
+        opts.fragmented,
+        opts.seed,
+        &TraceConfig::all(),
+    )
+    .map_err(|e| format!("simulation failed: {e}"))?;
+    let mut t = Table::new(
+        format!(
+            "{} on {}{} [traced]",
+            r.system,
+            r.workload,
+            scenario_suffix(opts)
+        ),
+        &headers(),
+    );
+    t.row(result_row(&r));
+    print!("{}", t.render());
+    print!("{}", trace::render_event_summary(&rec));
+    print!("{}", trace::render_series(&rec));
+    print!("{}", trace::render_registry(&rec));
+    export_json(
+        opts,
+        &trace::trace_json_lines(std::slice::from_ref(&r), &rec),
+    )
 }
 
 fn scenario_suffix(opts: &Opts) -> String {
@@ -185,6 +256,7 @@ fn main() -> ExitCode {
         "list" => return cmd_list(),
         "run" => cmd_run(&opts),
         "compare" => cmd_compare(&opts),
+        "trace" => cmd_trace(&opts),
         _ => return usage(),
     };
     match result {

@@ -15,7 +15,10 @@ fn run_with(cfg: MachineConfig, scale: &Scale, workload: &str, seed: u64) -> Res
     let spec = spec_by_name(workload).expect("ablation workload in catalog");
     let mut m = Machine::new(SystemKind::Gemini, cfg);
     let vm = m.add_vm();
-    m.run(vm, WorkloadGen::new(spec.scaled(scale.ws_factor), scale.ops, seed))
+    m.run(
+        vm,
+        WorkloadGen::new(spec.scaled(scale.ws_factor), scale.ops, seed),
+    )
 }
 
 /// Timeout ablation results: label → run.
@@ -29,9 +32,18 @@ pub struct TimeoutAblation {
 pub fn run_timeout(scale: &Scale, workload: &str) -> Result<TimeoutAblation> {
     let seed = scale.seed_for("abl-timeout", 0);
     let mut variants = Vec::new();
-    let adaptive = run_with(scale.machine_config(true, false, seed), scale, workload, seed)?;
+    let adaptive = run_with(
+        scale.machine_config(true, false, seed),
+        scale,
+        workload,
+        seed,
+    )?;
     variants.push(("adaptive (Alg. 1)".to_string(), adaptive));
-    for (label, ms) in [("fixed 2ms", 2.0), ("fixed 40ms", 40.0), ("fixed 400ms", 400.0)] {
+    for (label, ms) in [
+        ("fixed 2ms", 2.0),
+        ("fixed 40ms", 40.0),
+        ("fixed 400ms", 400.0),
+    ] {
         let mut cfg = scale.machine_config(true, false, seed);
         cfg.fixed_booking_timeout = Some(Cycles::from_millis(ms));
         variants.push((label.to_string(), run_with(cfg, scale, workload, seed)?));
@@ -44,7 +56,12 @@ impl TimeoutAblation {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Ablation: booking timeout (adaptive vs fixed)",
-            &["variant", "throughput vs adaptive", "aligned rate", "guest FMFI"],
+            &[
+                "variant",
+                "throughput vs adaptive",
+                "aligned rate",
+                "guest FMFI",
+            ],
         );
         let base = self.variants[0].1.throughput();
         for (label, r) in &self.variants {
@@ -72,9 +89,10 @@ pub fn run_prealloc(scale: &Scale, workload: &str) -> Result<PreallocAblation> {
     let mut settings = Vec::new();
     for threshold in [64usize, 128, 256, 384, 480] {
         let mut cfg = scale.machine_config(true, false, seed);
-        let mut gcfg = gemini::policy::GeminiConfig::default();
-        gcfg.prealloc_threshold = threshold;
-        cfg.gemini_override = Some(gcfg);
+        cfg.gemini_override = Some(gemini::policy::GeminiConfig {
+            prealloc_threshold: threshold,
+            ..Default::default()
+        });
         settings.push((threshold, run_with(cfg, scale, workload, seed)?));
     }
     Ok(PreallocAblation { settings })
@@ -85,7 +103,12 @@ impl PreallocAblation {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Ablation: huge-preallocation threshold sweep",
-            &["threshold", "throughput (Mops/s)", "aligned rate", "pages zeroed/op"],
+            &[
+                "threshold",
+                "throughput (Mops/s)",
+                "aligned rate",
+                "pages zeroed/op",
+            ],
         );
         for (threshold, r) in &self.settings {
             t.row(vec![

@@ -29,7 +29,9 @@ pub const WORKLOADS: [&str; 4] = ["CG.D", "SVM", "Redis", "RocksDB"];
 
 /// Runs the ablation grid.
 pub fn run(scale: &Scale, workload_filter: Option<&[&str]>) -> Result<BreakdownResults> {
-    let names: Vec<&str> = workload_filter.map(|f| f.to_vec()).unwrap_or(WORKLOADS.to_vec());
+    let names: Vec<&str> = workload_filter
+        .map(|f| f.to_vec())
+        .unwrap_or(WORKLOADS.to_vec());
     let mut workloads = Vec::new();
     let mut runs = Vec::new();
     for (wi, name) in names.iter().enumerate() {

@@ -91,7 +91,11 @@ impl CleanSlateResults {
     /// Fig. 8: throughput normalized to `Host-B-VM-B`.
     pub fn render_fig08(&self, fragmented: bool) -> String {
         let frag = fragmented as usize;
-        let suffix = if fragmented { "fragmented" } else { "unfragmented" };
+        let suffix = if fragmented {
+            "fragmented"
+        } else {
+            "unfragmented"
+        };
         self.render_normalized(
             &format!("Figure 8: normalized throughput, clean-slate VM ({suffix})"),
             frag,
@@ -104,7 +108,11 @@ impl CleanSlateResults {
     /// reported as the paper does, latency relative to baseline).
     pub fn render_fig09(&self, fragmented: bool) -> String {
         let frag = fragmented as usize;
-        let suffix = if fragmented { "fragmented" } else { "unfragmented" };
+        let suffix = if fragmented {
+            "fragmented"
+        } else {
+            "unfragmented"
+        };
         self.render_normalized(
             &format!("Figure 9: normalized mean latency, clean-slate VM ({suffix})"),
             frag,
@@ -116,7 +124,11 @@ impl CleanSlateResults {
     /// Fig. 10: p99 latency normalized to `Host-B-VM-B`.
     pub fn render_fig10(&self, fragmented: bool) -> String {
         let frag = fragmented as usize;
-        let suffix = if fragmented { "fragmented" } else { "unfragmented" };
+        let suffix = if fragmented {
+            "fragmented"
+        } else {
+            "unfragmented"
+        };
         self.render_normalized(
             &format!("Figure 10: normalized 99th-percentile latency, clean-slate VM ({suffix})"),
             frag,
@@ -193,7 +205,10 @@ impl CleanSlateResults {
             .iter()
             .position(|&s| s == system)
             .expect("system is evaluated");
-        let rates: Vec<f64> = self.grid[1].iter().map(|row| row[idx].aligned_rate()).collect();
+        let rates: Vec<f64> = self.grid[1]
+            .iter()
+            .map(|row| row[idx].aligned_rate())
+            .collect();
         rates.iter().sum::<f64>() / rates.len() as f64
     }
 }
@@ -204,11 +219,13 @@ mod tests {
 
     #[test]
     fn reduced_grid_reproduces_orderings() {
-        // Daemon periods are calibrated for bench-scale working sets; the
-        // quick preset's runs are too short for any background coalescing
-        // to act, so this ordering check runs at bench scale with a
-        // reduced grid.
+        // Daemon periods are calibrated for full-scale working sets; with
+        // smaller ones the runs are too short for any background
+        // coalescing to act on fragmented memory, so this ordering check
+        // needs the full working-set factor. Memory sizing stays at bench
+        // scale and the grid is reduced to keep the test tractable.
         let scale = Scale {
+            ws_factor: 1.0,
             ops: 6_000,
             ..Scale::bench()
         };

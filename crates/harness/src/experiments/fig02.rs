@@ -40,10 +40,12 @@ pub fn run(scale: &Scale) -> Result<Fig02Results> {
     for (i, &dataset) in sweep.iter().enumerate() {
         let mut results = Vec::new();
         for (j, &system) in CONFIGS.iter().enumerate() {
-            let cfg = scale.machine_config(false, false, scale.seed_for("fig02", (i * 4 + j) as u64));
+            let cfg =
+                scale.machine_config(false, false, scale.seed_for("fig02", (i * 4 + j) as u64));
             let mut m = Machine::new(system, cfg);
             let vm = m.add_vm();
-            let gen = MicrobenchGen::generator(dataset, scale.ops, scale.seed_for("fig02-wl", i as u64));
+            let gen =
+                MicrobenchGen::generator(dataset, scale.ops, scale.seed_for("fig02-wl", i as u64));
             results.push(m.run(vm, gen)?);
         }
         rows.push((dataset, results));
@@ -56,7 +58,13 @@ impl Fig02Results {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Figure 2: microbenchmark throughput (M accesses/s) vs dataset size",
-            &["dataset", "Host-B-VM-B", "Host-B-VM-H", "Host-H-VM-B", "Host-H-VM-H"],
+            &[
+                "dataset",
+                "Host-B-VM-B",
+                "Host-B-VM-H",
+                "Host-H-VM-B",
+                "Host-H-VM-H",
+            ],
         );
         for (dataset, results) in &self.rows {
             let mut cells = vec![format!("{} MiB", dataset >> 20)];
@@ -103,8 +111,16 @@ mod tests {
         assert!(res.rows.first().unwrap().0 < 6 << 20);
         assert!(res.rows.last().unwrap().0 > 6 << 20);
         // Small dataset: no separation. Large: aligned wins clearly.
-        assert!(res.aligned_speedup_at_min() < 1.35, "{}", res.aligned_speedup_at_min());
-        assert!(res.aligned_speedup_at_max() > 1.5, "{}", res.aligned_speedup_at_max());
+        assert!(
+            res.aligned_speedup_at_min() < 1.35,
+            "{}",
+            res.aligned_speedup_at_min()
+        );
+        assert!(
+            res.aligned_speedup_at_max() > 1.5,
+            "{}",
+            res.aligned_speedup_at_max()
+        );
         // Misaligned configs barely beat base at the largest dataset.
         let (_, last) = res.rows.last().unwrap();
         let base = last[0].vtime.0 as f64;

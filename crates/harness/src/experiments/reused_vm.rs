@@ -78,16 +78,20 @@ impl ReusedVmResults {
 
     /// Fig. 14: p99 latency normalized to `Host-B-VM-B`.
     pub fn render_fig14(&self) -> String {
-        self.render_normalized("Figure 14: normalized 99th-percentile latency, reused VM", |r| {
-            r.p99_latency.0 as f64
-        })
+        self.render_normalized(
+            "Figure 14: normalized 99th-percentile latency, reused VM",
+            |r| r.p99_latency.0 as f64,
+        )
     }
 
     /// Fig. 15: TLB misses normalized to GEMINI.
     pub fn render_fig15(&self) -> String {
         let mut headers = vec!["workload"];
         headers.extend(SystemKind::evaluated().iter().map(|s| s.label()));
-        let mut t = Table::new("Figure 15: TLB misses normalized to GEMINI, reused VM", &headers);
+        let mut t = Table::new(
+            "Figure 15: TLB misses normalized to GEMINI, reused VM",
+            &headers,
+        );
         for (wi, name) in self.workloads.iter().enumerate() {
             let row = &self.runs[wi];
             let gemini = row.last().expect("GEMINI last").tlb_misses().max(1) as f64;

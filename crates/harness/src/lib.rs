@@ -21,7 +21,8 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod trace;
 
 pub use report::Table;
-pub use runner::run_workload_on;
+pub use runner::{run_workload_on, run_workload_traced};
 pub use scale::Scale;

@@ -27,9 +27,12 @@ impl Table {
         }
     }
 
-    /// Appends one row.
-    pub fn row(&mut self, cells: Vec<String>) {
+    /// Appends one row, normalizing its width to the header count:
+    /// missing cells become empty strings, excess cells are dropped.
+    /// Ragged rows are a caller bug, so debug builds still assert.
+    pub fn row(&mut self, mut cells: Vec<String>) {
         debug_assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        cells.resize(self.headers.len(), String::new());
         self.rows.push(cells);
     }
 
@@ -45,12 +48,14 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "== {} ==", self.title);
         let line = |cells: &[String], widths: &[usize]| -> String {
+            let empty = String::new();
             let mut s = String::new();
-            for (i, cell) in cells.iter().enumerate() {
+            for (i, &width) in widths.iter().enumerate() {
                 if i > 0 {
                     s.push_str("  ");
                 }
-                let _ = write!(s, "{:<width$}", cell, width = widths[i]);
+                let cell = cells.get(i).unwrap_or(&empty);
+                let _ = write!(s, "{cell:<width$}");
             }
             s
         };
@@ -92,6 +97,25 @@ mod tests {
         let pos = hdr.find("THP").unwrap();
         assert_eq!(&lines[3][pos..pos + 5], "1.10x");
         assert_eq!(&lines[4][pos..pos + 5], "1.05x");
+    }
+
+    #[test]
+    fn ragged_rows_are_normalized() {
+        // Ragged rows are a caller bug (debug builds assert), but release
+        // builds must neither panic nor mis-render them: short rows pad
+        // with empty cells, excess cells are dropped. Pushing directly
+        // into `rows` models the release path past the debug assert.
+        let mut t = Table::new("ragged", &["a", "bb", "ccc"]);
+        t.rows.push(vec!["short".into()]);
+        t.rows
+            .push(vec!["1".into(), "2".into(), "3".into(), "4".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // The excess cell never renders; every body line is rectangular.
+        assert!(!s.contains('4'), "{s}");
+        assert_eq!(lines[3].trim_end(), "short");
+        assert!(lines[4].starts_with("1"));
     }
 
     #[test]

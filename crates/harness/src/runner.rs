@@ -1,6 +1,7 @@
 //! Shared run helpers used by every experiment.
 
 use crate::scale::Scale;
+use gemini_obs::{Recorder, TraceConfig};
 use gemini_sim_core::Result;
 use gemini_vm_sim::{Machine, RunResult, SystemKind};
 use gemini_workloads::{WorkloadGen, WorkloadSpec};
@@ -18,6 +19,27 @@ pub fn run_workload_on(
     let vm = machine.add_vm();
     let gen = WorkloadGen::new(spec.scaled(scale.ws_factor), scale.ops, seed);
     machine.run(vm, gen)
+}
+
+/// Like [`run_workload_on`], but with event tracing, metrics and
+/// time-series sampling enabled per `trace`; returns the machine's
+/// recorder alongside the result.
+pub fn run_workload_traced(
+    system: SystemKind,
+    spec: &WorkloadSpec,
+    scale: &Scale,
+    fragmented: bool,
+    seed: u64,
+    trace: &TraceConfig,
+) -> Result<(RunResult, Recorder)> {
+    let mut cfg = scale.machine_config(fragmented, spec.zero_heavy, seed);
+    cfg.trace = trace.clone();
+    let mut machine = Machine::new(system, cfg);
+    let vm = machine.add_vm();
+    let gen = WorkloadGen::new(spec.scaled(scale.ws_factor), scale.ops, seed);
+    let result = machine.run(vm, gen)?;
+    let recorder = machine.recorder().clone();
+    Ok((result, recorder))
 }
 
 /// Runs `spec` under `system` in a *reused* VM: a large-working-set SVM

@@ -1,0 +1,218 @@
+//! Rendering and export of recorded traces.
+//!
+//! Turns a [`Recorder`] snapshot into the same plain-text tables the
+//! experiments print (event summary, metrics, sampled time series) and
+//! into JSON Lines for offline analysis. All output is deterministic:
+//! identical seeded runs serialize byte-identically.
+
+use crate::report::Table;
+use gemini_obs::{json_f64, json_str, Recorder};
+use gemini_vm_sim::RunResult;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Maximum time-series rows rendered as text; longer series are
+/// evenly thinned (the JSON export always carries every point).
+const MAX_SERIES_ROWS: usize = 48;
+
+/// Renders per-(kind, layer) event counts, with a drop note when the
+/// ring overflowed.
+pub fn render_event_summary(rec: &Recorder) -> String {
+    let mut t = Table::new("event summary", &["event", "layer", "count"]);
+    for (label, layer, n) in rec.event_summary() {
+        t.row(vec![
+            label.to_string(),
+            layer.label().to_string(),
+            n.to_string(),
+        ]);
+    }
+    let mut out = t.render();
+    if rec.dropped() > 0 {
+        out.push_str(&format!("({} events dropped by the ring)\n", rec.dropped()));
+    }
+    out
+}
+
+/// Renders the sampled time series (FMFI, alignment, TLB-miss rate,
+/// free 2 MiB blocks) as a text table.
+pub fn render_series(rec: &Recorder) -> String {
+    let samples = rec.samples();
+    let mut t = Table::new(
+        "time series",
+        &[
+            "cycle",
+            "host FMFI",
+            "guest FMFI",
+            "aligned",
+            "TLB miss",
+            "free 2MiB",
+        ],
+    );
+    let step = samples.len().div_ceil(MAX_SERIES_ROWS).max(1);
+    for s in samples.iter().step_by(step) {
+        t.row(vec![
+            s.cycle.to_string(),
+            format!("{:.3}", s.host_fmfi),
+            format!("{:.3}", s.guest_fmfi),
+            format!("{:.3}", s.aligned_rate),
+            format!("{:.4}", s.tlb_miss_rate),
+            s.free_order9.to_string(),
+        ]);
+    }
+    let mut out = t.render();
+    if step > 1 {
+        out.push_str(&format!(
+            "(showing every {step}th of {} samples; the JSON export has all)\n",
+            samples.len()
+        ));
+    }
+    out
+}
+
+/// Renders the metrics registry: counters, gauges, then histograms.
+pub fn render_registry(rec: &Recorder) -> String {
+    let reg = rec.registry();
+    let mut out = String::new();
+    let counters = reg.counters();
+    if !counters.is_empty() {
+        let mut t = Table::new("counters", &["name", "value"]);
+        for (name, v) in counters {
+            t.row(vec![name.to_string(), v.to_string()]);
+        }
+        out.push_str(&t.render());
+    }
+    let gauges = reg.gauges();
+    if !gauges.is_empty() {
+        let mut t = Table::new("gauges", &["name", "value"]);
+        for (name, v) in gauges {
+            t.row(vec![name.to_string(), format!("{v:.4}")]);
+        }
+        out.push_str(&t.render());
+    }
+    let histograms = reg.histograms();
+    if !histograms.is_empty() {
+        let mut t = Table::new("histograms", &["name", "count", "mean", "log2 buckets"]);
+        for (name, h) in histograms {
+            let buckets: Vec<String> = h
+                .nonzero_buckets()
+                .into_iter()
+                .map(|(floor, n)| format!("{floor}:{n}"))
+                .collect();
+            t.row(vec![
+                name.to_string(),
+                h.count().to_string(),
+                format!("{:.1}", h.mean()),
+                buckets.join(" "),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+/// One experiment result as a JSON Lines row (`{"type":"run",...}`).
+pub fn result_json(r: &RunResult) -> String {
+    format!(
+        concat!(
+            "{{\"type\":\"run\",\"system\":{},\"workload\":{},\"ops\":{},",
+            "\"vtime_cycles\":{},\"throughput\":{},\"mean_latency_us\":{},",
+            "\"p99_latency_us\":{},\"tlb_misses\":{},\"aligned_rate\":{},",
+            "\"guest_fmfi\":{},\"host_fmfi\":{},\"bucket_reuse_rate\":{}}}"
+        ),
+        json_str(r.system),
+        json_str(&r.workload),
+        r.ops,
+        r.vtime.0,
+        json_f64(r.throughput()),
+        json_f64(r.mean_latency.as_micros_f64()),
+        json_f64(r.p99_latency.as_micros_f64()),
+        r.tlb_misses(),
+        json_f64(r.aligned_rate()),
+        json_f64(r.guest_fmfi),
+        json_f64(r.host_fmfi),
+        json_f64(r.bucket_reuse_rate),
+    )
+}
+
+/// Serializes results plus the recorder's events, samples and registry
+/// as one JSON Lines document.
+pub fn trace_json_lines(results: &[RunResult], rec: &Recorder) -> Vec<String> {
+    let mut out: Vec<String> = results.iter().map(result_json).collect();
+    out.extend(rec.to_json_lines());
+    out
+}
+
+/// Writes JSON Lines rows to `path` (one object per line, newline
+/// terminated).
+pub fn write_json_lines(path: &Path, lines: &[String]) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for line in lines {
+        writeln!(f, "{line}")?;
+    }
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_obs::{cat, EventKind, Layer, SamplePoint, TraceConfig};
+    use gemini_sim_core::Cycles;
+
+    fn demo_recorder() -> Recorder {
+        let rec = Recorder::new(&TraceConfig::all());
+        rec.set_cycle(Cycles(5));
+        rec.emit(cat::FAULT, 1, Layer::Guest, || EventKind::Fault {
+            frame: 7,
+            huge: false,
+            honored: true,
+        });
+        rec.counter_add("demo.counter", 3);
+        rec.record_sample(SamplePoint {
+            cycle: 5,
+            host_fmfi: 0.5,
+            guest_fmfi: 0.25,
+            aligned_rate: 0.75,
+            tlb_miss_rate: 0.01,
+            free_order9: 12,
+        });
+        rec
+    }
+
+    #[test]
+    fn renders_summary_series_and_registry() {
+        let rec = demo_recorder();
+        let summary = render_event_summary(&rec);
+        assert!(
+            summary.contains("fault") && summary.contains("guest"),
+            "{summary}"
+        );
+        let series = render_series(&rec);
+        assert!(
+            series.contains("0.750") && series.contains("12"),
+            "{series}"
+        );
+        let reg = render_registry(&rec);
+        assert!(reg.contains("demo.counter") && reg.contains('3'), "{reg}");
+    }
+
+    #[test]
+    fn long_series_are_thinned_in_text_only() {
+        let rec = Recorder::new(&TraceConfig::all());
+        for i in 0..(MAX_SERIES_ROWS as u64 * 3) {
+            rec.record_sample(SamplePoint {
+                cycle: i,
+                host_fmfi: 0.0,
+                guest_fmfi: 0.0,
+                aligned_rate: 0.0,
+                tlb_miss_rate: 0.0,
+                free_order9: i,
+            });
+        }
+        let text = render_series(&rec);
+        assert!(text.contains("showing every 3th of 144 samples"), "{text}");
+        assert!(text.lines().count() < 60);
+        // JSON export keeps every point.
+        let json = rec.to_json_lines();
+        assert_eq!(json.len(), 144);
+    }
+}

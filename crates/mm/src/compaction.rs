@@ -84,7 +84,8 @@ mod tests {
         let pins = crate::frag::fragment_to(&mut buddy, 0.9, 0.12, &mut rng);
         assert_eq!(buddy.free_blocks_of_order(HUGE_PAGE_ORDER), 0);
         let mut c = Compactor::new(pins);
-        let suitable = |b: &BuddyAllocator| b.free_area_counts().free_blocks_suitable(HUGE_PAGE_ORDER);
+        let suitable =
+            |b: &BuddyAllocator| b.free_area_counts().free_blocks_suitable(HUGE_PAGE_ORDER);
         let mut steps = 0;
         while suitable(&buddy) < 4 && steps < 1000 {
             let moved = c.step(&mut buddy, 64);

@@ -40,7 +40,8 @@ pub fn fragment_to(
     // hold fraction is met.
     let mut pinned = Vec::new();
     let mut released = Vec::new();
-    let mut by_region: std::collections::BTreeMap<u64, Vec<u64>> = std::collections::BTreeMap::new();
+    let mut by_region: std::collections::BTreeMap<u64, Vec<u64>> =
+        std::collections::BTreeMap::new();
     for f in grabbed {
         by_region.entry(f >> HUGE_PAGE_ORDER).or_default().push(f);
     }

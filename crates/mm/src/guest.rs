@@ -6,11 +6,23 @@ use crate::mech;
 use crate::policy::{Effects, FaultCtx, FaultOutcome, HugePolicy, LayerKind, LayerOps};
 use crate::vma::{Vma, VmaId, VmaSet};
 use gemini_buddy::BuddyAllocator;
+use gemini_obs::{cat, EventKind, Layer, PromoMode, Recorder};
 use gemini_page_table::{AddressSpace, Translation};
 use gemini_sim_core::{
     Cycles, SimError, VmId, HUGE_PAGE_ORDER, HUGE_PAGE_SIZE, PAGES_PER_HUGE_PAGE,
 };
 use std::collections::{HashMap, HashSet};
+
+/// Classifies a completed promotion by its data movement.
+pub(crate) fn promo_mode(pages_copied: u64, pages_zeroed: u64) -> PromoMode {
+    if pages_copied > 0 {
+        PromoMode::Copy
+    } else if pages_zeroed > 0 {
+        PromoMode::Fill
+    } else {
+        PromoMode::InPlace
+    }
+}
 
 /// Memory management of one guest OS (one workload address space, as in
 /// the paper's one-workload-per-VM setup).
@@ -29,6 +41,7 @@ pub struct GuestMm {
     /// VMAs that have taken at least one fault.
     touched_vmas: HashSet<VmaId>,
     costs: CostModel,
+    rec: Recorder,
 }
 
 impl GuestMm {
@@ -42,7 +55,14 @@ impl GuestMm {
             touches: HashMap::new(),
             touched_vmas: HashSet::new(),
             costs,
+            rec: Recorder::off(),
         }
+    }
+
+    /// Attaches an observability recorder; daemon promotions and
+    /// demotions of this guest are traced through it.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
     }
 
     /// Maps a new VMA of `len` bytes.
@@ -57,7 +77,10 @@ impl GuestMm {
 
     /// Records a sampled access for daemon heuristics.
     pub fn record_touch(&mut self, gva_frame: u64) {
-        *self.touches.entry(gva_frame >> HUGE_PAGE_ORDER).or_insert(0) += 1;
+        *self
+            .touches
+            .entry(gva_frame >> HUGE_PAGE_ORDER)
+            .or_insert(0) += 1;
     }
 
     /// Handles a demand fault at `gva_frame` under `policy`.
@@ -87,7 +110,6 @@ impl GuestMm {
         };
         let huge_allowed = pop.present == 0 && ctx.region_within_vma();
         let decision = policy.fault_decision(&ctx);
-        drop(ctx);
 
         let (outcome, fx) = mech::resolve_fault(
             &mut self.table,
@@ -105,12 +127,7 @@ impl GuestMm {
 
     /// Runs one daemon pass of `policy`, executing the promotions it
     /// requests.
-    pub fn run_daemon(
-        &mut self,
-        policy: &mut dyn HugePolicy,
-        now: Cycles,
-        vcpus: u32,
-    ) -> Effects {
+    pub fn run_daemon(&mut self, policy: &mut dyn HugePolicy, now: Cycles, vcpus: u32) -> Effects {
         let mut ops_view = LayerOps {
             layer: LayerKind::Guest,
             vm: self.vm,
@@ -133,19 +150,46 @@ impl GuestMm {
             self.costs.scan_per_region.0 * (requests.len() as u64 + 1),
         ));
         for op in requests {
-            fx.merge(mech::execute_promotion(
+            let region = op.region;
+            let was_huge = self.table.huge_leaf(region).is_some();
+            let opfx = mech::execute_promotion(
                 &mut self.table,
                 &mut self.buddy,
                 &self.costs,
                 LayerKind::Guest,
                 op,
                 vcpus,
-            ));
+            );
+            if self.rec.wants(cat::PROMOTION) && !was_huge && self.table.huge_leaf(region).is_some()
+            {
+                let vm = self.vm.0;
+                let (copied, zeroed) = (opfx.pages_copied, opfx.pages_zeroed);
+                self.rec
+                    .emit(cat::PROMOTION, vm, Layer::Guest, || EventKind::Promotion {
+                        region,
+                        mode: promo_mode(copied, zeroed),
+                        pages_copied: copied,
+                        pages_zeroed: zeroed,
+                    });
+                self.rec.counter_add("mm.guest.promotions", 1);
+                self.rec.counter_add("mm.guest.promo_pages_copied", copied);
+            }
+            fx.merge(opfx);
         }
         for region in demotions {
-            if let Ok(dfx) =
-                mech::execute_demotion(&mut self.table, &self.costs, LayerKind::Guest, region, vcpus)
-            {
+            if let Ok(dfx) = mech::execute_demotion(
+                &mut self.table,
+                &self.costs,
+                LayerKind::Guest,
+                region,
+                vcpus,
+            ) {
+                let vm = self.vm.0;
+                self.rec
+                    .emit(cat::DEMOTION, vm, Layer::Guest, || EventKind::Demotion {
+                        region,
+                    });
+                self.rec.counter_add("mm.guest.demotions", 1);
                 fx.merge(dfx);
             }
         }
@@ -154,7 +198,13 @@ impl GuestMm {
 
     /// Demotes (splits) one huge mapping.
     pub fn demote(&mut self, region: u64, vcpus: u32) -> Result<Effects, SimError> {
-        mech::execute_demotion(&mut self.table, &self.costs, LayerKind::Guest, region, vcpus)
+        mech::execute_demotion(
+            &mut self.table,
+            &self.costs,
+            LayerKind::Guest,
+            region,
+            vcpus,
+        )
     }
 
     /// Unmaps a VMA, freeing its guest-physical memory.
@@ -181,7 +231,8 @@ impl GuestMm {
             if self.table.huge_leaf(region).is_some() {
                 let pa_huge = self.table.unmap_huge(region)?;
                 if !policy.intercept_huge_free(pa_huge, now) {
-                    self.buddy.free(pa_huge << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER)?;
+                    self.buddy
+                        .free(pa_huge << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER)?;
                 }
                 any = true;
             } else {

@@ -5,6 +5,7 @@ use crate::costs::CostModel;
 use crate::mech;
 use crate::policy::{Effects, FaultCtx, FaultOutcome, HugePolicy, LayerKind, LayerOps};
 use gemini_buddy::BuddyAllocator;
+use gemini_obs::{cat, EventKind, Layer, Recorder};
 use gemini_page_table::AddressSpace;
 use gemini_sim_core::{Cycles, SimError, VmId, HUGE_PAGE_ORDER};
 use std::collections::{BTreeMap, HashMap};
@@ -20,6 +21,7 @@ pub struct HostMm {
     /// Sampled touch counters per (VM, GPA 2 MiB region).
     touches: HashMap<VmId, HashMap<u64, u64>>,
     costs: CostModel,
+    rec: Recorder,
 }
 
 impl HostMm {
@@ -30,7 +32,14 @@ impl HostMm {
             epts: BTreeMap::new(),
             touches: HashMap::new(),
             costs,
+            rec: Recorder::off(),
         }
+    }
+
+    /// Attaches an observability recorder; host daemon promotions and
+    /// demotions are traced through it.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
     }
 
     /// Registers a VM (creates its empty EPT).
@@ -72,9 +81,9 @@ impl HostMm {
     ) -> Result<(FaultOutcome, Effects), SimError> {
         let table = self.epts.get_mut(&vm).expect("VM not registered");
         if table.translate(gpa_frame).is_some() {
-            return Err(SimError::AlreadyMappedGpa(gemini_sim_core::Gpa::from_frame(
-                gpa_frame,
-            )));
+            return Err(SimError::AlreadyMappedGpa(
+                gemini_sim_core::Gpa::from_frame(gpa_frame),
+            ));
         }
         let region = gpa_frame >> HUGE_PAGE_ORDER;
         let pop = table.region_population(region);
@@ -90,7 +99,6 @@ impl HostMm {
         };
         let huge_allowed = pop.present == 0;
         let decision = policy.fault_decision(&ctx);
-        drop(ctx);
 
         let (outcome, fx) = mech::resolve_fault(
             table,
@@ -137,19 +145,39 @@ impl HostMm {
             self.costs.scan_per_region.0 * (requests.len() as u64 + 1),
         ));
         for op in requests {
-            fx.merge(mech::execute_promotion(
+            let region = op.region;
+            let was_huge = table.huge_leaf(region).is_some();
+            let opfx = mech::execute_promotion(
                 table,
                 &mut self.buddy,
                 &self.costs,
                 LayerKind::Host,
                 op,
                 vcpus,
-            ));
+            );
+            if self.rec.wants(cat::PROMOTION) && !was_huge && table.huge_leaf(region).is_some() {
+                let (copied, zeroed) = (opfx.pages_copied, opfx.pages_zeroed);
+                self.rec
+                    .emit(cat::PROMOTION, vm.0, Layer::Host, || EventKind::Promotion {
+                        region,
+                        mode: crate::guest::promo_mode(copied, zeroed),
+                        pages_copied: copied,
+                        pages_zeroed: zeroed,
+                    });
+                self.rec.counter_add("mm.host.promotions", 1);
+                self.rec.counter_add("mm.host.promo_pages_copied", copied);
+            }
+            fx.merge(opfx);
         }
         for region in demotions {
             if let Ok(dfx) =
                 mech::execute_demotion(table, &self.costs, LayerKind::Host, region, vcpus)
             {
+                self.rec
+                    .emit(cat::DEMOTION, vm.0, Layer::Host, || EventKind::Demotion {
+                        region,
+                    });
+                self.rec.counter_add("mm.host.demotions", 1);
                 fx.merge(dfx);
             }
         }

@@ -191,8 +191,9 @@ pub fn execute_promotion(
             .into_iter()
             .map(|(va, _)| va % PAGES_PER_HUGE_PAGE)
             .collect();
-        let missing: Vec<u64> =
-            (0..PAGES_PER_HUGE_PAGE).filter(|i| !present.contains(i)).collect();
+        let missing: Vec<u64> = (0..PAGES_PER_HUGE_PAGE)
+            .filter(|i| !present.contains(i))
+            .collect();
         // All-or-nothing: the missing frames must all be free — unless the
         // policy already owns them (a booked region, `target_reserved`).
         if !op.target_reserved && !missing.iter().all(|&i| buddy.is_frame_free(pa0 + i)) {
@@ -224,15 +225,23 @@ pub fn execute_promotion(
     // 3. Copy-promotion (khugepaged collapse): new huge page, copy what is
     //    present, zero the rest.
     let target = if let Some(t) = op.copy_target {
-        if op.target_reserved {
-            Some(t)
-        } else if buddy.alloc_at(t << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER).is_ok() {
+        if op.target_reserved
+            || buddy
+                .alloc_at(t << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER)
+                .is_ok()
+        {
             Some(t)
         } else {
-            buddy.alloc(HUGE_PAGE_ORDER).ok().map(|s| s >> HUGE_PAGE_ORDER)
+            buddy
+                .alloc(HUGE_PAGE_ORDER)
+                .ok()
+                .map(|s| s >> HUGE_PAGE_ORDER)
         }
     } else {
-        buddy.alloc(HUGE_PAGE_ORDER).ok().map(|s| s >> HUGE_PAGE_ORDER)
+        buddy
+            .alloc(HUGE_PAGE_ORDER)
+            .ok()
+            .map(|s| s >> HUGE_PAGE_ORDER)
     };
     let Some(target) = target else {
         return Effects::none();
@@ -294,14 +303,24 @@ mod tests {
     use gemini_sim_core::page::PageSize;
 
     fn setup() -> (AddressSpace, BuddyAllocator, CostModel) {
-        (AddressSpace::new(), BuddyAllocator::new(4096), CostModel::default())
+        (
+            AddressSpace::new(),
+            BuddyAllocator::new(4096),
+            CostModel::default(),
+        )
     }
 
     #[test]
     fn base_decision_maps_one_page() {
         let (mut t, mut b, c) = setup();
         let (out, fx) = resolve_fault(
-            &mut t, &mut b, &c, LayerKind::Guest, 100, FaultDecision::Base, true,
+            &mut t,
+            &mut b,
+            &c,
+            LayerKind::Guest,
+            100,
+            FaultDecision::Base,
+            true,
         )
         .unwrap();
         assert_eq!(out.size, PageSize::Base);
@@ -315,7 +334,13 @@ mod tests {
     fn huge_decision_maps_region_when_allowed() {
         let (mut t, mut b, c) = setup();
         let (out, fx) = resolve_fault(
-            &mut t, &mut b, &c, LayerKind::Guest, 513, FaultDecision::Huge, true,
+            &mut t,
+            &mut b,
+            &c,
+            LayerKind::Guest,
+            513,
+            FaultDecision::Huge,
+            true,
         )
         .unwrap();
         assert_eq!(out.size, PageSize::Huge);
@@ -325,7 +350,13 @@ mod tests {
         // Host faults cost EPT rates.
         let (mut t2, mut b2, _) = setup();
         let (_, fx2) = resolve_fault(
-            &mut t2, &mut b2, &c, LayerKind::Host, 513, FaultDecision::Huge, true,
+            &mut t2,
+            &mut b2,
+            &c,
+            LayerKind::Host,
+            513,
+            FaultDecision::Huge,
+            true,
         )
         .unwrap();
         assert_eq!(fx2.cycles, c.ept_fault + c.ept_huge_fault_extra);
@@ -335,7 +366,13 @@ mod tests {
     fn huge_disallowed_degrades_to_base() {
         let (mut t, mut b, c) = setup();
         let (out, _) = resolve_fault(
-            &mut t, &mut b, &c, LayerKind::Guest, 0, FaultDecision::Huge, false,
+            &mut t,
+            &mut b,
+            &c,
+            LayerKind::Guest,
+            0,
+            FaultDecision::Huge,
+            false,
         )
         .unwrap();
         assert_eq!(out.size, PageSize::Base);
@@ -346,16 +383,26 @@ mod tests {
     fn huge_at_honors_target_or_falls_back() {
         let (mut t, mut b, c) = setup();
         let (out, _) = resolve_fault(
-            &mut t, &mut b, &c, LayerKind::Guest, 0,
-            FaultDecision::HugeAt { huge_frame: 3 }, true,
+            &mut t,
+            &mut b,
+            &c,
+            LayerKind::Guest,
+            0,
+            FaultDecision::HugeAt { huge_frame: 3 },
+            true,
         )
         .unwrap();
         assert_eq!(out.pa_frame, 3 * 512);
         assert!(out.placement_honored);
         // Target busy now: next fault in another region falls back.
         let (out2, _) = resolve_fault(
-            &mut t, &mut b, &c, LayerKind::Guest, 512,
-            FaultDecision::HugeAt { huge_frame: 3 }, true,
+            &mut t,
+            &mut b,
+            &c,
+            LayerKind::Guest,
+            512,
+            FaultDecision::HugeAt { huge_frame: 3 },
+            true,
         )
         .unwrap();
         assert_eq!(out2.size, PageSize::Huge);
@@ -368,8 +415,13 @@ mod tests {
         let (mut t, mut b, c) = setup();
         b.alloc_at(7, 0).unwrap();
         let (out, _) = resolve_fault(
-            &mut t, &mut b, &c, LayerKind::Guest, 1,
-            FaultDecision::BaseAt { frame: 7 }, true,
+            &mut t,
+            &mut b,
+            &c,
+            LayerKind::Guest,
+            1,
+            FaultDecision::BaseAt { frame: 7 },
+            true,
         )
         .unwrap();
         assert!(!out.placement_honored);
@@ -383,15 +435,25 @@ mod tests {
         b.alloc_at(512, gemini_sim_core::HUGE_PAGE_ORDER).unwrap();
         let used_before = b.used_frames();
         let (out, _) = resolve_fault(
-            &mut t, &mut b, &c, LayerKind::Guest, 0,
-            FaultDecision::BaseReserved { frame: 512 }, true,
+            &mut t,
+            &mut b,
+            &c,
+            LayerKind::Guest,
+            0,
+            FaultDecision::BaseReserved { frame: 512 },
+            true,
         )
         .unwrap();
         assert_eq!(out.pa_frame, 512);
         assert_eq!(b.used_frames(), used_before, "buddy untouched");
         let out2 = resolve_fault(
-            &mut t, &mut b, &c, LayerKind::Guest, 512,
-            FaultDecision::HugeReserved { huge_frame: 1 }, true,
+            &mut t,
+            &mut b,
+            &c,
+            LayerKind::Guest,
+            512,
+            FaultDecision::HugeReserved { huge_frame: 1 },
+            true,
         );
         // Region 1's frames are partly the same; mapping still succeeds at
         // the table level because table and buddy are decoupled here.
@@ -402,7 +464,15 @@ mod tests {
     fn oom_propagates() {
         let (mut t, mut b, c) = setup();
         while b.alloc(0).is_ok() {}
-        let r = resolve_fault(&mut t, &mut b, &c, LayerKind::Guest, 0, FaultDecision::Base, true);
+        let r = resolve_fault(
+            &mut t,
+            &mut b,
+            &c,
+            LayerKind::Guest,
+            0,
+            FaultDecision::Base,
+            true,
+        );
         assert!(matches!(r, Err(SimError::OutOfMemory { .. })));
     }
 
@@ -415,8 +485,12 @@ mod tests {
             t.map_base(i, f).unwrap();
         }
         let fx = execute_promotion(
-            &mut t, &mut b, &c, LayerKind::Guest,
-            PromotionOp::new(0, PromotionKind::InPlaceOnly), 1,
+            &mut t,
+            &mut b,
+            &c,
+            LayerKind::Guest,
+            PromotionOp::new(0, PromotionKind::InPlaceOnly),
+            1,
         );
         assert_eq!(t.huge_mapped(), 1);
         assert_eq!(fx.pages_copied, 0);
@@ -434,8 +508,12 @@ mod tests {
             t.map_base(i, f).unwrap();
         }
         let fx = execute_promotion(
-            &mut t, &mut b, &c, LayerKind::Guest,
-            PromotionOp::new(0, PromotionKind::InPlaceOnly), 1,
+            &mut t,
+            &mut b,
+            &c,
+            LayerKind::Guest,
+            PromotionOp::new(0, PromotionKind::InPlaceOnly),
+            1,
         );
         assert_eq!(fx, Effects::none());
         assert_eq!(t.huge_mapped(), 0);
@@ -451,8 +529,12 @@ mod tests {
         }
         let used_before = b.used_frames();
         let fx = execute_promotion(
-            &mut t, &mut b, &c, LayerKind::Guest,
-            PromotionOp::new(0, PromotionKind::PreferInPlace), 4,
+            &mut t,
+            &mut b,
+            &c,
+            LayerKind::Guest,
+            PromotionOp::new(0, PromotionKind::PreferInPlace),
+            4,
         );
         assert_eq!(t.huge_mapped(), 1);
         assert_eq!(fx.pages_copied, 100);
@@ -468,7 +550,10 @@ mod tests {
         b.alloc_at(0, 0).unwrap();
         t.map_base(0, 0).unwrap();
         let fx = execute_promotion(
-            &mut t, &mut b, &c, LayerKind::Host,
+            &mut t,
+            &mut b,
+            &c,
+            LayerKind::Host,
             PromotionOp {
                 region: 0,
                 kind: PromotionKind::Copy,
@@ -490,8 +575,12 @@ mod tests {
             t.map_base(i, 512 + i).unwrap();
         }
         let fx = execute_promotion(
-            &mut t, &mut b, &c, LayerKind::Guest,
-            PromotionOp::new(0, PromotionKind::FillThenPromote), 1,
+            &mut t,
+            &mut b,
+            &c,
+            LayerKind::Guest,
+            PromotionOp::new(0, PromotionKind::FillThenPromote),
+            1,
         );
         assert_eq!(t.huge_leaf(0), Some(1));
         assert_eq!(fx.pages_zeroed, 212);
@@ -509,8 +598,12 @@ mod tests {
         // Occupy one missing frame: all-or-nothing must refuse.
         b.alloc_at(512 + 400, 0).unwrap();
         let fx = execute_promotion(
-            &mut t, &mut b, &c, LayerKind::Guest,
-            PromotionOp::new(0, PromotionKind::FillThenPromote), 1,
+            &mut t,
+            &mut b,
+            &c,
+            LayerKind::Guest,
+            PromotionOp::new(0, PromotionKind::FillThenPromote),
+            1,
         );
         assert_eq!(fx, Effects::none());
         assert_eq!(t.huge_mapped(), 0);
@@ -521,8 +614,12 @@ mod tests {
         t2.map_base(0, 512).unwrap();
         t2.map_base(1, 2000).unwrap();
         let fx2 = execute_promotion(
-            &mut t2, &mut b2, &c, LayerKind::Guest,
-            PromotionOp::new(0, PromotionKind::FillThenPromote), 1,
+            &mut t2,
+            &mut b2,
+            &c,
+            LayerKind::Guest,
+            PromotionOp::new(0, PromotionKind::FillThenPromote),
+            1,
         );
         assert_eq!(fx2, Effects::none());
     }
@@ -531,14 +628,22 @@ mod tests {
     fn promotion_skips_empty_and_already_huge() {
         let (mut t, mut b, c) = setup();
         let fx = execute_promotion(
-            &mut t, &mut b, &c, LayerKind::Guest,
-            PromotionOp::new(9, PromotionKind::Copy), 1,
+            &mut t,
+            &mut b,
+            &c,
+            LayerKind::Guest,
+            PromotionOp::new(9, PromotionKind::Copy),
+            1,
         );
         assert_eq!(fx, Effects::none());
         t.map_huge(9, 2).unwrap();
         let fx = execute_promotion(
-            &mut t, &mut b, &c, LayerKind::Guest,
-            PromotionOp::new(9, PromotionKind::Copy), 1,
+            &mut t,
+            &mut b,
+            &c,
+            LayerKind::Guest,
+            PromotionOp::new(9, PromotionKind::Copy),
+            1,
         );
         assert_eq!(fx, Effects::none());
     }

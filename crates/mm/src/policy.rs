@@ -59,8 +59,7 @@ impl FaultCtx<'_> {
             Some(vma) => {
                 let region_start = self.region() << gemini_sim_core::HUGE_PAGE_ORDER;
                 let region_end = region_start + gemini_sim_core::PAGES_PER_HUGE_PAGE;
-                vma.start_frame() <= region_start
-                    && region_end <= vma.start_frame() + vma.pages()
+                vma.start_frame() <= region_start && region_end <= vma.start_frame() + vma.pages()
             }
         }
     }
@@ -227,6 +226,13 @@ impl Effects {
 pub trait HugePolicy {
     /// Short display name ("THP", "Ingens", ...).
     fn name(&self) -> &'static str;
+
+    /// Hands the policy a shared observability recorder so it can
+    /// trace its decisions (bookings, EMA hits, bucket traffic, ...).
+    /// The default implementation ignores it; simple baselines have
+    /// nothing policy-specific to report beyond what the memory
+    /// managers already emit.
+    fn attach_recorder(&mut self, _rec: gemini_obs::Recorder) {}
 
     /// Decides how to satisfy a demand fault.
     fn fault_decision(&mut self, ctx: &FaultCtx<'_>) -> FaultDecision;

@@ -1,0 +1,418 @@
+//! The structured event taxonomy of the simulator.
+//!
+//! Every interesting decision in the stack — a fault resolution, a
+//! promotion, a booking consumed, a bucket refill, a TLB shootdown —
+//! can be captured as an [`Event`]: a cycle-stamped record of *what*
+//! happened, *where* (guest layer, host layer, or machine-wide) and
+//! *to whom* (which VM). Events belong to categories (bitmask
+//! constants in [`cat`]) so recording can be filtered per category at
+//! near-zero cost.
+
+use crate::json::{json_f64, json_str};
+
+/// Category bitmask constants used to enable/filter event recording.
+///
+/// A [`crate::TraceConfig`] carries a union of these bits; an event is
+/// only materialised when its category bit is set, so a disabled
+/// category costs one load and one branch per call site.
+pub mod cat {
+    /// Page-fault resolutions (guest page faults and EPT violations).
+    pub const FAULT: u32 = 1 << 0;
+    /// Huge-page promotions (in-place, fill-then-promote, or copy).
+    pub const PROMOTION: u32 = 1 << 1;
+    /// Huge-page demotions (leaf splits).
+    pub const DEMOTION: u32 = 1 << 2;
+    /// Huge booking lifecycle: booked, consumed, expired (Algorithm 1).
+    pub const BOOKING: u32 = 1 << 3;
+    /// EMA offset-descriptor hits, misses and sub-VMA splits.
+    pub const EMA: u32 = 1 << 4;
+    /// Huge-bucket offers, reuses and releases.
+    pub const BUCKET: u32 = 1 << 5;
+    /// TLB shootdown rounds charged to the MMU.
+    pub const SHOOTDOWN: u32 = 1 << 6;
+    /// Page migrations (compaction / copy traffic).
+    pub const MIGRATION: u32 = 1 << 7;
+    /// Runtime-control decisions (adaptive booking-timeout updates).
+    pub const RUNTIME: u32 = 1 << 8;
+    /// Every category.
+    pub const ALL: u32 =
+        FAULT | PROMOTION | DEMOTION | BOOKING | EMA | BUCKET | SHOOTDOWN | MIGRATION | RUNTIME;
+    /// No category (tracing off).
+    pub const NONE: u32 = 0;
+}
+
+/// Which layer of the two-dimensional translation stack an event
+/// originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Layer {
+    /// The guest kernel's memory manager (GVA → GPA).
+    Guest,
+    /// The hypervisor / host memory manager (GPA → HPA).
+    Host,
+    /// Machine-wide (not attributable to one translation layer).
+    Sys,
+}
+
+impl Layer {
+    /// Stable lowercase label used in tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Layer::Guest => "guest",
+            Layer::Host => "host",
+            Layer::Sys => "sys",
+        }
+    }
+}
+
+/// How a promotion produced its huge leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromoMode {
+    /// All 512 base frames were already physically contiguous and
+    /// congruent: the leaf was rewritten in place, no data moved.
+    InPlace,
+    /// The region was promoted in place after zero-filling the holes.
+    Fill,
+    /// Pages were copied into a fresh well-aligned 2 MiB block
+    /// (khugepaged-style collapse).
+    Copy,
+}
+
+impl PromoMode {
+    /// Stable lowercase label used in tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            PromoMode::InPlace => "in_place",
+            PromoMode::Fill => "fill",
+            PromoMode::Copy => "copy",
+        }
+    }
+}
+
+/// The payload of one trace event.
+///
+/// Frames and regions are in the address space of the event's
+/// [`Layer`]: GVA/GPA numbers for `Guest`, GPA/HPA numbers for `Host`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A demand fault was resolved ([`cat::FAULT`]).
+    Fault {
+        /// Faulting frame number (GVA frame for guest, GPA frame for host).
+        frame: u64,
+        /// Whether the fault was resolved with a 2 MiB mapping.
+        huge: bool,
+        /// Whether the policy's placement request was honored by the
+        /// allocator (congruent/targeted allocation succeeded).
+        honored: bool,
+    },
+    /// A 2 MiB region was promoted to a huge leaf ([`cat::PROMOTION`]).
+    Promotion {
+        /// The promoted region index (frame >> 9).
+        region: u64,
+        /// How the huge leaf was produced.
+        mode: PromoMode,
+        /// Base pages copied to assemble the leaf (0 for in-place).
+        pages_copied: u64,
+        /// Base pages zero-filled to complete the leaf.
+        pages_zeroed: u64,
+    },
+    /// A huge leaf was split back into base pages ([`cat::DEMOTION`]).
+    Demotion {
+        /// The demoted region index.
+        region: u64,
+    },
+    /// A 2 MiB host block was booked for future congruent base
+    /// allocations ([`cat::BOOKING`]).
+    Booked {
+        /// The booked region index.
+        region: u64,
+    },
+    /// A booking satisfied an allocation ([`cat::BOOKING`]).
+    BookingConsumed {
+        /// The region the booking covered.
+        region: u64,
+        /// `true` if the whole 2 MiB block was taken at once,
+        /// `false` if a single congruent base frame was carved out.
+        whole: bool,
+    },
+    /// Bookings hit their adaptive timeout and were returned to the
+    /// allocator ([`cat::BOOKING`]).
+    BookingExpired {
+        /// Number of bookings that expired in this pass.
+        regions: u64,
+    },
+    /// The adaptive controller (Algorithm 1) retuned the booking
+    /// timeout ([`cat::RUNTIME`]).
+    TimeoutAdjusted {
+        /// The new timeout, in cycles.
+        timeout_cycles: u64,
+    },
+    /// An EMA offset descriptor steered this allocation to a
+    /// congruent frame ([`cat::EMA`]).
+    EmaHit {
+        /// The EMA interval key (VMA or sub-VMA id).
+        key: u64,
+    },
+    /// No usable offset descriptor existed; a new one was established
+    /// ([`cat::EMA`]).
+    EmaMiss {
+        /// The EMA interval key the descriptor was established for.
+        key: u64,
+    },
+    /// Placement could not be honored, so the VMA's descriptor was
+    /// split at a sub-VMA boundary ([`cat::EMA`]).
+    SubVmaSplit {
+        /// The key of the descriptor that was split.
+        key: u64,
+    },
+    /// A freed well-aligned 2 MiB block entered the huge bucket
+    /// ([`cat::BUCKET`]).
+    BucketOffered {
+        /// The offered region index.
+        region: u64,
+    },
+    /// A bucket block directly backed a huge allocation
+    /// ([`cat::BUCKET`]).
+    BucketReused {
+        /// The reused region index.
+        region: u64,
+    },
+    /// Bucket blocks aged out and were released to the buddy
+    /// allocator ([`cat::BUCKET`]).
+    BucketReleased {
+        /// Number of blocks released in this pass.
+        regions: u64,
+    },
+    /// TLB shootdown rounds were charged ([`cat::SHOOTDOWN`]).
+    Shootdown {
+        /// Number of shootdown rounds.
+        rounds: u64,
+    },
+    /// Base pages were migrated by compaction or promotion copies
+    /// ([`cat::MIGRATION`]).
+    Migration {
+        /// Number of 4 KiB pages moved.
+        pages: u64,
+    },
+}
+
+impl EventKind {
+    /// The category bit this kind belongs to.
+    pub fn category(&self) -> u32 {
+        match self {
+            EventKind::Fault { .. } => cat::FAULT,
+            EventKind::Promotion { .. } => cat::PROMOTION,
+            EventKind::Demotion { .. } => cat::DEMOTION,
+            EventKind::Booked { .. }
+            | EventKind::BookingConsumed { .. }
+            | EventKind::BookingExpired { .. } => cat::BOOKING,
+            EventKind::TimeoutAdjusted { .. } => cat::RUNTIME,
+            EventKind::EmaHit { .. }
+            | EventKind::EmaMiss { .. }
+            | EventKind::SubVmaSplit { .. } => cat::EMA,
+            EventKind::BucketOffered { .. }
+            | EventKind::BucketReused { .. }
+            | EventKind::BucketReleased { .. } => cat::BUCKET,
+            EventKind::Shootdown { .. } => cat::SHOOTDOWN,
+            EventKind::Migration { .. } => cat::MIGRATION,
+        }
+    }
+
+    /// Stable snake_case label used in summaries and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Fault { .. } => "fault",
+            EventKind::Promotion { .. } => "promotion",
+            EventKind::Demotion { .. } => "demotion",
+            EventKind::Booked { .. } => "booked",
+            EventKind::BookingConsumed { .. } => "booking_consumed",
+            EventKind::BookingExpired { .. } => "booking_expired",
+            EventKind::TimeoutAdjusted { .. } => "timeout_adjusted",
+            EventKind::EmaHit { .. } => "ema_hit",
+            EventKind::EmaMiss { .. } => "ema_miss",
+            EventKind::SubVmaSplit { .. } => "sub_vma_split",
+            EventKind::BucketOffered { .. } => "bucket_offered",
+            EventKind::BucketReused { .. } => "bucket_reused",
+            EventKind::BucketReleased { .. } => "bucket_released",
+            EventKind::Shootdown { .. } => "shootdown",
+            EventKind::Migration { .. } => "migration",
+        }
+    }
+
+    fn payload_json(&self) -> String {
+        match self {
+            EventKind::Fault {
+                frame,
+                huge,
+                honored,
+            } => format!("\"frame\":{frame},\"huge\":{huge},\"honored\":{honored}"),
+            EventKind::Promotion {
+                region,
+                mode,
+                pages_copied,
+                pages_zeroed,
+            } => format!(
+                "\"region\":{region},\"mode\":{},\"pages_copied\":{pages_copied},\"pages_zeroed\":{pages_zeroed}",
+                json_str(mode.label())
+            ),
+            EventKind::Demotion { region }
+            | EventKind::Booked { region }
+            | EventKind::BucketOffered { region }
+            | EventKind::BucketReused { region } => format!("\"region\":{region}"),
+            EventKind::BookingConsumed { region, whole } => {
+                format!("\"region\":{region},\"whole\":{whole}")
+            }
+            EventKind::BookingExpired { regions } | EventKind::BucketReleased { regions } => {
+                format!("\"regions\":{regions}")
+            }
+            EventKind::TimeoutAdjusted { timeout_cycles } => {
+                format!("\"timeout_cycles\":{timeout_cycles}")
+            }
+            EventKind::EmaHit { key } | EventKind::EmaMiss { key } | EventKind::SubVmaSplit { key } => {
+                format!("\"key\":{key}")
+            }
+            EventKind::Shootdown { rounds } => format!("\"rounds\":{rounds}"),
+            EventKind::Migration { pages } => format!("\"pages\":{pages}"),
+        }
+    }
+}
+
+/// One cycle-stamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated cycle at which the event occurred.
+    pub cycle: u64,
+    /// Id of the VM the event concerns (0 when not VM-specific).
+    pub vm: u32,
+    /// The translation layer the event originated from.
+    pub layer: Layer,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Serializes the event as one JSON object (one JSON Lines row).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"type\":\"event\",\"cycle\":{},\"vm\":{},\"layer\":{},\"kind\":{},{}}}",
+            self.cycle,
+            self.vm,
+            json_str(self.layer.label()),
+            json_str(self.kind.label()),
+            self.kind.payload_json()
+        )
+    }
+}
+
+/// One point of the clock-driven time series emitted by the sampler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplePoint {
+    /// Simulated cycle the sample was taken at.
+    pub cycle: u64,
+    /// Host-level free-memory fragmentation index at order 9.
+    pub host_fmfi: f64,
+    /// Guest-level FMFI at order 9 (first VM when several exist).
+    pub guest_fmfi: f64,
+    /// Fraction of touched regions backed well-aligned (2 MiB leaves
+    /// at both the guest page table and the EPT).
+    pub aligned_rate: f64,
+    /// STLB miss ratio since the start of the run.
+    pub tlb_miss_rate: f64,
+    /// Free order-9 (2 MiB) blocks left in the host allocator.
+    pub free_order9: u64,
+}
+
+impl SamplePoint {
+    /// Serializes the sample as one JSON object (one JSON Lines row).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"type\":\"sample\",\"cycle\":{},\"host_fmfi\":{},\"guest_fmfi\":{},\"aligned_rate\":{},\"tlb_miss_rate\":{},\"free_order9\":{}}}",
+            self.cycle,
+            json_f64(self.host_fmfi),
+            json_f64(self.guest_fmfi),
+            json_f64(self.aligned_rate),
+            json_f64(self.tlb_miss_rate),
+            self.free_order9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_are_disjoint_and_covered_by_all() {
+        let kinds = [
+            EventKind::Fault {
+                frame: 1,
+                huge: true,
+                honored: false,
+            },
+            EventKind::Promotion {
+                region: 2,
+                mode: PromoMode::Copy,
+                pages_copied: 3,
+                pages_zeroed: 4,
+            },
+            EventKind::Demotion { region: 5 },
+            EventKind::Booked { region: 6 },
+            EventKind::BookingConsumed {
+                region: 7,
+                whole: true,
+            },
+            EventKind::BookingExpired { regions: 8 },
+            EventKind::TimeoutAdjusted { timeout_cycles: 9 },
+            EventKind::EmaHit { key: 10 },
+            EventKind::EmaMiss { key: 11 },
+            EventKind::SubVmaSplit { key: 12 },
+            EventKind::BucketOffered { region: 13 },
+            EventKind::BucketReused { region: 14 },
+            EventKind::BucketReleased { regions: 15 },
+            EventKind::Shootdown { rounds: 16 },
+            EventKind::Migration { pages: 17 },
+        ];
+        for k in &kinds {
+            let c = k.category();
+            assert_eq!(c.count_ones(), 1, "{} has one category bit", k.label());
+            assert_eq!(c & cat::ALL, c, "{} covered by ALL", k.label());
+        }
+    }
+
+    #[test]
+    fn event_json_is_one_flat_object() {
+        let e = Event {
+            cycle: 1200,
+            vm: 1,
+            layer: Layer::Guest,
+            kind: EventKind::Promotion {
+                region: 4,
+                mode: PromoMode::InPlace,
+                pages_copied: 0,
+                pages_zeroed: 12,
+            },
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"type\":\"event\",\"cycle\":1200,\"vm\":1,\"layer\":\"guest\",\
+             \"kind\":\"promotion\",\"region\":4,\"mode\":\"in_place\",\
+             \"pages_copied\":0,\"pages_zeroed\":12}"
+        );
+    }
+
+    #[test]
+    fn sample_json_renders_floats_plainly() {
+        let s = SamplePoint {
+            cycle: 5,
+            host_fmfi: 0.25,
+            guest_fmfi: 0.0,
+            aligned_rate: 1.0,
+            tlb_miss_rate: f64::NAN,
+            free_order9: 7,
+        };
+        assert_eq!(
+            s.to_json(),
+            "{\"type\":\"sample\",\"cycle\":5,\"host_fmfi\":0.25,\"guest_fmfi\":0,\
+             \"aligned_rate\":1,\"tlb_miss_rate\":null,\"free_order9\":7}"
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! The metrics registry: named monotonic counters, gauges and
+//! log₂-bucketed histograms that subsystems register into.
+//!
+//! Names are `&'static str` in dotted `subsystem.metric` form (e.g.
+//! `"mmu.shootdown_rounds"`). Storage is `BTreeMap`-backed so every
+//! iteration order — and therefore every rendered table and JSON
+//! export — is deterministic.
+
+use crate::json::{json_f64, json_str};
+use std::collections::BTreeMap;
+
+/// A histogram over `u64` observations with log₂ buckets.
+///
+/// Bucket `i` counts observations `v` with `bit_width(v) == i`, i.e.
+/// bucket 0 holds zeros, bucket 1 holds `1`, bucket 2 holds `2..=3`,
+/// bucket 11 holds `1024..=2047`, and so on. 65 buckets cover the full
+/// `u64` range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[64 - value.leading_zeros() as usize] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observation, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(bucket_floor, count)` pairs in
+    /// ascending order. `bucket_floor` is the smallest value the
+    /// bucket admits (0, 1, 2, 4, 8, ...).
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, n))
+            .collect()
+    }
+}
+
+/// Registry of named counters, gauges and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Registry {
+    /// Adds `delta` to the counter `name` (registering it at 0 first
+    /// if unseen).
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn gauge_set(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Records `value` into the histogram `name`.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().observe(value);
+    }
+
+    /// The current value of counter `name`, or 0 if never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The current value of gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram `name`, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.counters.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> Vec<(&'static str, f64)> {
+        self.gauges.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> Vec<(&'static str, &Histogram)> {
+        self.histograms.iter().map(|(&k, v)| (k, v)).collect()
+    }
+
+    /// True when nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serializes the whole registry as JSON Lines rows
+    /// (`{"type":"counter",...}`, `{"type":"gauge",...}`,
+    /// `{"type":"histogram",...}`), in deterministic name order.
+    pub fn to_json_lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (name, v) in &self.counters {
+            out.push(format!(
+                "{{\"type\":\"counter\",\"name\":{},\"value\":{v}}}",
+                json_str(name)
+            ));
+        }
+        for (name, v) in &self.gauges {
+            out.push(format!(
+                "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}",
+                json_str(name),
+                json_f64(*v)
+            ));
+        }
+        for (name, h) in &self.histograms {
+            let buckets: Vec<String> = h
+                .nonzero_buckets()
+                .into_iter()
+                .map(|(floor, n)| format!("[{floor},{n}]"))
+                .collect();
+            out.push(format!(
+                "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                json_str(name),
+                h.count(),
+                h.sum(),
+                buckets.join(",")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bit_width() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1024, 2047, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(
+            buckets,
+            vec![(0, 1), (1, 1), (2, 2), (4, 1), (1024, 2), (1 << 63, 1)]
+        );
+        assert_eq!(h.sum(), u64::MAX); // saturated
+    }
+
+    #[test]
+    fn registry_iterates_in_name_order() {
+        let mut r = Registry::default();
+        r.counter_add("z.last", 1);
+        r.counter_add("a.first", 2);
+        r.counter_add("z.last", 1);
+        r.gauge_set("m.gauge", 0.5);
+        assert_eq!(r.counters(), vec![("a.first", 2), ("z.last", 2)]);
+        assert_eq!(r.counter("z.last"), 2);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauge("m.gauge"), Some(0.5));
+        let lines = r.to_json_lines();
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"counter\",\"name\":\"a.first\",\"value\":2}"
+        );
+        assert_eq!(lines.len(), 3);
+    }
+}

@@ -159,29 +159,20 @@ impl AddressSpace {
     /// Fails if any base entry already exists in the region or the region
     /// is already huge-mapped.
     pub fn map_huge(&mut self, va_huge_frame: u64, pa_huge_frame: u64) -> Result<(), SimError> {
-        match self.regions.get(&va_huge_frame) {
-            Some(Region::Huge(_)) => Err(SimError::AlreadyMappedGva(gva_of(
+        let occupied = match self.regions.get(&va_huge_frame) {
+            Some(Region::Huge(_)) => true,
+            Some(Region::Table(t)) => t.iter().any(Option::is_some),
+            None => false,
+        };
+        if occupied {
+            return Err(SimError::AlreadyMappedGva(gva_of(
                 va_huge_frame << HUGE_PAGE_ORDER,
-            ))),
-            Some(Region::Table(t)) => {
-                if t.iter().any(Option::is_some) {
-                    Err(SimError::AlreadyMappedGva(gva_of(
-                        va_huge_frame << HUGE_PAGE_ORDER,
-                    )))
-                } else {
-                    self.regions
-                        .insert(va_huge_frame, Region::Huge(pa_huge_frame));
-                    self.huge_mapped += 1;
-                    Ok(())
-                }
-            }
-            None => {
-                self.regions
-                    .insert(va_huge_frame, Region::Huge(pa_huge_frame));
-                self.huge_mapped += 1;
-                Ok(())
-            }
+            )));
         }
+        self.regions
+            .insert(va_huge_frame, Region::Huge(pa_huge_frame));
+        self.huge_mapped += 1;
+        Ok(())
     }
 
     /// Unmaps one base frame, returning the output frame it mapped to.
@@ -189,7 +180,9 @@ impl AddressSpace {
         let (huge, idx) = split_frame(va_frame);
         match self.regions.get_mut(&huge) {
             Some(Region::Table(t)) => {
-                let pa = t[idx].take().ok_or(SimError::NotMappedGva(gva_of(va_frame)))?;
+                let pa = t[idx]
+                    .take()
+                    .ok_or(SimError::NotMappedGva(gva_of(va_frame)))?;
                 self.base_mapped -= 1;
                 if t.iter().all(Option::is_none) {
                     self.regions.remove(&huge);
@@ -209,7 +202,9 @@ impl AddressSpace {
                 self.huge_mapped -= 1;
                 Ok(pa)
             }
-            _ => Err(SimError::NotMappedGva(gva_of(va_huge_frame << HUGE_PAGE_ORDER))),
+            _ => Err(SimError::NotMappedGva(gva_of(
+                va_huge_frame << HUGE_PAGE_ORDER,
+            ))),
         }
     }
 
@@ -327,7 +322,9 @@ impl AddressSpace {
             Some(Region::Huge(_)) => Err(SimError::AlreadyMappedGva(gva_of(
                 va_huge_frame << HUGE_PAGE_ORDER,
             ))),
-            None => Err(SimError::NotMappedGva(gva_of(va_huge_frame << HUGE_PAGE_ORDER))),
+            None => Err(SimError::NotMappedGva(gva_of(
+                va_huge_frame << HUGE_PAGE_ORDER,
+            ))),
             Some(Region::Table(t)) => {
                 let displaced: Vec<(usize, u64)> = t
                     .iter()
@@ -401,13 +398,11 @@ impl AddressSpace {
                 Region::Table(t) => Some(t),
                 Region::Huge(_) => None,
             };
-            table
-                .into_iter()
-                .flat_map(move |t| {
-                    t.iter().enumerate().filter_map(move |(i, e)| {
-                        e.map(|pa| ((va_huge << HUGE_PAGE_ORDER) + i as u64, pa))
-                    })
+            table.into_iter().flat_map(move |t| {
+                t.iter().enumerate().filter_map(move |(i, e)| {
+                    e.map(|pa| ((va_huge << HUGE_PAGE_ORDER) + i as u64, pa))
                 })
+            })
         })
     }
 
@@ -489,14 +484,26 @@ mod tests {
     fn conflicting_mappings_rejected() {
         let mut a = AddressSpace::new();
         a.map_base(512, 1).unwrap();
-        assert!(matches!(a.map_base(512, 2), Err(SimError::AlreadyMappedGva(_))));
+        assert!(matches!(
+            a.map_base(512, 2),
+            Err(SimError::AlreadyMappedGva(_))
+        ));
         // Huge over a populated region.
-        assert!(matches!(a.map_huge(1, 9), Err(SimError::AlreadyMappedGva(_))));
+        assert!(matches!(
+            a.map_huge(1, 9),
+            Err(SimError::AlreadyMappedGva(_))
+        ));
         let mut b = AddressSpace::new();
         b.map_huge(1, 9).unwrap();
         // Base under a huge leaf.
-        assert!(matches!(b.map_base(512, 1), Err(SimError::AlreadyMappedGva(_))));
-        assert!(matches!(b.map_huge(1, 10), Err(SimError::AlreadyMappedGva(_))));
+        assert!(matches!(
+            b.map_base(512, 1),
+            Err(SimError::AlreadyMappedGva(_))
+        ));
+        assert!(matches!(
+            b.map_huge(1, 10),
+            Err(SimError::AlreadyMappedGva(_))
+        ));
     }
 
     #[test]
@@ -505,7 +512,10 @@ mod tests {
         assert!(matches!(a.unmap_base(4), Err(SimError::NotMappedGva(_))));
         assert!(matches!(a.unmap_huge(4), Err(SimError::NotMappedGva(_))));
         a.map_huge(4, 4).unwrap();
-        assert!(matches!(a.unmap_base(4 * 512), Err(SimError::NotMappedGva(_))));
+        assert!(matches!(
+            a.unmap_base(4 * 512),
+            Err(SimError::NotMappedGva(_))
+        ));
     }
 
     #[test]
@@ -585,7 +595,9 @@ mod tests {
     fn demote_restores_identical_translations() {
         let mut a = AddressSpace::new();
         a.map_huge(6, 2).unwrap();
-        let before: Vec<_> = (0..512).map(|i| a.translate(6 * 512 + i).unwrap().pa_frame).collect();
+        let before: Vec<_> = (0..512)
+            .map(|i| a.translate(6 * 512 + i).unwrap().pa_frame)
+            .collect();
         a.demote(6).unwrap();
         assert_eq!(a.huge_mapped(), 0);
         assert_eq!(a.base_mapped(), 512);

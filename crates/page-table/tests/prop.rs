@@ -1,8 +1,12 @@
-//! Property-based tests for the mixed-size address space.
+//! Randomized property tests for the mixed-size address space, driven
+//! by the workspace's own deterministic RNG (no external
+//! test-framework dependency so the suite builds offline).
 
 use gemini_page_table::{AddressSpace, LeafSize};
-use proptest::prelude::*;
-use std::collections::BTreeMap;
+use gemini_sim_core::DetRng;
+use std::collections::{BTreeMap, BTreeSet};
+
+const CASES: u64 = 64;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -13,34 +17,44 @@ enum Op {
     Demote { va_h: u64 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    // A small VA universe (8 huge regions) so operations collide often.
-    prop_oneof![
-        (0u64..4096, 0u64..1 << 20).prop_map(|(va, pa)| Op::MapBase { va, pa }),
-        (0u64..8, 0u64..2048).prop_map(|(va_h, pa_h)| Op::MapHuge { va_h, pa_h }),
-        (0u64..4096).prop_map(|va| Op::UnmapBase { va }),
-        (0u64..8).prop_map(|va_h| Op::UnmapHuge { va_h }),
-        (0u64..8).prop_map(|va_h| Op::Demote { va_h }),
-    ]
+// A small VA universe (8 huge regions) so operations collide often.
+fn random_op(rng: &mut DetRng) -> Op {
+    match rng.below(5) {
+        0 => Op::MapBase {
+            va: rng.below(4096),
+            pa: rng.below(1 << 20),
+        },
+        1 => Op::MapHuge {
+            va_h: rng.below(8),
+            pa_h: rng.below(2048),
+        },
+        2 => Op::UnmapBase {
+            va: rng.below(4096),
+        },
+        3 => Op::UnmapHuge { va_h: rng.below(8) },
+        _ => Op::Demote { va_h: rng.below(8) },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// A shadow model (flat map va_frame -> pa_frame) must always agree
-    /// with the radix structure, whatever the interleaving.
-    #[test]
-    fn matches_flat_shadow_model(ops in prop::collection::vec(op_strategy(), 1..300)) {
+/// A shadow model (flat map va_frame -> pa_frame) must always agree
+/// with the radix structure, whatever the interleaving.
+#[test]
+fn matches_flat_shadow_model() {
+    let mut seeds = DetRng::new(0x9A6E_7AB1);
+    for _ in 0..CASES {
+        let mut rng = seeds.fork();
+        let n_ops = rng.range(1, 300);
         let mut a = AddressSpace::new();
         let mut shadow: BTreeMap<u64, u64> = BTreeMap::new();
         let mut huge_regions: BTreeMap<u64, u64> = BTreeMap::new();
 
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
                 Op::MapBase { va, pa } => {
                     let ok = a.map_base(va, pa).is_ok();
-                    let expect = !shadow.contains_key(&va) && !huge_regions.contains_key(&(va / 512));
-                    prop_assert_eq!(ok, expect);
+                    let expect =
+                        !shadow.contains_key(&va) && !huge_regions.contains_key(&(va / 512));
+                    assert_eq!(ok, expect);
                     if ok {
                         shadow.insert(va, pa);
                     }
@@ -49,7 +63,7 @@ proptest! {
                     let ok = a.map_huge(va_h, pa_h).is_ok();
                     let region_busy = huge_regions.contains_key(&va_h)
                         || shadow.range(va_h * 512..(va_h + 1) * 512).next().is_some();
-                    prop_assert_eq!(ok, !region_busy);
+                    assert_eq!(ok, !region_busy);
                     if ok {
                         huge_regions.insert(va_h, pa_h);
                     }
@@ -57,59 +71,66 @@ proptest! {
                 Op::UnmapBase { va } => {
                     let r = a.unmap_base(va);
                     match shadow.remove(&va) {
-                        Some(pa) => prop_assert_eq!(r, Ok(pa)),
-                        None => prop_assert!(r.is_err()),
+                        Some(pa) => assert_eq!(r, Ok(pa)),
+                        None => assert!(r.is_err()),
                     }
                 }
                 Op::UnmapHuge { va_h } => {
                     let r = a.unmap_huge(va_h);
                     match huge_regions.remove(&va_h) {
-                        Some(pa) => prop_assert_eq!(r, Ok(pa)),
-                        None => prop_assert!(r.is_err()),
+                        Some(pa) => assert_eq!(r, Ok(pa)),
+                        None => assert!(r.is_err()),
                     }
                 }
                 Op::Demote { va_h } => {
                     let r = a.demote(va_h);
                     match huge_regions.remove(&va_h) {
                         Some(pa_h) => {
-                            prop_assert!(r.is_ok());
+                            assert!(r.is_ok());
                             for i in 0..512 {
                                 shadow.insert(va_h * 512 + i, pa_h * 512 + i);
                             }
                         }
-                        None => prop_assert!(r.is_err()),
+                        None => assert!(r.is_err()),
                     }
                 }
             }
 
             a.check_invariants().unwrap();
-            prop_assert_eq!(a.base_mapped(), shadow.len() as u64);
-            prop_assert_eq!(a.huge_mapped(), huge_regions.len() as u64);
+            assert_eq!(a.base_mapped(), shadow.len() as u64);
+            assert_eq!(a.huge_mapped(), huge_regions.len() as u64);
         }
 
         // Final translation sweep.
         for (&va, &pa) in &shadow {
             let t = a.translate(va).unwrap();
-            prop_assert_eq!(t.pa_frame, pa);
-            prop_assert_eq!(t.size, LeafSize::Base);
+            assert_eq!(t.pa_frame, pa);
+            assert_eq!(t.size, LeafSize::Base);
         }
         for (&va_h, &pa_h) in &huge_regions {
             for i in [0u64, 17, 511] {
                 let t = a.translate(va_h * 512 + i).unwrap();
-                prop_assert_eq!(t.pa_frame, pa_h * 512 + i);
-                prop_assert_eq!(t.size, LeafSize::Huge);
+                assert_eq!(t.pa_frame, pa_h * 512 + i);
+                assert_eq!(t.size, LeafSize::Huge);
             }
         }
     }
+}
 
-    /// promote_in_place succeeds exactly when the region is fully populated
-    /// with contiguous, huge-aligned backing — and never alters translation.
-    #[test]
-    fn promotion_preserves_translation(
-        pa0_huge in 0u64..64,
-        holes in prop::collection::btree_set(0usize..512, 0..3),
-        scatter in proptest::bool::ANY,
-    ) {
+/// promote_in_place succeeds exactly when the region is fully populated
+/// with contiguous, huge-aligned backing — and never alters translation.
+#[test]
+fn promotion_preserves_translation() {
+    let mut seeds = DetRng::new(0x9A6E_7AB2);
+    for _ in 0..CASES {
+        let mut rng = seeds.fork();
+        let pa0_huge = rng.below(64);
+        let mut holes: BTreeSet<usize> = BTreeSet::new();
+        for _ in 0..rng.below(3) {
+            holes.insert(rng.below(512) as usize);
+        }
+        let scatter = rng.chance(0.5);
+
         let mut a = AddressSpace::new();
         for i in 0..512usize {
             if holes.contains(&i) {
@@ -122,12 +143,16 @@ proptest! {
             };
             a.map_base(i as u64, pa).unwrap();
         }
-        let before: Vec<_> = (0..512u64).map(|i| a.translate(i).map(|t| t.pa_frame)).collect();
+        let before: Vec<_> = (0..512u64)
+            .map(|i| a.translate(i).map(|t| t.pa_frame))
+            .collect();
         let should_succeed = holes.is_empty() && !scatter;
         let result = a.promote_in_place(0);
-        prop_assert_eq!(result.is_ok(), should_succeed);
-        let after: Vec<_> = (0..512u64).map(|i| a.translate(i).map(|t| t.pa_frame)).collect();
-        prop_assert_eq!(before, after);
+        assert_eq!(result.is_ok(), should_succeed);
+        let after: Vec<_> = (0..512u64)
+            .map(|i| a.translate(i).map(|t| t.pa_frame))
+            .collect();
+        assert_eq!(before, after);
         a.check_invariants().unwrap();
     }
 }

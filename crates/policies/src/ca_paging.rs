@@ -12,7 +12,10 @@
 //! the other layer, so the contiguity it builds only yields *well-aligned*
 //! huge pages by coincidence.
 
-use gemini_mm::{FaultCtx, FaultDecision, FaultOutcome, HugePolicy, LayerKind, LayerOps, PromotionKind, PromotionOp};
+use gemini_mm::{
+    FaultCtx, FaultDecision, FaultOutcome, HugePolicy, LayerKind, LayerOps, PromotionKind,
+    PromotionOp,
+};
 use gemini_sim_core::{Cycles, PAGES_PER_HUGE_PAGE};
 use std::collections::HashMap;
 
@@ -112,16 +115,13 @@ impl HugePolicy for CaPaging {
     fn fault_decision(&mut self, ctx: &FaultCtx<'_>) -> FaultDecision {
         let key = Self::key_of(ctx);
         self.last_key = Some(key);
-        let needs_establish =
-            !self.offsets.contains_key(&key) || self.broken.contains(&key);
+        let needs_establish = !self.offsets.contains_key(&key) || self.broken.contains(&key);
         if needs_establish {
             // Anchor the extent at the fault's region start; reserve space
             // for the rest of the VMA (or one region at the host).
             let region_start = ctx.addr_frame - ctx.addr_frame % PAGES_PER_HUGE_PAGE;
             let len = match ctx.vma {
-                Some(vma) => {
-                    (vma.start_frame() + vma.pages()).saturating_sub(region_start)
-                }
+                Some(vma) => (vma.start_frame() + vma.pages()).saturating_sub(region_start),
                 None => PAGES_PER_HUGE_PAGE,
             };
             match self.establish_offset(ctx, region_start, len.max(PAGES_PER_HUGE_PAGE)) {

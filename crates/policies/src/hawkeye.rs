@@ -123,7 +123,8 @@ mod tests {
         let vma = g.mmap(2 * HUGE_PAGE_SIZE).unwrap();
         for r in 0..2u64 {
             for i in 0..300 {
-                g.handle_fault(vma.start_frame() + r * 512 + i, &mut he).unwrap();
+                g.handle_fault(vma.start_frame() + r * 512 + i, &mut he)
+                    .unwrap();
             }
         }
         // Region 1 is hotter.
@@ -155,7 +156,8 @@ mod tests {
         let vma = g.mmap(4 * HUGE_PAGE_SIZE).unwrap();
         for r in 0..4u64 {
             for i in 0..512 {
-                g.handle_fault(vma.start_frame() + r * 512 + i, &mut he).unwrap();
+                g.handle_fault(vma.start_frame() + r * 512 + i, &mut he)
+                    .unwrap();
             }
         }
         // First pass: promotes up to 4 (dedup phase off on pass 1 demotes
@@ -185,7 +187,8 @@ mod tests {
         let vma = g.mmap(2 * HUGE_PAGE_SIZE).unwrap();
         for r in 0..2u64 {
             for i in 0..512 {
-                g.handle_fault(vma.start_frame() + r * 512 + i, &mut he).unwrap();
+                g.handle_fault(vma.start_frame() + r * 512 + i, &mut he)
+                    .unwrap();
             }
         }
         for _ in 0..4 {

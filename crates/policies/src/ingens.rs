@@ -93,12 +93,14 @@ mod tests {
             g.handle_fault(vma.start_frame() + i, &mut ingens).unwrap();
         }
         for i in 0..470 {
-            g.handle_fault(vma.start_frame() + 512 + i, &mut ingens).unwrap();
+            g.handle_fault(vma.start_frame() + 512 + i, &mut ingens)
+                .unwrap();
         }
         g.run_daemon(&mut ingens, Cycles::ZERO, 1);
         assert_eq!(g.table.huge_mapped(), 1, "only the 470-page region");
         // Top the first region up; it promotes on the next pass.
-        g.handle_fault(vma.start_frame() + 460, &mut ingens).unwrap();
+        g.handle_fault(vma.start_frame() + 460, &mut ingens)
+            .unwrap();
         g.run_daemon(&mut ingens, Cycles::ZERO, 1);
         assert_eq!(g.table.huge_mapped(), 2);
     }
@@ -113,7 +115,8 @@ mod tests {
         let vma = g.mmap(12 * HUGE_PAGE_SIZE).unwrap();
         for r in 0..12u64 {
             for i in 0..490 {
-                g.handle_fault(vma.start_frame() + r * 512 + i, &mut ingens).unwrap();
+                g.handle_fault(vma.start_frame() + r * 512 + i, &mut ingens)
+                    .unwrap();
             }
         }
         g.run_daemon(&mut ingens, Cycles::ZERO, 1);

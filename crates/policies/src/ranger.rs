@@ -9,7 +9,8 @@
 //! forming huge pages (Figures 8–10 and the −7 % average throughput).
 
 use gemini_mm::{FaultCtx, FaultDecision, HugePolicy, LayerOps, PromotionKind, PromotionOp};
-use gemini_sim_core::Cycles;
+use gemini_obs::{cat, EventKind, Layer, Recorder};
+use gemini_sim_core::{Cycles, PAGES_PER_HUGE_PAGE};
 
 /// Translation-ranger: copy-always coalescing with a large budget.
 #[derive(Debug, Clone)]
@@ -20,6 +21,7 @@ pub struct TranslationRanger {
     pub min_present: usize,
     /// Round-robin cursor so every region is eventually visited.
     cursor: u64,
+    rec: Recorder,
 }
 
 impl TranslationRanger {
@@ -29,6 +31,7 @@ impl TranslationRanger {
             regions_per_pass: 48,
             min_present: 1,
             cursor: 0,
+            rec: Recorder::off(),
         }
     }
 }
@@ -42,6 +45,10 @@ impl Default for TranslationRanger {
 impl HugePolicy for TranslationRanger {
     fn name(&self) -> &'static str {
         "Translation-ranger"
+    }
+
+    fn attach_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
     }
 
     fn fault_decision(&mut self, _ctx: &FaultCtx<'_>) -> FaultDecision {
@@ -75,6 +82,19 @@ impl HugePolicy for TranslationRanger {
         if let Some(last) = picked.last() {
             self.cursor = last.region;
         }
+        if !picked.is_empty() {
+            // The defining cost of the ranger is its migration traffic:
+            // surface each pass's copy-migration batch (an upper bound of
+            // one region's worth of pages per op; the mm layer's
+            // promotion events carry the exact per-region copy counts).
+            let vm = ops.vm.0;
+            let queued = picked.len() as u64;
+            self.rec
+                .emit(cat::MIGRATION, vm, Layer::Guest, || EventKind::Migration {
+                    pages: queued * PAGES_PER_HUGE_PAGE,
+                });
+            self.rec.counter_add("ranger.regions_queued", queued);
+        }
         picked
     }
 }
@@ -92,7 +112,8 @@ mod tests {
         let vma = g.mmap(4 * HUGE_PAGE_SIZE).unwrap();
         for r in 0..4u64 {
             for i in 0..50 {
-                g.handle_fault(vma.start_frame() + r * 512 + i * 7, &mut ranger).unwrap();
+                g.handle_fault(vma.start_frame() + r * 512 + i * 7, &mut ranger)
+                    .unwrap();
             }
         }
         let fx = g.run_daemon(&mut ranger, Cycles::ZERO, 1);
@@ -112,7 +133,8 @@ mod tests {
             let vma = g.mmap(16 * HUGE_PAGE_SIZE).unwrap();
             for r in 0..16u64 {
                 for i in 0..30 {
-                    g.handle_fault(vma.start_frame() + r * 512 + i, &mut base).unwrap();
+                    g.handle_fault(vma.start_frame() + r * 512 + i, &mut base)
+                        .unwrap();
                 }
             }
             g

@@ -33,7 +33,12 @@ impl HugePolicy for HugeAlways {
     }
 
     fn fault_decision(&mut self, ctx: &FaultCtx<'_>) -> FaultDecision {
-        if ctx.buddy.free_area_counts().free_blocks_suitable(HUGE_PAGE_ORDER) > 0 {
+        if ctx
+            .buddy
+            .free_area_counts()
+            .free_blocks_suitable(HUGE_PAGE_ORDER)
+            > 0
+        {
             FaultDecision::Huge
         } else {
             FaultDecision::Base

@@ -139,7 +139,8 @@ mod tests {
         let vma = g.mmap(20 * HUGE_PAGE_SIZE).unwrap();
         // Populate one page in each of 20 regions.
         for r in 0..20 {
-            g.handle_fault(vma.start_frame() + r * 512, &mut base).unwrap();
+            g.handle_fault(vma.start_frame() + r * 512, &mut base)
+                .unwrap();
         }
         let mut thp = LinuxThp {
             regions_per_pass: 8,

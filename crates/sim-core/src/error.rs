@@ -74,6 +74,8 @@ mod tests {
             "out of memory: no free order-9 block"
         );
         assert!(SimError::NoVma(Gva(0x1000)).to_string().contains("0x1000"));
-        assert!(SimError::BadFree(Hpa(0x2000)).to_string().contains("0x2000"));
+        assert!(SimError::BadFree(Hpa(0x2000))
+            .to_string()
+            .contains("0x2000"));
     }
 }

@@ -14,7 +14,7 @@
 //!   reproducible bit-for-bit.
 //!
 //! Nothing in this crate knows about page tables, TLBs or policies; it is a
-//! dependency of every other crate and depends only on `rand`.
+//! dependency of every other crate and depends on nothing outside std.
 
 pub mod addr;
 pub mod clock;

@@ -6,42 +6,81 @@
 //! the key-value-store workload models (Redis, RocksDB, Memcached, Masstree)
 //! draw keys from skewed distributions.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A deterministic, explicitly seeded random number generator.
+///
+/// The generator is a hand-rolled xoshiro256++ (public-domain
+/// algorithm by Blackman & Vigna) seeded through SplitMix64, so the
+/// simulator carries no external RNG dependency and the stream is
+/// identical on every platform and toolchain.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state, as
+        // recommended by the xoshiro authors; it guarantees a non-zero
+        // state for every seed.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         Self {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
         }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++ step).
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
     }
 
     /// Derives an independent child generator; used to give each VM,
     /// workload and daemon its own stream without cross-coupling.
     pub fn fork(&mut self) -> Self {
-        Self::new(self.inner.next_u64())
+        Self::new(self.next_u64())
     }
 
     /// Uniform integer in `[0, bound)`; `bound` must be non-zero.
     pub fn below(&mut self, bound: u64) -> u64 {
-        self.inner.gen_range(0..bound)
+        assert!(bound > 0, "below(0) is meaningless");
+        // Debiased multiply-shift (Lemire): uniform without modulo bias.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform integer in `[lo, hi)`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..hi)
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the standard [0,1) double construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with probability `p`.
@@ -84,7 +123,11 @@ impl Zipf {
         assert!(exponent > 0.0, "Zipf exponent must be positive");
         let h_integral_x1 = Self::h_integral(1.5, exponent) - 1.0;
         let h_integral_n = Self::h_integral(n as f64 + 0.5, exponent);
-        let s = 2.0 - Self::h_integral_inverse(Self::h_integral(2.5, exponent) - Self::h(2.0, exponent), exponent);
+        let s = 2.0
+            - Self::h_integral_inverse(
+                Self::h_integral(2.5, exponent) - Self::h(2.0, exponent),
+                exponent,
+            );
         Self {
             n,
             exponent,
@@ -163,7 +206,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = DetRng::new(1);
         let mut b = DetRng::new(2);
-        let same = (0..64).filter(|_| a.below(1 << 30) == b.below(1 << 30)).count();
+        let same = (0..64)
+            .filter(|_| a.below(1 << 30) == b.below(1 << 30))
+            .count();
         assert!(same < 4);
     }
 

@@ -12,6 +12,7 @@
 use crate::cache::SetAssocCache;
 use crate::config::MmuConfig;
 use crate::counters::PerfCounters;
+use gemini_obs::{cat, EventKind, Layer, Recorder};
 use gemini_page_table::LeafSize;
 use gemini_sim_core::{Cycles, VmId, HUGE_PAGE_ORDER};
 
@@ -68,6 +69,8 @@ pub struct MmuSim {
     /// EPT paging-structure caches for levels 4, 3, 2 (index 0 = L4).
     epwc: [SetAssocCache; 3],
     counters: PerfCounters,
+    rec: Recorder,
+    rec_vm: u32,
 }
 
 impl MmuSim {
@@ -90,7 +93,16 @@ impl MmuSim {
             ],
             counters: PerfCounters::new(),
             cfg,
+            rec: Recorder::off(),
+            rec_vm: 0,
         }
+    }
+
+    /// Attaches an observability recorder; shootdowns charged to this
+    /// MMU are traced as events of VM `vm`.
+    pub fn set_recorder(&mut self, rec: Recorder, vm: u32) {
+        self.rec = rec;
+        self.rec_vm = vm;
     }
 
     /// Returns the accumulated performance counters.
@@ -105,7 +117,11 @@ impl MmuSim {
         let key = Self::tlb_key(vm, gva_frame, huge_entry);
 
         // L1 lookup: the hardware probes both page-size arrays.
-        let l1 = if huge_entry { &mut self.l1_2m } else { &mut self.l1_4k };
+        let l1 = if huge_entry {
+            &mut self.l1_2m
+        } else {
+            &mut self.l1_4k
+        };
         if l1.lookup(key) {
             self.counters.l1_hits += 1;
             self.counters.translation_cycles += self.cfg.l1_hit_cycles;
@@ -139,7 +155,11 @@ impl MmuSim {
 
         // Install the translation in both TLB levels.
         self.stlb.insert(key);
-        let l1 = if huge_entry { &mut self.l1_2m } else { &mut self.l1_4k };
+        let l1 = if huge_entry {
+            &mut self.l1_2m
+        } else {
+            &mut self.l1_4k
+        };
         l1.insert(key);
 
         let cycles = self.cfg.l1_hit_cycles
@@ -314,6 +334,14 @@ impl MmuSim {
     /// Records `n` TLB shootdowns and returns the stall to charge.
     pub fn charge_shootdowns(&mut self, n: u64, per_shootdown: Cycles) -> Cycles {
         self.counters.shootdowns += n;
+        if n > 0 {
+            let vm = self.rec_vm;
+            self.rec
+                .emit(cat::SHOOTDOWN, vm, Layer::Sys, || EventKind::Shootdown {
+                    rounds: n,
+                });
+            self.rec.counter_add("mmu.shootdown_rounds", n);
+        }
         Cycles(per_shootdown.0 * n)
     }
 
@@ -326,7 +354,11 @@ impl MmuSim {
     }
 
     fn tlb_key(vm: VmId, gva_frame: u64, huge: bool) -> u128 {
-        let page = if huge { gva_frame >> HUGE_PAGE_ORDER } else { gva_frame };
+        let page = if huge {
+            gva_frame >> HUGE_PAGE_ORDER
+        } else {
+            gva_frame
+        };
         Self::encode_key(vm.0, if huge { SIZE_HUGE } else { SIZE_BASE }, page)
     }
 
@@ -420,7 +452,10 @@ mod tests {
         let t0 = resolved(LeafSize::Huge, LeafSize::Base, 0);
         mmu.access(VM, 0, t0);
         let far = mmu.access(VM, 511, resolved(LeafSize::Huge, LeafSize::Base, 511));
-        assert!(far.walked, "misaligned huge page must not install a 2M entry");
+        assert!(
+            far.walked,
+            "misaligned huge page must not install a 2M entry"
+        );
         assert_eq!(mmu.counters().stlb_misses, 2);
     }
 

@@ -66,10 +66,7 @@ impl WorkloadGen {
     /// Creates a generator that will run `target_ops` operations.
     pub fn new(spec: WorkloadSpec, target_ops: u64, seed: u64) -> Self {
         let zipf = match spec.skew {
-            AccessSkew::Zipf(e) => Some(Zipf::new(
-                (spec.working_set / BASE_PAGE_SIZE).max(1),
-                e,
-            )),
+            AccessSkew::Zipf(e) => Some(Zipf::new((spec.working_set / BASE_PAGE_SIZE).max(1), e)),
             _ => None,
         };
         let mut gen = Self {
@@ -162,13 +159,10 @@ impl WorkloadGen {
         if let AllocPattern::Gradual { chunk } = self.spec.alloc {
             let target_pages = self.spec.working_set / BASE_PAGE_SIZE;
             if self.total_pages < target_pages {
-                let interval = (self.target_ops
-                    / ((self.spec.working_set / chunk).max(1) + 1))
-                    .max(1);
+                let interval =
+                    (self.target_ops / ((self.spec.working_set / chunk).max(1) + 1)).max(1);
                 if self.ops_done % interval == 0 && self.ops_done > 0 {
-                    self.push_alloc(chunk.min(
-                        (target_pages - self.total_pages) * BASE_PAGE_SIZE,
-                    ));
+                    self.push_alloc(chunk.min((target_pages - self.total_pages) * BASE_PAGE_SIZE));
                 }
             }
             // Churn: replace the oldest chunk periodically.

@@ -39,7 +39,16 @@ impl MicrobenchGen {
     /// The dataset sizes swept by Figure 2 (scaled to the simulator).
     pub fn dataset_sweep() -> Vec<u64> {
         const MB: u64 = 1 << 20;
-        vec![2 * MB, 4 * MB, 8 * MB, 16 * MB, 32 * MB, 64 * MB, 128 * MB, 256 * MB]
+        vec![
+            2 * MB,
+            4 * MB,
+            8 * MB,
+            16 * MB,
+            32 * MB,
+            64 * MB,
+            128 * MB,
+            256 * MB,
+        ]
     }
 }
 

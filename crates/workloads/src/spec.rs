@@ -314,8 +314,22 @@ mod tests {
         let names: Vec<&str> = catalog().iter().map(|s| s.name).collect();
         assert_eq!(names.len(), 16);
         for expect in [
-            "Img-dnn", "Sphinx", "Moses", "Xapian", "Masstree", "Specjbb", "Silo", "RocksDB",
-            "Redis", "Memcached", "Canneal", "Streamcluster", "dedup", "CG.D", "429.mcf", "SVM",
+            "Img-dnn",
+            "Sphinx",
+            "Moses",
+            "Xapian",
+            "Masstree",
+            "Specjbb",
+            "Silo",
+            "RocksDB",
+            "Redis",
+            "Memcached",
+            "Canneal",
+            "Streamcluster",
+            "dedup",
+            "CG.D",
+            "429.mcf",
+            "SVM",
         ] {
             assert!(names.contains(&expect), "{expect} missing");
         }

@@ -11,9 +11,9 @@
 //! cargo run --release --example kv_store_reuse
 //! ```
 
+use gemini_harness::Scale;
 use gemini_sim_core::VmId;
 use gemini_vm_sim::{Machine, SystemKind};
-use gemini_harness::Scale;
 use gemini_workloads::{spec_by_name, WorkloadGen};
 
 fn run_reuse(system: SystemKind, scale: &Scale) -> (f64, u64, f64, f64) {
@@ -27,7 +27,12 @@ fn run_reuse(system: SystemKind, scale: &Scale) -> (f64, u64, f64, f64) {
     // Phase 2: the reused VM runs Redis.
     let redis = spec_by_name("Redis").unwrap().scaled(scale.ws_factor);
     let r = m.run(vm, WorkloadGen::new(redis, scale.ops, 4)).unwrap();
-    (r.throughput(), r.tlb_misses(), r.aligned_rate(), r.bucket_reuse_rate)
+    (
+        r.throughput(),
+        r.tlb_misses(),
+        r.aligned_rate(),
+        r.bucket_reuse_rate,
+    )
 }
 
 fn main() {

@@ -37,7 +37,12 @@ fn whole_catalog_runs_under_gemini() {
         let r = run_workload_on(SystemKind::Gemini, &spec, &scale, false, 2).unwrap();
         assert_eq!(r.ops, 300, "{}", spec.name);
         // Latency tracking matches the spec.
-        assert_eq!(r.mean_latency > Cycles::ZERO, spec.latency_tracked, "{}", spec.name);
+        assert_eq!(
+            r.mean_latency > Cycles::ZERO,
+            spec.latency_tracked,
+            "{}",
+            spec.name
+        );
     }
 }
 
@@ -69,7 +74,10 @@ fn translations_remain_consistent_across_the_stack() {
     let mut checked = 0;
     for (gva, gpa) in guest.iter_base() {
         let backing = ept.translate(gpa);
-        assert!(backing.is_some(), "GVA {gva:#x} maps to unbacked GPA {gpa:#x}");
+        assert!(
+            backing.is_some(),
+            "GVA {gva:#x} maps to unbacked GPA {gpa:#x}"
+        );
         checked += 1;
     }
     for (_gva_h, gpa_h) in guest.iter_huge() {

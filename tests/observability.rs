@@ -1,0 +1,115 @@
+//! Cross-crate observability tests: determinism of the recorded event
+//! stream and time series, and reconciliation of the metrics registry
+//! against the simulator's own performance counters.
+
+use gemini_harness::runner::run_workload_traced;
+use gemini_harness::{trace, Scale};
+use gemini_obs::{Recorder, TraceConfig};
+use gemini_vm_sim::{RunResult, SystemKind};
+use gemini_workloads::spec_by_name;
+
+fn traced_run(seed: u64) -> (RunResult, Recorder) {
+    let scale = Scale {
+        ops: 1_500,
+        ..Scale::quick()
+    };
+    let spec = spec_by_name("Redis").expect("Redis is in the catalog");
+    run_workload_traced(
+        SystemKind::Gemini,
+        &spec,
+        &scale,
+        true,
+        seed,
+        &TraceConfig::all(),
+    )
+    .expect("traced run completes")
+}
+
+#[test]
+fn traced_run_emits_events_and_series() {
+    let (result, rec) = traced_run(7);
+    assert!(result.ops > 0);
+    // The trace is non-empty and carries faults at minimum.
+    let events = rec.events();
+    assert!(!events.is_empty(), "no events recorded");
+    assert!(
+        rec.event_summary()
+            .iter()
+            .any(|(label, _, _)| *label == "fault"),
+        "fault events missing: {:?}",
+        rec.event_summary()
+    );
+    // At least three sampled points, each carrying all five series.
+    let samples = rec.samples();
+    assert!(samples.len() >= 3, "only {} samples", samples.len());
+    assert!(samples.windows(2).all(|w| w[0].cycle < w[1].cycle));
+    // Rendered artefacts are non-empty and mention the series headers.
+    let series = trace::render_series(&rec);
+    for header in [
+        "host FMFI",
+        "guest FMFI",
+        "aligned",
+        "TLB miss",
+        "free 2MiB",
+    ] {
+        assert!(series.contains(header), "{series}");
+    }
+    assert!(!trace::render_event_summary(&rec).is_empty());
+    assert!(!trace::render_registry(&rec).is_empty());
+}
+
+#[test]
+fn identically_seeded_runs_trace_byte_identically() {
+    let (ra, reca) = traced_run(11);
+    let (rb, recb) = traced_run(11);
+    assert_eq!(ra.vtime, rb.vtime);
+    assert_eq!(ra.counters, rb.counters);
+    // The full serialized trace — events, samples, registry — is
+    // byte-identical across identically seeded runs.
+    let ja = trace::trace_json_lines(std::slice::from_ref(&ra), &reca);
+    let jb = trace::trace_json_lines(std::slice::from_ref(&rb), &recb);
+    assert_eq!(ja, jb);
+    assert!(ja.len() > 10, "trace is substantial: {} lines", ja.len());
+    // And a different seed genuinely changes the stream.
+    let (rc_, recc) = traced_run(12);
+    let jc = trace::trace_json_lines(std::slice::from_ref(&rc_), &recc);
+    assert_ne!(ja, jc);
+}
+
+#[test]
+fn registry_counters_reconcile_with_perf_counters() {
+    let (result, rec) = traced_run(23);
+    let reg = rec.registry();
+    // Every shootdown the MMU counted flowed through the recorder too.
+    assert_eq!(
+        reg.counter("mmu.shootdown_rounds"),
+        result.counters.shootdowns,
+        "registry disagrees with PerfCounters"
+    );
+    // Fault counters cover every page the run touched: the machine
+    // counts one guest fault per first touch.
+    assert!(reg.counter("machine.guest_faults") > 0);
+    assert!(reg.counter("machine.host_faults") > 0);
+}
+
+#[test]
+fn disabled_tracing_records_nothing() {
+    let scale = Scale {
+        ops: 300,
+        ..Scale::quick()
+    };
+    let spec = spec_by_name("Redis").unwrap();
+    let (_, rec) = run_workload_traced(
+        SystemKind::Gemini,
+        &spec,
+        &scale,
+        false,
+        3,
+        &TraceConfig::off(),
+    )
+    .unwrap();
+    assert!(rec.events().is_empty());
+    assert!(rec.samples().is_empty());
+    assert!(rec.registry().is_empty());
+    assert_eq!(rec.dropped(), 0);
+}

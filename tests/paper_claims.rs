@@ -52,9 +52,7 @@ fn claim_tab1_gemini_aligns_most_huge_pages() {
     let mean_rate = |i: usize| -> f64 {
         res.runs.iter().map(|r| r[i].aligned_rate()).sum::<f64>() / res.runs.len() as f64
     };
-    let pairs = |i: usize| -> u64 {
-        res.runs.iter().map(|r| r[i].alignment.aligned_pairs).sum()
-    };
+    let pairs = |i: usize| -> u64 { res.runs.iter().map(|r| r[i].alignment.aligned_pairs).sum() };
     let gem_rate = mean_rate(gem);
     // Gemini must deliver the most well-aligned TLB coverage of any
     // system (total aligned pairs), and beat the rate of the systems that
@@ -86,7 +84,10 @@ fn claim_tab1_gemini_aligns_most_huge_pages() {
             mean_rate(idx(s))
         );
     }
-    assert!(gem_rate > 0.4, "GEMINI should align roughly half+: {gem_rate}");
+    assert!(
+        gem_rate > 0.4,
+        "GEMINI should align roughly half+: {gem_rate}"
+    );
 }
 
 #[test]
@@ -121,7 +122,10 @@ fn claim_ranger_pays_for_its_migrations() {
     let gem = res.mean_speedup(SystemKind::Gemini, true);
     assert!(ranger < gem, "ranger {ranger} must trail GEMINI {gem}");
     let ingens = res.mean_speedup(SystemKind::Ingens, true);
-    assert!(ranger < ingens, "ranger {ranger} must trail Ingens {ingens}");
+    assert!(
+        ranger < ingens,
+        "ranger {ranger} must trail Ingens {ingens}"
+    );
 }
 
 #[test]
