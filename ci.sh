@@ -14,4 +14,22 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test (workspace) =="
 cargo test --workspace --offline -q
 
+echo "== parallel determinism (GEMINI_JOBS=2) =="
+# The determinism suite compares jobs=1 against jobs=4 by default; run it
+# once more pinned to two workers so CI exercises a distinct jobs count.
+GEMINI_JOBS=2 cargo test --offline -q -p gemini-harness --test parallel_determinism
+
+echo "== demo-scale timing (bench trajectory) =="
+# Wall-clock of one demo-scale compare per jobs count. Parse the
+# "timing:" lines into BENCH_*.json to track the executor's speedup.
+BIN=target/release/gemini-sim
+cargo build --release --offline -q -p gemini-harness --bin gemini-sim
+for jobs in 1 0; do
+    start=$(date +%s%N)
+    "$BIN" compare --workload Redis --scale demo --fragmented --jobs "$jobs" \
+        > /dev/null
+    end=$(date +%s%N)
+    echo "timing: demo compare jobs=$jobs wall_ms=$(( (end - start) / 1000000 ))"
+done
+
 echo "CI gate passed."

@@ -295,7 +295,7 @@ impl GeminiPolicy {
         let key = Self::key_of(ctx);
         self.last_key = Some(key);
         self.last_vm = ctx.vm.0;
-        let scan_has_vm = self.shared.borrow().scans.contains_key(&ctx.vm);
+        let scan_has_vm = self.shared.lock().unwrap().scans.contains_key(&ctx.vm);
         let _ = scan_has_vm;
 
         if Self::huge_legal(ctx) {
@@ -431,7 +431,8 @@ impl GeminiPolicy {
             //    back it huge, THP-host style.
             let guest_wants_huge = self
                 .shared
-                .borrow()
+                .lock()
+                .unwrap()
                 .scans
                 .get(&ctx.vm)
                 .map(|s| s.guest_huge_regions.contains(&region))
@@ -497,7 +498,7 @@ impl GeminiPolicy {
     fn guest_daemon(&mut self, ops: &mut LayerOps<'_>) -> Vec<PromotionOp> {
         let now = ops.now;
         let (timeout, bucket_hold) = {
-            let s = self.shared.borrow();
+            let s = self.shared.lock().unwrap();
             (s.booking_timeout, s.bucket_hold)
         };
 
@@ -539,7 +540,8 @@ impl GeminiPolicy {
         if self.cfg.enable_booking {
             let host_type1: Vec<u64> = self
                 .shared
-                .borrow()
+                .lock()
+                .unwrap()
                 .scans
                 .get(&ops.vm)
                 .map(|s| s.host_type1.clone())
@@ -628,7 +630,8 @@ impl GeminiPolicy {
         if promoter_enabled {
             let host_type2: Vec<(u64, Vec<u64>)> = self
                 .shared
-                .borrow()
+                .lock()
+                .unwrap()
                 .scans
                 .get(&ops.vm)
                 .map(|s| s.host_type2.clone())
@@ -708,7 +711,7 @@ impl GeminiPolicy {
 
     fn host_daemon(&mut self, ops: &mut LayerOps<'_>) -> Vec<PromotionOp> {
         let now = ops.now;
-        let timeout = self.shared.borrow().booking_timeout;
+        let timeout = self.shared.lock().unwrap().booking_timeout;
 
         // Expire HPA reservations.
         let expired: Vec<(u32, u64)> = self
@@ -731,7 +734,7 @@ impl GeminiPolicy {
             });
         }
 
-        let scan = self.shared.borrow().scans.get(&ops.vm).cloned();
+        let scan = self.shared.lock().unwrap().scans.get(&ops.vm).cloned();
         let Some(scan) = scan else {
             return Vec::new();
         };
@@ -875,7 +878,8 @@ impl HugePolicy for GeminiPolicy {
         }
         let aligned: std::collections::BTreeSet<u64> = self
             .shared
-            .borrow()
+            .lock()
+            .unwrap()
             .scans
             .get(&ops.vm)
             .map(|s| s.aligned_regions.iter().copied().collect())
@@ -909,7 +913,8 @@ impl HugePolicy for GeminiPolicy {
         // backing is huge and worth preserving.
         let aligned = self
             .shared
-            .borrow()
+            .lock()
+            .unwrap()
             .scans
             .values()
             .any(|s| s.aligned_regions.contains(&pa_huge_frame));
@@ -999,7 +1004,7 @@ mod tests {
             sync_huge_faults: true,
             ..GeminiConfig::default()
         };
-        let mut p = GeminiPolicy::new(LayerKind::Guest, Rc::clone(&shared), cfg);
+        let mut p = GeminiPolicy::new(LayerKind::Guest, Arc::clone(&shared), cfg);
         let vma = g.mmap(HUGE_PAGE_SIZE).unwrap();
         let (out, _) = g.handle_fault(vma.start_frame(), &mut p).unwrap();
         assert_eq!(out.size, PageSize::Huge);
@@ -1013,7 +1018,7 @@ mod tests {
             sync_huge_faults: true,
             ..GeminiConfig::default()
         };
-        let mut p = GeminiPolicy::new(LayerKind::Guest, Rc::clone(&shared), cfg);
+        let mut p = GeminiPolicy::new(LayerKind::Guest, Arc::clone(&shared), cfg);
         // Book GPA region 9 by hand (as the daemon would after a scan).
         p.bookings
             .book(&mut g.buddy, 9, Cycles::ZERO, Cycles(1 << 40))
@@ -1076,14 +1081,14 @@ mod tests {
         let mut g = GuestMm::new(VM, 1 << 14, CostModel::default());
         let mut p = GeminiPolicy::new(
             LayerKind::Guest,
-            Rc::clone(&shared),
+            Arc::clone(&shared),
             GeminiConfig::default(),
         );
         let scan = VmScan {
             host_type1: vec![3, 7],
             ..Default::default()
         };
-        shared.borrow_mut().scans.insert(VM, scan);
+        shared.lock().unwrap().scans.insert(VM, scan);
         g.run_daemon(&mut p, Cycles::ZERO, 1);
         assert!(p.bookings.contains(3));
         assert!(p.bookings.contains(7));
@@ -1091,28 +1096,28 @@ mod tests {
         assert!(g.buddy.alloc_at(3 << HUGE_PAGE_ORDER, 0).is_err());
     }
 
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     #[test]
     fn booking_expires_and_returns_frames() {
         let shared = new_shared();
-        shared.borrow_mut().booking_timeout = Cycles(100);
+        shared.lock().unwrap().booking_timeout = Cycles(100);
         let mut g = GuestMm::new(VM, 1 << 14, CostModel::default());
         let mut p = GeminiPolicy::new(
             LayerKind::Guest,
-            Rc::clone(&shared),
+            Arc::clone(&shared),
             GeminiConfig::default(),
         );
         let scan = VmScan {
             host_type1: vec![3],
             ..Default::default()
         };
-        shared.borrow_mut().scans.insert(VM, scan);
+        shared.lock().unwrap().scans.insert(VM, scan);
         g.run_daemon(&mut p, Cycles(0), 1);
         assert!(p.bookings.contains(3));
         let free_before = g.buddy.free_frames();
         // Remove the scan so the daemon does not immediately re-book.
-        shared.borrow_mut().scans.insert(VM, VmScan::default());
+        shared.lock().unwrap().scans.insert(VM, VmScan::default());
         g.run_daemon(&mut p, Cycles(200), 1);
         assert!(!p.bookings.contains(3));
         assert_eq!(g.buddy.free_frames(), free_before + 512);
@@ -1122,7 +1127,7 @@ mod tests {
     fn preallocation_fills_booked_region_and_promotes() {
         let shared = new_shared();
         let mut g = GuestMm::new(VM, 1 << 14, CostModel::default());
-        let mut p = GeminiPolicy::new(LayerKind::Guest, Rc::clone(&shared), async_cfg());
+        let mut p = GeminiPolicy::new(LayerKind::Guest, Arc::clone(&shared), async_cfg());
         p.bookings
             .book(&mut g.buddy, 9, Cycles::ZERO, Cycles(1 << 40))
             .unwrap();
@@ -1146,7 +1151,7 @@ mod tests {
     fn promoter_targets_type2_regions() {
         let shared = new_shared();
         let mut g = GuestMm::new(VM, 1 << 14, CostModel::default());
-        let mut p = GeminiPolicy::new(LayerKind::Guest, Rc::clone(&shared), async_cfg());
+        let mut p = GeminiPolicy::new(LayerKind::Guest, Arc::clone(&shared), async_cfg());
         // Scatter 60 base pages of GVA region R; MHPS reports they sit
         // under a type-2 mis-aligned host huge page at GPA region 4.
         let vma = g.mmap(HUGE_PAGE_SIZE).unwrap();
@@ -1158,7 +1163,7 @@ mod tests {
             host_type2: vec![(4, vec![gva_region])],
             ..Default::default()
         };
-        shared.borrow_mut().scans.insert(VM, scan);
+        shared.lock().unwrap().scans.insert(VM, scan);
         let before = g.table.huge_mapped();
         g.run_daemon(&mut p, Cycles::ZERO, 1);
         assert!(
@@ -1175,18 +1180,21 @@ mod tests {
         let shared = new_shared();
         let mut scan = VmScan::default();
         scan.aligned_regions.insert(5);
-        shared.borrow_mut().scans.insert(VM, scan);
+        shared.lock().unwrap().scans.insert(VM, scan);
         let mut p = GeminiPolicy::new(
             LayerKind::Guest,
-            Rc::clone(&shared),
+            Arc::clone(&shared),
             GeminiConfig::default(),
         );
         assert!(p.intercept_huge_free(5, Cycles::ZERO));
         assert!(!p.intercept_huge_free(6, Cycles::ZERO));
         assert_eq!(p.bucket().len(), 1);
         // Host-layer instances never intercept.
-        let mut hp =
-            GeminiPolicy::new(LayerKind::Host, Rc::clone(&shared), GeminiConfig::default());
+        let mut hp = GeminiPolicy::new(
+            LayerKind::Host,
+            Arc::clone(&shared),
+            GeminiConfig::default(),
+        );
         assert!(!hp.intercept_huge_free(5, Cycles::ZERO));
     }
 
@@ -1195,22 +1203,26 @@ mod tests {
         let shared = new_shared();
         let mut h = HostMm::new(1 << 14, CostModel::default());
         h.register_vm(VM);
-        let mut p = GeminiPolicy::new(LayerKind::Host, Rc::clone(&shared), GeminiConfig::default());
+        let mut p = GeminiPolicy::new(
+            LayerKind::Host,
+            Arc::clone(&shared),
+            GeminiConfig::default(),
+        );
         // Scan says: guest huge page at GPA region 2, EPT empty (type-1).
         let mut scan = VmScan {
             guest_type1: vec![2],
             ..Default::default()
         };
         scan.guest_huge_regions.insert(2);
-        shared.borrow_mut().scans.insert(VM, scan);
+        shared.lock().unwrap().scans.insert(VM, scan);
         // Daemon reserves an HPA block.
-        h.run_daemon(VM, &mut p, Cycles::ZERO, 1);
+        h.run_daemon(VM, &mut p, Cycles::ZERO, 1).unwrap();
         assert_eq!(p.host_reserve.len(), 1);
         // EPT fault at the region: backed huge from the reservation.
         let (out, _) = h.handle_fault(VM, 2 * 512 + 7, &mut p).unwrap();
         assert_eq!(out.size, PageSize::Huge);
         assert!(p.host_reserve.is_empty());
-        assert!(h.ept(VM).huge_leaf(2).is_some());
+        assert!(h.ept(VM).unwrap().huge_leaf(2).is_some());
     }
 
     #[test]
@@ -1228,10 +1240,17 @@ mod tests {
             ..Default::default()
         };
         scan.guest_huge_regions.insert(0);
-        shared.borrow_mut().scans.insert(VM, scan);
-        let mut p = GeminiPolicy::new(LayerKind::Host, Rc::clone(&shared), GeminiConfig::default());
-        let fx = h.run_daemon(VM, &mut p, Cycles::ZERO, 1);
-        assert!(h.ept(VM).huge_leaf(0).is_some(), "EPT region collapsed");
+        shared.lock().unwrap().scans.insert(VM, scan);
+        let mut p = GeminiPolicy::new(
+            LayerKind::Host,
+            Arc::clone(&shared),
+            GeminiConfig::default(),
+        );
+        let fx = h.run_daemon(VM, &mut p, Cycles::ZERO, 1).unwrap();
+        assert!(
+            h.ept(VM).unwrap().huge_leaf(0).is_some(),
+            "EPT region collapsed"
+        );
         assert_eq!(fx.gpa_regions_changed, vec![0]);
     }
 
@@ -1261,7 +1280,7 @@ mod tests {
     fn pressure_demotion_splits_misaligned_and_cold_first() {
         let shared = new_shared();
         let mut g = GuestMm::new(VM, 4 * 512, CostModel::default());
-        let mut p = GeminiPolicy::new(LayerKind::Guest, Rc::clone(&shared), async_cfg());
+        let mut p = GeminiPolicy::new(LayerKind::Guest, Arc::clone(&shared), async_cfg());
         // Two huge mappings: GPA region 0 (aligned per scan), 1 (misaligned).
         let vma = g.mmap(2 * gemini_sim_core::HUGE_PAGE_SIZE).unwrap();
         g.table.map_huge(vma.start_frame() >> 9, 0).unwrap();
@@ -1270,7 +1289,7 @@ mod tests {
         g.buddy.alloc_at(512, HUGE_PAGE_ORDER).unwrap();
         let mut scan = VmScan::default();
         scan.aligned_regions.insert(0);
-        shared.borrow_mut().scans.insert(VM, scan);
+        shared.lock().unwrap().scans.insert(VM, scan);
         // The aligned region is hot.
         g.record_touch(vma.start_frame());
         // Memory pressure: leave less than 5 % free.
@@ -1293,7 +1312,7 @@ mod tests {
     fn no_pressure_means_no_demotion() {
         let shared = new_shared();
         let mut g = GuestMm::new(VM, 1 << 14, CostModel::default());
-        let mut p = GeminiPolicy::new(LayerKind::Guest, Rc::clone(&shared), async_cfg());
+        let mut p = GeminiPolicy::new(LayerKind::Guest, Arc::clone(&shared), async_cfg());
         let vma = g.mmap(gemini_sim_core::HUGE_PAGE_SIZE).unwrap();
         g.table.map_huge(vma.start_frame() >> 9, 3).unwrap();
         g.buddy.alloc_at(3 * 512, HUGE_PAGE_ORDER).unwrap();
@@ -1309,11 +1328,11 @@ mod tests {
             enable_booking: false,
             ..GeminiConfig::default()
         };
-        let mut p = GeminiPolicy::new(LayerKind::Guest, Rc::clone(&shared), cfg);
+        let mut p = GeminiPolicy::new(LayerKind::Guest, Arc::clone(&shared), cfg);
         // Bucket disabled: frees pass through even for aligned regions.
         let mut scan = VmScan::default();
         scan.aligned_regions.insert(5);
-        shared.borrow_mut().scans.insert(VM, scan);
+        shared.lock().unwrap().scans.insert(VM, scan);
         assert!(!p.intercept_huge_free(5, Cycles::ZERO));
         // Booking disabled: daemon books nothing.
         let mut g = GuestMm::new(VM, 1 << 14, CostModel::default());
@@ -1321,7 +1340,7 @@ mod tests {
             host_type1: vec![3],
             ..Default::default()
         };
-        shared.borrow_mut().scans.insert(VM, scan2);
+        shared.lock().unwrap().scans.insert(VM, scan2);
         g.run_daemon(&mut p, Cycles::ZERO, 1);
         assert!(p.bookings().is_empty());
     }

@@ -40,7 +40,7 @@ pub struct GeminiRuntime {
 impl GeminiRuntime {
     /// Creates a runtime publishing into `shared`.
     pub fn new(shared: GeminiShared) -> Self {
-        let initial = shared.borrow().booking_timeout;
+        let initial = shared.lock().unwrap().booking_timeout;
         Self {
             shared,
             controller: TimeoutController::new(initial),
@@ -90,7 +90,7 @@ impl GeminiRuntime {
                     + guest.base_mapped() / 64
                     + ept.base_mapped() / 64;
                 cost += Cycles(200 + regions * 20);
-                self.shared.borrow_mut().scans.insert(vm, scan);
+                self.shared.lock().unwrap().scans.insert(vm, scan);
             }
             self.scans_done += 1;
             self.rec.counter_add("gemini.mhps_scans", 1);
@@ -100,7 +100,7 @@ impl GeminiRuntime {
             let delta = tlb_misses.saturating_sub(self.last_tlb_misses);
             self.last_tlb_misses = tlb_misses;
             let new_timeout = self.controller.on_period(delta, fmfi);
-            self.shared.borrow_mut().booking_timeout = new_timeout;
+            self.shared.lock().unwrap().booking_timeout = new_timeout;
             self.rec.set_cycle(now);
             self.rec
                 .emit(cat::RUNTIME, 0, Layer::Sys, || EventKind::TimeoutAdjusted {
@@ -119,18 +119,18 @@ impl GeminiRuntime {
 mod tests {
     use super::*;
     use crate::shared::new_shared;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     #[test]
     fn scan_publishes_results_per_vm() {
         let shared = new_shared();
-        let mut rt = GeminiRuntime::new(Rc::clone(&shared));
+        let mut rt = GeminiRuntime::new(Arc::clone(&shared));
         let mut guest = AddressSpace::new();
         let ept = AddressSpace::new();
         guest.map_huge(0, 4).unwrap();
         let cost = rt.tick(Cycles::ZERO, &[(VmId(1), &guest, &ept)], 0, 0.0);
         assert!(cost > Cycles::ZERO);
-        let s = shared.borrow();
+        let s = shared.lock().unwrap();
         let scan = &s.scans[&VmId(1)];
         assert_eq!(scan.guest_type1, vec![4]);
         assert_eq!(rt.scans_done, 1);
@@ -139,7 +139,7 @@ mod tests {
     #[test]
     fn scan_respects_period() {
         let shared = new_shared();
-        let mut rt = GeminiRuntime::new(Rc::clone(&shared));
+        let mut rt = GeminiRuntime::new(Arc::clone(&shared));
         let guest = AddressSpace::new();
         let ept = AddressSpace::new();
         rt.tick(Cycles::ZERO, &[(VmId(1), &guest, &ept)], 0, 0.0);
@@ -158,13 +158,13 @@ mod tests {
     #[test]
     fn timeout_adjustment_publishes_to_shared() {
         let shared = new_shared();
-        let initial = shared.borrow().booking_timeout;
-        let mut rt = GeminiRuntime::new(Rc::clone(&shared));
+        let initial = shared.lock().unwrap().booking_timeout;
+        let mut rt = GeminiRuntime::new(Arc::clone(&shared));
         let guest = AddressSpace::new();
         let ept = AddressSpace::new();
         // First adjustment period: baseline sample, probe up published.
         rt.tick(rt.adjust_period, &[(VmId(1), &guest, &ept)], 1000, 0.2);
-        let probed = shared.borrow().booking_timeout;
+        let probed = shared.lock().unwrap().booking_timeout;
         assert_eq!(probed, initial.scale(1.1));
         // Second period with fewer misses: probe accepted.
         rt.tick(
@@ -173,7 +173,7 @@ mod tests {
             1500, // Cumulative: delta 500 < baseline delta 1000.
             0.2,
         );
-        assert_eq!(shared.borrow().booking_timeout, initial.scale(1.1));
+        assert_eq!(shared.lock().unwrap().booking_timeout, initial.scale(1.1));
         assert_eq!(rt.booking_timeout(), initial.scale(1.1));
     }
 }

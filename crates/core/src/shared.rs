@@ -3,14 +3,16 @@
 //!
 //! In the prototype this is kernel state exported to guests ("Gemini makes
 //! each guest aware of the mis-aligned huge host pages mapped to it, by
-//! providing their guest physical addresses labeled with the VM id"). The
-//! simulator is single-threaded, so an `Rc<RefCell<_>>` models the channel.
+//! providing their guest physical addresses labeled with the VM id"). One
+//! machine is still driven by one thread at a time; the `Arc<Mutex<_>>`
+//! makes the handle `Send` so whole machines can be built and run on the
+//! worker threads of the parallel experiment executor. Accesses are short,
+//! self-contained lock/release pairs — never held across a policy call.
 
 use crate::mhps::VmScan;
 use gemini_sim_core::{Cycles, VmId};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// State shared between the Gemini components.
 #[derive(Debug, Default)]
@@ -36,11 +38,11 @@ impl GeminiState {
 }
 
 /// Shared handle to [`GeminiState`].
-pub type GeminiShared = Rc<RefCell<GeminiState>>;
+pub type GeminiShared = Arc<Mutex<GeminiState>>;
 
 /// Creates a fresh shared handle.
 pub fn new_shared() -> GeminiShared {
-    Rc::new(RefCell::new(GeminiState::new()))
+    Arc::new(Mutex::new(GeminiState::new()))
 }
 
 #[cfg(test)]
@@ -50,11 +52,15 @@ mod tests {
     #[test]
     fn shared_state_is_visible_across_clones() {
         let shared = new_shared();
-        let other = Rc::clone(&shared);
-        shared.borrow_mut().booking_timeout = Cycles(123);
-        assert_eq!(other.borrow().booking_timeout, Cycles(123));
-        other.borrow_mut().scans.insert(VmId(1), VmScan::default());
-        assert!(shared.borrow().scans.contains_key(&VmId(1)));
+        let other = Arc::clone(&shared);
+        shared.lock().unwrap().booking_timeout = Cycles(123);
+        assert_eq!(other.lock().unwrap().booking_timeout, Cycles(123));
+        other
+            .lock()
+            .unwrap()
+            .scans
+            .insert(VmId(1), VmScan::default());
+        assert!(shared.lock().unwrap().scans.contains_key(&VmId(1)));
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   --scale quick|demo|bench|full   (default demo)
 //!   --ops <n>                       operations per run
 //!   --seed <n>                      run seed
+//!   --jobs <n>                      worker threads for experiment cells
+//!                                   (0 = available parallelism, 1 = sequential)
 //!   --json <path>                   export results (and any trace) as JSON Lines
 //! ```
 //!
@@ -19,8 +21,8 @@
 
 use gemini_harness::report::Table;
 use gemini_harness::runner::{run_workload_on, run_workload_reused, run_workload_traced};
-use gemini_harness::{trace, Scale};
-use gemini_obs::TraceConfig;
+use gemini_harness::{effective_jobs, run_cells_traced, trace, Scale};
+use gemini_obs::{Recorder, TraceConfig};
 use gemini_vm_sim::{RunResult, SystemKind};
 use gemini_workloads::{catalog, non_tlb_sensitive, spec_by_name};
 use std::path::PathBuf;
@@ -41,7 +43,7 @@ struct Opts {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: gemini-sim <list|run|compare|trace> [--system NAME] [--workload NAME]\n\
-         \x20                [--scale quick|demo|bench|full] [--ops N] [--seed N]\n\
+         \x20                [--scale quick|demo|bench|full] [--ops N] [--seed N] [--jobs N]\n\
          \x20                [--fragmented] [--reused] [--json PATH]"
     );
     ExitCode::from(2)
@@ -58,6 +60,10 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         seed: 42,
         json: None,
     };
+    // `--jobs` is applied after the loop so it wins regardless of
+    // whether it appears before or after `--scale` (which replaces the
+    // whole `Scale`, including its `jobs` field).
+    let mut jobs: Option<usize> = None;
     let mut i = 1;
     while i < args.len() {
         let take = |i: &mut usize| -> Result<String, String> {
@@ -71,6 +77,7 @@ fn parse(args: &[String]) -> Result<Opts, String> {
             "--workload" => opts.workload = Some(take(&mut i)?),
             "--ops" => opts.scale.ops = take(&mut i)?.parse().map_err(|e| format!("--ops: {e}"))?,
             "--seed" => opts.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--jobs" => jobs = Some(take(&mut i)?.parse().map_err(|e| format!("--jobs: {e}"))?),
             "--scale" => {
                 opts.scale = match take(&mut i)?.as_str() {
                     "quick" => Scale::quick(),
@@ -86,6 +93,9 @@ fn parse(args: &[String]) -> Result<Opts, String> {
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 1;
+    }
+    if let Some(j) = jobs {
+        opts.scale.jobs = j;
     }
     Ok(opts)
 }
@@ -187,17 +197,58 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
 
 fn cmd_compare(opts: &Opts) -> Result<(), String> {
     let name = opts.workload.as_deref().unwrap_or("Redis");
+    let spec = spec_by_name(name).ok_or_else(|| format!("unknown workload '{name}'"))?;
+    // Progress recorder for the executor: deterministic cell counts
+    // only. Wall-clock time goes to stderr below, never through the
+    // recorder — it would differ between runs and break byte-identity
+    // of anything exported from it.
+    let progress = Recorder::new(&TraceConfig::all());
+    let started = std::time::Instant::now();
+    let cells: Vec<_> = SystemKind::evaluated()
+        .into_iter()
+        .map(|system| {
+            let spec = spec.clone();
+            move || -> Result<(RunResult, Recorder), String> {
+                let run = if opts.reused {
+                    run_workload_reused(system, &spec, &opts.scale, opts.seed)
+                        .map(|r| (r, Recorder::off()))
+                } else {
+                    run_workload_traced(
+                        system,
+                        &spec,
+                        &opts.scale,
+                        opts.fragmented,
+                        opts.seed,
+                        &TraceConfig::off(),
+                    )
+                };
+                run.map_err(|e| format!("simulation failed: {e}"))
+            }
+        })
+        .collect();
+    let results = run_cells_traced(opts.scale.jobs, &progress, cells);
     let mut t = Table::new(
         format!("all systems on {name}{}", scenario_suffix(opts)),
         &headers(),
     );
     let mut rows = Vec::new();
-    for system in SystemKind::evaluated() {
-        let r = run_one(system, opts)?;
+    for cell in results {
+        let (r, rec) = cell?;
+        // Per-cell recorders fold into the progress recorder in
+        // submission order — deterministic regardless of which worker
+        // finished first.
+        progress.merge_from(&rec);
         t.row(result_row(&r));
         rows.push(trace::result_json(&r));
     }
     print!("{}", t.render());
+    let registry = progress.registry();
+    eprintln!(
+        "ran {} cells on {} worker(s) in {:.0} ms",
+        registry.counter("exec.cells_finished"),
+        effective_jobs(opts.scale.jobs),
+        started.elapsed().as_secs_f64() * 1e3,
+    );
     export_json(opts, &rows)
 }
 

@@ -1,0 +1,149 @@
+//! Deterministic parallel execution of experiment cells.
+//!
+//! An experiment *cell* is one self-contained simulation: a closure
+//! that builds a machine, runs a workload and returns its result.
+//! Because every cell derives its seed up front (via
+//! [`gemini_sim_core::derive_seed`] through [`Scale::seed_for`]) and
+//! shares no mutable state with other cells, cells can execute in any
+//! order on any number of threads — the executor reassembles results
+//! in submission order, so rendered tables, JSON exports and traces
+//! are byte-identical whether a grid ran on one thread or sixteen.
+//!
+//! [`Scale::seed_for`]: crate::scale::Scale::seed_for
+//!
+//! The pool is dependency-free: [`std::thread::scope`] workers pull
+//! `(index, cell)` pairs from a shared queue and write each result
+//! into its submission-indexed slot. Progress flows through the
+//! [`Recorder`] as deterministic counters (`exec.cells_submitted`,
+//! `exec.cells_finished`) — never wall-clock time, which would differ
+//! between runs and break byte-identity of exported registries.
+
+use gemini_obs::Recorder;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Resolves a jobs setting: `0` means "use the machine's available
+/// parallelism", anything else is taken literally.
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs > 0 {
+        jobs
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Runs `cells` across `jobs` worker threads (0 = auto) and returns
+/// their results in submission order.
+///
+/// `jobs <= 1` runs the cells inline on the calling thread — the
+/// sequential reference path the parallel one is checked against.
+pub fn run_cells<T, F>(jobs: usize, cells: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    run_cells_traced(jobs, &Recorder::off(), cells)
+}
+
+/// Like [`run_cells`], but reports cell-level progress through `rec`:
+/// `exec.cells_submitted` counts cells enqueued, `exec.cells_finished`
+/// counts completions. Both are deterministic counts, so a traced
+/// parallel run exports the same registry as a sequential one.
+pub fn run_cells_traced<T, F>(jobs: usize, rec: &Recorder, cells: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = cells.len();
+    rec.counter_add("exec.cells_submitted", n as u64);
+    let jobs = effective_jobs(jobs).min(n.max(1));
+    if jobs <= 1 {
+        return cells
+            .into_iter()
+            .map(|cell| {
+                let result = cell();
+                rec.counter_add("exec.cells_finished", 1);
+                result
+            })
+            .collect();
+    }
+    let queue: Mutex<VecDeque<(usize, F)>> = Mutex::new(cells.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                // Pop under the lock, run outside it: cells are the
+                // expensive part and must not serialize.
+                let next = queue.lock().unwrap().pop_front();
+                let Some((idx, cell)) = next else {
+                    break;
+                };
+                let result = cell();
+                *slots[idx].lock().unwrap() = Some(result);
+                rec.counter_add("exec.cells_finished", 1);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock cannot be poisoned after join")
+                .expect("every queued cell stores its result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_jobs_is_positive() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for jobs in [1, 2, 7] {
+            let cells: Vec<_> = (0..25u64).map(|i| move || i * i).collect();
+            let out = run_cells(jobs, cells);
+            assert_eq!(out, (0..25u64).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn more_workers_than_cells_is_fine() {
+        let cells: Vec<_> = (0..2u64).map(|i| move || i).collect();
+        assert_eq!(run_cells(16, cells), vec![0, 1]);
+        let empty: Vec<fn() -> u64> = Vec::new();
+        assert!(run_cells(4, empty).is_empty());
+    }
+
+    #[test]
+    fn progress_counters_are_deterministic_across_jobs() {
+        let registry_for = |jobs: usize| {
+            let rec = Recorder::new(&gemini_obs::TraceConfig::all());
+            let cells: Vec<_> = (0..10u64).map(|i| move || i).collect();
+            run_cells_traced(jobs, &rec, cells);
+            rec.registry()
+        };
+        let seq = registry_for(1);
+        let par = registry_for(4);
+        assert_eq!(seq.counter("exec.cells_submitted"), 10);
+        assert_eq!(seq.counter("exec.cells_finished"), 10);
+        assert_eq!(seq.to_json_lines(), par.to_json_lines());
+    }
+
+    #[test]
+    fn errors_propagate_as_values() {
+        let cells: Vec<_> = (0..4u64)
+            .map(|i| move || if i == 2 { Err(i) } else { Ok(i) })
+            .collect();
+        let out = run_cells(2, cells);
+        assert_eq!(out, vec![Ok(0), Ok(1), Err(2), Ok(3)]);
+    }
+}

@@ -5,6 +5,7 @@
 //! selected 256 experimentally). Each ablation runs a churny workload on
 //! fragmented memory — the regime where the knobs matter.
 
+use crate::exec::run_cells;
 use crate::report::{fmt_pct, fmt_ratio, Table};
 use crate::scale::Scale;
 use gemini_sim_core::{Cycles, Result};
@@ -31,22 +32,25 @@ pub struct TimeoutAblation {
 /// Compares Algorithm 1's adaptive timeout against fixed settings.
 pub fn run_timeout(scale: &Scale, workload: &str) -> Result<TimeoutAblation> {
     let seed = scale.seed_for("abl-timeout", 0);
+    let settings: [(&str, Option<f64>); 4] = [
+        ("adaptive (Alg. 1)", None),
+        ("fixed 2ms", Some(2.0)),
+        ("fixed 40ms", Some(40.0)),
+        ("fixed 400ms", Some(400.0)),
+    ];
+    let cells: Vec<_> = settings
+        .iter()
+        .map(|&(_, ms)| {
+            move || {
+                let mut cfg = scale.machine_config(true, false, seed);
+                cfg.fixed_booking_timeout = ms.map(Cycles::from_millis);
+                run_with(cfg, scale, workload, seed)
+            }
+        })
+        .collect();
     let mut variants = Vec::new();
-    let adaptive = run_with(
-        scale.machine_config(true, false, seed),
-        scale,
-        workload,
-        seed,
-    )?;
-    variants.push(("adaptive (Alg. 1)".to_string(), adaptive));
-    for (label, ms) in [
-        ("fixed 2ms", 2.0),
-        ("fixed 40ms", 40.0),
-        ("fixed 400ms", 400.0),
-    ] {
-        let mut cfg = scale.machine_config(true, false, seed);
-        cfg.fixed_booking_timeout = Some(Cycles::from_millis(ms));
-        variants.push((label.to_string(), run_with(cfg, scale, workload, seed)?));
+    for (&(label, _), result) in settings.iter().zip(run_cells(scale.jobs, cells)) {
+        variants.push((label.to_string(), result?));
     }
     Ok(TimeoutAblation { variants })
 }
@@ -86,14 +90,23 @@ pub struct PreallocAblation {
 /// Sweeps the huge-preallocation threshold (paper default: 256).
 pub fn run_prealloc(scale: &Scale, workload: &str) -> Result<PreallocAblation> {
     let seed = scale.seed_for("abl-prealloc", 0);
+    let thresholds = [64usize, 128, 256, 384, 480];
+    let cells: Vec<_> = thresholds
+        .iter()
+        .map(|&threshold| {
+            move || {
+                let mut cfg = scale.machine_config(true, false, seed);
+                cfg.gemini_override = Some(gemini::policy::GeminiConfig {
+                    prealloc_threshold: threshold,
+                    ..Default::default()
+                });
+                run_with(cfg, scale, workload, seed)
+            }
+        })
+        .collect();
     let mut settings = Vec::new();
-    for threshold in [64usize, 128, 256, 384, 480] {
-        let mut cfg = scale.machine_config(true, false, seed);
-        cfg.gemini_override = Some(gemini::policy::GeminiConfig {
-            prealloc_threshold: threshold,
-            ..Default::default()
-        });
-        settings.push((threshold, run_with(cfg, scale, workload, seed)?));
+    for (&threshold, result) in thresholds.iter().zip(run_cells(scale.jobs, cells)) {
+        settings.push((threshold, result?));
     }
     Ok(PreallocAblation { settings })
 }

@@ -7,6 +7,7 @@
 //! over the baseline that each variant retains — the paper reports 66 %
 //! EMA/HB, 34 % bucket on average.
 
+use crate::exec::run_cells;
 use crate::report::{fmt_pct, Table};
 use crate::runner::run_workload_reused;
 use crate::scale::Scale;
@@ -32,15 +33,29 @@ pub fn run(scale: &Scale, workload_filter: Option<&[&str]>) -> Result<BreakdownR
     let names: Vec<&str> = workload_filter
         .map(|f| f.to_vec())
         .unwrap_or(WORKLOADS.to_vec());
-    let mut workloads = Vec::new();
-    let mut runs = Vec::new();
+    const VARIANTS: [SystemKind; 4] = [
+        SystemKind::HostBVmB,
+        SystemKind::Gemini,
+        SystemKind::GeminiNoBucket,
+        SystemKind::GeminiBucketOnly,
+    ];
+    let mut cells = Vec::new();
     for (wi, name) in names.iter().enumerate() {
         let spec = spec_by_name(name).expect("breakdown workload in catalog");
         let seed = scale.seed_for("breakdown", wi as u64);
-        let base = run_workload_reused(SystemKind::HostBVmB, &spec, scale, seed)?;
-        let full = run_workload_reused(SystemKind::Gemini, &spec, scale, seed)?;
-        let ema_hb = run_workload_reused(SystemKind::GeminiNoBucket, &spec, scale, seed)?;
-        let bucket = run_workload_reused(SystemKind::GeminiBucketOnly, &spec, scale, seed)?;
+        for system in VARIANTS {
+            let spec = spec.clone();
+            cells.push(move || run_workload_reused(system, &spec, scale, seed));
+        }
+    }
+    let mut results = run_cells(scale.jobs, cells).into_iter();
+    let mut workloads = Vec::new();
+    let mut runs = Vec::new();
+    for name in &names {
+        let base = results.next().expect("one result per cell")?;
+        let full = results.next().expect("one result per cell")?;
+        let ema_hb = results.next().expect("one result per cell")?;
+        let bucket = results.next().expect("one result per cell")?;
         workloads.push(name.to_string());
         runs.push([base, full, ema_hb, bucket]);
     }

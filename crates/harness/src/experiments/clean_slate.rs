@@ -9,6 +9,7 @@
 //! - Fig. 11 — TLB misses normalized to GEMINI (fragmented runs),
 //! - Table 3 — rates of well-aligned huge pages (fragmented runs).
 
+use crate::exec::run_cells;
 use crate::report::{fmt_pct, fmt_ratio, Table};
 use crate::runner::run_workload_on;
 use crate::scale::Scale;
@@ -34,14 +35,31 @@ pub fn run(scale: &Scale, workload_filter: Option<&[&str]>) -> Result<CleanSlate
         .into_iter()
         .filter(|s| workload_filter.map(|f| f.contains(&s.name)).unwrap_or(true))
         .collect();
-    let mut grid = Vec::new();
+    // One cell per (frag, workload, system); seeds derived up front so
+    // every cell is a pure function of its parameters, then executed on
+    // the worker pool and reassembled in submission order.
+    let systems = SystemKind::evaluated();
+    let mut cells = Vec::new();
     for frag in [false, true] {
-        let mut per_wl = Vec::new();
         for (wi, spec) in specs.iter().enumerate() {
+            // The seed is shared across systems within a row: each
+            // system sees the identical workload stream, so rows stay
+            // paired comparisons.
+            let seed = scale.seed_for("clean", (wi * 2 + frag as usize) as u64);
+            for &system in &systems {
+                let spec = spec.clone();
+                cells.push(move || run_workload_on(system, &spec, scale, frag, seed));
+            }
+        }
+    }
+    let mut results = run_cells(scale.jobs, cells).into_iter();
+    let mut grid = Vec::new();
+    for _frag in [false, true] {
+        let mut per_wl = Vec::new();
+        for _ in &specs {
             let mut per_sys = Vec::new();
-            for system in SystemKind::evaluated() {
-                let seed = scale.seed_for("clean", (wi * 2 + frag as usize) as u64);
-                per_sys.push(run_workload_on(system, spec, scale, frag, seed)?);
+            for _ in &systems {
+                per_sys.push(results.next().expect("one result per cell")?);
             }
             per_wl.push(per_sys);
         }

@@ -6,9 +6,10 @@
 //! and does it cost anything when there is nothing to win (overhead on
 //! the non-sensitive workload must be ≈ 0, the paper measures ≤ 3 %)?
 
+use crate::exec::run_cells;
 use crate::report::{fmt_ratio, Table};
 use crate::scale::Scale;
-use gemini_sim_core::Result;
+use gemini_sim_core::{derive_seed, Result};
 use gemini_vm_sim::{Machine, RunResult, SystemKind};
 use gemini_workloads::{spec_by_name, WorkloadGen};
 
@@ -32,24 +33,39 @@ pub struct CollocatedResults {
 /// Runs the collocation grid.
 pub fn run(scale: &Scale, pair_filter: Option<&[(&str, &str)]>) -> Result<CollocatedResults> {
     let pairs: Vec<(&str, &str)> = pair_filter.map(|f| f.to_vec()).unwrap_or(PAIRS.to_vec());
-    let mut out_pairs = Vec::new();
-    let mut runs = Vec::new();
+    let systems = SystemKind::evaluated();
+    let mut cells = Vec::new();
     for (pi, &(sens, nonsens)) in pairs.iter().enumerate() {
         let sens_spec = spec_by_name(sens).expect("pair workload in catalog");
         let non_spec = spec_by_name(nonsens).expect("pair workload in catalog");
+        let seed = scale.seed_for("collocated", pi as u64);
+        // The second VM gets an independently derived stream; XOR-ing a
+        // small constant onto the seed would correlate the two VMs.
+        let seed2 = derive_seed(seed, "collocated-nonsens", pi as u64);
+        for &system in &systems {
+            let sens_spec = sens_spec.clone();
+            let non_spec = non_spec.clone();
+            cells.push(move || -> Result<[RunResult; 2]> {
+                let cfg = scale.collocated_config(seed);
+                let mut m = Machine::new(system, cfg);
+                let vm1 = m.add_vm();
+                let vm2 = m.add_vm();
+                let g1 = WorkloadGen::new(sens_spec.scaled(scale.ws_factor), scale.ops, seed);
+                let g2 = WorkloadGen::new(non_spec.scaled(scale.ws_factor), scale.ops, seed2);
+                let mut results = m.run_collocated(vec![(vm1, g1), (vm2, g2)])?;
+                let second = results.pop().expect("two results");
+                let first = results.pop().expect("two results");
+                Ok([first, second])
+            });
+        }
+    }
+    let mut results = run_cells(scale.jobs, cells).into_iter();
+    let mut out_pairs = Vec::new();
+    let mut runs = Vec::new();
+    for &(sens, nonsens) in &pairs {
         let mut per_sys = Vec::new();
-        for system in SystemKind::evaluated() {
-            let seed = scale.seed_for("collocated", pi as u64);
-            let cfg = scale.collocated_config(seed);
-            let mut m = Machine::new(system, cfg);
-            let vm1 = m.add_vm();
-            let vm2 = m.add_vm();
-            let g1 = WorkloadGen::new(sens_spec.scaled(scale.ws_factor), scale.ops, seed);
-            let g2 = WorkloadGen::new(non_spec.scaled(scale.ws_factor), scale.ops, seed ^ 0xBEEF);
-            let mut results = m.run_collocated(vec![(vm1, g1), (vm2, g2)])?;
-            let second = results.pop().expect("two results");
-            let first = results.pop().expect("two results");
-            per_sys.push([first, second]);
+        for _ in &systems {
+            per_sys.push(results.next().expect("one result per cell")?);
         }
         out_pairs.push((sens.to_string(), nonsens.to_string()));
         runs.push(per_sys);

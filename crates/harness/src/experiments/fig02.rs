@@ -6,6 +6,7 @@
 //! well-aligned configuration (`Host-H-VM-H`) keeps performance high, and
 //! the two mis-aligned ones barely improve on base pages.
 
+use crate::exec::run_cells;
 use crate::report::Table;
 use crate::scale::Scale;
 use gemini_sim_core::Result;
@@ -37,18 +38,27 @@ pub fn run(scale: &Scale) -> Result<Fig02Results> {
         .into_iter()
         .filter(|&d| d <= cap)
         .collect();
+    let mut cells = Vec::new();
     for (i, &dataset) in sweep.iter().enumerate() {
-        let mut results = Vec::new();
         for (j, &system) in CONFIGS.iter().enumerate() {
-            let cfg =
-                scale.machine_config(false, false, scale.seed_for("fig02", (i * 4 + j) as u64));
-            let mut m = Machine::new(system, cfg);
-            let vm = m.add_vm();
-            let gen =
-                MicrobenchGen::generator(dataset, scale.ops, scale.seed_for("fig02-wl", i as u64));
-            results.push(m.run(vm, gen)?);
+            let machine_seed = scale.seed_for("fig02", (i * 4 + j) as u64);
+            let workload_seed = scale.seed_for("fig02-wl", i as u64);
+            cells.push(move || {
+                let cfg = scale.machine_config(false, false, machine_seed);
+                let mut m = Machine::new(system, cfg);
+                let vm = m.add_vm();
+                let gen = MicrobenchGen::generator(dataset, scale.ops, workload_seed);
+                m.run(vm, gen)
+            });
         }
-        rows.push((dataset, results));
+    }
+    let mut results = run_cells(scale.jobs, cells).into_iter();
+    for &dataset in &sweep {
+        let mut per_cfg = Vec::new();
+        for _ in CONFIGS {
+            per_cfg.push(results.next().expect("one result per cell")?);
+        }
+        rows.push((dataset, per_cfg));
     }
     Ok(Fig02Results { rows })
 }

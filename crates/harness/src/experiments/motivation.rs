@@ -6,6 +6,7 @@
 //! figure: uncoordinated coalescing leaves well-aligned rates low and the
 //! effort largely wasted; Gemini aligns the majority.
 
+use crate::exec::run_cells;
 use crate::report::{fmt_pct, fmt_ratio, Table};
 use crate::runner::run_workload_on;
 use crate::scale::Scale;
@@ -25,13 +26,22 @@ pub struct MotivationResults {
 
 /// Runs the motivation grid (fragmented memory, like §2.3).
 pub fn run(scale: &Scale) -> Result<MotivationResults> {
-    let mut runs = Vec::new();
+    let systems = SystemKind::evaluated();
+    let mut cells = Vec::new();
     for (wi, name) in WORKLOADS.iter().enumerate() {
         let spec = spec_by_name(name).expect("motivation workload in catalog");
+        let seed = scale.seed_for("motivation", wi as u64);
+        for &system in &systems {
+            let spec = spec.clone();
+            cells.push(move || run_workload_on(system, &spec, scale, true, seed));
+        }
+    }
+    let mut results = run_cells(scale.jobs, cells).into_iter();
+    let mut runs = Vec::new();
+    for _ in WORKLOADS {
         let mut per_sys = Vec::new();
-        for system in SystemKind::evaluated() {
-            let seed = scale.seed_for("motivation", wi as u64);
-            per_sys.push(run_workload_on(system, &spec, scale, true, seed)?);
+        for _ in &systems {
+            per_sys.push(results.next().expect("one result per cell")?);
         }
         runs.push(per_sys);
     }

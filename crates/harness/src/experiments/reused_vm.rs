@@ -7,6 +7,7 @@
 //! formerly-huge regions destroy alignment; Gemini's huge bucket keeps the
 //! freed well-aligned regions intact and reuses them wholesale.
 
+use crate::exec::run_cells;
 use crate::report::{fmt_pct, fmt_ratio, Table};
 use crate::runner::run_workload_reused;
 use crate::scale::Scale;
@@ -29,12 +30,21 @@ pub fn run(scale: &Scale, workload_filter: Option<&[&str]>) -> Result<ReusedVmRe
         .into_iter()
         .filter(|s| workload_filter.map(|f| f.contains(&s.name)).unwrap_or(true))
         .collect();
-    let mut runs = Vec::new();
+    let systems = SystemKind::evaluated();
+    let mut cells = Vec::new();
     for (wi, spec) in specs.iter().enumerate() {
+        let seed = scale.seed_for("reused", wi as u64);
+        for &system in &systems {
+            let spec = spec.clone();
+            cells.push(move || run_workload_reused(system, &spec, scale, seed));
+        }
+    }
+    let mut results = run_cells(scale.jobs, cells).into_iter();
+    let mut runs = Vec::new();
+    for _ in &specs {
         let mut per_sys = Vec::new();
-        for system in SystemKind::evaluated() {
-            let seed = scale.seed_for("reused", wi as u64);
-            per_sys.push(run_workload_reused(system, spec, scale, seed)?);
+        for _ in &systems {
+            per_sys.push(results.next().expect("one result per cell")?);
         }
         runs.push(per_sys);
     }

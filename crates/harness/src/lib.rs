@@ -17,12 +17,14 @@
 //! so the same code drives the quick examples, the integration tests and
 //! the full `cargo bench` reproduction.
 
+pub mod exec;
 pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod scale;
 pub mod trace;
 
+pub use exec::{effective_jobs, run_cells, run_cells_traced};
 pub use report::Table;
 pub use runner::{run_workload_on, run_workload_traced};
 pub use scale::Scale;

@@ -2,7 +2,7 @@
 
 use crate::scale::Scale;
 use gemini_obs::{Recorder, TraceConfig};
-use gemini_sim_core::Result;
+use gemini_sim_core::{derive_seed, Result};
 use gemini_vm_sim::{Machine, RunResult, SystemKind};
 use gemini_workloads::{WorkloadGen, WorkloadSpec};
 
@@ -57,7 +57,12 @@ pub fn run_workload_reused(
     let svm = gemini_workloads::spec_by_name("SVM")
         .expect("SVM is in the catalog")
         .scaled(scale.ws_factor);
-    machine.run(vm, WorkloadGen::new(svm, scale.ops / 2, seed ^ 0x5157))?;
+    // The predecessor gets its own derived stream; XOR-ing a small
+    // constant onto the seed would correlate it with the main run.
+    machine.run(
+        vm,
+        WorkloadGen::new(svm, scale.ops / 2, derive_seed(seed, "reused-pred", 0)),
+    )?;
     machine.clear_workload(vm)?;
     let gen = WorkloadGen::new(spec.scaled(scale.ws_factor), scale.ops, seed);
     machine.run(vm, gen)
@@ -91,6 +96,10 @@ mod tests {
         assert_eq!(r.workload, "Xapian");
         // vtime is the run's own delta, not the VM's cumulative clock.
         let cold = run_workload_on(SystemKind::Ingens, &spec, &scale, false, 2).unwrap();
-        assert!(r.vtime < cold.vtime * 4, "reused vtime is per-run");
+        // Saturating: `cold.vtime * 4` would wrap for large cycle counts.
+        assert!(
+            r.vtime.0 < cold.vtime.0.saturating_mul(4),
+            "reused vtime is per-run"
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! counts together so the quick preset finishes in seconds while the full
 //! preset matches DESIGN.md §5.
 
-use gemini_sim_core::Cycles;
+use gemini_sim_core::{derive_seed, Cycles};
 use gemini_vm_sim::MachineConfig;
 
 /// A coherent set of sizing knobs for one experiment run.
@@ -24,6 +24,10 @@ pub struct Scale {
     pub frag_target: f64,
     /// Base seed; experiments derive per-run seeds from it.
     pub seed: u64,
+    /// Worker threads for experiment grids: 0 = available parallelism,
+    /// 1 = sequential, N = exactly N threads. Results are byte-identical
+    /// for every setting; this knob only trades wall-clock time.
+    pub jobs: usize,
 }
 
 impl Scale {
@@ -36,6 +40,7 @@ impl Scale {
             vm_frames: 1 << 15,   // 128 MiB.
             frag_target: 0.9,
             seed: 42,
+            jobs: 0,
         }
     }
 
@@ -53,6 +58,7 @@ impl Scale {
             vm_frames: 1 << 17,   // 512 MiB.
             frag_target: 0.9,
             seed: 42,
+            jobs: 0,
         }
     }
 
@@ -66,6 +72,7 @@ impl Scale {
             vm_frames: 1 << 17,   // 512 MiB.
             frag_target: 0.9,
             seed: 42,
+            jobs: 0,
         }
     }
 
@@ -78,17 +85,25 @@ impl Scale {
             vm_frames: 1 << 18,   // 1 GiB.
             frag_target: 0.9,
             seed: 42,
+            jobs: 0,
         }
     }
 
-    /// Reads `GEMINI_SCALE` (`quick` | `bench` | `full`); defaults to
-    /// `bench`.
+    /// Reads `GEMINI_SCALE` (`quick` | `bench` | `full`; defaults to
+    /// `bench`) and `GEMINI_JOBS` (worker threads for experiment
+    /// cells; `0` = available parallelism).
     pub fn from_env() -> Self {
-        match std::env::var("GEMINI_SCALE").as_deref() {
+        let mut scale = match std::env::var("GEMINI_SCALE").as_deref() {
             Ok("quick") => Self::quick(),
             Ok("full") => Self::full(),
             _ => Self::bench(),
+        };
+        if let Ok(jobs) = std::env::var("GEMINI_JOBS") {
+            if let Ok(jobs) = jobs.parse() {
+                scale.jobs = jobs;
+            }
         }
+        scale
     }
 
     /// Builds the machine configuration for this scale.
@@ -119,12 +134,14 @@ impl Scale {
     }
 
     /// A run-specific seed derived from the base seed.
+    ///
+    /// Delegates to [`gemini_sim_core::derive_seed`], the single seed
+    /// derivation used across the workspace. Experiments call this once
+    /// per cell *before* handing cells to the parallel executor, so a
+    /// run's stream depends only on `(seed, tag, index)` — never on
+    /// thread count or scheduling.
     pub fn seed_for(&self, tag: &str, index: u64) -> u64 {
-        let mut h: u64 = self.seed ^ 0x9E37_79B9_7F4A_7C15;
-        for b in tag.bytes() {
-            h = h.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
-        }
-        h.wrapping_add(index.wrapping_mul(0xA24B_AED4_963E_E407))
+        derive_seed(self.seed, tag, index)
     }
 }
 
@@ -169,5 +186,7 @@ mod tests {
         assert_ne!(s.seed_for("a", 0), s.seed_for("b", 0));
         assert_ne!(s.seed_for("a", 0), s.seed_for("a", 1));
         assert_eq!(s.seed_for("a", 0), s.seed_for("a", 0));
+        // seed_for IS derive_seed — one derivation across the workspace.
+        assert_eq!(s.seed_for("a", 3), derive_seed(s.seed, "a", 3));
     }
 }

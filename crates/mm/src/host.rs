@@ -48,13 +48,10 @@ impl HostMm {
         self.touches.entry(vm).or_default();
     }
 
-    /// The EPT of `vm`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the VM was never registered.
-    pub fn ept(&self, vm: VmId) -> &AddressSpace {
-        self.epts.get(&vm).expect("VM not registered")
+    /// The EPT of `vm`, or [`SimError::UnknownVm`] if the VM was
+    /// never registered.
+    pub fn ept(&self, vm: VmId) -> Result<&AddressSpace, SimError> {
+        self.epts.get(&vm).ok_or(SimError::UnknownVm(vm))
     }
 
     /// Registered VMs in id order.
@@ -79,7 +76,7 @@ impl HostMm {
         gpa_frame: u64,
         policy: &mut dyn HugePolicy,
     ) -> Result<(FaultOutcome, Effects), SimError> {
-        let table = self.epts.get_mut(&vm).expect("VM not registered");
+        let table = self.epts.get_mut(&vm).ok_or(SimError::UnknownVm(vm))?;
         if table.translate(gpa_frame).is_some() {
             return Err(SimError::AlreadyMappedGpa(
                 gemini_sim_core::Gpa::from_frame(gpa_frame),
@@ -120,8 +117,8 @@ impl HostMm {
         policy: &mut dyn HugePolicy,
         now: Cycles,
         vcpus: u32,
-    ) -> Effects {
-        let table = self.epts.get_mut(&vm).expect("VM not registered");
+    ) -> Result<Effects, SimError> {
+        let table = self.epts.get_mut(&vm).ok_or(SimError::UnknownVm(vm))?;
         let touches = self.touches.entry(vm).or_default();
         let mut ops_view = LayerOps {
             layer: LayerKind::Host,
@@ -181,12 +178,12 @@ impl HostMm {
                 fx.merge(dfx);
             }
         }
-        fx
+        Ok(fx)
     }
 
     /// Demotes (splits) one huge EPT leaf of `vm`.
     pub fn demote(&mut self, vm: VmId, region: u64, vcpus: u32) -> Result<Effects, SimError> {
-        let table = self.epts.get_mut(&vm).expect("VM not registered");
+        let table = self.epts.get_mut(&vm).ok_or(SimError::UnknownVm(vm))?;
         mech::execute_demotion(table, &self.costs, LayerKind::Host, region, vcpus)
     }
 
@@ -195,6 +192,13 @@ impl HostMm {
         self.buddy.fragmentation_index(HUGE_PAGE_ORDER)
     }
 }
+
+// Machines move across executor worker threads whole; the host MM
+// (including its recorder handle) must stay `Send`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<HostMm>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -226,8 +230,8 @@ mod tests {
         let (out, fx) = h.handle_fault(VmId(1), 1000, &mut p).unwrap();
         assert_eq!(out.size, PageSize::Base);
         assert_eq!(fx.cycles, CostModel::default().ept_fault);
-        assert!(h.ept(VmId(1)).translate(1000).is_some());
-        assert!(h.ept(VmId(2)).translate(1000).is_none());
+        assert!(h.ept(VmId(1)).unwrap().translate(1000).is_some());
+        assert!(h.ept(VmId(2)).unwrap().translate(1000).is_none());
         assert!(h.handle_fault(VmId(1), 1000, &mut p).is_err());
     }
 
@@ -238,11 +242,11 @@ mod tests {
         let (out, _) = h.handle_fault(VmId(1), 515, &mut p).unwrap();
         assert_eq!(out.size, PageSize::Huge);
         // The whole GPA region is backed.
-        assert!(h.ept(VmId(1)).translate(512).is_some());
-        assert!(h.ept(VmId(1)).translate(1023).is_some());
-        assert_eq!(h.ept(VmId(1)).huge_mapped(), 1);
+        assert!(h.ept(VmId(1)).unwrap().translate(512).is_some());
+        assert!(h.ept(VmId(1)).unwrap().translate(1023).is_some());
+        assert_eq!(h.ept(VmId(1)).unwrap().huge_mapped(), 1);
         // Backing is huge-aligned in HPA space.
-        assert!(h.ept(VmId(1)).huge_leaf(1).is_some());
+        assert!(h.ept(VmId(1)).unwrap().huge_leaf(1).is_some());
     }
 
     #[test]
@@ -279,12 +283,32 @@ mod tests {
             }
         }
         let mut d = PromoteAll;
-        let fx = h.run_daemon(VmId(1), &mut d, Cycles::ZERO, 2);
-        assert_eq!(h.ept(VmId(1)).huge_mapped(), 1);
+        let fx = h.run_daemon(VmId(1), &mut d, Cycles::ZERO, 2).unwrap();
+        assert_eq!(h.ept(VmId(1)).unwrap().huge_mapped(), 1);
         assert_eq!(fx.gpa_regions_changed, vec![0]);
         // 64 of 512 pages present: khugepaged semantics collapse by copy.
         assert_eq!(fx.pages_copied, 64);
         assert_eq!(fx.pages_zeroed, 448);
+    }
+
+    #[test]
+    fn unregistered_vm_is_an_error_not_a_panic() {
+        let mut h = host();
+        let ghost = VmId(99);
+        assert_eq!(h.ept(ghost).unwrap_err(), SimError::UnknownVm(ghost));
+        let mut p = BasePagesOnly;
+        assert_eq!(
+            h.handle_fault(ghost, 0, &mut p).unwrap_err(),
+            SimError::UnknownVm(ghost)
+        );
+        assert_eq!(
+            h.run_daemon(ghost, &mut p, Cycles::ZERO, 1).unwrap_err(),
+            SimError::UnknownVm(ghost)
+        );
+        assert_eq!(
+            h.demote(ghost, 0, 1).unwrap_err(),
+            SimError::UnknownVm(ghost)
+        );
     }
 
     #[test]
@@ -303,8 +327,8 @@ mod tests {
         let mut p = AlwaysHuge;
         h.handle_fault(VmId(1), 0, &mut p).unwrap();
         let fx = h.demote(VmId(1), 0, 4).unwrap();
-        assert_eq!(h.ept(VmId(1)).huge_mapped(), 0);
-        assert_eq!(h.ept(VmId(1)).base_mapped(), 512);
+        assert_eq!(h.ept(VmId(1)).unwrap().huge_mapped(), 0);
+        assert_eq!(h.ept(VmId(1)).unwrap().base_mapped(), 512);
         assert_eq!(fx.gpa_regions_changed, vec![0]);
     }
 }

@@ -223,7 +223,7 @@ impl Effects {
 ///
 /// Implementations: the seven baseline systems in `gemini-policies`, and
 /// Gemini's guest/host policies in the `gemini` crate.
-pub trait HugePolicy {
+pub trait HugePolicy: Send {
     /// Short display name ("THP", "Ingens", ...).
     fn name(&self) -> &'static str;
 

@@ -59,6 +59,16 @@ impl Histogram {
         }
     }
 
+    /// Adds another histogram's observations into this one,
+    /// bucket-wise.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
     /// Non-empty buckets as `(bucket_floor, count)` pairs in
     /// ascending order. `bucket_floor` is the smallest value the
     /// bucket admits (0, 1, 2, 4, 8, ...).
@@ -127,6 +137,21 @@ impl Registry {
         self.histograms.iter().map(|(&k, v)| (k, v)).collect()
     }
 
+    /// Folds another registry into this one: counters and histogram
+    /// buckets add; gauges take `other`'s value (last writer wins,
+    /// matching `gauge_set` semantics under sequential execution).
+    pub fn merge_from(&mut self, other: &Registry) {
+        for (&name, &v) in &other.counters {
+            self.counter_add(name, v);
+        }
+        for (&name, &v) in &other.gauges {
+            self.gauge_set(name, v);
+        }
+        for (&name, h) in &other.histograms {
+            self.histograms.entry(name).or_default().merge_from(h);
+        }
+    }
+
     /// True when nothing was ever recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
@@ -185,6 +210,28 @@ mod tests {
             vec![(0, 1), (1, 1), (2, 2), (4, 1), (1024, 2), (1 << 63, 1)]
         );
         assert_eq!(h.sum(), u64::MAX); // saturated
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets_and_overwrites_gauges() {
+        let mut a = Registry::default();
+        a.counter_add("c", 3);
+        a.gauge_set("g", 1.0);
+        a.observe("h", 4);
+        let mut b = Registry::default();
+        b.counter_add("c", 4);
+        b.counter_add("only_b", 1);
+        b.gauge_set("g", 2.0);
+        b.observe("h", 4);
+        b.observe("h", 1024);
+        a.merge_from(&b);
+        assert_eq!(a.counter("c"), 7);
+        assert_eq!(a.counter("only_b"), 1);
+        assert_eq!(a.gauge("g"), Some(2.0));
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 4 + 4 + 1024);
+        assert_eq!(h.nonzero_buckets(), vec![(4, 2), (1024, 1)]);
     }
 
     #[test]

@@ -1,21 +1,28 @@
 //! The shared [`Recorder`] handle threaded through every layer of the
 //! simulator, plus its [`TraceConfig`].
 //!
-//! A `Recorder` is a cheaply clonable handle (three `Rc`s) over one
+//! A `Recorder` is a cheaply clonable handle (three `Arc`s) over one
 //! shared recording state. Every subsystem — the machine, the guest
 //! and host memory managers, the Gemini mechanisms, the MMU model —
 //! holds a clone and emits into the same ring, registry and sample
-//! vector. The hot-path cost when tracing is off is a single
-//! `Cell<u32>` load and branch per call site: event payloads are
-//! built inside closures that never run for disabled categories.
+//! vector. The hot-path cost when tracing is off is a single relaxed
+//! atomic load and branch per call site: event payloads are built
+//! inside closures that never run for disabled categories.
+//!
+//! The handle is `Send`: a machine (and its recorder) can be built and
+//! driven on a worker thread of the parallel experiment executor, and
+//! per-cell recorders can be [merged](Recorder::merge_from) into one
+//! after the barrier. One machine is still driven by one thread at a
+//! time; the mutex only serializes the merge and cross-thread
+//! snapshots, it is not a concurrency model for the simulator itself.
 
 use crate::event::{cat, Event, EventKind, Layer, SamplePoint};
 use crate::metrics::Registry;
 use gemini_sim_core::Cycles;
-use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Configuration for a [`Recorder`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,10 +86,17 @@ struct Inner {
 /// recorder ([`Recorder::off`]) records nothing.
 #[derive(Debug, Clone)]
 pub struct Recorder {
-    mask: Rc<Cell<u32>>,
-    next_sample: Rc<Cell<u64>>,
-    inner: Rc<RefCell<Inner>>,
+    mask: Arc<AtomicU32>,
+    next_sample: Arc<AtomicU64>,
+    inner: Arc<Mutex<Inner>>,
 }
+
+// The executor sends per-cell recorders back across the worker-pool
+// barrier; keep that property from regressing silently.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Recorder>();
+};
 
 impl Default for Recorder {
     fn default() -> Self {
@@ -95,9 +109,9 @@ impl Recorder {
     pub fn new(cfg: &TraceConfig) -> Self {
         let interval = cfg.sample_interval.map_or(0, |c| c.0.max(1));
         Self {
-            mask: Rc::new(Cell::new(cfg.mask)),
-            next_sample: Rc::new(Cell::new(if interval == 0 { u64::MAX } else { 0 })),
-            inner: Rc::new(RefCell::new(Inner {
+            mask: Arc::new(AtomicU32::new(cfg.mask)),
+            next_sample: Arc::new(AtomicU64::new(if interval == 0 { u64::MAX } else { 0 })),
+            inner: Arc::new(Mutex::new(Inner {
                 now: 0,
                 ring: VecDeque::new(),
                 capacity: cfg.ring_capacity,
@@ -107,6 +121,12 @@ impl Recorder {
                 registry: Registry::default(),
             })),
         }
+    }
+
+    /// Locks the shared state; recorder methods never hold this across
+    /// a user callback, so the lock cannot be re-entered.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().expect("recorder lock poisoned")
     }
 
     /// A recorder that records nothing (all categories off, sampler
@@ -119,13 +139,13 @@ impl Recorder {
     /// True when at least one event category is enabled.
     #[inline]
     pub fn is_on(&self) -> bool {
-        self.mask.get() != cat::NONE
+        self.mask.load(Ordering::Relaxed) != cat::NONE
     }
 
     /// True when events of category `c` are being recorded.
     #[inline]
     pub fn wants(&self, c: u32) -> bool {
-        self.mask.get() & c != 0
+        self.mask.load(Ordering::Relaxed) & c != 0
     }
 
     /// Advances the recorder's notion of the current simulated cycle.
@@ -136,7 +156,7 @@ impl Recorder {
     #[inline]
     pub fn set_cycle(&self, now: Cycles) {
         if self.is_on() {
-            self.inner.borrow_mut().now = now.0;
+            self.lock().now = now.0;
         }
     }
 
@@ -148,7 +168,7 @@ impl Recorder {
         if !self.wants(c) {
             return;
         }
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         let event = Event {
             cycle: inner.now,
             vm,
@@ -171,7 +191,7 @@ impl Recorder {
     #[inline]
     pub fn counter_add(&self, name: &'static str, delta: u64) {
         if self.is_on() {
-            self.inner.borrow_mut().registry.counter_add(name, delta);
+            self.lock().registry.counter_add(name, delta);
         }
     }
 
@@ -179,7 +199,7 @@ impl Recorder {
     #[inline]
     pub fn gauge_set(&self, name: &'static str, value: f64) {
         if self.is_on() {
-            self.inner.borrow_mut().registry.gauge_set(name, value);
+            self.lock().registry.gauge_set(name, value);
         }
     }
 
@@ -188,50 +208,91 @@ impl Recorder {
     #[inline]
     pub fn observe(&self, name: &'static str, value: u64) {
         if self.is_on() {
-            self.inner.borrow_mut().registry.observe(name, value);
+            self.lock().registry.observe(name, value);
         }
     }
 
     /// True when the sampler is enabled and a sample is due at `now`.
     #[inline]
     pub fn sample_due(&self, now: Cycles) -> bool {
-        now.0 >= self.next_sample.get()
+        now.0 >= self.next_sample.load(Ordering::Relaxed)
     }
 
     /// Appends `point` to the time series and schedules the next
     /// sample one interval after `point.cycle`.
     pub fn record_sample(&self, point: SamplePoint) {
-        let mut inner = self.inner.borrow_mut();
-        self.next_sample
-            .set(point.cycle.saturating_add(inner.interval));
+        let mut inner = self.lock();
+        self.next_sample.store(
+            point.cycle.saturating_add(inner.interval),
+            Ordering::Relaxed,
+        );
         inner.samples.push(point);
     }
 
     /// Snapshot of the buffered events, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        self.inner.borrow().ring.iter().cloned().collect()
+        self.lock().ring.iter().cloned().collect()
     }
 
     /// Number of events dropped because the ring was full (or had
     /// zero capacity).
     pub fn dropped(&self) -> u64 {
-        self.inner.borrow().dropped
+        self.lock().dropped
     }
 
     /// Snapshot of the sampled time series, oldest first.
     pub fn samples(&self) -> Vec<SamplePoint> {
-        self.inner.borrow().samples.clone()
+        self.lock().samples.clone()
     }
 
     /// Snapshot of the metrics registry.
     pub fn registry(&self) -> Registry {
-        self.inner.borrow().registry.clone()
+        self.lock().registry.clone()
+    }
+
+    /// Folds another recorder's recorded state into this one, in
+    /// order: `other`'s events are appended after this recorder's
+    /// (respecting this ring's capacity and drop accounting), samples
+    /// are appended, and the registries merge (counters and histogram
+    /// buckets add, gauges take `other`'s value).
+    ///
+    /// The parallel executor calls this once per cell, in submission
+    /// order, after the barrier — so the merged recorder is identical
+    /// however the cells were scheduled.
+    pub fn merge_from(&self, other: &Recorder) {
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return;
+        }
+        let (events, samples, dropped, registry) = {
+            let o = other.lock();
+            (
+                o.ring.iter().cloned().collect::<Vec<_>>(),
+                o.samples.clone(),
+                o.dropped,
+                o.registry.clone(),
+            )
+        };
+        let mut inner = self.lock();
+        inner.dropped += dropped;
+        for event in events {
+            if inner.ring.len() >= inner.capacity {
+                inner.ring.pop_front();
+                inner.dropped += 1;
+            }
+            if inner.capacity > 0 {
+                inner.ring.push_back(event);
+            } else {
+                inner.dropped += 1;
+            }
+        }
+        inner.samples.extend(samples);
+        inner.registry.merge_from(&registry);
     }
 
     /// Event counts per `(kind label, layer)` in deterministic order.
     pub fn event_summary(&self) -> Vec<(&'static str, Layer, u64)> {
         let mut counts: BTreeMap<(&'static str, Layer), u64> = BTreeMap::new();
-        for e in self.inner.borrow().ring.iter() {
+        for e in self.lock().ring.iter() {
             *counts.entry((e.kind.label(), e.layer)).or_insert(0) += 1;
         }
         counts
@@ -244,7 +305,7 @@ impl Recorder {
     /// a stable order: events (oldest first), then samples, then the
     /// registry.
     pub fn to_json_lines(&self) -> Vec<String> {
-        let inner = self.inner.borrow();
+        let inner = self.lock();
         let mut out = Vec::with_capacity(inner.ring.len() + inner.samples.len());
         for e in inner.ring.iter() {
             out.push(e.to_json());
@@ -347,6 +408,36 @@ mod tests {
         assert!(!r.sample_due(Cycles(99)));
         assert!(r.sample_due(Cycles(100)));
         assert_eq!(r.samples().len(), 1);
+    }
+
+    #[test]
+    fn merge_preserves_order_capacity_and_registry() {
+        let cfg = TraceConfig {
+            mask: cat::ALL,
+            ring_capacity: 3,
+            sample_interval: None,
+        };
+        let a = Recorder::new(&cfg);
+        let b = Recorder::new(&cfg);
+        a.set_cycle(Cycles(1));
+        a.emit(cat::FAULT, 0, Layer::Guest, || fault(1));
+        a.counter_add("mm.test", 2);
+        for i in 2..5u64 {
+            b.set_cycle(Cycles(i));
+            b.emit(cat::FAULT, 0, Layer::Guest, || fault(i));
+        }
+        b.counter_add("mm.test", 5);
+        a.merge_from(&b);
+        let events = a.events();
+        // 1 + 3 events into a 3-slot ring: the oldest is dropped.
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].cycle, 2);
+        assert_eq!(events[2].cycle, 4);
+        assert_eq!(a.dropped(), 1);
+        assert_eq!(a.registry().counter("mm.test"), 7);
+        // Merging a recorder into itself is a no-op, not a deadlock.
+        a.merge_from(&a.clone());
+        assert_eq!(a.events().len(), 3);
     }
 
     #[test]

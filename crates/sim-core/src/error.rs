@@ -1,6 +1,7 @@
 //! Error type shared across the simulator.
 
 use crate::addr::{Gpa, Gva, Hpa};
+use crate::ids::VmId;
 use core::fmt;
 
 /// Errors surfaced by simulator components.
@@ -36,6 +37,8 @@ pub enum SimError {
     NotContiguous,
     /// The requested region lies outside the configured address space.
     OutOfRange,
+    /// An operation named a VM that was never registered.
+    UnknownVm(VmId),
     /// An invariant was violated; carries a static description.
     Invariant(&'static str),
 }
@@ -56,6 +59,7 @@ impl fmt::Display for SimError {
             SimError::Unaligned => write!(f, "address not aligned for the requested page size"),
             SimError::NotContiguous => write!(f, "region is not physically contiguous"),
             SimError::OutOfRange => write!(f, "address outside configured address space"),
+            SimError::UnknownVm(vm) => write!(f, "{vm} is not registered"),
             SimError::Invariant(msg) => write!(f, "invariant violated: {msg}"),
         }
     }
@@ -77,5 +81,9 @@ mod tests {
         assert!(SimError::BadFree(Hpa(0x2000))
             .to_string()
             .contains("0x2000"));
+        assert_eq!(
+            SimError::UnknownVm(VmId(7)).to_string(),
+            "vm7 is not registered"
+        );
     }
 }

@@ -34,7 +34,7 @@ pub use page::{
     BASE_PAGE_SHIFT, BASE_PAGE_SIZE, HUGE_PAGE_ORDER, HUGE_PAGE_SHIFT, HUGE_PAGE_SIZE,
     PAGES_PER_HUGE_PAGE,
 };
-pub use rng::{DetRng, Zipf};
+pub use rng::{derive_seed, splitmix64, DetRng, Zipf};
 
 /// Convenience result alias used across the workspace.
 pub type Result<T> = core::result::Result<T, SimError>;

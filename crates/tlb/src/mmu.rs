@@ -73,6 +73,13 @@ pub struct MmuSim {
     rec_vm: u32,
 }
 
+// Machines (and the MMU model they own) run whole on executor worker
+// threads; the recorder handle inside must keep the type `Send`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<MmuSim>();
+};
+
 impl MmuSim {
     /// Creates an MMU with the given geometry.
     pub fn new(cfg: MmuConfig) -> Self {

@@ -140,7 +140,7 @@ impl Machine {
         let shared = system.is_gemini().then(gemini::shared::new_shared);
         let mut runtime = shared.as_ref().and_then(|s| system.runtime(s));
         if let (Some(shared), Some(t)) = (&shared, cfg.fixed_booking_timeout) {
-            shared.borrow_mut().booking_timeout = t;
+            shared.lock().unwrap().booking_timeout = t;
             if let Some(rt) = &mut runtime {
                 rt.adaptive = false;
             }
@@ -250,7 +250,7 @@ impl Machine {
     }
 
     /// Read access to a VM's EPT (metrics, tests).
-    pub fn ept(&self, vm: VmId) -> &gemini_page_table::AddressSpace {
+    pub fn ept(&self, vm: VmId) -> Result<&gemini_page_table::AddressSpace> {
         self.host.ept(vm)
     }
 
@@ -289,11 +289,11 @@ impl Machine {
             since_daemons += 1;
             if since_daemons >= 64 {
                 since_daemons = 0;
-                self.run_daemons(vm);
+                self.run_daemons(vm)?;
             }
         }
-        self.run_daemons(vm);
-        Ok(self.finish(vm, workload, ctx))
+        self.run_daemons(vm)?;
+        self.finish(vm, workload, ctx)
     }
 
     /// Runs several workloads concurrently, one per VM, interleaved by
@@ -337,12 +337,12 @@ impl Machine {
                     }
                 }
             }
-            self.run_daemons(vm);
+            self.run_daemons(vm)?;
         }
         let mut results = Vec::new();
         for ((vm, gen), ctx) in runs.into_iter().zip(ctxs) {
             let name = gen.spec.name.to_string();
-            results.push(self.finish(vm, name, ctx));
+            results.push(self.finish(vm, name, ctx)?);
         }
         Ok(results)
     }
@@ -350,10 +350,7 @@ impl Machine {
     /// Unmaps every chunk a previous run left in `vm` (the reused-VM
     /// scenario: the workload exits, the VM and its EPT state persist).
     pub fn clear_workload(&mut self, vm: VmId) -> Result<()> {
-        let vs = self
-            .vms
-            .get_mut(&vm)
-            .ok_or(SimError::Invariant("unknown VM"))?;
+        let vs = self.vms.get_mut(&vm).ok_or(SimError::UnknownVm(vm))?;
         let ids: Vec<VmaId> = vs.chunks.drain().map(|(_, id)| id).collect();
         for id in ids {
             let now = vs.clock;
@@ -364,10 +361,7 @@ impl Machine {
     }
 
     fn process_event(&mut self, vm: VmId, ev: WorkloadEvent, ctx: &mut RunCtx) -> Result<()> {
-        let vs = self
-            .vms
-            .get_mut(&vm)
-            .ok_or(SimError::Invariant("unknown VM"))?;
+        let vs = self.vms.get_mut(&vm).ok_or(SimError::UnknownVm(vm))?;
         // Stamp once per event: everything emitted while handling it
         // (policy decisions included) carries the entry clock.
         self.recorder.set_cycle(vs.clock);
@@ -422,7 +416,7 @@ impl Machine {
                 let gpa_frame = gt.pa_frame;
 
                 // Layer 2: the EPT backing, faulting on demand.
-                let ht = match self.host.ept(vm).translate(gpa_frame) {
+                let ht = match self.host.ept(vm)?.translate(gpa_frame) {
                     Some(t) => t,
                     None => {
                         let (out, fx) =
@@ -437,7 +431,7 @@ impl Machine {
                         self.recorder.counter_add("machine.host_faults", 1);
                         ctx.req_acc += Self::apply_fx(vm, vs, fx, None);
                         self.host
-                            .ept(vm)
+                            .ept(vm)?
                             .translate(gpa_frame)
                             .ok_or(SimError::Invariant("EPT fault did not back the page"))?
                     }
@@ -498,9 +492,9 @@ impl Machine {
     }
 
     /// Runs any due background work for `vm`.
-    fn run_daemons(&mut self, vm: VmId) {
+    fn run_daemons(&mut self, vm: VmId) -> Result<()> {
         let vcpus = self.cfg.vcpus;
-        let vs = self.vms.get_mut(&vm).expect("caller validated VM");
+        let vs = self.vms.get_mut(&vm).ok_or(SimError::UnknownVm(vm))?;
         let now = vs.clock;
         self.recorder.set_cycle(now);
         if now >= vs.next_guest_daemon {
@@ -511,7 +505,7 @@ impl Machine {
         if now >= vs.next_host_daemon {
             let fx = self
                 .host
-                .run_daemon(vm, self.host_policy.as_mut(), now, vcpus);
+                .run_daemon(vm, self.host_policy.as_mut(), now, vcpus)?;
             Self::apply_fx(vm, vs, fx, None);
             vs.next_host_daemon = now + self.host_policy.daemon_period();
         }
@@ -574,6 +568,7 @@ impl Machine {
         }
         self.tick_runtime(vm);
         self.take_sample(vm);
+        Ok(())
     }
 
     /// Records one time-series point if the sampling interval elapsed.
@@ -589,7 +584,10 @@ impl Machine {
         } else {
             0.0
         };
-        let aligned_rate = alignment_stats(&vs.guest.table, self.host.ept(vm)).aligned_rate();
+        let Ok(ept) = self.host.ept(vm) else {
+            return;
+        };
+        let aligned_rate = alignment_stats(&vs.guest.table, ept).aligned_rate();
         self.recorder.record_sample(SamplePoint {
             cycle: now.0,
             host_fmfi: self.host.fragmentation_index(),
@@ -619,7 +617,7 @@ impl Machine {
         )> = self
             .vms
             .iter()
-            .map(|(&id, vs)| (id, &vs.guest.table, self.host.ept(id)))
+            .filter_map(|(&id, vs)| self.host.ept(id).ok().map(|ept| (id, &vs.guest.table, ept)))
             .collect();
         let cost = rt.tick(now, &tables, tlb_misses, fmfi);
         drop(tables);
@@ -631,10 +629,10 @@ impl Machine {
             .clock += stall;
     }
 
-    fn finish(&mut self, vm: VmId, workload: String, mut ctx: RunCtx) -> RunResult {
+    fn finish(&mut self, vm: VmId, workload: String, mut ctx: RunCtx) -> Result<RunResult> {
         let vs = &self.vms[&vm];
-        let alignment = alignment_stats(&vs.guest.table, self.host.ept(vm));
-        RunResult {
+        let alignment = alignment_stats(&vs.guest.table, self.host.ept(vm)?);
+        Ok(RunResult {
             system: self.system.label(),
             workload,
             ops: ctx.ops,
@@ -646,9 +644,19 @@ impl Machine {
             guest_fmfi: vs.guest.fragmentation_index(),
             host_fmfi: self.host.fragmentation_index(),
             bucket_reuse_rate: vs.policy.bucket_reuse_rate(),
-        }
+        })
     }
 }
+
+// The parallel experiment executor builds a machine inside a cell
+// closure and runs it on a worker thread; everything a machine owns
+// (policies, recorder handles, the Gemini shared channel) must be
+// `Send`. Checked at compile time so a non-`Send` field cannot creep
+// in unnoticed.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Machine>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -779,11 +787,11 @@ mod tests {
         let vm = m.add_vm();
         let svm = spec_by_name("SVM").unwrap().scaled(1.0 / 32.0);
         m.run(vm, WorkloadGen::new(svm, 1_000, 3)).unwrap();
-        let backed_before = m.ept(vm).mapped_base_page_equiv();
+        let backed_before = m.ept(vm).unwrap().mapped_base_page_equiv();
         m.clear_workload(vm).unwrap();
         // Guest memory is free again, but the EPT still backs it.
         assert_eq!(m.guest_table(vm).mapped_base_page_equiv(), 0);
-        assert_eq!(m.ept(vm).mapped_base_page_equiv(), backed_before);
+        assert_eq!(m.ept(vm).unwrap().mapped_base_page_equiv(), backed_before);
         // A second workload runs fine in the reused VM.
         let redis = spec_by_name("Redis").unwrap().scaled(1.0 / 32.0);
         let r = m.run(vm, WorkloadGen::new(redis, 1_000, 4)).unwrap();

@@ -54,7 +54,7 @@ fn alignment_metric_agrees_with_direct_table_scan() {
     let vm = m.add_vm();
     let spec = spec_by_name("Masstree").unwrap().scaled(scale.ws_factor);
     let r = m.run(vm, WorkloadGen::new(spec, scale.ops, 3)).unwrap();
-    let direct = alignment_stats(m.guest_table(vm), m.ept(vm));
+    let direct = alignment_stats(m.guest_table(vm), m.ept(vm).unwrap());
     assert_eq!(r.alignment, direct);
 }
 
@@ -70,7 +70,7 @@ fn translations_remain_consistent_across_the_stack() {
     let spec = spec_by_name("Xapian").unwrap().scaled(scale.ws_factor);
     m.run(vm, WorkloadGen::new(spec, scale.ops, 4)).unwrap();
     let guest = m.guest_table(vm);
-    let ept = m.ept(vm);
+    let ept = m.ept(vm).unwrap();
     let mut checked = 0;
     for (gva, gpa) in guest.iter_base() {
         let backing = ept.translate(gpa);
