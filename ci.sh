@@ -19,6 +19,15 @@ echo "== parallel determinism (GEMINI_JOBS=2) =="
 # once more pinned to two workers so CI exercises a distinct jobs count.
 GEMINI_JOBS=2 cargo test --offline -q -p gemini-harness --test parallel_determinism
 
+echo "== layer parity + golden byte-identity (GEMINI_JOBS=2) =="
+# Same policy through the guest and host LayerEngine instantiations, and
+# the fig3/fig8 grids against their pre-refactor goldens, at two worker
+# counts.
+GEMINI_JOBS=2 cargo test --offline -q -p gemini-harness --test layer_parity
+
+echo "== cargo doc (workspace, no-deps, -D warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline -q
+
 echo "== demo-scale timing (bench trajectory) =="
 # Wall-clock of one demo-scale compare per jobs count. Parse the
 # "timing:" lines into BENCH_*.json to track the executor's speedup.

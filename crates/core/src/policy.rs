@@ -1021,7 +1021,7 @@ mod tests {
         let mut p = GeminiPolicy::new(LayerKind::Guest, Arc::clone(&shared), cfg);
         // Book GPA region 9 by hand (as the daemon would after a scan).
         p.bookings
-            .book(&mut g.buddy, 9, Cycles::ZERO, Cycles(1 << 40))
+            .book(g.buddy_mut(), 9, Cycles::ZERO, Cycles(1 << 40))
             .unwrap();
         let vma = g.mmap(HUGE_PAGE_SIZE).unwrap();
         let (out, _) = g.handle_fault(vma.start_frame(), &mut p).unwrap();
@@ -1037,12 +1037,12 @@ mod tests {
     #[test]
     fn bucket_reuse_takes_priority_over_booking() {
         let (mut g, mut p) = guest_with_policy();
-        g.buddy
+        g.buddy_mut()
             .alloc_at(5 << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER)
             .unwrap();
         p.bucket.offer(5, Cycles::ZERO);
         p.bookings
-            .book(&mut g.buddy, 9, Cycles::ZERO, Cycles(1 << 40))
+            .book(g.buddy_mut(), 9, Cycles::ZERO, Cycles(1 << 40))
             .unwrap();
         let vma = g.mmap(HUGE_PAGE_SIZE).unwrap();
         let (out, _) = g.handle_fault(vma.start_frame(), &mut p).unwrap();
@@ -1055,7 +1055,7 @@ mod tests {
     fn ema_places_base_pages_into_booked_region() {
         let (mut g, mut p) = guest_with_policy();
         p.bookings
-            .book(&mut g.buddy, 9, Cycles::ZERO, Cycles(1 << 40))
+            .book(g.buddy_mut(), 9, Cycles::ZERO, Cycles(1 << 40))
             .unwrap();
         let vma = g.mmap(HUGE_PAGE_SIZE).unwrap();
         for i in 0..512 {
@@ -1070,7 +1070,7 @@ mod tests {
         assert_eq!(p.stats.booked_base_allocs, 512);
         // The region is fully populated and in-place eligible.
         let region = vma.start_frame() >> HUGE_PAGE_ORDER;
-        let pop = g.table.region_population(region);
+        let pop = g.table().region_population(region);
         assert_eq!(pop.present, 512);
         assert!(pop.in_place_eligible);
     }
@@ -1093,7 +1093,7 @@ mod tests {
         assert!(p.bookings.contains(3));
         assert!(p.bookings.contains(7));
         // Booked regions are protected from ordinary allocation.
-        assert!(g.buddy.alloc_at(3 << HUGE_PAGE_ORDER, 0).is_err());
+        assert!(g.buddy_mut().alloc_at(3 << HUGE_PAGE_ORDER, 0).is_err());
     }
 
     use std::sync::Arc;
@@ -1115,12 +1115,12 @@ mod tests {
         shared.lock().unwrap().scans.insert(VM, scan);
         g.run_daemon(&mut p, Cycles(0), 1);
         assert!(p.bookings.contains(3));
-        let free_before = g.buddy.free_frames();
+        let free_before = g.buddy().free_frames();
         // Remove the scan so the daemon does not immediately re-book.
         shared.lock().unwrap().scans.insert(VM, VmScan::default());
         g.run_daemon(&mut p, Cycles(200), 1);
         assert!(!p.bookings.contains(3));
-        assert_eq!(g.buddy.free_frames(), free_before + 512);
+        assert_eq!(g.buddy().free_frames(), free_before + 512);
     }
 
     #[test]
@@ -1129,7 +1129,7 @@ mod tests {
         let mut g = GuestMm::new(VM, 1 << 14, CostModel::default());
         let mut p = GeminiPolicy::new(LayerKind::Guest, Arc::clone(&shared), async_cfg());
         p.bookings
-            .book(&mut g.buddy, 9, Cycles::ZERO, Cycles(1 << 40))
+            .book(g.buddy_mut(), 9, Cycles::ZERO, Cycles(1 << 40))
             .unwrap();
         let vma = g.mmap(HUGE_PAGE_SIZE).unwrap();
         for i in 0..300 {
@@ -1138,7 +1138,7 @@ mod tests {
         let fx = g.run_daemon(&mut p, Cycles::ZERO, 1);
         let region = vma.start_frame() >> HUGE_PAGE_ORDER;
         assert_eq!(
-            g.table.huge_leaf(region),
+            g.table().huge_leaf(region),
             Some(9),
             "promoted onto the booking"
         );
@@ -1164,15 +1164,15 @@ mod tests {
             ..Default::default()
         };
         shared.lock().unwrap().scans.insert(VM, scan);
-        let before = g.table.huge_mapped();
+        let before = g.table().huge_mapped();
         g.run_daemon(&mut p, Cycles::ZERO, 1);
         assert!(
-            g.table.huge_mapped() > before,
+            g.table().huge_mapped() > before,
             "promoter collapsed the region"
         );
         assert!(p.stats.mhpp_promotions >= 1);
         // The collapse landed on the requested GPA region, aligning it.
-        assert_eq!(g.table.huge_leaf(gva_region), Some(4));
+        assert_eq!(g.table().huge_leaf(gva_region), Some(4));
     }
 
     #[test]
@@ -1259,12 +1259,12 @@ mod tests {
         let (mut g, mut p) = guest_with_policy();
         // Fragmented memory forces EMA base placement.
         let mut rng = gemini_sim_core::DetRng::new(11);
-        gemini_mm::fragment_to(&mut g.buddy, 0.9, 0.3, &mut rng);
+        gemini_mm::fragment_to(g.buddy_mut(), 0.9, 0.3, &mut rng);
         let vma = g.mmap(2 * HUGE_PAGE_SIZE).unwrap();
         let (first, _) = g.handle_fault(vma.start_frame(), &mut p).unwrap();
         // Steal the next target frame.
-        if g.buddy.is_frame_free(first.pa_frame + 1) {
-            g.buddy.alloc_at(first.pa_frame + 1, 0).unwrap();
+        if g.buddy().is_frame_free(first.pa_frame + 1) {
+            g.buddy_mut().alloc_at(first.pa_frame + 1, 0).unwrap();
         }
         let (second, _) = g.handle_fault(vma.start_frame() + 1, &mut p).unwrap();
         if !second.placement_honored {
@@ -1283,27 +1283,29 @@ mod tests {
         let mut p = GeminiPolicy::new(LayerKind::Guest, Arc::clone(&shared), async_cfg());
         // Two huge mappings: GPA region 0 (aligned per scan), 1 (misaligned).
         let vma = g.mmap(2 * gemini_sim_core::HUGE_PAGE_SIZE).unwrap();
-        g.table.map_huge(vma.start_frame() >> 9, 0).unwrap();
-        g.table.map_huge((vma.start_frame() >> 9) + 1, 1).unwrap();
-        g.buddy.alloc_at(0, HUGE_PAGE_ORDER).unwrap();
-        g.buddy.alloc_at(512, HUGE_PAGE_ORDER).unwrap();
+        g.table_mut().map_huge(vma.start_frame() >> 9, 0).unwrap();
+        g.table_mut()
+            .map_huge((vma.start_frame() >> 9) + 1, 1)
+            .unwrap();
+        g.buddy_mut().alloc_at(0, HUGE_PAGE_ORDER).unwrap();
+        g.buddy_mut().alloc_at(512, HUGE_PAGE_ORDER).unwrap();
         let mut scan = VmScan::default();
         scan.aligned_regions.insert(0);
         shared.lock().unwrap().scans.insert(VM, scan);
         // The aligned region is hot.
         g.record_touch(vma.start_frame());
         // Memory pressure: leave less than 5 % free.
-        while g.buddy.free_frames() > 4 * 512 / 25 {
-            g.buddy.alloc(0).unwrap();
+        while g.buddy().free_frames() > 4 * 512 / 25 {
+            g.buddy_mut().alloc(0).unwrap();
         }
         g.run_daemon(&mut p, Cycles::ZERO, 1);
         // Only the mis-aligned huge page was demoted.
         assert!(
-            g.table.huge_leaf(vma.start_frame() >> 9).is_some(),
+            g.table().huge_leaf(vma.start_frame() >> 9).is_some(),
             "aligned+hot survives"
         );
         assert!(
-            g.table.huge_leaf((vma.start_frame() >> 9) + 1).is_none(),
+            g.table().huge_leaf((vma.start_frame() >> 9) + 1).is_none(),
             "misaligned demoted"
         );
     }
@@ -1314,10 +1316,10 @@ mod tests {
         let mut g = GuestMm::new(VM, 1 << 14, CostModel::default());
         let mut p = GeminiPolicy::new(LayerKind::Guest, Arc::clone(&shared), async_cfg());
         let vma = g.mmap(gemini_sim_core::HUGE_PAGE_SIZE).unwrap();
-        g.table.map_huge(vma.start_frame() >> 9, 3).unwrap();
-        g.buddy.alloc_at(3 * 512, HUGE_PAGE_ORDER).unwrap();
+        g.table_mut().map_huge(vma.start_frame() >> 9, 3).unwrap();
+        g.buddy_mut().alloc_at(3 * 512, HUGE_PAGE_ORDER).unwrap();
         g.run_daemon(&mut p, Cycles::ZERO, 1);
-        assert!(g.table.huge_leaf(vma.start_frame() >> 9).is_some());
+        assert!(g.table().huge_leaf(vma.start_frame() >> 9).is_some());
     }
 
     #[test]

@@ -101,15 +101,12 @@ fn parse(args: &[String]) -> Result<Opts, String> {
 }
 
 fn system_by_label(label: &str) -> Option<SystemKind> {
-    SystemKind::evaluated()
-        .into_iter()
-        .find(|s| s.label().eq_ignore_ascii_case(label))
-        .or(match label.to_ascii_lowercase().as_str() {
-            "gemini" => Some(SystemKind::Gemini),
-            "thp" => Some(SystemKind::Thp),
-            "base" | "host-b-vm-b" => Some(SystemKind::HostBVmB),
-            _ => None,
-        })
+    // Every registry entry (ablations included) is selectable by its
+    // paper label; a few shorthands are kept for convenience.
+    SystemKind::by_label(label).or(match label.to_ascii_lowercase().as_str() {
+        "base" => Some(SystemKind::HostBVmB),
+        _ => None,
+    })
 }
 
 fn result_row(r: &RunResult) -> Vec<String> {
@@ -142,9 +139,9 @@ fn cmd_list() -> ExitCode {
     for s in non_tlb_sensitive() {
         println!("  {:<14} {:>4} MiB", s.name, s.working_set >> 20);
     }
-    println!("systems:");
-    for s in SystemKind::evaluated() {
-        println!("  {}", s.label());
+    println!("systems (scenario registry; * = main evaluation):");
+    for (_, spec) in gemini_vm_sim::REGISTRY {
+        println!("  {}{}", spec.label, if spec.evaluated { " *" } else { "" });
     }
     ExitCode::SUCCESS
 }

@@ -78,7 +78,7 @@ mod tests {
             ops: 400,
             ..Scale::quick()
         };
-        let spec = gemini_workloads::spec_by_name("Silo").unwrap();
+        let spec = gemini_workloads::spec_by_name("Silo").expect("Silo workload registered");
         let r = run_workload_on(SystemKind::Thp, &spec, &scale, false, 1).unwrap();
         assert_eq!(r.ops, 400);
         assert_eq!(r.system, "THP");
@@ -90,7 +90,7 @@ mod tests {
             ops: 400,
             ..Scale::quick()
         };
-        let spec = gemini_workloads::spec_by_name("Xapian").unwrap();
+        let spec = gemini_workloads::spec_by_name("Xapian").expect("Xapian workload registered");
         let r = run_workload_reused(SystemKind::Ingens, &spec, &scale, 2).unwrap();
         assert_eq!(r.ops, 400);
         assert_eq!(r.workload, "Xapian");

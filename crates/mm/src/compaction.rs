@@ -8,6 +8,11 @@
 //! migrates a budget of them per step from the *highest* regions to the
 //! lowest free frames, clearing whole regions from the top down — the same
 //! top-down clustering strategy Linux compaction uses.
+//!
+//! Compaction runs against a layer's buddy allocator directly (the
+//! `Machine` steps it against [`crate::LayerEngine::buddy`] at either
+//! layer), so one compactor implementation serves guest and host alike —
+//! the same one-mechanism-two-layers structure as the engine itself.
 
 use gemini_buddy::BuddyAllocator;
 

@@ -1,26 +1,36 @@
-//! The guest OS memory manager: VMAs, demand paging and the promotion
-//! daemon mechanism for one VM.
+//! The guest OS memory manager: a [`LayerEngine`] instantiated at the
+//! guest layer, plus the guest-only address-space structure (VMAs,
+//! demand-fault site lookup, `munmap` teardown) for one VM.
 
-use crate::costs::CostModel;
-use crate::mech;
-use crate::policy::{Effects, FaultCtx, FaultOutcome, HugePolicy, LayerKind, LayerOps};
+use crate::engine::{FaultSite, Layer, LayerEngine};
+use crate::policy::{Effects, FaultOutcome, HugePolicy, LayerKind};
 use crate::vma::{Vma, VmaId, VmaSet};
 use gemini_buddy::BuddyAllocator;
-use gemini_obs::{cat, EventKind, Layer, PromoMode, Recorder};
 use gemini_page_table::{AddressSpace, Translation};
 use gemini_sim_core::{
-    Cycles, SimError, VmId, HUGE_PAGE_ORDER, HUGE_PAGE_SIZE, PAGES_PER_HUGE_PAGE,
+    Cycles, Gva, SimError, VmId, HUGE_PAGE_ORDER, HUGE_PAGE_SIZE, PAGES_PER_HUGE_PAGE,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
-/// Classifies a completed promotion by its data movement.
-pub(crate) fn promo_mode(pages_copied: u64, pages_zeroed: u64) -> PromoMode {
-    if pages_copied > 0 {
-        PromoMode::Copy
-    } else if pages_zeroed > 0 {
-        PromoMode::Fill
-    } else {
-        PromoMode::InPlace
+/// Marker for the guest layer: GVA → GPA translation, guest page-fault
+/// costs, guest-tagged events and counters.
+#[derive(Debug)]
+pub enum GuestLayer {}
+
+impl Layer for GuestLayer {
+    type In = Gva;
+    const KIND: LayerKind = LayerKind::Guest;
+    const OBS: gemini_obs::Layer = gemini_obs::Layer::Guest;
+    const CTR_PROMOTIONS: &'static str = "mm.guest.promotions";
+    const CTR_PROMO_PAGES_COPIED: &'static str = "mm.guest.promo_pages_copied";
+    const CTR_DEMOTIONS: &'static str = "mm.guest.demotions";
+
+    fn input_addr(frame: u64) -> Gva {
+        Gva::from_frame(frame)
+    }
+
+    fn already_mapped(addr: Gva) -> SimError {
+        SimError::AlreadyMappedGva(addr)
     }
 }
 
@@ -32,37 +42,56 @@ pub struct GuestMm {
     pub vm: VmId,
     /// The workload's virtual memory areas.
     pub vmas: VmaSet,
-    /// The process page table (GVA frame → GPA frame).
-    pub table: AddressSpace,
-    /// The guest physical allocator (GPA frames).
-    pub buddy: BuddyAllocator,
-    /// Sampled touch counters per GVA 2 MiB region.
-    touches: HashMap<u64, u64>,
+    /// The shared layer machinery (page table, guest-physical buddy,
+    /// touch counters, fault/daemon/demotion paths).
+    pub engine: LayerEngine<GuestLayer>,
     /// VMAs that have taken at least one fault.
     touched_vmas: HashSet<VmaId>,
-    costs: CostModel,
-    rec: Recorder,
 }
 
 impl GuestMm {
     /// Creates a guest with `gpa_frames` of guest-physical memory.
-    pub fn new(vm: VmId, gpa_frames: u64, costs: CostModel) -> Self {
+    pub fn new(vm: VmId, gpa_frames: u64, costs: crate::costs::CostModel) -> Self {
+        let mut engine = LayerEngine::new(gpa_frames, costs);
+        engine.register_vm(vm);
         Self {
             vm,
             vmas: VmaSet::new(HUGE_PAGE_SIZE),
-            table: AddressSpace::new(),
-            buddy: BuddyAllocator::new(gpa_frames),
-            touches: HashMap::new(),
+            engine,
             touched_vmas: HashSet::new(),
-            costs,
-            rec: Recorder::off(),
         }
     }
 
     /// Attaches an observability recorder; daemon promotions and
     /// demotions of this guest are traced through it.
-    pub fn set_recorder(&mut self, rec: Recorder) {
-        self.rec = rec;
+    pub fn set_recorder(&mut self, rec: gemini_obs::Recorder) {
+        self.engine.set_recorder(rec);
+    }
+
+    /// The process page table (GVA frame → GPA frame).
+    pub fn table(&self) -> &AddressSpace {
+        self.engine
+            .table(self.vm)
+            .expect("guest VM is registered at construction")
+    }
+
+    /// Mutable access to the process page table (tests, targeted state
+    /// setup).
+    pub fn table_mut(&mut self) -> &mut AddressSpace {
+        self.engine
+            .table_mut(self.vm)
+            .expect("guest VM is registered at construction")
+    }
+
+    /// The guest physical allocator (GPA frames).
+    pub fn buddy(&self) -> &BuddyAllocator {
+        &self.engine.buddy
+    }
+
+    /// Mutable access to the guest physical allocator (fragmentation
+    /// injection, compaction).
+    pub fn buddy_mut(&mut self) -> &mut BuddyAllocator {
+        &mut self.engine.buddy
     }
 
     /// Maps a new VMA of `len` bytes.
@@ -72,15 +101,12 @@ impl GuestMm {
 
     /// Translates a GVA frame, if mapped.
     pub fn translate(&self, gva_frame: u64) -> Option<Translation> {
-        self.table.translate(gva_frame)
+        self.table().translate(gva_frame)
     }
 
     /// Records a sampled access for daemon heuristics.
     pub fn record_touch(&mut self, gva_frame: u64) {
-        *self
-            .touches
-            .entry(gva_frame >> HUGE_PAGE_ORDER)
-            .or_insert(0) += 1;
+        self.engine.record_touch(self.vm, gva_frame);
     }
 
     /// Handles a demand fault at `gva_frame` under `policy`.
@@ -89,122 +115,28 @@ impl GuestMm {
         gva_frame: u64,
         policy: &mut dyn HugePolicy,
     ) -> Result<(FaultOutcome, Effects), SimError> {
-        let gva = gemini_sim_core::Gva::from_frame(gva_frame);
+        let gva = Gva::from_frame(gva_frame);
         let vma = self.vmas.find(gva).ok_or(SimError::NoVma(gva))?.clone();
-        let first_touch = !self.touched_vmas.contains(&vma.id);
-        let region = gva_frame >> HUGE_PAGE_ORDER;
-        let pop = self.table.region_population(region);
-        if self.table.translate(gva_frame).is_some() {
-            return Err(SimError::AlreadyMappedGva(gva));
-        }
-
-        let ctx = FaultCtx {
-            layer: LayerKind::Guest,
-            vm: self.vm,
-            addr_frame: gva_frame,
+        let site = FaultSite {
             vma: Some(&vma),
-            first_touch_in_vma: first_touch,
-            region_pop: pop,
-            buddy: &self.buddy,
-            table: &self.table,
+            first_touch_in_vma: !self.touched_vmas.contains(&vma.id),
         };
-        let huge_allowed = pop.present == 0 && ctx.region_within_vma();
-        let decision = policy.fault_decision(&ctx);
-
-        let (outcome, fx) = mech::resolve_fault(
-            &mut self.table,
-            &mut self.buddy,
-            &self.costs,
-            LayerKind::Guest,
-            gva_frame,
-            decision,
-            huge_allowed,
-        )?;
+        let (outcome, fx) = self.engine.fault(self.vm, gva_frame, site, policy)?;
         self.touched_vmas.insert(vma.id);
-        policy.after_fault(gva_frame, &outcome);
         Ok((outcome, fx))
     }
 
     /// Runs one daemon pass of `policy`, executing the promotions it
     /// requests.
     pub fn run_daemon(&mut self, policy: &mut dyn HugePolicy, now: Cycles, vcpus: u32) -> Effects {
-        let mut ops_view = LayerOps {
-            layer: LayerKind::Guest,
-            vm: self.vm,
-            table: &self.table,
-            buddy: &mut self.buddy,
-            touches: &self.touches,
-            now,
-        };
-        let requests = policy.daemon(&mut ops_view);
-        let mut ops_view = LayerOps {
-            layer: LayerKind::Guest,
-            vm: self.vm,
-            table: &self.table,
-            buddy: &mut self.buddy,
-            touches: &self.touches,
-            now,
-        };
-        let demotions = policy.select_demotions(&mut ops_view);
-        let mut fx = Effects::cost(Cycles(
-            self.costs.scan_per_region.0 * (requests.len() as u64 + 1),
-        ));
-        for op in requests {
-            let region = op.region;
-            let was_huge = self.table.huge_leaf(region).is_some();
-            let opfx = mech::execute_promotion(
-                &mut self.table,
-                &mut self.buddy,
-                &self.costs,
-                LayerKind::Guest,
-                op,
-                vcpus,
-            );
-            if self.rec.wants(cat::PROMOTION) && !was_huge && self.table.huge_leaf(region).is_some()
-            {
-                let vm = self.vm.0;
-                let (copied, zeroed) = (opfx.pages_copied, opfx.pages_zeroed);
-                self.rec
-                    .emit(cat::PROMOTION, vm, Layer::Guest, || EventKind::Promotion {
-                        region,
-                        mode: promo_mode(copied, zeroed),
-                        pages_copied: copied,
-                        pages_zeroed: zeroed,
-                    });
-                self.rec.counter_add("mm.guest.promotions", 1);
-                self.rec.counter_add("mm.guest.promo_pages_copied", copied);
-            }
-            fx.merge(opfx);
-        }
-        for region in demotions {
-            if let Ok(dfx) = mech::execute_demotion(
-                &mut self.table,
-                &self.costs,
-                LayerKind::Guest,
-                region,
-                vcpus,
-            ) {
-                let vm = self.vm.0;
-                self.rec
-                    .emit(cat::DEMOTION, vm, Layer::Guest, || EventKind::Demotion {
-                        region,
-                    });
-                self.rec.counter_add("mm.guest.demotions", 1);
-                fx.merge(dfx);
-            }
-        }
-        fx
+        self.engine
+            .run_daemon(self.vm, policy, now, vcpus)
+            .expect("guest VM is registered at construction")
     }
 
     /// Demotes (splits) one huge mapping.
     pub fn demote(&mut self, region: u64, vcpus: u32) -> Result<Effects, SimError> {
-        mech::execute_demotion(
-            &mut self.table,
-            &self.costs,
-            LayerKind::Guest,
-            region,
-            vcpus,
-        )
+        self.engine.demote(self.vm, region, vcpus)
     }
 
     /// Unmaps a VMA, freeing its guest-physical memory.
@@ -224,28 +156,30 @@ impl GuestMm {
         let start_region = vma.start_frame() >> HUGE_PAGE_ORDER;
         let end_region =
             (vma.start_frame() + vma.pages() + PAGES_PER_HUGE_PAGE - 1) >> HUGE_PAGE_ORDER;
-        let mut fx = Effects::cost(self.costs.remap_fixed);
+        let parts = self.engine.parts_mut(self.vm)?;
+        let mut fx = Effects::cost(parts.costs.remap_fixed);
         fx.shootdowns = 1;
         for region in start_region..end_region {
             let mut any = false;
-            if self.table.huge_leaf(region).is_some() {
-                let pa_huge = self.table.unmap_huge(region)?;
+            if parts.table.huge_leaf(region).is_some() {
+                let pa_huge = parts.table.unmap_huge(region)?;
                 if !policy.intercept_huge_free(pa_huge, now) {
-                    self.buddy
+                    parts
+                        .buddy
                         .free(pa_huge << HUGE_PAGE_ORDER, HUGE_PAGE_ORDER)?;
                 }
                 any = true;
             } else {
-                for (va, pa) in self.table.iter_base_in(region) {
-                    self.table.unmap_base(va)?;
-                    self.buddy.free(pa, 0)?;
+                for (va, pa) in parts.table.iter_base_in(region) {
+                    parts.table.unmap_base(va)?;
+                    parts.buddy.free(pa, 0)?;
                     any = true;
                 }
             }
             if any {
                 fx.gva_regions_invalidated.push(region);
                 policy.on_region_unmapped(region);
-                self.touches.remove(&region);
+                parts.touches.remove(&region);
             }
         }
         self.touched_vmas.remove(&vma.id);
@@ -254,14 +188,15 @@ impl GuestMm {
 
     /// The guest-level fragmentation index at huge-page order.
     pub fn fragmentation_index(&self) -> f64 {
-        self.buddy.fragmentation_index(HUGE_PAGE_ORDER)
+        self.engine.fragmentation_index()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{BasePagesOnly, FaultDecision};
+    use crate::costs::CostModel;
+    use crate::policy::{BasePagesOnly, FaultCtx, FaultDecision, LayerOps};
     use gemini_sim_core::page::PageSize;
 
     /// A policy that always asks for huge mappings.
@@ -330,13 +265,13 @@ mod tests {
         let vma = g.mmap(2 * HUGE_PAGE_SIZE).unwrap();
         g.handle_fault(vma.start_frame(), &mut p).unwrap();
         g.handle_fault(vma.start_frame() + 512, &mut p).unwrap();
-        let free_before = g.buddy.free_frames();
+        let free_before = g.buddy().free_frames();
         let fx = g.munmap(vma.id, &mut p, Cycles::ZERO).unwrap();
-        assert_eq!(g.buddy.free_frames(), free_before + 1024);
+        assert_eq!(g.buddy().free_frames(), free_before + 1024);
         assert_eq!(fx.gva_regions_invalidated.len(), 2);
-        assert_eq!(g.table.huge_mapped(), 0);
-        g.buddy.check_invariants().unwrap();
-        g.table.check_invariants().unwrap();
+        assert_eq!(g.table().huge_mapped(), 0);
+        g.buddy().check_invariants().unwrap();
+        g.table().check_invariants().unwrap();
     }
 
     #[test]
@@ -359,10 +294,10 @@ mod tests {
         let mut p = Bucket(Vec::new());
         let vma = g.mmap(HUGE_PAGE_SIZE).unwrap();
         g.handle_fault(vma.start_frame(), &mut p).unwrap();
-        let used_before = g.buddy.used_frames();
+        let used_before = g.buddy().used_frames();
         g.munmap(vma.id, &mut p, Cycles::ZERO).unwrap();
         // The huge page's frames did NOT return to the buddy.
-        assert_eq!(g.buddy.used_frames(), used_before);
+        assert_eq!(g.buddy().used_frames(), used_before);
         assert_eq!(p.0.len(), 1);
     }
 
@@ -394,7 +329,7 @@ mod tests {
             g.handle_fault(vma.start_frame() + i, &mut p).unwrap();
         }
         let fx = g.run_daemon(&mut p, Cycles::ZERO, 1);
-        assert_eq!(g.table.huge_mapped(), 1);
+        assert_eq!(g.table().huge_mapped(), 1);
         assert_eq!(fx.pages_copied, 40);
         assert_eq!(fx.shootdowns, 1);
     }
@@ -404,7 +339,7 @@ mod tests {
         let mut g = guest();
         g.record_touch(100 * 512);
         g.record_touch(100 * 512 + 1);
-        assert_eq!(g.touches.get(&100), Some(&2));
+        assert_eq!(g.engine.touches(g.vm).unwrap().get(&100), Some(&2));
     }
 
     #[test]
@@ -415,8 +350,8 @@ mod tests {
         g.handle_fault(vma.start_frame(), &mut p).unwrap();
         let region = vma.start_frame() >> HUGE_PAGE_ORDER;
         let fx = g.demote(region, 1).unwrap();
-        assert_eq!(g.table.huge_mapped(), 0);
-        assert_eq!(g.table.base_mapped(), 512);
+        assert_eq!(g.table().huge_mapped(), 0);
+        assert_eq!(g.table().base_mapped(), 512);
         assert_eq!(fx.gva_regions_invalidated, vec![region]);
     }
 }

@@ -1,72 +1,44 @@
-//! The host/hypervisor memory manager: EPT-fault handling and host-side
-//! huge-page backing for all VMs on the machine.
+//! The host/hypervisor memory manager: a [`LayerEngine`] instantiated at
+//! the host layer — one EPT per VM, one machine-wide physical allocator.
 
-use crate::costs::CostModel;
-use crate::mech;
-use crate::policy::{Effects, FaultCtx, FaultOutcome, HugePolicy, LayerKind, LayerOps};
-use gemini_buddy::BuddyAllocator;
-use gemini_obs::{cat, EventKind, Layer, Recorder};
+use crate::engine::{FaultSite, Layer, LayerEngine};
+use crate::policy::{Effects, FaultOutcome, HugePolicy, LayerKind};
 use gemini_page_table::AddressSpace;
-use gemini_sim_core::{Cycles, SimError, VmId, HUGE_PAGE_ORDER};
-use std::collections::{BTreeMap, HashMap};
+use gemini_sim_core::{Gpa, SimError, VmId};
 
-/// Memory management of the host: one EPT per VM, one machine-wide
-/// physical allocator.
+/// Marker for the host layer: GPA → HPA translation, EPT-violation
+/// costs, host-tagged events and counters.
 #[derive(Debug)]
-pub struct HostMm {
-    /// The host physical allocator (HPA frames).
-    pub buddy: BuddyAllocator,
-    /// Per-VM EPT (GPA frame → HPA frame).
-    epts: BTreeMap<VmId, AddressSpace>,
-    /// Sampled touch counters per (VM, GPA 2 MiB region).
-    touches: HashMap<VmId, HashMap<u64, u64>>,
-    costs: CostModel,
-    rec: Recorder,
+pub enum HostLayer {}
+
+impl Layer for HostLayer {
+    type In = Gpa;
+    const KIND: LayerKind = LayerKind::Host;
+    const OBS: gemini_obs::Layer = gemini_obs::Layer::Host;
+    const CTR_PROMOTIONS: &'static str = "mm.host.promotions";
+    const CTR_PROMO_PAGES_COPIED: &'static str = "mm.host.promo_pages_copied";
+    const CTR_DEMOTIONS: &'static str = "mm.host.demotions";
+
+    fn input_addr(frame: u64) -> Gpa {
+        Gpa::from_frame(frame)
+    }
+
+    fn already_mapped(addr: Gpa) -> SimError {
+        SimError::AlreadyMappedGpa(addr)
+    }
 }
 
-impl HostMm {
-    /// Creates a host with `hpa_frames` of machine memory.
-    pub fn new(hpa_frames: u64, costs: CostModel) -> Self {
-        Self {
-            buddy: BuddyAllocator::new(hpa_frames),
-            epts: BTreeMap::new(),
-            touches: HashMap::new(),
-            costs,
-            rec: Recorder::off(),
-        }
-    }
+/// Memory management of the host: the generic layer engine instantiated
+/// at the host layer. The EPTs are the engine's per-VM tables; the
+/// machine-wide physical allocator is the engine's buddy.
+pub type HostMm = LayerEngine<HostLayer>;
 
-    /// Attaches an observability recorder; host daemon promotions and
-    /// demotions are traced through it.
-    pub fn set_recorder(&mut self, rec: Recorder) {
-        self.rec = rec;
-    }
-
-    /// Registers a VM (creates its empty EPT).
-    pub fn register_vm(&mut self, vm: VmId) {
-        self.epts.entry(vm).or_default();
-        self.touches.entry(vm).or_default();
-    }
-
+/// Host-flavoured names over the generic engine surface.
+impl LayerEngine<HostLayer> {
     /// The EPT of `vm`, or [`SimError::UnknownVm`] if the VM was
     /// never registered.
     pub fn ept(&self, vm: VmId) -> Result<&AddressSpace, SimError> {
-        self.epts.get(&vm).ok_or(SimError::UnknownVm(vm))
-    }
-
-    /// Registered VMs in id order.
-    pub fn vms(&self) -> Vec<VmId> {
-        self.epts.keys().copied().collect()
-    }
-
-    /// Records a sampled access for daemon heuristics.
-    pub fn record_touch(&mut self, vm: VmId, gpa_frame: u64) {
-        *self
-            .touches
-            .entry(vm)
-            .or_default()
-            .entry(gpa_frame >> HUGE_PAGE_ORDER)
-            .or_insert(0) += 1;
+        self.table(vm)
     }
 
     /// Handles an EPT violation: `gpa_frame` of `vm` has no backing.
@@ -76,135 +48,19 @@ impl HostMm {
         gpa_frame: u64,
         policy: &mut dyn HugePolicy,
     ) -> Result<(FaultOutcome, Effects), SimError> {
-        let table = self.epts.get_mut(&vm).ok_or(SimError::UnknownVm(vm))?;
-        if table.translate(gpa_frame).is_some() {
-            return Err(SimError::AlreadyMappedGpa(
-                gemini_sim_core::Gpa::from_frame(gpa_frame),
-            ));
-        }
-        let region = gpa_frame >> HUGE_PAGE_ORDER;
-        let pop = table.region_population(region);
-        let ctx = FaultCtx {
-            layer: LayerKind::Host,
-            vm,
-            addr_frame: gpa_frame,
-            vma: None,
-            first_touch_in_vma: false,
-            region_pop: pop,
-            buddy: &self.buddy,
-            table,
-        };
-        let huge_allowed = pop.present == 0;
-        let decision = policy.fault_decision(&ctx);
-
-        let (outcome, fx) = mech::resolve_fault(
-            table,
-            &mut self.buddy,
-            &self.costs,
-            LayerKind::Host,
-            gpa_frame,
-            decision,
-            huge_allowed,
-        )?;
-        policy.after_fault(gpa_frame, &outcome);
-        Ok((outcome, fx))
-    }
-
-    /// Runs one host daemon pass of `policy` over `vm`'s EPT.
-    pub fn run_daemon(
-        &mut self,
-        vm: VmId,
-        policy: &mut dyn HugePolicy,
-        now: Cycles,
-        vcpus: u32,
-    ) -> Result<Effects, SimError> {
-        let table = self.epts.get_mut(&vm).ok_or(SimError::UnknownVm(vm))?;
-        let touches = self.touches.entry(vm).or_default();
-        let mut ops_view = LayerOps {
-            layer: LayerKind::Host,
-            vm,
-            table,
-            buddy: &mut self.buddy,
-            touches,
-            now,
-        };
-        let requests = policy.daemon(&mut ops_view);
-        let mut ops_view = LayerOps {
-            layer: LayerKind::Host,
-            vm,
-            table,
-            buddy: &mut self.buddy,
-            touches,
-            now,
-        };
-        let demotions = policy.select_demotions(&mut ops_view);
-        let mut fx = Effects::cost(Cycles(
-            self.costs.scan_per_region.0 * (requests.len() as u64 + 1),
-        ));
-        for op in requests {
-            let region = op.region;
-            let was_huge = table.huge_leaf(region).is_some();
-            let opfx = mech::execute_promotion(
-                table,
-                &mut self.buddy,
-                &self.costs,
-                LayerKind::Host,
-                op,
-                vcpus,
-            );
-            if self.rec.wants(cat::PROMOTION) && !was_huge && table.huge_leaf(region).is_some() {
-                let (copied, zeroed) = (opfx.pages_copied, opfx.pages_zeroed);
-                self.rec
-                    .emit(cat::PROMOTION, vm.0, Layer::Host, || EventKind::Promotion {
-                        region,
-                        mode: crate::guest::promo_mode(copied, zeroed),
-                        pages_copied: copied,
-                        pages_zeroed: zeroed,
-                    });
-                self.rec.counter_add("mm.host.promotions", 1);
-                self.rec.counter_add("mm.host.promo_pages_copied", copied);
-            }
-            fx.merge(opfx);
-        }
-        for region in demotions {
-            if let Ok(dfx) =
-                mech::execute_demotion(table, &self.costs, LayerKind::Host, region, vcpus)
-            {
-                self.rec
-                    .emit(cat::DEMOTION, vm.0, Layer::Host, || EventKind::Demotion {
-                        region,
-                    });
-                self.rec.counter_add("mm.host.demotions", 1);
-                fx.merge(dfx);
-            }
-        }
-        Ok(fx)
-    }
-
-    /// Demotes (splits) one huge EPT leaf of `vm`.
-    pub fn demote(&mut self, vm: VmId, region: u64, vcpus: u32) -> Result<Effects, SimError> {
-        let table = self.epts.get_mut(&vm).ok_or(SimError::UnknownVm(vm))?;
-        mech::execute_demotion(table, &self.costs, LayerKind::Host, region, vcpus)
-    }
-
-    /// The host-level fragmentation index at huge-page order.
-    pub fn fragmentation_index(&self) -> f64 {
-        self.buddy.fragmentation_index(HUGE_PAGE_ORDER)
+        self.fault(vm, gpa_frame, FaultSite::anonymous(), policy)
     }
 }
-
-// Machines move across executor worker threads whole; the host MM
-// (including its recorder handle) must stay `Send`.
-const _: () = {
-    const fn assert_send<T: Send>() {}
-    assert_send::<HostMm>();
-};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{BasePagesOnly, FaultDecision, PromotionKind, PromotionOp};
+    use crate::costs::CostModel;
+    use crate::policy::{
+        BasePagesOnly, FaultCtx, FaultDecision, LayerOps, PromotionKind, PromotionOp,
+    };
     use gemini_sim_core::page::PageSize;
+    use gemini_sim_core::Cycles;
 
     struct AlwaysHuge;
     impl HugePolicy for AlwaysHuge {
@@ -317,8 +173,8 @@ mod tests {
         h.record_touch(VmId(1), 5);
         h.record_touch(VmId(2), 5);
         h.record_touch(VmId(1), 5);
-        assert_eq!(h.touches[&VmId(1)][&0], 2);
-        assert_eq!(h.touches[&VmId(2)][&0], 1);
+        assert_eq!(h.touches(VmId(1)).unwrap()[&0], 2);
+        assert_eq!(h.touches(VmId(2)).unwrap()[&0], 1);
     }
 
     #[test]

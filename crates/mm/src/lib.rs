@@ -4,10 +4,12 @@
 //! the paper modifies. It deliberately separates **mechanism** from
 //! **policy**:
 //!
-//! - Mechanisms live here: VMAs and demand paging in the guest
-//!   ([`GuestMm`]), EPT-fault handling and host backing ([`HostMm`]),
-//!   promotion (in-place, fill-and-promote, copy/migrate), demotion,
-//!   unmapping, and the cycle/shootdown accounting for all of them.
+//! - Mechanisms live here, implemented once in the generic
+//!   [`LayerEngine`] and instantiated per layer: VMAs and demand paging
+//!   in the guest ([`GuestMm`]), EPT-fault handling and host backing
+//!   ([`HostMm`]), promotion (in-place, fill-and-promote, copy/migrate),
+//!   demotion, unmapping, and the cycle/shootdown accounting for all of
+//!   them.
 //! - Policies (Linux THP, Ingens, HawkEye, CA-paging, Translation-ranger,
 //!   and Gemini itself) implement the [`HugePolicy`] trait and are plugged
 //!   into each layer independently — exactly the structure that produces
@@ -21,6 +23,7 @@
 pub mod aligned;
 pub mod compaction;
 pub mod costs;
+pub mod engine;
 pub mod frag;
 pub mod guest;
 pub mod host;
@@ -31,9 +34,10 @@ pub mod vma;
 pub use aligned::{alignment_stats, AlignmentStats};
 pub use compaction::Compactor;
 pub use costs::CostModel;
+pub use engine::{FaultSite, Layer, LayerEngine, LayerParts};
 pub use frag::{fragment_to, TenantChurn};
-pub use guest::GuestMm;
-pub use host::HostMm;
+pub use guest::{GuestLayer, GuestMm};
+pub use host::{HostLayer, HostMm};
 pub use policy::{
     Effects, FaultCtx, FaultDecision, FaultOutcome, HugePolicy, LayerKind, LayerOps, PromotionKind,
     PromotionOp,

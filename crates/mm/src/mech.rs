@@ -28,10 +28,7 @@ pub fn resolve_fault(
     huge_allowed: bool,
 ) -> Result<(FaultOutcome, Effects), SimError> {
     let region = addr_frame >> HUGE_PAGE_ORDER;
-    let (base_cost, huge_extra) = match layer {
-        LayerKind::Guest => (costs.minor_fault, costs.huge_fault_extra),
-        LayerKind::Host => (costs.ept_fault, costs.ept_huge_fault_extra),
-    };
+    let (base_cost, huge_extra) = layer.fault_costs(costs);
 
     // Huge-path attempts, in decreasing specificity.
     if huge_allowed {

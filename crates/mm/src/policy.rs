@@ -2,11 +2,13 @@
 //!
 //! A [`HugePolicy`] drives one layer's page-size decisions: what to do on a
 //! demand fault, and which regions the background daemon (the khugepaged
-//! analogue) should promote. The mechanisms in [`crate::GuestMm`] and
-//! [`crate::HostMm`] execute those decisions and report [`Effects`] — the
-//! TLB invalidations, shootdowns and cycles that the whole-system simulator
-//! applies to its MMU model and clock.
+//! analogue) should promote. The mechanisms in [`crate::LayerEngine`]
+//! (instantiated as [`crate::GuestMm`] and [`crate::HostMm`]) execute those
+//! decisions and report [`Effects`] — the TLB invalidations, shootdowns and
+//! cycles that the whole-system simulator applies to its MMU model and
+//! clock.
 
+use crate::costs::CostModel;
 use crate::vma::Vma;
 use gemini_buddy::BuddyAllocator;
 use gemini_page_table::{AddressSpace, RegionPopulation};
@@ -20,6 +22,17 @@ pub enum LayerKind {
     Guest,
     /// VM/EPT page tables (GPA → HPA).
     Host,
+}
+
+impl LayerKind {
+    /// The cost-model hook of the layer: (base fault cost, extra cost of
+    /// resolving the fault with a huge mapping).
+    pub fn fault_costs(self, costs: &CostModel) -> (Cycles, Cycles) {
+        match self {
+            LayerKind::Guest => (costs.minor_fault, costs.huge_fault_extra),
+            LayerKind::Host => (costs.ept_fault, costs.ept_huge_fault_extra),
+        }
+    }
 }
 
 /// Context handed to a policy at demand-fault time.

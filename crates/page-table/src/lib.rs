@@ -19,6 +19,7 @@
 //! them in typed [`gemini_sim_core::Gva`]/[`Gpa`]/[`Hpa`] addresses.
 //!
 //! [`Gpa`]: gemini_sim_core::Gpa
+//! [`Hpa`]: gemini_sim_core::Hpa
 //!
 //! # Examples
 //!

@@ -216,7 +216,7 @@ mod tests {
             g.handle_fault(vma.start_frame() + i, &mut ca).unwrap();
         }
         let fx = g.run_daemon(&mut ca, Cycles::ZERO, 1);
-        assert_eq!(g.table.huge_mapped(), 1);
+        assert_eq!(g.table().huge_mapped(), 1);
         assert_eq!(fx.pages_copied, 0, "in-place, no migration");
     }
 
@@ -230,13 +230,13 @@ mod tests {
             g.handle_fault(vma.start_frame() + i, &mut ca).unwrap();
         }
         g.run_daemon(&mut ca, Cycles::ZERO, 1);
-        assert_eq!(g.table.huge_mapped(), 0, "sparse region must stay base");
+        assert_eq!(g.table().huge_mapped(), 0, "sparse region must stay base");
         // A nearly-full region collapses through the THP fallback.
         for i in 200..511 {
             g.handle_fault(vma.start_frame() + i, &mut ca).unwrap();
         }
         g.run_daemon(&mut ca, Cycles::ZERO, 1);
-        assert_eq!(g.table.huge_mapped(), 1);
+        assert_eq!(g.table().huge_mapped(), 1);
     }
 
     #[test]
@@ -246,7 +246,7 @@ mod tests {
         let vma = g.mmap(2 * HUGE_PAGE_SIZE).unwrap();
         let (first, _) = g.handle_fault(vma.start_frame(), &mut ca).unwrap();
         // Sabotage: steal the next reserved frame directly.
-        g.buddy.alloc_at(first.pa_frame + 1, 0).unwrap();
+        g.buddy_mut().alloc_at(first.pa_frame + 1, 0).unwrap();
         let (second, _) = g.handle_fault(vma.start_frame() + 1, &mut ca).unwrap();
         assert!(!second.placement_honored);
         // Subsequent faults pick a fresh congruent run and stay contiguous.

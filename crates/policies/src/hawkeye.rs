@@ -133,8 +133,8 @@ mod tests {
             g.record_touch(region1 << 9);
         }
         g.run_daemon(&mut he, Cycles::ZERO, 1);
-        assert_eq!(g.table.huge_mapped(), 1);
-        assert!(g.table.huge_leaf(region1).is_some(), "hot region first");
+        assert_eq!(g.table().huge_mapped(), 1);
+        assert!(g.table().huge_leaf(region1).is_some(), "hot region first");
     }
 
     #[test]
@@ -146,7 +146,7 @@ mod tests {
             g.handle_fault(vma.start_frame() + i, &mut he).unwrap();
         }
         g.run_daemon(&mut he, Cycles::ZERO, 1);
-        assert_eq!(g.table.huge_mapped(), 0, "100 < 256 present");
+        assert_eq!(g.table().huge_mapped(), 0, "100 < 256 present");
     }
 
     #[test]
@@ -163,7 +163,7 @@ mod tests {
         // First pass: promotes up to 4 (dedup phase off on pass 1 demotes
         // after toggling — phase starts true on first call).
         g.run_daemon(&mut he, Cycles::ZERO, 1);
-        let after_first = g.table.huge_mapped();
+        let after_first = g.table().huge_mapped();
         assert!(after_first >= 2, "promotions happened: {after_first}");
         // Run several passes; dedup keeps knocking huge pages back down,
         // so the count oscillates rather than monotonically growing.
@@ -171,7 +171,7 @@ mod tests {
         let mut prev = after_first;
         for _ in 0..6 {
             g.run_daemon(&mut he, Cycles::ZERO, 1);
-            let now = g.table.huge_mapped();
+            let now = g.table().huge_mapped();
             if now < prev {
                 saw_demotion = true;
             }
@@ -194,6 +194,6 @@ mod tests {
         for _ in 0..4 {
             g.run_daemon(&mut he, Cycles::ZERO, 1);
         }
-        assert_eq!(g.table.huge_mapped(), 2);
+        assert_eq!(g.table().huge_mapped(), 2);
     }
 }

@@ -97,12 +97,12 @@ mod tests {
                 .unwrap();
         }
         g.run_daemon(&mut ingens, Cycles::ZERO, 1);
-        assert_eq!(g.table.huge_mapped(), 1, "only the 470-page region");
+        assert_eq!(g.table().huge_mapped(), 1, "only the 470-page region");
         // Top the first region up; it promotes on the next pass.
         g.handle_fault(vma.start_frame() + 460, &mut ingens)
             .unwrap();
         g.run_daemon(&mut ingens, Cycles::ZERO, 1);
-        assert_eq!(g.table.huge_mapped(), 2);
+        assert_eq!(g.table().huge_mapped(), 2);
     }
 
     #[test]
@@ -120,8 +120,8 @@ mod tests {
             }
         }
         g.run_daemon(&mut ingens, Cycles::ZERO, 1);
-        assert_eq!(g.table.huge_mapped(), 8);
+        assert_eq!(g.table().huge_mapped(), 8);
         g.run_daemon(&mut ingens, Cycles::ZERO, 1);
-        assert_eq!(g.table.huge_mapped(), 12);
+        assert_eq!(g.table().huge_mapped(), 12);
     }
 }

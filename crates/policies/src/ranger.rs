@@ -117,7 +117,7 @@ mod tests {
             }
         }
         let fx = g.run_daemon(&mut ranger, Cycles::ZERO, 1);
-        assert_eq!(g.table.huge_mapped(), 4);
+        assert_eq!(g.table().huge_mapped(), 4);
         assert_eq!(fx.pages_copied, 200, "copy-always migration");
         assert_eq!(fx.shootdowns, 4);
         assert!(fx.cycles > Cycles(4 * CostModel::default().shootdown_per_vcpu.0));
@@ -145,7 +145,7 @@ mod tests {
         let mut g2 = build();
         let mut thp = crate::LinuxThp::new();
         let fx_thp = g2.run_daemon(&mut thp, Cycles::ZERO, 1);
-        assert!(g1.table.huge_mapped() > g2.table.huge_mapped());
+        assert!(g1.table().huge_mapped() > g2.table().huge_mapped());
         assert!(fx_ranger.cycles > fx_thp.cycles);
         assert!(fx_ranger.pages_copied > fx_thp.pages_copied);
     }

@@ -125,7 +125,7 @@ mod tests {
     fn fault_path_degrades_under_fragmentation() {
         let mut g = GuestMm::new(VmId(1), 4096, CostModel::default());
         let mut rng = gemini_sim_core::DetRng::new(5);
-        gemini_mm::fragment_to(&mut g.buddy, 0.9, 0.1, &mut rng);
+        gemini_mm::fragment_to(g.buddy_mut(), 0.9, 0.1, &mut rng);
         let mut thp = LinuxThp::new();
         let vma = g.mmap(HUGE_PAGE_SIZE).unwrap();
         let (out, _) = g.handle_fault(vma.start_frame(), &mut thp).unwrap();
@@ -148,12 +148,12 @@ mod tests {
         };
         let fx = g.run_daemon(&mut thp, Cycles::ZERO, 1);
         // Budget caps the pass at 8 regions.
-        assert_eq!(g.table.huge_mapped(), 8);
+        assert_eq!(g.table().huge_mapped(), 8);
         assert_eq!(fx.shootdowns, 8);
         // Subsequent passes continue round-robin until done.
         g.run_daemon(&mut thp, Cycles::ZERO, 1);
         g.run_daemon(&mut thp, Cycles::ZERO, 1);
-        assert_eq!(g.table.huge_mapped(), 20);
+        assert_eq!(g.table().huge_mapped(), 20);
         // A further pass finds nothing.
         let fx = g.run_daemon(&mut thp, Cycles::ZERO, 1);
         assert_eq!(fx.shootdowns, 0);
@@ -170,6 +170,6 @@ mod tests {
             ..LinuxThp::new()
         };
         g.run_daemon(&mut thp, Cycles::ZERO, 1);
-        assert_eq!(g.table.huge_mapped(), 0, "1 < min_present, no collapse");
+        assert_eq!(g.table().huge_mapped(), 0, "1 < min_present, no collapse");
     }
 }

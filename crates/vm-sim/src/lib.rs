@@ -22,7 +22,9 @@
 //! };
 //! let mut machine = Machine::new(SystemKind::Gemini, cfg);
 //! let vm = machine.add_vm();
-//! let spec = spec_by_name("Masstree").unwrap().scaled(1.0 / 32.0);
+//! let spec = spec_by_name("Masstree")
+//!     .expect("Masstree workload registered")
+//!     .scaled(1.0 / 32.0);
 //! let result = machine.run(vm, WorkloadGen::new(spec, 500, 42)).unwrap();
 //! assert_eq!(result.ops, 500);
 //! assert!(result.throughput() > 0.0);
@@ -34,4 +36,4 @@ pub mod system;
 
 pub use machine::{Machine, MachineConfig};
 pub use result::RunResult;
-pub use system::SystemKind;
+pub use system::{PolicyCtor, ScenarioSpec, SystemKind, REGISTRY};

@@ -1,7 +1,7 @@
 //! [`Machine`] — the simulated host with its VMs.
 
 use crate::result::RunResult;
-use crate::system::SystemKind;
+use crate::system::{ScenarioSpec, SystemKind};
 use gemini::{GeminiRuntime, GeminiShared};
 use gemini_mm::{alignment_stats, CostModel, Effects, GuestMm, HostMm, HugePolicy, VmaId};
 use gemini_obs::{cat, EventKind, Layer, Recorder, SamplePoint, TraceConfig};
@@ -117,8 +117,8 @@ struct RunCtx {
 /// The simulated machine: one host, one or more VMs, one system under
 /// test.
 pub struct Machine {
-    /// System configuration under test.
-    pub system: SystemKind,
+    /// Scenario under test (the registry entry, or a custom pairing).
+    scenario: ScenarioSpec,
     cfg: MachineConfig,
     host: HostMm,
     host_policy: Box<dyn HugePolicy>,
@@ -135,10 +135,16 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Builds a machine running `system`.
+    /// Builds a machine running `system` (its registry scenario).
     pub fn new(system: SystemKind, cfg: MachineConfig) -> Self {
-        let shared = system.is_gemini().then(gemini::shared::new_shared);
-        let mut runtime = shared.as_ref().and_then(|s| system.runtime(s));
+        Self::from_scenario(system.spec().clone(), cfg)
+    }
+
+    /// Builds a machine running an arbitrary [`ScenarioSpec`] — any
+    /// (guest, host) policy pairing, registered or not.
+    pub fn from_scenario(scenario: ScenarioSpec, cfg: MachineConfig) -> Self {
+        let shared = scenario.is_gemini().then(gemini::shared::new_shared);
+        let mut runtime = shared.as_ref().and_then(|s| scenario.runtime(s));
         if let (Some(shared), Some(t)) = (&shared, cfg.fixed_booking_timeout) {
             shared.lock().unwrap().booking_timeout = t;
             if let Some(rt) = &mut runtime {
@@ -155,13 +161,13 @@ impl Machine {
             host_tenant = Some(gemini_mm::TenantChurn::new(rng.fork()));
         }
         let mut host_policy: Box<dyn HugePolicy> =
-            match (system.is_gemini(), &cfg.gemini_override, &shared) {
+            match (scenario.is_gemini(), &cfg.gemini_override, &shared) {
                 (true, Some(ov), Some(s)) => Box::new(gemini::GeminiPolicy::new(
                     gemini_mm::LayerKind::Host,
                     s.clone(),
                     ov.clone(),
                 )),
-                _ => system.host_policy(shared.as_ref()),
+                _ => scenario.host_policy(shared.as_ref()),
             };
         let recorder = Recorder::new(&cfg.trace);
         host_policy.attach_recorder(recorder.clone());
@@ -170,7 +176,7 @@ impl Machine {
             rt.set_recorder(recorder.clone());
         }
         Self {
-            system,
+            scenario,
             cfg,
             host,
             host_policy,
@@ -193,6 +199,11 @@ impl Machine {
         &self.recorder
     }
 
+    /// The scenario this machine runs.
+    pub fn scenario(&self) -> &ScenarioSpec {
+        &self.scenario
+    }
+
     /// Adds a VM and returns its id.
     pub fn add_vm(&mut self) -> VmId {
         let vm = VmId(self.next_vm_id);
@@ -203,11 +214,11 @@ impl Machine {
         let mut tenant = None;
         if let Some(target) = self.cfg.fragment_guest {
             let mut frag_rng = self.rng.fork();
-            guest_pins = gemini_mm::fragment_to(&mut guest.buddy, target, 0.12, &mut frag_rng);
+            guest_pins = gemini_mm::fragment_to(guest.buddy_mut(), target, 0.12, &mut frag_rng);
             tenant = Some(gemini_mm::TenantChurn::new(self.rng.fork()));
         }
         let mut policy: Box<dyn HugePolicy> = match (
-            self.system.is_gemini(),
+            self.scenario.is_gemini(),
             &self.cfg.gemini_override,
             &self.shared,
         ) {
@@ -217,7 +228,7 @@ impl Machine {
                 ov.clone(),
             )),
             _ => self
-                .system
+                .scenario
                 .guest_policy(self.cfg.zero_heavy, self.shared.as_ref()),
         };
         policy.attach_recorder(self.recorder.clone());
@@ -246,7 +257,7 @@ impl Machine {
 
     /// Read access to a VM's guest page table (metrics, tests).
     pub fn guest_table(&self, vm: VmId) -> &gemini_page_table::AddressSpace {
-        &self.vms[&vm].guest.table
+        self.vms[&vm].guest.table()
     }
 
     /// Read access to a VM's EPT (metrics, tests).
@@ -515,7 +526,7 @@ impl Machine {
         if now >= vs.next_compact {
             let moved = vs
                 .compactor
-                .step(&mut vs.guest.buddy, self.cfg.compact_budget);
+                .step(vs.guest.buddy_mut(), self.cfg.compact_budget);
             let stall = self.cfg.costs.daemon_stall(moved, vcpus);
             if moved > 0 {
                 vs.clock += Cycles((stall.0 as f64 * 0.5) as u64);
@@ -547,7 +558,7 @@ impl Machine {
         if now >= vs.next_tenant {
             if let Some(t) = &mut vs.tenant {
                 t.step(
-                    &mut vs.guest.buddy,
+                    vs.guest.buddy_mut(),
                     now,
                     self.cfg.tenant_breaks,
                     self.cfg.tenant_hold,
@@ -587,7 +598,7 @@ impl Machine {
         let Ok(ept) = self.host.ept(vm) else {
             return;
         };
-        let aligned_rate = alignment_stats(&vs.guest.table, ept).aligned_rate();
+        let aligned_rate = alignment_stats(vs.guest.table(), ept).aligned_rate();
         self.recorder.record_sample(SamplePoint {
             cycle: now.0,
             host_fmfi: self.host.fragmentation_index(),
@@ -617,7 +628,12 @@ impl Machine {
         )> = self
             .vms
             .iter()
-            .filter_map(|(&id, vs)| self.host.ept(id).ok().map(|ept| (id, &vs.guest.table, ept)))
+            .filter_map(|(&id, vs)| {
+                self.host
+                    .ept(id)
+                    .ok()
+                    .map(|ept| (id, vs.guest.table(), ept))
+            })
             .collect();
         let cost = rt.tick(now, &tables, tlb_misses, fmfi);
         drop(tables);
@@ -631,9 +647,9 @@ impl Machine {
 
     fn finish(&mut self, vm: VmId, workload: String, mut ctx: RunCtx) -> Result<RunResult> {
         let vs = &self.vms[&vm];
-        let alignment = alignment_stats(&vs.guest.table, self.host.ept(vm)?);
+        let alignment = alignment_stats(vs.guest.table(), self.host.ept(vm)?);
         Ok(RunResult {
-            system: self.system.label(),
+            system: self.scenario.label,
             workload,
             ops: ctx.ops,
             vtime: vs.clock.saturating_sub(ctx.clock_at_start),
@@ -735,7 +751,9 @@ mod tests {
         for system in [SystemKind::Thp, SystemKind::Gemini] {
             let mut m = Machine::new(system, small_cfg());
             let vm = m.add_vm();
-            let spec = spec_by_name("Redis").unwrap().scaled(1.0 / 16.0);
+            let spec = spec_by_name("Redis")
+                .expect("Redis workload registered")
+                .scaled(1.0 / 16.0);
             let gen = WorkloadGen::new(spec, 2_000, 11);
             let r = m.run(vm, gen).unwrap();
             assert_eq!(r.ops, 2_000);
@@ -756,7 +774,9 @@ mod tests {
             fragment_host: Some(0.9),
             ..MachineConfig::default()
         };
-        let spec = spec_by_name("Masstree").unwrap().scaled(1.0 / 4.0);
+        let spec = spec_by_name("Masstree")
+            .expect("Masstree workload registered")
+            .scaled(1.0 / 4.0);
 
         let mut gem = Machine::new(SystemKind::Gemini, cfg.clone());
         let vm = gem.add_vm();
@@ -785,7 +805,9 @@ mod tests {
     fn reused_vm_keeps_ept_state() {
         let mut m = Machine::new(SystemKind::Gemini, small_cfg());
         let vm = m.add_vm();
-        let svm = spec_by_name("SVM").unwrap().scaled(1.0 / 32.0);
+        let svm = spec_by_name("SVM")
+            .expect("SVM workload registered")
+            .scaled(1.0 / 32.0);
         m.run(vm, WorkloadGen::new(svm, 1_000, 3)).unwrap();
         let backed_before = m.ept(vm).unwrap().mapped_base_page_equiv();
         m.clear_workload(vm).unwrap();
@@ -793,7 +815,9 @@ mod tests {
         assert_eq!(m.guest_table(vm).mapped_base_page_equiv(), 0);
         assert_eq!(m.ept(vm).unwrap().mapped_base_page_equiv(), backed_before);
         // A second workload runs fine in the reused VM.
-        let redis = spec_by_name("Redis").unwrap().scaled(1.0 / 32.0);
+        let redis = spec_by_name("Redis")
+            .expect("Redis workload registered")
+            .scaled(1.0 / 32.0);
         let r = m.run(vm, WorkloadGen::new(redis, 1_000, 4)).unwrap();
         assert_eq!(r.ops, 1_000);
     }
@@ -807,8 +831,10 @@ mod tests {
         let mut m = Machine::new(SystemKind::Thp, cfg);
         let vm1 = m.add_vm();
         let vm2 = m.add_vm();
-        let a = WorkloadGen::new(spec_by_name("Redis").unwrap().scaled(1.0 / 32.0), 500, 1);
-        let b = WorkloadGen::new(spec_by_name("Shore").unwrap().scaled(1.0 / 32.0), 500, 2);
+        let redis = spec_by_name("Redis").expect("Redis workload registered");
+        let a = WorkloadGen::new(redis.scaled(1.0 / 32.0), 500, 1);
+        let shore = spec_by_name("Shore").expect("Shore workload registered");
+        let b = WorkloadGen::new(shore.scaled(1.0 / 32.0), 500, 2);
         let rs = m.run_collocated(vec![(vm1, a), (vm2, b)]).unwrap();
         assert_eq!(rs.len(), 2);
         assert_eq!(rs[0].ops, 500);
@@ -821,7 +847,9 @@ mod tests {
         let run = || {
             let mut m = Machine::new(SystemKind::Ingens, small_cfg());
             let vm = m.add_vm();
-            let spec = spec_by_name("Xapian").unwrap().scaled(1.0 / 32.0);
+            let spec = spec_by_name("Xapian")
+                .expect("Xapian workload registered")
+                .scaled(1.0 / 32.0);
             m.run(vm, WorkloadGen::new(spec, 800, 9)).unwrap()
         };
         let a = run();
@@ -829,6 +857,31 @@ mod tests {
         assert_eq!(a.vtime, b.vtime);
         assert_eq!(a.counters, b.counters);
         assert_eq!(a.alignment, b.alignment);
+    }
+
+    #[test]
+    fn ninth_system_is_one_registry_style_entry() {
+        // Adding a new (guest, host) pairing takes nothing but a
+        // ScenarioSpec value; the Machine consumes it directly.
+        use crate::system::{PolicyCtor, ScenarioSpec};
+        use gemini_policies::PolicyKind;
+        let toy = ScenarioSpec {
+            label: "Toy-HG",
+            guest: PolicyCtor::Fixed(PolicyKind::HugeAlways),
+            host: PolicyCtor::Fixed(PolicyKind::Thp),
+            gemini: None,
+            evaluated: false,
+            tabulated: false,
+        };
+        let mut m = Machine::from_scenario(toy, small_cfg());
+        let vm = m.add_vm();
+        let gen = MicrobenchGen::generator(8 << 20, 200, 7);
+        let r = m.run(vm, gen).unwrap();
+        assert_eq!(r.system, "Toy-HG");
+        assert_eq!(r.ops, 200);
+        assert!(r.vtime > Cycles::ZERO);
+        // The guest side really went huge while the host ran THP.
+        assert!(r.alignment.guest_huge > 0);
     }
 }
 
@@ -853,7 +906,9 @@ mod probe {
             for system in [SystemKind::CaPaging, SystemKind::Ranger] {
                 let mut cfg = cfg.clone();
                 cfg.zero_heavy = wl == "Specjbb";
-                let spec = spec_by_name(wl).unwrap().scaled(0.25);
+                let spec = spec_by_name(wl)
+                    .expect("probe workload registered")
+                    .scaled(0.25);
                 let mut m = Machine::new(system, cfg.clone());
                 let vm = m.add_vm();
                 let r = m.run(vm, WorkloadGen::new(spec, 8_000, 5)).unwrap();
@@ -873,8 +928,8 @@ mod probe {
                     "  compact: guest pins={} moved={} | host pins={} moved={} | guest largest_run={} free_o9={}",
                     vs.compactor.pinned(), vs.compactor.migrated_total,
                     m.host_compactor.pinned(), m.host_compactor.migrated_total,
-                    vs.guest.buddy.largest_free_run(),
-                    vs.guest.buddy.free_blocks_of_order(9),
+                    vs.guest.buddy().largest_free_run(),
+                    vs.guest.buddy().free_blocks_of_order(9),
                 );
             }
         }

@@ -1,5 +1,18 @@
-//! The systems under comparison (paper §2.3 and §6.1).
+//! The systems under comparison (paper §2.3 and §6.1), as a declarative
+//! scenario registry.
+//!
+//! Every compared system is one [`ScenarioSpec`] data entry in
+//! [`REGISTRY`]: a display label, a guest-policy constructor, a
+//! host-policy constructor, an optional Gemini configuration tweak, and
+//! two membership flags (main evaluation, alignment tables). The
+//! [`SystemKind`] enum remains the stable machine-readable id, but its
+//! `evaluated()` / `tabulated()` / `label()` surfaces are *derived* from
+//! the registry, so the three can never drift out of sync. Adding a new
+//! system — or a new (guest, host) pairing — is a one-entry change; the
+//! `Machine` consumes any [`ScenarioSpec`] directly via
+//! `Machine::from_scenario`.
 
+use gemini::policy::GeminiConfig;
 use gemini::{GeminiPolicy, GeminiRuntime, GeminiShared};
 use gemini_mm::{HugePolicy, LayerKind};
 use gemini_policies::{build, PolicyKind};
@@ -37,58 +50,294 @@ pub enum SystemKind {
     GeminiBucketOnly,
 }
 
+/// How one layer's [`HugePolicy`] is constructed for a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyCtor {
+    /// A fixed policy from the `gemini-policies` catalogue.
+    Fixed(PolicyKind),
+    /// HawkEye with its deduplicator keyed to the running workload's
+    /// zero-page profile (guest layer only; the host side cannot see
+    /// workload contents and uses `Fixed(HawkEye)`).
+    HawkEyeZeroAware,
+    /// Gemini's coordinated policy, wired to the machine's shared
+    /// cross-layer state.
+    Gemini,
+}
+
+/// A declarative description of one system under test.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Display label matching the paper's figures.
+    pub label: &'static str,
+    /// Guest-layer policy constructor (one instance per VM).
+    pub guest: PolicyCtor,
+    /// Host-layer policy constructor (one instance, shared by all VMs).
+    pub host: PolicyCtor,
+    /// For Gemini variants: a tweak applied to the default
+    /// [`GeminiConfig`] (ablations flip feature flags here). `None`
+    /// marks a non-Gemini system with no cross-layer runtime.
+    pub gemini: Option<fn(&mut GeminiConfig)>,
+    /// Member of the main evaluation (the paper's eight compared
+    /// systems).
+    pub evaluated: bool,
+    /// Member of the well-aligned-rate tables (Tables 1, 3, 4).
+    pub tabulated: bool,
+}
+
+/// Gemini ablation: disable the huge bucket (EMA/HB only, Fig. 16).
+fn cfg_no_bucket(cfg: &mut GeminiConfig) {
+    cfg.enable_bucket = false;
+}
+
+/// Gemini ablation: disable booking/EMA (bucket only, Fig. 16).
+fn cfg_bucket_only(cfg: &mut GeminiConfig) {
+    cfg.enable_booking = false;
+    cfg.enable_promoter = false;
+}
+
+/// Identity tweak: the full Gemini configuration.
+fn cfg_default(_cfg: &mut GeminiConfig) {}
+
+/// The scenario registry: every compared system as one data entry.
+///
+/// Registry order is presentation order — `evaluated()` and
+/// `tabulated()` are the order-preserving filters of the membership
+/// flags, which reproduces the paper's figure and table layouts.
+pub const REGISTRY: &[(SystemKind, ScenarioSpec)] = &[
+    (
+        SystemKind::HostBVmB,
+        ScenarioSpec {
+            label: "Host-B-VM-B",
+            guest: PolicyCtor::Fixed(PolicyKind::Base),
+            host: PolicyCtor::Fixed(PolicyKind::Base),
+            gemini: None,
+            evaluated: true,
+            tabulated: false,
+        },
+    ),
+    (
+        SystemKind::HostHVmB,
+        ScenarioSpec {
+            label: "Misalignment",
+            guest: PolicyCtor::Fixed(PolicyKind::Base),
+            host: PolicyCtor::Fixed(PolicyKind::HugeAlways),
+            gemini: None,
+            evaluated: true,
+            tabulated: false,
+        },
+    ),
+    (
+        SystemKind::HostBVmH,
+        ScenarioSpec {
+            label: "Host-B-VM-H",
+            guest: PolicyCtor::Fixed(PolicyKind::HugeAlways),
+            host: PolicyCtor::Fixed(PolicyKind::Base),
+            gemini: None,
+            evaluated: false,
+            tabulated: false,
+        },
+    ),
+    (
+        SystemKind::HostHVmH,
+        ScenarioSpec {
+            label: "Host-H-VM-H",
+            guest: PolicyCtor::Fixed(PolicyKind::HugeAlways),
+            host: PolicyCtor::Fixed(PolicyKind::HugeAlways),
+            gemini: None,
+            evaluated: false,
+            tabulated: false,
+        },
+    ),
+    (
+        SystemKind::Thp,
+        ScenarioSpec {
+            label: "THP",
+            guest: PolicyCtor::Fixed(PolicyKind::Thp),
+            host: PolicyCtor::Fixed(PolicyKind::Thp),
+            gemini: None,
+            evaluated: true,
+            tabulated: true,
+        },
+    ),
+    (
+        SystemKind::CaPaging,
+        ScenarioSpec {
+            label: "CA-paging",
+            guest: PolicyCtor::Fixed(PolicyKind::CaPaging),
+            host: PolicyCtor::Fixed(PolicyKind::CaPaging),
+            gemini: None,
+            evaluated: true,
+            tabulated: true,
+        },
+    ),
+    (
+        SystemKind::Ranger,
+        ScenarioSpec {
+            label: "Trans-ranger",
+            guest: PolicyCtor::Fixed(PolicyKind::Ranger),
+            host: PolicyCtor::Fixed(PolicyKind::Ranger),
+            gemini: None,
+            evaluated: true,
+            tabulated: true,
+        },
+    ),
+    (
+        SystemKind::HawkEye,
+        ScenarioSpec {
+            label: "HawkEye",
+            guest: PolicyCtor::HawkEyeZeroAware,
+            host: PolicyCtor::Fixed(PolicyKind::HawkEye { zero_heavy: false }),
+            gemini: None,
+            evaluated: true,
+            tabulated: true,
+        },
+    ),
+    (
+        SystemKind::Ingens,
+        ScenarioSpec {
+            label: "Ingens",
+            guest: PolicyCtor::Fixed(PolicyKind::Ingens),
+            host: PolicyCtor::Fixed(PolicyKind::Ingens),
+            gemini: None,
+            evaluated: true,
+            tabulated: true,
+        },
+    ),
+    (
+        SystemKind::Gemini,
+        ScenarioSpec {
+            label: "GEMINI",
+            guest: PolicyCtor::Gemini,
+            host: PolicyCtor::Gemini,
+            gemini: Some(cfg_default),
+            evaluated: true,
+            tabulated: true,
+        },
+    ),
+    (
+        SystemKind::GeminiNoBucket,
+        ScenarioSpec {
+            label: "GEMINI-EMA/HB",
+            guest: PolicyCtor::Gemini,
+            host: PolicyCtor::Gemini,
+            gemini: Some(cfg_no_bucket),
+            evaluated: false,
+            tabulated: false,
+        },
+    ),
+    (
+        SystemKind::GeminiBucketOnly,
+        ScenarioSpec {
+            label: "GEMINI-bucket",
+            guest: PolicyCtor::Gemini,
+            host: PolicyCtor::Gemini,
+            gemini: Some(cfg_bucket_only),
+            evaluated: false,
+            tabulated: false,
+        },
+    ),
+];
+
+impl ScenarioSpec {
+    /// True for the Gemini variants (they need the cross-layer runtime).
+    pub fn is_gemini(&self) -> bool {
+        self.gemini.is_some()
+    }
+
+    /// The Gemini configuration for this scenario (ablations flip
+    /// flags); the default configuration for non-Gemini systems.
+    pub fn gemini_config(&self) -> GeminiConfig {
+        let mut cfg = GeminiConfig::default();
+        if let Some(tweak) = self.gemini {
+            tweak(&mut cfg);
+        }
+        cfg
+    }
+
+    /// Builds the guest-layer policy (per VM). `zero_heavy` flags the
+    /// running workload for HawkEye's deduplicator.
+    pub fn guest_policy(
+        &self,
+        zero_heavy: bool,
+        shared: Option<&GeminiShared>,
+    ) -> Box<dyn HugePolicy> {
+        self.build_policy(self.guest, LayerKind::Guest, zero_heavy, shared)
+    }
+
+    /// Builds the host-layer policy (shared by all VMs).
+    pub fn host_policy(&self, shared: Option<&GeminiShared>) -> Box<dyn HugePolicy> {
+        self.build_policy(self.host, LayerKind::Host, false, shared)
+    }
+
+    /// Builds the cross-layer runtime for Gemini variants.
+    pub fn runtime(&self, shared: &GeminiShared) -> Option<GeminiRuntime> {
+        self.is_gemini().then(|| GeminiRuntime::new(shared.clone()))
+    }
+
+    fn build_policy(
+        &self,
+        ctor: PolicyCtor,
+        layer: LayerKind,
+        zero_heavy: bool,
+        shared: Option<&GeminiShared>,
+    ) -> Box<dyn HugePolicy> {
+        match ctor {
+            PolicyCtor::Fixed(kind) => build(kind),
+            PolicyCtor::HawkEyeZeroAware => build(PolicyKind::HawkEye { zero_heavy }),
+            PolicyCtor::Gemini => {
+                let shared = shared.expect("Gemini systems need shared state").clone();
+                Box::new(GeminiPolicy::new(layer, shared, self.gemini_config()))
+            }
+        }
+    }
+}
+
 impl SystemKind {
-    /// The eight systems of the main evaluation, in the paper's order.
-    pub fn evaluated() -> [SystemKind; 8] {
-        [
-            SystemKind::HostBVmB,
-            SystemKind::HostHVmB,
-            SystemKind::Thp,
-            SystemKind::CaPaging,
-            SystemKind::Ranger,
-            SystemKind::HawkEye,
-            SystemKind::Ingens,
-            SystemKind::Gemini,
-        ]
+    /// This system's registry entry.
+    pub fn spec(self) -> &'static ScenarioSpec {
+        REGISTRY
+            .iter()
+            .find(|(kind, _)| *kind == self)
+            .map(|(_, spec)| spec)
+            .expect("every SystemKind has a registry entry")
+    }
+
+    /// Looks a system up by its display label (case-insensitive).
+    pub fn by_label(label: &str) -> Option<SystemKind> {
+        REGISTRY
+            .iter()
+            .find(|(_, spec)| spec.label.eq_ignore_ascii_case(label))
+            .map(|(kind, _)| *kind)
+    }
+
+    /// The eight systems of the main evaluation, in the paper's order
+    /// (derived from the registry's `evaluated` flags).
+    pub fn evaluated() -> Vec<SystemKind> {
+        REGISTRY
+            .iter()
+            .filter(|(_, spec)| spec.evaluated)
+            .map(|(kind, _)| *kind)
+            .collect()
     }
 
     /// The six systems whose well-aligned rates the paper tabulates
-    /// (Tables 1, 3, 4).
-    pub fn tabulated() -> [SystemKind; 6] {
-        [
-            SystemKind::Thp,
-            SystemKind::CaPaging,
-            SystemKind::Ranger,
-            SystemKind::HawkEye,
-            SystemKind::Ingens,
-            SystemKind::Gemini,
-        ]
+    /// (Tables 1, 3, 4; derived from the registry's `tabulated` flags).
+    pub fn tabulated() -> Vec<SystemKind> {
+        REGISTRY
+            .iter()
+            .filter(|(_, spec)| spec.tabulated)
+            .map(|(kind, _)| *kind)
+            .collect()
     }
 
     /// Display label matching the paper's figures.
     pub fn label(self) -> &'static str {
-        match self {
-            SystemKind::HostBVmB => "Host-B-VM-B",
-            SystemKind::HostBVmH => "Host-B-VM-H",
-            SystemKind::HostHVmB => "Misalignment",
-            SystemKind::HostHVmH => "Host-H-VM-H",
-            SystemKind::Thp => "THP",
-            SystemKind::CaPaging => "CA-paging",
-            SystemKind::Ranger => "Trans-ranger",
-            SystemKind::HawkEye => "HawkEye",
-            SystemKind::Ingens => "Ingens",
-            SystemKind::Gemini => "GEMINI",
-            SystemKind::GeminiNoBucket => "GEMINI-EMA/HB",
-            SystemKind::GeminiBucketOnly => "GEMINI-bucket",
-        }
+        self.spec().label
     }
 
     /// True for the Gemini variants (they need the cross-layer runtime).
     pub fn is_gemini(self) -> bool {
-        matches!(
-            self,
-            SystemKind::Gemini | SystemKind::GeminiNoBucket | SystemKind::GeminiBucketOnly
-        )
+        self.spec().is_gemini()
     }
 
     /// Builds the guest-layer policy (per VM). `zero_heavy` flags the
@@ -98,63 +347,22 @@ impl SystemKind {
         zero_heavy: bool,
         shared: Option<&GeminiShared>,
     ) -> Box<dyn HugePolicy> {
-        match self {
-            SystemKind::HostBVmB | SystemKind::HostHVmB => build(PolicyKind::Base),
-            SystemKind::HostBVmH | SystemKind::HostHVmH => build(PolicyKind::HugeAlways),
-            SystemKind::Thp => build(PolicyKind::Thp),
-            SystemKind::CaPaging => build(PolicyKind::CaPaging),
-            SystemKind::Ranger => build(PolicyKind::Ranger),
-            SystemKind::HawkEye => build(PolicyKind::HawkEye { zero_heavy }),
-            SystemKind::Ingens => build(PolicyKind::Ingens),
-            SystemKind::Gemini | SystemKind::GeminiNoBucket | SystemKind::GeminiBucketOnly => {
-                let shared = shared.expect("Gemini systems need shared state").clone();
-                Box::new(GeminiPolicy::new(
-                    LayerKind::Guest,
-                    shared,
-                    self.gemini_config(),
-                ))
-            }
-        }
+        self.spec().guest_policy(zero_heavy, shared)
     }
 
     /// Builds the host-layer policy (shared by all VMs).
     pub fn host_policy(self, shared: Option<&GeminiShared>) -> Box<dyn HugePolicy> {
-        match self {
-            SystemKind::HostBVmB | SystemKind::HostBVmH => build(PolicyKind::Base),
-            SystemKind::HostHVmB | SystemKind::HostHVmH => build(PolicyKind::HugeAlways),
-            SystemKind::Thp => build(PolicyKind::Thp),
-            SystemKind::CaPaging => build(PolicyKind::CaPaging),
-            SystemKind::Ranger => build(PolicyKind::Ranger),
-            SystemKind::HawkEye => build(PolicyKind::HawkEye { zero_heavy: false }),
-            SystemKind::Ingens => build(PolicyKind::Ingens),
-            SystemKind::Gemini | SystemKind::GeminiNoBucket | SystemKind::GeminiBucketOnly => {
-                let shared = shared.expect("Gemini systems need shared state").clone();
-                Box::new(GeminiPolicy::new(
-                    LayerKind::Host,
-                    shared,
-                    self.gemini_config(),
-                ))
-            }
-        }
+        self.spec().host_policy(shared)
     }
 
     /// The Gemini configuration for this variant (ablations flip flags).
-    pub fn gemini_config(self) -> gemini::policy::GeminiConfig {
-        let mut cfg = gemini::policy::GeminiConfig::default();
-        match self {
-            SystemKind::GeminiNoBucket => cfg.enable_bucket = false,
-            SystemKind::GeminiBucketOnly => {
-                cfg.enable_booking = false;
-                cfg.enable_promoter = false;
-            }
-            _ => {}
-        }
-        cfg
+    pub fn gemini_config(self) -> GeminiConfig {
+        self.spec().gemini_config()
     }
 
     /// Builds the cross-layer runtime for Gemini variants.
     pub fn runtime(self, shared: &GeminiShared) -> Option<GeminiRuntime> {
-        self.is_gemini().then(|| GeminiRuntime::new(shared.clone()))
+        self.spec().runtime(shared)
     }
 }
 
@@ -199,5 +407,40 @@ mod tests {
         assert!(!SystemKind::GeminiNoBucket.gemini_config().enable_bucket);
         assert!(!SystemKind::GeminiBucketOnly.gemini_config().enable_booking);
         assert!(SystemKind::Gemini.gemini_config().enable_bucket);
+    }
+
+    #[test]
+    fn registry_covers_every_kind_exactly_once_with_unique_labels() {
+        for (kind, spec) in REGISTRY {
+            assert_eq!(kind.spec().label, spec.label);
+            assert_eq!(SystemKind::by_label(spec.label), Some(*kind));
+            assert_eq!(
+                REGISTRY.iter().filter(|(k, _)| k == kind).count(),
+                1,
+                "duplicate registry entry for {kind:?}"
+            );
+            assert_eq!(
+                REGISTRY
+                    .iter()
+                    .filter(|(_, s)| s.label == spec.label)
+                    .count(),
+                1,
+                "duplicate label {:?}",
+                spec.label
+            );
+        }
+        assert_eq!(SystemKind::evaluated().len(), 8);
+        assert_eq!(SystemKind::tabulated().len(), 6);
+    }
+
+    #[test]
+    fn lookup_by_label_is_case_insensitive() {
+        assert_eq!(SystemKind::by_label("gemini"), Some(SystemKind::Gemini));
+        assert_eq!(SystemKind::by_label("thp"), Some(SystemKind::Thp));
+        assert_eq!(
+            SystemKind::by_label("misalignment"),
+            Some(SystemKind::HostHVmB)
+        );
+        assert_eq!(SystemKind::by_label("no-such-system"), None);
     }
 }

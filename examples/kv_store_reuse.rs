@@ -21,11 +21,15 @@ fn run_reuse(system: SystemKind, scale: &Scale) -> (f64, u64, f64, f64) {
     let mut m = Machine::new(system, cfg);
     let vm: VmId = m.add_vm();
     // Phase 1: the SVM predecessor with a large working set.
-    let svm = spec_by_name("SVM").unwrap().scaled(scale.ws_factor);
+    let svm = spec_by_name("SVM")
+        .expect("SVM workload registered")
+        .scaled(scale.ws_factor);
     m.run(vm, WorkloadGen::new(svm, scale.ops / 2, 3)).unwrap();
     m.clear_workload(vm).unwrap();
     // Phase 2: the reused VM runs Redis.
-    let redis = spec_by_name("Redis").unwrap().scaled(scale.ws_factor);
+    let redis = spec_by_name("Redis")
+        .expect("Redis workload registered")
+        .scaled(scale.ws_factor);
     let r = m.run(vm, WorkloadGen::new(redis, scale.ops, 4)).unwrap();
     (
         r.throughput(),
