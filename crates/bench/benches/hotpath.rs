@@ -1,0 +1,32 @@
+#![allow(missing_docs)]
+//! End-to-end hot-path benchmark: times whole experiment cells through the
+//! same [`gemini_harness::bench`] module `gemini-sim bench` uses, so the
+//! Criterion numbers and the `BENCH_pr4.json` report measure the same
+//! code path. Covers the PR-4 reference cell (fragmented GEMINI/Canneal)
+//! and a jobs sweep over the fig3 motivation grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gemini_bench::bench_scale;
+use gemini_harness::bench::{run_bench, run_reference_cell};
+
+fn bench_reference_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    g.sample_size(10);
+    g.bench_function("reference_cell", |b| {
+        b.iter(|| run_reference_cell().expect("reference cell runs"));
+    });
+    g.finish();
+}
+
+fn bench_full_report(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut g = c.benchmark_group("hotpath");
+    g.sample_size(10);
+    g.bench_function("full_report_jobs1", |b| {
+        b.iter(|| run_bench(&scale, "bench", 1).expect("bench grid runs"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reference_cell, bench_full_report);
+criterion_main!(benches);

@@ -12,23 +12,32 @@ use gemini_harness::Scale;
 pub fn bench_scale() -> Scale {
     let mut scale = Scale::from_env();
     if let Ok(ops) = std::env::var("GEMINI_BENCH_OPS") {
-        if let Ok(ops) = ops.parse::<u64>() {
-            scale.ops = ops;
+        match ops.parse::<u64>() {
+            Ok(ops) => scale.ops = ops,
+            Err(_) => eprintln!(
+                "warning: GEMINI_BENCH_OPS={ops:?} is not a number; using the scale default"
+            ),
         }
     }
     scale
 }
 
+/// Frames of 4 KiB pages expressed in MiB, without precedence surprises.
+fn frames_to_mib(frames: u64) -> u64 {
+    frames.saturating_mul(4096) >> 20
+}
+
 /// Prints a standard bench header.
 pub fn header(name: &str, artefacts: &str) {
+    let scale = bench_scale();
     println!("================================================================");
     println!("{name} — regenerates {artefacts}");
     println!(
         "scale: ws_factor={:.3}, ops={}, host={} MiB, vm={} MiB (set GEMINI_SCALE/GEMINI_BENCH_OPS to change)",
-        bench_scale().ws_factor,
-        bench_scale().ops,
-        bench_scale().host_frames * 4096 >> 20,
-        bench_scale().vm_frames * 4096 >> 20,
+        scale.ws_factor,
+        scale.ops,
+        frames_to_mib(scale.host_frames),
+        frames_to_mib(scale.vm_frames),
     );
     println!("================================================================");
 }

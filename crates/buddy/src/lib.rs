@@ -41,23 +41,36 @@
 //! ```
 
 use gemini_sim_core::{FreeAreaCounts, SimError};
-use std::collections::{BTreeMap, BTreeSet};
 
 /// Largest allocatable order (inclusive): order-10 blocks are 4 MiB, the
 /// Linux `MAX_ORDER` limit the paper cites when explaining why the stock
 /// buddy allocator cannot hand out arbitrarily large contiguous regions.
 pub const MAX_ORDER: u32 = 10;
 
+/// Marks a frame that is not the start of a free block in
+/// [`BuddyAllocator::order_of`].
+const NO_BLOCK: u8 = u8::MAX;
+
 /// A binary buddy allocator over a contiguous range of page frames.
+///
+/// Free blocks are tracked in one flat byte array indexed by frame:
+/// `order_of[f]` is the order of the free block starting at `f`, or a
+/// `NO_BLOCK` sentinel. Because a block of order `o` can only start at an
+/// `o`-aligned frame, "which free block contains frame `f`" is answered by
+/// probing the 11 aligned predecessors of `f` — no tree walk — and the
+/// buddy-merge step in [`BuddyAllocator::free`] is a single array read.
+/// Address-ordered allocation keeps a per-order minimum-start hint that
+/// insertions lower and scans advance, so finding the lowest free block of
+/// an order amortizes to a moving cursor.
 #[derive(Debug, Clone)]
 pub struct BuddyAllocator {
-    /// `free_lists[o]` holds the start frames of free order-`o` blocks,
-    /// sorted by address so allocation prefers low addresses (which keeps
-    /// high memory contiguous, mirroring the contiguity-list design).
-    free_lists: Vec<BTreeSet<u64>>,
-    /// Start frame → order, for every free block; supports point queries
-    /// ("is this frame free, and in which block?").
-    block_index: BTreeMap<u64, u32>,
+    /// Per-frame free-block-start marker (see type docs).
+    order_of: Vec<u8>,
+    /// Number of free blocks per order `0..=MAX_ORDER`.
+    counts: Vec<u64>,
+    /// Lower bound on the lowest start of a free block per order; never
+    /// above the true minimum (insertions lower it, removals leave it).
+    min_start: Vec<u64>,
     /// Total frames managed.
     total_frames: u64,
     /// Currently free frames.
@@ -68,8 +81,9 @@ impl BuddyAllocator {
     /// Creates an allocator managing frames `[0, num_frames)`, all free.
     pub fn new(num_frames: u64) -> Self {
         let mut alloc = Self {
-            free_lists: vec![BTreeSet::new(); (MAX_ORDER + 1) as usize],
-            block_index: BTreeMap::new(),
+            order_of: vec![NO_BLOCK; num_frames as usize],
+            counts: vec![0; (MAX_ORDER + 1) as usize],
+            min_start: vec![0; (MAX_ORDER + 1) as usize],
             total_frames: num_frames,
             free_frames: 0,
         };
@@ -117,8 +131,8 @@ impl BuddyAllocator {
         }
         let mut found = None;
         for o in order..=MAX_ORDER {
-            if let Some(&start) = self.free_lists[o as usize].iter().next() {
-                found = Some((start, o));
+            if self.counts[o as usize] > 0 {
+                found = Some((self.lowest_block_of_order(o), o));
                 break;
             }
         }
@@ -192,9 +206,9 @@ impl BuddyAllocator {
         let (mut cur, mut o) = (start, order);
         while o < MAX_ORDER {
             let buddy = cur ^ (1 << o);
-            if self.free_lists[o as usize].contains(&buddy) && buddy + (1 << o) <= self.total_frames
-            {
-                self.remove_free(buddy, o);
+            if buddy + (1 << o) <= self.total_frames && self.order_of[buddy as usize] == o as u8 {
+                self.order_of[buddy as usize] = NO_BLOCK;
+                self.counts[o as usize] -= 1;
                 cur = cur.min(buddy);
                 o += 1;
             } else {
@@ -232,13 +246,7 @@ impl BuddyAllocator {
 
     /// Per-order free block counts, for FMFI computation.
     pub fn free_area_counts(&self) -> FreeAreaCounts {
-        FreeAreaCounts::new(
-            &self
-                .free_lists
-                .iter()
-                .map(|l| l.len() as u64)
-                .collect::<Vec<_>>(),
-        )
+        FreeAreaCounts::new(&self.counts)
     }
 
     /// Current fragmentation index at `order` (see [`gemini_sim_core::fmfi`]).
@@ -251,38 +259,98 @@ impl BuddyAllocator {
     ///
     /// This is the raw material of the Gemini contiguity list.
     pub fn free_runs(&self) -> Vec<(u64, u64)> {
-        let mut runs: Vec<(u64, u64)> = Vec::new();
-        for (&start, &order) in &self.block_index {
-            let len = 1u64 << order;
-            match runs.last_mut() {
-                Some((rs, rl)) if *rs + *rl == start => *rl += len,
-                _ => runs.push((start, len)),
+        self.free_runs_iter().collect()
+    }
+
+    /// Lazy form of [`BuddyAllocator::free_runs`]: yields the same maximal
+    /// runs in address order without materialising a `Vec`, so searches
+    /// that stop at the first fit (next-fit placement) touch only a prefix
+    /// of the free list.
+    pub fn free_runs_iter(&self) -> FreeRuns<'_> {
+        FreeRuns {
+            order_of: &self.order_of,
+            pos: 0,
+        }
+    }
+
+    /// Like [`BuddyAllocator::free_runs_iter`], but yields only the maximal
+    /// runs whose *start* is `>= frame` — exactly the suffix a next-fit
+    /// cursor scan wants. A run that merely straddles `frame` (it began
+    /// below it) is excluded, matching
+    /// `free_runs().filter(|r| r.0 >= frame)`.
+    pub fn free_runs_from(&self, frame: u64) -> FreeRuns<'_> {
+        let mut pos = frame;
+        // If the frame just below the cursor is free, its run extends at
+        // least to the cursor and started before it; skip that whole run
+        // (which may chain on through blocks at or after the cursor).
+        if frame > 0 && frame <= self.total_frames {
+            if let Some((start, o)) = self.containing_free_block(frame - 1) {
+                let mut end = start + (1u64 << o);
+                while end < self.total_frames && self.order_of[end as usize] != NO_BLOCK {
+                    end += 1u64 << self.order_of[end as usize];
+                }
+                pos = end;
             }
         }
-        runs
+        FreeRuns {
+            order_of: &self.order_of,
+            pos,
+        }
     }
 
     /// Length of the largest maximal free run, in frames.
     pub fn largest_free_run(&self) -> u64 {
-        self.free_runs().iter().map(|&(_, l)| l).max().unwrap_or(0)
+        self.free_runs_iter().map(|(_, l)| l).max().unwrap_or(0)
+    }
+
+    /// True when any free block of order `>= order` exists — an O(orders)
+    /// check with no allocation. By eager merging this is equivalent to
+    /// "some naturally aligned, fully free `2^order` range exists", which
+    /// lets callers reject whole-region searches before walking runs.
+    pub fn has_suitable_block(&self, order: u32) -> bool {
+        self.counts[order.min(MAX_ORDER) as usize..]
+            .iter()
+            .any(|&c| c > 0)
     }
 
     /// Count of free blocks of exactly `order`.
     pub fn free_blocks_of_order(&self, order: u32) -> usize {
-        self.free_lists
+        self.counts
             .get(order as usize)
-            .map(|l| l.len())
+            .map(|&c| c as usize)
             .unwrap_or(0)
     }
 
     /// The free block containing `frame`, if any, as `(start, order)`.
+    ///
+    /// A block of order `o` can only start at the `2^o`-aligned frame at or
+    /// below `frame`, so eleven probes cover every possibility.
     fn containing_free_block(&self, frame: u64) -> Option<(u64, u32)> {
-        let (&start, &order) = self.block_index.range(..=frame).next_back()?;
-        if start + (1u64 << order) > frame {
-            Some((start, order))
-        } else {
-            None
+        if frame >= self.total_frames {
+            return None;
         }
+        for o in 0..=MAX_ORDER {
+            let start = frame & !((1u64 << o) - 1);
+            if self.order_of[start as usize] == o as u8 {
+                return Some((start, o));
+            }
+        }
+        None
+    }
+
+    /// The lowest start frame among free blocks of exactly `order`.
+    ///
+    /// Callers must ensure `counts[order] > 0`. Starts the scan at the
+    /// order's min-start hint and advances it past exhausted ground.
+    fn lowest_block_of_order(&mut self, order: u32) -> u64 {
+        debug_assert!(self.counts[order as usize] > 0);
+        let step = 1u64 << order;
+        let mut s = self.min_start[order as usize];
+        while self.order_of[s as usize] != order as u8 {
+            s += step;
+        }
+        self.min_start[order as usize] = s;
+        s
     }
 
     /// True when `[start, start+len)` intersects any free block.
@@ -290,17 +358,26 @@ impl BuddyAllocator {
         if self.containing_free_block(start).is_some() {
             return true;
         }
-        self.block_index.range(start..start + len).next().is_some()
+        // A block starting exactly at `start` was already caught above, so
+        // only longer ranges need the interior scan. `len` is at most
+        // `2^MAX_ORDER`, bounding the scan.
+        self.order_of[start as usize + 1..(start + len) as usize]
+            .iter()
+            .any(|&o| o != NO_BLOCK)
     }
 
     fn insert_free(&mut self, start: u64, order: u32) {
-        self.free_lists[order as usize].insert(start);
-        self.block_index.insert(start, order);
+        self.order_of[start as usize] = order as u8;
+        self.counts[order as usize] += 1;
+        if start < self.min_start[order as usize] {
+            self.min_start[order as usize] = start;
+        }
     }
 
     fn remove_free(&mut self, start: u64, order: u32) {
-        self.free_lists[order as usize].remove(&start);
-        self.block_index.remove(&start);
+        debug_assert_eq!(self.order_of[start as usize], order as u8);
+        self.order_of[start as usize] = NO_BLOCK;
+        self.counts[order as usize] -= 1;
     }
 
     /// Verifies internal invariants; used by tests.
@@ -311,12 +388,16 @@ impl BuddyAllocator {
     pub fn check_invariants(&self) -> Result<(), SimError> {
         let mut counted = 0u64;
         let mut prev_end = 0u64;
-        for (&start, &order) in &self.block_index {
-            if !self.free_lists[order as usize].contains(&start) {
-                return Err(SimError::Invariant(
-                    "block index entry missing from free list",
-                ));
+        let mut per_order = vec![0u64; (MAX_ORDER + 1) as usize];
+        for (f, &marker) in self.order_of.iter().enumerate() {
+            if marker == NO_BLOCK {
+                continue;
             }
+            let (start, order) = (f as u64, marker as u32);
+            if order > MAX_ORDER {
+                return Err(SimError::Invariant("free block order out of range"));
+            }
+            per_order[order as usize] += 1;
             if start & ((1 << order) - 1) != 0 {
                 return Err(SimError::Invariant("free block misaligned"));
             }
@@ -330,21 +411,85 @@ impl BuddyAllocator {
             counted += 1 << order;
             if order < MAX_ORDER {
                 let buddy = start ^ (1u64 << order);
-                if self.free_lists[order as usize].contains(&buddy) {
+                if buddy < self.total_frames && self.order_of[buddy as usize] == order as u8 {
                     return Err(SimError::Invariant("unmerged free buddies"));
                 }
             }
         }
+        if per_order != self.counts {
+            return Err(SimError::Invariant("per-order block counts out of sync"));
+        }
+        for o in 0..=MAX_ORDER as usize {
+            if self.counts[o] > 0 {
+                let lowest = self
+                    .order_of
+                    .iter()
+                    .position(|&m| m == o as u8)
+                    .expect("count > 0 implies a block exists") as u64;
+                if self.min_start[o] > lowest {
+                    return Err(SimError::Invariant("min-start hint above true minimum"));
+                }
+            }
+        }
         let listed: u64 = self
-            .free_lists
+            .counts
             .iter()
             .enumerate()
-            .map(|(o, l)| (l.len() as u64) << o as u64)
+            .map(|(o, &c)| c << o as u64)
             .sum();
         if counted != self.free_frames || listed != self.free_frames {
             return Err(SimError::Invariant("free frame accounting mismatch"));
         }
         Ok(())
+    }
+}
+
+/// Lazy iterator over maximal free runs; see
+/// [`BuddyAllocator::free_runs_iter`].
+///
+/// `pos` always sits on an allocated frame, a run start, or the end of the
+/// range — never strictly inside a free block — so scanning forward for
+/// the next block-start marker finds the next run's first block.
+#[derive(Debug)]
+pub struct FreeRuns<'a> {
+    order_of: &'a [u8],
+    pos: u64,
+}
+
+impl Iterator for FreeRuns<'_> {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        let n = self.order_of.len() as u64;
+        let mut start = self.pos;
+        // Skip allocated ground to the next run, a word at a time where
+        // aligned (NO_BLOCK is 0xFF, so a fully-allocated word is all-ones).
+        while start < n {
+            if start % 8 == 0 && start + 8 <= n {
+                let bytes: [u8; 8] = self.order_of[start as usize..start as usize + 8]
+                    .try_into()
+                    .unwrap();
+                if u64::from_ne_bytes(bytes) == u64::MAX {
+                    start += 8;
+                    continue;
+                }
+            }
+            if self.order_of[start as usize] != NO_BLOCK {
+                break;
+            }
+            start += 1;
+        }
+        if start >= n {
+            self.pos = n;
+            return None;
+        }
+        // Accumulate the chain of abutting free blocks.
+        let mut end = start;
+        while end < n && self.order_of[end as usize] != NO_BLOCK {
+            end += 1u64 << self.order_of[end as usize];
+        }
+        self.pos = end;
+        Some((start, end - start))
     }
 }
 
@@ -518,5 +663,64 @@ mod tests {
         let runs = a.free_runs();
         assert_eq!(runs, vec![(1, 2), (4, 1020)]);
         assert_eq!(a.largest_free_run(), 1020);
+    }
+
+    /// Reference semantics `free_runs_from` must reproduce: full
+    /// enumeration filtered on run start.
+    fn runs_from_reference(a: &BuddyAllocator, frame: u64) -> Vec<(u64, u64)> {
+        a.free_runs().into_iter().filter(|r| r.0 >= frame).collect()
+    }
+
+    #[test]
+    fn free_runs_iter_matches_eager_enumeration() {
+        let mut a = BuddyAllocator::new(1024);
+        for f in [0, 3, 100, 513, 700] {
+            a.alloc_at(f, 0).unwrap();
+        }
+        assert_eq!(a.free_runs_iter().collect::<Vec<_>>(), a.free_runs());
+    }
+
+    #[test]
+    fn free_runs_from_skips_straddling_run() {
+        let mut a = BuddyAllocator::new(2048);
+        a.alloc_at(100, 0).unwrap();
+        a.alloc_at(1000, 0).unwrap();
+        // Runs: (0,100), (101,899), (1001,1047).
+        for cursor in [0, 1, 100, 101, 102, 500, 999, 1000, 1001, 1002, 2047, 2048] {
+            assert_eq!(
+                a.free_runs_from(cursor).collect::<Vec<_>>(),
+                runs_from_reference(&a, cursor),
+                "cursor {cursor}"
+            );
+        }
+    }
+
+    #[test]
+    fn free_runs_from_with_abutting_block_boundary() {
+        // Craft a run whose interior contains a block boundary exactly at
+        // the cursor: blocks (1,len 1) and (2,len 2) chain into run (1,3);
+        // a cursor of 2 sits on the second block's start and must still
+        // skip the whole run.
+        let mut a = BuddyAllocator::new(64);
+        a.alloc_at(0, 0).unwrap();
+        a.alloc_at(4, 0).unwrap();
+        assert_eq!(a.free_runs(), vec![(1, 3), (5, 59)]);
+        for cursor in 0..=8 {
+            assert_eq!(
+                a.free_runs_from(cursor).collect::<Vec<_>>(),
+                runs_from_reference(&a, cursor),
+                "cursor {cursor}"
+            );
+        }
+    }
+
+    #[test]
+    fn free_runs_from_on_empty_allocator() {
+        let mut a = BuddyAllocator::new(8);
+        for _ in 0..8 {
+            a.alloc(0).unwrap();
+        }
+        assert_eq!(a.free_runs_from(0).next(), None);
+        assert_eq!(a.free_runs_iter().next(), None);
     }
 }

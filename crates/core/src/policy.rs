@@ -31,14 +31,16 @@
 use crate::booking::BookingTable;
 use crate::bucket::HugeBucket;
 use crate::ema::{congruent_offset, EmaList, OffsetDescriptor};
+use crate::mhps::VmScan;
 use crate::shared::GeminiShared;
 use gemini_mm::{
     FaultCtx, FaultDecision, FaultOutcome, HugePolicy, LayerKind, LayerOps, PromotionKind,
     PromotionOp,
 };
 use gemini_obs::{cat, EventKind, Layer, Recorder};
-use gemini_sim_core::{Cycles, HUGE_PAGE_ORDER, PAGES_PER_HUGE_PAGE};
+use gemini_sim_core::{Cycles, VmId, HUGE_PAGE_ORDER, PAGES_PER_HUGE_PAGE};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Tunables of one Gemini layer instance.
 #[derive(Debug, Clone)]
@@ -109,11 +111,43 @@ pub struct GeminiStats {
     pub sub_vma_splits: u64,
 }
 
+/// Epoch-stamped snapshot of [`crate::shared::GeminiState`].
+///
+/// The hot fault path consults MHPS scan results on every access; reading
+/// them through the shared mutex cost a lock round-trip per simulated
+/// memory access. The state only changes on coarse daemon ticks, so each
+/// policy instance caches this view and revalidates it with a single
+/// relaxed atomic epoch load ([`SharedState::epoch`]
+/// (crate::shared::SharedState::epoch)), re-reading under the lock only
+/// when a writer has bumped the epoch. Scans are `Arc`-shared with the
+/// publisher, so a refresh clones pointers, never scan lists.
+#[derive(Debug)]
+struct SharedView {
+    /// Epoch the snapshot was taken at; `u64::MAX` = never refreshed.
+    epoch: u64,
+    booking_timeout: Cycles,
+    bucket_hold: Cycles,
+    scans: HashMap<VmId, Arc<VmScan>>,
+}
+
+impl SharedView {
+    fn stale() -> Self {
+        Self {
+            epoch: u64::MAX,
+            booking_timeout: Cycles::ZERO,
+            bucket_hold: Cycles::ZERO,
+            scans: HashMap::new(),
+        }
+    }
+}
+
 /// The Gemini policy for one layer.
 #[derive(Debug)]
 pub struct GeminiPolicy {
     layer: LayerKind,
     shared: GeminiShared,
+    /// Cached epoch-validated snapshot of `shared`.
+    view: SharedView,
     cfg: GeminiConfig,
     /// Reservations in this layer's physical space (guest: GPA regions
     /// under mis-aligned host huge pages; host: unused here).
@@ -164,6 +198,7 @@ impl GeminiPolicy {
         Self {
             layer,
             shared,
+            view: SharedView::stale(),
             cfg,
             bookings: BookingTable::new(),
             host_reserve: HashMap::new(),
@@ -177,6 +212,28 @@ impl GeminiPolicy {
             rec: Recorder::off(),
             stats: GeminiStats::default(),
         }
+    }
+
+    /// Revalidates the cached [`SharedView`]: one relaxed atomic load on
+    /// the fast path; the mutex is taken only when the epoch moved (i.e.
+    /// after a runtime tick, a timeout adjustment or a test poking the
+    /// shared state).
+    fn refresh_view(&mut self) {
+        let epoch = self.shared.epoch();
+        if self.view.epoch == epoch {
+            return;
+        }
+        // Read the epoch before the lock: a write racing in between makes
+        // the snapshot newer than its stamp, which only causes one extra
+        // refresh — never a stale read going unnoticed.
+        let s = self.shared.read();
+        self.view.booking_timeout = s.booking_timeout;
+        self.view.bucket_hold = s.bucket_hold;
+        self.view.scans.clear();
+        self.view
+            .scans
+            .extend(s.scans.iter().map(|(&vm, scan)| (vm, Arc::clone(scan))));
+        self.view.epoch = epoch;
     }
 
     /// Read access to the booking table (tests, harness metrics).
@@ -245,29 +302,55 @@ impl GeminiPolicy {
 
         // (b) The Gemini contiguity list: free runs sorted by address,
         // searched next-fit for a run holding at least one whole congruent
-        // region; prefer runs that fit the whole extent.
-        let runs = ctx.buddy.free_runs();
-        if runs.is_empty() {
+        // region; prefer runs that fit the whole extent. The search is
+        // lazy and stops at the first extent-fit — one pass over the runs
+        // at/after the cursor takes rule 1 and remembers rule 3's
+        // candidate; runs before the cursor are scanned (rules 2 and 4)
+        // only when the first pass misses, so the common case touches a
+        // prefix of the free list instead of materialising all of it.
+        // Fast reject: `region_start` is region-aligned, so a run holds a
+        // whole congruent region iff some 512-aligned 512-frame range is
+        // fully free — by eager buddy merging, a single free block of
+        // order ≥ 9. Without one, no run can fit and the scan is futile
+        // (the common case under heavy fragmentation).
+        if !ctx.buddy.has_suitable_block(HUGE_PAGE_ORDER) {
             return None;
         }
-        let whole_regions = |&(start, rlen): &(u64, u64)| -> u64 {
+        let whole_regions = |(start, rlen): (u64, u64)| -> u64 {
             let out0 = (region_start as i64 - congruent_offset(region_start, start)) as u64;
             (start + rlen).saturating_sub(out0) / PAGES_PER_HUGE_PAGE
         };
-        let fits_extent = |r: &(u64, u64)| whole_regions(r) * PAGES_PER_HUGE_PAGE >= extent_len;
-        let fits_region = |r: &(u64, u64)| whole_regions(r) >= 1;
-        let pick = runs
-            .iter()
-            .filter(|r| r.0 >= self.cursor)
-            .find(|r| fits_extent(r))
-            .or_else(|| runs.iter().find(|r| fits_extent(r)))
+        let fits_extent = |r: (u64, u64)| whole_regions(r) * PAGES_PER_HUGE_PAGE >= extent_len;
+        let fits_region = |r: (u64, u64)| whole_regions(r) >= 1;
+        let cursor = self.cursor;
+        let mut at_cursor_extent = None;
+        let mut at_cursor_region = None;
+        for run in ctx.buddy.free_runs_from(cursor) {
+            if fits_extent(run) {
+                at_cursor_extent = Some(run);
+                break;
+            }
+            if at_cursor_region.is_none() && fits_region(run) {
+                at_cursor_region = Some(run);
+            }
+        }
+        // Rules 2/4 originally rescanned every run; after rule 1/3 missed,
+        // any hit necessarily starts before the cursor, so the wrap-around
+        // legs stop there.
+        let pick = at_cursor_extent
             .or_else(|| {
-                runs.iter()
-                    .filter(|r| r.0 >= self.cursor)
-                    .find(|r| fits_region(r))
+                ctx.buddy
+                    .free_runs_iter()
+                    .take_while(|r| r.0 < cursor)
+                    .find(|&r| fits_extent(r))
             })
-            .or_else(|| runs.iter().find(|r| fits_region(r)))
-            .copied();
+            .or(at_cursor_region)
+            .or_else(|| {
+                ctx.buddy
+                    .free_runs_iter()
+                    .take_while(|r| r.0 < cursor)
+                    .find(|&r| fits_region(r))
+            });
 
         // (c) No run holds even one congruent region: targeted placement
         // has no alignment value, so defer to the default allocator —
@@ -277,7 +360,7 @@ impl GeminiPolicy {
         let (offset, len) = {
             self.cursor = run.0;
             let offset = congruent_offset(region_start, run.0);
-            let len = (whole_regions(&run) * PAGES_PER_HUGE_PAGE).min(extent_len);
+            let len = (whole_regions(run) * PAGES_PER_HUGE_PAGE).min(extent_len);
             (offset, len)
         };
 
@@ -295,8 +378,6 @@ impl GeminiPolicy {
         let key = Self::key_of(ctx);
         self.last_key = Some(key);
         self.last_vm = ctx.vm.0;
-        let scan_has_vm = self.shared.lock().unwrap().scans.contains_key(&ctx.vm);
-        let _ = scan_has_vm;
 
         if Self::huge_legal(ctx) {
             // 1. Bucket reuse: whole well-aligned region, zero cost to
@@ -429,10 +510,9 @@ impl GeminiPolicy {
             }
             // 2. Guest maps this GPA region huge (or a free block exists):
             //    back it huge, THP-host style.
+            self.refresh_view();
             let guest_wants_huge = self
-                .shared
-                .lock()
-                .unwrap()
+                .view
                 .scans
                 .get(&ctx.vm)
                 .map(|s| s.guest_huge_regions.contains(&region))
@@ -497,10 +577,11 @@ impl GeminiPolicy {
 
     fn guest_daemon(&mut self, ops: &mut LayerOps<'_>) -> Vec<PromotionOp> {
         let now = ops.now;
-        let (timeout, bucket_hold) = {
-            let s = self.shared.lock().unwrap();
-            (s.booking_timeout, s.bucket_hold)
-        };
+        self.refresh_view();
+        let (timeout, bucket_hold) = (self.view.booking_timeout, self.view.bucket_hold);
+        // Pointer clone of this VM's scan: daemon passes iterate it while
+        // mutating bookings/bucket without re-locking or copying lists.
+        let scan: Option<Arc<VmScan>> = self.view.scans.get(&ops.vm).cloned();
 
         let vm = ops.vm.0;
         self.last_vm = vm;
@@ -538,15 +619,11 @@ impl GeminiPolicy {
         // Booking: reserve the regions under type-1 mis-aligned host huge
         // pages.
         if self.cfg.enable_booking {
-            let host_type1: Vec<u64> = self
-                .shared
-                .lock()
-                .unwrap()
-                .scans
-                .get(&ops.vm)
-                .map(|s| s.host_type1.clone())
-                .unwrap_or_default();
-            for gpa_region in host_type1 {
+            let host_type1 = scan
+                .as_ref()
+                .map(|s| s.host_type1.as_slice())
+                .unwrap_or(&[]);
+            for &gpa_region in host_type1 {
                 if self.bookings.len() >= self.cfg.book_cap {
                     break;
                 }
@@ -626,18 +703,13 @@ impl GeminiPolicy {
 
         // Promoter (MHPP): collapse the GVA regions whose base pages sit
         // under type-2 mis-aligned host huge pages, first.
-        let promoter_enabled = self.cfg.enable_promoter;
-        if promoter_enabled {
-            let host_type2: Vec<(u64, Vec<u64>)> = self
-                .shared
-                .lock()
-                .unwrap()
-                .scans
-                .get(&ops.vm)
-                .map(|s| s.host_type2.clone())
-                .unwrap_or_default();
-            for (gpa_region, gva_regions) in host_type2 {
-                for gva_region in gva_regions {
+        if self.cfg.enable_promoter {
+            let host_type2 = scan
+                .as_ref()
+                .map(|s| s.host_type2.as_slice())
+                .unwrap_or(&[]);
+            for &(gpa_region, ref gva_regions) in host_type2 {
+                for &gva_region in gva_regions {
                     if promos.len() >= 2 * self.cfg.promo_budget {
                         break;
                     }
@@ -711,7 +783,8 @@ impl GeminiPolicy {
 
     fn host_daemon(&mut self, ops: &mut LayerOps<'_>) -> Vec<PromotionOp> {
         let now = ops.now;
-        let timeout = self.shared.lock().unwrap().booking_timeout;
+        self.refresh_view();
+        let timeout = self.view.booking_timeout;
 
         // Expire HPA reservations.
         let expired: Vec<(u32, u64)> = self
@@ -734,8 +807,8 @@ impl GeminiPolicy {
             });
         }
 
-        let scan = self.shared.lock().unwrap().scans.get(&ops.vm).cloned();
-        let Some(scan) = scan else {
+        // Pointer clone, not a copy of the scan lists.
+        let Some(scan) = self.view.scans.get(&ops.vm).cloned() else {
             return Vec::new();
         };
 
@@ -876,14 +949,8 @@ impl HugePolicy for GeminiPolicy {
         if free_ratio >= self.cfg.pressure_watermark {
             return Vec::new();
         }
-        let aligned: std::collections::BTreeSet<u64> = self
-            .shared
-            .lock()
-            .unwrap()
-            .scans
-            .get(&ops.vm)
-            .map(|s| s.aligned_regions.iter().copied().collect())
-            .unwrap_or_default();
+        self.refresh_view();
+        let scan = self.view.scans.get(&ops.vm).cloned();
         // Rank demotion candidates: mis-aligned before aligned, cold
         // before hot; take a small budget per pass. Aligned pages are
         // demoted only while completely cold.
@@ -891,8 +958,10 @@ impl HugePolicy for GeminiPolicy {
             .table
             .iter_huge()
             .map(|(va_region, pa_region)| {
-                let is_aligned = aligned.contains(&pa_region);
-                let touches = ops.touches.get(&va_region).copied().unwrap_or(0);
+                let is_aligned = scan
+                    .as_ref()
+                    .is_some_and(|s| s.aligned_regions.contains(&pa_region));
+                let touches = ops.touches.get(va_region);
                 (is_aligned, touches, va_region)
             })
             .collect();
@@ -910,11 +979,12 @@ impl HugePolicy for GeminiPolicy {
             return false;
         }
         // Keep only regions MHPS last saw as well-aligned: their host
-        // backing is huge and worth preserving.
+        // backing is huge and worth preserving. Set membership is
+        // order-independent, so the snapshot's hash-map iteration order
+        // cannot influence the outcome.
+        self.refresh_view();
         let aligned = self
-            .shared
-            .lock()
-            .unwrap()
+            .view
             .scans
             .values()
             .any(|s| s.aligned_regions.contains(&pa_huge_frame));
@@ -1088,7 +1158,7 @@ mod tests {
             host_type1: vec![3, 7],
             ..Default::default()
         };
-        shared.lock().unwrap().scans.insert(VM, scan);
+        shared.write().scans.insert(VM, Arc::new(scan));
         g.run_daemon(&mut p, Cycles::ZERO, 1);
         assert!(p.bookings.contains(3));
         assert!(p.bookings.contains(7));
@@ -1101,7 +1171,7 @@ mod tests {
     #[test]
     fn booking_expires_and_returns_frames() {
         let shared = new_shared();
-        shared.lock().unwrap().booking_timeout = Cycles(100);
+        shared.write().booking_timeout = Cycles(100);
         let mut g = GuestMm::new(VM, 1 << 14, CostModel::default());
         let mut p = GeminiPolicy::new(
             LayerKind::Guest,
@@ -1112,12 +1182,12 @@ mod tests {
             host_type1: vec![3],
             ..Default::default()
         };
-        shared.lock().unwrap().scans.insert(VM, scan);
+        shared.write().scans.insert(VM, Arc::new(scan));
         g.run_daemon(&mut p, Cycles(0), 1);
         assert!(p.bookings.contains(3));
         let free_before = g.buddy().free_frames();
         // Remove the scan so the daemon does not immediately re-book.
-        shared.lock().unwrap().scans.insert(VM, VmScan::default());
+        shared.write().scans.insert(VM, Arc::new(VmScan::default()));
         g.run_daemon(&mut p, Cycles(200), 1);
         assert!(!p.bookings.contains(3));
         assert_eq!(g.buddy().free_frames(), free_before + 512);
@@ -1163,7 +1233,7 @@ mod tests {
             host_type2: vec![(4, vec![gva_region])],
             ..Default::default()
         };
-        shared.lock().unwrap().scans.insert(VM, scan);
+        shared.write().scans.insert(VM, Arc::new(scan));
         let before = g.table().huge_mapped();
         g.run_daemon(&mut p, Cycles::ZERO, 1);
         assert!(
@@ -1180,7 +1250,7 @@ mod tests {
         let shared = new_shared();
         let mut scan = VmScan::default();
         scan.aligned_regions.insert(5);
-        shared.lock().unwrap().scans.insert(VM, scan);
+        shared.write().scans.insert(VM, Arc::new(scan));
         let mut p = GeminiPolicy::new(
             LayerKind::Guest,
             Arc::clone(&shared),
@@ -1214,7 +1284,7 @@ mod tests {
             ..Default::default()
         };
         scan.guest_huge_regions.insert(2);
-        shared.lock().unwrap().scans.insert(VM, scan);
+        shared.write().scans.insert(VM, Arc::new(scan));
         // Daemon reserves an HPA block.
         h.run_daemon(VM, &mut p, Cycles::ZERO, 1).unwrap();
         assert_eq!(p.host_reserve.len(), 1);
@@ -1240,7 +1310,7 @@ mod tests {
             ..Default::default()
         };
         scan.guest_huge_regions.insert(0);
-        shared.lock().unwrap().scans.insert(VM, scan);
+        shared.write().scans.insert(VM, Arc::new(scan));
         let mut p = GeminiPolicy::new(
             LayerKind::Host,
             Arc::clone(&shared),
@@ -1291,7 +1361,7 @@ mod tests {
         g.buddy_mut().alloc_at(512, HUGE_PAGE_ORDER).unwrap();
         let mut scan = VmScan::default();
         scan.aligned_regions.insert(0);
-        shared.lock().unwrap().scans.insert(VM, scan);
+        shared.write().scans.insert(VM, Arc::new(scan));
         // The aligned region is hot.
         g.record_touch(vma.start_frame());
         // Memory pressure: leave less than 5 % free.
@@ -1334,7 +1404,7 @@ mod tests {
         // Bucket disabled: frees pass through even for aligned regions.
         let mut scan = VmScan::default();
         scan.aligned_regions.insert(5);
-        shared.lock().unwrap().scans.insert(VM, scan);
+        shared.write().scans.insert(VM, Arc::new(scan));
         assert!(!p.intercept_huge_free(5, Cycles::ZERO));
         // Booking disabled: daemon books nothing.
         let mut g = GuestMm::new(VM, 1 << 14, CostModel::default());
@@ -1342,7 +1412,7 @@ mod tests {
             host_type1: vec![3],
             ..Default::default()
         };
-        shared.lock().unwrap().scans.insert(VM, scan2);
+        shared.write().scans.insert(VM, Arc::new(scan2));
         g.run_daemon(&mut p, Cycles::ZERO, 1);
         assert!(p.bookings().is_empty());
     }

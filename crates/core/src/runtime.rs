@@ -40,7 +40,7 @@ pub struct GeminiRuntime {
 impl GeminiRuntime {
     /// Creates a runtime publishing into `shared`.
     pub fn new(shared: GeminiShared) -> Self {
-        let initial = shared.lock().unwrap().booking_timeout;
+        let initial = shared.read().booking_timeout;
         Self {
             shared,
             controller: TimeoutController::new(initial),
@@ -90,7 +90,10 @@ impl GeminiRuntime {
                     + guest.base_mapped() / 64
                     + ept.base_mapped() / 64;
                 cost += Cycles(200 + regions * 20);
-                self.shared.lock().unwrap().scans.insert(vm, scan);
+                self.shared
+                    .write()
+                    .scans
+                    .insert(vm, std::sync::Arc::new(scan));
             }
             self.scans_done += 1;
             self.rec.counter_add("gemini.mhps_scans", 1);
@@ -100,7 +103,7 @@ impl GeminiRuntime {
             let delta = tlb_misses.saturating_sub(self.last_tlb_misses);
             self.last_tlb_misses = tlb_misses;
             let new_timeout = self.controller.on_period(delta, fmfi);
-            self.shared.lock().unwrap().booking_timeout = new_timeout;
+            self.shared.write().booking_timeout = new_timeout;
             self.rec.set_cycle(now);
             self.rec
                 .emit(cat::RUNTIME, 0, Layer::Sys, || EventKind::TimeoutAdjusted {
@@ -130,7 +133,7 @@ mod tests {
         guest.map_huge(0, 4).unwrap();
         let cost = rt.tick(Cycles::ZERO, &[(VmId(1), &guest, &ept)], 0, 0.0);
         assert!(cost > Cycles::ZERO);
-        let s = shared.lock().unwrap();
+        let s = shared.read();
         let scan = &s.scans[&VmId(1)];
         assert_eq!(scan.guest_type1, vec![4]);
         assert_eq!(rt.scans_done, 1);
@@ -158,13 +161,13 @@ mod tests {
     #[test]
     fn timeout_adjustment_publishes_to_shared() {
         let shared = new_shared();
-        let initial = shared.lock().unwrap().booking_timeout;
+        let initial = shared.read().booking_timeout;
         let mut rt = GeminiRuntime::new(Arc::clone(&shared));
         let guest = AddressSpace::new();
         let ept = AddressSpace::new();
         // First adjustment period: baseline sample, probe up published.
         rt.tick(rt.adjust_period, &[(VmId(1), &guest, &ept)], 1000, 0.2);
-        let probed = shared.lock().unwrap().booking_timeout;
+        let probed = shared.read().booking_timeout;
         assert_eq!(probed, initial.scale(1.1));
         // Second period with fewer misses: probe accepted.
         rt.tick(
@@ -173,7 +176,7 @@ mod tests {
             1500, // Cumulative: delta 500 < baseline delta 1000.
             0.2,
         );
-        assert_eq!(shared.lock().unwrap().booking_timeout, initial.scale(1.1));
+        assert_eq!(shared.read().booking_timeout, initial.scale(1.1));
         assert_eq!(rt.booking_timeout(), initial.scale(1.1));
     }
 }

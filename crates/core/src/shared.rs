@@ -4,21 +4,34 @@
 //! In the prototype this is kernel state exported to guests ("Gemini makes
 //! each guest aware of the mis-aligned huge host pages mapped to it, by
 //! providing their guest physical addresses labeled with the VM id"). One
-//! machine is still driven by one thread at a time; the `Arc<Mutex<_>>`
-//! makes the handle `Send` so whole machines can be built and run on the
-//! worker threads of the parallel experiment executor. Accesses are short,
-//! self-contained lock/release pairs — never held across a policy call.
+//! machine is still driven by one thread at a time; the shared handle is
+//! `Send` so whole machines can be built and run on the worker threads of
+//! the parallel experiment executor.
+//!
+//! # Epoch stamping
+//!
+//! The fault path used to take the mutex on every simulated access. Since
+//! the state only changes on coarse daemon ticks (MHPS scan every ~2 ms of
+//! simulated time, Algorithm 1 every ~20 ms), [`SharedState`] now carries a
+//! monotonically increasing **epoch** bumped on every write: readers cache
+//! a [`SharedView`](crate::policy) snapshot and compare epochs with a
+//! single relaxed atomic load per access, re-reading under the lock only
+//! when the epoch moved. Per-VM scans are stored behind `Arc` so snapshots
+//! and daemon passes clone a pointer, not the scan lists.
 
 use crate::mhps::VmScan;
 use gemini_sim_core::{Cycles, VmId};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// State shared between the Gemini components.
 #[derive(Debug, Default)]
 pub struct GeminiState {
-    /// Latest per-VM scan results from MHPS.
-    pub scans: HashMap<VmId, VmScan>,
+    /// Latest per-VM scan results from MHPS. `Arc` so readers snapshot
+    /// scans by pointer clone.
+    pub scans: HashMap<VmId, Arc<VmScan>>,
     /// Current effective booking timeout from Algorithm 1.
     pub booking_timeout: Cycles,
     /// How long the huge bucket holds freed well-aligned regions.
@@ -37,12 +50,78 @@ impl GeminiState {
     }
 }
 
-/// Shared handle to [`GeminiState`].
-pub type GeminiShared = Arc<Mutex<GeminiState>>;
+/// Epoch-stamped wrapper around [`GeminiState`].
+#[derive(Debug, Default)]
+pub struct SharedState {
+    inner: Mutex<GeminiState>,
+    /// Bumped after every write; readers poll this with a relaxed load to
+    /// decide whether their cached snapshot is still current.
+    epoch: AtomicU64,
+}
+
+impl SharedState {
+    /// Wraps `state` at epoch 0.
+    pub fn new(state: GeminiState) -> Self {
+        Self {
+            inner: Mutex::new(state),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Locks the state for reading. Does not bump the epoch.
+    pub fn read(&self) -> MutexGuard<'_, GeminiState> {
+        self.inner.lock().expect("gemini shared state poisoned")
+    }
+
+    /// Locks the state for writing; the epoch is bumped when the returned
+    /// guard drops, invalidating every cached snapshot.
+    pub fn write(&self) -> WriteGuard<'_> {
+        WriteGuard {
+            guard: self.inner.lock().expect("gemini shared state poisoned"),
+            epoch: &self.epoch,
+        }
+    }
+
+    /// Current epoch. Relaxed is enough: the writer is either this thread
+    /// (a machine is driven by one thread at a time) or a past owner whose
+    /// handoff already synchronized.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+}
+
+/// Write guard that bumps the owning [`SharedState`]'s epoch on drop.
+#[derive(Debug)]
+pub struct WriteGuard<'a> {
+    guard: MutexGuard<'a, GeminiState>,
+    epoch: &'a AtomicU64,
+}
+
+impl Deref for WriteGuard<'_> {
+    type Target = GeminiState;
+    fn deref(&self) -> &GeminiState {
+        &self.guard
+    }
+}
+
+impl DerefMut for WriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut GeminiState {
+        &mut self.guard
+    }
+}
+
+impl Drop for WriteGuard<'_> {
+    fn drop(&mut self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Shared handle to [`SharedState`].
+pub type GeminiShared = Arc<SharedState>;
 
 /// Creates a fresh shared handle.
 pub fn new_shared() -> GeminiShared {
-    Arc::new(Mutex::new(GeminiState::new()))
+    Arc::new(SharedState::new(GeminiState::new()))
 }
 
 #[cfg(test)]
@@ -53,14 +132,13 @@ mod tests {
     fn shared_state_is_visible_across_clones() {
         let shared = new_shared();
         let other = Arc::clone(&shared);
-        shared.lock().unwrap().booking_timeout = Cycles(123);
-        assert_eq!(other.lock().unwrap().booking_timeout, Cycles(123));
+        shared.write().booking_timeout = Cycles(123);
+        assert_eq!(other.read().booking_timeout, Cycles(123));
         other
-            .lock()
-            .unwrap()
+            .write()
             .scans
-            .insert(VmId(1), VmScan::default());
-        assert!(shared.lock().unwrap().scans.contains_key(&VmId(1)));
+            .insert(VmId(1), Arc::new(VmScan::default()));
+        assert!(shared.read().scans.contains_key(&VmId(1)));
     }
 
     #[test]
@@ -68,5 +146,24 @@ mod tests {
         let s = GeminiState::new();
         assert!(s.booking_timeout > Cycles::ZERO);
         assert!(s.bucket_hold > s.booking_timeout);
+    }
+
+    #[test]
+    fn writes_bump_the_epoch_and_reads_do_not() {
+        let shared = new_shared();
+        assert_eq!(shared.epoch(), 0);
+        {
+            let _r = shared.read();
+        }
+        assert_eq!(shared.epoch(), 0, "reads must not invalidate snapshots");
+        shared.write().booking_timeout = Cycles(7);
+        assert_eq!(shared.epoch(), 1);
+        {
+            let mut w = shared.write();
+            w.bucket_hold = Cycles(9);
+            // Not bumped until the guard drops.
+            assert_eq!(w.epoch.load(Ordering::Relaxed), 1);
+        }
+        assert_eq!(shared.epoch(), 2);
     }
 }

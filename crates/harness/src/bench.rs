@@ -1,0 +1,289 @@
+//! In-tree benchmark harness (`gemini-sim bench`).
+//!
+//! Times real experiment cells with wall-clock instrumentation and emits
+//! a `BENCH_*.json` trajectory entry through the hand-rolled
+//! [`gemini_obs`] JSON writer, so every PR can extend a comparable
+//! performance record. Three measurements per run:
+//!
+//! 1. the **demo-scale fig. 3 reference cell** (Canneal × GEMINI on
+//!    fragmented memory) — the single-thread throughput yardstick,
+//!    compared against the recorded pre-optimization baseline;
+//! 2. **per-cell timings** of the fig. 3 grid at the chosen scale,
+//!    sequentially (`jobs = 1`), one entry per system × workload;
+//! 3. a **jobs sweep** of the same grid across `--jobs 1..N`, reporting
+//!    wall time and speedup versus the sequential leg.
+//!
+//! Simulated results stay byte-identical across all of this — wall-clock
+//! numbers live only here, never inside the deterministic exports.
+
+use crate::exec::run_cells;
+use crate::experiments::motivation::WORKLOADS;
+use crate::runner::run_workload_on;
+use crate::scale::Scale;
+use gemini_obs::{json_f64, json_str};
+use gemini_sim_core::Result;
+use gemini_vm_sim::SystemKind;
+use gemini_workloads::spec_by_name;
+use std::time::Instant;
+
+/// Label of the reference cell every PR's bench reports.
+pub const REFERENCE_CELL: &str = "motivation/Canneal/GEMINI/fragmented@demo";
+
+/// Pre-PR baseline of the reference cell, measured on the tree at commit
+/// `e3fa128` (before the hot-path overhaul) on the same container this
+/// harness runs in (best of three): wall milliseconds for the cell.
+pub const BASELINE_WALL_MS: f64 = 1043.0;
+
+/// Pre-PR baseline simulator throughput of the reference cell
+/// (workload operations per wall-clock second, best of three).
+pub const BASELINE_OPS_PER_SEC: f64 = 7669.0;
+
+/// Wall-clock timing of one experiment cell.
+#[derive(Debug, Clone)]
+pub struct CellTiming {
+    /// Cell label (`workload/system`).
+    pub label: String,
+    /// Wall time of the cell in milliseconds.
+    pub wall_ms: f64,
+    /// Workload operations the cell simulated.
+    pub ops: u64,
+    /// Simulator throughput: operations per wall-clock second.
+    pub ops_per_sec: f64,
+}
+
+/// One leg of the jobs sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Worker threads used for the grid.
+    pub jobs: usize,
+    /// Wall time of the whole grid in milliseconds.
+    pub wall_ms: f64,
+    /// Grid speedup versus the `jobs = 1` leg.
+    pub speedup_vs_jobs1: f64,
+}
+
+/// Everything one bench invocation measured.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Scale preset name the grid ran at (`quick` | `bench`).
+    pub scale: String,
+    /// Largest worker count the sweep covered.
+    pub jobs_max: usize,
+    /// Wall time of the demo-scale reference cell, milliseconds.
+    pub reference_wall_ms: f64,
+    /// Throughput of the demo-scale reference cell, ops per second.
+    pub reference_ops_per_sec: f64,
+    /// Per-cell timings of the fig. 3 grid at `scale`, `jobs = 1`.
+    pub cells: Vec<CellTiming>,
+    /// Grid wall times across `jobs = 1..=jobs_max`.
+    pub sweep: Vec<SweepPoint>,
+}
+
+/// Times `f`, returning its result and the elapsed milliseconds.
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let started = Instant::now();
+    let out = f();
+    (out, started.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Runs the demo-scale reference cell once and returns its timing.
+pub fn run_reference_cell() -> Result<CellTiming> {
+    let scale = Scale::demo();
+    let spec = spec_by_name("Canneal").expect("Canneal is in the catalog");
+    let seed = scale.seed_for("motivation", 0);
+    let (r, wall_ms) = timed(|| run_workload_on(SystemKind::Gemini, &spec, &scale, true, seed));
+    let r = r?;
+    Ok(CellTiming {
+        label: REFERENCE_CELL.to_string(),
+        wall_ms,
+        ops: r.ops,
+        ops_per_sec: r.ops as f64 / (wall_ms / 1e3),
+    })
+}
+
+/// Runs the full bench: reference cell, per-cell grid timings, jobs
+/// sweep. `scale_name` is recorded verbatim in the report.
+pub fn run_bench(scale: &Scale, scale_name: &str, jobs_max: usize) -> Result<BenchReport> {
+    let reference = run_reference_cell()?;
+
+    // Per-cell timings: the fig. 3 grid, sequentially.
+    let systems = SystemKind::evaluated();
+    let mut cells = Vec::new();
+    for (wi, name) in WORKLOADS.iter().enumerate() {
+        let spec = spec_by_name(name).expect("motivation workload in catalog");
+        let seed = scale.seed_for("motivation", wi as u64);
+        for &system in &systems {
+            let spec = spec.clone();
+            let (r, wall_ms) = timed(|| run_workload_on(system, &spec, scale, true, seed));
+            let r = r?;
+            cells.push(CellTiming {
+                label: format!("{name}/{}", system.label()),
+                wall_ms,
+                ops: r.ops,
+                ops_per_sec: r.ops as f64 / (wall_ms / 1e3),
+            });
+        }
+    }
+
+    // Jobs sweep: the same grid through the parallel executor.
+    let jobs_max = jobs_max.max(1);
+    let mut sweep = Vec::new();
+    let mut jobs1_wall = 0.0f64;
+    for jobs in 1..=jobs_max {
+        let grid = || -> Result<()> {
+            let mut grid_cells = Vec::new();
+            for (wi, name) in WORKLOADS.iter().enumerate() {
+                let spec = spec_by_name(name).expect("motivation workload in catalog");
+                let seed = scale.seed_for("motivation", wi as u64);
+                for &system in &systems {
+                    let spec = spec.clone();
+                    grid_cells.push(move || run_workload_on(system, &spec, scale, true, seed));
+                }
+            }
+            for r in run_cells(jobs, grid_cells) {
+                r?;
+            }
+            Ok(())
+        };
+        let (res, wall_ms) = timed(grid);
+        res?;
+        if jobs == 1 {
+            jobs1_wall = wall_ms;
+        }
+        sweep.push(SweepPoint {
+            jobs,
+            wall_ms,
+            speedup_vs_jobs1: if wall_ms > 0.0 {
+                jobs1_wall / wall_ms
+            } else {
+                0.0
+            },
+        });
+    }
+
+    Ok(BenchReport {
+        scale: scale_name.to_string(),
+        jobs_max,
+        reference_wall_ms: reference.wall_ms,
+        reference_ops_per_sec: reference.ops_per_sec,
+        cells,
+        sweep,
+    })
+}
+
+impl BenchReport {
+    /// Single-thread throughput improvement of the reference cell over
+    /// the recorded pre-PR baseline.
+    pub fn speedup_vs_baseline(&self) -> f64 {
+        self.reference_ops_per_sec / BASELINE_OPS_PER_SEC
+    }
+
+    /// Renders the report as one pretty-printed JSON object via the
+    /// workspace's hand-rolled JSON writer.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", json_str("gemini-bench-v1")));
+        out.push_str(&format!("  \"scale\": {},\n", json_str(&self.scale)));
+        out.push_str(&format!("  \"jobs_max\": {},\n", self.jobs_max));
+        out.push_str("  \"reference_cell\": {\n");
+        out.push_str(&format!("    \"label\": {},\n", json_str(REFERENCE_CELL)));
+        out.push_str(&format!(
+            "    \"baseline_wall_ms\": {},\n",
+            json_f64(BASELINE_WALL_MS)
+        ));
+        out.push_str(&format!(
+            "    \"baseline_ops_per_sec\": {},\n",
+            json_f64(BASELINE_OPS_PER_SEC)
+        ));
+        out.push_str(&format!(
+            "    \"current_wall_ms\": {},\n",
+            json_f64(self.reference_wall_ms)
+        ));
+        out.push_str(&format!(
+            "    \"current_ops_per_sec\": {},\n",
+            json_f64(self.reference_ops_per_sec)
+        ));
+        out.push_str(&format!(
+            "    \"speedup_vs_baseline\": {}\n",
+            json_f64(self.speedup_vs_baseline())
+        ));
+        out.push_str("  },\n");
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"label\": {}, \"wall_ms\": {}, \"ops\": {}, \"ops_per_sec\": {}}}{}\n",
+                json_str(&c.label),
+                json_f64(c.wall_ms),
+                c.ops,
+                json_f64(c.ops_per_sec),
+                if i + 1 < self.cells.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"jobs_sweep\": [\n");
+        for (i, p) in self.sweep.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"jobs\": {}, \"wall_ms\": {}, \"speedup_vs_jobs1\": {}}}{}\n",
+                p.jobs,
+                json_f64(p.wall_ms),
+                json_f64(p.speedup_vs_jobs1),
+                if i + 1 < self.sweep.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic() -> BenchReport {
+        BenchReport {
+            scale: "quick".into(),
+            jobs_max: 2,
+            reference_wall_ms: 500.0,
+            reference_ops_per_sec: 16_000.0,
+            cells: vec![CellTiming {
+                label: "Canneal/GEMINI".into(),
+                wall_ms: 100.0,
+                ops: 2_500,
+                ops_per_sec: 25_000.0,
+            }],
+            sweep: vec![SweepPoint {
+                jobs: 1,
+                wall_ms: 100.0,
+                speedup_vs_jobs1: 1.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_json_is_wellformed_and_complete() {
+        let j = synthetic().to_json();
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        for key in [
+            "\"schema\"",
+            "\"scale\"",
+            "\"jobs_max\"",
+            "\"reference_cell\"",
+            "\"baseline_wall_ms\"",
+            "\"baseline_ops_per_sec\"",
+            "\"current_wall_ms\"",
+            "\"current_ops_per_sec\"",
+            "\"speedup_vs_baseline\"",
+            "\"cells\"",
+            "\"jobs_sweep\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn speedup_is_relative_to_recorded_baseline() {
+        let r = synthetic();
+        let expect = 16_000.0 / BASELINE_OPS_PER_SEC;
+        assert!((r.speedup_vs_baseline() - expect).abs() < 1e-9);
+    }
+}

@@ -5,6 +5,7 @@
 //! gemini-sim run     --system GEMINI --workload Redis [--fragmented] [--reused]
 //! gemini-sim compare --workload Redis [--fragmented] [--reused]
 //! gemini-sim trace   --system GEMINI --workload Redis [--fragmented]
+//! gemini-sim bench   [--scale quick|bench] [--jobs N] [--json BENCH_pr4.json]
 //!
 //! common flags:
 //!   --scale quick|demo|bench|full   (default demo)
@@ -34,6 +35,7 @@ struct Opts {
     system: Option<String>,
     workload: Option<String>,
     scale: Scale,
+    scale_name: String,
     fragmented: bool,
     reused: bool,
     seed: u64,
@@ -42,7 +44,7 @@ struct Opts {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gemini-sim <list|run|compare|trace> [--system NAME] [--workload NAME]\n\
+        "usage: gemini-sim <list|run|compare|trace|bench> [--system NAME] [--workload NAME]\n\
          \x20                [--scale quick|demo|bench|full] [--ops N] [--seed N] [--jobs N]\n\
          \x20                [--fragmented] [--reused] [--json PATH]"
     );
@@ -55,6 +57,7 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         system: None,
         workload: None,
         scale: Scale::demo(),
+        scale_name: "demo".into(),
         fragmented: false,
         reused: false,
         seed: 42,
@@ -79,13 +82,15 @@ fn parse(args: &[String]) -> Result<Opts, String> {
             "--seed" => opts.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--jobs" => jobs = Some(take(&mut i)?.parse().map_err(|e| format!("--jobs: {e}"))?),
             "--scale" => {
-                opts.scale = match take(&mut i)?.as_str() {
+                let name = take(&mut i)?;
+                opts.scale = match name.as_str() {
                     "quick" => Scale::quick(),
                     "demo" => Scale::demo(),
                     "bench" => Scale::bench(),
                     "full" => Scale::full(),
                     other => return Err(format!("unknown scale '{other}'")),
-                }
+                };
+                opts.scale_name = name;
             }
             "--json" => opts.json = Some(PathBuf::from(take(&mut i)?)),
             "--fragmented" => opts.fragmented = true,
@@ -283,6 +288,46 @@ fn cmd_trace(opts: &Opts) -> Result<(), String> {
     )
 }
 
+fn cmd_bench(opts: &Opts) -> Result<(), String> {
+    let jobs_max = effective_jobs(opts.scale.jobs);
+    let report = gemini_harness::bench::run_bench(&opts.scale, &opts.scale_name, jobs_max)
+        .map_err(|e| format!("bench failed: {e}"))?;
+    let mut t = Table::new(
+        format!("bench — fig. 3 grid cells at {} scale", opts.scale_name),
+        &["cell", "wall ms", "ops/s (wall)"],
+    );
+    for c in &report.cells {
+        t.row(vec![
+            c.label.clone(),
+            format!("{:.1}", c.wall_ms),
+            format!("{:.0}", c.ops_per_sec),
+        ]);
+    }
+    print!("{}", t.render());
+    for p in &report.sweep {
+        eprintln!(
+            "sweep: jobs={} wall_ms={:.0} speedup_vs_jobs1={:.2}",
+            p.jobs, p.wall_ms, p.speedup_vs_jobs1
+        );
+    }
+    eprintln!(
+        "reference cell {}: {:.0} ms, {:.0} ops/s ({:.2}x vs pre-PR baseline {:.0} ops/s)",
+        gemini_harness::bench::REFERENCE_CELL,
+        report.reference_wall_ms,
+        report.reference_ops_per_sec,
+        report.speedup_vs_baseline(),
+        gemini_harness::bench::BASELINE_OPS_PER_SEC,
+    );
+    let path = opts
+        .json
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_pr4.json"));
+    std::fs::write(&path, report.to_json())
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    eprintln!("wrote bench report to {}", path.display());
+    Ok(())
+}
+
 fn scenario_suffix(opts: &Opts) -> String {
     match (opts.reused, opts.fragmented) {
         (true, _) => " (reused VM)".into(),
@@ -305,6 +350,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&opts),
         "compare" => cmd_compare(&opts),
         "trace" => cmd_trace(&opts),
+        "bench" => cmd_bench(&opts),
         _ => return usage(),
     };
     match result {

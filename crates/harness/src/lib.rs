@@ -17,6 +17,7 @@
 //! so the same code drives the quick examples, the integration tests and
 //! the full `cargo bench` reproduction.
 
+pub mod bench;
 pub mod exec;
 pub mod experiments;
 pub mod report;

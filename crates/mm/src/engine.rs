@@ -16,12 +16,13 @@
 use crate::costs::CostModel;
 use crate::mech;
 use crate::policy::{Effects, FaultCtx, FaultOutcome, HugePolicy, LayerKind, LayerOps};
+use crate::touch::TouchMap;
 use crate::vma::Vma;
 use gemini_buddy::BuddyAllocator;
 use gemini_obs::{cat, EventKind, PromoMode, Recorder};
 use gemini_page_table::AddressSpace;
-use gemini_sim_core::{Cycles, SimError, VmId, HUGE_PAGE_ORDER};
-use std::collections::{BTreeMap, HashMap};
+use gemini_sim_core::{Cycles, FxHashMap, SimError, VmId, HUGE_PAGE_ORDER};
+use std::collections::BTreeMap;
 use std::marker::PhantomData;
 
 /// Classifies a completed promotion by its data movement.
@@ -103,7 +104,7 @@ pub struct LayerParts<'a> {
     /// The layer's physical allocator.
     pub buddy: &'a mut BuddyAllocator,
     /// The VM's per-region touch counters.
-    pub touches: &'a mut HashMap<u64, u64>,
+    pub touches: &'a mut TouchMap,
     /// The layer's cost model.
     pub costs: &'a CostModel,
 }
@@ -119,7 +120,7 @@ pub struct LayerEngine<L: Layer> {
     /// Per-VM translation table (guest page table or EPT).
     tables: BTreeMap<VmId, AddressSpace>,
     /// Sampled touch counters per (VM, 2 MiB input region).
-    touches: HashMap<VmId, HashMap<u64, u64>>,
+    touches: FxHashMap<VmId, TouchMap>,
     costs: CostModel,
     rec: Recorder,
     _layer: PhantomData<L>,
@@ -132,7 +133,7 @@ impl<L: Layer> LayerEngine<L> {
         Self {
             buddy: BuddyAllocator::new(frames),
             tables: BTreeMap::new(),
-            touches: HashMap::new(),
+            touches: FxHashMap::default(),
             costs,
             rec: Recorder::off(),
             _layer: PhantomData,
@@ -169,7 +170,7 @@ impl<L: Layer> LayerEngine<L> {
     }
 
     /// The touch counters of `vm`, if registered.
-    pub fn touches(&self, vm: VmId) -> Option<&HashMap<u64, u64>> {
+    pub fn touches(&self, vm: VmId) -> Option<&TouchMap> {
         self.touches.get(&vm)
     }
 
@@ -180,12 +181,10 @@ impl<L: Layer> LayerEngine<L> {
 
     /// Records a sampled access for daemon heuristics.
     pub fn record_touch(&mut self, vm: VmId, frame: u64) {
-        *self
-            .touches
+        self.touches
             .entry(vm)
             .or_default()
-            .entry(frame >> HUGE_PAGE_ORDER)
-            .or_insert(0) += 1;
+            .bump(frame >> HUGE_PAGE_ORDER);
     }
 
     /// Disjoint mutable views into `vm`'s table, the allocator and the

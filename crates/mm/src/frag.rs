@@ -126,8 +126,7 @@ impl TenantChurn {
             // contiguity (not always the largest: compaction gets a
             // fighting chance to finish assembling blocks).
             let candidates: Vec<(u64, u64)> = buddy
-                .free_runs()
-                .into_iter()
+                .free_runs_iter()
                 .filter(|&(_, l)| l >= gemini_sim_core::PAGES_PER_HUGE_PAGE / 2)
                 .collect();
             if candidates.is_empty() {

@@ -179,7 +179,7 @@ impl GuestMm {
             if any {
                 fx.gva_regions_invalidated.push(region);
                 policy.on_region_unmapped(region);
-                parts.touches.remove(&region);
+                parts.touches.clear_region(region);
             }
         }
         self.touched_vmas.remove(&vma.id);
@@ -339,7 +339,7 @@ mod tests {
         let mut g = guest();
         g.record_touch(100 * 512);
         g.record_touch(100 * 512 + 1);
-        assert_eq!(g.engine.touches(g.vm).unwrap().get(&100), Some(&2));
+        assert_eq!(g.engine.touches(g.vm).unwrap().get(100), 2);
     }
 
     #[test]

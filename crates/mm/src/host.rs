@@ -173,8 +173,8 @@ mod tests {
         h.record_touch(VmId(1), 5);
         h.record_touch(VmId(2), 5);
         h.record_touch(VmId(1), 5);
-        assert_eq!(h.touches(VmId(1)).unwrap()[&0], 2);
-        assert_eq!(h.touches(VmId(2)).unwrap()[&0], 1);
+        assert_eq!(h.touches(VmId(1)).unwrap().get(0), 2);
+        assert_eq!(h.touches(VmId(2)).unwrap().get(0), 1);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod guest;
 pub mod host;
 pub mod mech;
 pub mod policy;
+pub mod touch;
 pub mod vma;
 
 pub use aligned::{alignment_stats, AlignmentStats};
@@ -42,4 +43,5 @@ pub use policy::{
     Effects, FaultCtx, FaultDecision, FaultOutcome, HugePolicy, LayerKind, LayerOps, PromotionKind,
     PromotionOp,
 };
+pub use touch::TouchMap;
 pub use vma::{Vma, VmaId, VmaSet};

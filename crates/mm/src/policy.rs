@@ -13,7 +13,6 @@ use crate::vma::Vma;
 use gemini_buddy::BuddyAllocator;
 use gemini_page_table::{AddressSpace, RegionPopulation};
 use gemini_sim_core::{Cycles, VmId};
-use std::collections::HashMap;
 
 /// Which translation layer a policy instance is driving.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,7 +181,7 @@ pub struct LayerOps<'a> {
     pub buddy: &'a mut BuddyAllocator,
     /// Touch counters per input region, maintained by the mechanism from
     /// sampled accesses; HawkEye-style policies rank candidates by these.
-    pub touches: &'a HashMap<u64, u64>,
+    pub touches: &'a crate::touch::TouchMap,
     /// Current cycle time.
     pub now: Cycles,
 }

@@ -40,7 +40,6 @@
 //! ```
 
 use gemini_sim_core::{SimError, HUGE_PAGE_ORDER, PAGES_PER_HUGE_PAGE};
-use std::collections::BTreeMap;
 
 /// Number of entries in a last-level table (512 for x86-64).
 pub const ENTRIES_PER_TABLE: usize = PAGES_PER_HUGE_PAGE as usize;
@@ -99,10 +98,16 @@ pub struct RegionPopulation {
 }
 
 /// One layer of address translation with mixed page sizes.
+///
+/// Regions are stored in a flat vector indexed by input huge-frame — the
+/// input spaces here are dense and bounded (VMAs come from a bump
+/// allocator, GPAs from the VM's frame range), so a direct index beats a
+/// tree walk on the per-access translate path. The vector grows on demand
+/// to the highest populated region.
 #[derive(Debug, Clone, Default)]
 pub struct AddressSpace {
-    /// Input huge-frame index → region state.
-    regions: BTreeMap<u64, Region>,
+    /// Input huge-frame index → region state (`None` = unmapped region).
+    regions: Vec<Option<Region>>,
     /// Count of present base-page leaves.
     base_mapped: u64,
     /// Count of present huge-page leaves.
@@ -113,6 +118,28 @@ impl AddressSpace {
     /// Creates an empty address space.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The region slot at `huge`, if populated.
+    #[inline]
+    fn region(&self, huge: u64) -> Option<&Region> {
+        self.regions.get(huge as usize).and_then(Option::as_ref)
+    }
+
+    /// Stores a region at `huge`, growing the vector as needed.
+    fn set_region(&mut self, huge: u64, r: Region) {
+        let i = huge as usize;
+        if i >= self.regions.len() {
+            self.regions.resize_with(i + 1, || None);
+        }
+        self.regions[i] = Some(r);
+    }
+
+    /// Empties the region slot at `huge`.
+    fn clear_region(&mut self, huge: u64) {
+        if let Some(slot) = self.regions.get_mut(huge as usize) {
+            *slot = None;
+        }
     }
 
     /// Number of base-page leaves currently mapped.
@@ -135,7 +162,11 @@ impl AddressSpace {
     /// Fails if the frame is already translated (by a base or huge leaf).
     pub fn map_base(&mut self, va_frame: u64, pa_frame: u64) -> Result<(), SimError> {
         let (huge, idx) = split_frame(va_frame);
-        match self.regions.get_mut(&huge) {
+        let i = huge as usize;
+        if i >= self.regions.len() {
+            self.regions.resize_with(i + 1, || None);
+        }
+        match &mut self.regions[i] {
             Some(Region::Huge(_)) => Err(SimError::AlreadyMappedGva(gva_of(va_frame))),
             Some(Region::Table(t)) => {
                 if t[idx].is_some() {
@@ -145,10 +176,10 @@ impl AddressSpace {
                 self.base_mapped += 1;
                 Ok(())
             }
-            None => {
+            slot @ None => {
                 let mut t = Box::new([None; ENTRIES_PER_TABLE]);
                 t[idx] = Some(pa_frame);
-                self.regions.insert(huge, Region::Table(t));
+                *slot = Some(Region::Table(t));
                 self.base_mapped += 1;
                 Ok(())
             }
@@ -160,7 +191,7 @@ impl AddressSpace {
     /// Fails if any base entry already exists in the region or the region
     /// is already huge-mapped.
     pub fn map_huge(&mut self, va_huge_frame: u64, pa_huge_frame: u64) -> Result<(), SimError> {
-        let occupied = match self.regions.get(&va_huge_frame) {
+        let occupied = match self.region(va_huge_frame) {
             Some(Region::Huge(_)) => true,
             Some(Region::Table(t)) => t.iter().any(Option::is_some),
             None => false,
@@ -170,8 +201,7 @@ impl AddressSpace {
                 va_huge_frame << HUGE_PAGE_ORDER,
             )));
         }
-        self.regions
-            .insert(va_huge_frame, Region::Huge(pa_huge_frame));
+        self.set_region(va_huge_frame, Region::Huge(pa_huge_frame));
         self.huge_mapped += 1;
         Ok(())
     }
@@ -179,14 +209,14 @@ impl AddressSpace {
     /// Unmaps one base frame, returning the output frame it mapped to.
     pub fn unmap_base(&mut self, va_frame: u64) -> Result<u64, SimError> {
         let (huge, idx) = split_frame(va_frame);
-        match self.regions.get_mut(&huge) {
+        match self.regions.get_mut(huge as usize).and_then(Option::as_mut) {
             Some(Region::Table(t)) => {
                 let pa = t[idx]
                     .take()
                     .ok_or(SimError::NotMappedGva(gva_of(va_frame)))?;
                 self.base_mapped -= 1;
                 if t.iter().all(Option::is_none) {
-                    self.regions.remove(&huge);
+                    self.clear_region(huge);
                 }
                 Ok(pa)
             }
@@ -196,10 +226,10 @@ impl AddressSpace {
 
     /// Unmaps one huge leaf, returning the output huge frame.
     pub fn unmap_huge(&mut self, va_huge_frame: u64) -> Result<u64, SimError> {
-        match self.regions.get(&va_huge_frame) {
+        match self.region(va_huge_frame) {
             Some(Region::Huge(pa)) => {
                 let pa = *pa;
-                self.regions.remove(&va_huge_frame);
+                self.clear_region(va_huge_frame);
                 self.huge_mapped -= 1;
                 Ok(pa)
             }
@@ -210,9 +240,10 @@ impl AddressSpace {
     }
 
     /// Translates one input base frame to its output base frame, if mapped.
+    #[inline]
     pub fn translate(&self, va_frame: u64) -> Option<Translation> {
         let (huge, idx) = split_frame(va_frame);
-        match self.regions.get(&huge)? {
+        match self.region(huge)? {
             Region::Huge(pa_huge) => Some(Translation {
                 pa_frame: (pa_huge << HUGE_PAGE_ORDER) + idx as u64,
                 size: LeafSize::Huge,
@@ -226,7 +257,7 @@ impl AddressSpace {
 
     /// Returns the huge leaf covering `va_huge_frame`, if any.
     pub fn huge_leaf(&self, va_huge_frame: u64) -> Option<u64> {
-        match self.regions.get(&va_huge_frame)? {
+        match self.region(va_huge_frame)? {
             Region::Huge(pa) => Some(*pa),
             Region::Table(_) => None,
         }
@@ -237,7 +268,7 @@ impl AddressSpace {
     /// A region mapped by a huge leaf reports 512 present entries and
     /// in-place eligibility (it is already promoted).
     pub fn region_population(&self, va_huge_frame: u64) -> RegionPopulation {
-        match self.regions.get(&va_huge_frame) {
+        match self.region(va_huge_frame) {
             None => RegionPopulation {
                 present: 0,
                 in_place_eligible: true,
@@ -291,7 +322,7 @@ impl AddressSpace {
         if pop.present != ENTRIES_PER_TABLE || !pop.in_place_eligible {
             return Err(SimError::NotContiguous);
         }
-        match self.regions.get(&va_huge_frame) {
+        match self.region(va_huge_frame) {
             Some(Region::Huge(_)) => Err(SimError::AlreadyMappedGva(gva_of(
                 va_huge_frame << HUGE_PAGE_ORDER,
             ))),
@@ -299,7 +330,7 @@ impl AddressSpace {
                 let target = pop
                     .target_huge_frame
                     .ok_or(SimError::Invariant("eligible full region without target"))?;
-                self.regions.insert(va_huge_frame, Region::Huge(target));
+                self.set_region(va_huge_frame, Region::Huge(target));
                 self.base_mapped -= ENTRIES_PER_TABLE as u64;
                 self.huge_mapped += 1;
                 Ok(target)
@@ -319,7 +350,7 @@ impl AddressSpace {
         va_huge_frame: u64,
         new_pa_huge_frame: u64,
     ) -> Result<Vec<(usize, u64)>, SimError> {
-        match self.regions.get(&va_huge_frame) {
+        match self.region(va_huge_frame) {
             Some(Region::Huge(_)) => Err(SimError::AlreadyMappedGva(gva_of(
                 va_huge_frame << HUGE_PAGE_ORDER,
             ))),
@@ -339,8 +370,7 @@ impl AddressSpace {
                 }
                 self.base_mapped -= displaced.len() as u64;
                 self.huge_mapped += 1;
-                self.regions
-                    .insert(va_huge_frame, Region::Huge(new_pa_huge_frame));
+                self.set_region(va_huge_frame, Region::Huge(new_pa_huge_frame));
                 Ok(displaced)
             }
         }
@@ -354,7 +384,7 @@ impl AddressSpace {
         for (i, slot) in t.iter_mut().enumerate() {
             *slot = Some((pa_huge << HUGE_PAGE_ORDER) + i as u64);
         }
-        self.regions.insert(va_huge_frame, Region::Table(t));
+        self.set_region(va_huge_frame, Region::Table(t));
         self.base_mapped += ENTRIES_PER_TABLE as u64;
         Ok(())
     }
@@ -362,16 +392,19 @@ impl AddressSpace {
     /// Iterates all huge leaves as `(va_huge_frame, pa_huge_frame)` in
     /// input-address order — the MHPS scan.
     pub fn iter_huge(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.regions.iter().filter_map(|(&va, r)| match r {
-            Region::Huge(pa) => Some((va, *pa)),
-            Region::Table(_) => None,
-        })
+        self.regions
+            .iter()
+            .enumerate()
+            .filter_map(|(va, r)| match r {
+                Some(Region::Huge(pa)) => Some((va as u64, *pa)),
+                _ => None,
+            })
     }
 
     /// Iterates present base entries inside one region as
     /// `(va_frame, pa_frame)` pairs.
     pub fn iter_base_in(&self, va_huge_frame: u64) -> Vec<(u64, u64)> {
-        match self.regions.get(&va_huge_frame) {
+        match self.region(va_huge_frame) {
             Some(Region::Table(t)) => t
                 .iter()
                 .enumerate()
@@ -386,22 +419,23 @@ impl AddressSpace {
     /// Iterates every populated region's input huge-frame index together
     /// with whether it is huge-mapped.
     pub fn iter_regions(&self) -> impl Iterator<Item = (u64, bool)> + '_ {
-        self.regions
-            .iter()
-            .map(|(&va, r)| (va, matches!(r, Region::Huge(_))))
+        self.regions.iter().enumerate().filter_map(|(va, r)| {
+            r.as_ref()
+                .map(|r| (va as u64, matches!(r, Region::Huge(_))))
+        })
     }
 
     /// Iterates every base-mapped `(va_frame, pa_frame)` pair across all
     /// regions, in input-address order.
     pub fn iter_base(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.regions.iter().flat_map(|(&va_huge, r)| {
+        self.regions.iter().enumerate().flat_map(|(va_huge, r)| {
             let table = match r {
-                Region::Table(t) => Some(t),
-                Region::Huge(_) => None,
+                Some(Region::Table(t)) => Some(t),
+                _ => None,
             };
             table.into_iter().flat_map(move |t| {
                 t.iter().enumerate().filter_map(move |(i, e)| {
-                    e.map(|pa| ((va_huge << HUGE_PAGE_ORDER) + i as u64, pa))
+                    e.map(|pa| (((va_huge as u64) << HUGE_PAGE_ORDER) + i as u64, pa))
                 })
             })
         })
@@ -411,7 +445,7 @@ impl AddressSpace {
     pub fn check_invariants(&self) -> Result<(), SimError> {
         let mut base = 0u64;
         let mut huge = 0u64;
-        for r in self.regions.values() {
+        for r in self.regions.iter().flatten() {
             match r {
                 Region::Huge(_) => huge += 1,
                 Region::Table(t) => {

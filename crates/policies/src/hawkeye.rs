@@ -69,7 +69,7 @@ impl HugePolicy for HawkEye {
             .filter(|&(_, huge)| !huge)
             .map(|(r, _)| {
                 let present = ops.table.region_population(r).present;
-                let touches = ops.touches.get(&r).copied().unwrap_or(0);
+                let touches = ops.touches.get(r);
                 (touches, present, r)
             })
             .filter(|&(_, present, _)| present >= self.min_present)
@@ -99,7 +99,7 @@ impl HugePolicy for HawkEye {
         let mut huge: Vec<(u64, u64)> = ops
             .table
             .iter_huge()
-            .map(|(r, _)| (ops.touches.get(&r).copied().unwrap_or(0), r))
+            .map(|(r, _)| (ops.touches.get(r), r))
             .collect();
         huge.sort();
         huge.into_iter()

@@ -1,0 +1,136 @@
+//! An in-tree FxHash-style hasher for hot-path hash maps.
+//!
+//! `std`'s default `RandomState`/SipHash is DoS-resistant but costs tens
+//! of cycles per lookup — measurable in the simulator's per-access loop
+//! (translation chunk lookups, touch bookkeeping). This module provides
+//! the multiply-fold hash used by rustc (`FxHasher`), reimplemented here
+//! because the workspace is built offline with no external deps.
+//!
+//! Determinism note: the hash (unlike `RandomState`) is stable across
+//! processes, but **no simulator output may depend on hash-map iteration
+//! order either way** — the golden tables already pin byte-identical
+//! output across runs with randomized SipHash keys, which proves every
+//! exported artefact is iteration-order-independent. Swapping the hasher
+//! therefore cannot change results, only speed.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit multiply constant from FxHash (also splitmix64's golden-ratio
+/// increment).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher: rotate, xor, multiply per word.
+///
+/// Not DoS-resistant — use only for keys the simulator itself generates
+/// (frame numbers, region indices, VM ids), never for external input.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail) | (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; zero-sized, no per-map seed.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`] — drop-in for hot-path maps keyed by
+/// simulator-internal integers.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips_integers() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for k in 0..1_000u64 {
+            m.insert(k * 7, k);
+        }
+        assert_eq!(m.len(), 1_000);
+        for k in 0..1_000u64 {
+            assert_eq!(m.get(&(k * 7)), Some(&k));
+        }
+    }
+
+    #[test]
+    fn hash_is_stable_across_hasher_instances() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        let one = |v: u64| b.hash_one(v);
+        assert_eq!(one(42), one(42));
+        assert_ne!(one(42), one(43));
+    }
+
+    #[test]
+    fn distinct_small_keys_spread() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        let mut seen = std::collections::HashSet::new();
+        for k in 0u64..4096 {
+            seen.insert(b.hash_one(k));
+        }
+        assert_eq!(seen.len(), 4096, "no collisions on sequential keys");
+    }
+}

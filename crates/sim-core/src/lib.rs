@@ -20,6 +20,7 @@ pub mod addr;
 pub mod clock;
 pub mod error;
 pub mod fmfi;
+pub mod fxhash;
 pub mod ids;
 pub mod page;
 pub mod rng;
@@ -29,6 +30,7 @@ pub use addr::{Gpa, Gva, Hpa};
 pub use clock::{Clock, Cycles};
 pub use error::SimError;
 pub use fmfi::{fragmentation_index, FreeAreaCounts};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{ProcessId, VmId};
 pub use page::{
     BASE_PAGE_SHIFT, BASE_PAGE_SIZE, HUGE_PAGE_ORDER, HUGE_PAGE_SHIFT, HUGE_PAGE_SIZE,

@@ -4,11 +4,23 @@
 //! unified L2 STLB, the nested TLB and the page-walk caches. Keys are
 //! opaque 128-bit values built by the caller (page number + VM tag + size
 //! tag packed together).
+//!
+//! Storage is one flat slot array (`num_sets * assoc` keys) plus a
+//! per-set occupancy count, rather than a `Vec` per set: the lookup path
+//! runs on every simulated memory access, and a single contiguous
+//! allocation with in-place rotations avoids both the pointer chase and
+//! the shift-down `remove` of the per-set representation. Within a set's
+//! occupied prefix, order is LRU-first / MRU-last, maintained by slice
+//! rotations.
 
 /// A set-associative LRU cache of opaque keys.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    sets: Vec<Vec<u128>>,
+    /// `num_sets * assoc` key slots; set `s` owns `slots[s*assoc..(s+1)*assoc]`
+    /// and only its first `lens[s]` slots are meaningful.
+    slots: Vec<u128>,
+    /// Occupied way count per set.
+    lens: Vec<u32>,
     num_sets: usize,
     assoc: usize,
 }
@@ -17,6 +29,8 @@ impl SetAssocCache {
     /// Creates a cache with `entries` total capacity and `assoc` ways.
     ///
     /// The number of sets is `entries / assoc`, rounded up to at least one.
+    /// Every MMU geometry in the tree yields a power-of-two set count,
+    /// which lets `set_of` index with a mask instead of a division.
     ///
     /// # Panics
     ///
@@ -24,8 +38,13 @@ impl SetAssocCache {
     pub fn new(entries: usize, assoc: usize) -> Self {
         assert!(assoc > 0, "associativity must be positive");
         let num_sets = (entries / assoc).max(1);
+        debug_assert!(
+            num_sets.is_power_of_two(),
+            "cache geometry should give a power-of-two set count (got {num_sets})"
+        );
         Self {
-            sets: vec![Vec::with_capacity(assoc); num_sets],
+            slots: vec![0; num_sets * assoc],
+            lens: vec![0; num_sets],
             num_sets,
             assoc,
         }
@@ -38,84 +57,111 @@ impl SetAssocCache {
 
     /// Number of entries currently resident.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// True when no entries are resident.
     pub fn is_empty(&self) -> bool {
-        self.sets.iter().all(Vec::is_empty)
+        self.lens.iter().all(|&l| l == 0)
     }
 
+    #[inline]
     fn set_of(&self, key: u128) -> usize {
         // Mix the key so that consecutive page numbers spread over sets,
         // then index. A fixed multiplicative hash keeps runs deterministic.
         let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((key >> 64) as u64);
-        (h % self.num_sets as u64) as usize
+        if self.num_sets.is_power_of_two() {
+            // Identical to `%` for power-of-two set counts — the common
+            // (in this tree: only) case.
+            (h & (self.num_sets as u64 - 1)) as usize
+        } else {
+            (h % self.num_sets as u64) as usize
+        }
+    }
+
+    /// The occupied prefix of `set`'s ways, with its base slot index.
+    #[inline]
+    fn set_range(&self, set: usize) -> (usize, usize) {
+        let base = set * self.assoc;
+        (base, base + self.lens[set] as usize)
     }
 
     /// Looks `key` up; on hit, refreshes its LRU position and returns true.
+    #[inline]
     pub fn lookup(&mut self, key: u128) -> bool {
         let set = self.set_of(key);
-        let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|&k| k == key) {
-            // Move to the back: most recently used.
-            let k = ways.remove(pos);
-            ways.push(k);
-            true
-        } else {
-            false
+        let (base, end) = self.set_range(set);
+        match self.slots[base..end].iter().position(|&k| k == key) {
+            Some(pos) => {
+                // Rotate the hit to the back: most recently used.
+                self.slots[base + pos..end].rotate_left(1);
+                true
+            }
+            None => false,
         }
     }
 
     /// Checks for `key` without updating recency.
     pub fn probe(&self, key: u128) -> bool {
-        self.sets[self.set_of(key)].contains(&key)
+        let (base, end) = self.set_range(self.set_of(key));
+        self.slots[base..end].contains(&key)
     }
 
     /// Inserts `key`, evicting the LRU way of its set when full.
     pub fn insert(&mut self, key: u128) {
         let set = self.set_of(key);
-        let assoc = self.assoc;
-        let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|&k| k == key) {
-            let k = ways.remove(pos);
-            ways.push(k);
+        let (base, end) = self.set_range(set);
+        if let Some(pos) = self.slots[base..end].iter().position(|&k| k == key) {
+            self.slots[base + pos..end].rotate_left(1);
             return;
         }
-        if ways.len() == assoc {
-            ways.remove(0);
+        if end - base == self.assoc {
+            // Full: drop the LRU front, append at the back.
+            self.slots[base..end].rotate_left(1);
+            self.slots[end - 1] = key;
+        } else {
+            self.slots[end] = key;
+            self.lens[set] += 1;
         }
-        ways.push(key);
     }
 
     /// Removes `key` if present; returns whether it was resident.
     pub fn invalidate(&mut self, key: u128) -> bool {
         let set = self.set_of(key);
-        let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|&k| k == key) {
-            ways.remove(pos);
-            true
-        } else {
-            false
+        let (base, end) = self.set_range(set);
+        match self.slots[base..end].iter().position(|&k| k == key) {
+            Some(pos) => {
+                self.slots[base + pos..end].rotate_left(1);
+                self.lens[set] -= 1;
+                true
+            }
+            None => false,
         }
     }
 
     /// Removes every entry matched by `pred`; returns how many were evicted.
     pub fn invalidate_matching(&mut self, mut pred: impl FnMut(u128) -> bool) -> usize {
         let mut evicted = 0;
-        for set in &mut self.sets {
-            let before = set.len();
-            set.retain(|&k| !pred(k));
-            evicted += before - set.len();
+        for set in 0..self.num_sets {
+            let (base, end) = self.set_range(set);
+            // In-place retain over the occupied prefix, preserving order.
+            let mut write = base;
+            for read in base..end {
+                let k = self.slots[read];
+                if !pred(k) {
+                    self.slots[write] = k;
+                    write += 1;
+                }
+            }
+            evicted += end - write;
+            self.lens[set] = (write - base) as u32;
         }
         evicted
     }
 
     /// Empties the cache.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.lens.fill(0);
     }
 }
 
@@ -185,5 +231,36 @@ mod tests {
         assert_eq!(evicted, 16);
         assert!(!c.probe(0));
         assert!(c.probe(1));
+    }
+
+    #[test]
+    fn key_zero_is_a_real_entry_not_an_empty_slot() {
+        // Slots are zero-initialized; an actual key of 0 must still be
+        // distinguished from unoccupied space via the occupancy counts.
+        let mut c = SetAssocCache::new(8, 2);
+        assert!(!c.lookup(0));
+        assert!(!c.probe(0));
+        c.insert(0);
+        assert!(c.lookup(0));
+        assert_eq!(c.len(), 1);
+        assert!(c.invalidate(0));
+        assert!(!c.probe(0));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn invalidate_preserves_lru_order_of_survivors() {
+        // 1 set, 4 ways; order LRU→MRU is 1,2,3,4.
+        let mut c = SetAssocCache::new(4, 4);
+        for k in 1..=4u128 {
+            c.insert(k);
+        }
+        c.invalidate(2); // Survivors: 1,3,4 (1 is LRU).
+        c.insert(5); // Set back to full: 1,3,4,5.
+        c.insert(6); // Evicts 1.
+        assert!(!c.probe(1));
+        for k in [3u128, 4, 5, 6] {
+            assert!(c.probe(k), "key {k} should survive");
+        }
     }
 }

@@ -7,10 +7,10 @@ use gemini_mm::{alignment_stats, CostModel, Effects, GuestMm, HostMm, HugePolicy
 use gemini_obs::{cat, EventKind, Layer, Recorder, SamplePoint, TraceConfig};
 use gemini_sim_core::page::PageSize;
 use gemini_sim_core::stats::LatencySamples;
-use gemini_sim_core::{Cycles, DetRng, Result, SimError, VmId};
+use gemini_sim_core::{Cycles, DetRng, FxHashMap, Result, SimError, VmId};
 use gemini_tlb::{MmuConfig, MmuSim, PerfCounters, ResolvedTranslation};
 use gemini_workloads::{WorkloadEvent, WorkloadGen};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Configuration of the simulated machine.
 #[derive(Debug, Clone)]
@@ -94,7 +94,7 @@ struct VmState {
     policy: Box<dyn HugePolicy>,
     mmu: MmuSim,
     clock: Cycles,
-    chunks: HashMap<usize, VmaId>,
+    chunks: FxHashMap<usize, VmaId>,
     next_guest_daemon: Cycles,
     next_host_daemon: Cycles,
     next_compact: Cycles,
@@ -146,7 +146,7 @@ impl Machine {
         let shared = scenario.is_gemini().then(gemini::shared::new_shared);
         let mut runtime = shared.as_ref().and_then(|s| scenario.runtime(s));
         if let (Some(shared), Some(t)) = (&shared, cfg.fixed_booking_timeout) {
-            shared.lock().unwrap().booking_timeout = t;
+            shared.write().booking_timeout = t;
             if let Some(rt) = &mut runtime {
                 rt.adaptive = false;
             }
@@ -242,7 +242,7 @@ impl Machine {
                 policy,
                 mmu,
                 clock: Cycles::ZERO,
-                chunks: HashMap::new(),
+                chunks: FxHashMap::default(),
                 next_guest_daemon: Cycles::ZERO,
                 next_host_daemon: Cycles::ZERO,
                 next_compact: Cycles::ZERO,

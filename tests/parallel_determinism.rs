@@ -5,7 +5,8 @@
 //! result can depend on which worker ran it or in which order cells
 //! finished.
 
-use gemini_harness::experiments::{clean_slate, reused_vm};
+use gemini_harness::bench::{BenchReport, CellTiming, SweepPoint, REFERENCE_CELL};
+use gemini_harness::experiments::{clean_slate, motivation, reused_vm};
 use gemini_harness::{run_cells_traced, trace, Scale};
 use gemini_obs::{Recorder, TraceConfig};
 use gemini_vm_sim::{Machine, MachineConfig, SystemKind};
@@ -65,6 +66,90 @@ fn reused_vm_artefacts(jobs: usize) -> String {
         }
     }
     out
+}
+
+/// Same, for the fig. 3 motivation grid — the grid the hot-path
+/// overhaul optimizes hardest (flat buddy/page-table/TLB storage), so
+/// it gets its own post-optimization byte-identity regression.
+fn motivation_artefacts(jobs: usize) -> String {
+    let scale = scale_with_jobs(jobs);
+    let res = motivation::run(&scale).unwrap();
+    let mut out = String::new();
+    out.push_str(&res.render_fig03());
+    out.push_str(&res.render_tab01());
+    for per_sys in &res.runs {
+        for r in per_sys {
+            out.push_str(&trace::result_json(r));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn motivation_grid_is_byte_identical_across_jobs() {
+    let jobs = parallel_jobs();
+    let sequential = motivation_artefacts(1);
+    let parallel = motivation_artefacts(jobs);
+    assert_eq!(sequential, parallel, "jobs=1 vs jobs={jobs} diverged");
+    let parallel_again = motivation_artefacts(jobs);
+    assert_eq!(parallel, parallel_again, "repeated jobs={jobs} diverged");
+}
+
+#[test]
+fn bench_report_schema_is_pinned() {
+    // BENCH_pr4.json is a trajectory artefact: later PRs append
+    // comparable entries, so the field set must not drift silently.
+    // Pin the exact rendering of a synthetic report (wall-clock values
+    // are inputs here, so the output is reproducible).
+    let report = BenchReport {
+        scale: "quick".into(),
+        jobs_max: 2,
+        reference_wall_ms: 500.0,
+        reference_ops_per_sec: 15338.0,
+        cells: vec![CellTiming {
+            label: "Canneal/GEMINI".into(),
+            wall_ms: 250.0,
+            ops: 2500,
+            ops_per_sec: 10000.0,
+        }],
+        sweep: vec![
+            SweepPoint {
+                jobs: 1,
+                wall_ms: 250.0,
+                speedup_vs_jobs1: 1.0,
+            },
+            SweepPoint {
+                jobs: 2,
+                wall_ms: 125.0,
+                speedup_vs_jobs1: 2.0,
+            },
+        ],
+    };
+    let expected = format!(
+        r#"{{
+  "schema": "gemini-bench-v1",
+  "scale": "quick",
+  "jobs_max": 2,
+  "reference_cell": {{
+    "label": "{REFERENCE_CELL}",
+    "baseline_wall_ms": 1043,
+    "baseline_ops_per_sec": 7669,
+    "current_wall_ms": 500,
+    "current_ops_per_sec": 15338,
+    "speedup_vs_baseline": 2
+  }},
+  "cells": [
+    {{"label": "Canneal/GEMINI", "wall_ms": 250, "ops": 2500, "ops_per_sec": 10000}}
+  ],
+  "jobs_sweep": [
+    {{"jobs": 1, "wall_ms": 250, "speedup_vs_jobs1": 1}},
+    {{"jobs": 2, "wall_ms": 125, "speedup_vs_jobs1": 2}}
+  ]
+}}
+"#
+    );
+    assert_eq!(report.to_json(), expected);
 }
 
 #[test]
