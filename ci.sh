@@ -41,11 +41,13 @@ for jobs in 1 0; do
     echo "timing: demo compare jobs=$jobs wall_ms=$(( (end - start) / 1000000 ))"
 done
 
-echo "== bench report (quick scale, BENCH_pr4.json) =="
+echo "== bench report (quick scale, BENCH_pr5.json) =="
 # The full bench harness at quick scale: reference-cell speedup vs the
 # recorded pre-PR-4 baseline, per-cell fig3 timings, and a jobs sweep.
-# The JSON schema is pinned by tests/parallel_determinism.rs.
-"$BIN" bench --scale quick --jobs 2 --json BENCH_pr4.json
-echo "bench report written to BENCH_pr4.json"
+# The JSON schema is pinned by tests/parallel_determinism.rs. The PR-4
+# trajectory file (BENCH_pr4.json, demo scale) is a committed artifact
+# and is left untouched.
+"$BIN" bench --scale quick --jobs 2 --json BENCH_pr5.json
+echo "bench report written to BENCH_pr5.json"
 
 echo "CI gate passed."

@@ -14,8 +14,14 @@
 //!   aligned block, used by the enhanced memory allocator (EMA) to place a
 //!   page at `GVA - GuestOffset`, and by huge booking to reserve the region
 //!   under a mis-aligned huge page;
-//! - [`BuddyAllocator::free_runs`] — enumeration of maximal free contiguous
-//!   runs, feeding the Gemini contiguity list;
+//! - a persistent **free-run index** — maximal free contiguous runs kept
+//!   in an address-ordered map with a size histogram, maintained
+//!   incrementally by every alloc/free. Placement queries
+//!   ([`BuddyAllocator::first_run_fitting`],
+//!   [`BuddyAllocator::first_congruent_run`],
+//!   [`BuddyAllocator::largest_free_run`]) answer off the index in
+//!   O(log runs + answers) instead of rescanning memory, feeding the
+//!   Gemini contiguity list and CA-paging's offset establishment;
 //! - [`BuddyAllocator::free_area_counts`] — per-order free-block counts for
 //!   the fragmentation index (FMFI) that Ingens and Algorithm 1 consume.
 //!
@@ -40,7 +46,9 @@
 //! # Ok::<(), gemini_sim_core::SimError>(())
 //! ```
 
-use gemini_sim_core::{FreeAreaCounts, SimError};
+use gemini_sim_core::{FreeAreaCounts, SimError, HUGE_PAGE_ORDER, PAGES_PER_HUGE_PAGE};
+use std::cell::Cell;
+use std::collections::BTreeMap;
 
 /// Largest allocatable order (inclusive): order-10 blocks are 4 MiB, the
 /// Linux `MAX_ORDER` limit the paper cites when explaining why the stock
@@ -62,6 +70,18 @@ const NO_BLOCK: u8 = u8::MAX;
 /// Address-ordered allocation keeps a per-order minimum-start hint that
 /// insertions lower and scans advance, so finding the lowest free block of
 /// an order amortizes to a moving cursor.
+/// On top of the block storage, the allocator keeps a persistent **free-run
+/// index**: the maximal runs of abutting free frames, held in an
+/// address-ordered map (`start → len`) mirrored by a size-ordered set
+/// (`(len, start)`). Every `alloc`/`alloc_at`/`free` updates the index at
+/// the *net-effect* level — internal block splits and buddy merges never
+/// move a run boundary, so each operation is one range carve or one
+/// adjacency merge, O(log runs) amortized. Run queries
+/// ([`BuddyAllocator::first_run_fitting`],
+/// [`BuddyAllocator::first_congruent_run`],
+/// [`BuddyAllocator::largest_free_run`]) read the index instead of
+/// rescanning `order_of`, which turns every run-consuming policy pass from
+/// O(frames) into O(log runs + answers).
 #[derive(Debug, Clone)]
 pub struct BuddyAllocator {
     /// Per-frame free-block-start marker (see type docs).
@@ -75,6 +95,26 @@ pub struct BuddyAllocator {
     total_frames: u64,
     /// Currently free frames.
     free_frames: u64,
+    /// Free-run index, address-ordered: `start → len` of every maximal
+    /// free run. The single source the run iterators and queries read.
+    runs_by_addr: BTreeMap<u64, u64>,
+    /// Free-run index, size-ordered: histogram `len → number of runs of
+    /// that length`, giving O(log lens) largest-run and fit guards. Keyed
+    /// by length only — fragmented memory has many runs but few distinct
+    /// lengths, so this tree stays far smaller than `runs_by_addr`.
+    runs_by_size: BTreeMap<u64, u64>,
+    /// Work counter: runs examined by index queries since the last
+    /// [`BuddyAllocator::take_work_counters`]. `Cell` because queries
+    /// take `&self`; the allocator is `Send` (moved whole between
+    /// worker threads), never shared across threads.
+    run_probes: Cell<u64>,
+    /// Work counter: run-map mutations (inserts + removes) since the
+    /// last [`BuddyAllocator::take_work_counters`].
+    index_updates: Cell<u64>,
+    /// False only inside [`BuddyAllocator::bulk_update`], where per-op
+    /// index maintenance is suspended and the index rebuilt once at the
+    /// end. Queries must not run while false.
+    index_live: bool,
 }
 
 impl BuddyAllocator {
@@ -86,6 +126,11 @@ impl BuddyAllocator {
             min_start: vec![0; (MAX_ORDER + 1) as usize],
             total_frames: num_frames,
             free_frames: 0,
+            runs_by_addr: BTreeMap::new(),
+            runs_by_size: BTreeMap::new(),
+            run_probes: Cell::new(0),
+            index_updates: Cell::new(0),
+            index_live: true,
         };
         // Carve the range greedily into maximal aligned blocks.
         let mut frame = 0u64;
@@ -103,6 +148,10 @@ impl BuddyAllocator {
             frame += 1 << order;
         }
         alloc.free_frames = num_frames;
+        // The carved blocks all abut: the whole range is one free run.
+        if num_frames > 0 {
+            alloc.index_insert(0, num_frames);
+        }
         alloc
     }
 
@@ -144,6 +193,8 @@ impl BuddyAllocator {
             self.insert_free(start + (1 << o), o);
         }
         self.free_frames -= 1 << order;
+        // Net effect on runs: exactly the allocated range left them.
+        self.index_allocate_range(start, 1 << order);
         Ok(start)
     }
 
@@ -185,6 +236,7 @@ impl BuddyAllocator {
         }
         debug_assert_eq!(cur_start, start);
         self.free_frames -= 1 << order;
+        self.index_allocate_range(start, 1 << order);
         Ok(())
     }
 
@@ -217,6 +269,9 @@ impl BuddyAllocator {
         }
         self.insert_free(cur, o);
         self.free_frames += 1 << order;
+        // Buddy merging happened strictly inside already-free ground; the
+        // net effect on runs is that the freed range joined them.
+        self.index_free_range(start, 1 << order);
         Ok(())
     }
 
@@ -257,19 +312,24 @@ impl BuddyAllocator {
     /// Enumerates maximal runs of free frames as `(start, len)` pairs in
     /// address order, merging adjacent free blocks that are not buddies.
     ///
-    /// This is the raw material of the Gemini contiguity list.
+    /// **Test-only convenience**: materialises the whole index into a
+    /// `Vec` for assertions. Production consumers use the lazy
+    /// [`BuddyAllocator::free_runs_iter`]/[`BuddyAllocator::free_runs_from`]
+    /// or the indexed queries ([`BuddyAllocator::first_run_fitting`],
+    /// [`BuddyAllocator::first_congruent_run`]), which touch only the
+    /// runs they answer with.
     pub fn free_runs(&self) -> Vec<(u64, u64)> {
         self.free_runs_iter().collect()
     }
 
-    /// Lazy form of [`BuddyAllocator::free_runs`]: yields the same maximal
-    /// runs in address order without materialising a `Vec`, so searches
-    /// that stop at the first fit (next-fit placement) touch only a prefix
-    /// of the free list.
+    /// Lazy iterator over the maximal free runs in address order, read
+    /// straight from the persistent run index — no `order_of` scan, no
+    /// `Vec`, so searches that stop at the first fit (next-fit placement)
+    /// touch only the runs they examine.
     pub fn free_runs_iter(&self) -> FreeRuns<'_> {
+        debug_assert!(self.index_live, "query inside bulk_update");
         FreeRuns {
-            order_of: &self.order_of,
-            pos: 0,
+            inner: self.runs_by_addr.range(..),
         }
     }
 
@@ -279,28 +339,187 @@ impl BuddyAllocator {
     /// below it) is excluded, matching
     /// `free_runs().filter(|r| r.0 >= frame)`.
     pub fn free_runs_from(&self, frame: u64) -> FreeRuns<'_> {
-        let mut pos = frame;
-        // If the frame just below the cursor is free, its run extends at
-        // least to the cursor and started before it; skip that whole run
-        // (which may chain on through blocks at or after the cursor).
-        if frame > 0 && frame <= self.total_frames {
-            if let Some((start, o)) = self.containing_free_block(frame - 1) {
-                let mut end = start + (1u64 << o);
-                while end < self.total_frames && self.order_of[end as usize] != NO_BLOCK {
-                    end += 1u64 << self.order_of[end as usize];
-                }
-                pos = end;
-            }
-        }
+        debug_assert!(self.index_live, "query inside bulk_update");
         FreeRuns {
-            order_of: &self.order_of,
-            pos,
+            inner: self.runs_by_addr.range(frame..),
         }
     }
 
-    /// Length of the largest maximal free run, in frames.
+    /// Re-derives the maximal free runs by scanning `order_of` from
+    /// scratch — the reference the incremental index is checked against
+    /// ([`BuddyAllocator::check_invariants`], property tests). O(frames);
+    /// not for production paths.
+    pub fn free_runs_rescan(&self) -> Vec<(u64, u64)> {
+        let n = self.total_frames;
+        let mut runs = Vec::new();
+        let mut pos = 0u64;
+        while pos < n {
+            if self.order_of[pos as usize] == NO_BLOCK {
+                pos += 1;
+                continue;
+            }
+            // Accumulate the chain of abutting free blocks.
+            let start = pos;
+            while pos < n && self.order_of[pos as usize] != NO_BLOCK {
+                pos += 1u64 << self.order_of[pos as usize];
+            }
+            runs.push((start, pos - start));
+        }
+        runs
+    }
+
+    /// Length of the largest maximal free run, in frames. O(log runs)
+    /// off the size-ordered index.
     pub fn largest_free_run(&self) -> u64 {
-        self.free_runs_iter().map(|(_, l)| l).max().unwrap_or(0)
+        debug_assert!(self.index_live, "query inside bulk_update");
+        self.runs_by_size
+            .last_key_value()
+            .map(|(&len, _)| len)
+            .unwrap_or(0)
+    }
+
+    /// First free run with start `>= cursor` holding at least `len`
+    /// frames, as `(start, len)`. Next-fit leg of a cursor scan;
+    /// rejects in O(log runs) when no run anywhere is long enough.
+    pub fn first_run_fitting(&self, cursor: u64, len: u64) -> Option<(u64, u64)> {
+        if self.largest_free_run() < len {
+            return None;
+        }
+        for (&start, &rlen) in self.runs_by_addr.range(cursor..) {
+            self.run_probes.set(self.run_probes.get() + 1);
+            if rlen >= len {
+                return Some((start, rlen));
+            }
+        }
+        None
+    }
+
+    /// First free run with start `>= cursor` that can place `len` frames
+    /// at a position congruent to `in0` modulo the huge page size: the
+    /// run `(start, rlen)` fits iff
+    /// `congruent_start(start, in0) + len <= start + rlen`.
+    ///
+    /// This is the core query of contiguity-aware placement (CA-paging's
+    /// `establish_offset`, Gemini's contiguity list). Two fast
+    /// rejections make the fragmented case O(log runs): no run is `len`
+    /// long, or — when the anchor is region-aligned and a whole region
+    /// is needed — no free block of huge-page order exists (by eager
+    /// merging, a congruent fit of `>= 512` aligned frames *is* such a
+    /// block).
+    pub fn first_congruent_run(&self, cursor: u64, in0: u64, len: u64) -> Option<(u64, u64)> {
+        if !self.congruent_fit_possible(in0, len) {
+            return None;
+        }
+        for (&start, &rlen) in self.runs_by_addr.range(cursor..) {
+            self.run_probes.set(self.run_probes.get() + 1);
+            if congruent_start(start, in0) + len <= start + rlen {
+                return Some((start, rlen));
+            }
+        }
+        None
+    }
+
+    /// Wrap-around leg of [`BuddyAllocator::first_congruent_run`]: the
+    /// first fitting run whose start is strictly `< below`, scanning from
+    /// address zero. After the at-cursor leg missed, any remaining fit
+    /// necessarily starts before the cursor, so the two legs together
+    /// cover the full wrapped next-fit order.
+    pub fn first_congruent_run_below(&self, below: u64, in0: u64, len: u64) -> Option<(u64, u64)> {
+        if !self.congruent_fit_possible(in0, len) {
+            return None;
+        }
+        for (&start, &rlen) in self.runs_by_addr.range(..below) {
+            self.run_probes.set(self.run_probes.get() + 1);
+            if congruent_start(start, in0) + len <= start + rlen {
+                return Some((start, rlen));
+            }
+        }
+        None
+    }
+
+    /// Number of free runs holding at least `min_len` frames. O(answers)
+    /// off the size-ordered index.
+    pub fn count_runs_at_least(&self, min_len: u64) -> u64 {
+        debug_assert!(self.index_live, "query inside bulk_update");
+        self.runs_by_size.range(min_len..).map(|(_, &c)| c).sum()
+    }
+
+    /// The `n`-th (0-based) free run in *address order* among those
+    /// holding at least `min_len` frames — the indexed replacement for
+    /// collecting a filtered `Vec` and subscripting it.
+    pub fn nth_run_at_least(&self, min_len: u64, n: u64) -> Option<(u64, u64)> {
+        debug_assert!(self.index_live, "query inside bulk_update");
+        let mut seen = 0u64;
+        for (&start, &rlen) in self.runs_by_addr.iter() {
+            self.run_probes.set(self.run_probes.get() + 1);
+            if rlen >= min_len {
+                if seen == n {
+                    return Some((start, rlen));
+                }
+                seen += 1;
+            }
+        }
+        None
+    }
+
+    /// Runs `f` with per-operation index maintenance suspended, then
+    /// rebuilds the run index once from an `order_of` rescan.
+    ///
+    /// For bulk churn — e.g. the fragmenter, which allocates every frame
+    /// singly and frees most of them back — per-op maintenance costs
+    /// O(ops x log runs) in `BTreeMap` traffic while the net effect is
+    /// one O(frames) layout. Suspending and rebuilding makes the setup
+    /// cost independent of the number of intermediate operations. The
+    /// rebuilt index is identical to what incremental maintenance would
+    /// have produced (both equal the rescan), so results are unchanged.
+    ///
+    /// Queries (`free_runs*`, `first_*`, `largest_free_run`, ...) must
+    /// not be called from inside `f`; debug builds assert this.
+    pub fn bulk_update<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.index_live = false;
+        self.runs_by_addr.clear();
+        self.runs_by_size.clear();
+        let out = f(self);
+        for (start, len) in self.free_runs_rescan() {
+            self.index_insert(start, len);
+        }
+        self.index_live = true;
+        out
+    }
+
+    /// Drains the deterministic work counters accumulated since the last
+    /// call, as `(run_probes, index_updates)`. The engine feeds these
+    /// into the obs registry after each fault/daemon step.
+    pub fn take_work_counters(&self) -> (u64, u64) {
+        (self.run_probes.take(), self.index_updates.take())
+    }
+
+    /// Runs examined by index queries since the last counter drain.
+    pub fn run_probes(&self) -> u64 {
+        self.run_probes.get()
+    }
+
+    /// Run-map mutations since the last counter drain.
+    pub fn index_updates(&self) -> u64 {
+        self.index_updates.get()
+    }
+
+    /// True when some run could place `len` congruent-to-`in0` frames;
+    /// see [`BuddyAllocator::first_congruent_run`] for the reasoning.
+    fn congruent_fit_possible(&self, in0: u64, len: u64) -> bool {
+        if self.largest_free_run() < len {
+            return false;
+        }
+        // A region-aligned anchor needing a whole region places it on a
+        // 512-aligned, fully free range — by eager merging, an order-9
+        // free block. No such block, no fit, O(orders) to know.
+        if in0 % PAGES_PER_HUGE_PAGE == 0
+            && len >= PAGES_PER_HUGE_PAGE
+            && !self.has_suitable_block(HUGE_PAGE_ORDER)
+        {
+            return false;
+        }
+        true
     }
 
     /// True when any free block of order `>= order` exists — an O(orders)
@@ -380,6 +599,110 @@ impl BuddyAllocator {
         self.counts[order as usize] -= 1;
     }
 
+    /// Adds run `(start, len)` to both index maps.
+    fn index_insert(&mut self, start: u64, len: u64) {
+        self.index_updates.set(self.index_updates.get() + 1);
+        self.runs_by_addr.insert(start, len);
+        self.size_inc(len);
+    }
+
+    /// Removes run `(start, len)` from both index maps.
+    fn index_remove(&mut self, start: u64, len: u64) {
+        self.index_updates.set(self.index_updates.get() + 1);
+        let in_addr = self.runs_by_addr.remove(&start) == Some(len);
+        debug_assert!(in_addr, "index out of sync at {start}+{len}");
+        self.size_dec(len);
+    }
+
+    /// Counts one more run of length `len` in the size histogram.
+    fn size_inc(&mut self, len: u64) {
+        *self.runs_by_size.entry(len).or_insert(0) += 1;
+    }
+
+    /// Counts one fewer run of length `len` in the size histogram.
+    fn size_dec(&mut self, len: u64) {
+        match self.runs_by_size.get_mut(&len) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.runs_by_size.remove(&len);
+            }
+            None => debug_assert!(false, "size histogram missing length {len}"),
+        }
+    }
+
+    /// Records an in-place change of one run's length in the size
+    /// histogram and the update counter (the address map was already
+    /// mutated through `get_mut`/`range_mut`).
+    fn size_resize(&mut self, old_len: u64, new_len: u64) {
+        self.index_updates.set(self.index_updates.get() + 1);
+        self.size_dec(old_len);
+        self.size_inc(new_len);
+    }
+
+    /// Index update for an allocation: carve `[start, start + len)` out of
+    /// the run containing it, leaving up to two remainder runs. The range
+    /// was fully free, so exactly one indexed run covers it. When the run
+    /// keeps its start (tail or middle carve) the left remainder shrinks
+    /// in place; only a head carve moves the key.
+    fn index_allocate_range(&mut self, start: u64, len: u64) {
+        if !self.index_live {
+            return;
+        }
+        let end = start + len;
+        let (run_start, run_len) = {
+            let (&run_start, run_len) = self
+                .runs_by_addr
+                .range_mut(..=start)
+                .next_back()
+                .expect("allocated range must lie inside an indexed run");
+            let old = *run_len;
+            debug_assert!(run_start + old >= end);
+            if run_start < start {
+                // Left remainder keeps the key; shrink it in place.
+                *run_len = start - run_start;
+            }
+            (run_start, old)
+        };
+        let run_end = run_start + run_len;
+        if run_start == start {
+            self.index_remove(run_start, run_len);
+        } else {
+            self.size_resize(run_len, start - run_start);
+        }
+        if run_end > end {
+            self.index_insert(end, run_end - end);
+        }
+    }
+
+    /// Index update for a free: the range `[start, start + len)` joins the
+    /// free runs, merging with the run ending exactly at `start` and/or
+    /// the run starting exactly at `start + len`. (A neighbouring free
+    /// frame always terminates its run exactly at the boundary, because
+    /// the range itself was allocated ground.) A left merge keeps the
+    /// predecessor's key and grows it in place — the common case under
+    /// sequential frees.
+    fn index_free_range(&mut self, start: u64, len: u64) {
+        if !self.index_live {
+            return;
+        }
+        let right_len = self.runs_by_addr.get(&(start + len)).copied();
+        if let Some(next_len) = right_len {
+            self.index_remove(start + len, next_len);
+        }
+        let add = len + right_len.unwrap_or(0);
+        let mut grown: Option<u64> = None;
+        if let Some((&prev_start, prev_len)) = self.runs_by_addr.range_mut(..start).next_back() {
+            if prev_start + *prev_len == start {
+                grown = Some(*prev_len);
+                *prev_len += add;
+            }
+        }
+        match grown {
+            Some(old_len) => self.size_resize(old_len, old_len + add),
+            None => self.index_insert(start, add),
+        }
+    }
+
     /// Verifies internal invariants; used by tests.
     ///
     /// Checks that free lists and the block index agree, blocks are aligned
@@ -440,56 +763,54 @@ impl BuddyAllocator {
         if counted != self.free_frames || listed != self.free_frames {
             return Err(SimError::Invariant("free frame accounting mismatch"));
         }
+        // The incremental run index must equal a fresh rescan and its two
+        // maps must mirror each other.
+        let rescan = self.free_runs_rescan();
+        if self.runs_by_addr.len() != rescan.len()
+            || !rescan
+                .iter()
+                .all(|&(s, l)| self.runs_by_addr.get(&s) == Some(&l))
+        {
+            return Err(SimError::Invariant("run index out of sync with order_of"));
+        }
+        let mut histogram: BTreeMap<u64, u64> = BTreeMap::new();
+        for &(_, l) in &rescan {
+            *histogram.entry(l).or_insert(0) += 1;
+        }
+        if self.runs_by_size != histogram {
+            return Err(SimError::Invariant("size index out of sync with run map"));
+        }
         Ok(())
     }
 }
 
+/// First frame `>= start` congruent to `in0` modulo the huge page size —
+/// the placement anchor of contiguity-aware paging.
+fn congruent_start(start: u64, in0: u64) -> u64 {
+    let want = in0 % PAGES_PER_HUGE_PAGE;
+    let base = start - (start % PAGES_PER_HUGE_PAGE);
+    let candidate = base + want;
+    if candidate >= start {
+        candidate
+    } else {
+        candidate + PAGES_PER_HUGE_PAGE
+    }
+}
+
 /// Lazy iterator over maximal free runs; see
-/// [`BuddyAllocator::free_runs_iter`].
-///
-/// `pos` always sits on an allocated frame, a run start, or the end of the
-/// range — never strictly inside a free block — so scanning forward for
-/// the next block-start marker finds the next run's first block.
+/// [`BuddyAllocator::free_runs_iter`]. A thin view over the persistent
+/// run index — each `next` is one B-tree step, independent of how much
+/// allocated ground separates the runs.
 #[derive(Debug)]
 pub struct FreeRuns<'a> {
-    order_of: &'a [u8],
-    pos: u64,
+    inner: std::collections::btree_map::Range<'a, u64, u64>,
 }
 
 impl Iterator for FreeRuns<'_> {
     type Item = (u64, u64);
 
     fn next(&mut self) -> Option<(u64, u64)> {
-        let n = self.order_of.len() as u64;
-        let mut start = self.pos;
-        // Skip allocated ground to the next run, a word at a time where
-        // aligned (NO_BLOCK is 0xFF, so a fully-allocated word is all-ones).
-        while start < n {
-            if start % 8 == 0 && start + 8 <= n {
-                let bytes: [u8; 8] = self.order_of[start as usize..start as usize + 8]
-                    .try_into()
-                    .unwrap();
-                if u64::from_ne_bytes(bytes) == u64::MAX {
-                    start += 8;
-                    continue;
-                }
-            }
-            if self.order_of[start as usize] != NO_BLOCK {
-                break;
-            }
-            start += 1;
-        }
-        if start >= n {
-            self.pos = n;
-            return None;
-        }
-        // Accumulate the chain of abutting free blocks.
-        let mut end = start;
-        while end < n && self.order_of[end as usize] != NO_BLOCK {
-            end += 1u64 << self.order_of[end as usize];
-        }
-        self.pos = end;
-        Some((start, end - start))
+        self.inner.next().map(|(&start, &len)| (start, len))
     }
 }
 
@@ -722,5 +1043,128 @@ mod tests {
         }
         assert_eq!(a.free_runs_from(0).next(), None);
         assert_eq!(a.free_runs_iter().next(), None);
+    }
+
+    #[test]
+    fn index_tracks_rescan_through_alloc_free() {
+        let mut a = BuddyAllocator::new(2048);
+        a.alloc_at(100, 0).unwrap();
+        a.alloc_at(512, 9).unwrap();
+        let f = a.alloc(3).unwrap();
+        assert_eq!(a.free_runs(), a.free_runs_rescan());
+        a.free(f, 3).unwrap();
+        a.free(100, 0).unwrap();
+        assert_eq!(a.free_runs(), a.free_runs_rescan());
+        a.check_invariants().unwrap();
+        a.free(512, 9).unwrap();
+        assert_eq!(a.free_runs(), vec![(0, 2048)]);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn first_run_fitting_is_next_fit() {
+        let mut a = BuddyAllocator::new(2048);
+        a.alloc_at(100, 0).unwrap();
+        a.alloc_at(1000, 0).unwrap();
+        // Runs: (0,100), (101,899), (1001,1047).
+        assert_eq!(a.first_run_fitting(0, 50), Some((0, 100)));
+        assert_eq!(a.first_run_fitting(0, 200), Some((101, 899)));
+        assert_eq!(a.first_run_fitting(102, 200), Some((1001, 1047)));
+        assert_eq!(a.first_run_fitting(0, 2000), None);
+        assert_eq!(a.first_run_fitting(2000, 10), None);
+    }
+
+    #[test]
+    fn congruent_queries_match_filtered_scans() {
+        let mut a = BuddyAllocator::new(4096);
+        for f in [3, 700, 1500, 2600] {
+            a.alloc_at(f, 0).unwrap();
+        }
+        let fits = |(s, l): (u64, u64), in0: u64, len: u64| {
+            let want = in0 % 512;
+            let base = s - s % 512;
+            let cand = if base + want >= s {
+                base + want
+            } else {
+                base + want + 512
+            };
+            cand + len <= s + l
+        };
+        for in0 in [0u64, 512, 515, 1027] {
+            for len in [1u64, 64, 512, 700, 1024] {
+                for cursor in [0u64, 1, 701, 1501, 4095] {
+                    let naive_at = a
+                        .free_runs_rescan()
+                        .into_iter()
+                        .find(|&r| r.0 >= cursor && fits(r, in0, len));
+                    assert_eq!(
+                        a.first_congruent_run(cursor, in0, len),
+                        naive_at,
+                        "at cursor={cursor} in0={in0} len={len}"
+                    );
+                    let naive_below = a
+                        .free_runs_rescan()
+                        .into_iter()
+                        .find(|&r| r.0 < cursor && fits(r, in0, len));
+                    assert_eq!(
+                        a.first_congruent_run_below(cursor, in0, len),
+                        naive_below,
+                        "below cursor={cursor} in0={in0} len={len}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fragmented_congruent_query_rejects_without_probing() {
+        // One pinned frame per huge region: no order-9 block survives, so
+        // a region-aligned whole-region query must reject via the guards
+        // without examining a single run.
+        let mut a = BuddyAllocator::new(4096);
+        let mut held = Vec::new();
+        while let Ok(f) = a.alloc(0) {
+            held.push(f);
+        }
+        for &f in &held {
+            if f % 512 != 0 {
+                a.free(f, 0).unwrap();
+            }
+        }
+        assert!(!a.has_suitable_block(HUGE_PAGE_ORDER));
+        a.take_work_counters();
+        assert_eq!(a.first_congruent_run(0, 0, 512), None);
+        assert_eq!(a.first_congruent_run_below(4096, 1024, 600), None);
+        assert_eq!(a.run_probes(), 0, "guards must reject before any probe");
+    }
+
+    #[test]
+    fn nth_run_matches_filtered_vec_indexing() {
+        let mut a = BuddyAllocator::new(4096);
+        for f in [300, 900, 1200, 3000] {
+            a.alloc_at(f, 0).unwrap();
+        }
+        let candidates: Vec<(u64, u64)> = a.free_runs_iter().filter(|&(_, l)| l >= 256).collect();
+        assert_eq!(a.count_runs_at_least(256), candidates.len() as u64);
+        for (i, &c) in candidates.iter().enumerate() {
+            assert_eq!(a.nth_run_at_least(256, i as u64), Some(c));
+        }
+        assert_eq!(a.nth_run_at_least(256, candidates.len() as u64), None);
+    }
+
+    #[test]
+    fn work_counters_drain_and_accumulate() {
+        let mut a = BuddyAllocator::new(1024);
+        a.take_work_counters();
+        let f = a.alloc(0).unwrap();
+        a.free(f, 0).unwrap();
+        assert!(a.index_updates() > 0, "alloc+free must touch the index");
+        assert_eq!(a.run_probes(), 0);
+        a.first_run_fitting(0, 1);
+        assert_eq!(a.run_probes(), 1);
+        let (probes, updates) = a.take_work_counters();
+        assert_eq!(probes, 1);
+        assert!(updates > 0);
+        assert_eq!(a.take_work_counters(), (0, 0));
     }
 }

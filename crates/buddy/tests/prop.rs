@@ -81,6 +81,124 @@ fn random_ops_preserve_invariants() {
 }
 
 #[test]
+fn run_index_matches_rescan_after_arbitrary_interleavings() {
+    // The incremental free-run index must equal a fresh `order_of`
+    // rescan after any interleaving of alloc / alloc_at / free, and the
+    // indexed queries must agree with naive derivations from that
+    // rescan. (`check_invariants`, called per step, also cross-checks
+    // the index; this test additionally pins the query semantics.)
+    let mut seeds = DetRng::new(0xB0DD_1E05);
+    for _ in 0..CASES {
+        let mut rng = seeds.fork();
+        let num_frames = rng.range(512, 6000);
+        let n_ops = rng.range(1, 150);
+        let mut a = BuddyAllocator::new(num_frames);
+        let mut live: Vec<(u64, u32)> = Vec::new();
+        for _ in 0..n_ops {
+            match random_op(&mut rng, num_frames) {
+                Op::Alloc(order) => {
+                    if let Ok(start) = a.alloc(order) {
+                        live.push((start, order));
+                    }
+                }
+                Op::AllocAt { frame, order } => {
+                    if frame + (1 << order) <= num_frames && a.alloc_at(frame, order).is_ok() {
+                        live.push((frame, order));
+                    }
+                }
+                Op::FreeIdx(i) => {
+                    if !live.is_empty() {
+                        let (start, order) = live.swap_remove(i % live.len());
+                        a.free(start, order).unwrap();
+                    }
+                }
+            }
+            let rescan = a.free_runs_rescan();
+            assert_eq!(a.free_runs(), rescan, "index diverged from rescan");
+            a.check_invariants().unwrap();
+            // Queries answer exactly what a naive scan of the rescan says.
+            let largest = rescan.iter().map(|&(_, l)| l).max().unwrap_or(0);
+            assert_eq!(a.largest_free_run(), largest);
+            let cursor = rng.below(num_frames + 1);
+            let need = rng.range(1, 1024);
+            assert_eq!(
+                a.first_run_fitting(cursor, need),
+                rescan
+                    .iter()
+                    .copied()
+                    .find(|&(s, l)| s >= cursor && l >= need)
+            );
+            let in0 = rng.below(num_frames);
+            let fits = |(s, l): (u64, u64)| {
+                let want = in0 % 512;
+                let base = s - s % 512;
+                let out0 = if base + want >= s {
+                    base + want
+                } else {
+                    base + want + 512
+                };
+                out0 + need <= s + l
+            };
+            assert_eq!(
+                a.first_congruent_run(cursor, in0, need),
+                rescan.iter().copied().find(|&r| r.0 >= cursor && fits(r))
+            );
+            assert_eq!(
+                a.first_congruent_run_below(cursor, in0, need),
+                rescan.iter().copied().find(|&r| r.0 < cursor && fits(r))
+            );
+        }
+    }
+}
+
+#[test]
+fn bulk_update_rebuild_equals_incremental_maintenance() {
+    // Replaying the same op sequence incrementally and inside one
+    // `bulk_update` (index suspended, rebuilt from rescan at the end)
+    // must leave identical allocators and identical indexes.
+    fn apply(a: &mut BuddyAllocator, ops: &[Op]) {
+        let mut live: Vec<(u64, u32)> = Vec::new();
+        for op in ops {
+            match *op {
+                Op::Alloc(order) => {
+                    if let Ok(start) = a.alloc(order) {
+                        live.push((start, order));
+                    }
+                }
+                Op::AllocAt { frame, order } => {
+                    if frame + (1 << order) <= a.total_frames() && a.alloc_at(frame, order).is_ok()
+                    {
+                        live.push((frame, order));
+                    }
+                }
+                Op::FreeIdx(i) => {
+                    if !live.is_empty() {
+                        let (start, order) = live.swap_remove(i % live.len());
+                        a.free(start, order).unwrap();
+                    }
+                }
+            }
+        }
+    }
+    let mut seeds = DetRng::new(0xB0DD_1E06);
+    for _ in 0..CASES {
+        let mut rng = seeds.fork();
+        let num_frames = rng.range(512, 4096);
+        let n_ops = rng.range(1, 150);
+        let ops: Vec<Op> = (0..n_ops)
+            .map(|_| random_op(&mut rng, num_frames))
+            .collect();
+        let mut incremental = BuddyAllocator::new(num_frames);
+        let mut bulk = BuddyAllocator::new(num_frames);
+        apply(&mut incremental, &ops);
+        bulk.bulk_update(|b| apply(b, &ops));
+        assert_eq!(incremental.free_runs(), bulk.free_runs());
+        assert_eq!(incremental.used_frames(), bulk.used_frames());
+        bulk.check_invariants().unwrap();
+    }
+}
+
+#[test]
 fn free_everything_restores_pristine_state() {
     let mut seeds = DetRng::new(0xB0DD_1E02);
     for _ in 0..CASES {

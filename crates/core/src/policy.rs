@@ -302,17 +302,19 @@ impl GeminiPolicy {
 
         // (b) The Gemini contiguity list: free runs sorted by address,
         // searched next-fit for a run holding at least one whole congruent
-        // region; prefer runs that fit the whole extent. The search is
-        // lazy and stops at the first extent-fit — one pass over the runs
-        // at/after the cursor takes rule 1 and remembers rule 3's
-        // candidate; runs before the cursor are scanned (rules 2 and 4)
-        // only when the first pass misses, so the common case touches a
-        // prefix of the free list instead of materialising all of it.
-        // Fast reject: `region_start` is region-aligned, so a run holds a
-        // whole congruent region iff some 512-aligned 512-frame range is
-        // fully free — by eager buddy merging, a single free block of
-        // order ≥ 9. Without one, no run can fit and the scan is futile
-        // (the common case under heavy fragmentation).
+        // region; prefer runs that fit the whole extent. Each leg is one
+        // query against the allocator's persistent run index: a run
+        // `(start, rlen)` fits `need` congruent frames iff
+        // `congruent_start(start) + need <= start + rlen`, and because
+        // `region_start` is region-aligned, "fits the extent" is that
+        // predicate with `need = extent_len` rounded up to whole regions
+        // while "holds one region" is `need = 512`. After an at-cursor
+        // leg missed, any remaining fit necessarily starts before the
+        // cursor, so the wrap-around legs scan only below it.
+        // Fast reject: a whole congruent region is a 512-aligned, fully
+        // free range — by eager buddy merging, a single free block of
+        // order ≥ 9. Without one, no run can fit and the queries are
+        // futile (the common case under heavy fragmentation).
         if !ctx.buddy.has_suitable_block(HUGE_PAGE_ORDER) {
             return None;
         }
@@ -320,37 +322,14 @@ impl GeminiPolicy {
             let out0 = (region_start as i64 - congruent_offset(region_start, start)) as u64;
             (start + rlen).saturating_sub(out0) / PAGES_PER_HUGE_PAGE
         };
-        let fits_extent = |r: (u64, u64)| whole_regions(r) * PAGES_PER_HUGE_PAGE >= extent_len;
-        let fits_region = |r: (u64, u64)| whole_regions(r) >= 1;
+        let extent_need = extent_len.div_ceil(PAGES_PER_HUGE_PAGE) * PAGES_PER_HUGE_PAGE;
         let cursor = self.cursor;
-        let mut at_cursor_extent = None;
-        let mut at_cursor_region = None;
-        for run in ctx.buddy.free_runs_from(cursor) {
-            if fits_extent(run) {
-                at_cursor_extent = Some(run);
-                break;
-            }
-            if at_cursor_region.is_none() && fits_region(run) {
-                at_cursor_region = Some(run);
-            }
-        }
-        // Rules 2/4 originally rescanned every run; after rule 1/3 missed,
-        // any hit necessarily starts before the cursor, so the wrap-around
-        // legs stop there.
-        let pick = at_cursor_extent
-            .or_else(|| {
-                ctx.buddy
-                    .free_runs_iter()
-                    .take_while(|r| r.0 < cursor)
-                    .find(|&r| fits_extent(r))
-            })
-            .or(at_cursor_region)
-            .or_else(|| {
-                ctx.buddy
-                    .free_runs_iter()
-                    .take_while(|r| r.0 < cursor)
-                    .find(|&r| fits_region(r))
-            });
+        let buddy = ctx.buddy;
+        let pick = buddy
+            .first_congruent_run(cursor, region_start, extent_need)
+            .or_else(|| buddy.first_congruent_run_below(cursor, region_start, extent_need))
+            .or_else(|| buddy.first_congruent_run(cursor, region_start, PAGES_PER_HUGE_PAGE))
+            .or_else(|| buddy.first_congruent_run_below(cursor, region_start, PAGES_PER_HUGE_PAGE));
 
         // (c) No run holds even one congruent region: targeted placement
         // has no alignment value, so defer to the default allocator —

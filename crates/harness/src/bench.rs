@@ -16,10 +16,11 @@
 //! Simulated results stay byte-identical across all of this — wall-clock
 //! numbers live only here, never inside the deterministic exports.
 
-use crate::exec::run_cells;
+use crate::exec::{effective_jobs, run_cells_hinted};
 use crate::experiments::motivation::WORKLOADS;
 use crate::runner::run_workload_on;
 use crate::scale::Scale;
+use gemini_obs::Recorder;
 use gemini_obs::{json_f64, json_str};
 use gemini_sim_core::Result;
 use gemini_vm_sim::SystemKind;
@@ -60,6 +61,10 @@ pub struct SweepPoint {
     pub wall_ms: f64,
     /// Grid speedup versus the `jobs = 1` leg.
     pub speedup_vs_jobs1: f64,
+    /// Per-cell wall times of this leg, in submission order (same cell
+    /// order as `cells`). A flat sweep on a constrained CI machine shows
+    /// up here as uniformly inflated cells, not a scheduling defect.
+    pub cell_wall_ms: Vec<f64>,
 }
 
 /// Everything one bench invocation measured.
@@ -69,6 +74,9 @@ pub struct BenchReport {
     pub scale: String,
     /// Largest worker count the sweep covered.
     pub jobs_max: usize,
+    /// `std::thread::available_parallelism()` of the measuring machine —
+    /// the context that makes a flat jobs sweep interpretable.
+    pub available_parallelism: usize,
     /// Wall time of the demo-scale reference cell, milliseconds.
     pub reference_wall_ms: f64,
     /// Throughput of the demo-scale reference cell, ops per second.
@@ -125,28 +133,33 @@ pub fn run_bench(scale: &Scale, scale_name: &str, jobs_max: usize) -> Result<Ben
         }
     }
 
-    // Jobs sweep: the same grid through the parallel executor.
+    // Jobs sweep: the same grid through the parallel executor, with LPT
+    // dispatch hints. Each cell times itself, so the sweep records the
+    // per-cell wall times alongside the grid total.
     let jobs_max = jobs_max.max(1);
     let mut sweep = Vec::new();
     let mut jobs1_wall = 0.0f64;
     for jobs in 1..=jobs_max {
-        let grid = || -> Result<()> {
+        let grid = || -> Result<Vec<f64>> {
             let mut grid_cells = Vec::new();
             for (wi, name) in WORKLOADS.iter().enumerate() {
                 let spec = spec_by_name(name).expect("motivation workload in catalog");
                 let seed = scale.seed_for("motivation", wi as u64);
                 for &system in &systems {
                     let spec = spec.clone();
-                    grid_cells.push(move || run_workload_on(system, &spec, scale, true, seed));
+                    grid_cells.push((system.cost_hint(), move || {
+                        let (r, cell_ms) =
+                            timed(|| run_workload_on(system, &spec, scale, true, seed));
+                        r.map(|_| cell_ms)
+                    }));
                 }
             }
-            for r in run_cells(jobs, grid_cells) {
-                r?;
-            }
-            Ok(())
+            run_cells_hinted(jobs, &Recorder::off(), grid_cells)
+                .into_iter()
+                .collect()
         };
         let (res, wall_ms) = timed(grid);
-        res?;
+        let cell_wall_ms = res?;
         if jobs == 1 {
             jobs1_wall = wall_ms;
         }
@@ -158,12 +171,14 @@ pub fn run_bench(scale: &Scale, scale_name: &str, jobs_max: usize) -> Result<Ben
             } else {
                 0.0
             },
+            cell_wall_ms,
         });
     }
 
     Ok(BenchReport {
         scale: scale_name.to_string(),
         jobs_max,
+        available_parallelism: effective_jobs(0),
         reference_wall_ms: reference.wall_ms,
         reference_ops_per_sec: reference.ops_per_sec,
         cells,
@@ -182,9 +197,13 @@ impl BenchReport {
     /// workspace's hand-rolled JSON writer.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str(&format!("  \"schema\": {},\n", json_str("gemini-bench-v1")));
+        out.push_str(&format!("  \"schema\": {},\n", json_str("gemini-bench-v2")));
         out.push_str(&format!("  \"scale\": {},\n", json_str(&self.scale)));
         out.push_str(&format!("  \"jobs_max\": {},\n", self.jobs_max));
+        out.push_str(&format!(
+            "  \"available_parallelism\": {},\n",
+            self.available_parallelism
+        ));
         out.push_str("  \"reference_cell\": {\n");
         out.push_str(&format!("    \"label\": {},\n", json_str(REFERENCE_CELL)));
         out.push_str(&format!(
@@ -222,11 +241,18 @@ impl BenchReport {
         out.push_str("  ],\n");
         out.push_str("  \"jobs_sweep\": [\n");
         for (i, p) in self.sweep.iter().enumerate() {
+            let per_cell = p
+                .cell_wall_ms
+                .iter()
+                .map(|&ms| json_f64(ms))
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push_str(&format!(
-                "    {{\"jobs\": {}, \"wall_ms\": {}, \"speedup_vs_jobs1\": {}}}{}\n",
+                "    {{\"jobs\": {}, \"wall_ms\": {}, \"speedup_vs_jobs1\": {}, \"cell_wall_ms\": [{}]}}{}\n",
                 p.jobs,
                 json_f64(p.wall_ms),
                 json_f64(p.speedup_vs_jobs1),
+                per_cell,
                 if i + 1 < self.sweep.len() { "," } else { "" }
             ));
         }
@@ -243,6 +269,7 @@ mod tests {
         BenchReport {
             scale: "quick".into(),
             jobs_max: 2,
+            available_parallelism: 4,
             reference_wall_ms: 500.0,
             reference_ops_per_sec: 16_000.0,
             cells: vec![CellTiming {
@@ -255,6 +282,7 @@ mod tests {
                 jobs: 1,
                 wall_ms: 100.0,
                 speedup_vs_jobs1: 1.0,
+                cell_wall_ms: vec![100.0],
             }],
         }
     }
@@ -267,6 +295,8 @@ mod tests {
             "\"schema\"",
             "\"scale\"",
             "\"jobs_max\"",
+            "\"available_parallelism\"",
+            "\"cell_wall_ms\"",
             "\"reference_cell\"",
             "\"baseline_wall_ms\"",
             "\"baseline_ops_per_sec\"",

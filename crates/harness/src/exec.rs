@@ -56,20 +56,47 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    run_cells_hinted(jobs, rec, cells.into_iter().map(|c| (0, c)).collect())
+}
+
+/// Like [`run_cells_traced`], but each cell carries a deterministic
+/// *cost hint* and workers dispatch the most expensive pending cell
+/// first — LPT (longest-processing-time-first) list scheduling, which
+/// keeps one slow cell from landing last on an otherwise idle pool and
+/// stretching the grid's critical path.
+///
+/// Hints only reorder *dispatch*; results are still reassembled in
+/// submission order and the sequential path ignores hints entirely, so
+/// tables, JSON exports and traces stay byte-identical at any `jobs`
+/// for any hint assignment. Ties dispatch in submission order.
+pub fn run_cells_hinted<T, F>(jobs: usize, rec: &Recorder, cells: Vec<(u64, F)>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
     let n = cells.len();
     rec.counter_add("exec.cells_submitted", n as u64);
     let jobs = effective_jobs(jobs).min(n.max(1));
     if jobs <= 1 {
         return cells
             .into_iter()
-            .map(|cell| {
+            .map(|(_, cell)| {
                 let result = cell();
                 rec.counter_add("exec.cells_finished", 1);
                 result
             })
             .collect();
     }
-    let queue: Mutex<VecDeque<(usize, F)>> = Mutex::new(cells.into_iter().enumerate().collect());
+    let mut queued: Vec<(u64, (usize, F))> = cells
+        .into_iter()
+        .enumerate()
+        .map(|(idx, (hint, cell))| (hint, (idx, cell)))
+        .collect();
+    // LPT dispatch order: largest hint first, submission order on ties
+    // (stable sort keeps equal-hint cells FIFO).
+    queued.sort_by_key(|cell| std::cmp::Reverse(cell.0));
+    let queue: Mutex<VecDeque<(usize, F)>> =
+        Mutex::new(queued.into_iter().map(|(_, cell)| cell).collect());
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
@@ -136,6 +163,29 @@ mod tests {
         assert_eq!(seq.counter("exec.cells_submitted"), 10);
         assert_eq!(seq.counter("exec.cells_finished"), 10);
         assert_eq!(seq.to_json_lines(), par.to_json_lines());
+    }
+
+    #[test]
+    fn hinted_results_stay_in_submission_order() {
+        // Hints reorder dispatch only; any hint assignment must leave
+        // the result vector untouched at every jobs count.
+        for jobs in [1, 2, 5] {
+            for hint_of in [|_i: u64| 0u64, |i: u64| i % 7, |i: u64| 100 - i] {
+                let cells: Vec<(u64, _)> =
+                    (0..20u64).map(|i| (hint_of(i), move || i * 3)).collect();
+                let out = run_cells_hinted(jobs, &Recorder::off(), cells);
+                assert_eq!(out, (0..20u64).map(|i| i * 3).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn hinted_progress_counters_match_plain_execution() {
+        let rec = Recorder::new(&gemini_obs::TraceConfig::all());
+        let cells: Vec<(u64, _)> = (0..6u64).map(|i| (i, move || i)).collect();
+        run_cells_hinted(3, &rec, cells);
+        assert_eq!(rec.registry().counter("exec.cells_submitted"), 6);
+        assert_eq!(rec.registry().counter("exec.cells_finished"), 6);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! figure: uncoordinated coalescing leaves well-aligned rates low and the
 //! effort largely wasted; Gemini aligns the majority.
 
-use crate::exec::run_cells;
+use crate::exec::run_cells_hinted;
 use crate::report::{fmt_pct, fmt_ratio, Table};
 use crate::runner::run_workload_on;
 use crate::scale::Scale;
@@ -33,10 +33,14 @@ pub fn run(scale: &Scale) -> Result<MotivationResults> {
         let seed = scale.seed_for("motivation", wi as u64);
         for &system in &systems {
             let spec = spec.clone();
-            cells.push(move || run_workload_on(system, &spec, scale, true, seed));
+            // LPT dispatch: the hint steers which pending cell a worker
+            // takes first; results reassemble in submission order.
+            cells.push((system.cost_hint(), move || {
+                run_workload_on(system, &spec, scale, true, seed)
+            }));
         }
     }
-    let mut results = run_cells(scale.jobs, cells).into_iter();
+    let mut results = run_cells_hinted(scale.jobs, &gemini_obs::Recorder::off(), cells).into_iter();
     let mut runs = Vec::new();
     for _ in WORKLOADS {
         let mut per_sys = Vec::new();

@@ -241,7 +241,22 @@ impl<L: Layer> LayerEngine<L> {
             huge_allowed,
         )?;
         policy.after_fault(frame, &outcome);
+        self.drain_buddy_work();
         Ok((outcome, fx))
+    }
+
+    /// Feeds the allocator's deterministic work counters (runs probed by
+    /// index queries, run-map mutations) into the obs registry. Counts,
+    /// never wall-clock, so traced registries stay byte-identical across
+    /// jobs; zero deltas are skipped to keep untraced registries sparse.
+    fn drain_buddy_work(&self) {
+        let (probes, updates) = self.buddy.take_work_counters();
+        if probes > 0 {
+            self.rec.counter_add("buddy.run_probes", probes);
+        }
+        if updates > 0 {
+            self.rec.counter_add("buddy.index_updates", updates);
+        }
     }
 
     /// Runs one daemon pass of `policy` over `vm`'s table, executing the
@@ -305,6 +320,7 @@ impl<L: Layer> LayerEngine<L> {
                 fx.merge(dfx);
             }
         }
+        self.drain_buddy_work();
         Ok(fx)
     }
 

@@ -32,41 +32,47 @@ pub fn fragment_to(
     // huge region prevents order-9 blocks from reforming.
     let total = buddy.total_frames();
     let want_hold = ((total as f64) * hold_fraction) as u64;
-    let mut grabbed = Vec::new();
-    while let Ok(f) = buddy.alloc(0) {
-        grabbed.push(f);
-    }
-    // Decide pins: one random frame per huge region, plus extras until the
-    // hold fraction is met.
-    let mut pinned = Vec::new();
-    let mut released = Vec::new();
-    let mut by_region: std::collections::BTreeMap<u64, Vec<u64>> =
-        std::collections::BTreeMap::new();
-    for f in grabbed {
-        by_region.entry(f >> HUGE_PAGE_ORDER).or_default().push(f);
-    }
-    for (_region, frames) in by_region {
-        let keep = rng.below(frames.len() as u64) as usize;
-        for (i, f) in frames.into_iter().enumerate() {
-            if i == keep {
-                pinned.push(f);
-            } else {
-                released.push(f);
+    // The whole-memory alloc/free churn is a bulk operation: suspend the
+    // run index and let the allocator rebuild it once at the end, so the
+    // setup costs O(frames), not O(frames x log runs) of map traffic.
+    let pinned = buddy.bulk_update(|buddy| {
+        let mut grabbed = Vec::new();
+        while let Ok(f) = buddy.alloc(0) {
+            grabbed.push(f);
+        }
+        // Decide pins: one random frame per huge region, plus extras until
+        // the hold fraction is met.
+        let mut pinned = Vec::new();
+        let mut released = Vec::new();
+        let mut by_region: std::collections::BTreeMap<u64, Vec<u64>> =
+            std::collections::BTreeMap::new();
+        for f in grabbed {
+            by_region.entry(f >> HUGE_PAGE_ORDER).or_default().push(f);
+        }
+        for (_region, frames) in by_region {
+            let keep = rng.below(frames.len() as u64) as usize;
+            for (i, f) in frames.into_iter().enumerate() {
+                if i == keep {
+                    pinned.push(f);
+                } else {
+                    released.push(f);
+                }
             }
         }
-    }
-    // Release non-pinned frames in random order; keep extras pinned until
-    // the hold fraction is satisfied.
-    rng.shuffle(&mut released);
-    while (pinned.len() as u64) < want_hold {
-        match released.pop() {
-            Some(f) => pinned.push(f),
-            None => break,
+        // Release non-pinned frames in random order; keep extras pinned
+        // until the hold fraction is satisfied.
+        rng.shuffle(&mut released);
+        while (pinned.len() as u64) < want_hold {
+            match released.pop() {
+                Some(f) => pinned.push(f),
+                None => break,
+            }
         }
-    }
-    for f in released {
-        buddy.free(f, 0).expect("fragmenter owns this frame");
-    }
+        for f in released {
+            buddy.free(f, 0).expect("fragmenter owns this frame");
+        }
+        pinned
+    });
     // If the target is not yet reached (e.g. pins landed unluckily), the
     // one-pin-per-region layout already maximizes order-9 fragmentation;
     // nothing more to do. Report only — the caller can check the index.
@@ -124,15 +130,17 @@ impl TenantChurn {
         for _ in 0..breaks {
             // Break a random run big enough to matter for order-9
             // contiguity (not always the largest: compaction gets a
-            // fighting chance to finish assembling blocks).
-            let candidates: Vec<(u64, u64)> = buddy
-                .free_runs_iter()
-                .filter(|&(_, l)| l >= gemini_sim_core::PAGES_PER_HUGE_PAGE / 2)
-                .collect();
-            if candidates.is_empty() {
+            // fighting chance to finish assembling blocks). Candidate
+            // count and the address-ordered n-th pick both come off the
+            // allocator's run index — no Vec materialisation.
+            let min_len = gemini_sim_core::PAGES_PER_HUGE_PAGE / 2;
+            let count = buddy.count_runs_at_least(min_len);
+            if count == 0 {
                 break;
             }
-            let (start, len) = candidates[self.rng.below(candidates.len() as u64) as usize];
+            let (start, len) = buddy
+                .nth_run_at_least(min_len, self.rng.below(count))
+                .expect("count bounds the pick index");
             let frame = start + len / 4 + self.rng.below(len / 2);
             if buddy.alloc_at(frame, 0).is_ok() {
                 self.held.push_back((frame, now));

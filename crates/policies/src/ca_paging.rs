@@ -57,31 +57,23 @@ impl CaPaging {
 
     /// Picks a region-congruent position for an extent starting at input
     /// frame `in0` needing `len` frames, using next-fit over free runs.
+    ///
+    /// Each leg is one indexed query against the allocator's persistent
+    /// run index: first run at/after the cursor fitting the whole extent,
+    /// wrapping (after the at-cursor leg missed, any fit necessarily
+    /// starts before the cursor); otherwise any run holding at least one
+    /// whole congruent region. With no such run, targeted placement has
+    /// no promotion value — defer to the default allocator. Under
+    /// fragmentation the queries reject in O(log runs) without probing,
+    /// which is what keeps per-fault re-establishment cheap.
     fn establish_offset(&mut self, ctx: &FaultCtx<'_>, in0: u64, len: u64) -> Option<i64> {
-        let runs = ctx.buddy.free_runs();
-        if runs.is_empty() {
-            return None;
-        }
-        let fits_len = |&(start, rlen): &(u64, u64), need: u64| {
-            let aligned = congruent_start(start, in0);
-            aligned + need <= start + rlen
-        };
-        // Next-fit: first run at/after the cursor fitting the whole
-        // extent, wrapping; otherwise any run holding at least one whole
-        // congruent region. With no such run, targeted placement has no
-        // promotion value — defer to the default allocator.
-        let pick = runs
-            .iter()
-            .filter(|r| r.0 >= self.cursor)
-            .find(|r| fits_len(r, len))
-            .or_else(|| runs.iter().find(|r| fits_len(r, len)))
-            .or_else(|| {
-                runs.iter()
-                    .filter(|r| r.0 >= self.cursor)
-                    .find(|r| fits_len(r, PAGES_PER_HUGE_PAGE))
-            })
-            .or_else(|| runs.iter().find(|r| fits_len(r, PAGES_PER_HUGE_PAGE)))
-            .copied();
+        let buddy = ctx.buddy;
+        let cursor = self.cursor;
+        let pick = buddy
+            .first_congruent_run(cursor, in0, len)
+            .or_else(|| buddy.first_congruent_run_below(cursor, in0, len))
+            .or_else(|| buddy.first_congruent_run(cursor, in0, PAGES_PER_HUGE_PAGE))
+            .or_else(|| buddy.first_congruent_run_below(cursor, in0, PAGES_PER_HUGE_PAGE));
         let (start, _) = pick?;
         let out0 = congruent_start(start, in0);
         self.cursor = start;
@@ -254,6 +246,58 @@ mod tests {
         let (fourth, _) = g.handle_fault(vma.start_frame() + 3, &mut ca).unwrap();
         assert_eq!(fourth.pa_frame, third.pa_frame + 1);
         assert!(third.placement_honored);
+    }
+
+    #[test]
+    fn establish_probe_count_is_query_bounded() {
+        use gemini_obs::{Recorder, TraceConfig};
+        // Success case: on pristine memory the congruent query answers on
+        // its first probe, so one establish costs one probed run.
+        let mut g = GuestMm::new(VmId(1), 8192, CostModel::default());
+        let rec = Recorder::new(&TraceConfig::all());
+        g.set_recorder(rec.clone());
+        let mut ca = CaPaging::new();
+        let vma = g.mmap(HUGE_PAGE_SIZE).unwrap();
+        g.handle_fault(vma.start_frame(), &mut ca).unwrap();
+        assert_eq!(
+            rec.registry().counter("buddy.run_probes"),
+            1,
+            "one establish on one free run must probe exactly once"
+        );
+
+        // Fragmented case: one pinned frame per huge region kills every
+        // order-9 block, so establishment is re-attempted on *every*
+        // fault. Each attempt must reject through the index guards
+        // without examining a single run — a count, not a timing, so
+        // this regression guard cannot flake on slow CI machines. (The
+        // pre-index implementation rescanned and rechecked the whole run
+        // list four times per fault here: the 40x BENCH_pr4 outlier.)
+        let mut g = GuestMm::new(VmId(1), 8192, CostModel::default());
+        let buddy = g.buddy_mut();
+        let mut held = Vec::new();
+        while let Ok(f) = buddy.alloc(0) {
+            held.push(f);
+        }
+        for f in held {
+            if f % PAGES_PER_HUGE_PAGE != 0 {
+                buddy.free(f, 0).unwrap();
+            }
+        }
+        assert_eq!(buddy.free_blocks_of_order(9), 0);
+        let runs = buddy.free_runs().len() as u64;
+        assert!(runs > 10, "fragmentation must leave many runs ({runs})");
+        let rec = Recorder::new(&TraceConfig::all());
+        g.set_recorder(rec.clone());
+        let mut ca = CaPaging::new();
+        let vma = g.mmap(2 * HUGE_PAGE_SIZE).unwrap();
+        for i in 0..64 {
+            g.handle_fault(vma.start_frame() + i, &mut ca).unwrap();
+        }
+        assert_eq!(
+            rec.registry().counter("buddy.run_probes"),
+            0,
+            "fragmented establish must reject per-query, not per-run"
+        );
     }
 
     #[test]

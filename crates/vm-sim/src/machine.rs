@@ -872,6 +872,7 @@ mod tests {
             gemini: None,
             evaluated: false,
             tabulated: false,
+            cost_hint: 300,
         };
         let mut m = Machine::from_scenario(toy, small_cfg());
         let vm = m.add_vm();

@@ -82,6 +82,13 @@ pub struct ScenarioSpec {
     pub evaluated: bool,
     /// Member of the well-aligned-rate tables (Tables 1, 3, 4).
     pub tabulated: bool,
+    /// Deterministic dispatch cost hint for LPT grid scheduling:
+    /// roughly the system's demo-scale fig. 3 cell wall time in
+    /// milliseconds, re-measured when a PR shifts the balance. Only the
+    /// relative order matters — hints steer which pending cell a worker
+    /// takes first and never influence simulated results, so a stale
+    /// hint costs wall time, not correctness.
+    pub cost_hint: u64,
 }
 
 /// Gemini ablation: disable the huge bucket (EMA/HB only, Fig. 16).
@@ -113,6 +120,7 @@ pub const REGISTRY: &[(SystemKind, ScenarioSpec)] = &[
             gemini: None,
             evaluated: true,
             tabulated: false,
+            cost_hint: 324,
         },
     ),
     (
@@ -124,6 +132,7 @@ pub const REGISTRY: &[(SystemKind, ScenarioSpec)] = &[
             gemini: None,
             evaluated: true,
             tabulated: false,
+            cost_hint: 321,
         },
     ),
     (
@@ -135,6 +144,7 @@ pub const REGISTRY: &[(SystemKind, ScenarioSpec)] = &[
             gemini: None,
             evaluated: false,
             tabulated: false,
+            cost_hint: 300,
         },
     ),
     (
@@ -146,6 +156,7 @@ pub const REGISTRY: &[(SystemKind, ScenarioSpec)] = &[
             gemini: None,
             evaluated: false,
             tabulated: false,
+            cost_hint: 300,
         },
     ),
     (
@@ -157,6 +168,7 @@ pub const REGISTRY: &[(SystemKind, ScenarioSpec)] = &[
             gemini: None,
             evaluated: true,
             tabulated: true,
+            cost_hint: 282,
         },
     ),
     (
@@ -168,6 +180,7 @@ pub const REGISTRY: &[(SystemKind, ScenarioSpec)] = &[
             gemini: None,
             evaluated: true,
             tabulated: true,
+            cost_hint: 300,
         },
     ),
     (
@@ -179,6 +192,7 @@ pub const REGISTRY: &[(SystemKind, ScenarioSpec)] = &[
             gemini: None,
             evaluated: true,
             tabulated: true,
+            cost_hint: 310,
         },
     ),
     (
@@ -190,6 +204,7 @@ pub const REGISTRY: &[(SystemKind, ScenarioSpec)] = &[
             gemini: None,
             evaluated: true,
             tabulated: true,
+            cost_hint: 269,
         },
     ),
     (
@@ -201,6 +216,7 @@ pub const REGISTRY: &[(SystemKind, ScenarioSpec)] = &[
             gemini: None,
             evaluated: true,
             tabulated: true,
+            cost_hint: 267,
         },
     ),
     (
@@ -212,6 +228,7 @@ pub const REGISTRY: &[(SystemKind, ScenarioSpec)] = &[
             gemini: Some(cfg_default),
             evaluated: true,
             tabulated: true,
+            cost_hint: 277,
         },
     ),
     (
@@ -223,6 +240,7 @@ pub const REGISTRY: &[(SystemKind, ScenarioSpec)] = &[
             gemini: Some(cfg_no_bucket),
             evaluated: false,
             tabulated: false,
+            cost_hint: 277,
         },
     ),
     (
@@ -234,6 +252,7 @@ pub const REGISTRY: &[(SystemKind, ScenarioSpec)] = &[
             gemini: Some(cfg_bucket_only),
             evaluated: false,
             tabulated: false,
+            cost_hint: 277,
         },
     ),
 ];
@@ -358,6 +377,12 @@ impl SystemKind {
     /// The Gemini configuration for this variant (ablations flip flags).
     pub fn gemini_config(self) -> GeminiConfig {
         self.spec().gemini_config()
+    }
+
+    /// Deterministic LPT dispatch cost hint (see
+    /// [`ScenarioSpec::cost_hint`]).
+    pub fn cost_hint(self) -> u64 {
+        self.spec().cost_hint
     }
 
     /// Builds the cross-layer runtime for Gemini variants.

@@ -105,6 +105,7 @@ fn bench_report_schema_is_pinned() {
     let report = BenchReport {
         scale: "quick".into(),
         jobs_max: 2,
+        available_parallelism: 8,
         reference_wall_ms: 500.0,
         reference_ops_per_sec: 15338.0,
         cells: vec![CellTiming {
@@ -118,19 +119,22 @@ fn bench_report_schema_is_pinned() {
                 jobs: 1,
                 wall_ms: 250.0,
                 speedup_vs_jobs1: 1.0,
+                cell_wall_ms: vec![250.0],
             },
             SweepPoint {
                 jobs: 2,
                 wall_ms: 125.0,
                 speedup_vs_jobs1: 2.0,
+                cell_wall_ms: vec![125.0],
             },
         ],
     };
     let expected = format!(
         r#"{{
-  "schema": "gemini-bench-v1",
+  "schema": "gemini-bench-v2",
   "scale": "quick",
   "jobs_max": 2,
+  "available_parallelism": 8,
   "reference_cell": {{
     "label": "{REFERENCE_CELL}",
     "baseline_wall_ms": 1043,
@@ -143,8 +147,8 @@ fn bench_report_schema_is_pinned() {
     {{"label": "Canneal/GEMINI", "wall_ms": 250, "ops": 2500, "ops_per_sec": 10000}}
   ],
   "jobs_sweep": [
-    {{"jobs": 1, "wall_ms": 250, "speedup_vs_jobs1": 1}},
-    {{"jobs": 2, "wall_ms": 125, "speedup_vs_jobs1": 2}}
+    {{"jobs": 1, "wall_ms": 250, "speedup_vs_jobs1": 1, "cell_wall_ms": [250]}},
+    {{"jobs": 2, "wall_ms": 125, "speedup_vs_jobs1": 2, "cell_wall_ms": [125]}}
   ]
 }}
 "#
