@@ -41,13 +41,32 @@ for jobs in 1 0; do
     echo "timing: demo compare jobs=$jobs wall_ms=$(( (end - start) / 1000000 ))"
 done
 
-echo "== bench report (quick scale, BENCH_pr5.json) =="
+echo "== bench report + perf gate (quick scale, BENCH_pr6.json) =="
 # The full bench harness at quick scale: reference-cell speedup vs the
-# recorded pre-PR-4 baseline, per-cell fig3 timings, and a jobs sweep.
-# The JSON schema is pinned by tests/parallel_determinism.rs. The PR-4
-# trajectory file (BENCH_pr4.json, demo scale) is a committed artifact
-# and is left untouched.
-"$BIN" bench --scale quick --jobs 2 --json BENCH_pr5.json
-echo "bench report written to BENCH_pr5.json"
+# recorded pre-PR-4 baseline, per-cell fig3 timings with phase
+# breakdowns, and a jobs sweep; then the perf-regression gate against
+# the previous run's report. Warn-only: this demo container is
+# single-threaded and noisy, so regressions are reported, not fatal —
+# on a quiet benchmarking host drop --warn-only to make it a hard
+# gate. The committed BENCH_pr*.json trajectory files (demo scale) are
+# artifacts and are left untouched; the gate diffs the quick-scale
+# report against its own previous self when one exists.
+if [ -f BENCH_pr6_quick.json ]; then
+    mv BENCH_pr6_quick.json BENCH_prev_quick.json
+    "$BIN" bench --scale quick --jobs 2 --json BENCH_pr6_quick.json \
+        --profile trace_pr6.json --compare BENCH_prev_quick.json --warn-only
+    rm -f BENCH_prev_quick.json
+else
+    "$BIN" bench --scale quick --jobs 2 --json BENCH_pr6_quick.json \
+        --profile trace_pr6.json
+fi
+echo "bench report written to BENCH_pr6_quick.json"
+
+echo "== profile smoke check (trace_pr6.json) =="
+# The Perfetto trace must exist, be non-empty, and look like a
+# Chrome-trace-event document.
+test -s trace_pr6.json
+grep -q '"traceEvents"' trace_pr6.json
+echo "trace written to trace_pr6.json ($(wc -c < trace_pr6.json) bytes)"
 
 echo "CI gate passed."

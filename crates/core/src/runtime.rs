@@ -12,7 +12,7 @@
 use crate::mhps::scan_vm;
 use crate::shared::GeminiShared;
 use crate::timeout::TimeoutController;
-use gemini_obs::{cat, EventKind, Layer, Recorder};
+use gemini_obs::{cat, EventKind, Layer, Phase, Profiler, Recorder};
 use gemini_page_table::AddressSpace;
 use gemini_sim_core::{Cycles, VmId};
 
@@ -35,6 +35,7 @@ pub struct GeminiRuntime {
     /// fixed (the fixed-vs-adaptive ablation).
     pub adaptive: bool,
     rec: Recorder,
+    prof: Profiler,
 }
 
 impl GeminiRuntime {
@@ -52,6 +53,7 @@ impl GeminiRuntime {
             scans_done: 0,
             adaptive: true,
             rec: Recorder::off(),
+            prof: Profiler::off(),
         }
     }
 
@@ -59,6 +61,12 @@ impl GeminiRuntime {
     /// decisions are traced through it.
     pub fn set_recorder(&mut self, rec: Recorder) {
         self.rec = rec;
+    }
+
+    /// Attaches a span profiler; MHPS scan passes record
+    /// contiguity-scan spans through it.
+    pub fn set_profiler(&mut self, prof: Profiler) {
+        self.prof = prof;
     }
 
     /// The current booking timeout (for tests/telemetry).
@@ -82,6 +90,7 @@ impl GeminiRuntime {
     ) -> Cycles {
         let mut cost = Cycles::ZERO;
         if now >= self.next_scan {
+            let _scan_span = self.prof.span(Phase::ContiguityScan);
             for &(vm, guest, ept) in tables {
                 let scan = scan_vm(vm, guest, ept);
                 // Scan cost is linear in mapped regions.

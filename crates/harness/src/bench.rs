@@ -16,12 +16,12 @@
 //! Simulated results stay byte-identical across all of this — wall-clock
 //! numbers live only here, never inside the deterministic exports.
 
-use crate::exec::{effective_jobs, run_cells_hinted};
+use crate::exec::{effective_jobs, run_cells_hinted, run_cells_profiled};
 use crate::experiments::motivation::WORKLOADS;
-use crate::runner::run_workload_on;
+use crate::runner::{run_workload_on, run_workload_profiled};
 use crate::scale::Scale;
-use gemini_obs::Recorder;
-use gemini_obs::{json_f64, json_str};
+use gemini_obs::profile::{chrome_trace_json, ProfileReport, TraceSpan};
+use gemini_obs::{json_f64, json_str, Profiler, Recorder};
 use gemini_sim_core::Result;
 use gemini_vm_sim::SystemKind;
 use gemini_workloads::spec_by_name;
@@ -39,6 +39,34 @@ pub const BASELINE_WALL_MS: f64 = 1043.0;
 /// (workload operations per wall-clock second, best of three).
 pub const BASELINE_OPS_PER_SEC: f64 = 7669.0;
 
+/// Wall-clock self/cumulative time one phase accumulated in a cell.
+#[derive(Debug, Clone)]
+pub struct PhaseTiming {
+    /// Stable phase name ([`gemini_obs::Phase::name`]).
+    pub name: &'static str,
+    /// Self wall time in milliseconds (child spans excluded) — phase
+    /// self times are disjoint, so they sum to the covered wall time.
+    pub wall_ms: f64,
+    /// Cumulative wall time in milliseconds (child spans included).
+    pub cum_ms: f64,
+    /// Spans recorded for this phase.
+    pub count: u64,
+}
+
+/// Converts a profiler report to phase rows.
+fn phase_timings(report: &ProfileReport) -> Vec<PhaseTiming> {
+    report
+        .phases
+        .iter()
+        .map(|&(p, s)| PhaseTiming {
+            name: p.name(),
+            wall_ms: s.self_ns as f64 / 1e6,
+            cum_ms: s.cum_ns as f64 / 1e6,
+            count: s.count,
+        })
+        .collect()
+}
+
 /// Wall-clock timing of one experiment cell.
 #[derive(Debug, Clone)]
 pub struct CellTiming {
@@ -50,6 +78,12 @@ pub struct CellTiming {
     pub ops: u64,
     /// Simulator throughput: operations per wall-clock second.
     pub ops_per_sec: f64,
+    /// Phase breakdown of the cell's wall time (empty when the cell ran
+    /// unprofiled).
+    pub phases: Vec<PhaseTiming>,
+    /// Estimated profiler overhead inside `wall_ms` (spans recorded ×
+    /// calibrated per-span cost), milliseconds.
+    pub profiler_overhead_ms: f64,
 }
 
 /// One leg of the jobs sweep.
@@ -65,6 +99,12 @@ pub struct SweepPoint {
     /// order as `cells`). A flat sweep on a constrained CI machine shows
     /// up here as uniformly inflated cells, not a scheduling defect.
     pub cell_wall_ms: Vec<f64>,
+    /// True when this leg ran more workers than the machine has
+    /// hardware threads (`jobs > available_parallelism`): per-cell
+    /// walls inflate roughly `jobs`-fold because workers time-share
+    /// cores, so a flat speedup here is an artifact of the host, not a
+    /// scheduling defect.
+    pub oversubscribed: bool,
 }
 
 /// Everything one bench invocation measured.
@@ -77,10 +117,19 @@ pub struct BenchReport {
     /// `std::thread::available_parallelism()` of the measuring machine —
     /// the context that makes a flat jobs sweep interpretable.
     pub available_parallelism: usize,
-    /// Wall time of the demo-scale reference cell, milliseconds.
+    /// Wall time of the demo-scale reference cell, milliseconds
+    /// (unprofiled run — the trajectory yardstick).
     pub reference_wall_ms: f64,
-    /// Throughput of the demo-scale reference cell, ops per second.
+    /// Throughput of the demo-scale reference cell, ops per second
+    /// (unprofiled run).
     pub reference_ops_per_sec: f64,
+    /// Phase breakdown of a second, profiled run of the reference cell.
+    pub reference_phases: Vec<PhaseTiming>,
+    /// Wall time of the profiled reference run, milliseconds.
+    pub reference_profiled_wall_ms: f64,
+    /// Estimated profiler overhead of the profiled reference run, as a
+    /// percentage of its wall time.
+    pub reference_overhead_pct: f64,
     /// Per-cell timings of the fig. 3 grid at `scale`, `jobs = 1`.
     pub cells: Vec<CellTiming>,
     /// Grid wall times across `jobs = 1..=jobs_max`.
@@ -106,15 +155,45 @@ pub fn run_reference_cell() -> Result<CellTiming> {
         wall_ms,
         ops: r.ops,
         ops_per_sec: r.ops as f64 / (wall_ms / 1e3),
+        phases: Vec::new(),
+        profiler_overhead_ms: 0.0,
     })
+}
+
+/// Runs the reference cell's workload/system pair (Canneal × GEMINI,
+/// fragmented) at `scale` with span profiling on and returns
+/// `(phase rows, profiled wall ms, overhead % of wall)`.
+pub fn profile_canneal_gemini(scale: &Scale) -> Result<(Vec<PhaseTiming>, f64, f64)> {
+    let spec = spec_by_name("Canneal").expect("Canneal is in the catalog");
+    let seed = scale.seed_for("motivation", 0);
+    let prof = Profiler::wall(false);
+    let (r, wall_ms) =
+        timed(|| run_workload_profiled(SystemKind::Gemini, &spec, scale, true, seed, prof.clone()));
+    r?;
+    let report = prof.report();
+    let overhead_pct = if wall_ms > 0.0 {
+        100.0 * (report.overhead_est_ns as f64 / 1e6) / wall_ms
+    } else {
+        0.0
+    };
+    Ok((phase_timings(&report), wall_ms, overhead_pct))
+}
+
+/// Runs the demo-scale reference cell once more with span profiling on
+/// and returns `(phase rows, profiled wall ms, overhead % of wall)`.
+pub fn profile_reference_cell() -> Result<(Vec<PhaseTiming>, f64, f64)> {
+    profile_canneal_gemini(&Scale::demo())
 }
 
 /// Runs the full bench: reference cell, per-cell grid timings, jobs
 /// sweep. `scale_name` is recorded verbatim in the report.
 pub fn run_bench(scale: &Scale, scale_name: &str, jobs_max: usize) -> Result<BenchReport> {
     let reference = run_reference_cell()?;
+    let (reference_phases, reference_profiled_wall_ms, reference_overhead_pct) =
+        profile_reference_cell()?;
 
-    // Per-cell timings: the fig. 3 grid, sequentially.
+    // Per-cell timings: the fig. 3 grid, sequentially, each cell under
+    // its own profiler so the report carries a phase breakdown.
     let systems = SystemKind::evaluated();
     let mut cells = Vec::new();
     for (wi, name) in WORKLOADS.iter().enumerate() {
@@ -122,13 +201,18 @@ pub fn run_bench(scale: &Scale, scale_name: &str, jobs_max: usize) -> Result<Ben
         let seed = scale.seed_for("motivation", wi as u64);
         for &system in &systems {
             let spec = spec.clone();
-            let (r, wall_ms) = timed(|| run_workload_on(system, &spec, scale, true, seed));
+            let prof = Profiler::wall(false);
+            let (r, wall_ms) =
+                timed(|| run_workload_profiled(system, &spec, scale, true, seed, prof.clone()));
             let r = r?;
+            let report = prof.report();
             cells.push(CellTiming {
                 label: format!("{name}/{}", system.label()),
                 wall_ms,
                 ops: r.ops,
                 ops_per_sec: r.ops as f64 / (wall_ms / 1e3),
+                phases: phase_timings(&report),
+                profiler_overhead_ms: report.overhead_est_ns as f64 / 1e6,
             });
         }
     }
@@ -172,6 +256,7 @@ pub fn run_bench(scale: &Scale, scale_name: &str, jobs_max: usize) -> Result<Ben
                 0.0
             },
             cell_wall_ms,
+            oversubscribed: jobs > effective_jobs(0),
         });
     }
 
@@ -181,9 +266,56 @@ pub fn run_bench(scale: &Scale, scale_name: &str, jobs_max: usize) -> Result<Ben
         available_parallelism: effective_jobs(0),
         reference_wall_ms: reference.wall_ms,
         reference_ops_per_sec: reference.ops_per_sec,
+        reference_phases,
+        reference_profiled_wall_ms,
+        reference_overhead_pct,
         cells,
         sweep,
     })
+}
+
+/// Runs the fig. 3 grid once at `jobs` workers with span-event capture
+/// through `master` (which must have been built with event capture on)
+/// and renders a Chrome-trace-event JSON document: one labelled track
+/// per worker, one `cell` rectangle per grid cell, and the cell's
+/// nested phase spans inside it. Open the file in Perfetto
+/// (<https://ui.perfetto.dev>) or `chrome://tracing`.
+pub fn grid_trace(scale: &Scale, jobs: usize, master: &Profiler) -> Result<String> {
+    let systems = SystemKind::evaluated();
+    let mut cells = Vec::new();
+    for (wi, name) in WORKLOADS.iter().enumerate() {
+        let spec = spec_by_name(name).expect("motivation workload in catalog");
+        let seed = scale.seed_for("motivation", wi as u64);
+        for &system in &systems {
+            let spec = spec.clone();
+            let label = format!("{name}/{}", system.label());
+            cells.push((system.cost_hint(), move |wprof: &Profiler| {
+                let start_ns = wprof.now_ns();
+                let r = run_workload_profiled(system, &spec, scale, true, seed, wprof.clone());
+                let dur_ns = wprof.now_ns().saturating_sub(start_ns);
+                r.map(|_| TraceSpan {
+                    name: label,
+                    cat: "cell",
+                    start_ns,
+                    dur_ns,
+                    tid: wprof.tid(),
+                })
+            }));
+        }
+    }
+    let workers = effective_jobs(jobs).min(cells.len().max(1));
+    let cell_spans: Result<Vec<TraceSpan>> =
+        run_cells_profiled(jobs, &Recorder::off(), master, cells)
+            .into_iter()
+            .collect();
+    let mut spans = cell_spans?;
+    spans.extend(master.events().iter().map(TraceSpan::from));
+    let worker_names: Vec<String> = (0..workers).map(|w| format!("worker-{w}")).collect();
+    Ok(chrome_trace_json(
+        "gemini-sim bench grid",
+        &worker_names,
+        &spans,
+    ))
 }
 
 impl BenchReport {
@@ -196,8 +328,23 @@ impl BenchReport {
     /// Renders the report as one pretty-printed JSON object via the
     /// workspace's hand-rolled JSON writer.
     pub fn to_json(&self) -> String {
+        let phases_json = |phases: &[PhaseTiming]| -> String {
+            phases
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"name\": {}, \"wall_ms\": {}, \"cum_ms\": {}, \"count\": {}}}",
+                        json_str(p.name),
+                        json_f64(p.wall_ms),
+                        json_f64(p.cum_ms),
+                        p.count
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
         let mut out = String::from("{\n");
-        out.push_str(&format!("  \"schema\": {},\n", json_str("gemini-bench-v2")));
+        out.push_str(&format!("  \"schema\": {},\n", json_str("gemini-bench-v3")));
         out.push_str(&format!("  \"scale\": {},\n", json_str(&self.scale)));
         out.push_str(&format!("  \"jobs_max\": {},\n", self.jobs_max));
         out.push_str(&format!(
@@ -223,18 +370,32 @@ impl BenchReport {
             json_f64(self.reference_ops_per_sec)
         ));
         out.push_str(&format!(
-            "    \"speedup_vs_baseline\": {}\n",
+            "    \"speedup_vs_baseline\": {},\n",
             json_f64(self.speedup_vs_baseline())
+        ));
+        out.push_str(&format!(
+            "    \"profiled_wall_ms\": {},\n",
+            json_f64(self.reference_profiled_wall_ms)
+        ));
+        out.push_str(&format!(
+            "    \"profiler_overhead_pct\": {},\n",
+            json_f64(self.reference_overhead_pct)
+        ));
+        out.push_str(&format!(
+            "    \"phases\": [{}]\n",
+            phases_json(&self.reference_phases)
         ));
         out.push_str("  },\n");
         out.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"label\": {}, \"wall_ms\": {}, \"ops\": {}, \"ops_per_sec\": {}}}{}\n",
+                "    {{\"label\": {}, \"wall_ms\": {}, \"ops\": {}, \"ops_per_sec\": {}, \"profiler_overhead_ms\": {}, \"phases\": [{}]}}{}\n",
                 json_str(&c.label),
                 json_f64(c.wall_ms),
                 c.ops,
                 json_f64(c.ops_per_sec),
+                json_f64(c.profiler_overhead_ms),
+                phases_json(&c.phases),
                 if i + 1 < self.cells.len() { "," } else { "" }
             ));
         }
@@ -248,10 +409,11 @@ impl BenchReport {
                 .collect::<Vec<_>>()
                 .join(", ");
             out.push_str(&format!(
-                "    {{\"jobs\": {}, \"wall_ms\": {}, \"speedup_vs_jobs1\": {}, \"cell_wall_ms\": [{}]}}{}\n",
+                "    {{\"jobs\": {}, \"wall_ms\": {}, \"speedup_vs_jobs1\": {}, \"oversubscribed\": {}, \"cell_wall_ms\": [{}]}}{}\n",
                 p.jobs,
                 json_f64(p.wall_ms),
                 json_f64(p.speedup_vs_jobs1),
+                p.oversubscribed,
                 per_cell,
                 if i + 1 < self.sweep.len() { "," } else { "" }
             ));
@@ -272,17 +434,33 @@ mod tests {
             available_parallelism: 4,
             reference_wall_ms: 500.0,
             reference_ops_per_sec: 16_000.0,
+            reference_phases: vec![PhaseTiming {
+                name: "access",
+                wall_ms: 450.0,
+                cum_ms: 480.0,
+                count: 10,
+            }],
+            reference_profiled_wall_ms: 505.0,
+            reference_overhead_pct: 0.4,
             cells: vec![CellTiming {
                 label: "Canneal/GEMINI".into(),
                 wall_ms: 100.0,
                 ops: 2_500,
                 ops_per_sec: 25_000.0,
+                phases: vec![PhaseTiming {
+                    name: "fault_path",
+                    wall_ms: 30.0,
+                    cum_ms: 30.0,
+                    count: 400,
+                }],
+                profiler_overhead_ms: 0.5,
             }],
             sweep: vec![SweepPoint {
                 jobs: 1,
                 wall_ms: 100.0,
                 speedup_vs_jobs1: 1.0,
                 cell_wall_ms: vec![100.0],
+                oversubscribed: false,
             }],
         }
     }
@@ -303,11 +481,27 @@ mod tests {
             "\"current_wall_ms\"",
             "\"current_ops_per_sec\"",
             "\"speedup_vs_baseline\"",
+            "\"profiled_wall_ms\"",
+            "\"profiler_overhead_pct\"",
+            "\"phases\"",
+            "\"profiler_overhead_ms\"",
+            "\"oversubscribed\"",
             "\"cells\"",
             "\"jobs_sweep\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
+        // And it parses back through the in-tree JSON reader.
+        let v = gemini_obs::jsonread::parse(&j).expect("bench JSON parses");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("gemini-bench-v3")
+        );
+        let cell = &v.get("cells").and_then(|c| c.as_arr()).unwrap()[0];
+        assert_eq!(
+            cell.get("phases").and_then(|p| p.as_arr()).map(|p| p.len()),
+            Some(1)
+        );
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! gemini-sim run     --system GEMINI --workload Redis [--fragmented] [--reused]
 //! gemini-sim compare --workload Redis [--fragmented] [--reused]
 //! gemini-sim trace   --system GEMINI --workload Redis [--fragmented]
-//! gemini-sim bench   [--scale quick|bench] [--jobs N] [--json BENCH_pr4.json]
+//! gemini-sim bench   [--scale quick|bench] [--jobs N] [--json BENCH_pr6.json]
+//!                    [--profile trace.json] [--compare OLD.json]
+//!                    [--threshold PCT] [--warn-only]
+//! gemini-sim bench   --compare OLD.json --against NEW.json   (diff only, no run)
 //!
 //! common flags:
 //!   --scale quick|demo|bench|full   (default demo)
@@ -14,6 +17,16 @@
 //!   --jobs <n>                      worker threads for experiment cells
 //!                                   (0 = available parallelism, 1 = sequential)
 //!   --json <path>                   export results (and any trace) as JSON Lines
+//!
+//! bench flags:
+//!   --profile <path>   write a Chrome-trace-event (Perfetto) timeline of
+//!                      the fig. 3 grid run to <path>
+//!   --compare <old>    diff the new bench report against <old>; exits
+//!                      nonzero on wall-time regressions beyond the threshold
+//!   --against <new>    with --compare: diff two existing files, run nothing
+//!   --threshold <pct>  regression threshold in percent (default 10)
+//!   --warn-only        print regressions but always exit zero (CI at demo
+//!                      scale in noisy containers)
 //! ```
 //!
 //! `trace` reruns one workload with full event tracing, metrics and
@@ -22,8 +35,8 @@
 
 use gemini_harness::report::Table;
 use gemini_harness::runner::{run_workload_on, run_workload_reused, run_workload_traced};
-use gemini_harness::{effective_jobs, run_cells_traced, trace, Scale};
-use gemini_obs::{Recorder, TraceConfig};
+use gemini_harness::{effective_jobs, perfdiff, run_cells_traced, trace, Scale};
+use gemini_obs::{Profiler, Recorder, TraceConfig};
 use gemini_vm_sim::{RunResult, SystemKind};
 use gemini_workloads::{catalog, non_tlb_sensitive, spec_by_name};
 use std::path::PathBuf;
@@ -40,13 +53,20 @@ struct Opts {
     reused: bool,
     seed: u64,
     json: Option<PathBuf>,
+    profile: Option<PathBuf>,
+    compare: Option<PathBuf>,
+    against: Option<PathBuf>,
+    threshold_pct: f64,
+    warn_only: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: gemini-sim <list|run|compare|trace|bench> [--system NAME] [--workload NAME]\n\
          \x20                [--scale quick|demo|bench|full] [--ops N] [--seed N] [--jobs N]\n\
-         \x20                [--fragmented] [--reused] [--json PATH]"
+         \x20                [--fragmented] [--reused] [--json PATH]\n\
+         \x20 bench only:    [--profile TRACE.json] [--compare OLD.json] [--against NEW.json]\n\
+         \x20                [--threshold PCT] [--warn-only]"
     );
     ExitCode::from(2)
 }
@@ -62,6 +82,11 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         reused: false,
         seed: 42,
         json: None,
+        profile: None,
+        compare: None,
+        against: None,
+        threshold_pct: perfdiff::DEFAULT_THRESHOLD_PCT,
+        warn_only: false,
     };
     // `--jobs` is applied after the loop so it wins regardless of
     // whether it appears before or after `--scale` (which replaces the
@@ -93,6 +118,15 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                 opts.scale_name = name;
             }
             "--json" => opts.json = Some(PathBuf::from(take(&mut i)?)),
+            "--profile" => opts.profile = Some(PathBuf::from(take(&mut i)?)),
+            "--compare" => opts.compare = Some(PathBuf::from(take(&mut i)?)),
+            "--against" => opts.against = Some(PathBuf::from(take(&mut i)?)),
+            "--threshold" => {
+                opts.threshold_pct = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+            }
+            "--warn-only" => opts.warn_only = true,
             "--fragmented" => opts.fragmented = true,
             "--reused" => opts.reused = true,
             other => return Err(format!("unknown flag '{other}'")),
@@ -288,7 +322,39 @@ fn cmd_trace(opts: &Opts) -> Result<(), String> {
     )
 }
 
+/// Diffs `old_json` against `new_json` and reports the verdict.
+/// Returns `Err` (→ nonzero exit) on a regression unless `--warn-only`.
+fn run_compare_gate(opts: &Opts, old_path: &PathBuf, new_json: &str) -> Result<(), String> {
+    let old_json = std::fs::read_to_string(old_path)
+        .map_err(|e| format!("reading {}: {e}", old_path.display()))?;
+    let diff = perfdiff::compare_reports(&old_json, new_json, opts.threshold_pct)?;
+    print!("{}", diff.render());
+    if diff.regressed() {
+        if opts.warn_only {
+            eprintln!("perf regressions found (warn-only: not failing)");
+            return Ok(());
+        }
+        return Err(format!(
+            "{} perf regression(s) beyond {:.1}% vs {}",
+            diff.regressions.len(),
+            opts.threshold_pct,
+            old_path.display()
+        ));
+    }
+    eprintln!("no perf regressions vs {}", old_path.display());
+    Ok(())
+}
+
 fn cmd_bench(opts: &Opts) -> Result<(), String> {
+    // Pure diff mode: compare two existing reports without running.
+    if let (Some(old_path), Some(new_path)) = (&opts.compare, &opts.against) {
+        let new_json = std::fs::read_to_string(new_path)
+            .map_err(|e| format!("reading {}: {e}", new_path.display()))?;
+        return run_compare_gate(opts, old_path, &new_json);
+    }
+    if opts.against.is_some() {
+        return Err("--against needs --compare OLD.json".into());
+    }
     let jobs_max = effective_jobs(opts.scale.jobs);
     let report = gemini_harness::bench::run_bench(&opts.scale, &opts.scale_name, jobs_max)
         .map_err(|e| format!("bench failed: {e}"))?;
@@ -318,13 +384,37 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
         report.speedup_vs_baseline(),
         gemini_harness::bench::BASELINE_OPS_PER_SEC,
     );
+    eprintln!(
+        "reference phases sum {:.0} ms self-time; profiler overhead {:.2}%",
+        report
+            .reference_phases
+            .iter()
+            .map(|p| p.wall_ms)
+            .sum::<f64>(),
+        report.reference_overhead_pct,
+    );
+    let report_json = report.to_json();
     let path = opts
         .json
         .clone()
-        .unwrap_or_else(|| PathBuf::from("BENCH_pr4.json"));
-    std::fs::write(&path, report.to_json())
-        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        .unwrap_or_else(|| PathBuf::from("BENCH_pr6.json"));
+    std::fs::write(&path, &report_json).map_err(|e| format!("writing {}: {e}", path.display()))?;
     eprintln!("wrote bench report to {}", path.display());
+    if let Some(trace_path) = &opts.profile {
+        let prof = Profiler::wall(true);
+        let trace_json = gemini_harness::bench::grid_trace(&opts.scale, jobs_max, &prof)
+            .map_err(|e| format!("profiled grid failed: {e}"))?;
+        std::fs::write(trace_path, &trace_json)
+            .map_err(|e| format!("writing {}: {e}", trace_path.display()))?;
+        eprintln!(
+            "wrote Perfetto trace ({} bytes) to {} — open at https://ui.perfetto.dev",
+            trace_json.len(),
+            trace_path.display()
+        );
+    }
+    if let Some(old_path) = &opts.compare {
+        return run_compare_gate(opts, old_path, &report_json);
+    }
     Ok(())
 }
 

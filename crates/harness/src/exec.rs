@@ -18,7 +18,7 @@
 //! `exec.cells_finished`) — never wall-clock time, which would differ
 //! between runs and break byte-identity of exported registries.
 
-use gemini_obs::Recorder;
+use gemini_obs::{Phase, Profiler, Recorder};
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
@@ -123,6 +123,83 @@ where
         .collect()
 }
 
+/// Like [`run_cells_hinted`], but with per-worker span profiling: each
+/// worker records into its own [fork](Profiler::fork) of `prof`
+/// (tagged with the worker index, so captured span events land on
+/// per-worker trace tracks), every cell closure receives its worker's
+/// fork to thread into the machine it builds, and executor bookkeeping
+/// (queue pops, result stores) is attributed to [`Phase::Executor`].
+/// After the barrier the forks merge back into `prof` in worker-index
+/// order, so accumulated totals are reassembled deterministically.
+///
+/// The sequential path (`jobs <= 1`) runs every cell on one fork
+/// (worker 0), which is what makes jobs=1 traces reproducible under a
+/// deterministic clock.
+pub fn run_cells_profiled<T, F>(
+    jobs: usize,
+    rec: &Recorder,
+    prof: &Profiler,
+    cells: Vec<(u64, F)>,
+) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce(&Profiler) -> T + Send,
+{
+    let n = cells.len();
+    rec.counter_add("exec.cells_submitted", n as u64);
+    let jobs = effective_jobs(jobs).min(n.max(1));
+    let forks: Vec<Profiler> = (0..jobs).map(|w| prof.fork(w as u32)).collect();
+    if jobs <= 1 {
+        let out = cells
+            .into_iter()
+            .map(|(_, cell)| {
+                let result = cell(&forks[0]);
+                rec.counter_add("exec.cells_finished", 1);
+                result
+            })
+            .collect();
+        prof.merge_from(&forks[0]);
+        return out;
+    }
+    let mut queued: Vec<(u64, (usize, F))> = cells
+        .into_iter()
+        .enumerate()
+        .map(|(idx, (hint, cell))| (hint, (idx, cell)))
+        .collect();
+    queued.sort_by_key(|cell| std::cmp::Reverse(cell.0));
+    let queue: Mutex<VecDeque<(usize, F)>> =
+        Mutex::new(queued.into_iter().map(|(_, cell)| cell).collect());
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for wprof in &forks {
+            scope.spawn(|| loop {
+                let next = {
+                    let _exec = wprof.span(Phase::Executor);
+                    queue.lock().unwrap().pop_front()
+                };
+                let Some((idx, cell)) = next else {
+                    break;
+                };
+                let result = cell(wprof);
+                let _exec = wprof.span(Phase::Executor);
+                *slots[idx].lock().unwrap() = Some(result);
+                rec.counter_add("exec.cells_finished", 1);
+            });
+        }
+    });
+    for wprof in &forks {
+        prof.merge_from(wprof);
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock cannot be poisoned after join")
+                .expect("every queued cell stores its result")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +263,36 @@ mod tests {
         run_cells_hinted(3, &rec, cells);
         assert_eq!(rec.registry().counter("exec.cells_submitted"), 6);
         assert_eq!(rec.registry().counter("exec.cells_finished"), 6);
+    }
+
+    #[test]
+    fn profiled_results_stay_in_submission_order_and_spans_merge() {
+        for jobs in [1, 3] {
+            let prof = Profiler::deterministic(false);
+            let cells: Vec<(u64, _)> = (0..12u64)
+                .map(|i| {
+                    (i % 5, move |wprof: &Profiler| {
+                        let _span = wprof.span(Phase::Access);
+                        i * 7
+                    })
+                })
+                .collect();
+            let out = run_cells_profiled(jobs, &Recorder::off(), &prof, cells);
+            assert_eq!(out, (0..12u64).map(|i| i * 7).collect::<Vec<_>>());
+            // Every cell recorded exactly one Access span on its
+            // worker's fork; the merge must account for all of them.
+            let report = prof.report();
+            let access = report
+                .phases
+                .iter()
+                .find(|(p, _)| *p == Phase::Access)
+                .expect("access phase recorded");
+            assert_eq!(access.1.count, 12, "jobs={jobs}");
+            if jobs > 1 {
+                let exec = report.phases.iter().find(|(p, _)| *p == Phase::Executor);
+                assert!(exec.is_some(), "executor bookkeeping attributed");
+            }
+        }
     }
 
     #[test]

@@ -20,12 +20,14 @@
 pub mod bench;
 pub mod exec;
 pub mod experiments;
+pub mod perfdiff;
 pub mod report;
 pub mod runner;
 pub mod scale;
 pub mod trace;
 
-pub use exec::{effective_jobs, run_cells, run_cells_traced};
+pub use exec::{effective_jobs, run_cells, run_cells_profiled, run_cells_traced};
+pub use perfdiff::{compare_reports, DiffReport};
 pub use report::Table;
-pub use runner::{run_workload_on, run_workload_traced};
+pub use runner::{run_workload_on, run_workload_profiled, run_workload_traced};
 pub use scale::Scale;

@@ -1,0 +1,272 @@
+//! Perf-regression gate: diff two `BENCH_*.json` trajectory files.
+//!
+//! `gemini-sim bench --compare OLD.json --against NEW.json` parses both
+//! reports with the in-tree JSON reader, matches cells by label (and
+//! phases by name inside matching cells), and flags every wall-time
+//! increase beyond a threshold as a regression. The CLI exits nonzero
+//! on regressions unless `--warn-only` is set, which is how ci.sh keeps
+//! a perf record without making a noisy demo-scale container a hard
+//! gate.
+//!
+//! v2 files (no phase breakdowns, no profiled reference fields) diff
+//! fine: only the entries both files carry are compared, so the gate
+//! works across the schema migration.
+
+use gemini_obs::jsonread::{parse, Value};
+
+/// Default regression threshold: wall-time increases under this many
+/// percent are treated as noise. Demo-scale cells jitter by a few
+/// percent run-to-run; 10% separates drift from damage without a
+/// dedicated quiet benchmarking host.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 10.0;
+
+/// One compared wall-time entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// What was compared: `reference`, `cell:<label>` or
+    /// `phase:<label>/<name>`.
+    pub label: String,
+    /// Old wall milliseconds.
+    pub old_ms: f64,
+    /// New wall milliseconds.
+    pub new_ms: f64,
+    /// Relative change in percent (positive = slower).
+    pub delta_pct: f64,
+}
+
+/// Outcome of comparing two bench reports.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Threshold used, percent.
+    pub threshold_pct: f64,
+    /// Entries slower by more than the threshold, worst first.
+    pub regressions: Vec<DiffEntry>,
+    /// Entries faster by more than the threshold, best first.
+    pub improvements: Vec<DiffEntry>,
+    /// Entries within the threshold either way.
+    pub unchanged: usize,
+    /// Labels present in only one of the files (not comparable).
+    pub unmatched: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when at least one entry regressed beyond the threshold.
+    pub fn regressed(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// Renders the ranked comparison table (worst regression first).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "perf diff (threshold {:.1}%): {} regression(s), {} improvement(s), {} unchanged\n",
+            self.threshold_pct,
+            self.regressions.len(),
+            self.improvements.len(),
+            self.unchanged
+        ));
+        let row = |e: &DiffEntry, tag: &str| {
+            format!(
+                "  {tag}  {:<44} {:>9.1} ms -> {:>9.1} ms  {:>+7.1}%\n",
+                e.label, e.old_ms, e.new_ms, e.delta_pct
+            )
+        };
+        for e in &self.regressions {
+            out.push_str(&row(e, "SLOWER"));
+        }
+        for e in &self.improvements {
+            out.push_str(&row(e, "faster"));
+        }
+        if !self.unmatched.is_empty() {
+            out.push_str(&format!(
+                "  not comparable (present in one file only): {}\n",
+                self.unmatched.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+/// Pulls `(label suffix, wall_ms)` pairs out of one parsed report:
+/// the reference cell, every grid cell, and every phase of every cell.
+fn wall_entries(report: &Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if let Some(ms) = report
+        .get("reference_cell")
+        .and_then(|r| r.get("current_wall_ms"))
+        .and_then(Value::as_f64)
+    {
+        out.push(("reference".to_string(), ms));
+    }
+    for cell in report
+        .get("cells")
+        .and_then(Value::as_arr)
+        .unwrap_or_default()
+    {
+        let Some(label) = cell.get("label").and_then(Value::as_str) else {
+            continue;
+        };
+        if let Some(ms) = cell.get("wall_ms").and_then(Value::as_f64) {
+            out.push((format!("cell:{label}"), ms));
+        }
+        // v2 cells have no phases array; this loop is simply empty.
+        for phase in cell
+            .get("phases")
+            .and_then(Value::as_arr)
+            .unwrap_or_default()
+        {
+            if let (Some(name), Some(ms)) = (
+                phase.get("name").and_then(Value::as_str),
+                phase.get("wall_ms").and_then(Value::as_f64),
+            ) {
+                out.push((format!("phase:{label}/{name}"), ms));
+            }
+        }
+    }
+    out
+}
+
+/// Wall times under this are timer noise at millisecond resolution; a
+/// 10% swing on a 2 ms phase is not a signal worth failing CI over.
+const MIN_COMPARABLE_MS: f64 = 5.0;
+
+/// Compares two bench report JSON documents (old, new). Errors carry
+/// enough context to name the file that failed to parse.
+pub fn compare_reports(
+    old_json: &str,
+    new_json: &str,
+    threshold_pct: f64,
+) -> std::result::Result<DiffReport, String> {
+    let old = parse(old_json).map_err(|e| format!("old report: {e}"))?;
+    let new = parse(new_json).map_err(|e| format!("new report: {e}"))?;
+    let old_entries = wall_entries(&old);
+    let new_entries: std::collections::BTreeMap<String, f64> =
+        wall_entries(&new).into_iter().collect();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut regressions = Vec::new();
+    let mut improvements = Vec::new();
+    let mut unchanged = 0usize;
+    let mut unmatched = Vec::new();
+    for (label, old_ms) in old_entries {
+        seen.insert(label.clone());
+        let Some(&new_ms) = new_entries.get(&label) else {
+            unmatched.push(label);
+            continue;
+        };
+        if old_ms < MIN_COMPARABLE_MS && new_ms < MIN_COMPARABLE_MS {
+            unchanged += 1;
+            continue;
+        }
+        let delta_pct = if old_ms > 0.0 {
+            (new_ms - old_ms) / old_ms * 100.0
+        } else {
+            100.0
+        };
+        let entry = DiffEntry {
+            label,
+            old_ms,
+            new_ms,
+            delta_pct,
+        };
+        if delta_pct > threshold_pct {
+            regressions.push(entry);
+        } else if delta_pct < -threshold_pct {
+            improvements.push(entry);
+        } else {
+            unchanged += 1;
+        }
+    }
+    for label in new_entries.keys() {
+        if !seen.contains(label) {
+            unmatched.push(label.clone());
+        }
+    }
+    let by_severity =
+        |a: &DiffEntry, b: &DiffEntry| b.delta_pct.abs().total_cmp(&a.delta_pct.abs());
+    regressions.sort_by(by_severity);
+    improvements.sort_by(by_severity);
+    Ok(DiffReport {
+        threshold_pct,
+        regressions,
+        improvements,
+        unchanged,
+        unmatched,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(ref_ms: f64, cell_ms: f64, fault_ms: f64) -> String {
+        format!(
+            r#"{{
+  "schema": "gemini-bench-v3",
+  "reference_cell": {{"label": "ref", "current_wall_ms": {ref_ms}}},
+  "cells": [
+    {{"label": "Canneal/GEMINI", "wall_ms": {cell_ms},
+      "phases": [{{"name": "fault_path", "wall_ms": {fault_ms}, "cum_ms": {fault_ms}, "count": 5}}]}}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn detects_injected_regression_and_ranks_it() {
+        let old = report(500.0, 100.0, 30.0);
+        let new = report(505.0, 180.0, 95.0); // cell +80%, phase +217%
+        let diff = compare_reports(&old, &new, DEFAULT_THRESHOLD_PCT).unwrap();
+        assert!(diff.regressed());
+        assert_eq!(diff.regressions.len(), 2);
+        // Worst first: the phase blew up harder than the cell.
+        assert_eq!(diff.regressions[0].label, "phase:Canneal/GEMINI/fault_path");
+        assert_eq!(diff.regressions[1].label, "cell:Canneal/GEMINI");
+        // Reference moved 1%: inside the threshold.
+        assert_eq!(diff.unchanged, 1);
+        let table = diff.render();
+        assert!(table.contains("SLOWER"), "{table}");
+        assert!(table.contains("fault_path"), "{table}");
+    }
+
+    #[test]
+    fn improvements_and_noise_do_not_regress() {
+        let old = report(500.0, 100.0, 30.0);
+        let new = report(495.0, 60.0, 28.0);
+        let diff = compare_reports(&old, &new, DEFAULT_THRESHOLD_PCT).unwrap();
+        assert!(!diff.regressed());
+        assert_eq!(diff.improvements.len(), 1);
+        assert_eq!(diff.improvements[0].label, "cell:Canneal/GEMINI");
+    }
+
+    #[test]
+    fn v2_reports_without_phases_are_comparable() {
+        let v2 = r#"{
+  "schema": "gemini-bench-v2",
+  "reference_cell": {"label": "ref", "current_wall_ms": 500},
+  "cells": [{"label": "Canneal/GEMINI", "wall_ms": 100, "ops": 2500, "ops_per_sec": 25000}]
+}"#;
+        let v3 = report(490.0, 150.0, 40.0);
+        let diff = compare_reports(v2, &v3, DEFAULT_THRESHOLD_PCT).unwrap();
+        assert!(diff.regressed());
+        assert_eq!(diff.regressions[0].label, "cell:Canneal/GEMINI");
+        // The v3-only phase entry is reported as unmatched, not an error.
+        assert_eq!(
+            diff.unmatched,
+            vec!["phase:Canneal/GEMINI/fault_path".to_string()]
+        );
+    }
+
+    #[test]
+    fn tiny_walls_are_noise_not_signals() {
+        let old = report(500.0, 100.0, 1.0);
+        let new = report(500.0, 100.0, 2.0); // phase +100% but 2 ms
+        let diff = compare_reports(&old, &new, DEFAULT_THRESHOLD_PCT).unwrap();
+        assert!(!diff.regressed());
+    }
+
+    #[test]
+    fn malformed_input_names_the_side() {
+        let err = compare_reports("{nope", &report(1.0, 1.0, 1.0), 10.0).unwrap_err();
+        assert!(err.starts_with("old report:"), "{err}");
+    }
+}

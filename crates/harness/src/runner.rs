@@ -1,7 +1,7 @@
 //! Shared run helpers used by every experiment.
 
 use crate::scale::Scale;
-use gemini_obs::{Recorder, TraceConfig};
+use gemini_obs::{Profiler, Recorder, TraceConfig};
 use gemini_sim_core::{derive_seed, Result};
 use gemini_vm_sim::{Machine, RunResult, SystemKind};
 use gemini_workloads::{WorkloadGen, WorkloadSpec};
@@ -40,6 +40,27 @@ pub fn run_workload_traced(
     let result = machine.run(vm, gen)?;
     let recorder = machine.recorder().clone();
     Ok((result, recorder))
+}
+
+/// Like [`run_workload_on`], but with phase-level span profiling: the
+/// whole cell (machine build, workload generation, event processing,
+/// daemons) records spans into `prof`. The simulated result is
+/// identical to the unprofiled run — the profiler only observes
+/// wall-clock time, it never touches simulated state.
+pub fn run_workload_profiled(
+    system: SystemKind,
+    spec: &WorkloadSpec,
+    scale: &Scale,
+    fragmented: bool,
+    seed: u64,
+    prof: Profiler,
+) -> Result<RunResult> {
+    let mut cfg = scale.machine_config(fragmented, spec.zero_heavy, seed);
+    cfg.profiler = prof;
+    let mut machine = Machine::new(system, cfg);
+    let vm = machine.add_vm();
+    let gen = WorkloadGen::new(spec.scaled(scale.ws_factor), scale.ops, seed);
+    machine.run(vm, gen)
 }
 
 /// Runs `spec` under `system` in a *reused* VM: a large-working-set SVM

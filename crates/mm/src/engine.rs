@@ -19,7 +19,7 @@ use crate::policy::{Effects, FaultCtx, FaultOutcome, HugePolicy, LayerKind, Laye
 use crate::touch::TouchMap;
 use crate::vma::Vma;
 use gemini_buddy::BuddyAllocator;
-use gemini_obs::{cat, EventKind, PromoMode, Recorder};
+use gemini_obs::{cat, EventKind, Phase, Profiler, PromoMode, Recorder};
 use gemini_page_table::AddressSpace;
 use gemini_sim_core::{Cycles, FxHashMap, SimError, VmId, HUGE_PAGE_ORDER};
 use std::collections::BTreeMap;
@@ -123,6 +123,7 @@ pub struct LayerEngine<L: Layer> {
     touches: FxHashMap<VmId, TouchMap>,
     costs: CostModel,
     rec: Recorder,
+    prof: Profiler,
     _layer: PhantomData<L>,
 }
 
@@ -136,6 +137,7 @@ impl<L: Layer> LayerEngine<L> {
             touches: FxHashMap::default(),
             costs,
             rec: Recorder::off(),
+            prof: Profiler::off(),
             _layer: PhantomData,
         }
     }
@@ -144,6 +146,13 @@ impl<L: Layer> LayerEngine<L> {
     /// demotions at this layer are traced through it.
     pub fn set_recorder(&mut self, rec: Recorder) {
         self.rec = rec;
+    }
+
+    /// Attaches a wall-clock span profiler; daemon decision scans and
+    /// promotion/demotion execution at this layer record phase spans
+    /// through it.
+    pub fn set_profiler(&mut self, prof: Profiler) {
+        self.prof = prof;
     }
 
     /// Registers a VM (creates its empty translation table).
@@ -278,7 +287,10 @@ impl<L: Layer> LayerEngine<L> {
             touches,
             now,
         };
-        let requests = policy.daemon(&mut ops_view);
+        let requests = {
+            let _scan = self.prof.span(Phase::ContiguityScan);
+            policy.daemon(&mut ops_view)
+        };
         let mut ops_view = LayerOps {
             layer: L::KIND,
             vm,
@@ -287,15 +299,20 @@ impl<L: Layer> LayerEngine<L> {
             touches,
             now,
         };
-        let demotions = policy.select_demotions(&mut ops_view);
+        let demotions = {
+            let _scan = self.prof.span(Phase::ContiguityScan);
+            policy.select_demotions(&mut ops_view)
+        };
         let mut fx = Effects::cost(Cycles(
             self.costs.scan_per_region.0 * (requests.len() as u64 + 1),
         ));
         for op in requests {
             let region = op.region;
             let was_huge = table.huge_leaf(region).is_some();
-            let opfx =
-                mech::execute_promotion(table, &mut self.buddy, &self.costs, L::KIND, op, vcpus);
+            let opfx = {
+                let _promo = self.prof.span(Phase::Promotion);
+                mech::execute_promotion(table, &mut self.buddy, &self.costs, L::KIND, op, vcpus)
+            };
             if self.rec.wants(cat::PROMOTION) && !was_huge && table.huge_leaf(region).is_some() {
                 let (copied, zeroed) = (opfx.pages_copied, opfx.pages_zeroed);
                 self.rec
@@ -311,6 +328,7 @@ impl<L: Layer> LayerEngine<L> {
             fx.merge(opfx);
         }
         for region in demotions {
+            let _demo = self.prof.span(Phase::Demotion);
             if let Ok(dfx) = mech::execute_demotion(table, &self.costs, L::KIND, region, vcpus) {
                 self.rec
                     .emit(cat::DEMOTION, vm.0, L::OBS, || EventKind::Demotion {

@@ -68,6 +68,12 @@ impl GuestMm {
         self.engine.set_recorder(rec);
     }
 
+    /// Attaches a span profiler; this guest's daemon scans and
+    /// promotion/demotion execution record phase spans through it.
+    pub fn set_profiler(&mut self, prof: gemini_obs::Profiler) {
+        self.engine.set_profiler(prof);
+    }
+
     /// The process page table (GVA frame → GPA frame).
     pub fn table(&self) -> &AddressSpace {
         self.engine

@@ -246,6 +246,14 @@ pub trait HugePolicy: Send {
     /// managers already emit.
     fn attach_recorder(&mut self, _rec: gemini_obs::Recorder) {}
 
+    /// Hands the policy a shared span profiler so its internal scans
+    /// can attribute wall-clock time to phases (contiguity scans,
+    /// region walks). The default implementation ignores it; the
+    /// engine already wraps whole `daemon`/`select_demotions` calls in
+    /// scan spans, so only policies with distinguishable sub-phases
+    /// need the handle.
+    fn attach_profiler(&mut self, _prof: gemini_obs::Profiler) {}
+
     /// Decides how to satisfy a demand fault.
     fn fault_decision(&mut self, ctx: &FaultCtx<'_>) -> FaultDecision;
 

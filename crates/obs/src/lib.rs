@@ -35,10 +35,13 @@
 
 pub mod event;
 pub mod json;
+pub mod jsonread;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 
 pub use event::{cat, Event, EventKind, Layer, PromoMode, SamplePoint};
 pub use json::{json_f64, json_str};
 pub use metrics::{Histogram, Registry};
+pub use profile::{chrome_trace_json, Phase, ProfileReport, Profiler, Span, TraceSpan};
 pub use recorder::{Recorder, TraceConfig};

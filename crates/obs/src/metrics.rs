@@ -69,6 +69,45 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
     }
 
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear
+    /// interpolation inside the log₂ bucket holding the target rank.
+    ///
+    /// Bucket 0 holds only zeros, so it contributes exactly 0; any
+    /// other bucket `i` spans `[2^(i-1), 2^i)` and the estimate walks
+    /// `rank_within_bucket / bucket_count` of the way across it. Exact
+    /// when observations are uniform within their bucket; never off by
+    /// more than one bucket width otherwise. Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based: q=0 → first, q=1 →
+        // last, matching nearest-rank convention at the endpoints.
+        let rank = (q * self.count as f64).max(1.0).min(self.count as f64);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let before = seen as f64;
+            seen += n;
+            if (seen as f64) >= rank {
+                if i == 0 {
+                    return 0.0;
+                }
+                let floor = (1u64 << (i - 1)) as f64;
+                // Midpoint convention: the k-th of n observations in a
+                // bucket sits at (k − ½)/n of the way across it, so
+                // estimates stay strictly inside [floor, 2·floor).
+                let frac = (rank - before - 0.5) / n as f64;
+                return floor + frac * floor;
+            }
+        }
+        // Unreachable when count > 0; keep a sane fallback.
+        (1u64 << 63) as f64
+    }
+
     /// Non-empty buckets as `(bucket_floor, count)` pairs in
     /// ascending order. `bucket_floor` is the smallest value the
     /// bucket admits (0, 1, 2, 4, 8, ...).
@@ -182,10 +221,13 @@ impl Registry {
                 .map(|(floor, n)| format!("[{floor},{n}]"))
                 .collect();
             out.push(format!(
-                "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[{}]}}",
                 json_str(name),
                 h.count(),
                 h.sum(),
+                json_f64(h.quantile(0.50)),
+                json_f64(h.quantile(0.95)),
+                json_f64(h.quantile(0.99)),
                 buckets.join(",")
             ));
         }
@@ -232,6 +274,45 @@ mod tests {
         assert_eq!(h.count(), 3);
         assert_eq!(h.sum(), 4 + 4 + 1024);
         assert_eq!(h.nonzero_buckets(), vec![(4, 2), (1024, 1)]);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        // 100 observations of 1000, all in bucket [512, 1024): every
+        // quantile lands inside that bucket.
+        for _ in 0..100 {
+            h.observe(1000);
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!((512.0..1024.0).contains(&v), "q={q} gave {v}");
+        }
+        // Monotone in q.
+        assert!(h.quantile(0.1) <= h.quantile(0.9));
+        // Zeros report zero.
+        let mut z = Histogram::default();
+        z.observe(0);
+        z.observe(0);
+        assert_eq!(z.quantile(0.99), 0.0);
+        // Bimodal: 90 fast (≈4 cycles) + 10 slow (≈4096 cycles): p50
+        // sits in the fast bucket, p99 in the slow one.
+        let mut bi = Histogram::default();
+        for _ in 0..90 {
+            bi.observe(4);
+        }
+        for _ in 0..10 {
+            bi.observe(4096);
+        }
+        assert!((4.0..8.0).contains(&bi.quantile(0.50)));
+        assert!((4096.0..8192.0).contains(&bi.quantile(0.99)));
+        // Histogram JSON rows carry the percentiles.
+        let mut r = Registry::default();
+        r.observe("lat", 0);
+        let row = &r.to_json_lines()[0];
+        assert!(row.contains("\"p50\":0"), "{row}");
+        assert!(row.contains("\"p99\":0"), "{row}");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::result::RunResult;
 use crate::system::{ScenarioSpec, SystemKind};
 use gemini::{GeminiRuntime, GeminiShared};
 use gemini_mm::{alignment_stats, CostModel, Effects, GuestMm, HostMm, HugePolicy, VmaId};
-use gemini_obs::{cat, EventKind, Layer, Recorder, SamplePoint, TraceConfig};
+use gemini_obs::{cat, EventKind, Layer, Phase, Profiler, Recorder, SamplePoint, TraceConfig};
 use gemini_sim_core::page::PageSize;
 use gemini_sim_core::stats::LatencySamples;
 use gemini_sim_core::{Cycles, DetRng, FxHashMap, Result, SimError, VmId};
@@ -58,6 +58,12 @@ pub struct MachineConfig {
     /// Event tracing, metrics and time-series sampling (off by default;
     /// the off recorder costs one atomic-free flag check per call site).
     pub trace: TraceConfig,
+    /// Wall-clock span profiler threaded through the machine and both
+    /// memory managers (off by default; the off profiler costs one
+    /// branch per span site). Cloned configs share the same profiler
+    /// state, so a machine built from this config records into the
+    /// caller's handle.
+    pub profiler: Profiler,
 }
 
 impl Default for MachineConfig {
@@ -84,6 +90,7 @@ impl Default for MachineConfig {
             fixed_booking_timeout: None,
             gemini_override: None,
             trace: TraceConfig::off(),
+            profiler: Profiler::off(),
         }
     }
 }
@@ -132,6 +139,7 @@ pub struct Machine {
     next_vm_id: u32,
     rng: DetRng,
     recorder: Recorder,
+    prof: Profiler,
 }
 
 impl Machine {
@@ -143,6 +151,8 @@ impl Machine {
     /// Builds a machine running an arbitrary [`ScenarioSpec`] — any
     /// (guest, host) policy pairing, registered or not.
     pub fn from_scenario(scenario: ScenarioSpec, cfg: MachineConfig) -> Self {
+        let prof = cfg.profiler.clone();
+        let _setup = prof.span(Phase::Setup);
         let shared = scenario.is_gemini().then(gemini::shared::new_shared);
         let mut runtime = shared.as_ref().and_then(|s| scenario.runtime(s));
         if let (Some(shared), Some(t)) = (&shared, cfg.fixed_booking_timeout) {
@@ -171,9 +181,12 @@ impl Machine {
             };
         let recorder = Recorder::new(&cfg.trace);
         host_policy.attach_recorder(recorder.clone());
+        host_policy.attach_profiler(prof.clone());
         host.set_recorder(recorder.clone());
+        host.set_profiler(prof.clone());
         if let Some(rt) = &mut runtime {
             rt.set_recorder(recorder.clone());
+            rt.set_profiler(prof.clone());
         }
         Self {
             scenario,
@@ -190,6 +203,7 @@ impl Machine {
             next_vm_id: 1,
             rng,
             recorder,
+            prof,
         }
     }
 
@@ -204,8 +218,15 @@ impl Machine {
         &self.scenario
     }
 
+    /// The machine's span profiler (phase-level wall-clock
+    /// attribution; the off profiler unless the config supplied one).
+    pub fn profiler(&self) -> &Profiler {
+        &self.prof
+    }
+
     /// Adds a VM and returns its id.
     pub fn add_vm(&mut self) -> VmId {
+        let _setup = self.prof.span(Phase::Setup);
         let vm = VmId(self.next_vm_id);
         self.next_vm_id += 1;
         self.host.register_vm(vm);
@@ -232,7 +253,9 @@ impl Machine {
                 .guest_policy(self.cfg.zero_heavy, self.shared.as_ref()),
         };
         policy.attach_recorder(self.recorder.clone());
+        policy.attach_profiler(self.prof.clone());
         guest.set_recorder(self.recorder.clone());
+        guest.set_profiler(self.prof.clone());
         let mut mmu = MmuSim::new(self.cfg.mmu.clone());
         mmu.set_recorder(self.recorder.clone(), vm.0);
         self.vms.insert(
@@ -294,12 +317,35 @@ impl Machine {
             ops: 0,
         };
         let workload = gen.spec.name.to_string();
-        let mut since_daemons = 0u32;
-        while let Some(ev) = gen.next_event() {
-            self.process_event(vm, ev, &mut ctx)?;
-            since_daemons += 1;
-            if since_daemons >= 64 {
-                since_daemons = 0;
+        // Events are pulled in batches of 64 so the WorkloadGen /
+        // Access span pair amortizes over a whole batch instead of
+        // costing two clock reads per event. The generator stream is
+        // independent of machine state, so prefetching is invisible;
+        // the daemon cadence (one pass per 64 processed events, plus a
+        // final pass) is exactly the pre-batching behaviour.
+        const DAEMON_EVERY: usize = 64;
+        let mut batch: Vec<WorkloadEvent> = Vec::with_capacity(DAEMON_EVERY);
+        loop {
+            {
+                let _gen_span = self.prof.span(Phase::WorkloadGen);
+                while batch.len() < DAEMON_EVERY {
+                    match gen.next_event() {
+                        Some(ev) => batch.push(ev),
+                        None => break,
+                    }
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            let full = batch.len() == DAEMON_EVERY;
+            {
+                let _access = self.prof.span(Phase::Access);
+                for ev in batch.drain(..) {
+                    self.process_event(vm, ev, &mut ctx)?;
+                }
+            }
+            if full {
                 self.run_daemons(vm)?;
             }
         }
@@ -366,7 +412,7 @@ impl Machine {
         for id in ids {
             let now = vs.clock;
             let fx = vs.guest.munmap(id, vs.policy.as_mut(), now)?;
-            Self::apply_fx(vm, vs, fx, None);
+            Self::apply_fx(vm, vs, fx, &self.prof);
         }
         Ok(())
     }
@@ -391,7 +437,7 @@ impl Machine {
                     .ok_or(SimError::Invariant("free of unknown chunk"))?;
                 let now = vs.clock;
                 let fx = vs.guest.munmap(id, vs.policy.as_mut(), now)?;
-                let cost = Self::apply_fx(vm, vs, fx, None);
+                let cost = Self::apply_fx(vm, vs, fx, &self.prof);
                 ctx.req_acc += cost;
             }
             WorkloadEvent::Touch { chunk, page } => {
@@ -410,6 +456,7 @@ impl Machine {
                 let gt = match vs.guest.translate(gva_frame) {
                     Some(t) => t,
                     None => {
+                        let _fault_span = self.prof.span(Phase::FaultPath);
                         let (out, fx) = vs.guest.handle_fault(gva_frame, vs.policy.as_mut())?;
                         self.recorder
                             .emit(cat::FAULT, vm.0, Layer::Guest, || EventKind::Fault {
@@ -418,7 +465,10 @@ impl Machine {
                                 honored: out.placement_honored,
                             });
                         self.recorder.counter_add("machine.guest_faults", 1);
-                        ctx.req_acc += Self::apply_fx(vm, vs, fx, None);
+                        let cost = Self::apply_fx(vm, vs, fx, &self.prof);
+                        self.recorder
+                            .observe("machine.guest_fault_latency_cycles", cost.0);
+                        ctx.req_acc += cost;
                         vs.guest
                             .translate(gva_frame)
                             .ok_or(SimError::Invariant("fault did not map the page"))?
@@ -430,6 +480,7 @@ impl Machine {
                 let ht = match self.host.ept(vm)?.translate(gpa_frame) {
                     Some(t) => t,
                     None => {
+                        let _fault_span = self.prof.span(Phase::FaultPath);
                         let (out, fx) =
                             self.host
                                 .handle_fault(vm, gpa_frame, self.host_policy.as_mut())?;
@@ -440,7 +491,10 @@ impl Machine {
                                 honored: out.placement_honored,
                             });
                         self.recorder.counter_add("machine.host_faults", 1);
-                        ctx.req_acc += Self::apply_fx(vm, vs, fx, None);
+                        let cost = Self::apply_fx(vm, vs, fx, &self.prof);
+                        self.recorder
+                            .observe("machine.host_fault_latency_cycles", cost.0);
+                        ctx.req_acc += cost;
                         self.host
                             .ept(vm)?
                             .translate(gpa_frame)
@@ -485,8 +539,16 @@ impl Machine {
 
     /// Applies effects to a VM: clock, TLB invalidations, shootdown
     /// counters. Returns the foreground cycle cost.
-    fn apply_fx(vm: VmId, vs: &mut VmState, fx: Effects, _host: Option<()>) -> Cycles {
+    fn apply_fx(vm: VmId, vs: &mut VmState, fx: Effects, prof: &Profiler) -> Cycles {
         vs.clock += fx.cycles;
+        let _shootdown_span = if fx.gva_regions_invalidated.is_empty()
+            && fx.gpa_regions_changed.is_empty()
+            && fx.shootdowns == 0
+        {
+            None
+        } else {
+            Some(prof.span(Phase::TlbShootdown))
+        };
         for &r in &fx.gva_regions_invalidated {
             vs.mmu.invalidate_gva_region(vm, r);
         }
@@ -504,20 +566,21 @@ impl Machine {
 
     /// Runs any due background work for `vm`.
     fn run_daemons(&mut self, vm: VmId) -> Result<()> {
+        let _daemon_span = self.prof.span(Phase::DaemonPass);
         let vcpus = self.cfg.vcpus;
         let vs = self.vms.get_mut(&vm).ok_or(SimError::UnknownVm(vm))?;
         let now = vs.clock;
         self.recorder.set_cycle(now);
         if now >= vs.next_guest_daemon {
             let fx = vs.guest.run_daemon(vs.policy.as_mut(), now, vcpus);
-            Self::apply_fx(vm, vs, fx, None);
+            Self::apply_fx(vm, vs, fx, &self.prof);
             vs.next_guest_daemon = now + vs.policy.daemon_period();
         }
         if now >= vs.next_host_daemon {
             let fx = self
                 .host
                 .run_daemon(vm, self.host_policy.as_mut(), now, vcpus)?;
-            Self::apply_fx(vm, vs, fx, None);
+            Self::apply_fx(vm, vs, fx, &self.prof);
             vs.next_host_daemon = now + self.host_policy.daemon_period();
         }
         // Compaction: the guest's kcompactd over guest-physical memory and

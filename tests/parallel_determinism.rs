@@ -5,7 +5,7 @@
 //! result can depend on which worker ran it or in which order cells
 //! finished.
 
-use gemini_harness::bench::{BenchReport, CellTiming, SweepPoint, REFERENCE_CELL};
+use gemini_harness::bench::{BenchReport, CellTiming, PhaseTiming, SweepPoint, REFERENCE_CELL};
 use gemini_harness::experiments::{clean_slate, motivation, reused_vm};
 use gemini_harness::{run_cells_traced, trace, Scale};
 use gemini_obs::{Recorder, TraceConfig};
@@ -98,7 +98,7 @@ fn motivation_grid_is_byte_identical_across_jobs() {
 
 #[test]
 fn bench_report_schema_is_pinned() {
-    // BENCH_pr4.json is a trajectory artefact: later PRs append
+    // BENCH_pr6.json is a trajectory artefact: later PRs append
     // comparable entries, so the field set must not drift silently.
     // Pin the exact rendering of a synthetic report (wall-clock values
     // are inputs here, so the output is reproducible).
@@ -108,11 +108,26 @@ fn bench_report_schema_is_pinned() {
         available_parallelism: 8,
         reference_wall_ms: 500.0,
         reference_ops_per_sec: 15338.0,
+        reference_phases: vec![PhaseTiming {
+            name: "access",
+            wall_ms: 400.0,
+            cum_ms: 480.0,
+            count: 8,
+        }],
+        reference_profiled_wall_ms: 505.0,
+        reference_overhead_pct: 0.5,
         cells: vec![CellTiming {
             label: "Canneal/GEMINI".into(),
             wall_ms: 250.0,
             ops: 2500,
             ops_per_sec: 10000.0,
+            phases: vec![PhaseTiming {
+                name: "fault_path",
+                wall_ms: 60.0,
+                cum_ms: 75.0,
+                count: 120,
+            }],
+            profiler_overhead_ms: 0.25,
         }],
         sweep: vec![
             SweepPoint {
@@ -120,18 +135,20 @@ fn bench_report_schema_is_pinned() {
                 wall_ms: 250.0,
                 speedup_vs_jobs1: 1.0,
                 cell_wall_ms: vec![250.0],
+                oversubscribed: false,
             },
             SweepPoint {
                 jobs: 2,
                 wall_ms: 125.0,
                 speedup_vs_jobs1: 2.0,
                 cell_wall_ms: vec![125.0],
+                oversubscribed: true,
             },
         ],
     };
     let expected = format!(
         r#"{{
-  "schema": "gemini-bench-v2",
+  "schema": "gemini-bench-v3",
   "scale": "quick",
   "jobs_max": 2,
   "available_parallelism": 8,
@@ -141,14 +158,17 @@ fn bench_report_schema_is_pinned() {
     "baseline_ops_per_sec": 7669,
     "current_wall_ms": 500,
     "current_ops_per_sec": 15338,
-    "speedup_vs_baseline": 2
+    "speedup_vs_baseline": 2,
+    "profiled_wall_ms": 505,
+    "profiler_overhead_pct": 0.5,
+    "phases": [{{"name": "access", "wall_ms": 400, "cum_ms": 480, "count": 8}}]
   }},
   "cells": [
-    {{"label": "Canneal/GEMINI", "wall_ms": 250, "ops": 2500, "ops_per_sec": 10000}}
+    {{"label": "Canneal/GEMINI", "wall_ms": 250, "ops": 2500, "ops_per_sec": 10000, "profiler_overhead_ms": 0.25, "phases": [{{"name": "fault_path", "wall_ms": 60, "cum_ms": 75, "count": 120}}]}}
   ],
   "jobs_sweep": [
-    {{"jobs": 1, "wall_ms": 250, "speedup_vs_jobs1": 1, "cell_wall_ms": [250]}},
-    {{"jobs": 2, "wall_ms": 125, "speedup_vs_jobs1": 2, "cell_wall_ms": [125]}}
+    {{"jobs": 1, "wall_ms": 250, "speedup_vs_jobs1": 1, "oversubscribed": false, "cell_wall_ms": [250]}},
+    {{"jobs": 2, "wall_ms": 125, "speedup_vs_jobs1": 2, "oversubscribed": true, "cell_wall_ms": [125]}}
   ]
 }}
 "#
