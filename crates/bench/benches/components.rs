@@ -77,7 +77,7 @@ fn bench_mmu(c: &mut Criterion) {
     let mut g = c.benchmark_group("mmu");
     let vm = VmId(1);
     g.bench_function("access_tlb_hit", |b| {
-        let mut mmu = MmuSim::new(MmuConfig::default());
+        let mut mmu = MmuSim::new(MmuConfig::default()).unwrap();
         let t = ResolvedTranslation {
             gpa_frame: 7,
             guest_leaf: LeafSize::Base,
@@ -87,7 +87,7 @@ fn bench_mmu(c: &mut Criterion) {
         b.iter(|| mmu.access(vm, 7, t));
     });
     g.bench_function("access_walk_2d_cold", |b| {
-        let mut mmu = MmuSim::new(MmuConfig::tiny());
+        let mut mmu = MmuSim::new(MmuConfig::tiny()).unwrap();
         let mut frame = 0u64;
         b.iter(|| {
             frame = frame.wrapping_add(1 << 18); // Defeat all caches.

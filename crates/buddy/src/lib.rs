@@ -198,6 +198,106 @@ impl BuddyAllocator {
         Ok(start)
     }
 
+    /// Allocates every free frame as a single frame, returning them in the
+    /// exact order repeated [`BuddyAllocator::alloc`]`(0)` calls would:
+    /// free blocks sorted by `(order, start)`, each block's frames
+    /// ascending. `alloc` always takes the lowest block of the smallest
+    /// non-empty order, and the remainders of a split are smaller than
+    /// every other block — so a block, once started, drains completely
+    /// (ascending) before any other is touched, and blocks begin in
+    /// `(order, start)` order. One O(frames) pass replaces O(frames)
+    /// `alloc` calls with their per-call split bookkeeping.
+    ///
+    /// Only callable inside [`BuddyAllocator::bulk_update`] (the
+    /// fragmenter's whole-memory grab), where index maintenance is
+    /// suspended; debug builds assert this.
+    pub fn drain_singles(&mut self) -> Vec<u64> {
+        debug_assert!(!self.index_live, "drain_singles outside bulk_update");
+        let mut blocks: Vec<(u32, u64)> = Vec::new();
+        for start in 0..self.total_frames {
+            let marker = self.order_of[start as usize];
+            if marker != NO_BLOCK {
+                blocks.push((marker as u32, start));
+            }
+        }
+        blocks.sort_unstable();
+        let mut out = Vec::with_capacity(self.free_frames as usize);
+        for &(order, start) in &blocks {
+            self.order_of[start as usize] = NO_BLOCK;
+            self.counts[order as usize] -= 1;
+            out.extend(start..start + (1u64 << order));
+        }
+        self.free_frames = 0;
+        out
+    }
+
+    /// Frees `frames` (single frames, any order, no duplicates) in one
+    /// pass, producing the same end state as freeing them one at a time.
+    ///
+    /// Eager merging makes the block decomposition of a given free-frame
+    /// set unique: two same-order free buddies never coexist, which forces
+    /// every free frame into the largest aligned block that is entirely
+    /// free. The order frees happen in therefore cannot matter, and the
+    /// greedy carve used by [`BuddyAllocator::new`] reconstructs exactly
+    /// that decomposition run by run — without the per-free merge chain
+    /// and overlap scan.
+    ///
+    /// Only callable inside [`BuddyAllocator::bulk_update`] (the
+    /// fragmenter's release of unpinned frames), where index maintenance
+    /// is suspended; debug builds assert this.
+    pub fn free_singles(&mut self, frames: &[u64]) -> Result<(), SimError> {
+        debug_assert!(!self.index_live, "free_singles outside bulk_update");
+        // Expand current free blocks plus the new singles into a bitmap.
+        let n = self.total_frames as usize;
+        let mut free = vec![false; n];
+        for start in 0..n {
+            let marker = self.order_of[start];
+            if marker != NO_BLOCK {
+                for f in free[start..start + (1usize << marker)].iter_mut() {
+                    *f = true;
+                }
+            }
+        }
+        for &f in frames {
+            if f >= self.total_frames || free[f as usize] {
+                return Err(SimError::BadFree(gemini_sim_core::Hpa::from_frame(f)));
+            }
+            free[f as usize] = true;
+        }
+        // Rebuild the canonical decomposition from scratch.
+        self.order_of.fill(NO_BLOCK);
+        self.counts.fill(0);
+        let mut frame = 0usize;
+        while frame < n {
+            if !free[frame] {
+                frame += 1;
+                continue;
+            }
+            let mut end = frame;
+            while end < n && free[end] {
+                end += 1;
+            }
+            // Greedy carve of the run into maximal aligned blocks.
+            let mut pos = frame as u64;
+            while pos < end as u64 {
+                let align_order = if pos == 0 {
+                    MAX_ORDER
+                } else {
+                    pos.trailing_zeros().min(MAX_ORDER)
+                };
+                let mut order = align_order;
+                while pos + (1 << order) > end as u64 {
+                    order -= 1;
+                }
+                self.insert_free(pos, order);
+                pos += 1 << order;
+            }
+            frame = end;
+        }
+        self.free_frames += frames.len() as u64;
+        Ok(())
+    }
+
     /// Allocates the specific block `[start, start + 2^order)`.
     ///
     /// Fails with [`SimError::Unaligned`] if `start` is not order-aligned,
@@ -828,6 +928,83 @@ mod tests {
         a.check_invariants().unwrap();
         assert_eq!(a.free_runs(), vec![(0, 4096)]);
         assert_eq!(a.largest_free_run(), 4096);
+    }
+
+    #[test]
+    fn drain_singles_matches_repeated_alloc() {
+        // From a fresh odd-sized carve and from an arbitrary punched-out
+        // state, the bulk drain must emit the same sequence as looping
+        // `alloc(0)` until exhaustion.
+        for punch in [&[][..], &[3, 17, 100, 701, 702, 998][..]] {
+            let mut via_loop = BuddyAllocator::new(1000);
+            let mut via_drain = BuddyAllocator::new(1000);
+            for &f in punch {
+                via_loop.alloc_at(f, 0).unwrap();
+                via_drain.alloc_at(f, 0).unwrap();
+            }
+            let looped = via_loop.bulk_update(|b| {
+                let mut v = Vec::new();
+                while let Ok(f) = b.alloc(0) {
+                    v.push(f);
+                }
+                v
+            });
+            let drained = via_drain.bulk_update(|b| b.drain_singles());
+            assert_eq!(looped, drained);
+            assert_eq!(via_drain.free_frames(), 0);
+            via_drain.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn free_singles_matches_sequential_frees() {
+        // Drain everything, then free a pseudo-random subset: the bulk
+        // path must land on the same block decomposition as one-at-a-time
+        // frees in any order (here: the shuffled order itself).
+        let mut seq = BuddyAllocator::new(1000);
+        let mut bulk = BuddyAllocator::new(1000);
+        let mut released: Vec<u64> = Vec::new();
+        let mut x = 12345u64;
+        seq.bulk_update(|b| {
+            while let Ok(f) = b.alloc(0) {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if x % 3 != 0 {
+                    released.push(f);
+                }
+            }
+            for &f in &released {
+                b.free(f, 0).unwrap();
+            }
+        });
+        bulk.bulk_update(|b| {
+            b.drain_singles();
+            b.free_singles(&released).unwrap();
+        });
+        assert_eq!(seq.free_frames(), bulk.free_frames());
+        assert_eq!(seq.free_runs(), bulk.free_runs());
+        for o in 0..=MAX_ORDER {
+            assert_eq!(
+                seq.free_blocks_of_order(o),
+                bulk.free_blocks_of_order(o),
+                "order {o} block counts differ"
+            );
+        }
+        bulk.check_invariants().unwrap();
+        // Double-free and out-of-range are rejected.
+        let mut b = BuddyAllocator::new(64);
+        b.bulk_update(|b| {
+            let got = b.drain_singles();
+            assert_eq!(got.len(), 64);
+            b.free_singles(&[5]).unwrap();
+            assert!(b.free_singles(&[5]).is_err());
+            assert!(b.free_singles(&[64]).is_err());
+            b.free_singles(&(0..64).filter(|&f| f != 5).collect::<Vec<_>>())
+                .unwrap();
+        });
+        b.check_invariants().unwrap();
+        assert_eq!(b.free_runs(), vec![(0, 64)]);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use gemini_page_table::AddressSpace;
 use gemini_sim_core::{VmId, HUGE_PAGE_ORDER};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// Classification of a mis-aligned huge page (paper §3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,14 +72,20 @@ pub fn scan_vm(_vm: VmId, guest: &AddressSpace, ept: &AddressSpace) -> VmScan {
     let mut scan = VmScan::default();
 
     // Pass 1: guest base pages, bucketed by the GPA region they map into
-    // (the reverse map MHPS needs for type-2 host pages).
-    let mut base_by_gpa_region: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
-    for (gva_frame, gpa_frame) in guest.iter_base() {
-        base_by_gpa_region
-            .entry(gpa_frame >> HUGE_PAGE_ORDER)
-            .or_default()
-            .insert(gva_frame >> HUGE_PAGE_ORDER);
-    }
+    // (the reverse map MHPS needs for type-2 host pages). Collected flat
+    // and sorted rather than built as a map of sets: the scan runs every
+    // period and each base page costs one push here instead of a tree
+    // insert. Sort + dedup yields the same (region-ascending, unique)
+    // grouping a `BTreeMap<u64, BTreeSet<u64>>` would. Only pairs whose
+    // GPA region the EPT maps huge can ever be consulted by pass 3, so
+    // everything else is dropped before the sort.
+    let mut base_pairs: Vec<(u64, u64)> = guest
+        .iter_base()
+        .filter(|&(_, gpa_frame)| ept.huge_leaf(gpa_frame >> HUGE_PAGE_ORDER).is_some())
+        .map(|(gva_frame, gpa_frame)| (gpa_frame >> HUGE_PAGE_ORDER, gva_frame >> HUGE_PAGE_ORDER))
+        .collect();
+    base_pairs.sort_unstable();
+    base_pairs.dedup();
 
     // Pass 2: guest huge pages → which GPA regions the guest maps huge,
     // and their alignment status against the EPT.
@@ -103,11 +109,15 @@ pub fn scan_vm(_vm: VmId, guest: &AddressSpace, ept: &AddressSpace) -> VmScan {
         if scan.guest_huge_regions.contains(&gpa_region) {
             continue;
         }
-        match base_by_gpa_region.get(&gpa_region) {
-            None => scan.host_type1.push(gpa_region),
-            Some(gva_regions) => scan
-                .host_type2
-                .push((gpa_region, gva_regions.iter().copied().collect())),
+        let lo = base_pairs.partition_point(|&(g, _)| g < gpa_region);
+        let hi = lo + base_pairs[lo..].partition_point(|&(g, _)| g == gpa_region);
+        if lo == hi {
+            scan.host_type1.push(gpa_region);
+        } else {
+            scan.host_type2.push((
+                gpa_region,
+                base_pairs[lo..hi].iter().map(|&(_, gva)| gva).collect(),
+            ));
         }
     }
 

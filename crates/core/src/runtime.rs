@@ -74,6 +74,19 @@ impl GeminiRuntime {
         self.controller.effective()
     }
 
+    /// The earliest instant at which [`GeminiRuntime::tick`] has due
+    /// work. A tick strictly before this deadline performs no scan and
+    /// no adjustment, mutates nothing, and returns zero cost — the
+    /// machine's fast-forward gate relies on that to elide the call
+    /// (and the telemetry gather feeding it) during quiescent spans.
+    pub fn next_deadline(&self) -> Cycles {
+        if self.adaptive {
+            self.next_scan.min(self.next_adjust)
+        } else {
+            self.next_scan
+        }
+    }
+
     /// Runs due work at time `now`. `tables` provides, per VM, the guest
     /// process table and the EPT; `tlb_misses` is the machine-wide
     /// cumulative TLB-miss counter and `fmfi` the current host

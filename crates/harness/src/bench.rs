@@ -18,7 +18,7 @@
 
 use crate::exec::{effective_jobs, run_cells_hinted, run_cells_profiled};
 use crate::experiments::motivation::WORKLOADS;
-use crate::runner::{run_workload_on, run_workload_profiled};
+use crate::runner::{run_workload_on, run_workload_profiled, run_workload_sharded};
 use crate::scale::Scale;
 use gemini_obs::profile::{chrome_trace_json, ProfileReport, TraceSpan};
 use gemini_obs::{json_f64, json_str, Profiler, Recorder};
@@ -123,6 +123,21 @@ pub struct BenchReport {
     /// Throughput of the demo-scale reference cell, ops per second
     /// (unprofiled run).
     pub reference_ops_per_sec: f64,
+    /// Wall time of the reference cell through the intra-cell sharded
+    /// runner at `sharded_jobs` workers, milliseconds (byte-identical
+    /// simulated output; setup and workload generation overlap).
+    pub reference_sharded_wall_ms: f64,
+    /// Worker count the sharded reference leg used.
+    pub sharded_jobs: usize,
+    /// Wall time of the reference cell on a **same-host rebuild of the
+    /// previous PR's tree**, milliseconds, measured interleaved with the
+    /// current binary in the same time window (`--pr6-wall-ms`). `None`
+    /// when no same-host rebuild was measured. This is the honest
+    /// PR-over-PR comparator: the committed BENCH_pr*.json trajectory
+    /// files come from different points in time on a noisy shared host,
+    /// so cross-file wall-clock ratios conflate host drift with real
+    /// changes.
+    pub pr6_same_host_wall_ms: Option<f64>,
     /// Phase breakdown of a second, profiled run of the reference cell.
     pub reference_phases: Vec<PhaseTiming>,
     /// Wall time of the profiled reference run, milliseconds.
@@ -143,15 +158,64 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, started.elapsed().as_secs_f64() * 1e3)
 }
 
-/// Runs the demo-scale reference cell once and returns its timing.
+/// Runs the demo-scale reference cell and returns its timing — best of
+/// three runs, matching how [`BASELINE_WALL_MS`] was recorded, so one
+/// scheduler hiccup on a shared host does not pollute the trajectory.
 pub fn run_reference_cell() -> Result<CellTiming> {
     let scale = Scale::demo();
     let spec = spec_by_name("Canneal").expect("Canneal is in the catalog");
     let seed = scale.seed_for("motivation", 0);
-    let (r, wall_ms) = timed(|| run_workload_on(SystemKind::Gemini, &spec, &scale, true, seed));
-    let r = r?;
+    let mut best: Option<(gemini_vm_sim::RunResult, f64)> = None;
+    for _ in 0..3 {
+        let (r, wall_ms) = timed(|| run_workload_on(SystemKind::Gemini, &spec, &scale, true, seed));
+        let r = r?;
+        if best.as_ref().map_or(true, |(_, b)| wall_ms < *b) {
+            best = Some((r, wall_ms));
+        }
+    }
+    let (r, wall_ms) = best.expect("three runs produce a best");
     Ok(CellTiming {
         label: REFERENCE_CELL.to_string(),
+        wall_ms,
+        ops: r.ops,
+        ops_per_sec: r.ops as f64 / (wall_ms / 1e3),
+        phases: Vec::new(),
+        profiler_overhead_ms: 0.0,
+    })
+}
+
+/// Runs the demo-scale reference cell through the intra-cell sharded
+/// runner (machine construction ∥ workload pre-generation on `jobs`
+/// workers) and returns its timing. Simulated output is byte-identical
+/// to [`run_reference_cell`]; only the wall clock moves.
+pub fn run_reference_cell_sharded(jobs: usize) -> Result<CellTiming> {
+    let scale = Scale {
+        jobs,
+        ..Scale::demo()
+    };
+    let spec = spec_by_name("Canneal").expect("Canneal is in the catalog");
+    let seed = scale.seed_for("motivation", 0);
+    let mut best: Option<(gemini_vm_sim::RunResult, f64)> = None;
+    for _ in 0..3 {
+        let (r, wall_ms) = timed(|| {
+            run_workload_sharded(
+                SystemKind::Gemini,
+                &spec,
+                &scale,
+                true,
+                seed,
+                &Recorder::off(),
+                &Profiler::off(),
+            )
+        });
+        let r = r?;
+        if best.as_ref().map_or(true, |(_, b)| wall_ms < *b) {
+            best = Some((r, wall_ms));
+        }
+    }
+    let (r, wall_ms) = best.expect("three runs produce a best");
+    Ok(CellTiming {
+        label: format!("{REFERENCE_CELL} [sharded, jobs={jobs}]"),
         wall_ms,
         ops: r.ops,
         ops_per_sec: r.ops as f64 / (wall_ms / 1e3),
@@ -189,6 +253,10 @@ pub fn profile_reference_cell() -> Result<(Vec<PhaseTiming>, f64, f64)> {
 /// sweep. `scale_name` is recorded verbatim in the report.
 pub fn run_bench(scale: &Scale, scale_name: &str, jobs_max: usize) -> Result<BenchReport> {
     let reference = run_reference_cell()?;
+    // The sharded leg overlaps setup with pre-generation; two workers
+    // cover both shards (more would idle).
+    let sharded_jobs = 2usize.min(jobs_max.max(1));
+    let reference_sharded = run_reference_cell_sharded(sharded_jobs)?;
     let (reference_phases, reference_profiled_wall_ms, reference_overhead_pct) =
         profile_reference_cell()?;
 
@@ -266,6 +334,9 @@ pub fn run_bench(scale: &Scale, scale_name: &str, jobs_max: usize) -> Result<Ben
         available_parallelism: effective_jobs(0),
         reference_wall_ms: reference.wall_ms,
         reference_ops_per_sec: reference.ops_per_sec,
+        reference_sharded_wall_ms: reference_sharded.wall_ms,
+        sharded_jobs,
+        pr6_same_host_wall_ms: None,
         reference_phases,
         reference_profiled_wall_ms,
         reference_overhead_pct,
@@ -374,6 +445,32 @@ impl BenchReport {
             json_f64(self.speedup_vs_baseline())
         ));
         out.push_str(&format!(
+            "    \"sharded_wall_ms\": {},\n",
+            json_f64(self.reference_sharded_wall_ms)
+        ));
+        out.push_str(&format!("    \"sharded_jobs\": {},\n", self.sharded_jobs));
+        match self.pr6_same_host_wall_ms {
+            Some(pr6_ms) => {
+                out.push_str(&format!(
+                    "    \"pr6_same_host_wall_ms\": {},\n",
+                    json_f64(pr6_ms)
+                ));
+                let speedup = if self.reference_wall_ms > 0.0 {
+                    pr6_ms / self.reference_wall_ms
+                } else {
+                    0.0
+                };
+                out.push_str(&format!(
+                    "    \"speedup_vs_pr6_same_host\": {},\n",
+                    json_f64(speedup)
+                ));
+            }
+            None => {
+                out.push_str("    \"pr6_same_host_wall_ms\": null,\n");
+                out.push_str("    \"speedup_vs_pr6_same_host\": null,\n");
+            }
+        }
+        out.push_str(&format!(
             "    \"profiled_wall_ms\": {},\n",
             json_f64(self.reference_profiled_wall_ms)
         ));
@@ -434,6 +531,9 @@ mod tests {
             available_parallelism: 4,
             reference_wall_ms: 500.0,
             reference_ops_per_sec: 16_000.0,
+            reference_sharded_wall_ms: 470.0,
+            sharded_jobs: 2,
+            pr6_same_host_wall_ms: Some(1_000.0),
             reference_phases: vec![PhaseTiming {
                 name: "access",
                 wall_ms: 450.0,
@@ -481,6 +581,10 @@ mod tests {
             "\"current_wall_ms\"",
             "\"current_ops_per_sec\"",
             "\"speedup_vs_baseline\"",
+            "\"sharded_wall_ms\"",
+            "\"sharded_jobs\"",
+            "\"pr6_same_host_wall_ms\"",
+            "\"speedup_vs_pr6_same_host\"",
             "\"profiled_wall_ms\"",
             "\"profiler_overhead_pct\"",
             "\"phases\"",
@@ -502,6 +606,26 @@ mod tests {
             cell.get("phases").and_then(|p| p.as_arr()).map(|p| p.len()),
             Some(1)
         );
+    }
+
+    #[test]
+    fn same_host_pr6_comparison_is_optional() {
+        // With a same-host rebuild measured, the speedup is the wall
+        // ratio; without one, both fields render as JSON null rather
+        // than a fabricated number.
+        let with = synthetic().to_json();
+        let v = gemini_obs::jsonread::parse(&with).unwrap();
+        let rc = v.get("reference_cell").unwrap();
+        assert_eq!(
+            rc.get("speedup_vs_pr6_same_host").and_then(|s| s.as_f64()),
+            Some(2.0)
+        );
+        let mut none = synthetic();
+        none.pr6_same_host_wall_ms = None;
+        let j = none.to_json();
+        assert!(j.contains("\"pr6_same_host_wall_ms\": null"));
+        assert!(j.contains("\"speedup_vs_pr6_same_host\": null"));
+        gemini_obs::jsonread::parse(&j).expect("null fields still parse");
     }
 
     #[test]

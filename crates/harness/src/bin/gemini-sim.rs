@@ -5,9 +5,10 @@
 //! gemini-sim run     --system GEMINI --workload Redis [--fragmented] [--reused]
 //! gemini-sim compare --workload Redis [--fragmented] [--reused]
 //! gemini-sim trace   --system GEMINI --workload Redis [--fragmented]
-//! gemini-sim bench   [--scale quick|bench] [--jobs N] [--json BENCH_pr6.json]
+//! gemini-sim parity  [--workload Redis] [--fragmented]
+//! gemini-sim bench   [--scale quick|bench] [--jobs N] [--json BENCH_pr7.json]
 //!                    [--profile trace.json] [--compare OLD.json]
-//!                    [--threshold PCT] [--warn-only]
+//!                    [--threshold PCT] [--warn-only] [--pr6-wall-ms MS]
 //! gemini-sim bench   --compare OLD.json --against NEW.json   (diff only, no run)
 //!
 //! common flags:
@@ -16,7 +17,14 @@
 //!   --seed <n>                      run seed
 //!   --jobs <n>                      worker threads for experiment cells
 //!                                   (0 = available parallelism, 1 = sequential)
+//!   --no-ff                         disable the fast-forward core: step every
+//!                                   event faithfully (results are identical;
+//!                                   this only costs wall time)
 //!   --json <path>                   export results (and any trace) as JSON Lines
+//!
+//! `parity` runs every registry scenario twice — fast-forward on and
+//! off (`--no-ff`) — and fails unless each pair of results is
+//! byte-identical, counters included.
 //!
 //! bench flags:
 //!   --profile <path>   write a Chrome-trace-event (Perfetto) timeline of
@@ -58,15 +66,16 @@ struct Opts {
     against: Option<PathBuf>,
     threshold_pct: f64,
     warn_only: bool,
+    pr6_wall_ms: Option<f64>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gemini-sim <list|run|compare|trace|bench> [--system NAME] [--workload NAME]\n\
+        "usage: gemini-sim <list|run|compare|trace|parity|bench> [--system NAME] [--workload NAME]\n\
          \x20                [--scale quick|demo|bench|full] [--ops N] [--seed N] [--jobs N]\n\
-         \x20                [--fragmented] [--reused] [--json PATH]\n\
+         \x20                [--no-ff] [--fragmented] [--reused] [--json PATH]\n\
          \x20 bench only:    [--profile TRACE.json] [--compare OLD.json] [--against NEW.json]\n\
-         \x20                [--threshold PCT] [--warn-only]"
+         \x20                [--threshold PCT] [--warn-only] [--pr6-wall-ms MS]"
     );
     ExitCode::from(2)
 }
@@ -87,11 +96,13 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         against: None,
         threshold_pct: perfdiff::DEFAULT_THRESHOLD_PCT,
         warn_only: false,
+        pr6_wall_ms: None,
     };
-    // `--jobs` is applied after the loop so it wins regardless of
-    // whether it appears before or after `--scale` (which replaces the
-    // whole `Scale`, including its `jobs` field).
+    // `--jobs` and `--no-ff` are applied after the loop so they win
+    // regardless of whether they appear before or after `--scale`
+    // (which replaces the whole `Scale`, including those fields).
     let mut jobs: Option<usize> = None;
+    let mut no_ff = false;
     let mut i = 1;
     while i < args.len() {
         let take = |i: &mut usize| -> Result<String, String> {
@@ -127,6 +138,14 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                     .map_err(|e| format!("--threshold: {e}"))?;
             }
             "--warn-only" => opts.warn_only = true,
+            "--pr6-wall-ms" => {
+                opts.pr6_wall_ms = Some(
+                    take(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--pr6-wall-ms: {e}"))?,
+                );
+            }
+            "--no-ff" => no_ff = true,
             "--fragmented" => opts.fragmented = true,
             "--reused" => opts.reused = true,
             other => return Err(format!("unknown flag '{other}'")),
@@ -136,6 +155,7 @@ fn parse(args: &[String]) -> Result<Opts, String> {
     if let Some(j) = jobs {
         opts.scale.jobs = j;
     }
+    opts.scale.no_ff = no_ff;
     Ok(opts)
 }
 
@@ -322,6 +342,66 @@ fn cmd_trace(opts: &Opts) -> Result<(), String> {
     )
 }
 
+/// Runs every registry scenario twice — fast-forward on, then off —
+/// and fails unless each pair is byte-identical: the full `RunResult`
+/// (every MMU counter, alignment stat and latency figure) and the JSON
+/// export line must both match exactly. This is the executable form of
+/// the fast-forward invariant: eliding provably-quiescent daemon
+/// passes may never change simulated state.
+fn cmd_parity(opts: &Opts) -> Result<(), String> {
+    let name = opts.workload.as_deref().unwrap_or("Redis");
+    let spec = spec_by_name(name).ok_or_else(|| format!("unknown workload '{name}'"))?;
+    let progress = Recorder::new(&TraceConfig::all());
+    let mut ff_scale = opts.scale;
+    ff_scale.no_ff = false;
+    let mut faithful_scale = opts.scale;
+    faithful_scale.no_ff = true;
+    let cells: Vec<_> = gemini_vm_sim::REGISTRY
+        .iter()
+        .map(|(system, sspec)| {
+            let spec = spec.clone();
+            move || -> Result<(&'static str, bool), String> {
+                let run = |scale: &Scale| {
+                    run_workload_on(*system, &spec, scale, opts.fragmented, opts.seed)
+                        .map_err(|e| format!("{}: simulation failed: {e}", sspec.label))
+                };
+                let fast = run(&ff_scale)?;
+                let faithful = run(&faithful_scale)?;
+                let identical = format!("{fast:?}") == format!("{faithful:?}")
+                    && trace::result_json(&fast) == trace::result_json(&faithful);
+                Ok((sspec.label, identical))
+            }
+        })
+        .collect();
+    let results = run_cells_traced(opts.scale.jobs, &progress, cells);
+    let mut mismatched = Vec::new();
+    for cell in results {
+        let (label, identical) = cell?;
+        println!(
+            "  {:<16} {}",
+            label,
+            if identical { "ok" } else { "MISMATCH" }
+        );
+        if !identical {
+            mismatched.push(label);
+        }
+    }
+    if !mismatched.is_empty() {
+        return Err(format!(
+            "fast-forward parity violated for {}: {}",
+            name,
+            mismatched.join(", ")
+        ));
+    }
+    eprintln!(
+        "parity: {} scenarios on {}{} byte-identical with fast-forward on/off",
+        gemini_vm_sim::REGISTRY.len(),
+        name,
+        scenario_suffix(opts),
+    );
+    Ok(())
+}
+
 /// Diffs `old_json` against `new_json` and reports the verdict.
 /// Returns `Err` (→ nonzero exit) on a regression unless `--warn-only`.
 fn run_compare_gate(opts: &Opts, old_path: &PathBuf, new_json: &str) -> Result<(), String> {
@@ -356,8 +436,9 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
         return Err("--against needs --compare OLD.json".into());
     }
     let jobs_max = effective_jobs(opts.scale.jobs);
-    let report = gemini_harness::bench::run_bench(&opts.scale, &opts.scale_name, jobs_max)
+    let mut report = gemini_harness::bench::run_bench(&opts.scale, &opts.scale_name, jobs_max)
         .map_err(|e| format!("bench failed: {e}"))?;
+    report.pr6_same_host_wall_ms = opts.pr6_wall_ms;
     let mut t = Table::new(
         format!("bench — fig. 3 grid cells at {} scale", opts.scale_name),
         &["cell", "wall ms", "ops/s (wall)"],
@@ -385,6 +466,18 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
         gemini_harness::bench::BASELINE_OPS_PER_SEC,
     );
     eprintln!(
+        "reference cell sharded (jobs={}): {:.0} ms (setup ∥ workload pre-generation; simulated output byte-identical)",
+        report.sharded_jobs, report.reference_sharded_wall_ms,
+    );
+    if let Some(pr6_ms) = report.pr6_same_host_wall_ms {
+        eprintln!(
+            "reference cell vs same-host PR 6 rebuild: {:.0} ms -> {:.0} ms ({:.2}x)",
+            pr6_ms,
+            report.reference_wall_ms,
+            pr6_ms / report.reference_wall_ms.max(1e-9),
+        );
+    }
+    eprintln!(
         "reference phases sum {:.0} ms self-time; profiler overhead {:.2}%",
         report
             .reference_phases
@@ -397,7 +490,7 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     let path = opts
         .json
         .clone()
-        .unwrap_or_else(|| PathBuf::from("BENCH_pr6.json"));
+        .unwrap_or_else(|| PathBuf::from("BENCH_pr7.json"));
     std::fs::write(&path, &report_json).map_err(|e| format!("writing {}: {e}", path.display()))?;
     eprintln!("wrote bench report to {}", path.display());
     if let Some(trace_path) = &opts.profile {
@@ -440,6 +533,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&opts),
         "compare" => cmd_compare(&opts),
         "trace" => cmd_trace(&opts),
+        "parity" => cmd_parity(&opts),
         "bench" => cmd_bench(&opts),
         _ => return usage(),
     };

@@ -15,7 +15,7 @@ use gemini_workloads::{spec_by_name, WorkloadGen};
 fn run_with(cfg: MachineConfig, scale: &Scale, workload: &str, seed: u64) -> Result<RunResult> {
     let spec = spec_by_name(workload).expect("ablation workload in catalog");
     let mut m = Machine::new(SystemKind::Gemini, cfg);
-    let vm = m.add_vm();
+    let vm = m.add_vm()?;
     m.run(
         vm,
         WorkloadGen::new(spec.scaled(scale.ws_factor), scale.ops, seed),

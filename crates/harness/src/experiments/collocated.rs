@@ -48,8 +48,8 @@ pub fn run(scale: &Scale, pair_filter: Option<&[(&str, &str)]>) -> Result<Colloc
             cells.push(move || -> Result<[RunResult; 2]> {
                 let cfg = scale.collocated_config(seed);
                 let mut m = Machine::new(system, cfg);
-                let vm1 = m.add_vm();
-                let vm2 = m.add_vm();
+                let vm1 = m.add_vm()?;
+                let vm2 = m.add_vm()?;
                 let g1 = WorkloadGen::new(sens_spec.scaled(scale.ws_factor), scale.ops, seed);
                 let g2 = WorkloadGen::new(non_spec.scaled(scale.ws_factor), scale.ops, seed2);
                 let mut results = m.run_collocated(vec![(vm1, g1), (vm2, g2)])?;

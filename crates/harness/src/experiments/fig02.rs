@@ -46,7 +46,7 @@ pub fn run(scale: &Scale) -> Result<Fig02Results> {
             cells.push(move || {
                 let cfg = scale.machine_config(false, false, machine_seed);
                 let mut m = Machine::new(system, cfg);
-                let vm = m.add_vm();
+                let vm = m.add_vm()?;
                 let gen = MicrobenchGen::generator(dataset, scale.ops, workload_seed);
                 m.run(vm, gen)
             });

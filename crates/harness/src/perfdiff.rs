@@ -153,7 +153,12 @@ pub fn compare_reports(
             unmatched.push(label);
             continue;
         };
-        if old_ms < MIN_COMPARABLE_MS && new_ms < MIN_COMPARABLE_MS {
+        if old_ms < MIN_COMPARABLE_MS || new_ms < MIN_COMPARABLE_MS {
+            // Either side below the floor makes the ratio meaningless:
+            // a 2 ms phase "doubling" to 6 ms (or collapsing from 6 ms
+            // to 2 ms) is timer noise, not a signal, so entries that
+            // straddle the floor classify as unchanged in both
+            // directions rather than as a regression or improvement.
             unchanged += 1;
             continue;
         }
@@ -262,6 +267,31 @@ mod tests {
         let new = report(500.0, 100.0, 2.0); // phase +100% but 2 ms
         let diff = compare_reports(&old, &new, DEFAULT_THRESHOLD_PCT).unwrap();
         assert!(!diff.regressed());
+    }
+
+    #[test]
+    fn straddling_the_floor_upward_is_unchanged_not_a_regression() {
+        // 3 ms -> 8 ms is +167%, but the old measurement is below the
+        // 5 ms floor: millisecond-resolution noise, not damage.
+        let old = report(500.0, 100.0, 3.0);
+        let new = report(500.0, 100.0, 8.0);
+        let diff = compare_reports(&old, &new, DEFAULT_THRESHOLD_PCT).unwrap();
+        assert!(!diff.regressed(), "{}", diff.render());
+        assert!(diff.improvements.is_empty());
+        // reference + cell + phase all inside the floor/threshold.
+        assert_eq!(diff.unchanged, 3);
+    }
+
+    #[test]
+    fn straddling_the_floor_downward_is_unchanged_not_an_improvement() {
+        // The mirror image: 8 ms -> 3 ms must not be celebrated as a
+        // -62% win either; classification is sign-symmetric.
+        let old = report(500.0, 100.0, 8.0);
+        let new = report(500.0, 100.0, 3.0);
+        let diff = compare_reports(&old, &new, DEFAULT_THRESHOLD_PCT).unwrap();
+        assert!(!diff.regressed());
+        assert!(diff.improvements.is_empty(), "{}", diff.render());
+        assert_eq!(diff.unchanged, 3);
     }
 
     #[test]

@@ -28,6 +28,13 @@ pub struct Scale {
     /// 1 = sequential, N = exactly N threads. Results are byte-identical
     /// for every setting; this knob only trades wall-clock time.
     pub jobs: usize,
+    /// Disables the event-driven fast-forward core (`--no-ff`): every
+    /// event steps through the faithful slow path and every batch
+    /// boundary runs a daemon pass, even when the pass is provably a
+    /// no-op. Results are byte-identical with fast-forward on or off —
+    /// this escape hatch exists so the parity suite (and a suspicious
+    /// user) can prove that claim on any cell; it only costs wall time.
+    pub no_ff: bool,
 }
 
 impl Scale {
@@ -41,6 +48,7 @@ impl Scale {
             frag_target: 0.9,
             seed: 42,
             jobs: 0,
+            no_ff: false,
         }
     }
 
@@ -59,6 +67,7 @@ impl Scale {
             frag_target: 0.9,
             seed: 42,
             jobs: 0,
+            no_ff: false,
         }
     }
 
@@ -73,6 +82,7 @@ impl Scale {
             frag_target: 0.9,
             seed: 42,
             jobs: 0,
+            no_ff: false,
         }
     }
 
@@ -86,6 +96,7 @@ impl Scale {
             frag_target: 0.9,
             seed: 42,
             jobs: 0,
+            no_ff: false,
         }
     }
 
@@ -99,7 +110,7 @@ impl Scale {
             _ => Self::bench(),
         };
         if let Ok(jobs) = std::env::var("GEMINI_JOBS") {
-            if let Ok(jobs) = jobs.parse() {
+            if let Some(jobs) = parse_jobs(&jobs) {
                 scale.jobs = jobs;
             }
         }
@@ -115,6 +126,7 @@ impl Scale {
             fragment_host: fragmented.then_some(self.frag_target),
             zero_heavy,
             seed,
+            no_ff: self.no_ff,
             ..MachineConfig::default()
         }
     }
@@ -129,6 +141,7 @@ impl Scale {
             fragment_guest: Some(self.frag_target),
             fragment_host: Some(self.frag_target),
             seed,
+            no_ff: self.no_ff,
             ..MachineConfig::default()
         }
     }
@@ -142,6 +155,23 @@ impl Scale {
     /// thread count or scheduling.
     pub fn seed_for(&self, tag: &str, index: u64) -> u64 {
         derive_seed(self.seed, tag, index)
+    }
+}
+
+/// Interprets one `GEMINI_JOBS` value: `Some(n)` applies `n` (`0`
+/// means "available parallelism", per the [`Scale::jobs`] contract),
+/// `None` keeps the preset default. A value that is present but not a
+/// number gets a stderr warning instead of a silent fallback — the
+/// same contract `GEMINI_BENCH_OPS` follows in the bench crate, so a
+/// typo like `GEMINI_JOBS=two` no longer quietly runs a different
+/// thread count than the user asked for.
+fn parse_jobs(raw: &str) -> Option<usize> {
+    match raw.parse::<usize>() {
+        Ok(jobs) => Some(jobs),
+        Err(_) => {
+            eprintln!("warning: GEMINI_JOBS={raw:?} is not a number; using the scale default");
+            None
+        }
     }
 }
 
@@ -174,10 +204,38 @@ mod tests {
     }
 
     #[test]
+    fn no_ff_propagates_to_both_machine_configs() {
+        let mut s = Scale::quick();
+        assert!(!s.machine_config(false, false, 1).no_ff);
+        assert!(!s.collocated_config(1).no_ff);
+        s.no_ff = true;
+        assert!(s.machine_config(false, false, 1).no_ff);
+        assert!(s.collocated_config(1).no_ff);
+    }
+
+    #[test]
     fn collocated_config_uses_16_vcpus() {
         let c = Scale::quick().collocated_config(1);
         assert_eq!(c.vcpus, 16);
         assert_eq!(c.host_frames, Scale::quick().host_frames * 2);
+    }
+
+    #[test]
+    fn jobs_values_parse_with_zero_meaning_auto() {
+        assert_eq!(parse_jobs("3"), Some(3));
+        // `0` is the documented "available parallelism" setting, not an
+        // error; `effective_jobs` resolves it to >= 1 worker.
+        assert_eq!(parse_jobs("0"), Some(0));
+        assert_eq!(crate::effective_jobs(0).max(1), crate::effective_jobs(0));
+    }
+
+    #[test]
+    fn garbage_jobs_values_keep_the_preset_default() {
+        // Each of these used to be dropped with no diagnostic at all;
+        // now they warn and leave the preset's `jobs` untouched.
+        for garbage in ["two", "", "-1", "1.5", "0x4"] {
+            assert_eq!(parse_jobs(garbage), None, "{garbage:?}");
+        }
     }
 
     #[test]

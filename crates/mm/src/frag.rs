@@ -36,22 +36,25 @@ pub fn fragment_to(
     // run index and let the allocator rebuild it once at the end, so the
     // setup costs O(frames), not O(frames x log runs) of map traffic.
     let pinned = buddy.bulk_update(|buddy| {
-        let mut grabbed = Vec::new();
-        while let Ok(f) = buddy.alloc(0) {
-            grabbed.push(f);
-        }
+        // Equivalent to `while let Ok(f) = buddy.alloc(0)` but one pass.
+        let mut grabbed = buddy.drain_singles();
         // Decide pins: one random frame per huge region, plus extras until
         // the hold fraction is met.
         let mut pinned = Vec::new();
         let mut released = Vec::new();
-        let mut by_region: std::collections::BTreeMap<u64, Vec<u64>> =
-            std::collections::BTreeMap::new();
-        for f in grabbed {
-            by_region.entry(f >> HUGE_PAGE_ORDER).or_default().push(f);
-        }
-        for (_region, frames) in by_region {
+        // Group by huge region via a stable sort: regions come out
+        // ascending and frames keep their grab order within each region,
+        // exactly as the former map-of-vecs grouping produced them — the
+        // RNG draw sequence (and thus the pin layout) is unchanged.
+        grabbed.sort_by_key(|&f| f >> HUGE_PAGE_ORDER);
+        let mut rest = grabbed.as_slice();
+        while let Some(&first) = rest.first() {
+            let region = first >> HUGE_PAGE_ORDER;
+            let n = rest.partition_point(|&f| f >> HUGE_PAGE_ORDER == region);
+            let (frames, tail) = rest.split_at(n);
+            rest = tail;
             let keep = rng.below(frames.len() as u64) as usize;
-            for (i, f) in frames.into_iter().enumerate() {
+            for (i, &f) in frames.iter().enumerate() {
                 if i == keep {
                     pinned.push(f);
                 } else {
@@ -68,9 +71,11 @@ pub fn fragment_to(
                 None => break,
             }
         }
-        for f in released {
-            buddy.free(f, 0).expect("fragmenter owns this frame");
-        }
+        // Free order cannot affect the end state (eager merging makes the
+        // decomposition of a free-frame set unique), so release in bulk.
+        buddy
+            .free_singles(&released)
+            .expect("fragmenter owns these frames");
         pinned
     });
     // If the target is not yet reached (e.g. pins landed unluckily), the

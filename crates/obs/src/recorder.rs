@@ -218,6 +218,16 @@ impl Recorder {
         now.0 >= self.next_sample.load(Ordering::Relaxed)
     }
 
+    /// The cycle at which the next time-series sample falls due
+    /// (`Cycles(u64::MAX)` when the sampler is disabled, i.e. never).
+    /// [`Recorder::sample_due`] is exactly `now >= next_sample_at()`;
+    /// the machine's fast-forward gate folds this into its wakeup
+    /// deadline so quiescent spans skip sampling checks in bulk.
+    #[inline]
+    pub fn next_sample_at(&self) -> Cycles {
+        Cycles(self.next_sample.load(Ordering::Relaxed))
+    }
+
     /// Appends `point` to the time series and schedules the next
     /// sample one interval after `point.cycle`.
     pub fn record_sample(&self, point: SamplePoint) {

@@ -80,7 +80,106 @@ enum Region {
     /// huge-frame.
     Huge(u64),
     /// The region is covered by a last-level table of base-page entries.
-    Table(Box<[Option<u64>; ENTRIES_PER_TABLE]>),
+    Table(Table),
+}
+
+/// A last-level table plus incrementally maintained population metadata,
+/// so the per-fault [`AddressSpace::region_population`] query is O(1)
+/// instead of a 512-entry scan.
+#[derive(Debug, Clone)]
+struct Table {
+    entries: Box<[Option<u64>; ENTRIES_PER_TABLE]>,
+    /// Present entries (0–512).
+    present: u32,
+    /// Distinct in-place promotion targets voted for by congruent entries:
+    /// entry `i` mapping to `pa` votes for huge frame `(pa - i) >> 9` when
+    /// `pa - i` is huge-aligned. `(target, votes)` pairs; placement policy
+    /// keeps this at one pair for well-behaved regions, so a linear scan
+    /// beats any map.
+    targets: Vec<(u64, u32)>,
+    /// Present entries congruent to no huge-aligned target at all.
+    incongruent: u32,
+}
+
+impl Table {
+    fn new() -> Self {
+        Self {
+            entries: Box::new([None; ENTRIES_PER_TABLE]),
+            present: 0,
+            targets: Vec::new(),
+            incongruent: 0,
+        }
+    }
+
+    /// A fully populated table mapping every entry `i` to
+    /// `(pa_huge << HUGE_PAGE_ORDER) + i` — the shape `demote` produces.
+    /// All 512 entries vote for `pa_huge`.
+    fn full(pa_huge: u64) -> Self {
+        let mut entries = Box::new([None; ENTRIES_PER_TABLE]);
+        for (i, slot) in entries.iter_mut().enumerate() {
+            *slot = Some((pa_huge << HUGE_PAGE_ORDER) + i as u64);
+        }
+        Self {
+            entries,
+            present: ENTRIES_PER_TABLE as u32,
+            targets: vec![(pa_huge, ENTRIES_PER_TABLE as u32)],
+            incongruent: 0,
+        }
+    }
+
+    /// The vote entry `idx → pa` casts: `Some(target)` when congruent to a
+    /// huge-aligned backing, `None` otherwise.
+    fn vote_of(idx: usize, pa: u64) -> Option<u64> {
+        let pa0 = pa.wrapping_sub(idx as u64);
+        (pa0 % PAGES_PER_HUGE_PAGE == 0).then_some(pa0 >> HUGE_PAGE_ORDER)
+    }
+
+    /// Records entry `idx → pa` in the metadata (entry already stored).
+    fn note_add(&mut self, idx: usize, pa: u64) {
+        self.present += 1;
+        match Self::vote_of(idx, pa) {
+            Some(target) => match self.targets.iter_mut().find(|(t, _)| *t == target) {
+                Some((_, votes)) => *votes += 1,
+                None => self.targets.push((target, 1)),
+            },
+            None => self.incongruent += 1,
+        }
+    }
+
+    /// Removes entry `idx → pa` from the metadata (entry already taken).
+    fn note_remove(&mut self, idx: usize, pa: u64) {
+        self.present -= 1;
+        match Self::vote_of(idx, pa) {
+            Some(target) => {
+                let pos = self
+                    .targets
+                    .iter()
+                    .position(|(t, _)| *t == target)
+                    .expect("tracked vote must exist");
+                self.targets[pos].1 -= 1;
+                if self.targets[pos].1 == 0 {
+                    self.targets.swap_remove(pos);
+                }
+            }
+            None => self.incongruent -= 1,
+        }
+    }
+
+    /// The population summary the full 512-entry scan would produce: the
+    /// region is in-place eligible iff every present entry votes for one
+    /// common huge-aligned target.
+    fn population(&self) -> RegionPopulation {
+        let eligible = self.incongruent == 0 && self.targets.len() <= 1;
+        RegionPopulation {
+            present: self.present as usize,
+            in_place_eligible: eligible,
+            target_huge_frame: if eligible {
+                self.targets.first().map(|&(t, _)| t)
+            } else {
+                None
+            },
+        }
+    }
 }
 
 /// Summary of a 2 MiB region's population, used by promotion policies.
@@ -169,16 +268,18 @@ impl AddressSpace {
         match &mut self.regions[i] {
             Some(Region::Huge(_)) => Err(SimError::AlreadyMappedGva(gva_of(va_frame))),
             Some(Region::Table(t)) => {
-                if t[idx].is_some() {
+                if t.entries[idx].is_some() {
                     return Err(SimError::AlreadyMappedGva(gva_of(va_frame)));
                 }
-                t[idx] = Some(pa_frame);
+                t.entries[idx] = Some(pa_frame);
+                t.note_add(idx, pa_frame);
                 self.base_mapped += 1;
                 Ok(())
             }
             slot @ None => {
-                let mut t = Box::new([None; ENTRIES_PER_TABLE]);
-                t[idx] = Some(pa_frame);
+                let mut t = Table::new();
+                t.entries[idx] = Some(pa_frame);
+                t.note_add(idx, pa_frame);
                 *slot = Some(Region::Table(t));
                 self.base_mapped += 1;
                 Ok(())
@@ -193,7 +294,7 @@ impl AddressSpace {
     pub fn map_huge(&mut self, va_huge_frame: u64, pa_huge_frame: u64) -> Result<(), SimError> {
         let occupied = match self.region(va_huge_frame) {
             Some(Region::Huge(_)) => true,
-            Some(Region::Table(t)) => t.iter().any(Option::is_some),
+            Some(Region::Table(t)) => t.present > 0,
             None => false,
         };
         if occupied {
@@ -211,11 +312,12 @@ impl AddressSpace {
         let (huge, idx) = split_frame(va_frame);
         match self.regions.get_mut(huge as usize).and_then(Option::as_mut) {
             Some(Region::Table(t)) => {
-                let pa = t[idx]
+                let pa = t.entries[idx]
                     .take()
                     .ok_or(SimError::NotMappedGva(gva_of(va_frame)))?;
+                t.note_remove(idx, pa);
                 self.base_mapped -= 1;
-                if t.iter().all(Option::is_none) {
+                if t.present == 0 {
                     self.clear_region(huge);
                 }
                 Ok(pa)
@@ -248,7 +350,7 @@ impl AddressSpace {
                 pa_frame: (pa_huge << HUGE_PAGE_ORDER) + idx as u64,
                 size: LeafSize::Huge,
             }),
-            Region::Table(t) => t[idx].map(|pa_frame| Translation {
+            Region::Table(t) => t.entries[idx].map(|pa_frame| Translation {
                 pa_frame,
                 size: LeafSize::Base,
             }),
@@ -279,35 +381,10 @@ impl AddressSpace {
                 in_place_eligible: true,
                 target_huge_frame: Some(*pa),
             },
-            Some(Region::Table(t)) => {
-                let present = t.iter().filter(|e| e.is_some()).count();
-                // In-place eligible iff every present entry i maps to
-                // pa0 + i with pa0 huge-aligned.
-                let mut target: Option<u64> = None;
-                let mut eligible = true;
-                for (i, e) in t.iter().enumerate() {
-                    if let Some(pa) = e {
-                        let pa0 = pa.wrapping_sub(i as u64);
-                        if pa0 % PAGES_PER_HUGE_PAGE != 0 {
-                            eligible = false;
-                            break;
-                        }
-                        match target {
-                            None => target = Some(pa0 >> HUGE_PAGE_ORDER),
-                            Some(t0) if t0 != pa0 >> HUGE_PAGE_ORDER => {
-                                eligible = false;
-                                break;
-                            }
-                            _ => {}
-                        }
-                    }
-                }
-                RegionPopulation {
-                    present,
-                    in_place_eligible: eligible,
-                    target_huge_frame: if eligible { target } else { None },
-                }
-            }
+            // In-place eligible iff every present entry i maps to
+            // pa0 + i with one common huge-aligned pa0 — answered from
+            // the table's incrementally maintained vote counts.
+            Some(Region::Table(t)) => t.population(),
         }
     }
 
@@ -359,6 +436,7 @@ impl AddressSpace {
             ))),
             Some(Region::Table(t)) => {
                 let displaced: Vec<(usize, u64)> = t
+                    .entries
                     .iter()
                     .enumerate()
                     .filter_map(|(i, e)| e.map(|pa| (i, pa)))
@@ -380,11 +458,7 @@ impl AddressSpace {
     /// output frames (the inverse of in-place promotion).
     pub fn demote(&mut self, va_huge_frame: u64) -> Result<(), SimError> {
         let pa_huge = self.unmap_huge(va_huge_frame)?;
-        let mut t = Box::new([None; ENTRIES_PER_TABLE]);
-        for (i, slot) in t.iter_mut().enumerate() {
-            *slot = Some((pa_huge << HUGE_PAGE_ORDER) + i as u64);
-        }
-        self.set_region(va_huge_frame, Region::Table(t));
+        self.set_region(va_huge_frame, Region::Table(Table::full(pa_huge)));
         self.base_mapped += ENTRIES_PER_TABLE as u64;
         Ok(())
     }
@@ -406,6 +480,7 @@ impl AddressSpace {
     pub fn iter_base_in(&self, va_huge_frame: u64) -> Vec<(u64, u64)> {
         match self.region(va_huge_frame) {
             Some(Region::Table(t)) => t
+                .entries
                 .iter()
                 .enumerate()
                 .filter_map(|(i, e)| {
@@ -434,7 +509,7 @@ impl AddressSpace {
                 _ => None,
             };
             table.into_iter().flat_map(move |t| {
-                t.iter().enumerate().filter_map(move |(i, e)| {
+                t.entries.iter().enumerate().filter_map(move |(i, e)| {
                     e.map(|pa| (((va_huge as u64) << HUGE_PAGE_ORDER) + i as u64, pa))
                 })
             })
@@ -449,9 +524,25 @@ impl AddressSpace {
             match r {
                 Region::Huge(_) => huge += 1,
                 Region::Table(t) => {
-                    let n = t.iter().filter(|e| e.is_some()).count() as u64;
+                    let n = t.entries.iter().filter(|e| e.is_some()).count() as u64;
                     if n == 0 {
                         return Err(SimError::Invariant("empty table region retained"));
+                    }
+                    if n != t.present as u64 {
+                        return Err(SimError::Invariant("table present count out of sync"));
+                    }
+                    // Re-derive the vote metadata from scratch and compare:
+                    // the incremental counts must answer region_population
+                    // exactly as a full rescan would.
+                    let mut rescan = Table::new();
+                    for (i, e) in t.entries.iter().enumerate() {
+                        if let Some(pa) = e {
+                            rescan.note_add(i, *pa);
+                        }
+                    }
+                    let (a, b) = (t.population(), rescan.population());
+                    if a != b || t.incongruent != rescan.incongruent {
+                        return Err(SimError::Invariant("table vote metadata out of sync"));
                     }
                     base += n;
                 }

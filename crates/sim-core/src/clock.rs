@@ -52,6 +52,12 @@ impl Cycles {
         Self(self.0.saturating_sub(rhs.0))
     }
 
+    /// Subtraction that returns `None` on underflow, for callers that
+    /// must distinguish "no elapsed time" from a clock that regressed.
+    pub fn checked_sub(self, rhs: Self) -> Option<Self> {
+        self.0.checked_sub(rhs.0).map(Self)
+    }
+
     /// Multiplies the duration by a float factor (used by Algorithm 1's
     /// ±10 % timeout adjustments).
     pub fn scale(self, factor: f64) -> Self {

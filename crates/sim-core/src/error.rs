@@ -39,6 +39,20 @@ pub enum SimError {
     OutOfRange,
     /// An operation named a VM that was never registered.
     UnknownVm(VmId),
+    /// A cache was configured with a set count that is not a power of
+    /// two; set indexing would silently fall back to a `%` with
+    /// different eviction behavior, so the geometry is rejected.
+    BadCacheGeometry {
+        /// The rejected set count (`entries / assoc`, min 1).
+        num_sets: usize,
+    },
+    /// A virtual-time accounting window ended before it started.
+    ClockRegression {
+        /// The clock observed at the end of the window.
+        now: crate::clock::Cycles,
+        /// The clock recorded at the start of the window.
+        start: crate::clock::Cycles,
+    },
     /// An invariant was violated; carries a static description.
     Invariant(&'static str),
 }
@@ -60,6 +74,12 @@ impl fmt::Display for SimError {
             SimError::NotContiguous => write!(f, "region is not physically contiguous"),
             SimError::OutOfRange => write!(f, "address outside configured address space"),
             SimError::UnknownVm(vm) => write!(f, "{vm} is not registered"),
+            SimError::BadCacheGeometry { num_sets } => {
+                write!(f, "cache set count {num_sets} is not a power of two")
+            }
+            SimError::ClockRegression { now, start } => {
+                write!(f, "clock went backwards: now {now} < start {start}")
+            }
             SimError::Invariant(msg) => write!(f, "invariant violated: {msg}"),
         }
     }

@@ -6,21 +6,35 @@
 //! tag packed together).
 //!
 //! Storage is one flat slot array (`num_sets * assoc` keys) plus a
-//! per-set occupancy count, rather than a `Vec` per set: the lookup path
-//! runs on every simulated memory access, and a single contiguous
-//! allocation with in-place rotations avoids both the pointer chase and
-//! the shift-down `remove` of the per-set representation. Within a set's
-//! occupied prefix, order is LRU-first / MRU-last, maintained by slice
-//! rotations.
+//! parallel last-use stamp per slot and a per-set occupancy count. The
+//! lookup path runs on every simulated memory access; recency is tracked
+//! by writing a strictly increasing stamp on each hit or insert instead
+//! of rotating the set's slots, so a hit costs one store rather than a
+//! memmove of up to `assoc - 1` keys. Eviction picks the minimum stamp —
+//! stamps are unique, so the victim is exactly the entry an LRU-ordered
+//! list would evict.
+
+use gemini_sim_core::SimError;
 
 /// A set-associative LRU cache of opaque keys.
+///
+/// Keys are stored split into low/high u64 halves in parallel arrays:
+/// the way scan compares the low half first (page number bits — the
+/// discriminating ones) and confirms the high half only on a match,
+/// so the common probe touches half the bytes a `u128` scan would.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    /// `num_sets * assoc` key slots; set `s` owns `slots[s*assoc..(s+1)*assoc]`
+    /// Low 64 bits of each key; set `s` owns `lo[s*assoc..(s+1)*assoc]`
     /// and only its first `lens[s]` slots are meaningful.
-    slots: Vec<u128>,
+    lo: Vec<u64>,
+    /// High 64 bits of each key, parallel to `lo`.
+    hi: Vec<u64>,
+    /// Last-use stamp per slot, parallel to `lo`.
+    stamps: Vec<u64>,
     /// Occupied way count per set.
     lens: Vec<u32>,
+    /// Strictly increasing use counter; uniqueness makes LRU order total.
+    tick: u64,
     num_sets: usize,
     assoc: usize,
 }
@@ -28,26 +42,33 @@ pub struct SetAssocCache {
 impl SetAssocCache {
     /// Creates a cache with `entries` total capacity and `assoc` ways.
     ///
-    /// The number of sets is `entries / assoc`, rounded up to at least one.
-    /// Every MMU geometry in the tree yields a power-of-two set count,
-    /// which lets `set_of` index with a mask instead of a division.
+    /// The number of sets is `entries / assoc`, rounded up to at least
+    /// one, and must come out a power of two: `set_of` indexes with a
+    /// mask, and a `%` fallback would silently change which keys share
+    /// a set (and therefore eviction behavior) between geometries.
+    /// Non-power-of-two set counts are rejected with
+    /// [`SimError::BadCacheGeometry`] instead of being debug-asserted,
+    /// so release builds cannot drift onto a different replacement
+    /// policy unnoticed.
     ///
     /// # Panics
     ///
     /// Panics if `assoc == 0`.
-    pub fn new(entries: usize, assoc: usize) -> Self {
+    pub fn new(entries: usize, assoc: usize) -> Result<Self, SimError> {
         assert!(assoc > 0, "associativity must be positive");
         let num_sets = (entries / assoc).max(1);
-        debug_assert!(
-            num_sets.is_power_of_two(),
-            "cache geometry should give a power-of-two set count (got {num_sets})"
-        );
-        Self {
-            slots: vec![0; num_sets * assoc],
+        if !num_sets.is_power_of_two() {
+            return Err(SimError::BadCacheGeometry { num_sets });
+        }
+        Ok(Self {
+            lo: vec![0; num_sets * assoc],
+            hi: vec![0; num_sets * assoc],
+            stamps: vec![0; num_sets * assoc],
             lens: vec![0; num_sets],
+            tick: 0,
             num_sets,
             assoc,
-        }
+        })
     }
 
     /// Total entry capacity.
@@ -69,14 +90,10 @@ impl SetAssocCache {
     fn set_of(&self, key: u128) -> usize {
         // Mix the key so that consecutive page numbers spread over sets,
         // then index. A fixed multiplicative hash keeps runs deterministic.
+        // Construction guarantees a power-of-two set count, so the mask
+        // is exact.
         let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((key >> 64) as u64);
-        if self.num_sets.is_power_of_two() {
-            // Identical to `%` for power-of-two set counts — the common
-            // (in this tree: only) case.
-            (h & (self.num_sets as u64 - 1)) as usize
-        } else {
-            (h % self.num_sets as u64) as usize
-        }
+        (h & (self.num_sets as u64 - 1)) as usize
     }
 
     /// The occupied prefix of `set`'s ways, with its base slot index.
@@ -86,15 +103,26 @@ impl SetAssocCache {
         (base, base + self.lens[set] as usize)
     }
 
+    /// Index of `key` within `base..end`, if resident.
+    #[inline]
+    fn find(&self, key: u128, base: usize, end: usize) -> Option<usize> {
+        let (klo, khi) = (key as u64, (key >> 64) as u64);
+        let los = &self.lo[base..end];
+        let his = &self.hi[base..end];
+        los.iter()
+            .zip(his)
+            .position(|(&l, &h)| l == klo && h == khi)
+            .map(|p| base + p)
+    }
+
     /// Looks `key` up; on hit, refreshes its LRU position and returns true.
     #[inline]
     pub fn lookup(&mut self, key: u128) -> bool {
-        let set = self.set_of(key);
-        let (base, end) = self.set_range(set);
-        match self.slots[base..end].iter().position(|&k| k == key) {
+        let (base, end) = self.set_range(self.set_of(key));
+        match self.find(key, base, end) {
             Some(pos) => {
-                // Rotate the hit to the back: most recently used.
-                self.slots[base + pos..end].rotate_left(1);
+                self.tick += 1;
+                self.stamps[pos] = self.tick;
                 true
             }
             None => false,
@@ -104,35 +132,52 @@ impl SetAssocCache {
     /// Checks for `key` without updating recency.
     pub fn probe(&self, key: u128) -> bool {
         let (base, end) = self.set_range(self.set_of(key));
-        self.slots[base..end].contains(&key)
+        self.find(key, base, end).is_some()
     }
 
     /// Inserts `key`, evicting the LRU way of its set when full.
     pub fn insert(&mut self, key: u128) {
         let set = self.set_of(key);
         let (base, end) = self.set_range(set);
-        if let Some(pos) = self.slots[base..end].iter().position(|&k| k == key) {
-            self.slots[base + pos..end].rotate_left(1);
-            return;
+        let (klo, khi) = (key as u64, (key >> 64) as u64);
+        self.tick += 1;
+        // One pass: find the key (refresh) while tracking the oldest
+        // stamp as the eviction candidate.
+        let mut victim = base;
+        let mut victim_stamp = u64::MAX;
+        for i in base..end {
+            if self.lo[i] == klo && self.hi[i] == khi {
+                self.stamps[i] = self.tick;
+                return;
+            }
+            if self.stamps[i] < victim_stamp {
+                victim_stamp = self.stamps[i];
+                victim = i;
+            }
         }
-        if end - base == self.assoc {
-            // Full: drop the LRU front, append at the back.
-            self.slots[base..end].rotate_left(1);
-            self.slots[end - 1] = key;
+        let slot = if end - base == self.assoc {
+            // Full: overwrite the way with the oldest stamp (the LRU).
+            victim
         } else {
-            self.slots[end] = key;
             self.lens[set] += 1;
-        }
+            end
+        };
+        self.lo[slot] = klo;
+        self.hi[slot] = khi;
+        self.stamps[slot] = self.tick;
     }
 
     /// Removes `key` if present; returns whether it was resident.
     pub fn invalidate(&mut self, key: u128) -> bool {
-        let set = self.set_of(key);
-        let (base, end) = self.set_range(set);
-        match self.slots[base..end].iter().position(|&k| k == key) {
+        let (base, end) = self.set_range(self.set_of(key));
+        match self.find(key, base, end) {
             Some(pos) => {
-                self.slots[base + pos..end].rotate_left(1);
-                self.lens[set] -= 1;
+                // Fill the hole with the prefix's last slot; recency
+                // lives in the stamps, so slot order is irrelevant.
+                self.lo[pos] = self.lo[end - 1];
+                self.hi[pos] = self.hi[end - 1];
+                self.stamps[pos] = self.stamps[end - 1];
+                self.lens[pos / self.assoc] -= 1;
                 true
             }
             None => false,
@@ -144,12 +189,14 @@ impl SetAssocCache {
         let mut evicted = 0;
         for set in 0..self.num_sets {
             let (base, end) = self.set_range(set);
-            // In-place retain over the occupied prefix, preserving order.
+            // In-place retain over the occupied prefix.
             let mut write = base;
             for read in base..end {
-                let k = self.slots[read];
+                let k = (u128::from(self.hi[read]) << 64) | u128::from(self.lo[read]);
                 if !pred(k) {
-                    self.slots[write] = k;
+                    self.lo[write] = self.lo[read];
+                    self.hi[write] = self.hi[read];
+                    self.stamps[write] = self.stamps[read];
                     write += 1;
                 }
             }
@@ -170,8 +217,21 @@ mod tests {
     use super::*;
 
     #[test]
+    fn non_power_of_two_set_count_is_rejected() {
+        // 96 entries / 4 ways = 24 sets: would need the `%` fallback.
+        assert_eq!(
+            SetAssocCache::new(96, 4).unwrap_err(),
+            SimError::BadCacheGeometry { num_sets: 24 }
+        );
+        // 1536 / 12 = 128 sets: fine despite the non-power-of-two assoc.
+        assert!(SetAssocCache::new(1536, 12).is_ok());
+        // Degenerate capacities still round up to one set.
+        assert!(SetAssocCache::new(0, 3).is_ok());
+    }
+
+    #[test]
     fn hit_after_insert_miss_after_invalidate() {
-        let mut c = SetAssocCache::new(64, 4);
+        let mut c = SetAssocCache::new(64, 4).unwrap();
         assert!(!c.lookup(42));
         c.insert(42);
         assert!(c.lookup(42));
@@ -184,7 +244,7 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         // Direct-ish: 1 set, 2 ways.
-        let mut c = SetAssocCache::new(2, 2);
+        let mut c = SetAssocCache::new(2, 2).unwrap();
         c.insert(1);
         c.insert(2);
         assert!(c.lookup(1)); // 1 becomes MRU; LRU is 2.
@@ -197,7 +257,7 @@ mod tests {
 
     #[test]
     fn reinsert_refreshes_instead_of_duplicating() {
-        let mut c = SetAssocCache::new(2, 2);
+        let mut c = SetAssocCache::new(2, 2).unwrap();
         c.insert(1);
         c.insert(1);
         assert_eq!(c.len(), 1);
@@ -210,7 +270,7 @@ mod tests {
 
     #[test]
     fn capacity_bounds_are_respected() {
-        let mut c = SetAssocCache::new(1536, 12);
+        let mut c = SetAssocCache::new(1536, 12).unwrap();
         assert_eq!(c.capacity(), 1536);
         for k in 0..10_000u128 {
             c.insert(k);
@@ -223,7 +283,7 @@ mod tests {
 
     #[test]
     fn invalidate_matching_filters_by_predicate() {
-        let mut c = SetAssocCache::new(64, 4);
+        let mut c = SetAssocCache::new(64, 4).unwrap();
         for k in 0..32u128 {
             c.insert(k);
         }
@@ -237,7 +297,7 @@ mod tests {
     fn key_zero_is_a_real_entry_not_an_empty_slot() {
         // Slots are zero-initialized; an actual key of 0 must still be
         // distinguished from unoccupied space via the occupancy counts.
-        let mut c = SetAssocCache::new(8, 2);
+        let mut c = SetAssocCache::new(8, 2).unwrap();
         assert!(!c.lookup(0));
         assert!(!c.probe(0));
         c.insert(0);
@@ -251,7 +311,7 @@ mod tests {
     #[test]
     fn invalidate_preserves_lru_order_of_survivors() {
         // 1 set, 4 ways; order LRU→MRU is 1,2,3,4.
-        let mut c = SetAssocCache::new(4, 4);
+        let mut c = SetAssocCache::new(4, 4).unwrap();
         for k in 1..=4u128 {
             c.insert(k);
         }
@@ -261,6 +321,61 @@ mod tests {
         assert!(!c.probe(1));
         for k in [3u128, 4, 5, 6] {
             assert!(c.probe(k), "key {k} should survive");
+        }
+    }
+
+    #[test]
+    fn stamp_lru_matches_rotation_lru_under_random_traffic() {
+        // Pseudo-random lookup/insert/invalidate traffic against a
+        // reference model that keeps an explicit recency-ordered list.
+        let mut c = SetAssocCache::new(8, 4).unwrap();
+        let mut model: Vec<Vec<u128>> = vec![Vec::new(); 2]; // 2 sets.
+        let set_of = |key: u128| {
+            let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((key >> 64) as u64);
+            (h & 1) as usize
+        };
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        for _ in 0..4000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = u128::from((state >> 33) % 24);
+            let s = set_of(key);
+            match state % 3 {
+                0 => {
+                    let hit = c.lookup(key);
+                    let mhit = model[s].iter().position(|&k| k == key).map(|p| {
+                        let k = model[s].remove(p);
+                        model[s].push(k); // Move to MRU.
+                    });
+                    assert_eq!(hit, mhit.is_some(), "lookup({key}) diverged");
+                }
+                1 => {
+                    c.insert(key);
+                    if let Some(p) = model[s].iter().position(|&k| k == key) {
+                        let k = model[s].remove(p);
+                        model[s].push(k);
+                    } else {
+                        if model[s].len() == 4 {
+                            model[s].remove(0); // Evict LRU front.
+                        }
+                        model[s].push(key);
+                    }
+                }
+                _ => {
+                    let inv = c.invalidate(key);
+                    let minv = model[s].iter().position(|&k| k == key).map(|p| {
+                        model[s].remove(p);
+                    });
+                    assert_eq!(inv, minv.is_some(), "invalidate({key}) diverged");
+                }
+            }
+            for set in model.iter().take(2) {
+                for &k in set {
+                    assert!(c.probe(k), "model key {k} missing from cache");
+                }
+            }
+            assert_eq!(c.len(), model[0].len() + model[1].len());
         }
     }
 }

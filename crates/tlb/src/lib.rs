@@ -29,7 +29,7 @@
 //! use gemini_page_table::LeafSize;
 //! use gemini_sim_core::VmId;
 //!
-//! let mut mmu = MmuSim::new(MmuConfig::default());
+//! let mut mmu = MmuSim::new(MmuConfig::default())?;
 //! let well_aligned = ResolvedTranslation {
 //!     gpa_frame: 0,
 //!     guest_leaf: LeafSize::Huge,
@@ -40,6 +40,7 @@
 //! // One 2 MiB entry now covers all 512 frames of the region.
 //! let far = mmu.access(VmId(1), 511, ResolvedTranslation { gpa_frame: 511, ..well_aligned });
 //! assert!(!far.walked);
+//! # Ok::<(), gemini_sim_core::SimError>(())
 //! ```
 
 pub mod cache;

@@ -14,7 +14,7 @@ use crate::config::MmuConfig;
 use crate::counters::PerfCounters;
 use gemini_obs::{cat, EventKind, Layer, Recorder};
 use gemini_page_table::LeafSize;
-use gemini_sim_core::{Cycles, VmId, HUGE_PAGE_ORDER};
+use gemini_sim_core::{Cycles, SimError, VmId, HUGE_PAGE_ORDER};
 
 /// The already-resolved translation of one guest virtual frame.
 ///
@@ -69,6 +69,10 @@ pub struct MmuSim {
     /// EPT paging-structure caches for levels 4, 3, 2 (index 0 = L4).
     epwc: [SetAssocCache; 3],
     counters: PerfCounters,
+    /// Page size of the most recent TLB hit — a probe-order heuristic
+    /// for [`MmuSim::access_unresolved`], with no effect on simulated
+    /// state.
+    last_hit_huge: bool,
     rec: Recorder,
     rec_vm: u32,
 }
@@ -82,27 +86,32 @@ const _: () = {
 
 impl MmuSim {
     /// Creates an MMU with the given geometry.
-    pub fn new(cfg: MmuConfig) -> Self {
-        Self {
-            l1_4k: SetAssocCache::new(cfg.l1_4k_entries, cfg.l1_4k_assoc),
-            l1_2m: SetAssocCache::new(cfg.l1_2m_entries, cfg.l1_2m_assoc),
-            stlb: SetAssocCache::new(cfg.stlb_entries, cfg.stlb_assoc),
-            ntlb: SetAssocCache::new(cfg.ntlb_entries, cfg.ntlb_assoc),
+    ///
+    /// Fails with [`SimError::BadCacheGeometry`] when any structure's
+    /// `entries / assoc` is not a power of two (see
+    /// [`SetAssocCache::new`]).
+    pub fn new(cfg: MmuConfig) -> Result<Self, SimError> {
+        Ok(Self {
+            l1_4k: SetAssocCache::new(cfg.l1_4k_entries, cfg.l1_4k_assoc)?,
+            l1_2m: SetAssocCache::new(cfg.l1_2m_entries, cfg.l1_2m_assoc)?,
+            stlb: SetAssocCache::new(cfg.stlb_entries, cfg.stlb_assoc)?,
+            ntlb: SetAssocCache::new(cfg.ntlb_entries, cfg.ntlb_assoc)?,
             gpwc: [
-                SetAssocCache::new(cfg.gpwc_entries[0], 2),
-                SetAssocCache::new(cfg.gpwc_entries[1], 2),
-                SetAssocCache::new(cfg.gpwc_entries[2], 4),
+                SetAssocCache::new(cfg.gpwc_entries[0], 2)?,
+                SetAssocCache::new(cfg.gpwc_entries[1], 2)?,
+                SetAssocCache::new(cfg.gpwc_entries[2], 4)?,
             ],
             epwc: [
-                SetAssocCache::new(cfg.epwc_entries[0], 2),
-                SetAssocCache::new(cfg.epwc_entries[1], 2),
-                SetAssocCache::new(cfg.epwc_entries[2], 4),
+                SetAssocCache::new(cfg.epwc_entries[0], 2)?,
+                SetAssocCache::new(cfg.epwc_entries[1], 2)?,
+                SetAssocCache::new(cfg.epwc_entries[2], 4)?,
             ],
             counters: PerfCounters::new(),
+            last_hit_huge: false,
             cfg,
             rec: Recorder::off(),
             rec_vm: 0,
-        }
+        })
     }
 
     /// Attaches an observability recorder; shootdowns charged to this
@@ -115,6 +124,73 @@ impl MmuSim {
     /// Returns the accumulated performance counters.
     pub fn counters(&self) -> &PerfCounters {
         &self.counters
+    }
+
+    /// Attempts to satisfy one data access from the TLBs alone, probing
+    /// by virtual address like the hardware does — both page-size arrays,
+    /// without resolving the translation first. Returns `None` on an STLB
+    /// miss, in which case nothing (counters included) has been mutated:
+    /// the caller resolves the two page-table layers and charges the walk
+    /// through [`MmuSim::access`], which reproduces the exact probe
+    /// sequence and therefore the exact state this method left behind.
+    ///
+    /// At most one array can hold an entry for a VA: every promotion,
+    /// demotion and unmap invalidates the region's entries (that flush is
+    /// the shootdown cost the model charges), so a hit here always agrees
+    /// with what resolving the translation would have selected.
+    pub fn access_unresolved(&mut self, vm: VmId, gva_frame: u64) -> Option<AccessOutcome> {
+        // Probe order is behaviorally free (a miss probe mutates
+        // nothing, and at most one size can hit), so try the size that
+        // hit last time first — workloads are strongly phased toward
+        // one page size. The second size's key is only built when the
+        // first probe misses.
+        let first_huge = self.last_hit_huge;
+        let first_key = Self::tlb_key(vm, gva_frame, first_huge);
+        if self.l1_of(first_huge).lookup(first_key) {
+            return Some(self.l1_hit_outcome(first_huge));
+        }
+        let second_key = Self::tlb_key(vm, gva_frame, !first_huge);
+        if self.l1_of(!first_huge).lookup(second_key) {
+            return Some(self.l1_hit_outcome(!first_huge));
+        }
+        for (huge_entry, key) in [(first_huge, first_key), (!first_huge, second_key)] {
+            if self.stlb.lookup(key) {
+                self.counters.accesses += 1;
+                self.counters.stlb_hits += 1;
+                self.l1_of(huge_entry).insert(key);
+                let cycles = self.cfg.l1_hit_cycles + self.cfg.stlb_hit_cycles;
+                self.counters.translation_cycles += cycles;
+                self.last_hit_huge = huge_entry;
+                return Some(AccessOutcome {
+                    cycles: Cycles(cycles),
+                    walked: false,
+                    huge_entry,
+                });
+            }
+        }
+        None
+    }
+
+    #[inline]
+    fn l1_of(&mut self, huge: bool) -> &mut SetAssocCache {
+        if huge {
+            &mut self.l1_2m
+        } else {
+            &mut self.l1_4k
+        }
+    }
+
+    #[inline]
+    fn l1_hit_outcome(&mut self, huge_entry: bool) -> AccessOutcome {
+        self.counters.accesses += 1;
+        self.counters.l1_hits += 1;
+        self.counters.translation_cycles += self.cfg.l1_hit_cycles;
+        self.last_hit_huge = huge_entry;
+        AccessOutcome {
+            cycles: Cycles(self.cfg.l1_hit_cycles),
+            walked: false,
+            huge_entry,
+        }
     }
 
     /// Simulates the translation for one data access.
@@ -153,6 +229,34 @@ impl MmuSim {
         }
 
         // Miss: 2-D page walk.
+        self.walk_and_install(vm, gva_frame, t, huge_entry, key)
+    }
+
+    /// Simulates the translation for one data access that
+    /// [`MmuSim::access_unresolved`] already established misses every
+    /// TLB level — goes straight to the 2-D walk without re-probing.
+    pub fn access_after_tlb_miss(
+        &mut self,
+        vm: VmId,
+        gva_frame: u64,
+        t: ResolvedTranslation,
+    ) -> AccessOutcome {
+        self.counters.accesses += 1;
+        let huge_entry = t.well_aligned_huge();
+        let key = Self::tlb_key(vm, gva_frame, huge_entry);
+        self.walk_and_install(vm, gva_frame, t, huge_entry, key)
+    }
+
+    /// The STLB-miss tail of an access: walk both dimensions, install
+    /// the translation in the STLB and the L1 array for its size.
+    fn walk_and_install(
+        &mut self,
+        vm: VmId,
+        gva_frame: u64,
+        t: ResolvedTranslation,
+        huge_entry: bool,
+        key: u128,
+    ) -> AccessOutcome {
         self.counters.stlb_misses += 1;
         let refs = self.nested_walk(vm, gva_frame, t);
         self.counters.walk_mem_refs += refs as u64;
@@ -411,7 +515,7 @@ mod tests {
 
     #[test]
     fn cold_base_base_walk_costs_24_refs() {
-        let mut mmu = MmuSim::new(MmuConfig::default());
+        let mut mmu = MmuSim::new(MmuConfig::default()).unwrap();
         let out = mmu.access(VM, 0x1234, resolved(LeafSize::Base, LeafSize::Base, 0x5678));
         assert!(out.walked);
         assert!(!out.huge_entry);
@@ -421,7 +525,7 @@ mod tests {
 
     #[test]
     fn cold_aligned_huge_walk_is_cheaper() {
-        let mut mmu = MmuSim::new(MmuConfig::default());
+        let mut mmu = MmuSim::new(MmuConfig::default()).unwrap();
         let out = mmu.access(VM, 0x1234, resolved(LeafSize::Huge, LeafSize::Huge, 0x5600));
         assert!(out.walked);
         assert!(out.huge_entry);
@@ -431,7 +535,7 @@ mod tests {
 
     #[test]
     fn second_access_hits_l1() {
-        let mut mmu = MmuSim::new(MmuConfig::default());
+        let mut mmu = MmuSim::new(MmuConfig::default()).unwrap();
         let t = resolved(LeafSize::Base, LeafSize::Base, 99);
         let first = mmu.access(VM, 7, t);
         let second = mmu.access(VM, 7, t);
@@ -444,7 +548,7 @@ mod tests {
 
     #[test]
     fn huge_entry_covers_whole_2mb_region() {
-        let mut mmu = MmuSim::new(MmuConfig::default());
+        let mut mmu = MmuSim::new(MmuConfig::default()).unwrap();
         // Touch frame 0 of a well-aligned huge page, then frame 511.
         let t = resolved(LeafSize::Huge, LeafSize::Huge, 0);
         mmu.access(VM, 0, t);
@@ -454,7 +558,7 @@ mod tests {
 
     #[test]
     fn misaligned_huge_splinters_to_base_entries() {
-        let mut mmu = MmuSim::new(MmuConfig::default());
+        let mut mmu = MmuSim::new(MmuConfig::default()).unwrap();
         // Guest huge, host base: every 4 KiB frame needs its own entry.
         let t0 = resolved(LeafSize::Huge, LeafSize::Base, 0);
         mmu.access(VM, 0, t0);
@@ -468,7 +572,7 @@ mod tests {
 
     #[test]
     fn warm_walk_uses_pwc_and_ntlb() {
-        let mut mmu = MmuSim::new(MmuConfig::default());
+        let mut mmu = MmuSim::new(MmuConfig::default()).unwrap();
         // Two base-base accesses in the same 2 MiB region: the second walk
         // should be far cheaper thanks to PWC + nested TLB.
         mmu.access(VM, 0, resolved(LeafSize::Base, LeafSize::Base, 1000));
@@ -485,8 +589,8 @@ mod tests {
     fn host_huge_backing_shortens_walks_even_when_misaligned() {
         // Host-H-VM-B vs Host-B-VM-B: same TLB behaviour, cheaper walks —
         // the paper's "misaligned pages still reduce walk overhead".
-        let mut a = MmuSim::new(MmuConfig::default());
-        let mut b = MmuSim::new(MmuConfig::default());
+        let mut a = MmuSim::new(MmuConfig::default()).unwrap();
+        let mut b = MmuSim::new(MmuConfig::default()).unwrap();
         a.access(VM, 0, resolved(LeafSize::Base, LeafSize::Huge, 0));
         b.access(VM, 0, resolved(LeafSize::Base, LeafSize::Base, 0));
         assert!(a.counters().walk_mem_refs < b.counters().walk_mem_refs);
@@ -494,7 +598,7 @@ mod tests {
 
     #[test]
     fn vm_tagging_isolates_vms() {
-        let mut mmu = MmuSim::new(MmuConfig::default());
+        let mut mmu = MmuSim::new(MmuConfig::default()).unwrap();
         let t = resolved(LeafSize::Base, LeafSize::Base, 42);
         mmu.access(VmId(1), 7, t);
         let other = mmu.access(VmId(2), 7, t);
@@ -503,7 +607,7 @@ mod tests {
 
     #[test]
     fn gva_region_invalidation_forces_rewalk() {
-        let mut mmu = MmuSim::new(MmuConfig::default());
+        let mut mmu = MmuSim::new(MmuConfig::default()).unwrap();
         let t = resolved(LeafSize::Huge, LeafSize::Huge, 0);
         mmu.access(VM, 5, t);
         assert!(!mmu.access(VM, 5, t).walked);
@@ -514,7 +618,7 @@ mod tests {
 
     #[test]
     fn base_entries_in_region_are_also_invalidated() {
-        let mut mmu = MmuSim::new(MmuConfig::default());
+        let mut mmu = MmuSim::new(MmuConfig::default()).unwrap();
         let t = resolved(LeafSize::Base, LeafSize::Base, 9);
         mmu.access(VM, 9, t); // Frame 9 lives in huge region 0.
         assert_eq!(mmu.invalidate_gva_region(VM, 0), 2); // L1 + STLB copies.
@@ -523,7 +627,7 @@ mod tests {
 
     #[test]
     fn invalidate_vm_flushes_everything_for_that_vm_only() {
-        let mut mmu = MmuSim::new(MmuConfig::default());
+        let mut mmu = MmuSim::new(MmuConfig::default()).unwrap();
         let t = resolved(LeafSize::Base, LeafSize::Base, 1);
         mmu.access(VmId(1), 1, t);
         mmu.access(VmId(2), 1, t);
@@ -534,7 +638,7 @@ mod tests {
 
     #[test]
     fn shootdown_accounting() {
-        let mut mmu = MmuSim::new(MmuConfig::default());
+        let mut mmu = MmuSim::new(MmuConfig::default()).unwrap();
         let stall = mmu.charge_shootdowns(3, Cycles(4000));
         assert_eq!(stall, Cycles(12_000));
         assert_eq!(mmu.counters().shootdowns, 3);
@@ -544,7 +648,7 @@ mod tests {
     fn tlb_capacity_limits_coverage() {
         // With the tiny config (16 STLB entries), touching 64 distinct
         // pages in a loop thrashes: round 2 misses as much as round 1.
-        let mut mmu = MmuSim::new(MmuConfig::tiny());
+        let mut mmu = MmuSim::new(MmuConfig::tiny()).unwrap();
         for round in 0..2 {
             for f in 0..64u64 {
                 mmu.access(VM, f, resolved(LeafSize::Base, LeafSize::Base, f));
@@ -557,7 +661,7 @@ mod tests {
             }
         }
         // Same pages via one well-aligned huge mapping: one walk total.
-        let mut mmu2 = MmuSim::new(MmuConfig::tiny());
+        let mut mmu2 = MmuSim::new(MmuConfig::tiny()).unwrap();
         for _ in 0..2 {
             for f in 0..64u64 {
                 mmu2.access(VM, f, resolved(LeafSize::Huge, LeafSize::Huge, f));

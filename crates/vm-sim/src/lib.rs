@@ -21,7 +21,7 @@
 //!     ..MachineConfig::default()
 //! };
 //! let mut machine = Machine::new(SystemKind::Gemini, cfg);
-//! let vm = machine.add_vm();
+//! let vm = machine.add_vm().unwrap();
 //! let spec = spec_by_name("Masstree")
 //!     .expect("Masstree workload registered")
 //!     .scaled(1.0 / 32.0);

@@ -9,7 +9,7 @@ use gemini_sim_core::page::PageSize;
 use gemini_sim_core::stats::LatencySamples;
 use gemini_sim_core::{Cycles, DetRng, FxHashMap, Result, SimError, VmId};
 use gemini_tlb::{MmuConfig, MmuSim, PerfCounters, ResolvedTranslation};
-use gemini_workloads::{WorkloadEvent, WorkloadGen};
+use gemini_workloads::{EventStream, WorkloadEvent};
 use std::collections::BTreeMap;
 
 /// Configuration of the simulated machine.
@@ -64,6 +64,13 @@ pub struct MachineConfig {
     /// state, so a machine built from this config records into the
     /// caller's handle.
     pub profiler: Profiler,
+    /// Disables the fast-forward core (the `--no-ff` escape hatch):
+    /// every event steps through the faithful per-event path and a
+    /// daemon pass runs after every batch, even when provably a no-op.
+    /// Simulated results are byte-identical either way — fast-forward
+    /// only elides work it can prove has no effect — so this exists for
+    /// parity checks and debugging, not correctness.
+    pub no_ff: bool,
 }
 
 impl Default for MachineConfig {
@@ -91,6 +98,7 @@ impl Default for MachineConfig {
             gemini_override: None,
             trace: TraceConfig::off(),
             profiler: Profiler::off(),
+            no_ff: false,
         }
     }
 }
@@ -224,8 +232,30 @@ impl Machine {
         &self.prof
     }
 
+    /// Re-points the machine (and every component it already built) at
+    /// `prof`. The sharded runner builds a machine on a worker thread
+    /// under a forked profiler, then hands it back to the coordinating
+    /// thread; the fork is merged and retired at the shard boundary, so
+    /// the run phase must record onto the coordinator's profiler — a
+    /// span on the retired fork would be silently dropped.
+    pub fn set_profiler(&mut self, prof: Profiler) {
+        self.host_policy.attach_profiler(prof.clone());
+        self.host.set_profiler(prof.clone());
+        if let Some(rt) = &mut self.runtime {
+            rt.set_profiler(prof.clone());
+        }
+        for vs in self.vms.values_mut() {
+            vs.policy.attach_profiler(prof.clone());
+            vs.guest.set_profiler(prof.clone());
+        }
+        self.prof = prof;
+    }
+
     /// Adds a VM and returns its id.
-    pub fn add_vm(&mut self) -> VmId {
+    ///
+    /// Fails when the configured MMU geometry is invalid
+    /// ([`SimError::BadCacheGeometry`]).
+    pub fn add_vm(&mut self) -> Result<VmId> {
         let _setup = self.prof.span(Phase::Setup);
         let vm = VmId(self.next_vm_id);
         self.next_vm_id += 1;
@@ -256,7 +286,7 @@ impl Machine {
         policy.attach_profiler(self.prof.clone());
         guest.set_recorder(self.recorder.clone());
         guest.set_profiler(self.prof.clone());
-        let mut mmu = MmuSim::new(self.cfg.mmu.clone());
+        let mut mmu = MmuSim::new(self.cfg.mmu.clone())?;
         mmu.set_recorder(self.recorder.clone(), vm.0);
         self.vms.insert(
             vm,
@@ -275,7 +305,7 @@ impl Machine {
                 access_count: 0,
             },
         );
-        vm
+        Ok(vm)
     }
 
     /// Read access to a VM's guest page table (metrics, tests).
@@ -307,16 +337,21 @@ impl Machine {
     }
 
     /// Runs a whole workload to completion in `vm`.
-    pub fn run(&mut self, vm: VmId, mut gen: WorkloadGen) -> Result<RunResult> {
+    ///
+    /// Accepts any [`EventStream`] — a live
+    /// [`gemini_workloads::WorkloadGen`] or a pre-generated
+    /// [`gemini_workloads::PregenStream`]; generation is
+    /// machine-state-independent, so both drive identical trajectories.
+    pub fn run<S: EventStream>(&mut self, vm: VmId, mut gen: S) -> Result<RunResult> {
         let mut ctx = RunCtx {
             latencies: LatencySamples::new(),
             req_acc: Cycles::ZERO,
-            track_latency: gen.spec.latency_tracked,
+            track_latency: gen.spec().latency_tracked,
             counters_at_start: self.counters(vm),
             clock_at_start: self.vm_clock(vm),
             ops: 0,
         };
-        let workload = gen.spec.name.to_string();
+        let workload = gen.spec().name.to_string();
         // Events are pulled in batches of 64 so the WorkloadGen /
         // Access span pair amortizes over a whole batch instead of
         // costing two clock reads per event. The generator stream is
@@ -324,44 +359,211 @@ impl Machine {
         // the daemon cadence (one pass per 64 processed events, plus a
         // final pass) is exactly the pre-batching behaviour.
         const DAEMON_EVERY: usize = 64;
-        let mut batch: Vec<WorkloadEvent> = Vec::with_capacity(DAEMON_EVERY);
-        loop {
-            {
-                let _gen_span = self.prof.span(Phase::WorkloadGen);
-                while batch.len() < DAEMON_EVERY {
-                    match gen.next_event() {
-                        Some(ev) => batch.push(ev),
-                        None => break,
+        if self.cfg.no_ff {
+            // Faithful stepping: one batch per span pair, one daemon
+            // pass per full batch, every event through the slow path.
+            let mut batch: Vec<WorkloadEvent> = Vec::with_capacity(DAEMON_EVERY);
+            loop {
+                {
+                    let _gen_span = self.prof.span(Phase::WorkloadGen);
+                    while batch.len() < DAEMON_EVERY {
+                        match gen.next_event() {
+                            Some(ev) => batch.push(ev),
+                            None => break,
+                        }
                     }
                 }
-            }
-            if batch.is_empty() {
-                break;
-            }
-            let full = batch.len() == DAEMON_EVERY;
-            {
-                let _access = self.prof.span(Phase::Access);
-                for ev in batch.drain(..) {
-                    self.process_event(vm, ev, &mut ctx)?;
+                if batch.is_empty() {
+                    break;
+                }
+                let full = batch.len() == DAEMON_EVERY;
+                {
+                    let _access = self.prof.span(Phase::Access);
+                    for ev in batch.drain(..) {
+                        self.process_event(vm, ev, &mut ctx)?;
+                    }
+                }
+                if full {
+                    self.run_daemons(vm)?;
                 }
             }
-            if full {
-                self.run_daemons(vm)?;
+        } else {
+            // Fast-forward: a daemon pass before the earliest period
+            // deadline is a provable no-op — every piece of background
+            // work sits behind a `now >= next_*` guard, the Gemini
+            // runtime exposes its own next deadline, and the sampler's
+            // next-due cycle is `u64::MAX` when sampling is off.
+            // `next_wakeup` caches that minimum so quiescent stretches
+            // skip the pass (and its telemetry gather) entirely; the
+            // pass that eventually runs sees exactly the state the
+            // faithful schedule would have produced, at the same
+            // virtual time. Daemon-pass *eligibility* still falls on
+            // the same 64-event boundaries as the faithful loop, so a
+            // due pass runs at the identical point in the event stream;
+            // events are merely pulled (and spans opened) in larger
+            // strides to amortize the per-batch overhead.
+            const PULL: usize = DAEMON_EVERY * 16;
+            let mut buf: Vec<WorkloadEvent> = Vec::with_capacity(PULL);
+            let mut next_wakeup = Cycles::ZERO;
+            loop {
+                {
+                    let _gen_span = self.prof.span(Phase::WorkloadGen);
+                    while buf.len() < PULL {
+                        match gen.next_event() {
+                            Some(ev) => buf.push(ev),
+                            None => break,
+                        }
+                    }
+                }
+                if buf.is_empty() {
+                    break;
+                }
+                let _access = self.prof.span(Phase::Access);
+                let mut start = 0;
+                while start < buf.len() {
+                    let end = (start + DAEMON_EVERY).min(buf.len());
+                    self.process_chunk(vm, &buf[start..end], &mut ctx)?;
+                    if end - start == DAEMON_EVERY && self.vms[&vm].clock >= next_wakeup {
+                        self.run_daemons(vm)?;
+                        next_wakeup = self.next_daemon_wakeup(vm);
+                    }
+                    start = end;
+                }
+                buf.clear();
             }
         }
         self.run_daemons(vm)?;
         self.finish(vm, workload, ctx)
     }
 
+    /// The earliest future cycle at which [`Self::run_daemons`] has due
+    /// work for `vm`. A pass before this instant cannot change any
+    /// simulated state: daemons, compaction, tenant churn, the Gemini
+    /// runtime and the sampler are all period-gated, and none of their
+    /// deadlines can move except inside a pass that executed due work.
+    fn next_daemon_wakeup(&self, vm: VmId) -> Cycles {
+        let vs = &self.vms[&vm];
+        let mut d = vs
+            .next_guest_daemon
+            .min(vs.next_host_daemon)
+            .min(vs.next_compact)
+            .min(vs.next_tenant)
+            .min(self.next_host_compact)
+            .min(self.next_host_tenant);
+        if let Some(rt) = &self.runtime {
+            d = d.min(rt.next_deadline());
+        }
+        d.min(self.recorder.next_sample_at())
+    }
+
+    /// Steps one 64-event chunk, running stretches of already-resident
+    /// touches through a tight loop. The loop performs exactly the
+    /// faithful per-event work — translate both layers, charge the MMU
+    /// model, advance the clock and access count — but hoists the VM
+    /// and EPT lookups out of the per-event path. Any event it cannot
+    /// prove fault-free and telemetry-free (a missing translation, a
+    /// sampled touch, an alloc/free/end-of-request) falls back to
+    /// [`Self::process_event`], so the state trajectory is identical to
+    /// the unbatched path.
+    fn process_chunk(
+        &mut self,
+        vm: VmId,
+        events: &[WorkloadEvent],
+        ctx: &mut RunCtx,
+    ) -> Result<()> {
+        let touch_sample = self.cfg.touch_sample as u64;
+        let data_access = Cycles(self.cfg.data_access_cycles);
+        // Chunk-handle → VMA start-frame memo: valid while no slow-path
+        // event runs (only events and daemons move VMAs, and neither
+        // happens inside the tight loop below).
+        let mut memo: Option<(usize, u64)> = None;
+        let mut i = 0;
+        while i < events.len() {
+            {
+                let vs = self.vms.get_mut(&vm).ok_or(SimError::UnknownVm(vm))?;
+                let ept = self.host.ept(vm)?;
+                // Touches left before the next sampled one (which needs
+                // the memory managers mutably — the slow path). One
+                // division here instead of one per event.
+                let mut until_sample =
+                    (touch_sample - (vs.access_count + 1) % touch_sample) % touch_sample;
+                // Accumulate cost and count locally so the loop keeps them
+                // in registers; nothing reads the clock mid-stretch.
+                let mut acc = Cycles::ZERO;
+                let mut touched = 0u64;
+                while let Some(&WorkloadEvent::Touch { chunk, page }) = events.get(i) {
+                    if until_sample == 0 {
+                        break;
+                    }
+                    let start_frame = match memo {
+                        Some((c, s)) if c == chunk => s,
+                        _ => {
+                            let Some(&id) = vs.chunks.get(&chunk) else {
+                                break;
+                            };
+                            let Some(vma) = vs.guest.vmas.get(id) else {
+                                break;
+                            };
+                            let s = vma.start_frame();
+                            memo = Some((chunk, s));
+                            s
+                        }
+                    };
+                    let gva_frame = start_frame + page;
+                    // TLB hits need no page-table resolution at all; only
+                    // an STLB miss (or a fault) walks the two layers.
+                    let out = match vs.mmu.access_unresolved(vm, gva_frame) {
+                        Some(out) => out,
+                        None => {
+                            let Some(gt) = vs.guest.translate(gva_frame) else {
+                                break; // Guest fault.
+                            };
+                            let Some(ht) = ept.translate(gt.pa_frame) else {
+                                break; // EPT fault.
+                            };
+                            vs.mmu.access_after_tlb_miss(
+                                vm,
+                                gva_frame,
+                                ResolvedTranslation {
+                                    gpa_frame: gt.pa_frame,
+                                    guest_leaf: gt.size,
+                                    host_leaf: ht.size,
+                                },
+                            )
+                        }
+                    };
+                    acc += out.cycles + data_access;
+                    touched += 1;
+                    until_sample -= 1;
+                    i += 1;
+                }
+                vs.clock += acc;
+                ctx.req_acc += acc;
+                vs.access_count += touched;
+            }
+            let Some(&ev) = events.get(i) else {
+                break;
+            };
+            self.process_event(vm, ev, ctx)?;
+            // The event may have moved or freed VMAs.
+            memo = None;
+            i += 1;
+        }
+        Ok(())
+    }
+
     /// Runs several workloads concurrently, one per VM, interleaved by
     /// virtual time (the collocation experiments, Figures 17–18).
-    pub fn run_collocated(&mut self, mut runs: Vec<(VmId, WorkloadGen)>) -> Result<Vec<RunResult>> {
+    pub fn run_collocated<S: EventStream>(
+        &mut self,
+        mut runs: Vec<(VmId, S)>,
+    ) -> Result<Vec<RunResult>> {
         let mut ctxs: Vec<RunCtx> = runs
             .iter()
             .map(|(vm, gen)| RunCtx {
                 latencies: LatencySamples::new(),
                 req_acc: Cycles::ZERO,
-                track_latency: gen.spec.latency_tracked,
+                track_latency: gen.spec().latency_tracked,
                 counters_at_start: self.counters(*vm),
                 clock_at_start: self.vm_clock(*vm),
                 ops: 0,
@@ -398,7 +600,7 @@ impl Machine {
         }
         let mut results = Vec::new();
         for ((vm, gen), ctx) in runs.into_iter().zip(ctxs) {
-            let name = gen.spec.name.to_string();
+            let name = gen.spec().name.to_string();
             results.push(self.finish(vm, name, ctx)?);
         }
         Ok(results)
@@ -678,6 +880,11 @@ impl Machine {
             return;
         };
         let now = self.vms[&active_vm].clock;
+        if now < rt.next_deadline() {
+            // The tick would be a period-gated no-op; skip the
+            // telemetry gather (miss counters, FMFI, table refs) too.
+            return;
+        }
         let tlb_misses: u64 = self
             .vms
             .values()
@@ -711,11 +918,28 @@ impl Machine {
     fn finish(&mut self, vm: VmId, workload: String, mut ctx: RunCtx) -> Result<RunResult> {
         let vs = &self.vms[&vm];
         let alignment = alignment_stats(vs.guest.table(), self.host.ept(vm)?);
+        // A clock behind its run-start value is a simulator bug (vtime
+        // would silently saturate to zero); fail loudly with the pair.
+        let vtime = vs.clock.checked_sub(ctx.clock_at_start).ok_or_else(|| {
+            debug_assert!(
+                false,
+                "VM {} clock went backwards: now {} < start {}",
+                vm.0, vs.clock, ctx.clock_at_start
+            );
+            eprintln!(
+                "error: VM {} clock went backwards: now {} < start {}",
+                vm.0, vs.clock, ctx.clock_at_start
+            );
+            SimError::ClockRegression {
+                now: vs.clock,
+                start: ctx.clock_at_start,
+            }
+        })?;
         Ok(RunResult {
             system: self.scenario.label,
             workload,
             ops: ctx.ops,
-            vtime: vs.clock.saturating_sub(ctx.clock_at_start),
+            vtime,
             mean_latency: ctx.latencies.mean(),
             p99_latency: ctx.latencies.p99(),
             counters: vs.mmu.counters().delta_since(&ctx.counters_at_start),
@@ -740,7 +964,7 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gemini_workloads::{spec_by_name, MicrobenchGen};
+    use gemini_workloads::{spec_by_name, MicrobenchGen, WorkloadGen};
 
     fn small_cfg() -> MachineConfig {
         MachineConfig {
@@ -752,7 +976,7 @@ mod tests {
 
     fn run_micro(system: SystemKind, dataset: u64, ops: u64) -> RunResult {
         let mut m = Machine::new(system, small_cfg());
-        let vm = m.add_vm();
+        let vm = m.add_vm().unwrap();
         let gen = MicrobenchGen::generator(dataset, ops, 7);
         m.run(vm, gen).unwrap()
     }
@@ -813,7 +1037,7 @@ mod tests {
     fn thp_and_gemini_run_real_workloads() {
         for system in [SystemKind::Thp, SystemKind::Gemini] {
             let mut m = Machine::new(system, small_cfg());
-            let vm = m.add_vm();
+            let vm = m.add_vm().unwrap();
             let spec = spec_by_name("Redis")
                 .expect("Redis workload registered")
                 .scaled(1.0 / 16.0);
@@ -842,13 +1066,13 @@ mod tests {
             .scaled(1.0 / 4.0);
 
         let mut gem = Machine::new(SystemKind::Gemini, cfg.clone());
-        let vm = gem.add_vm();
+        let vm = gem.add_vm().unwrap();
         let r_gem = gem
             .run(vm, WorkloadGen::new(spec.clone(), 20_000, 5))
             .unwrap();
 
         let mut thp = Machine::new(SystemKind::Thp, cfg);
-        let vm = thp.add_vm();
+        let vm = thp.add_vm().unwrap();
         let r_thp = thp.run(vm, WorkloadGen::new(spec, 20_000, 5)).unwrap();
 
         assert!(
@@ -867,7 +1091,7 @@ mod tests {
     #[test]
     fn reused_vm_keeps_ept_state() {
         let mut m = Machine::new(SystemKind::Gemini, small_cfg());
-        let vm = m.add_vm();
+        let vm = m.add_vm().unwrap();
         let svm = spec_by_name("SVM")
             .expect("SVM workload registered")
             .scaled(1.0 / 32.0);
@@ -892,8 +1116,8 @@ mod tests {
             ..small_cfg()
         };
         let mut m = Machine::new(SystemKind::Thp, cfg);
-        let vm1 = m.add_vm();
-        let vm2 = m.add_vm();
+        let vm1 = m.add_vm().unwrap();
+        let vm2 = m.add_vm().unwrap();
         let redis = spec_by_name("Redis").expect("Redis workload registered");
         let a = WorkloadGen::new(redis.scaled(1.0 / 32.0), 500, 1);
         let shore = spec_by_name("Shore").expect("Shore workload registered");
@@ -909,7 +1133,7 @@ mod tests {
     fn deterministic_end_to_end() {
         let run = || {
             let mut m = Machine::new(SystemKind::Ingens, small_cfg());
-            let vm = m.add_vm();
+            let vm = m.add_vm().unwrap();
             let spec = spec_by_name("Xapian")
                 .expect("Xapian workload registered")
                 .scaled(1.0 / 32.0);
@@ -938,7 +1162,7 @@ mod tests {
             cost_hint: 300,
         };
         let mut m = Machine::from_scenario(toy, small_cfg());
-        let vm = m.add_vm();
+        let vm = m.add_vm().unwrap();
         let gen = MicrobenchGen::generator(8 << 20, 200, 7);
         let r = m.run(vm, gen).unwrap();
         assert_eq!(r.system, "Toy-HG");
@@ -974,7 +1198,7 @@ mod probe {
                     .expect("probe workload registered")
                     .scaled(0.25);
                 let mut m = Machine::new(system, cfg.clone());
-                let vm = m.add_vm();
+                let vm = m.add_vm().unwrap();
                 let r = m.run(vm, WorkloadGen::new(spec, 8_000, 5)).unwrap();
                 println!(
                     "{:14} vtime={:>12} misses={:>8} aligned={:.2} g_huge={} h_huge={} fmfi_g={:.2} fmfi_h={:.2} bucket={:.2}",

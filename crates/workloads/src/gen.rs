@@ -43,6 +43,58 @@ pub enum WorkloadEvent {
     },
 }
 
+/// A deterministic, exhaustible stream of workload events.
+///
+/// The simulator consumes event streams through this trait so a stream
+/// can be produced lazily ([`WorkloadGen`]) or materialized up front
+/// ([`PregenStream`]). Generation is a pure function of
+/// `(spec, ops, seed)` — it never observes machine state — so the two
+/// forms drive a machine through byte-identical trajectories; the
+/// pre-generated form exists so a large cell can build its machine on
+/// one worker thread while another generates the stream (intra-cell
+/// sharding, DESIGN.md §13).
+pub trait EventStream {
+    /// The workload model the stream realizes.
+    fn spec(&self) -> &WorkloadSpec;
+    /// Produces the next event, or `None` when the run is complete.
+    fn next_event(&mut self) -> Option<WorkloadEvent>;
+}
+
+/// A fully materialized workload event stream (see
+/// [`WorkloadGen::pregenerate`]).
+#[derive(Debug)]
+pub struct PregenStream {
+    spec: WorkloadSpec,
+    events: std::vec::IntoIter<WorkloadEvent>,
+}
+
+impl PregenStream {
+    /// Events not yet replayed.
+    pub fn remaining(&self) -> usize {
+        self.events.len()
+    }
+}
+
+impl EventStream for PregenStream {
+    fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    fn next_event(&mut self) -> Option<WorkloadEvent> {
+        self.events.next()
+    }
+}
+
+impl EventStream for WorkloadGen {
+    fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    fn next_event(&mut self) -> Option<WorkloadEvent> {
+        WorkloadGen::next_event(self)
+    }
+}
+
 /// Deterministic generator of one workload's events.
 #[derive(Debug)]
 pub struct WorkloadGen {
@@ -98,6 +150,26 @@ impl WorkloadGen {
     /// True when the run is complete.
     pub fn finished(&self) -> bool {
         self.ops_done >= self.target_ops && self.queue.is_empty()
+    }
+
+    /// Drains the generator into a materialized [`PregenStream`].
+    ///
+    /// Generation never reads machine state, so replaying the returned
+    /// stream drives a machine through exactly the trajectory the live
+    /// generator would have — this is what lets one worker generate
+    /// events while another builds the machine (intra-cell sharding).
+    pub fn pregenerate(mut self) -> PregenStream {
+        // One op is `accesses_per_op` touches plus occasional alloc/free
+        // traffic; reserve for the touches and let the rest amortize.
+        let mut events =
+            Vec::with_capacity((self.target_ops * u64::from(self.spec.accesses_per_op)) as usize);
+        while let Some(ev) = WorkloadGen::next_event(&mut self) {
+            events.push(ev);
+        }
+        PregenStream {
+            spec: self.spec,
+            events: events.into_iter(),
+        }
     }
 
     fn push_alloc(&mut self, bytes: u64) {

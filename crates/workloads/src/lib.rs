@@ -28,6 +28,6 @@ pub mod gen;
 pub mod microbench;
 pub mod spec;
 
-pub use gen::{WorkloadEvent, WorkloadGen};
+pub use gen::{EventStream, PregenStream, WorkloadEvent, WorkloadGen};
 pub use microbench::MicrobenchGen;
 pub use spec::{catalog, non_tlb_sensitive, spec_by_name, AccessSkew, AllocPattern, WorkloadSpec};

@@ -19,7 +19,7 @@ use gemini_workloads::{spec_by_name, WorkloadGen};
 fn run_reuse(system: SystemKind, scale: &Scale) -> (f64, u64, f64, f64) {
     let cfg = scale.machine_config(false, false, 11);
     let mut m = Machine::new(system, cfg);
-    let vm: VmId = m.add_vm();
+    let vm: VmId = m.add_vm().expect("default MMU geometry is valid");
     // Phase 1: the SVM predecessor with a large working set.
     let svm = spec_by_name("SVM")
         .expect("SVM workload registered")

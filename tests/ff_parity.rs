@@ -1,0 +1,161 @@
+//! Fast-forward parity suite (DESIGN.md §13).
+//!
+//! The fast-forward core elides daemon passes that are provably no-ops
+//! (every deadline in [`next_daemon_wakeup`] lies in the future) and
+//! runs resident touches through a tight loop. Neither shortcut is
+//! allowed to change *any* simulated state: this suite runs every
+//! scenario in the registry with fast-forward on and off — same
+//! DetRng-derived seeds, same workload stream — and requires the full
+//! `RunResult` (every MMU counter, alignment stat, latency figure and
+//! fragmentation index) to be byte-identical between the two paths.
+//!
+//! [`next_daemon_wakeup`]: ../crates/vm-sim/src/machine.rs
+
+use gemini_harness::runner::{run_workload_on, run_workload_reused, run_workload_sharded};
+use gemini_harness::{trace, Scale};
+use gemini_obs::{Profiler, Recorder, TraceConfig};
+use gemini_vm_sim::{RunResult, SystemKind, REGISTRY};
+use gemini_workloads::spec_by_name;
+
+/// A scale small enough for 2×12 scenario runs per test, large enough
+/// that daemons actually fire (and the fast-forward path has real
+/// passes to skip).
+fn parity_scale(no_ff: bool) -> Scale {
+    Scale {
+        ops: 1_200,
+        no_ff,
+        ..Scale::quick()
+    }
+}
+
+/// Requires byte-identity on both comparison surfaces: the complete
+/// debug rendering (all counters) and the JSON export line (what the
+/// experiment grids serialize).
+fn assert_identical(label: &str, fast: &RunResult, faithful: &RunResult) {
+    assert_eq!(
+        format!("{fast:?}"),
+        format!("{faithful:?}"),
+        "{label}: fast-forward diverged from the faithful path"
+    );
+    assert_eq!(
+        trace::result_json(fast),
+        trace::result_json(faithful),
+        "{label}: JSON export diverged"
+    );
+}
+
+#[test]
+fn every_registry_scenario_matches_faithful_clean_slate() {
+    let spec = spec_by_name("Redis").expect("Redis is in the catalog");
+    for (system, sspec) in REGISTRY {
+        let fast = run_workload_on(*system, &spec, &parity_scale(false), false, 7).unwrap();
+        let faithful = run_workload_on(*system, &spec, &parity_scale(true), false, 7).unwrap();
+        assert_identical(sspec.label, &fast, &faithful);
+        assert_eq!(fast.ops, 1_200, "{}: run truncated", sspec.label);
+    }
+}
+
+#[test]
+fn every_registry_scenario_matches_faithful_fragmented() {
+    // Fragmentation pre-conditioning exercises the fault/compaction
+    // paths the clean-slate leg barely touches.
+    let spec = spec_by_name("Canneal").expect("Canneal is in the catalog");
+    for (system, sspec) in REGISTRY {
+        let fast = run_workload_on(*system, &spec, &parity_scale(false), true, 11).unwrap();
+        let faithful = run_workload_on(*system, &spec, &parity_scale(true), true, 11).unwrap();
+        assert_identical(sspec.label, &fast, &faithful);
+    }
+}
+
+#[test]
+fn reused_vm_scenario_matches_faithful() {
+    // The reused-VM runner chains two workloads in one machine; the
+    // second run starts from non-zero clocks and warm TLBs, so its
+    // daemon deadlines are mid-flight when fast-forward kicks in.
+    let spec = spec_by_name("Xapian").expect("Xapian is in the catalog");
+    for (system, sspec) in REGISTRY.iter().filter(|(_, s)| s.evaluated) {
+        let fast = run_workload_reused(*system, &spec, &parity_scale(false), 13).unwrap();
+        let faithful = run_workload_reused(*system, &spec, &parity_scale(true), 13).unwrap();
+        assert_identical(sspec.label, &fast, &faithful);
+    }
+}
+
+#[test]
+fn sharded_runner_matches_plain_at_every_jobs_setting() {
+    // Intra-cell sharding overlaps machine construction with workload
+    // pre-generation on a worker pool; neither the pool size nor the
+    // pre-generation may leak into simulated state. Fragmented cells
+    // make construction genuinely expensive (buddy pre-conditioning),
+    // so the shards really do run concurrently at jobs >= 2.
+    let spec = spec_by_name("Canneal").expect("Canneal is in the catalog");
+    for (system, sspec) in REGISTRY.iter().filter(|(_, s)| s.evaluated) {
+        let plain = run_workload_on(*system, &spec, &parity_scale(false), true, 7).unwrap();
+        for jobs in [1usize, 2, 4] {
+            let scale = Scale {
+                jobs,
+                ..parity_scale(false)
+            };
+            let sharded = run_workload_sharded(
+                *system,
+                &spec,
+                &scale,
+                true,
+                7,
+                &Recorder::off(),
+                &Profiler::off(),
+            )
+            .unwrap();
+            assert_identical(&format!("{}/jobs{jobs}", sspec.label), &sharded, &plain);
+        }
+    }
+}
+
+#[test]
+fn sharded_runner_reports_shard_progress() {
+    let spec = spec_by_name("Redis").expect("Redis is in the catalog");
+    let rec = Recorder::new(&TraceConfig::all());
+    let scale = Scale {
+        jobs: 2,
+        ..parity_scale(false)
+    };
+    run_workload_sharded(
+        SystemKind::Gemini,
+        &spec,
+        &scale,
+        false,
+        5,
+        &rec,
+        &Profiler::off(),
+    )
+    .unwrap();
+    assert_eq!(rec.registry().counter("exec.shards_submitted"), 2);
+    assert_eq!(rec.registry().counter("exec.shards_finished"), 2);
+}
+
+#[test]
+fn parity_holds_across_seeds_and_workloads() {
+    // A small sweep over seeds × workloads on the paper's headline
+    // system, so the invariant is not an artifact of one stream shape.
+    for workload in ["Redis", "SVM", "Memcached"] {
+        let spec = spec_by_name(workload).expect("catalog workload");
+        for seed in [1u64, 42, 4242] {
+            let fast = run_workload_on(
+                gemini_vm_sim::SystemKind::Gemini,
+                &spec,
+                &parity_scale(false),
+                false,
+                seed,
+            )
+            .unwrap();
+            let faithful = run_workload_on(
+                gemini_vm_sim::SystemKind::Gemini,
+                &spec,
+                &parity_scale(true),
+                false,
+                seed,
+            )
+            .unwrap();
+            assert_identical(&format!("{workload}/seed{seed}"), &fast, &faithful);
+        }
+    }
+}

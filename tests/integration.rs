@@ -51,7 +51,7 @@ fn alignment_metric_agrees_with_direct_table_scan() {
     let scale = quick(1_000);
     let cfg = scale.machine_config(false, false, 3);
     let mut m = Machine::new(SystemKind::Thp, cfg);
-    let vm = m.add_vm();
+    let vm = m.add_vm().unwrap();
     let spec = spec_by_name("Masstree").unwrap().scaled(scale.ws_factor);
     let r = m.run(vm, WorkloadGen::new(spec, scale.ops, 3)).unwrap();
     let direct = alignment_stats(m.guest_table(vm), m.ept(vm).unwrap());
@@ -66,7 +66,7 @@ fn translations_remain_consistent_across_the_stack() {
     let scale = quick(1_500);
     let cfg = scale.machine_config(true, false, 4);
     let mut m = Machine::new(SystemKind::Gemini, cfg);
-    let vm = m.add_vm();
+    let vm = m.add_vm().unwrap();
     let spec = spec_by_name("Xapian").unwrap().scaled(scale.ws_factor);
     m.run(vm, WorkloadGen::new(spec, scale.ops, 4)).unwrap();
     let guest = m.guest_table(vm);

@@ -108,6 +108,9 @@ fn bench_report_schema_is_pinned() {
         available_parallelism: 8,
         reference_wall_ms: 500.0,
         reference_ops_per_sec: 15338.0,
+        reference_sharded_wall_ms: 450.0,
+        sharded_jobs: 2,
+        pr6_same_host_wall_ms: Some(1000.0),
         reference_phases: vec![PhaseTiming {
             name: "access",
             wall_ms: 400.0,
@@ -159,6 +162,10 @@ fn bench_report_schema_is_pinned() {
     "current_wall_ms": 500,
     "current_ops_per_sec": 15338,
     "speedup_vs_baseline": 2,
+    "sharded_wall_ms": 450,
+    "sharded_jobs": 2,
+    "pr6_same_host_wall_ms": 1000,
+    "speedup_vs_pr6_same_host": 2,
     "profiled_wall_ms": 505,
     "profiler_overhead_pct": 0.5,
     "phases": [{{"name": "access", "wall_ms": 400, "cum_ms": 480, "count": 8}}]
@@ -228,7 +235,7 @@ fn merged_recorders_are_deterministic_across_jobs() {
 #[test]
 fn unknown_vm_is_an_error_not_a_panic() {
     let mut m = Machine::new(SystemKind::Gemini, MachineConfig::default());
-    let vm = m.add_vm();
+    let vm = m.add_vm().unwrap();
     let bogus = gemini_sim_core::VmId(vm.0 + 17);
     let err = m.ept(bogus).unwrap_err();
     assert!(
