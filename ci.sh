@@ -27,11 +27,18 @@ GEMINI_JOBS=2 cargo test --offline -q -p gemini-harness --test layer_parity
 
 echo "== fast-forward + sharding parity (GEMINI_JOBS=2) =="
 # DESIGN.md §13: every registry scenario with fast-forward on vs off,
-# the reused-VM chain, the seed × workload sweep, and the intra-cell
-# sharded runner at jobs 1/2/4 — all must produce byte-identical
-# RunResults. Pinned to two workers so the shard pool genuinely runs
-# concurrent shards in CI.
+# the reused-VM chain, the seed × workload sweep, the intra-cell
+# sharded runner at jobs 1/2/4 and the fleet lifecycle grid — all must
+# produce byte-identical RunResults. Pinned to two workers so the
+# shard pool genuinely runs concurrent shards in CI.
 GEMINI_JOBS=2 cargo test --offline -q -p gemini-harness --test ff_parity
+
+echo "== VM lifecycle churn properties (GEMINI_JOBS=2) =="
+# DESIGN.md §14: DetRng-seeded create/run/destroy interleavings — every
+# departure leaves the buddy invariants (index == rescan) intact, a
+# drained host is byte-identical to a fresh one, and the fleet driver's
+# reclaimed-frame accounting matches the teardowns.
+GEMINI_JOBS=2 cargo test --offline -q -p gemini-harness --test fleet_lifecycle
 
 echo "== cargo doc (workspace, no-deps, -D warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline -q
@@ -54,9 +61,16 @@ echo "== end-to-end fast-forward parity (gemini-sim parity) =="
 # back-to-back and diffs the rendered tables — a user-facing smoke test
 # on top of the ff_parity suite.
 "$BIN" parity --workload Redis --scale quick --fragmented > /dev/null
-echo "parity: faithful and fast-forward tables identical"
+echo "parity: faithful and fast-forward tables identical (registry + fleet hosts)"
 
-echo "== bench report + perf gate (quick scale, BENCH_pr7_quick.json) =="
+echo "== fleet lifecycle smoke (demo scale, GEMINI_JOBS=2) =="
+# The long-horizon arrival/departure scenario end to end: >= 100 VM
+# lifecycles per system at demo scale, first-fit packed over four
+# hosts, every VM torn down through the leak-checked remove_vm path.
+GEMINI_JOBS=2 "$BIN" fleet --scale demo --jobs 2 > /dev/null
+echo "fleet: demo-scale lifecycle grid drained leak-free"
+
+echo "== bench report + perf gate (quick scale, BENCH_pr8_quick.json) =="
 # The full bench harness at quick scale: reference-cell speedup vs the
 # recorded pre-PR-4 baseline, per-cell fig3 timings with phase
 # breakdowns, the sharded reference leg, and a jobs sweep; then the
@@ -66,31 +80,35 @@ echo "== bench report + perf gate (quick scale, BENCH_pr7_quick.json) =="
 # to make it a hard gate. The committed BENCH_pr*.json trajectory files
 # (demo scale) are artifacts and are left untouched; the gate diffs the
 # quick-scale report against its own previous self when one exists, and
-# otherwise against the committed BENCH_pr6.json (demo scale — the
+# otherwise against the committed BENCH_pr7.json (demo scale — the
 # absolute walls differ by design, so the first diff is informational).
-if [ -f BENCH_pr7_quick.json ]; then
-    mv BENCH_pr7_quick.json BENCH_prev_quick.json
-    "$BIN" bench --scale quick --jobs 2 --json BENCH_pr7_quick.json \
-        --profile trace_pr7.json --compare BENCH_prev_quick.json --warn-only
+# The report now carries the schema-additive fleet section (VM count,
+# churn events, end-state FMFI); the diff matches cells by label, so
+# comparing against pre-fleet reports stays valid.
+if [ -f BENCH_pr8_quick.json ]; then
+    mv BENCH_pr8_quick.json BENCH_prev_quick.json
+    "$BIN" bench --scale quick --jobs 2 --json BENCH_pr8_quick.json \
+        --profile trace_pr8.json --compare BENCH_prev_quick.json --warn-only
     rm -f BENCH_prev_quick.json
 else
-    "$BIN" bench --scale quick --jobs 2 --json BENCH_pr7_quick.json \
-        --profile trace_pr7.json --compare BENCH_pr6.json --warn-only
+    "$BIN" bench --scale quick --jobs 2 --json BENCH_pr8_quick.json \
+        --profile trace_pr8.json --compare BENCH_pr7.json --warn-only
 fi
-echo "bench report written to BENCH_pr7_quick.json"
+echo "bench report written to BENCH_pr8_quick.json"
 
-# The committed demo-scale BENCH_pr7.json is regenerated out-of-band:
-#   gemini-sim bench --scale demo --jobs 2 --json BENCH_pr7.json \
-#       --compare BENCH_pr6.json --warn-only --pr6-wall-ms <MS>
-# where <MS> is the reference-cell wall of a same-host PR 6 rebuild
-# (git worktree at the PR 6 tip), measured interleaved with the current
-# binary in one window — see DESIGN.md §13 on host drift.
+# The committed demo-scale BENCH_pr8.json is regenerated out-of-band:
+#   gemini-sim bench --scale demo --jobs 2 --json BENCH_pr8.json \
+#       --compare BENCH_pr7.json --warn-only
+# On a quiet host, add --pr6-wall-ms <MS> with the reference-cell wall
+# of a same-host previous-PR rebuild (git worktree at that tip),
+# measured interleaved with the current binary in one window — see
+# DESIGN.md §13 on host drift.
 
-echo "== profile smoke check (trace_pr7.json) =="
+echo "== profile smoke check (trace_pr8.json) =="
 # The Perfetto trace must exist, be non-empty, and look like a
 # Chrome-trace-event document.
-test -s trace_pr7.json
-grep -q '"traceEvents"' trace_pr7.json
-echo "trace written to trace_pr7.json ($(wc -c < trace_pr7.json) bytes)"
+test -s trace_pr8.json
+grep -q '"traceEvents"' trace_pr8.json
+echo "trace written to trace_pr8.json ($(wc -c < trace_pr8.json) bytes)"
 
 echo "CI gate passed."

@@ -107,6 +107,24 @@ pub struct SweepPoint {
     pub oversubscribed: bool,
 }
 
+/// Fleet lifecycle smoke measurements: the long-horizon VM
+/// arrival/departure grid run once at the report's scale. Additive in
+/// the `gemini-bench-v3` schema — older reports simply lack the key,
+/// and the perf diff matches cells by label, so comparisons against
+/// pre-fleet reports stay valid.
+#[derive(Debug, Clone)]
+pub struct FleetBenchSection {
+    /// VM lifecycles completed across every host and system.
+    pub vms: u64,
+    /// Lifecycle churn events (one arrival + one departure per VM).
+    pub churn_events: u64,
+    /// Wall time of the whole fleet grid, milliseconds.
+    pub wall_ms: f64,
+    /// Mean end-state host FMFI per system `(label, fmfi)`, after every
+    /// VM was torn down through the leak-checked `remove_vm` path.
+    pub end_host_fmfi: Vec<(String, f64)>,
+}
+
 /// Everything one bench invocation measured.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -149,6 +167,9 @@ pub struct BenchReport {
     pub cells: Vec<CellTiming>,
     /// Grid wall times across `jobs = 1..=jobs_max`.
     pub sweep: Vec<SweepPoint>,
+    /// Fleet lifecycle smoke run at the report's scale (`None` only in
+    /// synthetic or legacy reports).
+    pub fleet: Option<FleetBenchSection>,
 }
 
 /// Times `f`, returning its result and the elapsed milliseconds.
@@ -328,6 +349,21 @@ pub fn run_bench(scale: &Scale, scale_name: &str, jobs_max: usize) -> Result<Ben
         });
     }
 
+    // Fleet lifecycle smoke: the arrival/departure grid at the same
+    // scale, wall-timed as one unit (its cells already spread over the
+    // scale's worker count internally).
+    let (fleet_res, fleet_wall_ms) = timed(|| crate::experiments::fleet::run(scale));
+    let fleet_res = fleet_res?;
+    let fleet = Some(FleetBenchSection {
+        vms: fleet_res.total_vms() as u64,
+        churn_events: fleet_res.total_churn_events(),
+        wall_ms: fleet_wall_ms,
+        end_host_fmfi: crate::experiments::fleet::SYSTEMS
+            .iter()
+            .map(|s| (s.label().to_string(), fleet_res.end_fmfi(s.label())))
+            .collect(),
+    });
+
     Ok(BenchReport {
         scale: scale_name.to_string(),
         jobs_max,
@@ -342,6 +378,7 @@ pub fn run_bench(scale: &Scale, scale_name: &str, jobs_max: usize) -> Result<Ben
         reference_overhead_pct,
         cells,
         sweep,
+        fleet,
     })
 }
 
@@ -515,7 +552,32 @@ impl BenchReport {
                 if i + 1 < self.sweep.len() { "," } else { "" }
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n");
+        match &self.fleet {
+            Some(f) => {
+                let fmfi = f
+                    .end_host_fmfi
+                    .iter()
+                    .map(|(s, v)| {
+                        format!(
+                            "{{\"system\": {}, \"fmfi\": {}}}",
+                            json_str(s),
+                            json_f64(*v)
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                out.push_str(&format!(
+                    "  \"fleet\": {{\"vms\": {}, \"churn_events\": {}, \"wall_ms\": {}, \"end_host_fmfi\": [{}]}}\n",
+                    f.vms,
+                    f.churn_events,
+                    json_f64(f.wall_ms),
+                    fmfi
+                ));
+            }
+            None => out.push_str("  \"fleet\": null\n"),
+        }
+        out.push_str("}\n");
         out
     }
 }
@@ -562,6 +624,12 @@ mod tests {
                 cell_wall_ms: vec![100.0],
                 oversubscribed: false,
             }],
+            fleet: Some(FleetBenchSection {
+                vms: 250,
+                churn_events: 500,
+                wall_ms: 1_200.0,
+                end_host_fmfi: vec![("THP".into(), 0.12), ("GEMINI".into(), 0.03)],
+            }),
         }
     }
 
@@ -592,6 +660,9 @@ mod tests {
             "\"oversubscribed\"",
             "\"cells\"",
             "\"jobs_sweep\"",
+            "\"fleet\"",
+            "\"churn_events\"",
+            "\"end_host_fmfi\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
@@ -626,6 +697,28 @@ mod tests {
         assert!(j.contains("\"pr6_same_host_wall_ms\": null"));
         assert!(j.contains("\"speedup_vs_pr6_same_host\": null"));
         gemini_obs::jsonread::parse(&j).expect("null fields still parse");
+    }
+
+    #[test]
+    fn fleet_section_is_schema_additive() {
+        // Populated: parses back with the churn facts intact.
+        let j = synthetic().to_json();
+        let v = gemini_obs::jsonread::parse(&j).unwrap();
+        let fleet = v.get("fleet").unwrap();
+        assert_eq!(fleet.get("vms").and_then(|x| x.as_f64()), Some(250.0));
+        assert_eq!(
+            fleet
+                .get("end_host_fmfi")
+                .and_then(|x| x.as_arr())
+                .map(|a| a.len()),
+            Some(2)
+        );
+        // Absent (legacy shape): renders null and still parses.
+        let mut none = synthetic();
+        none.fleet = None;
+        let j = none.to_json();
+        assert!(j.contains("\"fleet\": null"));
+        gemini_obs::jsonread::parse(&j).expect("null fleet still parses");
     }
 
     #[test]

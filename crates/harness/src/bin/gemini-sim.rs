@@ -6,7 +6,8 @@
 //! gemini-sim compare --workload Redis [--fragmented] [--reused]
 //! gemini-sim trace   --system GEMINI --workload Redis [--fragmented]
 //! gemini-sim parity  [--workload Redis] [--fragmented]
-//! gemini-sim bench   [--scale quick|bench] [--jobs N] [--json BENCH_pr7.json]
+//! gemini-sim fleet   [--scale quick|demo|bench|full] [--jobs N] [--json PATH]
+//! gemini-sim bench   [--scale quick|bench] [--jobs N] [--json BENCH_pr8.json]
 //!                    [--profile trace.json] [--compare OLD.json]
 //!                    [--threshold PCT] [--warn-only] [--pr6-wall-ms MS]
 //! gemini-sim bench   --compare OLD.json --against NEW.json   (diff only, no run)
@@ -24,7 +25,13 @@
 //!
 //! `parity` runs every registry scenario twice — fast-forward on and
 //! off (`--no-ff`) — and fails unless each pair of results is
-//! byte-identical, counters included.
+//! byte-identical, counters included. It then replays one fleet host
+//! per lifecycle system the same way, covering create/destroy churn.
+//!
+//! `fleet` drives the long-horizon VM arrival/departure scenario: a
+//! deterministic plan first-fit packed onto simulated hosts, each host
+//! one executor cell, every VM torn down through the leak-checked
+//! `remove_vm` path when its lifetime ends.
 //!
 //! bench flags:
 //!   --profile <path>   write a Chrome-trace-event (Perfetto) timeline of
@@ -71,7 +78,7 @@ struct Opts {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gemini-sim <list|run|compare|trace|parity|bench> [--system NAME] [--workload NAME]\n\
+        "usage: gemini-sim <list|run|compare|trace|parity|fleet|bench> [--system NAME] [--workload NAME]\n\
          \x20                [--scale quick|demo|bench|full] [--ops N] [--seed N] [--jobs N]\n\
          \x20                [--no-ff] [--fragmented] [--reused] [--json PATH]\n\
          \x20 bench only:    [--profile TRACE.json] [--compare OLD.json] [--against NEW.json]\n\
@@ -386,6 +393,28 @@ fn cmd_parity(opts: &Opts) -> Result<(), String> {
             mismatched.push(label);
         }
     }
+    // Lifecycle leg: one fleet host per system through the full
+    // create/run/destroy churn path, again fast-forward on vs off. The
+    // whole `HostRun` Debug form is compared, so per-VM results, churn
+    // counters, end state and the sampled series must all match.
+    for &system in &gemini_harness::experiments::fleet::SYSTEMS {
+        let run = |scale: &Scale| {
+            gemini_harness::experiments::fleet::run_host(system, scale, 0)
+                .map_err(|e| format!("{}: fleet host failed: {e}", system.label()))
+        };
+        let fast = run(&ff_scale)?;
+        let faithful = run(&faithful_scale)?;
+        let identical = format!("{fast:?}") == format!("{faithful:?}");
+        let label = format!("fleet/{}", system.label());
+        println!(
+            "  {:<16} {}",
+            label,
+            if identical { "ok" } else { "MISMATCH" }
+        );
+        if !identical {
+            mismatched.push(system.label());
+        }
+    }
     if !mismatched.is_empty() {
         return Err(format!(
             "fast-forward parity violated for {}: {}",
@@ -394,12 +423,55 @@ fn cmd_parity(opts: &Opts) -> Result<(), String> {
         ));
     }
     eprintln!(
-        "parity: {} scenarios on {}{} byte-identical with fast-forward on/off",
+        "parity: {} scenarios on {}{} plus {} fleet hosts byte-identical with fast-forward on/off",
         gemini_vm_sim::REGISTRY.len(),
         name,
         scenario_suffix(opts),
+        gemini_harness::experiments::fleet::SYSTEMS.len(),
     );
     Ok(())
+}
+
+/// Runs the fleet grid at the selected scale, prints the per-host
+/// table plus per-system FMFI span, and exports one JSON summary line
+/// per host cell with `--json`.
+fn cmd_fleet(opts: &Opts) -> Result<(), String> {
+    let started = std::time::Instant::now();
+    let res = gemini_harness::experiments::fleet::run(&opts.scale)
+        .map_err(|e| format!("fleet failed: {e}"))?;
+    print!("{}", res.render());
+    eprintln!(
+        "fleet: {} VM lifecycles ({} churn events) across {} cells on {} worker(s) in {:.0} ms",
+        res.total_vms(),
+        res.total_churn_events(),
+        res.runs.len(),
+        effective_jobs(opts.scale.jobs),
+        started.elapsed().as_secs_f64() * 1e3,
+    );
+    let lines: Vec<String> = res
+        .runs
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "{{\"system\":\"{}\",\"host\":{},\"vms\":{},\"churn_events\":{},",
+                    "\"peak_resident\":{},\"frames_reclaimed\":{},\"end_host_fmfi\":{:.6},",
+                    "\"end_free_order9\":{},\"mean_aligned_rate\":{:.6},\"samples\":{}}}"
+                ),
+                r.system,
+                r.host,
+                r.outcome.vms.len(),
+                r.outcome.churn_events,
+                r.outcome.peak_resident,
+                r.outcome.frames_reclaimed(),
+                r.outcome.end_host_fmfi,
+                r.outcome.end_free_order9,
+                r.outcome.mean_aligned_rate(),
+                r.samples.len(),
+            )
+        })
+        .collect();
+    export_json(opts, &lines)
 }
 
 /// Diffs `old_json` against `new_json` and reports the verdict.
@@ -477,6 +549,18 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
             pr6_ms / report.reference_wall_ms.max(1e-9),
         );
     }
+    if let Some(fleet) = &report.fleet {
+        let fmfi = fleet
+            .end_host_fmfi
+            .iter()
+            .map(|(s, v)| format!("{s} {v:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        eprintln!(
+            "fleet smoke: {} VM lifecycles ({} churn events) in {:.0} ms; end FMFI {}",
+            fleet.vms, fleet.churn_events, fleet.wall_ms, fmfi
+        );
+    }
     eprintln!(
         "reference phases sum {:.0} ms self-time; profiler overhead {:.2}%",
         report
@@ -490,7 +574,7 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     let path = opts
         .json
         .clone()
-        .unwrap_or_else(|| PathBuf::from("BENCH_pr7.json"));
+        .unwrap_or_else(|| PathBuf::from("BENCH_pr8.json"));
     std::fs::write(&path, &report_json).map_err(|e| format!("writing {}: {e}", path.display()))?;
     eprintln!("wrote bench report to {}", path.display());
     if let Some(trace_path) = &opts.profile {
@@ -534,6 +618,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&opts),
         "trace" => cmd_trace(&opts),
         "parity" => cmd_parity(&opts),
+        "fleet" => cmd_fleet(&opts),
         "bench" => cmd_bench(&opts),
         _ => return usage(),
     };

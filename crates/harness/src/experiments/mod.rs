@@ -6,5 +6,6 @@ pub mod breakdown;
 pub mod clean_slate;
 pub mod collocated;
 pub mod fig02;
+pub mod fleet;
 pub mod motivation;
 pub mod reused_vm;

@@ -178,6 +178,54 @@ mod tests {
     }
 
     #[test]
+    fn unregister_vm_returns_every_frame_and_drops_state() {
+        let mut h = host();
+        let mut huge = AlwaysHuge;
+        let mut base = BasePagesOnly;
+        // Mixed footprint for VM 1: one huge leaf + a run of base pages.
+        h.handle_fault(VmId(1), 0, &mut huge).unwrap();
+        for gpa in 1024..1040u64 {
+            h.handle_fault(VmId(1), gpa, &mut base).unwrap();
+        }
+        // VM 2 keeps its own footprint across the neighbour's teardown.
+        h.handle_fault(VmId(2), 0, &mut base).unwrap();
+        h.record_touch(VmId(1), 0);
+        let before_free = h.buddy.free_frames();
+        let mapped = h.ept(VmId(1)).unwrap().mapped_base_page_equiv();
+
+        let freed = h.unregister_vm(VmId(1)).unwrap();
+        assert_eq!(freed, mapped);
+        assert_eq!(freed, 512 + 16);
+        assert_eq!(h.buddy.free_frames(), before_free + freed);
+        h.buddy.check_invariants().unwrap();
+        assert_eq!(h.ept(VmId(1)).unwrap_err(), SimError::UnknownVm(VmId(1)));
+        assert!(h.touches(VmId(1)).is_none());
+        assert_eq!(h.vms(), vec![VmId(2)]);
+        assert!(h.ept(VmId(2)).unwrap().translate(0).is_some());
+        // Double teardown is an error, not a double free.
+        assert_eq!(
+            h.unregister_vm(VmId(1)).unwrap_err(),
+            SimError::UnknownVm(VmId(1))
+        );
+    }
+
+    #[test]
+    fn full_teardown_restores_a_pristine_allocator() {
+        let mut h = host();
+        let mut huge = AlwaysHuge;
+        let mut base = BasePagesOnly;
+        h.handle_fault(VmId(1), 0, &mut huge).unwrap();
+        h.handle_fault(VmId(2), 700, &mut base).unwrap();
+        h.unregister_vm(VmId(2)).unwrap();
+        h.unregister_vm(VmId(1)).unwrap();
+        // Unique decomposition: a fully drained allocator is
+        // indistinguishable from a fresh one of the same size.
+        assert_eq!(h.buddy.used_frames(), 0);
+        assert_eq!(h.buddy.free_runs(), vec![(0, 16384)]);
+        h.buddy.check_invariants().unwrap();
+    }
+
+    #[test]
     fn demote_splits_ept_leaf() {
         let mut h = host();
         let mut p = AlwaysHuge;

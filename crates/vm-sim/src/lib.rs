@@ -34,6 +34,6 @@ pub mod machine;
 pub mod result;
 pub mod system;
 
-pub use machine::{Machine, MachineConfig};
-pub use result::RunResult;
+pub use machine::{FleetArrival, Machine, MachineConfig};
+pub use result::{FleetOutcome, FleetVmRecord, RunResult};
 pub use system::{PolicyCtor, ScenarioSpec, SystemKind, REGISTRY};

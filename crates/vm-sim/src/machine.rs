@@ -1,13 +1,13 @@
 //! [`Machine`] — the simulated host with its VMs.
 
-use crate::result::RunResult;
+use crate::result::{FleetOutcome, FleetVmRecord, RunResult};
 use crate::system::{ScenarioSpec, SystemKind};
 use gemini::{GeminiRuntime, GeminiShared};
 use gemini_mm::{alignment_stats, CostModel, Effects, GuestMm, HostMm, HugePolicy, VmaId};
 use gemini_obs::{cat, EventKind, Layer, Phase, Profiler, Recorder, SamplePoint, TraceConfig};
 use gemini_sim_core::page::PageSize;
 use gemini_sim_core::stats::LatencySamples;
-use gemini_sim_core::{Cycles, DetRng, FxHashMap, Result, SimError, VmId};
+use gemini_sim_core::{Cycles, DetRng, FxHashMap, Result, SimError, VmId, HUGE_PAGE_ORDER};
 use gemini_tlb::{MmuConfig, MmuSim, PerfCounters, ResolvedTranslation};
 use gemini_workloads::{EventStream, WorkloadEvent};
 use std::collections::BTreeMap;
@@ -119,6 +119,17 @@ struct VmState {
     access_count: u64,
 }
 
+/// One planned VM waiting in a fleet host's admission queue
+/// ([`Machine::run_fleet`]).
+pub struct FleetArrival<S> {
+    /// Fleet-wide arrival ordinal (carried into the outcome record).
+    pub index: u32,
+    /// Planned host-frame footprint charged against the residency cap.
+    pub footprint_frames: u64,
+    /// The VM's whole-lifetime workload event stream.
+    pub gen: S,
+}
+
 /// Per-run foreground context (latency accumulation).
 struct RunCtx {
     latencies: LatencySamples,
@@ -224,6 +235,13 @@ impl Machine {
     /// The scenario this machine runs.
     pub fn scenario(&self) -> &ScenarioSpec {
         &self.scenario
+    }
+
+    /// Read access to the host memory manager — lifecycle property
+    /// tests check buddy invariants and free-frame accounting across
+    /// create/destroy churn from outside the crate.
+    pub fn host_mm(&self) -> &gemini_mm::HostMm {
+        &self.host
     }
 
     /// The machine's span profiler (phase-level wall-clock
@@ -606,17 +624,201 @@ impl Machine {
         Ok(results)
     }
 
+    /// Drives this host through a whole fleet arrival/departure process.
+    ///
+    /// `arrivals` is the host's planned admission queue, in arrival
+    /// order. The head of the queue is admitted whenever its planned
+    /// footprint fits under `resident_cap_frames` alongside the VMs
+    /// already resident (head-of-line blocking keeps admission a pure
+    /// function of the queue, independent of map iteration order); a VM
+    /// that does not even fit an empty host is admitted alone. Resident
+    /// VMs interleave by virtual time exactly like
+    /// [`Self::run_collocated`]; when a VM's event stream ends it is
+    /// finished and destroyed through [`Self::remove_vm`] — leak check
+    /// included — and its capacity is handed to the queue.
+    ///
+    /// Background daemons keep the fast-forward contract: each resident
+    /// VM caches its next daemon wakeup, the cache is recomputed after
+    /// every pass, and membership changes reset it (new VMs start due).
+    /// Under `no_ff` a pass runs after every request; both modes are
+    /// byte-identical because skipped passes are provably no-ops.
+    pub fn run_fleet<S: EventStream>(
+        &mut self,
+        arrivals: Vec<FleetArrival<S>>,
+        resident_cap_frames: u64,
+    ) -> Result<FleetOutcome> {
+        struct Live<S> {
+            index: u32,
+            vm: VmId,
+            footprint: u64,
+            gen: S,
+            ctx: RunCtx,
+            wakeup: Cycles,
+        }
+        let mut pending: std::collections::VecDeque<FleetArrival<S>> = arrivals.into();
+        let mut live: Vec<Live<S>> = Vec::new();
+        let mut resident_frames = 0u64;
+        let mut vms = Vec::new();
+        let mut churn_events = 0u64;
+        let mut peak_resident = 0usize;
+        // The fleet's notion of "now": the clock of the VM that last
+        // made progress. Newly admitted VMs start here so they
+        // interleave with the residents instead of replaying the past.
+        let mut fleet_now = Cycles::ZERO;
+        loop {
+            while let Some(head) = pending.front() {
+                if !live.is_empty() && resident_frames + head.footprint_frames > resident_cap_frames
+                {
+                    break;
+                }
+                let a = pending.pop_front().expect("front was Some");
+                let vm = self.add_vm()?;
+                let vs = self.vms.get_mut(&vm).expect("just added");
+                vs.clock = fleet_now;
+                resident_frames += a.footprint_frames;
+                churn_events += 1;
+                let ctx = RunCtx {
+                    latencies: LatencySamples::new(),
+                    req_acc: Cycles::ZERO,
+                    track_latency: a.gen.spec().latency_tracked,
+                    counters_at_start: self.counters(vm),
+                    clock_at_start: fleet_now,
+                    ops: 0,
+                };
+                live.push(Live {
+                    index: a.index,
+                    vm,
+                    footprint: a.footprint_frames,
+                    gen: a.gen,
+                    ctx,
+                    wakeup: Cycles::ZERO,
+                });
+                peak_resident = peak_resident.max(live.len());
+            }
+            if live.is_empty() {
+                break;
+            }
+            // Advance the resident VM with the smallest clock by one
+            // request (ties break on arrival order).
+            let idx = live
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| (self.vms[&l.vm].clock, l.index))
+                .map(|(i, _)| i)
+                .expect("live not empty");
+            let l = &mut live[idx];
+            let vm = l.vm;
+            let mut done = false;
+            loop {
+                match l.gen.next_event() {
+                    None => {
+                        done = true;
+                        break;
+                    }
+                    Some(ev) => {
+                        let is_end = matches!(ev, WorkloadEvent::EndRequest { .. });
+                        self.process_event(vm, ev, &mut l.ctx)?;
+                        if is_end {
+                            break;
+                        }
+                    }
+                }
+            }
+            if self.cfg.no_ff || self.vms[&vm].clock >= live[idx].wakeup {
+                self.run_daemons(vm)?;
+                live[idx].wakeup = self.next_daemon_wakeup(vm);
+            }
+            fleet_now = self.vms[&vm].clock;
+            if done {
+                let l = live.remove(idx);
+                let name = l.gen.spec().name.to_string();
+                let result = self.finish(l.vm, name, l.ctx)?;
+                let frames_reclaimed = self.remove_vm(l.vm)?;
+                resident_frames -= l.footprint;
+                churn_events += 1;
+                vms.push(FleetVmRecord {
+                    index: l.index,
+                    result,
+                    frames_reclaimed,
+                });
+            }
+        }
+        Ok(FleetOutcome {
+            vms,
+            churn_events,
+            peak_resident,
+            end_host_fmfi: self.host.fragmentation_index(),
+            end_free_order9: self.host.buddy.free_blocks_of_order(HUGE_PAGE_ORDER) as u64,
+        })
+    }
+
     /// Unmaps every chunk a previous run left in `vm` (the reused-VM
     /// scenario: the workload exits, the VM and its EPT state persist).
     pub fn clear_workload(&mut self, vm: VmId) -> Result<()> {
         let vs = self.vms.get_mut(&vm).ok_or(SimError::UnknownVm(vm))?;
-        let ids: Vec<VmaId> = vs.chunks.drain().map(|(_, id)| id).collect();
+        // Sorted so teardown order is a function of the VMA ids, never
+        // of FxHash iteration order — lifecycle parity must not couple
+        // to map internals.
+        let mut ids: Vec<VmaId> = vs.chunks.drain().map(|(_, id)| id).collect();
+        ids.sort_unstable();
         for id in ids {
             let now = vs.clock;
             let fx = vs.guest.munmap(id, vs.policy.as_mut(), now)?;
             Self::apply_fx(vm, vs, fx, &self.prof);
         }
         Ok(())
+    }
+
+    /// Destroys `vm` end to end and returns the number of host
+    /// base-page-equivalent frames reclaimed.
+    ///
+    /// The teardown unwinds every layer the VM touched: guest VMAs go
+    /// through the same `munmap` path a workload exit takes (so guest
+    /// policy bookkeeping stays consistent), the EPT is torn down with
+    /// every host frame returned to the machine allocator through one
+    /// free-run-index bulk update, the VM's TLB slab and host `TouchMap`
+    /// slot are dropped, and — under Gemini — its per-VM scan is retired
+    /// from the shared runtime state. Callers that cache a daemon wakeup
+    /// deadline (the fleet driver) must recompute it after membership
+    /// changes.
+    ///
+    /// Every teardown runs an explicit leak check: the frames the EPT
+    /// held must exactly match what the allocator got back, and the
+    /// buddy's full invariants (free-frame accounting, block layout,
+    /// index == rescan) must hold afterwards.
+    pub fn remove_vm(&mut self, vm: VmId) -> Result<u64> {
+        let _setup = self.prof.span(Phase::Setup);
+        self.clear_workload(vm)?;
+        // Unwind any VMAs a test or driver mapped outside the chunk
+        // table, so the guest side is fully empty before EPT teardown.
+        {
+            let vs = self.vms.get_mut(&vm).ok_or(SimError::UnknownVm(vm))?;
+            let mut ids: Vec<VmaId> = vs.guest.vmas.iter().map(|v| v.id).collect();
+            ids.sort_unstable();
+            for id in ids {
+                let now = vs.clock;
+                let fx = vs.guest.munmap(id, vs.policy.as_mut(), now)?;
+                Self::apply_fx(vm, vs, fx, &self.prof);
+            }
+        }
+        let free_before = self.host.buddy.free_frames();
+        let ept_backed = self.host.ept(vm)?.mapped_base_page_equiv();
+        let freed = self.host.unregister_vm(vm)?;
+        if freed != ept_backed {
+            return Err(SimError::Invariant("remove_vm freed != EPT-backed frames"));
+        }
+        if self.host.buddy.free_frames() != free_before + freed {
+            return Err(SimError::Invariant("remove_vm leaked host frames"));
+        }
+        self.host.buddy.check_invariants()?;
+        // Dropping the VmState releases the guest manager, its policy
+        // and the VM's entire MMU/TLB slab in one structural move.
+        self.vms.remove(&vm);
+        if let Some(shared) = &self.shared {
+            shared.write().scans.remove(&vm);
+        }
+        self.recorder.counter_add("machine.vms_removed", 1);
+        Ok(freed)
     }
 
     fn process_event(&mut self, vm: VmId, ev: WorkloadEvent, ctx: &mut RunCtx) -> Result<()> {
@@ -1107,6 +1309,97 @@ mod tests {
             .scaled(1.0 / 32.0);
         let r = m.run(vm, WorkloadGen::new(redis, 1_000, 4)).unwrap();
         assert_eq!(r.ops, 1_000);
+    }
+
+    #[test]
+    fn remove_vm_returns_every_host_frame() {
+        for system in [SystemKind::Thp, SystemKind::Gemini] {
+            let mut m = Machine::new(system, small_cfg());
+            let vm1 = m.add_vm().unwrap();
+            let vm2 = m.add_vm().unwrap();
+            let free_fresh = m.host.buddy.free_frames();
+            let redis = spec_by_name("Redis")
+                .expect("Redis workload registered")
+                .scaled(1.0 / 32.0);
+            m.run(vm1, WorkloadGen::new(redis.clone(), 800, 3)).unwrap();
+            m.run(vm2, WorkloadGen::new(redis.clone(), 800, 4)).unwrap();
+            let survivor_backed = m.ept(vm2).unwrap().mapped_base_page_equiv();
+
+            let freed = m.remove_vm(vm1).unwrap();
+            assert!(freed > 0, "a run must have backed host frames");
+            // The survivor is untouched and still runs.
+            assert_eq!(
+                m.ept(vm2).unwrap().mapped_base_page_equiv(),
+                survivor_backed
+            );
+            assert!(m.ept(vm1).is_err(), "EPT of the removed VM is gone");
+            let r = m.run(vm2, WorkloadGen::new(redis, 400, 5)).unwrap();
+            assert_eq!(r.ops, 400);
+
+            // Removing the survivor drains the host back to pristine.
+            m.remove_vm(vm2).unwrap();
+            assert_eq!(m.host.buddy.free_frames(), free_fresh);
+            assert_eq!(m.host.buddy.free_runs(), vec![(0, small_cfg().host_frames)]);
+            m.host.buddy.check_invariants().unwrap();
+            // Gemini's shared scan state holds no retired VMs.
+            if let Some(shared) = &m.shared {
+                assert!(shared.read().scans.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_drains_leak_free_and_matches_no_ff() {
+        use gemini_workloads::{FleetPlan, FleetSpec};
+        let fleet = FleetSpec {
+            vm_count: 12,
+            hosts: 1,
+            host_frames: small_cfg().host_frames,
+            resident_frac: 0.25,
+            mean_ops: 60,
+            arrival_gap: 4,
+            ws_factor: 1.0 / 32.0,
+        };
+        let plan = FleetPlan::generate(&fleet, 21);
+        let run = |no_ff: bool| {
+            let cfg = MachineConfig {
+                no_ff,
+                ..small_cfg()
+            };
+            let mut m = Machine::new(SystemKind::Gemini, cfg);
+            let arrivals: Vec<FleetArrival<WorkloadGen>> = plan.hosts[0]
+                .vms
+                .iter()
+                .map(|v| FleetArrival {
+                    index: v.index,
+                    footprint_frames: v.footprint_frames,
+                    gen: WorkloadGen::new(v.spec.clone(), v.ops, v.seed),
+                })
+                .collect();
+            let out = m.run_fleet(arrivals, plan.resident_cap_frames).unwrap();
+            // The fleet drained: every VM departed, the host is empty
+            // and pristine (the per-departure leak checks all passed to
+            // get here; this is the end-to-end restatement).
+            assert_eq!(out.vms.len(), 12);
+            assert_eq!(out.churn_events, 24);
+            assert!(out.peak_resident >= 2, "fleet VMs must overlap");
+            assert_eq!(m.host.buddy.free_frames(), small_cfg().host_frames);
+            m.host.buddy.check_invariants().unwrap();
+            out
+        };
+        let fast = run(false);
+        let faithful = run(true);
+        assert_eq!(format!("{fast:?}"), format!("{faithful:?}"));
+    }
+
+    #[test]
+    fn removed_vm_id_is_not_reused() {
+        let mut m = Machine::new(SystemKind::Thp, small_cfg());
+        let vm1 = m.add_vm().unwrap();
+        m.remove_vm(vm1).unwrap();
+        let vm2 = m.add_vm().unwrap();
+        assert_ne!(vm1, vm2, "VM ids are lifetime-unique");
+        assert!(m.remove_vm(vm1).is_err(), "double remove is an error");
     }
 
     #[test]

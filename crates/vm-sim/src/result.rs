@@ -54,6 +54,54 @@ impl RunResult {
     }
 }
 
+/// One completed VM lifecycle inside a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetVmRecord {
+    /// Fleet-wide arrival ordinal from the plan.
+    pub index: u32,
+    /// The VM's whole-lifetime run result.
+    pub result: RunResult,
+    /// Host base-page-equivalent frames `remove_vm` reclaimed at
+    /// departure (leak-checked against the EPT footprint).
+    pub frames_reclaimed: u64,
+}
+
+/// Outcome of driving one host through a fleet arrival/departure
+/// process ([`crate::Machine::run_fleet`]).
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Completed VM lifecycles, in departure order.
+    pub vms: Vec<FleetVmRecord>,
+    /// Lifecycle events processed: one per arrival plus one per
+    /// departure (every VM departs, so this is `2 * vms.len()`).
+    pub churn_events: u64,
+    /// Most VMs resident at once.
+    pub peak_resident: usize,
+    /// Host fragmentation index when the fleet drained.
+    pub end_host_fmfi: f64,
+    /// Free host blocks at huge-page order when the fleet drained.
+    pub end_free_order9: u64,
+}
+
+impl FleetOutcome {
+    /// Mean well-aligned huge-page rate across completed lifecycles.
+    pub fn mean_aligned_rate(&self) -> f64 {
+        if self.vms.is_empty() {
+            return 0.0;
+        }
+        self.vms
+            .iter()
+            .map(|v| v.result.aligned_rate())
+            .sum::<f64>()
+            / self.vms.len() as f64
+    }
+
+    /// Total host frames reclaimed by departures.
+    pub fn frames_reclaimed(&self) -> u64 {
+        self.vms.iter().map(|v| v.frames_reclaimed).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,10 +24,12 @@
 //! of [`WorkloadEvent`]s (allocate / free / touch / request boundary) that
 //! the whole-system simulator executes against a VM.
 
+pub mod fleet;
 pub mod gen;
 pub mod microbench;
 pub mod spec;
 
+pub use fleet::{FleetPlan, FleetSpec, HostPlan, VmPlan};
 pub use gen::{EventStream, PregenStream, WorkloadEvent, WorkloadGen};
 pub use microbench::MicrobenchGen;
 pub use spec::{catalog, non_tlb_sensitive, spec_by_name, AccessSkew, AllocPattern, WorkloadSpec};

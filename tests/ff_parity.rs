@@ -133,6 +133,50 @@ fn sharded_runner_reports_shard_progress() {
 }
 
 #[test]
+fn fleet_host_matches_faithful() {
+    // The fleet driver caches one daemon wakeup per resident VM and
+    // fast-forwards between lifecycle events; with `--no-ff` it runs a
+    // daemon pass after every request batch instead. The whole
+    // `HostRun` — every per-VM result, churn counter, end-state figure
+    // and sampled series point — must be byte-identical either way.
+    use gemini_harness::experiments::fleet;
+    for &system in &fleet::SYSTEMS {
+        let fast = fleet::run_host(system, &parity_scale(false), 0).unwrap();
+        let faithful = fleet::run_host(system, &parity_scale(true), 0).unwrap();
+        assert_eq!(
+            format!("{fast:?}"),
+            format!("{faithful:?}"),
+            "fleet/{}: fast-forward diverged across VM lifecycles",
+            system.label()
+        );
+    }
+}
+
+#[test]
+fn fleet_grid_is_byte_identical_at_any_jobs() {
+    // One executor cell per (system, host): worker count may only move
+    // the wall clock, never the simulated fleet.
+    use gemini_harness::experiments::fleet;
+    let seq = fleet::run(&Scale {
+        jobs: 1,
+        ..parity_scale(false)
+    })
+    .unwrap();
+    for jobs in [2usize, 4] {
+        let par = fleet::run(&Scale {
+            jobs,
+            ..parity_scale(false)
+        })
+        .unwrap();
+        assert_eq!(
+            format!("{:?}", seq.runs),
+            format!("{:?}", par.runs),
+            "fleet grid diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
 fn parity_holds_across_seeds_and_workloads() {
     // A small sweep over seeds × workloads on the paper's headline
     // system, so the invariant is not an artifact of one stream shape.

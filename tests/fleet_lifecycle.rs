@@ -1,0 +1,188 @@
+//! VM lifecycle churn property suite (DESIGN.md §14).
+//!
+//! `Machine::remove_vm` promises that destroying a VM returns *every*
+//! host frame it held — EPT torn down, frames back in the buddy
+//! allocator, free-run index consistent — and leaves survivors
+//! untouched. This suite drives DetRng-seeded random
+//! create/run/destroy interleavings against that promise: after every
+//! departure the buddy invariants (including index == rescan) must
+//! hold, survivors must keep running, and a fully drained host must be
+//! byte-identical to a freshly built one.
+
+use gemini_sim_core::{DetRng, VmId};
+use gemini_vm_sim::{FleetArrival, Machine, MachineConfig, SystemKind};
+use gemini_workloads::{spec_by_name, WorkloadGen};
+
+/// Churn systems: the kernel default and the paper's system (the
+/// Gemini runtime carries the most per-VM state to retire).
+const SYSTEMS: [SystemKind; 2] = [SystemKind::Thp, SystemKind::Gemini];
+
+/// Workloads drawn during churn — mixed access shapes, small enough
+/// (scaled 1/64) that several fit a small host at once.
+const NAMES: [&str; 4] = ["Redis", "Memcached", "SVM", "Masstree"];
+
+fn small_cfg() -> MachineConfig {
+    MachineConfig {
+        host_frames: 1 << 15,
+        vm_frames: 1 << 13,
+        ..MachineConfig::default()
+    }
+}
+
+fn gen_for(name: &str, ops: u64, seed: u64) -> WorkloadGen {
+    let spec = spec_by_name(name)
+        .expect("catalog workload")
+        .scaled(1.0 / 64.0);
+    WorkloadGen::new(spec, ops, seed)
+}
+
+/// Buddy state checks that must hold after every VM departure: the
+/// allocator's internal invariants (free counts, split consistency)
+/// and the persistent free-run index agreeing byte-for-byte with a
+/// from-scratch bitmap rescan.
+fn assert_buddy_consistent(m: &Machine) {
+    let buddy = &m.host_mm().buddy;
+    buddy
+        .check_invariants()
+        .expect("buddy invariants after churn");
+    assert_eq!(
+        buddy.free_runs(),
+        buddy.free_runs_rescan(),
+        "free-run index diverged from rescan"
+    );
+}
+
+#[test]
+fn random_churn_is_leak_free_and_drains_to_a_fresh_host() {
+    for system in SYSTEMS {
+        for seed in [3u64, 17, 1009] {
+            let cfg = small_cfg();
+            let mut m = Machine::new(system, cfg.clone());
+            let mut rng = DetRng::new(seed);
+            let mut live: Vec<VmId> = Vec::new();
+            let mut lifecycles = 0u32;
+            for _ in 0..24 {
+                let create = live.len() < 2 || (live.len() < 5 && rng.chance(0.5));
+                if create {
+                    let vm = m.add_vm().expect("host has room at this scale");
+                    let name = NAMES[rng.below(NAMES.len() as u64) as usize];
+                    let ops = 120 + rng.below(240);
+                    m.run(vm, gen_for(name, ops, rng.below(1 << 20)))
+                        .expect("workload runs");
+                    live.push(vm);
+                } else {
+                    let vm = live.swap_remove(rng.below(live.len() as u64) as usize);
+                    let freed = m.remove_vm(vm).expect("teardown succeeds");
+                    assert!(freed > 0, "a VM that ran a workload held frames");
+                    assert_buddy_consistent(&m);
+                    lifecycles += 1;
+                }
+            }
+            assert!(lifecycles >= 5, "sequence exercised real churn");
+            // Survivors are untouched by their neighbours' teardowns:
+            // each keeps accepting work on the same machine.
+            for &vm in &live {
+                m.run(vm, gen_for("Redis", 80, 9)).expect("survivor runs");
+            }
+            // Drain the host completely: every frame is back and the
+            // buddy is byte-identical to a freshly built machine's —
+            // free frame count, free-run list, invariants.
+            for vm in live.drain(..) {
+                m.remove_vm(vm).expect("drain teardown succeeds");
+                assert_buddy_consistent(&m);
+            }
+            let fresh = Machine::new(system, cfg);
+            assert_eq!(
+                m.host_mm().buddy.free_frames(),
+                fresh.host_mm().buddy.free_frames(),
+                "{system:?}/seed {seed}: churned host leaked frames"
+            );
+            assert_eq!(
+                m.host_mm().buddy.free_runs(),
+                fresh.host_mm().buddy.free_runs(),
+                "{system:?}/seed {seed}: churned host free layout differs from fresh"
+            );
+        }
+    }
+}
+
+#[test]
+fn drained_host_runs_new_vms_identically_to_a_fresh_one() {
+    // Teardown must leave no residual per-VM state: after a burst of
+    // neighbours is created, run and fully destroyed, a new VM's run
+    // on the drained machine must be byte-identical to the same
+    // (spec, ops, seed) on a freshly built host. (While neighbours are
+    // still resident their frames legitimately shape allocation; after
+    // a full drain nothing may.)
+    for system in SYSTEMS {
+        let mut fresh = Machine::new(system, small_cfg());
+        let vm = fresh.add_vm().unwrap();
+        let baseline = fresh.run(vm, gen_for("Redis", 400, 77)).unwrap();
+
+        let mut churned = Machine::new(system, small_cfg());
+        for i in 0..3u64 {
+            let n = churned.add_vm().unwrap();
+            churned
+                .run(n, gen_for(NAMES[i as usize], 150 + 30 * i, 5 + i))
+                .unwrap();
+            churned.remove_vm(n).unwrap();
+        }
+        let subject = churned.add_vm().unwrap();
+        let after_churn = churned.run(subject, gen_for("Redis", 400, 77)).unwrap();
+
+        // Every per-VM surface must match: translation counters, huge
+        // page alignment, latency and fragmentation. `vtime` is
+        // exempt — host-global daemons (the compactor's cursor and
+        // deadlines) deliberately persist across VM lifetimes, like a
+        // real kcompactd, and shift background-pass timing by a few
+        // cycles without touching any per-VM outcome.
+        let surfaces = |r: &gemini_vm_sim::RunResult| {
+            format!(
+                "{:?} {:?} {:?} {:?} {} {} {}",
+                r.counters,
+                r.alignment,
+                r.mean_latency,
+                r.p99_latency,
+                r.guest_fmfi,
+                r.host_fmfi,
+                r.bucket_reuse_rate
+            )
+        };
+        assert_eq!(
+            surfaces(&baseline),
+            surfaces(&after_churn),
+            "{system:?}: destroyed neighbours leaked state into a later VM's run"
+        );
+    }
+}
+
+#[test]
+fn fleet_driver_matches_manual_lifecycle_accounting() {
+    // The fleet driver is just `add_vm`/`run`/`remove_vm` under a
+    // residency cap: its reclaimed-frame total must equal what the
+    // teardowns reported, and the drained host must be pristine.
+    let cfg = small_cfg();
+    let host_frames = cfg.host_frames;
+    let mut m = Machine::new(SystemKind::Gemini, cfg);
+    let arrivals: Vec<FleetArrival<WorkloadGen>> = (0..8u32)
+        .map(|i| {
+            let name = NAMES[i as usize % NAMES.len()];
+            FleetArrival {
+                index: i,
+                footprint_frames: 512,
+                gen: gen_for(name, 100 + 20 * i as u64, 1000 + i as u64),
+            }
+        })
+        .collect();
+    let outcome = m.run_fleet(arrivals, host_frames / 4).unwrap();
+    assert_eq!(outcome.vms.len(), 8);
+    assert_eq!(outcome.churn_events, 16);
+    assert_eq!(
+        outcome.frames_reclaimed(),
+        outcome.vms.iter().map(|v| v.frames_reclaimed).sum::<u64>()
+    );
+    assert!(outcome.frames_reclaimed() > 0);
+    assert_buddy_consistent(&m);
+    assert_eq!(m.host_mm().buddy.free_frames(), host_frames);
+    assert_eq!(m.host_mm().buddy.free_runs(), vec![(0, host_frames)]);
+}

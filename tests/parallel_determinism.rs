@@ -5,7 +5,9 @@
 //! result can depend on which worker ran it or in which order cells
 //! finished.
 
-use gemini_harness::bench::{BenchReport, CellTiming, PhaseTiming, SweepPoint, REFERENCE_CELL};
+use gemini_harness::bench::{
+    BenchReport, CellTiming, FleetBenchSection, PhaseTiming, SweepPoint, REFERENCE_CELL,
+};
 use gemini_harness::experiments::{clean_slate, motivation, reused_vm};
 use gemini_harness::{run_cells_traced, trace, Scale};
 use gemini_obs::{Recorder, TraceConfig};
@@ -148,6 +150,12 @@ fn bench_report_schema_is_pinned() {
                 oversubscribed: true,
             },
         ],
+        fleet: Some(FleetBenchSection {
+            vms: 250,
+            churn_events: 500,
+            wall_ms: 4000.0,
+            end_host_fmfi: vec![("THP".into(), 0.25), ("GEMINI".into(), 0.125)],
+        }),
     };
     let expected = format!(
         r#"{{
@@ -176,7 +184,8 @@ fn bench_report_schema_is_pinned() {
   "jobs_sweep": [
     {{"jobs": 1, "wall_ms": 250, "speedup_vs_jobs1": 1, "oversubscribed": false, "cell_wall_ms": [250]}},
     {{"jobs": 2, "wall_ms": 125, "speedup_vs_jobs1": 2, "oversubscribed": true, "cell_wall_ms": [125]}}
-  ]
+  ],
+  "fleet": {{"vms": 250, "churn_events": 500, "wall_ms": 4000, "end_host_fmfi": [{{"system": "THP", "fmfi": 0.25}}, {{"system": "GEMINI", "fmfi": 0.125}}]}}
 }}
 "#
     );
