@@ -70,7 +70,21 @@ echo "== fleet lifecycle smoke (demo scale, GEMINI_JOBS=2) =="
 GEMINI_JOBS=2 "$BIN" fleet --scale demo --jobs 2 > /dev/null
 echo "fleet: demo-scale lifecycle grid drained leak-free"
 
-echo "== bench report + perf gate (quick scale, BENCH_pr8_quick.json) =="
+echo "== record/replay smoke (quick scale, GEMINI_JOBS=2) =="
+# DESIGN.md §15 end to end through the CLI: record a quick fragmented
+# Redis run to a gemini-trace-v1 file, replay it through the same
+# scenario, and require the two --json exports byte-identical. Both
+# filenames match the ignored *.jsonl pattern, so nothing leaks into
+# the tree.
+GEMINI_JOBS=2 "$BIN" record --workload Redis --scale quick --fragmented \
+    --trace trace_pr9_quick.jsonl --json record_pr9_quick.jsonl > /dev/null
+GEMINI_JOBS=2 "$BIN" replay --trace trace_pr9_quick.jsonl --system GEMINI \
+    --json replay_pr9_quick.jsonl > /dev/null 2> /dev/null
+cmp record_pr9_quick.jsonl replay_pr9_quick.jsonl
+rm -f trace_pr9_quick.jsonl record_pr9_quick.jsonl replay_pr9_quick.jsonl
+echo "record/replay: replayed run byte-identical to the recorded one"
+
+echo "== bench report + perf gate (quick scale, BENCH_pr9_quick.json) =="
 # The full bench harness at quick scale: reference-cell speedup vs the
 # recorded pre-PR-4 baseline, per-cell fig3 timings with phase
 # breakdowns, the sharded reference leg, and a jobs sweep; then the
@@ -85,30 +99,34 @@ echo "== bench report + perf gate (quick scale, BENCH_pr8_quick.json) =="
 # The report now carries the schema-additive fleet section (VM count,
 # churn events, end-state FMFI); the diff matches cells by label, so
 # comparing against pre-fleet reports stays valid.
-if [ -f BENCH_pr8_quick.json ]; then
-    mv BENCH_pr8_quick.json BENCH_prev_quick.json
-    "$BIN" bench --scale quick --jobs 2 --json BENCH_pr8_quick.json \
-        --profile trace_pr8.json --compare BENCH_prev_quick.json --warn-only
+if [ -f BENCH_pr9_quick.json ]; then
+    mv BENCH_pr9_quick.json BENCH_prev_quick.json
+    "$BIN" bench --scale quick --jobs 2 --json BENCH_pr9_quick.json \
+        --profile trace_pr9.json --compare BENCH_prev_quick.json --warn-only
     rm -f BENCH_prev_quick.json
+elif [ -f BENCH_pr8_quick.json ]; then
+    "$BIN" bench --scale quick --jobs 2 --json BENCH_pr9_quick.json \
+        --profile trace_pr9.json --compare BENCH_pr8_quick.json --warn-only
+    rm -f BENCH_pr8_quick.json trace_pr8.json
 else
-    "$BIN" bench --scale quick --jobs 2 --json BENCH_pr8_quick.json \
-        --profile trace_pr8.json --compare BENCH_pr7.json --warn-only
+    "$BIN" bench --scale quick --jobs 2 --json BENCH_pr9_quick.json \
+        --profile trace_pr9.json --compare BENCH_pr8.json --warn-only
 fi
-echo "bench report written to BENCH_pr8_quick.json"
+echo "bench report written to BENCH_pr9_quick.json"
 
-# The committed demo-scale BENCH_pr8.json is regenerated out-of-band:
-#   gemini-sim bench --scale demo --jobs 2 --json BENCH_pr8.json \
-#       --compare BENCH_pr7.json --warn-only
+# The committed demo-scale BENCH_pr9.json is regenerated out-of-band:
+#   gemini-sim bench --scale demo --jobs 2 --json BENCH_pr9.json \
+#       --compare BENCH_pr8.json --warn-only
 # On a quiet host, add --pr6-wall-ms <MS> with the reference-cell wall
 # of a same-host previous-PR rebuild (git worktree at that tip),
 # measured interleaved with the current binary in one window — see
 # DESIGN.md §13 on host drift.
 
-echo "== profile smoke check (trace_pr8.json) =="
+echo "== profile smoke check (trace_pr9.json) =="
 # The Perfetto trace must exist, be non-empty, and look like a
 # Chrome-trace-event document.
-test -s trace_pr8.json
-grep -q '"traceEvents"' trace_pr8.json
-echo "trace written to trace_pr8.json ($(wc -c < trace_pr8.json) bytes)"
+test -s trace_pr9.json
+grep -q '"traceEvents"' trace_pr9.json
+echo "trace written to trace_pr9.json ($(wc -c < trace_pr9.json) bytes)"
 
 echo "CI gate passed."

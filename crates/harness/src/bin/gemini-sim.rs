@@ -5,9 +5,11 @@
 //! gemini-sim run     --system GEMINI --workload Redis [--fragmented] [--reused]
 //! gemini-sim compare --workload Redis [--fragmented] [--reused]
 //! gemini-sim trace   --system GEMINI --workload Redis [--fragmented]
+//! gemini-sim record  --workload Redis [--system GEMINI] [--trace OUT.jsonl]
+//! gemini-sim replay  [--trace IN.jsonl] [--system GEMINI] [--jobs N]
 //! gemini-sim parity  [--workload Redis] [--fragmented]
 //! gemini-sim fleet   [--scale quick|demo|bench|full] [--jobs N] [--json PATH]
-//! gemini-sim bench   [--scale quick|bench] [--jobs N] [--json BENCH_pr8.json]
+//! gemini-sim bench   [--scale quick|bench] [--jobs N] [--json BENCH_pr9.json]
 //!                    [--profile trace.json] [--compare OLD.json]
 //!                    [--threshold PCT] [--warn-only] [--pr6-wall-ms MS]
 //! gemini-sim bench   --compare OLD.json --against NEW.json   (diff only, no run)
@@ -22,6 +24,21 @@
 //!                                   event faithfully (results are identical;
 //!                                   this only costs wall time)
 //!   --json <path>                   export results (and any trace) as JSON Lines
+//!   --trace <path>                  gemini-trace-v1 file: written by `record`
+//!                                   (default stdout), read by `replay`
+//!                                   (default stdin)
+//!
+//! `record` runs one scenario live and tees every workload event into a
+//! versioned `gemini-trace-v1` trace (DESIGN.md §15) while printing the
+//! same result row `run` would; with the trace on stdout the table
+//! moves to stderr so the two never interleave. `replay` streams a
+//! recorded trace back through a scenario — the generator is skipped
+//! entirely, events decode incrementally (traces larger than RAM are
+//! fine), and the workload, seed and scale default to the header's so
+//! a bare `gemini-sim replay --trace f.jsonl` reproduces the recorded
+//! run byte-identically. Without `--system`, every evaluated system
+//! replays the same trace on the worker pool (`--jobs`), which
+//! requires `--trace FILE` (stdin cannot be re-read).
 //!
 //! `parity` runs every registry scenario twice — fast-forward on and
 //! off (`--no-ff`) — and fails unless each pair of results is
@@ -49,25 +66,33 @@
 //! series and the metrics registry.
 
 use gemini_harness::report::Table;
-use gemini_harness::runner::{run_workload_on, run_workload_reused, run_workload_traced};
+use gemini_harness::runner::{
+    record_workload_on, replay_trace_on, run_workload_on, run_workload_reused, run_workload_traced,
+};
 use gemini_harness::{effective_jobs, perfdiff, run_cells_traced, trace, Scale};
 use gemini_obs::{Profiler, Recorder, TraceConfig};
 use gemini_vm_sim::{RunResult, SystemKind};
-use gemini_workloads::{catalog, non_tlb_sensitive, spec_by_name};
+use gemini_workloads::{catalog, non_tlb_sensitive, spec_by_name, TraceHeader, TraceStream};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// Parsed command-line options.
+#[cfg_attr(test, derive(Debug))]
 struct Opts {
     command: String,
     system: Option<String>,
     workload: Option<String>,
     scale: Scale,
     scale_name: String,
+    /// Whether `--scale` appeared on the command line. `replay`
+    /// defaults its machine sizing to the trace header's scale, but an
+    /// explicit `--scale` must win over the header.
+    scale_explicit: bool,
     fragmented: bool,
     reused: bool,
     seed: u64,
     json: Option<PathBuf>,
+    trace_path: Option<PathBuf>,
     profile: Option<PathBuf>,
     compare: Option<PathBuf>,
     against: Option<PathBuf>,
@@ -78,13 +103,28 @@ struct Opts {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gemini-sim <list|run|compare|trace|parity|fleet|bench> [--system NAME] [--workload NAME]\n\
+        "usage: gemini-sim <list|run|compare|trace|record|replay|parity|fleet|bench>\n\
+         \x20                [--system NAME] [--workload NAME]\n\
          \x20                [--scale quick|demo|bench|full] [--ops N] [--seed N] [--jobs N]\n\
          \x20                [--no-ff] [--fragmented] [--reused] [--json PATH]\n\
+         \x20 record/replay: [--trace PATH]   (record writes, default stdout;\n\
+         \x20                                  replay reads, default stdin)\n\
          \x20 bench only:    [--profile TRACE.json] [--compare OLD.json] [--against NEW.json]\n\
          \x20                [--threshold PCT] [--warn-only] [--pr6-wall-ms MS]"
     );
     ExitCode::from(2)
+}
+
+/// Resolves a scale preset by name; used both for `--scale` and for
+/// the scale hint a trace header carries.
+fn scale_by_name(name: &str) -> Option<Scale> {
+    match name {
+        "quick" => Some(Scale::quick()),
+        "demo" => Some(Scale::demo()),
+        "bench" => Some(Scale::bench()),
+        "full" => Some(Scale::full()),
+        _ => None,
+    }
 }
 
 fn parse(args: &[String]) -> Result<Opts, String> {
@@ -94,10 +134,12 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         workload: None,
         scale: Scale::demo(),
         scale_name: "demo".into(),
+        scale_explicit: false,
         fragmented: false,
         reused: false,
         seed: 42,
         json: None,
+        trace_path: None,
         profile: None,
         compare: None,
         against: None,
@@ -105,10 +147,13 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         warn_only: false,
         pr6_wall_ms: None,
     };
-    // `--jobs` and `--no-ff` are applied after the loop so they win
-    // regardless of whether they appear before or after `--scale`
-    // (which replaces the whole `Scale`, including those fields).
+    // `--jobs`, `--ops` and `--no-ff` are applied after the loop so
+    // they win regardless of whether they appear before or after
+    // `--scale` (which replaces the whole `Scale`, including those
+    // fields — an earlier `--ops 123 --scale quick` used to silently
+    // discard the 123).
     let mut jobs: Option<usize> = None;
+    let mut ops: Option<u64> = None;
     let mut no_ff = false;
     let mut i = 1;
     while i < args.len() {
@@ -121,21 +166,18 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         match args[i].as_str() {
             "--system" => opts.system = Some(take(&mut i)?),
             "--workload" => opts.workload = Some(take(&mut i)?),
-            "--ops" => opts.scale.ops = take(&mut i)?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--ops" => ops = Some(take(&mut i)?.parse().map_err(|e| format!("--ops: {e}"))?),
             "--seed" => opts.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--jobs" => jobs = Some(take(&mut i)?.parse().map_err(|e| format!("--jobs: {e}"))?),
             "--scale" => {
                 let name = take(&mut i)?;
-                opts.scale = match name.as_str() {
-                    "quick" => Scale::quick(),
-                    "demo" => Scale::demo(),
-                    "bench" => Scale::bench(),
-                    "full" => Scale::full(),
-                    other => return Err(format!("unknown scale '{other}'")),
-                };
+                opts.scale =
+                    scale_by_name(&name).ok_or_else(|| format!("unknown scale '{name}'"))?;
                 opts.scale_name = name;
+                opts.scale_explicit = true;
             }
             "--json" => opts.json = Some(PathBuf::from(take(&mut i)?)),
+            "--trace" => opts.trace_path = Some(PathBuf::from(take(&mut i)?)),
             "--profile" => opts.profile = Some(PathBuf::from(take(&mut i)?)),
             "--compare" => opts.compare = Some(PathBuf::from(take(&mut i)?)),
             "--against" => opts.against = Some(PathBuf::from(take(&mut i)?)),
@@ -161,6 +203,9 @@ fn parse(args: &[String]) -> Result<Opts, String> {
     }
     if let Some(j) = jobs {
         opts.scale.jobs = j;
+    }
+    if let Some(o) = ops {
+        opts.scale.ops = o;
     }
     opts.scale.no_ff = no_ff;
     Ok(opts)
@@ -347,6 +392,190 @@ fn cmd_trace(opts: &Opts) -> Result<(), String> {
         opts,
         &trace::trace_json_lines(std::slice::from_ref(&r), &rec),
     )
+}
+
+/// Records one scenario to a `gemini-trace-v1` trace while running it
+/// live. With `--trace PATH` the trace goes to the file and the result
+/// table to stdout; without it the trace streams to stdout (for piping
+/// into `replay`) and the table moves to stderr.
+fn cmd_record(opts: &Opts) -> Result<(), String> {
+    let label = opts.system.as_deref().unwrap_or("GEMINI");
+    let system = system_by_label(label).ok_or_else(|| format!("unknown system '{label}'"))?;
+    let name = opts.workload.as_deref().unwrap_or("Redis");
+    let spec = spec_by_name(name).ok_or_else(|| format!("unknown workload '{name}'"))?;
+    let to_stdout = opts.trace_path.is_none();
+    let (result, events) = match &opts.trace_path {
+        Some(path) => {
+            let f = std::fs::File::create(path)
+                .map_err(|e| format!("creating {}: {e}", path.display()))?;
+            record_workload_on(
+                system,
+                &spec,
+                &opts.scale,
+                &opts.scale_name,
+                opts.fragmented,
+                opts.seed,
+                std::io::BufWriter::new(f),
+            )
+        }
+        None => record_workload_on(
+            system,
+            &spec,
+            &opts.scale,
+            &opts.scale_name,
+            opts.fragmented,
+            opts.seed,
+            std::io::BufWriter::new(std::io::stdout().lock()),
+        ),
+    }
+    .map_err(|e| format!("recording failed: {e}"))?;
+    let mut t = Table::new(
+        format!(
+            "{} on {}{} [recorded]",
+            result.system,
+            result.workload,
+            scenario_suffix(opts)
+        ),
+        &headers(),
+    );
+    t.row(result_row(&result));
+    if to_stdout {
+        eprint!("{}", t.render());
+    } else {
+        print!("{}", t.render());
+    }
+    eprintln!(
+        "recorded {} events ({} ops) to {}",
+        events,
+        result.ops,
+        opts.trace_path
+            .as_ref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "stdout".into()),
+    );
+    export_json(opts, &[trace::result_json(&result)])
+}
+
+/// The machine sizing for a replay: the caller's explicit `--scale`
+/// wins; otherwise the header's scale hint is resolved, keeping the
+/// command line's `--jobs`/`--no-ff` (which live on `Scale` but are
+/// orthogonal to sizing). Fragmentation is the union: the header hint
+/// or an explicit `--fragmented`.
+fn replay_scale(opts: &Opts, header: &TraceHeader) -> (Scale, String, bool) {
+    let mut scale = opts.scale;
+    let mut name = opts.scale_name.clone();
+    if !opts.scale_explicit {
+        if let Some(s) = scale_by_name(&header.scale) {
+            scale = s;
+            scale.jobs = opts.scale.jobs;
+            scale.no_ff = opts.scale.no_ff;
+            name = header.scale.clone();
+        } else {
+            eprintln!(
+                "warning: trace header names unknown scale {:?}; using {}",
+                header.scale, name
+            );
+        }
+    }
+    (scale, name, opts.fragmented || header.fragmented)
+}
+
+/// Replays a recorded trace through one system (`--system`, streaming
+/// from a file or stdin) or through every evaluated system on the
+/// worker pool (no `--system`; needs a re-openable `--trace FILE`).
+/// The generator never runs — events stream straight off the trace.
+fn cmd_replay(opts: &Opts) -> Result<(), String> {
+    let open = |path: &PathBuf| -> Result<TraceStream<_>, String> {
+        let f =
+            std::fs::File::open(path).map_err(|e| format!("opening {}: {e}", path.display()))?;
+        TraceStream::new(std::io::BufReader::new(f)).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    if let Some(label) = opts.system.as_deref() {
+        let system = system_by_label(label).ok_or_else(|| format!("unknown system '{label}'"))?;
+        let (result, events, scale_name) = match &opts.trace_path {
+            Some(path) => {
+                let mut stream = open(path)?;
+                let (scale, scale_name, fragmented) = replay_scale(opts, stream.header());
+                let r = replay_trace_on(system, &mut stream, &scale, fragmented)
+                    .map_err(|e| format!("replay failed: {e}"))?;
+                (r, stream.events_read(), scale_name)
+            }
+            None => {
+                let stdin = std::io::stdin().lock();
+                let mut stream =
+                    TraceStream::new(stdin).map_err(|e| format!("reading stdin: {e}"))?;
+                let (scale, scale_name, fragmented) = replay_scale(opts, stream.header());
+                let r = replay_trace_on(system, &mut stream, &scale, fragmented)
+                    .map_err(|e| format!("replay failed: {e}"))?;
+                (r, stream.events_read(), scale_name)
+            }
+        };
+        let mut t = Table::new(
+            format!("{} on {} [replayed]", result.system, result.workload),
+            &headers(),
+        );
+        t.row(result_row(&result));
+        print!("{}", t.render());
+        eprintln!(
+            "replayed {} events ({} ops) at {} scale from {}",
+            events,
+            result.ops,
+            scale_name,
+            opts.trace_path
+                .as_ref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_else(|| "stdin".into()),
+        );
+        return export_json(opts, &[trace::result_json(&result)]);
+    }
+    // All evaluated systems over the same trace: one executor cell per
+    // system, each streaming its own reader over the file.
+    let Some(path) = &opts.trace_path else {
+        return Err(
+            "replaying every system needs --trace FILE (stdin cannot be re-read); \
+             pass --system for a single replay from stdin"
+                .into(),
+        );
+    };
+    let header = open(path)?.header().clone();
+    let (scale, scale_name, fragmented) = replay_scale(opts, &header);
+    let progress = Recorder::new(&TraceConfig::all());
+    let started = std::time::Instant::now();
+    let cells: Vec<_> = SystemKind::evaluated()
+        .into_iter()
+        .map(|system| {
+            let path = path.clone();
+            move || -> Result<RunResult, String> {
+                let f = std::fs::File::open(&path)
+                    .map_err(|e| format!("opening {}: {e}", path.display()))?;
+                let mut stream = TraceStream::new(std::io::BufReader::new(f))
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                replay_trace_on(system, &mut stream, &scale, fragmented)
+                    .map_err(|e| format!("replay failed: {e}"))
+            }
+        })
+        .collect();
+    let results = run_cells_traced(scale.jobs, &progress, cells);
+    let mut t = Table::new(
+        format!("all systems replaying {}", header.spec.name),
+        &headers(),
+    );
+    let mut rows = Vec::new();
+    for cell in results {
+        let r = cell?;
+        t.row(result_row(&r));
+        rows.push(trace::result_json(&r));
+    }
+    print!("{}", t.render());
+    eprintln!(
+        "replayed {} on {} system(s) at {} scale on {} worker(s) in {:.0} ms",
+        path.display(),
+        rows.len(),
+        scale_name,
+        effective_jobs(scale.jobs),
+        started.elapsed().as_secs_f64() * 1e3,
+    );
+    export_json(opts, &rows)
 }
 
 /// Runs every registry scenario twice — fast-forward on, then off —
@@ -574,7 +803,7 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     let path = opts
         .json
         .clone()
-        .unwrap_or_else(|| PathBuf::from("BENCH_pr8.json"));
+        .unwrap_or_else(|| PathBuf::from("BENCH_pr9.json"));
     std::fs::write(&path, &report_json).map_err(|e| format!("writing {}: {e}", path.display()))?;
     eprintln!("wrote bench report to {}", path.display());
     if let Some(trace_path) = &opts.profile {
@@ -617,6 +846,8 @@ fn main() -> ExitCode {
         "run" => cmd_run(&opts),
         "compare" => cmd_compare(&opts),
         "trace" => cmd_trace(&opts),
+        "record" => cmd_record(&opts),
+        "replay" => cmd_replay(&opts),
         "parity" => cmd_parity(&opts),
         "fleet" => cmd_fleet(&opts),
         "bench" => cmd_bench(&opts),
@@ -628,5 +859,61 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(args: &[&str]) -> Opts {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse(&args).expect("args should parse")
+    }
+
+    #[test]
+    fn ops_survives_scale_in_either_order() {
+        let before = parse_ok(&["run", "--ops", "123", "--scale", "quick"]);
+        let after = parse_ok(&["run", "--scale", "quick", "--ops", "123"]);
+        assert_eq!(before.scale.ops, 123);
+        assert_eq!(after.scale.ops, 123);
+        // Everything else about the scale is still quick's sizing.
+        assert_eq!(before.scale.host_frames, Scale::quick().host_frames);
+        assert_eq!(before.scale_name, "quick");
+        assert!(before.scale_explicit);
+    }
+
+    #[test]
+    fn jobs_and_no_ff_survive_scale_in_either_order() {
+        let before = parse_ok(&["bench", "--jobs", "3", "--no-ff", "--scale", "quick"]);
+        let after = parse_ok(&["bench", "--scale", "quick", "--jobs", "3", "--no-ff"]);
+        assert_eq!(before.scale.jobs, 3);
+        assert_eq!(after.scale.jobs, 3);
+        assert!(before.scale.no_ff);
+        assert!(after.scale.no_ff);
+    }
+
+    #[test]
+    fn defaults_without_scale_flag() {
+        let opts = parse_ok(&["run", "--ops", "77"]);
+        assert!(!opts.scale_explicit);
+        assert_eq!(opts.scale_name, "demo");
+        assert_eq!(opts.scale.ops, 77);
+        assert!(opts.trace_path.is_none());
+    }
+
+    #[test]
+    fn trace_flag_parses_and_unknown_scale_errors() {
+        let opts = parse_ok(&["replay", "--trace", "t.jsonl", "--system", "GEMINI"]);
+        assert_eq!(
+            opts.trace_path.as_deref(),
+            Some(std::path::Path::new("t.jsonl"))
+        );
+        assert_eq!(opts.system.as_deref(), Some("GEMINI"));
+        let args: Vec<String> = ["run", "--scale", "galactic"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse(&args).unwrap_err().contains("unknown scale"));
     }
 }

@@ -30,6 +30,7 @@ pub use exec::{effective_jobs, run_cells, run_cells_profiled, run_cells_traced, 
 pub use perfdiff::{compare_reports, DiffReport};
 pub use report::Table;
 pub use runner::{
-    run_workload_on, run_workload_profiled, run_workload_sharded, run_workload_traced,
+    record_workload_on, replay_trace_on, run_workload_on, run_workload_profiled,
+    run_workload_sharded, run_workload_traced,
 };
 pub use scale::Scale;

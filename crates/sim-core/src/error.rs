@@ -53,6 +53,32 @@ pub enum SimError {
         /// The clock recorded at the start of the window.
         start: crate::clock::Cycles,
     },
+    /// A workload trace failed structural validation: malformed header,
+    /// malformed event record, truncated stream (no end marker), or an
+    /// event count that does not match the end marker. Carries the
+    /// 1-based line number the problem was detected at.
+    BadTrace {
+        /// Line of the trace file (the header is line 1).
+        line: u64,
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// A workload trace was written by a format version this build does
+    /// not understand. Version bumps are reserved for incompatible
+    /// record changes, so the reader refuses rather than guessing.
+    TraceVersion {
+        /// The version declared in the trace header.
+        found: u64,
+        /// The newest version this build supports.
+        supported: u64,
+    },
+    /// The underlying I/O stream failed while reading or writing a
+    /// workload trace.
+    TraceIo {
+        /// The `std::io::Error` rendered as text (`io::Error` is
+        /// neither `Clone` nor `Eq`, which this enum requires).
+        detail: String,
+    },
     /// An invariant was violated; carries a static description.
     Invariant(&'static str),
 }
@@ -80,6 +106,16 @@ impl fmt::Display for SimError {
             SimError::ClockRegression { now, start } => {
                 write!(f, "clock went backwards: now {now} < start {start}")
             }
+            SimError::BadTrace { line, reason } => {
+                write!(f, "malformed trace at line {line}: {reason}")
+            }
+            SimError::TraceVersion { found, supported } => {
+                write!(
+                    f,
+                    "trace format version {found} is newer than supported version {supported}"
+                )
+            }
+            SimError::TraceIo { detail } => write!(f, "trace I/O failed: {detail}"),
             SimError::Invariant(msg) => write!(f, "invariant violated: {msg}"),
         }
     }
@@ -105,5 +141,26 @@ mod tests {
             SimError::UnknownVm(VmId(7)).to_string(),
             "vm7 is not registered"
         );
+        assert_eq!(
+            SimError::BadTrace {
+                line: 3,
+                reason: "unknown record tag".into()
+            }
+            .to_string(),
+            "malformed trace at line 3: unknown record tag"
+        );
+        assert_eq!(
+            SimError::TraceVersion {
+                found: 9,
+                supported: 1
+            }
+            .to_string(),
+            "trace format version 9 is newer than supported version 1"
+        );
+        assert!(SimError::TraceIo {
+            detail: "broken pipe".into()
+        }
+        .to_string()
+        .contains("broken pipe"));
     }
 }

@@ -95,6 +95,23 @@ impl EventStream for WorkloadGen {
     }
 }
 
+/// A mutable borrow streams the underlying stream. This lets a caller
+/// keep ownership across [`gemini_vm_sim::Machine::run`]-style
+/// by-value consumers — the trace replay path drives a machine with
+/// `&mut TraceStream` and then asks the stream whether the trace ended
+/// cleanly (`check_complete`), which requires the stream back.
+///
+/// [`gemini_vm_sim::Machine::run`]: ../../gemini_vm_sim/struct.Machine.html#method.run
+impl<S: EventStream + ?Sized> EventStream for &mut S {
+    fn spec(&self) -> &WorkloadSpec {
+        (**self).spec()
+    }
+
+    fn next_event(&mut self) -> Option<WorkloadEvent> {
+        (**self).next_event()
+    }
+}
+
 /// Deterministic generator of one workload's events.
 #[derive(Debug)]
 pub struct WorkloadGen {
@@ -173,6 +190,13 @@ impl WorkloadGen {
     }
 
     fn push_alloc(&mut self, bytes: u64) {
+        // Round up to a whole page (minimum one). A sub-page request
+        // used to create a zero-page live chunk: untouchable itself,
+        // but `locate`'s shrink-clamp takes `page % pages` on the last
+        // live chunk, which divides by zero the moment such a chunk is
+        // at the tail — real allocators page-align too, so rounding is
+        // also the more faithful model.
+        let bytes = bytes.div_ceil(BASE_PAGE_SIZE).max(1) * BASE_PAGE_SIZE;
         let chunk = self.next_chunk;
         self.next_chunk += 1;
         let pages = bytes / BASE_PAGE_SIZE;
@@ -398,6 +422,66 @@ mod tests {
             "hot pages should dominate: {}",
             top100 as f64 / total as f64
         );
+    }
+
+    #[test]
+    fn sub_page_chunks_round_up_instead_of_panicking() {
+        // A gradual workload whose chunk is smaller than one base page
+        // used to create a zero-page live chunk and then panic with a
+        // division by zero inside `locate`'s shrink-clamp path. Every
+        // alloc must now be a whole number of pages (>= 1) and the run
+        // must complete.
+        use crate::spec::{AccessSkew, AllocPattern, WorkloadSpec};
+        let spec = WorkloadSpec {
+            name: "tiny-chunks",
+            working_set: 3 * BASE_PAGE_SIZE,
+            alloc: AllocPattern::Gradual {
+                chunk: BASE_PAGE_SIZE / 8,
+            },
+            skew: AccessSkew::Uniform,
+            churn_period: 7,
+            accesses_per_op: 5,
+            cpu_per_op: 100,
+            latency_tracked: false,
+            zero_heavy: false,
+            tlb_sensitive: true,
+        };
+        let mut g = WorkloadGen::new(spec, 500, 11);
+        let mut live: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        let mut allocs = 0;
+        for ev in g.by_ref() {
+            match ev {
+                WorkloadEvent::Alloc { chunk, bytes } => {
+                    allocs += 1;
+                    assert!(bytes >= BASE_PAGE_SIZE, "sub-page alloc of {bytes} bytes");
+                    assert_eq!(
+                        bytes % BASE_PAGE_SIZE,
+                        0,
+                        "unaligned alloc of {bytes} bytes"
+                    );
+                    live.insert(chunk, bytes / BASE_PAGE_SIZE);
+                }
+                WorkloadEvent::Free { chunk } => {
+                    live.remove(&chunk);
+                }
+                WorkloadEvent::Touch { chunk, page } => {
+                    assert!(page < live[&chunk], "touch outside live chunk");
+                }
+                WorkloadEvent::EndRequest { .. } => {}
+            }
+        }
+        assert!(g.finished());
+        assert!(allocs > 1, "churn must have replaced chunks");
+        // Zipf skew exercises the multiplicative-hash scatter over the
+        // same tiny chunks; DetRng keeps both runs reproducible.
+        let spec2 = WorkloadSpec {
+            name: "tiny-chunks-zipf",
+            skew: AccessSkew::Zipf(0.99),
+            alloc: AllocPattern::Gradual { chunk: 512 },
+            ..small("Redis")
+        };
+        let events: Vec<_> = WorkloadGen::new(spec2, 300, 13).collect();
+        assert!(!events.is_empty());
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub enum AccessSkew {
 }
 
 /// One application model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Display name (matches the paper's tables/figures).
     pub name: &'static str,

@@ -1,0 +1,219 @@
+//! Record/replay parity suite (DESIGN.md §15).
+//!
+//! A `gemini-trace-v1` trace captures the workload event stream — the
+//! only input the simulator consumes besides its own configuration —
+//! so replaying a trace must reproduce the recorded run byte for byte,
+//! on every scenario in the registry and at any worker count. This
+//! suite also pins down the failure surface: damaged, truncated or
+//! future-versioned traces surface as typed [`SimError`] variants,
+//! never as panics or silently-short runs.
+
+use gemini_harness::runner::{record_workload_on, replay_trace_on, run_workload_on};
+use gemini_harness::{run_cells, trace, Scale};
+use gemini_sim_core::SimError;
+use gemini_vm_sim::{RunResult, SystemKind, REGISTRY};
+use gemini_workloads::{spec_by_name, TraceStream, WorkloadSpec};
+use std::io::{BufReader, Cursor, Write};
+
+/// Small enough for 12 record+replay pairs per test, large enough for
+/// churn, daemon passes and latency tracking to all fire.
+fn replay_scale() -> Scale {
+    Scale {
+        ops: 1_200,
+        ..Scale::quick()
+    }
+}
+
+fn redis() -> WorkloadSpec {
+    spec_by_name("Redis").expect("Redis is in the catalog")
+}
+
+/// Records `system` on the given workload and returns the live result
+/// plus the raw trace bytes.
+fn record(
+    system: SystemKind,
+    spec: &WorkloadSpec,
+    fragmented: bool,
+    seed: u64,
+) -> (RunResult, Vec<u8>) {
+    let mut bytes = Vec::new();
+    let (result, events) = record_workload_on(
+        system,
+        spec,
+        &replay_scale(),
+        "quick",
+        fragmented,
+        seed,
+        &mut bytes,
+    )
+    .expect("recording succeeds");
+    assert!(events > 0, "recording produced no events");
+    (result, bytes)
+}
+
+fn replay(system: SystemKind, bytes: &[u8]) -> Result<RunResult, SimError> {
+    let mut stream = TraceStream::new(Cursor::new(bytes))?;
+    let fragmented = stream.header().fragmented;
+    replay_trace_on(system, &mut stream, &replay_scale(), fragmented)
+}
+
+fn assert_identical(label: &str, live: &RunResult, replayed: &RunResult) {
+    assert_eq!(
+        format!("{live:?}"),
+        format!("{replayed:?}"),
+        "{label}: replay diverged from the live run"
+    );
+    assert_eq!(
+        trace::result_json(live),
+        trace::result_json(replayed),
+        "{label}: JSON export diverged"
+    );
+}
+
+#[test]
+fn every_registry_scenario_replays_byte_identical() {
+    let spec = redis();
+    for (system, sspec) in REGISTRY {
+        let (live, bytes) = record(*system, &spec, true, 7);
+        let direct = run_workload_on(*system, &spec, &replay_scale(), true, 7).unwrap();
+        assert_identical(&format!("{}/record", sspec.label), &live, &direct);
+        let replayed = replay(*system, &bytes).expect("replay succeeds");
+        assert_identical(&format!("{}/replay", sspec.label), &live, &replayed);
+    }
+}
+
+#[test]
+fn trace_bytes_are_machine_independent() {
+    // Event generation never observes simulated machine state, so the
+    // trace a scenario records is a function of (workload, scale, seed)
+    // only — every system writes the identical byte stream.
+    let spec = redis();
+    let (_, reference) = record(SystemKind::HostBVmB, &spec, false, 42);
+    for (system, sspec) in REGISTRY.iter().skip(1) {
+        let (_, bytes) = record(*system, &spec, false, 42);
+        assert_eq!(
+            bytes, reference,
+            "{}: recorded trace differs from Host-B-VM-B's",
+            sspec.label
+        );
+    }
+}
+
+#[test]
+fn one_trace_replays_on_every_system_at_any_jobs() {
+    // One recording, replayed across all evaluated systems on the
+    // worker pool: jobs=1 and jobs=4 must produce identical grids, and
+    // each cell must match its live counterpart.
+    let spec = redis();
+    let (_, bytes) = record(SystemKind::Gemini, &spec, true, 5);
+    let grid = |jobs: usize| -> Vec<String> {
+        let cells: Vec<_> = SystemKind::evaluated()
+            .into_iter()
+            .map(|system| {
+                let bytes = bytes.clone();
+                move || {
+                    let r = replay(system, &bytes).expect("replay succeeds");
+                    format!("{r:?}")
+                }
+            })
+            .collect();
+        run_cells(jobs, cells)
+    };
+    let sequential = grid(1);
+    let parallel = grid(4);
+    assert_eq!(sequential, parallel, "replay grid diverged with jobs=4");
+    for (system, rendered) in SystemKind::evaluated().into_iter().zip(&sequential) {
+        let live = run_workload_on(system, &spec, &replay_scale(), true, 5).unwrap();
+        assert_eq!(
+            &format!("{live:?}"),
+            rendered,
+            "{}: parallel replay diverged from live run",
+            live.system
+        );
+    }
+}
+
+#[test]
+fn file_and_memory_streams_are_equivalent() {
+    let spec = spec_by_name("Xapian").expect("Xapian is in the catalog");
+    let (live, bytes) = record(SystemKind::Gemini, &spec, false, 9);
+    let path =
+        std::env::temp_dir().join(format!("gemini_trace_replay_{}.jsonl", std::process::id()));
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(&bytes))
+        .expect("writing temp trace");
+    let mut stream = TraceStream::new(BufReader::new(
+        std::fs::File::open(&path).expect("reopening temp trace"),
+    ))
+    .expect("header parses from file");
+    let from_file =
+        replay_trace_on(SystemKind::Gemini, &mut stream, &replay_scale(), false).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let from_memory = replay(SystemKind::Gemini, &bytes).unwrap();
+    assert_identical("file-vs-memory", &from_file, &from_memory);
+    assert_identical("file-vs-live", &live, &from_file);
+}
+
+#[test]
+fn truncated_traces_fail_with_typed_errors_at_any_cut() {
+    let (_, bytes) = record(SystemKind::Thp, &redis(), false, 3);
+    // Cut on a line boundary (drops the end marker) and mid-record.
+    let lines: Vec<&[u8]> = bytes.split_inclusive(|&b| b == b'\n').collect();
+    let cut_lines: Vec<u8> = lines[..lines.len() - 3].concat();
+    let cut_bytes = &bytes[..bytes.len() * 2 / 3];
+    for (label, damaged) in [("line-cut", cut_lines.as_slice()), ("byte-cut", cut_bytes)] {
+        match replay(SystemKind::Thp, damaged) {
+            Err(SimError::BadTrace { .. }) => {}
+            other => panic!("{label}: expected BadTrace, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn garbage_and_version_mismatch_are_typed_errors() {
+    let (_, bytes) = record(SystemKind::Thp, &redis(), false, 3);
+    let text = String::from_utf8(bytes).expect("traces are UTF-8");
+
+    // Garbage header: not a trace at all.
+    match TraceStream::new(Cursor::new(b"not a trace\n".to_vec())) {
+        Err(SimError::BadTrace { line: 1, .. }) => {}
+        other => panic!("expected BadTrace at line 1, got {other:?}"),
+    }
+
+    // Future format version: recognized but refused, with both
+    // versions in the error.
+    let future = text.replacen("\"version\":1", "\"version\":2", 1);
+    match TraceStream::new(Cursor::new(future.into_bytes())) {
+        Err(SimError::TraceVersion {
+            found: 2,
+            supported: 1,
+        }) => {}
+        other => panic!("expected TraceVersion, got {other:?}"),
+    }
+
+    // A corrupted record mid-stream: the error names the actual line.
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines[20] = "[\"Q\",1,2]";
+    let damaged = lines.join("\n") + "\n";
+    match replay(SystemKind::Thp, damaged.as_bytes()) {
+        Err(SimError::BadTrace { line: 21, .. }) => {}
+        other => panic!("expected BadTrace at line 21, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_workload_names_replay_fine() {
+    // External tooling may write traces for workloads outside the
+    // catalog; the name is carried verbatim and the run is driven
+    // entirely by the header's parameters.
+    let (live, bytes) = record(SystemKind::Gemini, &redis(), false, 8);
+    let text = String::from_utf8(bytes).expect("traces are UTF-8");
+    let renamed = text.replacen("\"workload\":\"Redis\"", "\"workload\":\"ExternalApp\"", 1);
+    let replayed = replay(SystemKind::Gemini, renamed.as_bytes()).expect("replay succeeds");
+    assert_eq!(replayed.workload, "ExternalApp");
+    // Same stream, same machine: everything but the label matches.
+    assert_eq!(
+        format!("{live:?}").replace("Redis", "ExternalApp"),
+        format!("{replayed:?}")
+    );
+}
