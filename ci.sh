@@ -25,12 +25,14 @@ echo "== layer parity + golden byte-identity (GEMINI_JOBS=2) =="
 # counts.
 GEMINI_JOBS=2 cargo test --offline -q -p gemini-harness --test layer_parity
 
-echo "== fast-forward + sharding parity (GEMINI_JOBS=2) =="
-# DESIGN.md §13: every registry scenario with fast-forward on vs off,
-# the reused-VM chain, the seed × workload sweep, the intra-cell
-# sharded runner at jobs 1/2/4 and the fleet lifecycle grid — all must
-# produce byte-identical RunResults. Pinned to two workers so the
-# shard pool genuinely runs concurrent shards in CI.
+echo "== fast-forward + batching + sharding parity (GEMINI_JOBS=2) =="
+# DESIGN.md §13 and §16: every registry scenario with fast-forward on
+# vs off AND with hit-run batching on vs off, the reused-VM chain, the
+# seed × workload sweep, the intra-cell sharded runner at jobs 1/2/4,
+# the fleet lifecycle grid, and a recorded-trace replay through both
+# batch settings — all must produce byte-identical RunResults. Pinned
+# to two workers so the shard pool genuinely runs concurrent shards in
+# CI.
 GEMINI_JOBS=2 cargo test --offline -q -p gemini-harness --test ff_parity
 
 echo "== VM lifecycle churn properties (GEMINI_JOBS=2) =="
@@ -56,12 +58,12 @@ for jobs in 1 0; do
     echo "timing: demo compare jobs=$jobs wall_ms=$(( (end - start) / 1000000 ))"
 done
 
-echo "== end-to-end fast-forward parity (gemini-sim parity) =="
-# The CLI parity mode runs the faithful and fast-forward paths
-# back-to-back and diffs the rendered tables — a user-facing smoke test
-# on top of the ff_parity suite.
-"$BIN" parity --workload Redis --scale quick --fragmented > /dev/null
-echo "parity: faithful and fast-forward tables identical (registry + fleet hosts)"
+echo "== end-to-end fast-path parity (gemini-sim parity, GEMINI_JOBS=2) =="
+# The CLI parity mode runs the default (fast-forward + batching),
+# --no-batch and --no-ff paths back-to-back and diffs the results — a
+# user-facing smoke test on top of the ff_parity suite.
+GEMINI_JOBS=2 "$BIN" parity --workload Redis --scale quick --fragmented --jobs 2 > /dev/null
+echo "parity: default / --no-batch / --no-ff identical (registry + fleet hosts)"
 
 echo "== fleet lifecycle smoke (demo scale, GEMINI_JOBS=2) =="
 # The long-horizon arrival/departure scenario end to end: >= 100 VM
@@ -77,14 +79,14 @@ echo "== record/replay smoke (quick scale, GEMINI_JOBS=2) =="
 # filenames match the ignored *.jsonl pattern, so nothing leaks into
 # the tree.
 GEMINI_JOBS=2 "$BIN" record --workload Redis --scale quick --fragmented \
-    --trace trace_pr9_quick.jsonl --json record_pr9_quick.jsonl > /dev/null
-GEMINI_JOBS=2 "$BIN" replay --trace trace_pr9_quick.jsonl --system GEMINI \
-    --json replay_pr9_quick.jsonl > /dev/null 2> /dev/null
-cmp record_pr9_quick.jsonl replay_pr9_quick.jsonl
-rm -f trace_pr9_quick.jsonl record_pr9_quick.jsonl replay_pr9_quick.jsonl
+    --trace trace_pr10_quick.jsonl --json record_pr10_quick.jsonl > /dev/null
+GEMINI_JOBS=2 "$BIN" replay --trace trace_pr10_quick.jsonl --system GEMINI \
+    --json replay_pr10_quick.jsonl > /dev/null 2> /dev/null
+cmp record_pr10_quick.jsonl replay_pr10_quick.jsonl
+rm -f trace_pr10_quick.jsonl record_pr10_quick.jsonl replay_pr10_quick.jsonl
 echo "record/replay: replayed run byte-identical to the recorded one"
 
-echo "== bench report + perf gate (quick scale, BENCH_pr9_quick.json) =="
+echo "== bench report + perf gate (quick scale, BENCH_pr10_quick.json) =="
 # The full bench harness at quick scale: reference-cell speedup vs the
 # recorded pre-PR-4 baseline, per-cell fig3 timings with phase
 # breakdowns, the sharded reference leg, and a jobs sweep; then the
@@ -99,34 +101,35 @@ echo "== bench report + perf gate (quick scale, BENCH_pr9_quick.json) =="
 # The report now carries the schema-additive fleet section (VM count,
 # churn events, end-state FMFI); the diff matches cells by label, so
 # comparing against pre-fleet reports stays valid.
-if [ -f BENCH_pr9_quick.json ]; then
-    mv BENCH_pr9_quick.json BENCH_prev_quick.json
-    "$BIN" bench --scale quick --jobs 2 --json BENCH_pr9_quick.json \
-        --profile trace_pr9.json --compare BENCH_prev_quick.json --warn-only
+if [ -f BENCH_pr10_quick.json ]; then
+    mv BENCH_pr10_quick.json BENCH_prev_quick.json
+    "$BIN" bench --scale quick --jobs 2 --json BENCH_pr10_quick.json \
+        --profile trace_pr10.json --compare BENCH_prev_quick.json --warn-only
     rm -f BENCH_prev_quick.json
-elif [ -f BENCH_pr8_quick.json ]; then
-    "$BIN" bench --scale quick --jobs 2 --json BENCH_pr9_quick.json \
-        --profile trace_pr9.json --compare BENCH_pr8_quick.json --warn-only
-    rm -f BENCH_pr8_quick.json trace_pr8.json
+elif [ -f BENCH_pr9_quick.json ]; then
+    "$BIN" bench --scale quick --jobs 2 --json BENCH_pr10_quick.json \
+        --profile trace_pr10.json --compare BENCH_pr9_quick.json --warn-only
+    rm -f BENCH_pr9_quick.json trace_pr9.json
 else
-    "$BIN" bench --scale quick --jobs 2 --json BENCH_pr9_quick.json \
-        --profile trace_pr9.json --compare BENCH_pr8.json --warn-only
+    "$BIN" bench --scale quick --jobs 2 --json BENCH_pr10_quick.json \
+        --profile trace_pr10.json --compare BENCH_pr9.json --warn-only
 fi
-echo "bench report written to BENCH_pr9_quick.json"
+echo "bench report written to BENCH_pr10_quick.json"
 
-# The committed demo-scale BENCH_pr9.json is regenerated out-of-band:
-#   gemini-sim bench --scale demo --jobs 2 --json BENCH_pr9.json \
-#       --compare BENCH_pr8.json --warn-only
-# On a quiet host, add --pr6-wall-ms <MS> with the reference-cell wall
+# The committed demo-scale BENCH_pr10.json is regenerated out-of-band:
+#   gemini-sim bench --scale demo --jobs 2 --json BENCH_pr10.json \
+#       --compare BENCH_pr9.json --warn-only
+# On a quiet host, add --pr9-wall-ms <MS> with the reference-cell wall
 # of a same-host previous-PR rebuild (git worktree at that tip),
 # measured interleaved with the current binary in one window — see
 # DESIGN.md §13 on host drift.
 
-echo "== profile smoke check (trace_pr9.json) =="
-# The Perfetto trace must exist, be non-empty, and look like a
-# Chrome-trace-event document.
-test -s trace_pr9.json
-grep -q '"traceEvents"' trace_pr9.json
-echo "trace written to trace_pr9.json ($(wc -c < trace_pr9.json) bytes)"
+echo "== profile smoke check (trace_pr10.json) =="
+# The Perfetto trace must exist, be non-empty, look like a
+# Chrome-trace-event document, and carry the batch counter tracks.
+test -s trace_pr10.json
+grep -q '"traceEvents"' trace_pr10.json
+grep -q '"tlb.batched_hits"' trace_pr10.json
+echo "trace written to trace_pr10.json ($(wc -c < trace_pr10.json) bytes)"
 
 echo "CI gate passed."

@@ -2,12 +2,17 @@
 //! End-to-end hot-path benchmark: times whole experiment cells through the
 //! same [`gemini_harness::bench`] module `gemini-sim bench` uses, so the
 //! Criterion numbers and the `BENCH_pr4.json` report measure the same
-//! code path. Covers the PR-4 reference cell (fragmented GEMINI/Canneal)
-//! and a jobs sweep over the fig3 motivation grid.
+//! code path. Covers the PR-4 reference cell (fragmented GEMINI/Canneal),
+//! a jobs sweep over the fig3 motivation grid, and the closed-form
+//! hit-run batch advance against the faithful per-access hit loop it
+//! replaces (DESIGN.md §16).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gemini_bench::bench_scale;
 use gemini_harness::bench::{run_bench, run_reference_cell};
+use gemini_sim_core::VmId;
+use gemini_page_table::LeafSize;
+use gemini_tlb::{MmuConfig, MmuSim, ResolvedTranslation};
 
 fn bench_reference_cell(c: &mut Criterion) {
     let mut g = c.benchmark_group("hotpath");
@@ -28,5 +33,50 @@ fn bench_full_report(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_reference_cell, bench_full_report);
+/// The microscopic comparison behind the batch fast path: `k` repeat
+/// L1 hits driven one `access_unresolved` probe at a time versus one
+/// `advance_batched_hits` call covering the same run. Both legs leave
+/// the MMU in an identical state (the parity suites prove it); this
+/// measures what that equivalence is worth in wall-clock.
+fn bench_batched_hit_run(c: &mut Criterion) {
+    const VM: VmId = VmId(1);
+    const GVA: u64 = 0x200;
+    const K: u64 = 15; // touch-sample cadence caps real runs at 15.
+    let translation = ResolvedTranslation {
+        gpa_frame: 0x200,
+        guest_leaf: LeafSize::Base,
+        host_leaf: LeafSize::Base,
+    };
+    let mut g = c.benchmark_group("hotpath");
+    g.bench_function("hit_run_faithful_x15", |b| {
+        let mut mmu = MmuSim::new(MmuConfig::default()).expect("default MMU config");
+        mmu.access(VM, GVA, translation);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..K {
+                acc += mmu.access_unresolved(VM, black_box(GVA)).unwrap().cycles.0;
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("hit_run_batched_x15", |b| {
+        let mut mmu = MmuSim::new(MmuConfig::default()).expect("default MMU config");
+        mmu.access(VM, GVA, translation);
+        let epoch = mmu.stability_epoch();
+        b.iter(|| {
+            let cost = mmu
+                .advance_batched_hits(VM, black_box(GVA), false, K, epoch)
+                .expect("resident run with a stable epoch batches");
+            black_box(cost.0)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reference_cell,
+    bench_full_report,
+    bench_batched_hit_run
+);
 criterion_main!(benches);

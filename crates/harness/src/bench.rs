@@ -18,9 +18,12 @@
 
 use crate::exec::{effective_jobs, run_cells_hinted, run_cells_profiled};
 use crate::experiments::motivation::WORKLOADS;
-use crate::runner::{run_workload_on, run_workload_profiled, run_workload_sharded};
+use crate::runner::{
+    run_workload_batch_stats, run_workload_on, run_workload_profiled,
+    run_workload_profiled_batch_stats, run_workload_sharded,
+};
 use crate::scale::Scale;
-use gemini_obs::profile::{chrome_trace_json, ProfileReport, TraceSpan};
+use gemini_obs::profile::{chrome_trace_json_with_counters, ProfileReport, TraceSpan};
 use gemini_obs::{json_f64, json_str, Profiler, Recorder};
 use gemini_sim_core::Result;
 use gemini_vm_sim::SystemKind;
@@ -125,6 +128,33 @@ pub struct FleetBenchSection {
     pub end_host_fmfi: Vec<(String, f64)>,
 }
 
+/// Closed-form hit-run batching measurements of the reference cell:
+/// a batched leg with its [`gemini_tlb::BatchStats`] next to a
+/// `--no-batch` leg of the same cell. Additive in the
+/// `gemini-bench-v3` schema (older reports simply lack the keys). The
+/// batch counters are the proof that the fast path actually engaged on
+/// the reference cell — a wall-clock delta with zero `batched_hits`
+/// would be measuring noise, not batching.
+#[derive(Debug, Clone)]
+pub struct BatchedRefSection {
+    /// Wall time of the batched (default) reference leg, milliseconds,
+    /// best of three.
+    pub batched_wall_ms: f64,
+    /// Wall time of the same cell with `--no-batch`, milliseconds,
+    /// best of three.
+    pub no_batch_wall_ms: f64,
+    /// Hit-only runs the closed-form path advanced in the batched leg.
+    pub batch_runs: u64,
+    /// Accesses those runs covered (each one elided a full per-access
+    /// lookup/stamp/cost round-trip).
+    pub batched_hits: u64,
+    /// Runs declined (stability-epoch moved) or truncated (sampling
+    /// deadline) in the batched leg.
+    pub batch_breaks: u64,
+    /// `batched_hits` over all translated accesses of the batched leg.
+    pub batch_hit_rate: f64,
+}
+
 /// Everything one bench invocation measured.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -156,6 +186,12 @@ pub struct BenchReport {
     /// so cross-file wall-clock ratios conflate host drift with real
     /// changes.
     pub pr6_same_host_wall_ms: Option<f64>,
+    /// Same as `pr6_same_host_wall_ms`, but against a same-host rebuild
+    /// of the PR 9 tree (`--pr9-wall-ms`).
+    pub pr9_same_host_wall_ms: Option<f64>,
+    /// Batched vs `--no-batch` reference-cell legs with the batch
+    /// counters of the batched leg.
+    pub reference_batched: BatchedRefSection,
     /// Phase breakdown of a second, profiled run of the reference cell.
     pub reference_phases: Vec<PhaseTiming>,
     /// Wall time of the profiled reference run, milliseconds.
@@ -202,6 +238,60 @@ pub fn run_reference_cell() -> Result<CellTiming> {
         ops_per_sec: r.ops as f64 / (wall_ms / 1e3),
         phases: Vec::new(),
         profiler_overhead_ms: 0.0,
+    })
+}
+
+/// Measures the reference cell batched vs `--no-batch`, best of three
+/// each, and returns both walls plus the batched leg's
+/// [`gemini_tlb::BatchStats`]. The two legs' simulated `RunResult`s are
+/// asserted byte-identical here — a bench run doubles as a parity
+/// check on the exact configuration the trajectory reports.
+pub fn run_reference_cell_batched() -> Result<BatchedRefSection> {
+    let batched_scale = Scale::demo();
+    let no_batch_scale = Scale {
+        no_batch: true,
+        ..Scale::demo()
+    };
+    let spec = spec_by_name("Canneal").expect("Canneal is in the catalog");
+    let seed = batched_scale.seed_for("motivation", 0);
+    let mut best: Option<(gemini_vm_sim::RunResult, gemini_tlb::BatchStats, f64)> = None;
+    for _ in 0..3 {
+        let (out, wall_ms) = timed(|| {
+            run_workload_batch_stats(SystemKind::Gemini, &spec, &batched_scale, true, seed)
+        });
+        let (r, stats) = out?;
+        if best.as_ref().map_or(true, |&(_, _, b)| wall_ms < b) {
+            best = Some((r, stats, wall_ms));
+        }
+    }
+    let (batched_result, stats, batched_wall_ms) = best.expect("three runs produce a best");
+    let mut best_off: Option<(gemini_vm_sim::RunResult, f64)> = None;
+    for _ in 0..3 {
+        let (r, wall_ms) =
+            timed(|| run_workload_on(SystemKind::Gemini, &spec, &no_batch_scale, true, seed));
+        let r = r?;
+        if best_off.as_ref().map_or(true, |&(_, b)| wall_ms < b) {
+            best_off = Some((r, wall_ms));
+        }
+    }
+    let (no_batch_result, no_batch_wall_ms) = best_off.expect("three runs produce a best");
+    assert_eq!(
+        format!("{batched_result:?}"),
+        format!("{no_batch_result:?}"),
+        "batched and --no-batch reference legs must be byte-identical"
+    );
+    let accesses = batched_result.counters.accesses;
+    Ok(BatchedRefSection {
+        batched_wall_ms,
+        no_batch_wall_ms,
+        batch_runs: stats.runs,
+        batched_hits: stats.hits,
+        batch_breaks: stats.breaks,
+        batch_hit_rate: if accesses == 0 {
+            0.0
+        } else {
+            stats.hits as f64 / accesses as f64
+        },
     })
 }
 
@@ -278,6 +368,7 @@ pub fn run_bench(scale: &Scale, scale_name: &str, jobs_max: usize) -> Result<Ben
     // cover both shards (more would idle).
     let sharded_jobs = 2usize.min(jobs_max.max(1));
     let reference_sharded = run_reference_cell_sharded(sharded_jobs)?;
+    let reference_batched = run_reference_cell_batched()?;
     let (reference_phases, reference_profiled_wall_ms, reference_overhead_pct) =
         profile_reference_cell()?;
 
@@ -373,6 +464,8 @@ pub fn run_bench(scale: &Scale, scale_name: &str, jobs_max: usize) -> Result<Ben
         reference_sharded_wall_ms: reference_sharded.wall_ms,
         sharded_jobs,
         pr6_same_host_wall_ms: None,
+        pr9_same_host_wall_ms: None,
+        reference_batched,
         reference_phases,
         reference_profiled_wall_ms,
         reference_overhead_pct,
@@ -385,8 +478,9 @@ pub fn run_bench(scale: &Scale, scale_name: &str, jobs_max: usize) -> Result<Ben
 /// Runs the fig. 3 grid once at `jobs` workers with span-event capture
 /// through `master` (which must have been built with event capture on)
 /// and renders a Chrome-trace-event JSON document: one labelled track
-/// per worker, one `cell` rectangle per grid cell, and the cell's
-/// nested phase spans inside it. Open the file in Perfetto
+/// per worker, one `cell` rectangle per grid cell, the cell's nested
+/// phase spans inside it, and grid-total `tlb.batch_*` counter tracks
+/// from the closed-form hit-run fast path. Open the file in Perfetto
 /// (<https://ui.perfetto.dev>) or `chrome://tracing`.
 pub fn grid_trace(scale: &Scale, jobs: usize, master: &Profiler) -> Result<String> {
     let systems = SystemKind::evaluated();
@@ -399,30 +493,53 @@ pub fn grid_trace(scale: &Scale, jobs: usize, master: &Profiler) -> Result<Strin
             let label = format!("{name}/{}", system.label());
             cells.push((system.cost_hint(), move |wprof: &Profiler| {
                 let start_ns = wprof.now_ns();
-                let r = run_workload_profiled(system, &spec, scale, true, seed, wprof.clone());
+                let r = run_workload_profiled_batch_stats(
+                    system,
+                    &spec,
+                    scale,
+                    true,
+                    seed,
+                    wprof.clone(),
+                );
                 let dur_ns = wprof.now_ns().saturating_sub(start_ns);
-                r.map(|_| TraceSpan {
-                    name: label,
-                    cat: "cell",
-                    start_ns,
-                    dur_ns,
-                    tid: wprof.tid(),
+                r.map(|(_, stats)| {
+                    (
+                        TraceSpan {
+                            name: label,
+                            cat: "cell",
+                            start_ns,
+                            dur_ns,
+                            tid: wprof.tid(),
+                        },
+                        stats,
+                    )
                 })
             }));
         }
     }
     let workers = effective_jobs(jobs).min(cells.len().max(1));
-    let cell_spans: Result<Vec<TraceSpan>> =
+    let cell_out: Result<Vec<(TraceSpan, gemini_tlb::BatchStats)>> =
         run_cells_profiled(jobs, &Recorder::off(), master, cells)
             .into_iter()
             .collect();
-    let mut spans = cell_spans?;
+    let mut batch = gemini_tlb::BatchStats::default();
+    let mut spans = Vec::new();
+    for (span, stats) in cell_out? {
+        batch = batch.merged(stats);
+        spans.push(span);
+    }
     spans.extend(master.events().iter().map(TraceSpan::from));
     let worker_names: Vec<String> = (0..workers).map(|w| format!("worker-{w}")).collect();
-    Ok(chrome_trace_json(
+    let counters = vec![
+        ("tlb.batch_breaks".to_string(), batch.breaks),
+        ("tlb.batch_runs".to_string(), batch.runs),
+        ("tlb.batched_hits".to_string(), batch.hits),
+    ];
+    Ok(chrome_trace_json_with_counters(
         "gemini-sim bench grid",
         &worker_names,
         &spans,
+        &counters,
     ))
 }
 
@@ -507,6 +624,43 @@ impl BenchReport {
                 out.push_str("    \"speedup_vs_pr6_same_host\": null,\n");
             }
         }
+        match self.pr9_same_host_wall_ms {
+            Some(pr9_ms) => {
+                out.push_str(&format!(
+                    "    \"pr9_same_host_wall_ms\": {},\n",
+                    json_f64(pr9_ms)
+                ));
+                let speedup = if self.reference_wall_ms > 0.0 {
+                    pr9_ms / self.reference_wall_ms
+                } else {
+                    0.0
+                };
+                out.push_str(&format!(
+                    "    \"speedup_vs_pr9_same_host\": {},\n",
+                    json_f64(speedup)
+                ));
+            }
+            None => {
+                out.push_str("    \"pr9_same_host_wall_ms\": null,\n");
+                out.push_str("    \"speedup_vs_pr9_same_host\": null,\n");
+            }
+        }
+        let b = &self.reference_batched;
+        out.push_str(&format!(
+            "    \"batched_wall_ms\": {},\n",
+            json_f64(b.batched_wall_ms)
+        ));
+        out.push_str(&format!(
+            "    \"no_batch_wall_ms\": {},\n",
+            json_f64(b.no_batch_wall_ms)
+        ));
+        out.push_str(&format!("    \"batch_runs\": {},\n", b.batch_runs));
+        out.push_str(&format!("    \"batched_hits\": {},\n", b.batched_hits));
+        out.push_str(&format!("    \"batch_breaks\": {},\n", b.batch_breaks));
+        out.push_str(&format!(
+            "    \"batch_hit_rate\": {},\n",
+            json_f64(b.batch_hit_rate)
+        ));
         out.push_str(&format!(
             "    \"profiled_wall_ms\": {},\n",
             json_f64(self.reference_profiled_wall_ms)
@@ -596,6 +750,15 @@ mod tests {
             reference_sharded_wall_ms: 470.0,
             sharded_jobs: 2,
             pr6_same_host_wall_ms: Some(1_000.0),
+            pr9_same_host_wall_ms: Some(600.0),
+            reference_batched: BatchedRefSection {
+                batched_wall_ms: 495.0,
+                no_batch_wall_ms: 520.0,
+                batch_runs: 1_200,
+                batched_hits: 9_000,
+                batch_breaks: 40,
+                batch_hit_rate: 0.31,
+            },
             reference_phases: vec![PhaseTiming {
                 name: "access",
                 wall_ms: 450.0,
@@ -653,6 +816,14 @@ mod tests {
             "\"sharded_jobs\"",
             "\"pr6_same_host_wall_ms\"",
             "\"speedup_vs_pr6_same_host\"",
+            "\"pr9_same_host_wall_ms\"",
+            "\"speedup_vs_pr9_same_host\"",
+            "\"batched_wall_ms\"",
+            "\"no_batch_wall_ms\"",
+            "\"batch_runs\"",
+            "\"batched_hits\"",
+            "\"batch_breaks\"",
+            "\"batch_hit_rate\"",
             "\"profiled_wall_ms\"",
             "\"profiler_overhead_pct\"",
             "\"phases\"",
@@ -700,6 +871,32 @@ mod tests {
     }
 
     #[test]
+    fn same_host_pr9_comparison_is_optional_and_batch_fields_are_numeric() {
+        let with = synthetic().to_json();
+        let v = gemini_obs::jsonread::parse(&with).unwrap();
+        let rc = v.get("reference_cell").unwrap();
+        assert_eq!(
+            rc.get("speedup_vs_pr9_same_host").and_then(|s| s.as_f64()),
+            Some(1.2)
+        );
+        assert_eq!(
+            rc.get("batched_hits").and_then(|s| s.as_f64()),
+            Some(9_000.0)
+        );
+        assert_eq!(rc.get("batch_runs").and_then(|s| s.as_f64()), Some(1_200.0));
+        assert_eq!(
+            rc.get("batch_hit_rate").and_then(|s| s.as_f64()),
+            Some(0.31)
+        );
+        let mut none = synthetic();
+        none.pr9_same_host_wall_ms = None;
+        let j = none.to_json();
+        assert!(j.contains("\"pr9_same_host_wall_ms\": null"));
+        assert!(j.contains("\"speedup_vs_pr9_same_host\": null"));
+        gemini_obs::jsonread::parse(&j).expect("null fields still parse");
+    }
+
+    #[test]
     fn fleet_section_is_schema_additive() {
         // Populated: parses back with the churn facts intact.
         let j = synthetic().to_json();
@@ -719,6 +916,43 @@ mod tests {
         let j = none.to_json();
         assert!(j.contains("\"fleet\": null"));
         gemini_obs::jsonread::parse(&j).expect("null fleet still parses");
+    }
+
+    /// Regression pin for the trajectory's headline claim: the
+    /// reference cell (Canneal × GEMINI on fragmented memory at demo
+    /// scale) actually takes the closed-form hit-run fast path, and the
+    /// engagement is visible on both observability surfaces — the
+    /// machine's [`gemini_tlb::BatchStats`] and the recorder's
+    /// `tlb.batch_*` registry counters (which `--json` and the trace
+    /// renderer print). If a future change silently stops batching on
+    /// this cell, BENCH_pr10-style reports would quietly measure the
+    /// slow path; this test fails instead.
+    #[test]
+    fn reference_cell_engages_the_batched_path() {
+        let scale = Scale::demo();
+        let spec = spec_by_name("Canneal").expect("Canneal is in the catalog");
+        let seed = scale.seed_for("motivation", 0);
+        let (r, stats) =
+            run_workload_batch_stats(SystemKind::Gemini, &spec, &scale, true, seed).unwrap();
+        assert!(stats.runs > 0, "no hit-only runs batched: {stats:?}");
+        assert!(stats.hits >= stats.runs, "each run covers >= 1 hit");
+        assert!(
+            stats.hits <= r.counters.l1_hits,
+            "batched hits are a subset of L1 hits"
+        );
+        let (_, rec) = crate::runner::run_workload_traced(
+            SystemKind::Gemini,
+            &spec,
+            &scale,
+            true,
+            seed,
+            &gemini_obs::TraceConfig::all(),
+        )
+        .unwrap();
+        let reg = rec.registry();
+        assert_eq!(reg.counter("tlb.batch_runs"), stats.runs);
+        assert_eq!(reg.counter("tlb.batched_hits"), stats.hits);
+        assert_eq!(reg.counter("tlb.batch_breaks"), stats.breaks);
     }
 
     #[test]

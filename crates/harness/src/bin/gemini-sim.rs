@@ -9,9 +9,10 @@
 //! gemini-sim replay  [--trace IN.jsonl] [--system GEMINI] [--jobs N]
 //! gemini-sim parity  [--workload Redis] [--fragmented]
 //! gemini-sim fleet   [--scale quick|demo|bench|full] [--jobs N] [--json PATH]
-//! gemini-sim bench   [--scale quick|bench] [--jobs N] [--json BENCH_pr9.json]
+//! gemini-sim bench   [--scale quick|bench] [--jobs N] [--json BENCH_pr10.json]
 //!                    [--profile trace.json] [--compare OLD.json]
 //!                    [--threshold PCT] [--warn-only] [--pr6-wall-ms MS]
+//!                    [--pr9-wall-ms MS]
 //! gemini-sim bench   --compare OLD.json --against NEW.json   (diff only, no run)
 //!
 //! common flags:
@@ -22,6 +23,10 @@
 //!                                   (0 = available parallelism, 1 = sequential)
 //!   --no-ff                         disable the fast-forward core: step every
 //!                                   event faithfully (results are identical;
+//!                                   this only costs wall time)
+//!   --no-batch                      disable closed-form hit-run batching:
+//!                                   probe the TLB for every access of a
+//!                                   hit-only run (results are identical;
 //!                                   this only costs wall time)
 //!   --json <path>                   export results (and any trace) as JSON Lines
 //!   --trace <path>                  gemini-trace-v1 file: written by `record`
@@ -99,6 +104,7 @@ struct Opts {
     threshold_pct: f64,
     warn_only: bool,
     pr6_wall_ms: Option<f64>,
+    pr9_wall_ms: Option<f64>,
 }
 
 fn usage() -> ExitCode {
@@ -146,6 +152,7 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         threshold_pct: perfdiff::DEFAULT_THRESHOLD_PCT,
         warn_only: false,
         pr6_wall_ms: None,
+        pr9_wall_ms: None,
     };
     // `--jobs`, `--ops` and `--no-ff` are applied after the loop so
     // they win regardless of whether they appear before or after
@@ -155,6 +162,7 @@ fn parse(args: &[String]) -> Result<Opts, String> {
     let mut jobs: Option<usize> = None;
     let mut ops: Option<u64> = None;
     let mut no_ff = false;
+    let mut no_batch = false;
     let mut i = 1;
     while i < args.len() {
         let take = |i: &mut usize| -> Result<String, String> {
@@ -194,7 +202,15 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                         .map_err(|e| format!("--pr6-wall-ms: {e}"))?,
                 );
             }
+            "--pr9-wall-ms" => {
+                opts.pr9_wall_ms = Some(
+                    take(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--pr9-wall-ms: {e}"))?,
+                );
+            }
             "--no-ff" => no_ff = true,
+            "--no-batch" => no_batch = true,
             "--fragmented" => opts.fragmented = true,
             "--reused" => opts.reused = true,
             other => return Err(format!("unknown flag '{other}'")),
@@ -208,6 +224,7 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         opts.scale.ops = o;
     }
     opts.scale.no_ff = no_ff;
+    opts.scale.no_batch = no_batch;
     Ok(opts)
 }
 
@@ -578,20 +595,26 @@ fn cmd_replay(opts: &Opts) -> Result<(), String> {
     export_json(opts, &rows)
 }
 
-/// Runs every registry scenario twice — fast-forward on, then off —
-/// and fails unless each pair is byte-identical: the full `RunResult`
-/// (every MMU counter, alignment stat and latency figure) and the JSON
-/// export line must both match exactly. This is the executable form of
-/// the fast-forward invariant: eliding provably-quiescent daemon
-/// passes may never change simulated state.
+/// Runs every registry scenario three ways — the default (fast-forward
+/// plus closed-form hit-run batching), `--no-batch`, and `--no-ff` —
+/// and fails unless all three results are byte-identical: the full
+/// `RunResult` (every MMU counter, alignment stat and latency figure)
+/// and the JSON export line must match exactly. This is the executable
+/// form of both fast-path invariants: eliding provably-quiescent daemon
+/// passes (DESIGN.md §12) and advancing provably hit-only access runs
+/// in closed form (DESIGN.md §16) may never change simulated state.
 fn cmd_parity(opts: &Opts) -> Result<(), String> {
     let name = opts.workload.as_deref().unwrap_or("Redis");
     let spec = spec_by_name(name).ok_or_else(|| format!("unknown workload '{name}'"))?;
     let progress = Recorder::new(&TraceConfig::all());
-    let mut ff_scale = opts.scale;
-    ff_scale.no_ff = false;
-    let mut faithful_scale = opts.scale;
+    let mut batched_scale = opts.scale;
+    batched_scale.no_ff = false;
+    batched_scale.no_batch = false;
+    let mut nobatch_scale = batched_scale;
+    nobatch_scale.no_batch = true;
+    let mut faithful_scale = batched_scale;
     faithful_scale.no_ff = true;
+    faithful_scale.no_batch = true;
     let cells: Vec<_> = gemini_vm_sim::REGISTRY
         .iter()
         .map(|(system, sspec)| {
@@ -601,10 +624,13 @@ fn cmd_parity(opts: &Opts) -> Result<(), String> {
                     run_workload_on(*system, &spec, scale, opts.fragmented, opts.seed)
                         .map_err(|e| format!("{}: simulation failed: {e}", sspec.label))
                 };
-                let fast = run(&ff_scale)?;
+                let batched = run(&batched_scale)?;
+                let nobatch = run(&nobatch_scale)?;
                 let faithful = run(&faithful_scale)?;
-                let identical = format!("{fast:?}") == format!("{faithful:?}")
-                    && trace::result_json(&fast) == trace::result_json(&faithful);
+                let identical = format!("{batched:?}") == format!("{faithful:?}")
+                    && format!("{batched:?}") == format!("{nobatch:?}")
+                    && trace::result_json(&batched) == trace::result_json(&faithful)
+                    && trace::result_json(&batched) == trace::result_json(&nobatch);
                 Ok((sspec.label, identical))
             }
         })
@@ -623,17 +649,19 @@ fn cmd_parity(opts: &Opts) -> Result<(), String> {
         }
     }
     // Lifecycle leg: one fleet host per system through the full
-    // create/run/destroy churn path, again fast-forward on vs off. The
-    // whole `HostRun` Debug form is compared, so per-VM results, churn
+    // create/run/destroy churn path, again all three ways. The whole
+    // `HostRun` Debug form is compared, so per-VM results, churn
     // counters, end state and the sampled series must all match.
     for &system in &gemini_harness::experiments::fleet::SYSTEMS {
         let run = |scale: &Scale| {
             gemini_harness::experiments::fleet::run_host(system, scale, 0)
                 .map_err(|e| format!("{}: fleet host failed: {e}", system.label()))
         };
-        let fast = run(&ff_scale)?;
+        let batched = run(&batched_scale)?;
+        let nobatch = run(&nobatch_scale)?;
         let faithful = run(&faithful_scale)?;
-        let identical = format!("{fast:?}") == format!("{faithful:?}");
+        let identical = format!("{batched:?}") == format!("{faithful:?}")
+            && format!("{batched:?}") == format!("{nobatch:?}");
         let label = format!("fleet/{}", system.label());
         println!(
             "  {:<16} {}",
@@ -646,13 +674,14 @@ fn cmd_parity(opts: &Opts) -> Result<(), String> {
     }
     if !mismatched.is_empty() {
         return Err(format!(
-            "fast-forward parity violated for {}: {}",
+            "fast-path parity violated for {}: {}",
             name,
             mismatched.join(", ")
         ));
     }
     eprintln!(
-        "parity: {} scenarios on {}{} plus {} fleet hosts byte-identical with fast-forward on/off",
+        "parity: {} scenarios on {}{} plus {} fleet hosts byte-identical across \
+         default / --no-batch / --no-ff",
         gemini_vm_sim::REGISTRY.len(),
         name,
         scenario_suffix(opts),
@@ -740,6 +769,7 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     let mut report = gemini_harness::bench::run_bench(&opts.scale, &opts.scale_name, jobs_max)
         .map_err(|e| format!("bench failed: {e}"))?;
     report.pr6_same_host_wall_ms = opts.pr6_wall_ms;
+    report.pr9_same_host_wall_ms = opts.pr9_wall_ms;
     let mut t = Table::new(
         format!("bench — fig. 3 grid cells at {} scale", opts.scale_name),
         &["cell", "wall ms", "ops/s (wall)"],
@@ -778,6 +808,24 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
             pr6_ms / report.reference_wall_ms.max(1e-9),
         );
     }
+    if let Some(pr9_ms) = report.pr9_same_host_wall_ms {
+        eprintln!(
+            "reference cell vs same-host PR 9 rebuild: {:.0} ms -> {:.0} ms ({:.2}x)",
+            pr9_ms,
+            report.reference_wall_ms,
+            pr9_ms / report.reference_wall_ms.max(1e-9),
+        );
+    }
+    eprintln!(
+        "reference cell --no-batch: {:.0} ms vs {:.0} ms batched ({:.2}x); batch hit rate {:.1}% ({} hits / {} runs, {} breaks)",
+        report.reference_batched.no_batch_wall_ms,
+        report.reference_wall_ms,
+        report.reference_batched.no_batch_wall_ms / report.reference_wall_ms.max(1e-9),
+        report.reference_batched.batch_hit_rate * 100.0,
+        report.reference_batched.batched_hits,
+        report.reference_batched.batch_runs,
+        report.reference_batched.batch_breaks,
+    );
     if let Some(fleet) = &report.fleet {
         let fmfi = fleet
             .end_host_fmfi
@@ -803,7 +851,7 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     let path = opts
         .json
         .clone()
-        .unwrap_or_else(|| PathBuf::from("BENCH_pr9.json"));
+        .unwrap_or_else(|| PathBuf::from("BENCH_pr10.json"));
     std::fs::write(&path, &report_json).map_err(|e| format!("writing {}: {e}", path.display()))?;
     eprintln!("wrote bench report to {}", path.display());
     if let Some(trace_path) = &opts.profile {
@@ -891,6 +939,32 @@ mod tests {
         assert_eq!(after.scale.jobs, 3);
         assert!(before.scale.no_ff);
         assert!(after.scale.no_ff);
+    }
+
+    #[test]
+    fn no_batch_and_pr9_wall_ms_survive_scale_in_either_order() {
+        let before = parse_ok(&[
+            "bench",
+            "--no-batch",
+            "--pr9-wall-ms",
+            "123.5",
+            "--scale",
+            "quick",
+        ]);
+        let after = parse_ok(&[
+            "bench",
+            "--scale",
+            "quick",
+            "--no-batch",
+            "--pr9-wall-ms",
+            "123.5",
+        ]);
+        assert!(before.scale.no_batch);
+        assert!(after.scale.no_batch);
+        assert_eq!(before.pr9_wall_ms, Some(123.5));
+        assert_eq!(after.pr9_wall_ms, Some(123.5));
+        // Default stays off: batching is opt-out.
+        assert!(!parse_ok(&["run"]).scale.no_batch);
     }
 
     #[test]

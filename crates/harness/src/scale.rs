@@ -35,6 +35,11 @@ pub struct Scale {
     /// this escape hatch exists so the parity suite (and a suspicious
     /// user) can prove that claim on any cell; it only costs wall time.
     pub no_ff: bool,
+    /// Disables closed-form hit-run batching (`--no-batch`): every
+    /// access in a hit-only run steps through the faithful TLB probe
+    /// path (DESIGN.md §16). Results are byte-identical with batching
+    /// on or off — same contract and same purpose as `no_ff`.
+    pub no_batch: bool,
 }
 
 impl Scale {
@@ -49,6 +54,7 @@ impl Scale {
             seed: 42,
             jobs: 0,
             no_ff: false,
+            no_batch: false,
         }
     }
 
@@ -68,6 +74,7 @@ impl Scale {
             seed: 42,
             jobs: 0,
             no_ff: false,
+            no_batch: false,
         }
     }
 
@@ -83,6 +90,7 @@ impl Scale {
             seed: 42,
             jobs: 0,
             no_ff: false,
+            no_batch: false,
         }
     }
 
@@ -97,6 +105,7 @@ impl Scale {
             seed: 42,
             jobs: 0,
             no_ff: false,
+            no_batch: false,
         }
     }
 
@@ -127,6 +136,7 @@ impl Scale {
             zero_heavy,
             seed,
             no_ff: self.no_ff,
+            no_batch: self.no_batch,
             ..MachineConfig::default()
         }
     }
@@ -142,6 +152,7 @@ impl Scale {
             fragment_host: Some(self.frag_target),
             seed,
             no_ff: self.no_ff,
+            no_batch: self.no_batch,
             ..MachineConfig::default()
         }
     }
@@ -211,6 +222,16 @@ mod tests {
         s.no_ff = true;
         assert!(s.machine_config(false, false, 1).no_ff);
         assert!(s.collocated_config(1).no_ff);
+    }
+
+    #[test]
+    fn no_batch_propagates_to_both_machine_configs() {
+        let mut s = Scale::quick();
+        assert!(!s.machine_config(false, false, 1).no_batch);
+        assert!(!s.collocated_config(1).no_batch);
+        s.no_batch = true;
+        assert!(s.machine_config(false, false, 1).no_batch);
+        assert!(s.collocated_config(1).no_batch);
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub enum Phase {
     /// Applying TLB invalidations and shootdown accounting to the MMU
     /// model.
     TlbShootdown,
+    /// Closed-form hit-run batching: advancing counters, cost and the
+    /// virtual clock over a provably hit-only access run without
+    /// touching the TLB set arrays (DESIGN.md §16).
+    BatchedAccess,
     /// Parallel-executor bookkeeping (queue pops, result stores) —
     /// everything a worker does that is not the cell itself.
     Executor,
@@ -71,7 +75,7 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in report order.
-    pub const ALL: [Phase; 10] = [
+    pub const ALL: [Phase; 11] = [
         Phase::Setup,
         Phase::WorkloadGen,
         Phase::Access,
@@ -81,6 +85,7 @@ impl Phase {
         Phase::Promotion,
         Phase::Demotion,
         Phase::TlbShootdown,
+        Phase::BatchedAccess,
         Phase::Executor,
     ];
 
@@ -96,6 +101,7 @@ impl Phase {
             Phase::Promotion => "promotion",
             Phase::Demotion => "demotion",
             Phase::TlbShootdown => "tlb_shootdown",
+            Phase::BatchedAccess => "batched_access",
             Phase::Executor => "executor",
         }
     }
@@ -111,7 +117,11 @@ impl Phase {
     pub fn in_timeline(self) -> bool {
         !matches!(
             self,
-            Phase::FaultPath | Phase::TlbShootdown | Phase::Promotion | Phase::Demotion
+            Phase::FaultPath
+                | Phase::TlbShootdown
+                | Phase::Promotion
+                | Phase::Demotion
+                | Phase::BatchedAccess
         )
     }
 
@@ -505,6 +515,22 @@ pub const MAX_TIMELINE_EVENTS: usize = 50_000;
 /// rows beyond [`MAX_TIMELINE_EVENTS`] are dropped widest-first-kept
 /// by the same deterministic ordering.
 pub fn chrome_trace_json(process_name: &str, workers: &[String], spans: &[TraceSpan]) -> String {
+    chrome_trace_json_with_counters(process_name, workers, spans, &[])
+}
+
+/// Like [`chrome_trace_json`], but additionally renders named counters
+/// as Chrome counter-track events (`"ph":"C"` at `ts` 0 on the
+/// metadata track), so run-level totals — e.g. the TLB's
+/// `tlb.batch_runs` / `tlb.batched_hits` / `tlb.batch_breaks` from the
+/// closed-form hit-run fast path — appear as labelled counter tracks
+/// next to the timeline in Perfetto. Counters are emitted in the order
+/// given; pass them pre-sorted for byte-stable output.
+pub fn chrome_trace_json_with_counters(
+    process_name: &str,
+    workers: &[String],
+    spans: &[TraceSpan],
+    counters: &[(String, u64)],
+) -> String {
     let mut sorted: Vec<&TraceSpan> = spans.iter().collect();
     let phase_count = sorted.iter().filter(|s| s.cat == "phase").count();
     let dropped = phase_count.saturating_sub(MAX_TIMELINE_EVENTS);
@@ -551,6 +577,12 @@ pub fn chrome_trace_json(process_name: &str, workers: &[String], spans: &[TraceS
             ",\n{{\"name\":\"trace_capped\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{{\"kept\":{MAX_TIMELINE_EVENTS},\"dropped\":{dropped}}}}}",
         ));
     }
+    for (name, value) in counters {
+        out.push_str(&format!(
+            ",\n{{\"name\":{},\"ph\":\"C\",\"ts\":0,\"pid\":1,\"tid\":0,\"args\":{{\"value\":{value}}}}}",
+            json_str(name)
+        ));
+    }
     for s in sorted {
         out.push_str(&format!(
             ",\n{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
@@ -568,6 +600,31 @@ pub fn chrome_trace_json(process_name: &str, workers: &[String], spans: &[TraceS
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counter_rows_render_as_chrome_counter_events() {
+        let spans = vec![TraceSpan {
+            name: "access".into(),
+            cat: "phase",
+            start_ns: 0,
+            dur_ns: 10,
+            tid: 0,
+        }];
+        let counters = vec![
+            ("tlb.batch_runs".to_string(), 12u64),
+            ("tlb.batched_hits".to_string(), 340u64),
+        ];
+        let workers = vec!["w".to_string()];
+        let json = chrome_trace_json_with_counters("p", &workers, &spans, &counters);
+        assert!(json.contains("\"name\":\"tlb.batch_runs\",\"ph\":\"C\""));
+        assert!(json.contains("\"name\":\"tlb.batched_hits\",\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":340}"));
+        // The plain exporter is exactly the zero-counter case.
+        assert_eq!(
+            chrome_trace_json("p", &workers, &spans),
+            chrome_trace_json_with_counters("p", &workers, &spans, &[])
+        );
+    }
 
     #[test]
     fn off_profiler_records_nothing() {

@@ -8,6 +8,14 @@
 use gemini_sim_core::Cycles;
 
 /// Monotonic counters accumulated by [`crate::MmuSim`].
+///
+/// These are part of every run's compared output (results, goldens, the
+/// parity suites), so the closed-form hit-run batch path must advance
+/// them exactly as the faithful path would. Batching *observability*
+/// (how many runs took the fast path) therefore lives in
+/// [`crate::BatchStats`], not here: those numbers legitimately differ
+/// between a `--no-batch` leg and a batched leg and would break
+/// byte-identity if they were fields of this struct.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PerfCounters {
     /// Total translated data accesses.

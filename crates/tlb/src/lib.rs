@@ -51,4 +51,4 @@ pub mod mmu;
 pub use cache::SetAssocCache;
 pub use config::MmuConfig;
 pub use counters::PerfCounters;
-pub use mmu::{AccessOutcome, MmuSim, ResolvedTranslation};
+pub use mmu::{AccessOutcome, BatchStats, MmuSim, ResolvedTranslation};

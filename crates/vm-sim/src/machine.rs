@@ -8,8 +8,8 @@ use gemini_obs::{cat, EventKind, Layer, Phase, Profiler, Recorder, SamplePoint, 
 use gemini_sim_core::page::PageSize;
 use gemini_sim_core::stats::LatencySamples;
 use gemini_sim_core::{Cycles, DetRng, FxHashMap, Result, SimError, VmId, HUGE_PAGE_ORDER};
-use gemini_tlb::{MmuConfig, MmuSim, PerfCounters, ResolvedTranslation};
-use gemini_workloads::{EventStream, WorkloadEvent};
+use gemini_tlb::{BatchStats, MmuConfig, MmuSim, PerfCounters, ResolvedTranslation};
+use gemini_workloads::{touch_run_len, EventStream, WorkloadEvent};
 use std::collections::BTreeMap;
 
 /// Configuration of the simulated machine.
@@ -71,6 +71,14 @@ pub struct MachineConfig {
     /// only elides work it can prove has no effect — so this exists for
     /// parity checks and debugging, not correctness.
     pub no_ff: bool,
+    /// Disables closed-form hit-run batching (the `--no-batch` escape
+    /// hatch): every access in a hit-only run steps through the faithful
+    /// TLB probe path instead of being advanced in closed form
+    /// (DESIGN.md §16). Like `no_ff`, results are byte-identical either
+    /// way — the batch path only elides per-access work the
+    /// deferred-stamp invariant proves is a no-op — so this exists for
+    /// parity checks, A/B timing and debugging.
+    pub no_batch: bool,
 }
 
 impl Default for MachineConfig {
@@ -99,6 +107,7 @@ impl Default for MachineConfig {
             trace: TraceConfig::off(),
             profiler: Profiler::off(),
             no_ff: false,
+            no_batch: false,
         }
     }
 }
@@ -346,6 +355,18 @@ impl Machine {
         *self.vms[&vm].mmu.counters()
     }
 
+    /// Closed-form batching statistics summed over all live VMs.
+    ///
+    /// Not part of [`RunResult`] on purpose: the batched and `--no-batch`
+    /// legs must stay byte-identical on every compared surface, and these
+    /// numbers describe the fast path itself (see
+    /// [`gemini_tlb::BatchStats`]).
+    pub fn batch_stats(&self) -> BatchStats {
+        self.vms.values().fold(BatchStats::default(), |acc, vs| {
+            acc.merged(vs.mmu.batch_stats())
+        })
+    }
+
     /// Diagnostic one-liners from the guest and host policies.
     pub fn policy_debug(&self, vm: VmId) -> (String, String) {
         (
@@ -491,6 +512,7 @@ impl Machine {
     ) -> Result<()> {
         let touch_sample = self.cfg.touch_sample as u64;
         let data_access = Cycles(self.cfg.data_access_cycles);
+        let no_batch = self.cfg.no_batch;
         // Chunk-handle → VMA start-frame memo: valid while no slow-path
         // event runs (only events and daemons move VMAs, and neither
         // happens inside the tight loop below).
@@ -554,6 +576,63 @@ impl Machine {
                     touched += 1;
                     until_sample -= 1;
                     i += 1;
+                    // Closed-form hit-run batching (DESIGN.md §16): the
+                    // access above left this translation L1-resident and
+                    // holding the newest stamp, so immediately following
+                    // touches that provably resolve to the same entry —
+                    // same chunk, same page for a 4 KiB entry, same
+                    // 2 MiB region for a huge entry — are pure hits
+                    // whose only faithful effects are the counter, cost
+                    // and clock updates. Advance those in closed form
+                    // without re-probing the set arrays. The lookahead
+                    // is capped one past the sampled-touch deadline (the
+                    // overhang only detects deadline truncation), and
+                    // the 64-event chunk boundary — where daemon
+                    // deadlines are re-checked — bounds `events`.
+                    if !no_batch && until_sample > 1 {
+                        let window = &events[i..(i + until_sample as usize + 1).min(events.len())];
+                        let run = if out.huge_entry {
+                            let region = gva_frame >> HUGE_PAGE_ORDER;
+                            touch_run_len(window, chunk, |p| {
+                                (start_frame + p) >> HUGE_PAGE_ORDER == region
+                            })
+                        } else {
+                            touch_run_len(window, chunk, |p| start_frame + p == gva_frame)
+                        } as u64;
+                        let n = run.min(until_sample);
+                        // A length-1 "run" saves nothing: the faithful
+                        // loop resolves it in one L1 probe, so the
+                        // closed form would be pure bookkeeping
+                        // overhead. Only runs that elide at least two
+                        // per-access round-trips take the fast path
+                        // (byte-identical either way — the threshold
+                        // only moves wall-clock).
+                        if n >= 2 {
+                            // Read the epoch only once a qualifying run
+                            // exists: nothing between the faithful
+                            // access above and the advance below can
+                            // mutate the MMU, so the guard stays sound
+                            // while the common no-run case skips the
+                            // call entirely.
+                            let epoch = vs.mmu.stability_epoch();
+                            let _batch = self.prof.span(Phase::BatchedAccess);
+                            if let Some(cost) =
+                                vs.mmu
+                                    .advance_batched_hits(vm, gva_frame, out.huge_entry, n, epoch)
+                            {
+                                acc += cost + Cycles(n * data_access.0);
+                                touched += n;
+                                until_sample -= n;
+                                i += n as usize;
+                                if run > n {
+                                    // The run was cut by the sampling
+                                    // deadline, not by the stream: the
+                                    // next touch takes the slow path.
+                                    vs.mmu.note_batch_break();
+                                }
+                            }
+                        }
+                    }
                 }
                 vs.clock += acc;
                 ctx.req_acc += acc;
@@ -943,6 +1022,13 @@ impl Machine {
 
     /// Applies effects to a VM: clock, TLB invalidations, shootdown
     /// counters. Returns the foreground cycle cost.
+    ///
+    /// This is the single funnel from mm-layer `Effects` into the MMU:
+    /// every `invalidate_*` / `charge_shootdowns` call below bumps the
+    /// TLB stability epoch, so any effect application automatically
+    /// closes open hit-run batch windows (DESIGN.md §16). Audited for
+    /// PR 10: no other call site outside `MmuSim` itself mutates TLB
+    /// residency.
     fn apply_fx(vm: VmId, vs: &mut VmState, fx: Effects, prof: &Profiler) -> Cycles {
         vs.clock += fx.cycles;
         let _shootdown_span = if fx.gva_regions_invalidated.is_empty()
@@ -1045,6 +1131,15 @@ impl Machine {
             self.next_host_tenant = now + self.cfg.tenant_period;
         }
         self.tick_runtime(vm);
+        // The daemons and the runtime may have promoted, demoted,
+        // unmapped or compacted underneath the TLBs. Their invalidation
+        // effects each bump the stability epoch already, but a pass is
+        // rare enough to over-bump conservatively: a missed bump would
+        // be unsound, an extra one only declines a fast-path batch
+        // (DESIGN.md §16).
+        if let Some(vs) = self.vms.get_mut(&vm) {
+            vs.mmu.note_external_pass();
+        }
         self.take_sample(vm);
         Ok(())
     }
@@ -1390,6 +1485,95 @@ mod tests {
         let fast = run(false);
         let faithful = run(true);
         assert_eq!(format!("{fast:?}"), format!("{faithful:?}"));
+    }
+
+    #[test]
+    fn hit_run_batching_is_byte_identical_and_engages() {
+        // The closed-form batch path must leave every compared surface
+        // of the result identical to the faithful per-access path, while
+        // actually advancing a meaningful share of accesses in closed
+        // form on a sequential workload (long same-region runs).
+        // Streamcluster under THP: huge entries from the start, so the
+        // sequential sweep produces long same-region hit runs and the
+        // fast path must engage. Canneal under fragmented Gemini:
+        // mostly-base entries whose runs are nearly all length 1, which
+        // the >= 2 threshold deliberately leaves to the faithful loop —
+        // parity must hold whether or not anything batches.
+        let cases = [
+            ("Streamcluster", SystemKind::Thp, None, true),
+            ("Canneal", SystemKind::Gemini, Some(0.5), false),
+        ];
+        for (wl, system, frag, expect_engagement) in cases {
+            let spec = spec_by_name(wl)
+                .expect("catalog workload")
+                .scaled(1.0 / 32.0);
+            let run = |no_batch: bool| {
+                let cfg = MachineConfig {
+                    no_batch,
+                    fragment_host: frag,
+                    ..small_cfg()
+                };
+                let mut m = Machine::new(system, cfg);
+                let vm = m.add_vm().unwrap();
+                let r = m.run(vm, WorkloadGen::new(spec.clone(), 800, 11)).unwrap();
+                (format!("{r:?}"), m.batch_stats())
+            };
+            let (batched, stats) = run(false);
+            let (faithful, off_stats) = run(true);
+            assert_eq!(batched, faithful, "{wl}: batching changed the result");
+            assert_eq!(
+                off_stats,
+                gemini_tlb::BatchStats::default(),
+                "{wl}: --no-batch must keep the fast path cold"
+            );
+            // Every taken run elides at least two accesses.
+            assert!(
+                stats.hits >= 2 * stats.runs,
+                "{wl}: a taken run below the >= 2 threshold leaked \
+                 through: {stats:?}"
+            );
+            if expect_engagement {
+                assert!(
+                    stats.runs > 0,
+                    "{wl}: the fast path never engaged: {stats:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_matches_no_batch_byte_identically() {
+        use gemini_workloads::{FleetPlan, FleetSpec};
+        let fleet = FleetSpec {
+            vm_count: 8,
+            hosts: 1,
+            host_frames: small_cfg().host_frames,
+            resident_frac: 0.25,
+            mean_ops: 60,
+            arrival_gap: 4,
+            ws_factor: 1.0 / 32.0,
+        };
+        let plan = FleetPlan::generate(&fleet, 33);
+        let run = |no_batch: bool| {
+            let cfg = MachineConfig {
+                no_batch,
+                ..small_cfg()
+            };
+            let mut m = Machine::new(SystemKind::Gemini, cfg);
+            let arrivals: Vec<FleetArrival<WorkloadGen>> = plan.hosts[0]
+                .vms
+                .iter()
+                .map(|v| FleetArrival {
+                    index: v.index,
+                    footprint_frames: v.footprint_frames,
+                    gen: WorkloadGen::new(v.spec.clone(), v.ops, v.seed),
+                })
+                .collect();
+            m.run_fleet(arrivals, plan.resident_cap_frames).unwrap()
+        };
+        let batched = run(false);
+        let faithful = run(true);
+        assert_eq!(format!("{batched:?}"), format!("{faithful:?}"));
     }
 
     #[test]

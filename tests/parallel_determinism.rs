@@ -6,7 +6,8 @@
 //! finished.
 
 use gemini_harness::bench::{
-    BenchReport, CellTiming, FleetBenchSection, PhaseTiming, SweepPoint, REFERENCE_CELL,
+    BatchedRefSection, BenchReport, CellTiming, FleetBenchSection, PhaseTiming, SweepPoint,
+    REFERENCE_CELL,
 };
 use gemini_harness::experiments::{clean_slate, motivation, reused_vm};
 use gemini_harness::{run_cells_traced, trace, Scale};
@@ -113,6 +114,15 @@ fn bench_report_schema_is_pinned() {
         reference_sharded_wall_ms: 450.0,
         sharded_jobs: 2,
         pr6_same_host_wall_ms: Some(1000.0),
+        pr9_same_host_wall_ms: Some(750.0),
+        reference_batched: BatchedRefSection {
+            batched_wall_ms: 495.0,
+            no_batch_wall_ms: 520.0,
+            batch_runs: 1200,
+            batched_hits: 9000,
+            batch_breaks: 40,
+            batch_hit_rate: 0.25,
+        },
         reference_phases: vec![PhaseTiming {
             name: "access",
             wall_ms: 400.0,
@@ -174,6 +184,14 @@ fn bench_report_schema_is_pinned() {
     "sharded_jobs": 2,
     "pr6_same_host_wall_ms": 1000,
     "speedup_vs_pr6_same_host": 2,
+    "pr9_same_host_wall_ms": 750,
+    "speedup_vs_pr9_same_host": 1.5,
+    "batched_wall_ms": 495,
+    "no_batch_wall_ms": 520,
+    "batch_runs": 1200,
+    "batched_hits": 9000,
+    "batch_breaks": 40,
+    "batch_hit_rate": 0.25,
     "profiled_wall_ms": 505,
     "profiler_overhead_pct": 0.5,
     "phases": [{{"name": "access", "wall_ms": 400, "cum_ms": 480, "count": 8}}]
